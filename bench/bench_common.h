@@ -1,0 +1,136 @@
+// Shared helpers for the benchmark binaries.
+//
+// Every bench binary accepts:
+//   --scale=<f>   trace scale relative to the paper's normalised sizes
+//                 (1.0 = Table 1 sizes, roughly 0.6M-2.3M events per trace)
+//   --quick       shorthand for a very small scale (smoke testing)
+//   --trace=<n>   restrict to one trace (S1 S2 S3 C1 C2 A1 A2)
+//
+// Timing methodology mirrors the paper where practical: each measurement is
+// repeated until a time budget is used (at least twice), reporting the mean.
+// We run everything in one process, so heap measurements are deltas against
+// the live baseline rather than RSS of a fresh process.
+
+#ifndef EGWALKER_BENCH_BENCH_COMMON_H_
+#define EGWALKER_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/walker.h"
+#include "rope/rope.h"
+#include "trace/generate.h"
+#include "trace/trace.h"
+
+namespace egwalker::bench {
+
+struct Options {
+  double scale = 0.25;
+  std::vector<std::string> traces = {"S1", "S2", "S3", "C1", "C2", "A1", "A2"};
+  double time_budget_s = 1.0;  // Per measurement.
+};
+
+inline Options ParseArgs(int argc, char** argv) {
+  // Line-buffer stdout even when piped, so `| tee` captures progress live.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      opts.scale = std::atof(arg + 8);
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      opts.scale = 0.02;
+      opts.time_budget_s = 0.2;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      opts.traces = {std::string(arg + 8)};
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+// Runs `fn` repeatedly until the budget is exhausted (at least twice unless
+// a single run already exceeds it); returns the mean milliseconds.
+inline double TimeMs(const std::function<void()>& fn, double budget_s = 1.0) {
+  using Clock = std::chrono::steady_clock;
+  double total_ms = 0;
+  int iterations = 0;
+  for (;;) {
+    auto t0 = Clock::now();
+    fn();
+    total_ms += std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    ++iterations;
+    if (total_ms / 1000.0 >= budget_s && iterations >= 2) {
+      break;
+    }
+    if (total_ms / 1000.0 >= budget_s * 4) {
+      break;  // A single very slow run: do not repeat.
+    }
+  }
+  return total_ms / iterations;
+}
+
+inline std::string FmtMs(double ms) {
+  char buf[48];
+  if (ms >= 60000) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", ms / 60000.0);
+  } else if (ms >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2f sec", ms / 1000.0);
+  } else if (ms >= 1) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", ms);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ms);
+  }
+  return buf;
+}
+
+inline std::string FmtBytes(double b) {
+  char buf[48];
+  if (b >= 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", b / (1024.0 * 1024.0 * 1024.0));
+  } else if (b >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", b / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", b / 1024.0);
+  }
+  return buf;
+}
+
+// A generated trace plus its replay result (most benches need both).
+struct BenchTrace {
+  Trace trace;
+  std::string final_text;
+  uint64_t final_chars = 0;
+};
+
+inline BenchTrace MakeBenchTrace(const std::string& name, double scale) {
+  BenchTrace bt;
+  bt.trace = GenerateNamedTrace(name, scale);
+  Walker walker(bt.trace.graph, bt.trace.ops);
+  Rope doc;
+  walker.ReplayAll(doc);
+  bt.final_text = doc.ToString();
+  bt.final_chars = doc.char_size();
+  return bt;
+}
+
+inline void PrintHeader(const char* title, const Options& opts) {
+  std::printf("==========================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("trace scale: %.3f of the paper's normalised sizes (use --scale=1.0 for\n",
+              opts.scale);
+  std::printf("full-size traces); absolute numbers depend on this machine — compare the\n");
+  std::printf("*relative* shape against the paper's figures (see EXPERIMENTS.md).\n");
+  std::printf("==========================================================================\n");
+}
+
+}  // namespace egwalker::bench
+
+#endif  // EGWALKER_BENCH_BENCH_COMMON_H_

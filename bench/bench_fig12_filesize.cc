@@ -1,0 +1,56 @@
+// Figure 12: file size when deleted text is omitted (Yjs's storage model):
+// our event-graph encoding without deleted content vs the Yjs-like
+// final-state format. The lower bound is the final document text.
+//
+// The paper's observation to reproduce: our encoding is smaller than Yjs on
+// the sequential and asynchronous traces, but larger on the concurrent
+// traces, where the event graph's edges take more space.
+
+#include "bench_common.h"
+
+#include "encoding/columnar.h"
+#include "encoding/size_models.h"
+
+namespace egwalker::bench {
+namespace {
+
+struct PaperFig12 {
+  const char* name;
+  double eg_kib, yjs_kib;
+};
+constexpr PaperFig12 kPaper[] = {
+    {"S1", 378, 480}, {"S2", 285, 406}, {"S3", 268, 318},  {"C1", 981, 845},
+    {"C2", 1229, 726}, {"A1", 151, 308}, {"A2", 330, 506},
+};
+
+int Run(int argc, char** argv) {
+  Options opts = ParseArgs(argc, argv);
+  PrintHeader("Figure 12: final-state file sizes (deleted text omitted)", opts);
+  std::printf("%-4s | %12s %12s %12s | %s\n", "", "final text", "event graph", "yjs~",
+              "paper eg/yjs (KiB @1.0)");
+  for (const PaperFig12& paper : kPaper) {
+    bool selected = false;
+    for (const std::string& t : opts.traces) {
+      selected = selected || t == paper.name;
+    }
+    if (!selected) {
+      continue;
+    }
+    BenchTrace bt = MakeBenchTrace(paper.name, opts.scale);
+    std::vector<LvSpan> surviving = ComputeSurvivingChars(bt.trace.graph, bt.trace.ops);
+    SaveOptions smol;
+    smol.include_deleted_content = false;
+    uint64_t ours = EncodeTrace(bt.trace, smol, {}, &surviving).size();
+    uint64_t yjs = YjsLikeSize(bt.trace.graph, bt.trace.ops);
+    std::printf("%-4s | %12s %12s %12s | %.0f / %.0f\n", paper.name,
+                FmtBytes(static_cast<double>(bt.final_text.size())).c_str(),
+                FmtBytes(static_cast<double>(ours)).c_str(),
+                FmtBytes(static_cast<double>(yjs)).c_str(), paper.eg_kib, paper.yjs_kib);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace egwalker::bench
+
+int main(int argc, char** argv) { return egwalker::bench::Run(argc, argv); }

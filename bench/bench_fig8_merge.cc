@@ -1,0 +1,160 @@
+// Figure 8: CPU time to merge all events in each trace (as received from a
+// remote replica), and to reload the resulting document from disk.
+//
+// Rows per trace:
+//   eg-walker   merge: full replay (heuristic order, clearing enabled)
+//               cached load: read the cached text from the container, build
+//               the rope — no replay, the graph stays on disk
+//   OT          merge: TTF replay (quadratic in concurrency windows);
+//               on A2 the window is the whole trace, so the measurement
+//               runs at a capped scale and is extrapolated quadratically
+//               (the paper's full-size value is 61 minutes)
+//               cached load: identical storage strategy to eg-walker
+//   ref CRDT    merge == load: integrate the ID-based op stream (conversion
+//               is untimed preprocessing, Section 2.5) while maintaining
+//               the document rope
+//   naive CRDT  merge == load: same stream, per-character records
+//               (Automerge/Yjs-class constant factors)
+
+#include "bench_common.h"
+
+#include "crdt/naive_crdt.h"
+#include "crdt/ref_crdt.h"
+#include "encoding/columnar.h"
+#include "ot/ot.h"
+
+namespace egwalker::bench {
+namespace {
+
+struct PaperFig8 {
+  const char* name;
+  double egwalker_ms, eg_load_ms, ot_ms, ref_ms, automerge_ms, yjs_ms;
+};
+// Figure 8 values from the paper (ms; merge columns).
+constexpr PaperFig8 kPaper[] = {
+    {"S1", 1.8, 0.07, 2.4, 17.9, 620, 57.4},
+    {"S2", 2.7, 0.04, 2.8, 19.1, 747, 85.2},
+    {"S3", 3.6, 0.03, 3.8, 26.9, 1400, 79.9},
+    {"C1", 56.1, 0.12, 365, 52.5, 11800, 84.1},
+    {"C2", 82.6, 0.11, 378, 64.2, 24600, 55.2},
+    {"A1", 8.9, 0.01, 6300, 42.7, 485, 88.4},
+    {"A2", 23.5, 0.05, 3666000, 26.2, 520, 74.2},
+};
+
+int Run(int argc, char** argv) {
+  Options opts = ParseArgs(argc, argv);
+  PrintHeader("Figure 8: merge + cached-load times", opts);
+  std::printf("%-4s | %-26s %12s | %12s\n", "", "algorithm", "measured", "paper@1.0");
+
+  for (const PaperFig8& paper : kPaper) {
+    bool selected = false;
+    for (const std::string& t : opts.traces) {
+      selected = selected || t == paper.name;
+    }
+    if (!selected) {
+      continue;
+    }
+    BenchTrace bt = MakeBenchTrace(paper.name, opts.scale);
+    const Trace& trace = bt.trace;
+
+    // --- eg-walker merge ---
+    double eg_ms = TimeMs(
+        [&] {
+          Walker walker(trace.graph, trace.ops);
+          Rope doc;
+          walker.ReplayAll(doc);
+        },
+        opts.time_budget_s);
+    std::printf("%-4s | %-26s %12s | %12s\n", paper.name, "eg-walker (merge)",
+                FmtMs(eg_ms).c_str(), FmtMs(paper.egwalker_ms).c_str());
+
+    // --- eg-walker / OT cached load ---
+    SaveOptions save;
+    save.cache_final_doc = true;
+    std::string file = EncodeTrace(trace, save, bt.final_text);
+    double load_ms = TimeMs(
+        [&] {
+          auto text = ReadCachedDoc(file);
+          Rope doc(*text);
+          if (doc.char_size() != bt.final_chars) {
+            std::abort();
+          }
+        },
+        opts.time_budget_s);
+    std::printf("%-4s | %-26s %12s | %12s\n", paper.name, "eg-walker/OT (cached load)",
+                FmtMs(load_ms).c_str(), FmtMs(paper.eg_load_ms).c_str());
+
+    // --- OT merge (capped on A2, whose window is the whole trace) ---
+    {
+      double ot_scale = opts.scale;
+      bool capped = false;
+      if (std::string(paper.name) == "A2" && ot_scale > 0.1) {
+        ot_scale = 0.1;
+        capped = true;
+      }
+      BenchTrace ot_bt = capped ? MakeBenchTrace(paper.name, ot_scale) : std::move(bt);
+      double ot_ms = TimeMs(
+          [&] {
+            OtReplayer ot(ot_bt.trace.graph, ot_bt.trace.ops);
+            ot.ReplayAll();
+          },
+          opts.time_budget_s);
+      if (capped) {
+        double factor = (opts.scale / ot_scale) * (opts.scale / ot_scale);
+        std::printf("%-4s | %-26s %12s | %12s   (measured at scale %.2f: %s; x%.0f quadratic)\n",
+                    paper.name, "OT (merge, extrapolated)", FmtMs(ot_ms * factor).c_str(),
+                    FmtMs(paper.ot_ms).c_str(), ot_scale, FmtMs(ot_ms).c_str(), factor);
+        bt = MakeBenchTrace(paper.name, opts.scale);  // Restore for CRDT rows.
+      } else {
+        std::printf("%-4s | %-26s %12s | %12s\n", paper.name, "OT (merge)",
+                    FmtMs(ot_ms).c_str(), FmtMs(paper.ot_ms).c_str());
+        bt = std::move(ot_bt);
+      }
+    }
+
+    // --- CRDT baselines: convert once (untimed), then integrate (timed) ---
+    std::vector<CrdtOp> crdt_ops;
+    {
+      Walker walker(bt.trace.graph, bt.trace.ops);
+      Rope doc;
+      Walker::Options wopts;
+      wopts.enable_clearing = false;
+      ReplaySinks sinks;
+      sinks.crdt_ops = &crdt_ops;
+      walker.ReplayAll(doc, wopts, sinks);
+    }
+    double ref_ms = TimeMs(
+        [&] {
+          RefCrdt crdt(bt.trace.graph);
+          Rope doc;
+          for (const CrdtOp& op : crdt_ops) {
+            crdt.Apply(op, doc);
+          }
+        },
+        opts.time_budget_s);
+    std::printf("%-4s | %-26s %12s | %12s\n", paper.name, "ref CRDT (merge=load)",
+                FmtMs(ref_ms).c_str(), FmtMs(paper.ref_ms).c_str());
+
+    double naive_ms = TimeMs(
+        [&] {
+          NaiveCrdt crdt(bt.trace.graph);
+          for (const CrdtOp& op : crdt_ops) {
+            crdt.Apply(op);
+          }
+          if (crdt.ToText().empty() && bt.final_chars > 0) {
+            std::abort();
+          }
+        },
+        opts.time_budget_s);
+    std::printf("%-4s | %-26s %12s | %12s   (paper: Automerge %s / Yjs %s)\n", paper.name,
+                "naive CRDT (merge=load)", FmtMs(naive_ms).c_str(), "-",
+                FmtMs(paper.automerge_ms).c_str(), FmtMs(paper.yjs_ms).c_str());
+    std::printf("-----+\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace egwalker::bench
+
+int main(int argc, char** argv) { return egwalker::bench::Run(argc, argv); }

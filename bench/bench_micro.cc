@@ -1,0 +1,153 @@
+// Substrate microbenchmarks (google-benchmark): the hot paths under the
+// algorithms — rope edits, internal-state tree operations, graph version
+// diffs, varint coding, and the LZ4 codec.
+
+#include <benchmark/benchmark.h>
+
+#include "core/state_tree.h"
+#include "graph/graph.h"
+#include "lz4/lz4.h"
+#include "rope/rope.h"
+#include "trace/generate.h"
+#include "util/prng.h"
+#include "util/varint.h"
+
+namespace egwalker {
+namespace {
+
+void BM_RopeAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    Rope rope;
+    for (int i = 0; i < state.range(0); ++i) {
+      rope.InsertAt(rope.char_size(), "lorem ipsum ");
+    }
+    benchmark::DoNotOptimize(rope.char_size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RopeAppend)->Arg(1000)->Arg(10000);
+
+void BM_RopeRandomEdits(benchmark::State& state) {
+  Prng rng(1);
+  Rope rope(std::string(100000, 'x'));
+  for (auto _ : state) {
+    uint64_t pos = rng.Below(rope.char_size() - 8);
+    rope.InsertAt(pos, "abc");
+    rope.RemoveAt(pos, 3);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_RopeRandomEdits);
+
+void BM_RopeToString(benchmark::State& state) {
+  Prng rng(2);
+  Rope rope(GenerateProse(rng, 500000));
+  for (auto _ : state) {
+    std::string s = rope.ToString();
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 500000);
+}
+BENCHMARK(BM_RopeToString);
+
+void BM_StateTreeInsertFindMark(benchmark::State& state) {
+  for (auto _ : state) {
+    StateTree tree;
+    tree.Reset(0);
+    uint64_t pos = 0;
+    for (Lv id = 0; id < static_cast<Lv>(state.range(0)); ++id) {
+      Lv origin;
+      StateTree::Cursor c = tree.FindPrepInsert(pos, &origin);
+      tree.InsertSpan(c, id * 8, 4, origin, kOriginEnd);
+      pos += 4;
+    }
+    benchmark::DoNotOptimize(tree.span_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StateTreeInsertFindMark)->Arg(1000)->Arg(10000);
+
+void BM_GraphDiff(benchmark::State& state) {
+  // A braided graph: two users alternating merges.
+  Graph g;
+  AgentId a = g.GetOrCreateAgent("a");
+  AgentId b = g.GetOrCreateAgent("b");
+  Frontier tip_a{};
+  Frontier tip_b{};
+  std::vector<uint64_t> seq(2, 0);
+  g.Add(a, seq[0], 10, {});
+  seq[0] += 10;
+  tip_a = {9};
+  tip_b = {9};
+  for (int i = 0; i < 2000; ++i) {
+    Lv la = g.Add(a, seq[0], 5, tip_a);
+    seq[0] += 5;
+    tip_a = {la + 4};
+    Lv lb = g.Add(b, seq[1], 5, tip_b);
+    seq[1] += 5;
+    tip_b = {lb + 4};
+    if (i % 10 == 0) {
+      Frontier merged = tip_a;
+      FrontierInsert(merged, tip_b[0]);
+      Lv lm = g.Add(a, seq[0], 1, g.Reduce(merged));
+      seq[0] += 1;
+      tip_a = {lm};
+      tip_b = {lm};
+    }
+  }
+  for (auto _ : state) {
+    DiffResult d = g.Diff(tip_a, tip_b);
+    benchmark::DoNotOptimize(d.only_a.size());
+  }
+}
+BENCHMARK(BM_GraphDiff);
+
+void BM_VarintEncodeDecode(benchmark::State& state) {
+  Prng rng(3);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(rng.Next() >> (rng.Next() % 60));
+  }
+  for (auto _ : state) {
+    std::string buf;
+    for (uint64_t v : values) {
+      AppendVarint(buf, v);
+    }
+    ByteReader reader(buf);
+    uint64_t sum = 0;
+    while (!reader.empty()) {
+      sum += *reader.ReadVarint();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_VarintEncodeDecode);
+
+void BM_Lz4CompressProse(benchmark::State& state) {
+  Prng rng(4);
+  std::string prose = GenerateProse(rng, 1 << 20);
+  for (auto _ : state) {
+    std::string c = lz4::Compress(prose);
+    benchmark::DoNotOptimize(c.size());
+  }
+  state.SetBytesProcessed(state.iterations() * prose.size());
+}
+BENCHMARK(BM_Lz4CompressProse);
+
+void BM_Lz4Decompress(benchmark::State& state) {
+  Prng rng(5);
+  std::string prose = GenerateProse(rng, 1 << 20);
+  std::string compressed = lz4::Compress(prose);
+  for (auto _ : state) {
+    auto out = lz4::Decompress(compressed, prose.size());
+    benchmark::DoNotOptimize(out->size());
+  }
+  state.SetBytesProcessed(state.iterations() * prose.size());
+}
+BENCHMARK(BM_Lz4Decompress);
+
+}  // namespace
+}  // namespace egwalker
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Offline editing: the workload that separates eg-walker from OT.
+//
+// Two authors go offline with the same draft and each writes a few thousand
+// edits. When they reconnect, the entire divergence merges in one call.
+// This is the scenario behind Figure 8's A1/A2 rows: OT needs O(n^2)
+// transforms for branches of n events, eg-walker O(n log n).
+//
+// Run: ./build/examples/offline_merge [edits_per_side]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/doc.h"
+#include "util/memtrack.h"
+#include "util/prng.h"
+
+using egwalker::Doc;
+using egwalker::Prng;
+
+namespace {
+
+// Simulates one author writing offline: bursts of prose, backspacing,
+// occasional rewrites of earlier sentences.
+void WriteOffline(Doc& doc, Prng& rng, int edits, const char* style) {
+  uint64_t cursor = doc.size() / 2;
+  int done = 0;
+  while (done < edits) {
+    if (rng.Chance(0.2) && doc.size() > 0) {
+      cursor = rng.Below(doc.size() + 1);
+    }
+    cursor = std::min<uint64_t>(cursor, doc.size());
+    if (rng.Chance(0.25) && cursor >= 4) {
+      uint64_t n = 1 + rng.Below(3);
+      doc.Delete(cursor - n, n);
+      cursor -= n;
+      done += static_cast<int>(n);
+    } else {
+      std::string burst = style;
+      burst += std::to_string(done % 97);
+      burst += ' ';
+      doc.Insert(cursor, burst);
+      cursor += burst.size();
+      done += static_cast<int>(burst.size());
+    }
+  }
+}
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int edits = argc > 1 ? std::atoi(argv[1]) : 20000;
+
+  Doc alice("alice");
+  alice.Insert(0, "Shared design document.\n\nEveryone edits this file.\n");
+  Doc bob("bob");
+  bob.MergeFrom(alice);
+
+  std::printf("starting from a %llu-char shared draft; each author makes ~%d edits offline\n",
+              static_cast<unsigned long long>(alice.size()), edits);
+
+  Prng rng_a(1);
+  Prng rng_b(2);
+  auto t0 = std::chrono::steady_clock::now();
+  WriteOffline(alice, rng_a, edits, "alice");
+  WriteOffline(bob, rng_b, edits, "bob");
+  std::printf("offline writing took %.1f ms (local edits are just rope updates)\n",
+              MillisSince(t0));
+
+  size_t before_merge = egwalker::memtrack::CurrentBytes();
+  egwalker::memtrack::ResetPeak();
+  auto t1 = std::chrono::steady_clock::now();
+  uint64_t pulled_a = alice.MergeFrom(bob);
+  double merge_a = MillisSince(t1);
+  auto t2 = std::chrono::steady_clock::now();
+  uint64_t pulled_b = bob.MergeFrom(alice);
+  double merge_b = MillisSince(t2);
+  size_t peak = egwalker::memtrack::PeakBytes();
+
+  std::printf("alice merged %llu remote events in %.1f ms\n",
+              static_cast<unsigned long long>(pulled_a), merge_a);
+  std::printf("bob   merged %llu remote events in %.1f ms\n",
+              static_cast<unsigned long long>(pulled_b), merge_b);
+  std::printf("peak heap during merge: +%.1f MiB over steady state\n",
+              static_cast<double>(peak - before_merge) / (1024.0 * 1024.0));
+
+  if (alice.Text() != bob.Text()) {
+    std::printf("ERROR: divergence after merge!\n");
+    return 1;
+  }
+  std::printf("converged: %llu chars, %llu events in the graph\n",
+              static_cast<unsigned long long>(alice.size()),
+              static_cast<unsigned long long>(alice.graph().size()));
+  std::printf("first 80 chars: %.80s...\n", alice.Text().c_str());
+  return 0;
+}

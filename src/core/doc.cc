@@ -1,0 +1,326 @@
+#include "core/doc.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "rope/utf8.h"
+#include "util/assert.h"
+
+namespace egwalker {
+namespace {
+
+// Cap on cached critical versions; older candidates are rarely useful since
+// any newer valid candidate gives a smaller replay window.
+constexpr size_t kMaxCandidates = 64;
+
+}  // namespace
+
+Doc::Doc(std::string_view agent_name) { agent_ = trace_.graph.GetOrCreateAgent(agent_name); }
+
+void Doc::NoteLocalEvent(Lv tip) {
+  // A locally generated event always extends the whole frontier, so the
+  // version {tip} is critical at this moment (it may be invalidated later
+  // by concurrent remote events; MergeFrom prunes such candidates).
+  critical_candidates_.push_back(tip);
+  if (critical_candidates_.size() > kMaxCandidates) {
+    critical_candidates_.erase(critical_candidates_.begin(),
+                               critical_candidates_.begin() + kMaxCandidates / 2);
+  }
+  critical_lens_.push_back(rope_.char_size());
+  if (critical_lens_.size() > kMaxCandidates) {
+    critical_lens_.erase(critical_lens_.begin(), critical_lens_.begin() + kMaxCandidates / 2);
+  }
+}
+
+void Doc::Insert(uint64_t pos, std::string_view text) {
+  EGW_CHECK(pos <= rope_.char_size());
+  if (text.empty()) {
+    return;
+  }
+  uint64_t chars = Utf8CountChars(text);
+  Lv start = trace_.AppendInsert(agent_, trace_.graph.version(), pos, text);
+  rope_.InsertAt(pos, text);
+  NoteLocalEvent(start + chars - 1);
+}
+
+void Doc::Delete(uint64_t pos, uint64_t count) {
+  EGW_CHECK(pos + count <= rope_.char_size());
+  if (count == 0) {
+    return;
+  }
+  Lv start = trace_.AppendDelete(agent_, trace_.graph.version(), pos, count, /*fwd=*/true);
+  rope_.RemoveAt(pos, count);
+  NoteLocalEvent(start + count - 1);
+}
+
+std::string Doc::TextAt(const Frontier& version) const {
+  Walker walker(trace_.graph, trace_.ops);
+  Rope tmp;
+  walker.ReplayRange(tmp, Frontier{}, version);
+  return tmp.ToString();
+}
+
+Lv Doc::FindReplayBase(const std::vector<Lv>& new_chunk_starts) {
+  // Walk candidates newest-first; the first one that dominates every newly
+  // appended chunk wins (chunks are linear runs, so dominating the first
+  // event dominates the chunk). Newer candidates that fail are invalid
+  // forever (a concurrent event now exists), so drop them.
+  for (size_t i = critical_candidates_.size(); i-- > 0;) {
+    Lv c = critical_candidates_[i];
+    bool dominates = true;
+    for (Lv start : new_chunk_starts) {
+      if (!trace_.graph.IsAncestor(c, start)) {
+        dominates = false;
+        break;
+      }
+    }
+    if (dominates) {
+      critical_candidates_.resize(i + 1);
+      critical_lens_.resize(i + 1);
+      return c;
+    }
+  }
+  critical_candidates_.clear();
+  critical_lens_.clear();
+  return kInvalidLv;
+}
+
+uint64_t Doc::MergeFrom(const Doc& other) {
+  // Express the other replica's whole history as remote chunks; the apply
+  // path skips everything already known. (Real deployments exchange deltas
+  // via src/sync instead of whole histories.)
+  const Graph& og = other.trace_.graph;
+  const OpLog& oops = other.trace_.ops;
+  std::vector<RemoteChunk> chunks;
+  Lv olv = 0;
+  while (olv < og.size()) {
+    const GraphEntry& entry = og.EntryContaining(olv);
+    const AgentSpan& as = og.agent_spans().FindChecked(olv);
+    Lv chunk_end = std::min(entry.span.end, as.span.end);
+    OpSlice slice = oops.SliceAt(olv, chunk_end);
+    chunk_end = olv + slice.count;
+
+    RemoteChunk chunk;
+    chunk.agent = og.AgentName(as.agent);
+    chunk.seq_start = as.seq_start + (olv - as.span.start);
+    chunk.count = chunk_end - olv;
+    for (Lv p : og.ParentsOf(olv)) {
+      chunk.parents.push_back(og.LvToRaw(p));
+    }
+    chunk.kind = slice.kind;
+    chunk.pos = slice.pos_start;
+    chunk.fwd = slice.fwd;
+    chunk.text = std::string(slice.text);
+    chunks.push_back(std::move(chunk));
+    olv = chunk_end;
+  }
+  auto merged = ApplyRemoteChunks(chunks);
+  EGW_CHECK(merged.has_value());  // A full history is always causally closed.
+  return *merged;
+}
+
+std::optional<uint64_t> Doc::ApplyRemoteChunks(const std::vector<RemoteChunk>& chunks,
+                                               std::string* error) {
+  auto fail = [&](const char* msg) -> std::optional<uint64_t> {
+    if (error != nullptr) {
+      *error = msg;
+    }
+    return std::nullopt;
+  };
+
+  // --- Validation pass: nothing is appended unless every chunk resolves. ---
+  // Tracks the seq ranges earlier chunks will add, per agent.
+  std::unordered_map<std::string, std::vector<std::pair<uint64_t, uint64_t>>> pending;
+  auto resolvable = [&](const RawVersion& rv) {
+    if (trace_.graph.RawToLv(rv.agent, rv.seq) != kInvalidLv) {
+      return true;
+    }
+    auto it = pending.find(rv.agent);
+    if (it == pending.end()) {
+      return false;
+    }
+    for (const auto& [start, end] : it->second) {
+      if (rv.seq >= start && rv.seq < end) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    const RemoteChunk& chunk = chunks[i];
+    if (chunk.count == 0) {
+      return fail("empty chunk");
+    }
+    if (chunk.kind == OpKind::kInsert && Utf8CountChars(chunk.text) != chunk.count) {
+      return fail("insert chunk text/count mismatch");
+    }
+    if (chunk.kind == OpKind::kDelete && !chunk.fwd && chunk.pos + 1 < chunk.count) {
+      return fail("backspace chunk underflows position 0");
+    }
+    if (chunk.chain_previous) {
+      if (i == 0) {
+        return fail("first chunk cannot chain");
+      }
+    } else {
+      for (const RawVersion& rv : chunk.parents) {
+        if (!resolvable(rv)) {
+          return fail("chunk references an unknown parent event");
+        }
+      }
+    }
+    pending[chunk.agent].emplace_back(chunk.seq_start, chunk.seq_start + chunk.count);
+  }
+
+  // --- Append pass. ---
+  std::vector<Lv> new_chunk_starts;  // One per appended run, for domination checks.
+  Lv first_new = kInvalidLv;
+  uint64_t merged = 0;
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    const RemoteChunk& chunk = chunks[i];
+    uint64_t done = 0;  // Events of this chunk handled so far.
+    while (done < chunk.count) {
+      uint64_t seq = chunk.seq_start + done;
+      uint64_t known = trace_.graph.KnownRunLen(chunk.agent, seq);
+      if (known > 0) {
+        done += std::min<uint64_t>(known, chunk.count - done);
+        continue;
+      }
+      // Parents: explicit for the chunk's first event, otherwise the chain
+      // predecessor within the chunk (or the previous chunk's tail).
+      Frontier lparents;
+      if (done > 0) {
+        Lv lp = trace_.graph.RawToLv(chunk.agent, seq - 1);
+        EGW_CHECK(lp != kInvalidLv);
+        FrontierInsert(lparents, lp);
+      } else if (chunk.chain_previous) {
+        const RemoteChunk& prev = chunks[i - 1];
+        Lv lp = trace_.graph.RawToLv(prev.agent, prev.seq_start + prev.count - 1);
+        EGW_CHECK(lp != kInvalidLv);
+        FrontierInsert(lparents, lp);
+      } else {
+        for (const RawVersion& rv : chunk.parents) {
+          Lv lp = trace_.graph.RawToLv(rv.agent, rv.seq);
+          EGW_CHECK(lp != kInvalidLv);
+          FrontierInsert(lparents, lp);
+        }
+        lparents = trace_.graph.Reduce(lparents);
+      }
+      uint64_t take = chunk.count - done;
+      AgentId local_agent = trace_.graph.GetOrCreateAgent(chunk.agent);
+      Lv lstart = trace_.graph.Add(local_agent, seq, take, lparents);
+      if (chunk.kind == OpKind::kInsert) {
+        size_t from = Utf8ByteOfChar(chunk.text, done);
+        trace_.ops.PushInsert(lstart, chunk.pos + done, std::string_view(chunk.text).substr(from));
+      } else {
+        uint64_t pos = chunk.fwd ? chunk.pos : chunk.pos - done;
+        trace_.ops.PushDelete(lstart, take, pos, chunk.fwd);
+      }
+      new_chunk_starts.push_back(lstart);
+      if (first_new == kInvalidLv) {
+        first_new = lstart;
+      }
+      merged += take;
+      done += take;
+    }
+  }
+  if (merged == 0) {
+    return 0;
+  }
+
+  // --- Incremental replay from the best cached critical version. ---
+  Lv base = FindReplayBase(new_chunk_starts);
+  Walker walker(trace_.graph, trace_.ops);
+  std::vector<CriticalPoint> criticals;
+  std::vector<XfOp> xf_ops;
+  ReplaySinks sinks;
+  sinks.critical_points = &criticals;
+  if (change_listener_ != nullptr) {
+    sinks.xf_ops = &xf_ops;
+  }
+  bool full_rebuild = (base == kInvalidLv);
+  uint64_t old_len = rope_.char_size();
+  if (full_rebuild) {
+    // No usable critical version: rebuild the document from scratch.
+    rope_.Clear();
+    walker.ReplayRange(rope_, Frontier{}, trace_.graph.version(), Walker::Options{}, sinks);
+  } else {
+    uint64_t base_len = critical_lens_.back();
+    walker.MergeRange(rope_, Frontier{base}, base_len, trace_.graph.version(), first_new,
+                      Walker::Options{}, sinks);
+  }
+  for (const CriticalPoint& cp : criticals) {
+    if (critical_candidates_.empty() || cp.lv > critical_candidates_.back()) {
+      critical_candidates_.push_back(cp.lv);
+      critical_lens_.push_back(cp.doc_len);
+    }
+  }
+  if (change_listener_ != nullptr) {
+    if (full_rebuild) {
+      // The replay re-applied the whole history; deliver it to the editor
+      // as one delete-everything + insert-everything pair instead.
+      XfOp clear;
+      clear.kind = OpKind::kDelete;
+      clear.pos = 0;
+      clear.count = old_len;
+      if (old_len > 0) {
+        change_listener_(clear, change_ctx_);
+      }
+      XfOp fill;
+      fill.kind = OpKind::kInsert;
+      fill.pos = 0;
+      fill.count = rope_.char_size();
+      fill.text = rope_.ToString();
+      if (fill.count > 0) {
+        change_listener_(fill, change_ctx_);
+      }
+    } else {
+      for (const XfOp& op : xf_ops) {
+        if (!op.noop) {
+          change_listener_(op, change_ctx_);
+        }
+      }
+    }
+  }
+  return merged;
+}
+
+std::string Doc::Save(const SaveOptions& options) const {
+  std::vector<LvSpan> surviving;
+  const std::vector<LvSpan>* surviving_ptr = nullptr;
+  if (!options.include_deleted_content) {
+    surviving = ComputeSurvivingChars(trace_.graph, trace_.ops);
+    surviving_ptr = &surviving;
+  }
+  std::string final_doc;
+  if (options.cache_final_doc) {
+    final_doc = rope_.ToString();
+  }
+  return EncodeTrace(trace_, options, final_doc, surviving_ptr);
+}
+
+std::optional<Doc> Doc::Load(std::string_view bytes, std::string_view agent_name,
+                             std::string* error) {
+  auto decoded = DecodeTrace(bytes, error);
+  if (!decoded) {
+    return std::nullopt;
+  }
+  Doc doc;
+  doc.trace_ = std::move(decoded->trace);
+  doc.agent_ = doc.trace_.graph.GetOrCreateAgent(agent_name);
+  if (decoded->cached_doc.has_value()) {
+    // Fast load: no replay at all (Figure 8's "cached load").
+    doc.rope_ = Rope(*decoded->cached_doc);
+  } else {
+    Walker walker(doc.trace_.graph, doc.trace_.ops);
+    walker.ReplayAll(doc.rope_);
+  }
+  const Frontier& v = doc.trace_.graph.version();
+  if (v.size() == 1) {
+    // A singleton frontier dominates the whole graph: it is critical.
+    doc.critical_candidates_.push_back(v[0]);
+    doc.critical_lens_.push_back(doc.rope_.char_size());
+  }
+  return doc;
+}
+
+}  // namespace egwalker

@@ -1,0 +1,141 @@
+// Doc: the user-facing collaborative text document.
+//
+// This is the public API a text editor would embed. In the steady state a
+// Doc holds only the document text (a rope) plus the event graph columns —
+// no CRDT metadata (Section 3.1). Local edits append events to the graph
+// and apply directly to the rope; the Eg-walker machinery runs only when
+// concurrent remote events are merged, and its internal state is discarded
+// as soon as the merge completes.
+//
+// Merging is incremental: the Doc caches the critical versions discovered
+// during previous replays, so MergeFrom only replays the events after the
+// most recent critical version that precedes the incoming ones
+// (Section 3.6) — usually a small suffix of the history.
+//
+// Save/Load use the columnar format of Section 3.8, optionally caching the
+// final text so documents open without any replay.
+
+#ifndef EGWALKER_CORE_DOC_H_
+#define EGWALKER_CORE_DOC_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/walker.h"
+#include "encoding/columnar.h"
+#include "rope/rope.h"
+#include "trace/trace.h"
+
+namespace egwalker {
+
+// A run of events received from a remote replica, identified by interchange
+// ids. Used by the sync layer (src/sync) and by Doc::MergeFrom.
+struct RemoteChunk {
+  std::string agent;
+  uint64_t seq_start = 0;
+  uint64_t count = 0;
+  // Parents of the first event. When chain_previous is set, the single
+  // parent is the previous chunk's last event and `parents` is ignored.
+  bool chain_previous = false;
+  std::vector<RawVersion> parents;
+  // The operation run (see OpRun semantics).
+  OpKind kind = OpKind::kInsert;
+  uint64_t pos = 0;
+  bool fwd = true;
+  std::string text;
+};
+
+class Doc {
+ public:
+  // `agent_name` must be unique among collaborating replicas.
+  explicit Doc(std::string_view agent_name);
+
+  // --- Local editing ------------------------------------------------------
+
+  // Inserts UTF-8 `text` at character position `pos` (<= size()).
+  void Insert(uint64_t pos, std::string_view text);
+
+  // Deletes `count` characters starting at `pos`.
+  void Delete(uint64_t pos, uint64_t count);
+
+  // --- Reading ------------------------------------------------------------
+
+  std::string Text() const { return rope_.ToString(); }
+  uint64_t size() const { return rope_.char_size(); }
+  const Frontier& version() const { return trace_.graph.version(); }
+  const Graph& graph() const { return trace_.graph; }
+  const OpLog& ops() const { return trace_.ops; }
+
+  // Reconstructs the document text at an arbitrary historical version by
+  // replaying Events(version) (time travel / history browsing).
+  std::string TextAt(const Frontier& version) const;
+
+  // --- Synchronisation ----------------------------------------------------
+
+  // Pulls every event `other` has that this replica lacks, then merges.
+  // Returns the number of events merged. Both documents may have diverged
+  // arbitrarily (offline editing, long-running branches).
+  uint64_t MergeFrom(const Doc& other);
+
+  // Integrates event runs received from a remote replica (causal order:
+  // every chunk's parents must be satisfied by known events or earlier
+  // chunks). Already-known events are skipped, concurrent ones are merged
+  // incrementally. Returns the number of new events, or std::nullopt if a
+  // chunk references an unknown parent — the caller (the reliable-broadcast
+  // layer of Section 2.1) should retry once the gap is filled; the document
+  // is left unchanged in that case.
+  std::optional<uint64_t> ApplyRemoteChunks(const std::vector<RemoteChunk>& chunks,
+                                            std::string* error = nullptr);
+
+  // --- Editor integration ---------------------------------------------------
+
+  // Change listener: receives the *transformed* operations (Section 2.4's
+  // incremental update) that MergeFrom / ApplyRemoteChunks apply to the
+  // text, so an editor can patch its own buffer instead of reloading it.
+  // Positions are indexes into the document as it stands when each op is
+  // delivered; ops arrive in application order. Local Insert/Delete calls
+  // do not notify (the editor made those itself). Pass nullptr to detach.
+  using ChangeListener = void (*)(const XfOp& op, void* ctx);
+  void SetChangeListener(ChangeListener listener, void* ctx) {
+    change_listener_ = listener;
+    change_ctx_ = ctx;
+  }
+
+  // --- Persistence --------------------------------------------------------
+
+  // Serialises the full event graph; with cache_final_doc set, loading
+  // needs no replay.
+  std::string Save(const SaveOptions& options = {}) const;
+
+  // Restores a document (including this replica's agent identity) from
+  // Save() output. Returns std::nullopt on malformed input.
+  static std::optional<Doc> Load(std::string_view bytes, std::string_view agent_name,
+                                 std::string* error = nullptr);
+
+  // --- Introspection ------------------------------------------------------
+
+  const Trace& trace() const { return trace_; }
+
+ private:
+  Doc() = default;
+  void NoteLocalEvent(Lv tip);
+  // The most recent cached critical version dominating every newly merged
+  // chunk, or kInvalidLv for "replay everything". Prunes invalidated
+  // candidates.
+  Lv FindReplayBase(const std::vector<Lv>& new_chunk_starts);
+
+  Trace trace_;
+  Rope rope_;
+  AgentId agent_ = 0;
+  // Cached critical versions (ascending) and the document length at each;
+  // parallel vectors, bounded by kMaxCandidates.
+  std::vector<Lv> critical_candidates_;
+  std::vector<uint64_t> critical_lens_;
+  ChangeListener change_listener_ = nullptr;
+  void* change_ctx_ = nullptr;
+};
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_CORE_DOC_H_

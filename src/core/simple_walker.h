@@ -1,0 +1,66 @@
+// The reference Eg-walker: a direct, unoptimised transcription of the
+// paper's pseudocode (Appendix B, Listings 1-2).
+//
+// Internal state is a flat vector of one record per inserted character, with
+// linear scans for every lookup — O(n) per event instead of the optimised
+// walker's O(log n) — and no run-length encoding, no B-trees, no critical-
+// version clearing, and no partial replay. Its only jobs are:
+//   1. to serve as the correctness oracle the optimised walker is tested
+//      against on randomised event graphs, and
+//   2. to act as the "optimisations disabled" arm of ablation benchmarks.
+//
+// Every record keeps the dual prepare/effect state of Section 3.3:
+//   prepare_state: 0 = NotInsertedYet, 1 = Ins, n >= 2 = deleted n-1 times
+//   ever_deleted:  the effect-version state (Ins/Del)
+
+#ifndef EGWALKER_CORE_SIMPLE_WALKER_H_
+#define EGWALKER_CORE_SIMPLE_WALKER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/walker_types.h"
+#include "graph/graph.h"
+#include "graph/topo_sort.h"
+#include "trace/trace.h"
+
+namespace egwalker {
+
+class SimpleWalker {
+ public:
+  SimpleWalker(const Graph& graph, const OpLog& ops) : graph_(graph), ops_(ops) {}
+
+  // Replays the whole graph in the given order and returns the final
+  // document text (UTF-8). Sinks, when set, receive one entry per event.
+  std::string ReplayAll(SortMode mode = SortMode::kLvOrder, ReplaySinks sinks = {});
+
+  // One internal-state record per inserted character (exposed for tests).
+  struct Item {
+    Lv id = 0;
+    Lv origin_left = kOriginStart;
+    Lv origin_right = kOriginEnd;
+    uint32_t prepare_state = 0;
+    bool ever_deleted = false;
+  };
+  const std::vector<Item>& items() const { return items_; }
+
+ private:
+  void Retreat(Lv ev);
+  void Advance(Lv ev);
+  void Apply(Lv ev, ReplaySinks& sinks);
+  size_t IndexOfItem(Lv id) const;
+  size_t IntegrateScan(const Item& item, size_t idx) const;
+  void EmitInsert(size_t idx, uint32_t codepoint, ReplaySinks& sinks);
+
+  const Graph& graph_;
+  const OpLog& ops_;
+  std::vector<Item> items_;
+  std::unordered_map<Lv, Lv> delete_target_;  // Delete event -> victim char id.
+  std::vector<uint32_t> doc_;                 // Effect document (scalar values).
+  Frontier prepare_version_;
+};
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_CORE_SIMPLE_WALKER_H_

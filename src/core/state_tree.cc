@@ -1,0 +1,723 @@
+#include "core/state_tree.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace egwalker {
+namespace {
+
+constexpr int kLeafCap = 32;  // Spans per leaf.
+constexpr int kNodeCap = 16;  // Children per internal node.
+
+}  // namespace
+
+struct StateTree::Span {
+  Lv id = 0;
+  uint64_t len = 0;
+  Lv origin_left = kOriginStart;
+  Lv origin_right = kOriginEnd;
+  uint32_t prep = 1;
+  bool ever_deleted = false;
+
+  uint64_t prep_units() const { return prep == 1 ? len : 0; }
+  uint64_t eff_units() const { return ever_deleted ? 0 : len; }
+};
+
+struct StateTree::Leaf {
+  Internal* parent = nullptr;
+  Leaf* next = nullptr;
+  int count = 0;
+  Span spans[kLeafCap];
+
+  void TotalsOf(uint64_t* prep, uint64_t* eff) const {
+    *prep = 0;
+    *eff = 0;
+    for (int i = 0; i < count; ++i) {
+      *prep += spans[i].prep_units();
+      *eff += spans[i].eff_units();
+    }
+  }
+};
+
+struct StateTree::Internal {
+  Internal* parent = nullptr;
+  bool kids_are_leaves = true;
+  int count = 0;
+  struct Child {
+    void* node = nullptr;
+    uint64_t prep = 0;
+    uint64_t eff = 0;
+  };
+  Child kids[kNodeCap];
+
+  int IndexOfChild(const void* node) const {
+    for (int i = 0; i < count; ++i) {
+      if (kids[i].node == node) {
+        return i;
+      }
+    }
+    EGW_CHECK(false && "child not found in parent");
+    return -1;
+  }
+
+  void SetChildParent(void* node, Internal* parent_value) const {
+    if (kids_are_leaves) {
+      static_cast<Leaf*>(node)->parent = parent_value;
+    } else {
+      static_cast<Internal*>(node)->parent = parent_value;
+    }
+  }
+};
+
+StateTree::StateTree() { Reset(0); }
+
+StateTree::~StateTree() {
+  if (root_ != nullptr) {
+    FreeNode(root_, root_is_leaf_);
+  }
+}
+
+void StateTree::FreeNode(void* node, bool is_leaf) {
+  if (is_leaf) {
+    delete static_cast<Leaf*>(node);
+    return;
+  }
+  Internal* in = static_cast<Internal*>(node);
+  for (int i = 0; i < in->count; ++i) {
+    FreeNode(in->kids[i].node, in->kids_are_leaves);
+  }
+  delete in;
+}
+
+void StateTree::Reset(uint64_t placeholder_len) {
+  if (root_ != nullptr) {
+    FreeNode(root_, root_is_leaf_);
+  }
+  id_index_.clear();
+  Leaf* leaf = new Leaf();
+  root_ = leaf;
+  root_is_leaf_ = true;
+  span_count_ = 0;
+  if (placeholder_len > 0) {
+    Span& s = leaf->spans[0];
+    s.id = next_placeholder_;
+    s.len = placeholder_len;
+    s.origin_left = kOriginStart;
+    s.origin_right = kOriginEnd;
+    s.prep = 1;
+    s.ever_deleted = false;
+    leaf->count = 1;
+    span_count_ = 1;
+    id_index_.emplace(s.id, IndexEntry{s.id + s.len, leaf});
+    next_placeholder_ += placeholder_len;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lookup
+// ---------------------------------------------------------------------------
+
+bool StateTree::AtEnd(const Cursor& c) const {
+  return c.leaf == nullptr || (c.idx >= c.leaf->count && c.leaf->next == nullptr);
+}
+
+StateTree::Cursor StateTree::Begin() const {
+  void* node = root_;
+  bool is_leaf = root_is_leaf_;
+  while (!is_leaf) {
+    Internal* in = static_cast<Internal*>(node);
+    node = in->kids[0].node;
+    is_leaf = in->kids_are_leaves;
+  }
+  return Cursor{static_cast<Leaf*>(node), 0, 0};
+}
+
+namespace {
+
+// Normalises an end-of-leaf cursor onto the start of the next leaf.
+StateTree::Cursor NormalizeCursor(StateTree::Cursor c) {
+  while (c.leaf != nullptr && c.idx >= c.leaf->count && c.leaf->next != nullptr) {
+    c.leaf = c.leaf->next;
+    c.idx = 0;
+    c.offset = 0;
+  }
+  return c;
+}
+
+}  // namespace
+
+StateTree::Cursor StateTree::FindPrepInsert(uint64_t pos, Lv* origin_left) const {
+  if (origin_left != nullptr) {
+    *origin_left = kOriginStart;
+  }
+  void* node = root_;
+  bool is_leaf = root_is_leaf_;
+  uint64_t remaining = pos;
+  while (!is_leaf) {
+    Internal* in = static_cast<Internal*>(node);
+    int i = 0;
+    // Land as early as possible: descend into the first child that can
+    // absorb the remaining count (including exactly). The final visible
+    // character consumed — the left origin — is always inside the child we
+    // descend into, so tracking it in the leaf scan below is sufficient.
+    while (i + 1 < in->count && in->kids[i].prep < remaining) {
+      remaining -= in->kids[i].prep;
+      ++i;
+    }
+    node = in->kids[i].node;
+    is_leaf = in->kids_are_leaves;
+  }
+  Leaf* leaf = static_cast<Leaf*>(node);
+  int i = 0;
+  for (; i < leaf->count; ++i) {
+    if (remaining == 0) {
+      return Cursor{leaf, i, 0};
+    }
+    const Span& s = leaf->spans[i];
+    uint64_t u = s.prep_units();
+    if (u > remaining) {
+      if (origin_left != nullptr) {
+        *origin_left = s.id + remaining - 1;
+      }
+      return Cursor{leaf, i, remaining};
+    }
+    if (u > 0 && origin_left != nullptr) {
+      *origin_left = s.id + s.len - 1;
+    }
+    remaining -= u;  // u == remaining lands at the start of the next span.
+  }
+  EGW_CHECK(remaining == 0);
+  return NormalizeCursor(Cursor{leaf, leaf->count, 0});
+}
+
+StateTree::Cursor StateTree::FindPrepChar(uint64_t pos) const {
+  void* node = root_;
+  bool is_leaf = root_is_leaf_;
+  uint64_t remaining = pos;
+  while (!is_leaf) {
+    Internal* in = static_cast<Internal*>(node);
+    int i = 0;
+    while (i + 1 < in->count && in->kids[i].prep <= remaining) {
+      remaining -= in->kids[i].prep;
+      ++i;
+    }
+    node = in->kids[i].node;
+    is_leaf = in->kids_are_leaves;
+  }
+  Leaf* leaf = static_cast<Leaf*>(node);
+  for (int i = 0; i < leaf->count; ++i) {
+    const Span& s = leaf->spans[i];
+    if (s.prep != 1) {
+      continue;
+    }
+    if (s.len > remaining) {
+      return Cursor{leaf, i, remaining};
+    }
+    remaining -= s.len;
+  }
+  EGW_CHECK(false && "prepare position out of range");
+  return Cursor{};
+}
+
+StateTree::Leaf* StateTree::LeafOfId(Lv id) const {
+  auto it = id_index_.upper_bound(id);
+  EGW_CHECK(it != id_index_.begin());
+  --it;
+  EGW_CHECK(id >= it->first && id < it->second.end);
+  return it->second.leaf;
+}
+
+StateTree::Cursor StateTree::FindById(Lv id) const {
+  Leaf* leaf = LeafOfId(id);
+  for (int i = 0; i < leaf->count; ++i) {
+    const Span& s = leaf->spans[i];
+    if (id >= s.id && id < s.id + s.len) {
+      return Cursor{leaf, i, id - s.id};
+    }
+  }
+  EGW_CHECK(false && "id not in indexed leaf");
+  return Cursor{};
+}
+
+StateTree::Piece StateTree::PieceAt(const Cursor& c) const {
+  EGW_CHECK(!AtEnd(c));
+  Cursor n = NormalizeCursor(c);
+  const Span& s = n.leaf->spans[n.idx];
+  Piece p;
+  p.first_id = s.id + n.offset;
+  p.len = s.len - n.offset;
+  p.eff_origin_left = (n.offset == 0) ? s.origin_left : s.id + n.offset - 1;
+  p.origin_right = s.origin_right;
+  p.prep = s.prep;
+  p.ever_deleted = s.ever_deleted;
+  return p;
+}
+
+StateTree::Cursor StateTree::NextPiece(const Cursor& c) const {
+  Cursor n = NormalizeCursor(c);
+  return NormalizeCursor(Cursor{n.leaf, n.idx + 1, 0});
+}
+
+uint64_t StateTree::SpanRemaining(const Cursor& c) const {
+  Cursor n = NormalizeCursor(c);
+  EGW_CHECK(n.idx < n.leaf->count);
+  return n.leaf->spans[n.idx].len - n.offset;
+}
+
+uint64_t StateTree::EffPrefix(const Cursor& c) const {
+  // Note: do NOT normalise — an end-of-leaf cursor and the next leaf's start
+  // are the same point, so either computes the same sum; but a given (leaf,
+  // idx, offset) must be interpreted as-is.
+  uint64_t sum = 0;
+  if (c.leaf == nullptr) {
+    return 0;
+  }
+  for (int i = 0; i < c.idx && i < c.leaf->count; ++i) {
+    sum += c.leaf->spans[i].eff_units();
+  }
+  if (c.offset > 0 && c.idx < c.leaf->count && !c.leaf->spans[c.idx].ever_deleted) {
+    sum += c.offset;
+  }
+  const void* node = c.leaf;
+  const Internal* parent = c.leaf->parent;
+  while (parent != nullptr) {
+    int ci = parent->IndexOfChild(node);
+    for (int i = 0; i < ci; ++i) {
+      sum += parent->kids[i].eff;
+    }
+    node = parent;
+    parent = parent->parent;
+  }
+  return sum;
+}
+
+uint64_t StateTree::total_prep_visible() const {
+  if (root_is_leaf_) {
+    uint64_t p, e;
+    static_cast<Leaf*>(root_)->TotalsOf(&p, &e);
+    return p;
+  }
+  const Internal* in = static_cast<Internal*>(root_);
+  uint64_t sum = 0;
+  for (int i = 0; i < in->count; ++i) {
+    sum += in->kids[i].prep;
+  }
+  return sum;
+}
+
+uint64_t StateTree::total_eff_visible() const {
+  if (root_is_leaf_) {
+    uint64_t p, e;
+    static_cast<Leaf*>(root_)->TotalsOf(&p, &e);
+    return e;
+  }
+  const Internal* in = static_cast<Internal*>(root_);
+  uint64_t sum = 0;
+  for (int i = 0; i < in->count; ++i) {
+    sum += in->kids[i].eff;
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// Mutation plumbing
+// ---------------------------------------------------------------------------
+
+void StateTree::PropagateDelta(Leaf* leaf, int64_t d_prep, int64_t d_eff) {
+  if (d_prep == 0 && d_eff == 0) {
+    return;
+  }
+  void* node = leaf;
+  Internal* parent = leaf->parent;
+  while (parent != nullptr) {
+    int ci = parent->IndexOfChild(node);
+    parent->kids[ci].prep = static_cast<uint64_t>(static_cast<int64_t>(parent->kids[ci].prep) + d_prep);
+    parent->kids[ci].eff = static_cast<uint64_t>(static_cast<int64_t>(parent->kids[ci].eff) + d_eff);
+    node = parent;
+    parent = parent->parent;
+  }
+}
+
+void StateTree::IndexAssign(Lv id_start, uint64_t len, Leaf* leaf) {
+  Lv id_end = id_start + len;
+  // Trim or split any existing entries overlapping [id_start, id_end).
+  auto it = id_index_.upper_bound(id_start);
+  if (it != id_index_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > id_start) {
+      // prev overlaps: [prev.start, prev.end) covers id_start.
+      IndexEntry old = prev->second;
+      prev->second.end = id_start;  // Keep the left part.
+      if (prev->second.end == prev->first) {
+        id_index_.erase(prev);
+      }
+      if (old.end > id_end) {
+        // The old entry also extends past our range: keep the right part.
+        id_index_.emplace(id_end, IndexEntry{old.end, old.leaf});
+      }
+    }
+  }
+  // Remove entries fully inside, trim one extending past the end.
+  it = id_index_.lower_bound(id_start);
+  while (it != id_index_.end() && it->first < id_end) {
+    if (it->second.end <= id_end) {
+      it = id_index_.erase(it);
+    } else {
+      IndexEntry tail = it->second;
+      id_index_.erase(it);
+      id_index_.emplace(id_end, tail);
+      break;
+    }
+  }
+  id_index_.emplace(id_start, IndexEntry{id_end, leaf});
+}
+
+void StateTree::InsertAtBoundary(Cursor c, const Span& span) {
+  c = NormalizeCursor(c);
+  EGW_CHECK(c.offset == 0);
+  Leaf* leaf = c.leaf;
+  int idx = c.idx;
+
+  if (leaf->count < kLeafCap) {
+    for (int i = leaf->count; i > idx; --i) {
+      leaf->spans[i] = leaf->spans[i - 1];
+    }
+    leaf->spans[idx] = span;
+    ++leaf->count;
+    ++span_count_;
+    IndexAssign(span.id, span.len, leaf);
+    PropagateDelta(leaf, static_cast<int64_t>(span.prep_units()),
+                   static_cast<int64_t>(span.eff_units()));
+    return;
+  }
+
+  // Leaf is full: split it, then insert into the correct half.
+  Leaf* right = new Leaf();
+  int half = kLeafCap / 2;
+  right->count = kLeafCap - half;
+  for (int i = 0; i < right->count; ++i) {
+    right->spans[i] = leaf->spans[half + i];
+  }
+  leaf->count = half;
+  right->next = leaf->next;
+  leaf->next = right;
+  for (int i = 0; i < right->count; ++i) {
+    IndexAssign(right->spans[i].id, right->spans[i].len, right);
+  }
+
+  // Splice `right` into the parent chain (may split internals up to root).
+  uint64_t lp, le, rp, re;
+  leaf->TotalsOf(&lp, &le);
+  right->TotalsOf(&rp, &re);
+
+  Internal* parent = leaf->parent;
+  void* new_node = right;
+  uint64_t new_prep = rp;
+  uint64_t new_eff = re;
+  void* anchor = leaf;  // Insert new_node right after anchor.
+
+  if (parent == nullptr) {
+    Internal* new_root = new Internal();
+    new_root->kids_are_leaves = true;
+    new_root->count = 2;
+    new_root->kids[0] = {leaf, lp, le};
+    new_root->kids[1] = {right, rp, re};
+    leaf->parent = new_root;
+    right->parent = new_root;
+    root_ = new_root;
+    root_is_leaf_ = false;
+  } else {
+    // Refresh the old leaf's entry (half its totals moved to `right`). No
+    // ancestor propagation is needed anywhere in the splice below: the new
+    // child is re-inserted somewhere under the same root, so every level's
+    // totals are conserved once the direct entries are updated.
+    int ci = parent->IndexOfChild(leaf);
+    parent->kids[ci].prep = lp;
+    parent->kids[ci].eff = le;
+    while (parent != nullptr) {
+      int at = parent->IndexOfChild(anchor) + 1;
+      if (parent->count < kNodeCap) {
+        for (int i = parent->count; i > at; --i) {
+          parent->kids[i] = parent->kids[i - 1];
+        }
+        parent->kids[at] = {new_node, new_prep, new_eff};
+        parent->SetChildParent(new_node, parent);
+        ++parent->count;
+        new_node = nullptr;
+        break;
+      }
+      // Split this internal node.
+      Internal* right_in = new Internal();
+      right_in->kids_are_leaves = parent->kids_are_leaves;
+      int ihalf = kNodeCap / 2;
+      right_in->count = kNodeCap - ihalf;
+      for (int i = 0; i < right_in->count; ++i) {
+        right_in->kids[i] = parent->kids[ihalf + i];
+        right_in->SetChildParent(right_in->kids[i].node, right_in);
+      }
+      parent->count = ihalf;
+      Internal* target = parent;
+      if (at > ihalf) {
+        target = right_in;
+        at -= ihalf;
+      }
+      for (int i = target->count; i > at; --i) {
+        target->kids[i] = target->kids[i - 1];
+      }
+      target->kids[at] = {new_node, new_prep, new_eff};
+      target->SetChildParent(new_node, target);
+      ++target->count;
+
+      // Prepare to insert right_in one level up.
+      uint64_t sp = 0, se2 = 0;
+      for (int i = 0; i < right_in->count; ++i) {
+        sp += right_in->kids[i].prep;
+        se2 += right_in->kids[i].eff;
+      }
+      Internal* grand = parent->parent;
+      if (grand == nullptr) {
+        Internal* new_root = new Internal();
+        new_root->kids_are_leaves = false;
+        new_root->count = 2;
+        uint64_t pp = 0, pe = 0;
+        for (int i = 0; i < parent->count; ++i) {
+          pp += parent->kids[i].prep;
+          pe += parent->kids[i].eff;
+        }
+        new_root->kids[0] = {parent, pp, pe};
+        new_root->kids[1] = {right_in, sp, se2};
+        parent->parent = new_root;
+        right_in->parent = new_root;
+        root_ = new_root;
+        root_is_leaf_ = false;
+        new_node = nullptr;
+        break;
+      }
+      // The grand entry for `parent` must shrink by what moved to right_in.
+      int pi = grand->IndexOfChild(parent);
+      grand->kids[pi].prep -= sp;
+      grand->kids[pi].eff -= se2;
+      anchor = parent;
+      new_node = right_in;
+      new_prep = sp;
+      new_eff = se2;
+      parent = grand;
+    }
+  }
+
+  // Finally insert the span itself into whichever half owns the position.
+  Leaf* target = leaf;
+  if (idx > half) {
+    target = right;
+    idx -= half;
+  } else if (idx == half) {
+    // Boundary: prefer the right leaf's start (same position).
+    target = right;
+    idx = 0;
+  }
+  for (int i = target->count; i > idx; --i) {
+    target->spans[i] = target->spans[i - 1];
+  }
+  target->spans[idx] = span;
+  ++target->count;
+  ++span_count_;
+  IndexAssign(span.id, span.len, target);
+  PropagateDelta(target, static_cast<int64_t>(span.prep_units()),
+                 static_cast<int64_t>(span.eff_units()));
+}
+
+StateTree::Cursor StateTree::SplitAt(Cursor c) {
+  c = NormalizeCursor(c);
+  if (c.offset == 0) {
+    return c;
+  }
+  Leaf* leaf = c.leaf;
+  Span& s = leaf->spans[c.idx];
+  EGW_CHECK(c.offset < s.len);
+  Span tail;
+  tail.id = s.id + c.offset;
+  tail.len = s.len - c.offset;
+  tail.origin_left = s.id + c.offset - 1;
+  tail.origin_right = s.origin_right;
+  tail.prep = s.prep;
+  tail.ever_deleted = s.ever_deleted;
+  // Shrink the head in place. Counts are unchanged overall, but the insert
+  // below adds the tail's units, so subtract them here first.
+  s.len = c.offset;
+  PropagateDelta(leaf, -static_cast<int64_t>(tail.prep_units()),
+                 -static_cast<int64_t>(tail.eff_units()));
+  InsertAtBoundary(Cursor{leaf, c.idx + 1, 0}, tail);
+  // The insert may have split the leaf; find the tail again by id.
+  return FindById(tail.id);
+}
+
+void StateTree::InsertSpan(const Cursor& c, Lv id, uint64_t len, Lv origin_left,
+                           Lv origin_right) {
+  EGW_CHECK(len > 0);
+  Cursor at = SplitAt(c);
+  Span s;
+  s.id = id;
+  s.len = len;
+  s.origin_left = origin_left;
+  s.origin_right = origin_right;
+  s.prep = 1;
+  s.ever_deleted = false;
+  InsertAtBoundary(at, s);
+}
+
+void StateTree::MarkDeleted(const Cursor& c, uint64_t count) {
+  EGW_CHECK(count > 0);
+  Cursor at = SplitAt(c);
+  EGW_CHECK(at.idx < at.leaf->count);
+  EGW_CHECK(at.leaf->spans[at.idx].len >= count);
+  if (at.leaf->spans[at.idx].len > count) {
+    Lv target_id = at.leaf->spans[at.idx].id;
+    SplitAt(Cursor{at.leaf, at.idx, count});  // May relocate the span.
+    at = FindById(target_id);
+  }
+  Span& s = at.leaf->spans[at.idx];
+  EGW_CHECK(s.len == count);
+  EGW_CHECK(s.prep == 1);
+  int64_t d_prep = -static_cast<int64_t>(s.prep_units());
+  int64_t d_eff = -static_cast<int64_t>(s.eff_units());
+  s.prep = 2;
+  s.ever_deleted = true;
+  d_prep += static_cast<int64_t>(s.prep_units());
+  d_eff += static_cast<int64_t>(s.eff_units());
+  PropagateDelta(at.leaf, d_prep, d_eff);
+}
+
+bool StateTree::MarkDeletedIdempotent(const Cursor& c, uint64_t count) {
+  EGW_CHECK(count > 0);
+  Cursor at = SplitAt(c);
+  EGW_CHECK(at.idx < at.leaf->count);
+  EGW_CHECK(at.leaf->spans[at.idx].len >= count);
+  if (at.leaf->spans[at.idx].len > count) {
+    Lv target_id = at.leaf->spans[at.idx].id;
+    SplitAt(Cursor{at.leaf, at.idx, count});  // May relocate the span.
+    at = FindById(target_id);
+  }
+  Span& s = at.leaf->spans[at.idx];
+  EGW_CHECK(s.len == count);
+  bool was_visible = !s.ever_deleted;
+  int64_t d_prep = -static_cast<int64_t>(s.prep_units());
+  int64_t d_eff = -static_cast<int64_t>(s.eff_units());
+  s.prep = 2;
+  s.ever_deleted = true;
+  d_prep += static_cast<int64_t>(s.prep_units());
+  d_eff += static_cast<int64_t>(s.eff_units());
+  PropagateDelta(at.leaf, d_prep, d_eff);
+  return was_visible;
+}
+
+void StateTree::AdjustPrep(const Cursor& c, uint64_t count, int delta) {
+  EGW_CHECK(count > 0);
+  Cursor at = SplitAt(c);
+  EGW_CHECK(at.idx < at.leaf->count);
+  EGW_CHECK(at.leaf->spans[at.idx].len >= count);
+  if (at.leaf->spans[at.idx].len > count) {
+    Lv target_id = at.leaf->spans[at.idx].id;
+    SplitAt(Cursor{at.leaf, at.idx, count});  // May relocate the span.
+    at = FindById(target_id);
+  }
+  Span& s = at.leaf->spans[at.idx];
+  EGW_CHECK(s.len == count);
+  EGW_CHECK(delta >= 0 || s.prep > 0);
+  int64_t d_prep = -static_cast<int64_t>(s.prep_units());
+  s.prep = static_cast<uint32_t>(static_cast<int64_t>(s.prep) + delta);
+  d_prep += static_cast<int64_t>(s.prep_units());
+  PropagateDelta(at.leaf, d_prep, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Invariants
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool CheckNode(const void* node, bool is_leaf, const StateTree::Internal* expected_parent,
+               uint64_t* prep, uint64_t* eff, size_t* spans);
+
+bool CheckLeafNode(const StateTree::Leaf* leaf, const StateTree::Internal* expected_parent,
+                   uint64_t* prep, uint64_t* eff, size_t* spans) {
+  if (leaf->parent != expected_parent) {
+    return false;
+  }
+  if (leaf->count < 0 || leaf->count > kLeafCap) {
+    return false;
+  }
+  leaf->TotalsOf(prep, eff);
+  *spans = static_cast<size_t>(leaf->count);
+  return true;
+}
+
+bool CheckNode(const void* node, bool is_leaf, const StateTree::Internal* expected_parent,
+               uint64_t* prep, uint64_t* eff, size_t* spans) {
+  if (is_leaf) {
+    return CheckLeafNode(static_cast<const StateTree::Leaf*>(node), expected_parent, prep, eff,
+                         spans);
+  }
+  const StateTree::Internal* in = static_cast<const StateTree::Internal*>(node);
+  if (in->parent != expected_parent || in->count < 1 || in->count > kNodeCap) {
+    return false;
+  }
+  *prep = 0;
+  *eff = 0;
+  *spans = 0;
+  for (int i = 0; i < in->count; ++i) {
+    uint64_t p, e;
+    size_t s;
+    if (!CheckNode(in->kids[i].node, in->kids_are_leaves, in, &p, &e, &s)) {
+      return false;
+    }
+    if (p != in->kids[i].prep || e != in->kids[i].eff) {
+      return false;
+    }
+    *prep += p;
+    *eff += e;
+    *spans += s;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool StateTree::CheckInvariants() const {
+  uint64_t p, e;
+  size_t s;
+  if (!CheckNode(root_, root_is_leaf_, nullptr, &p, &e, &s)) {
+    return false;
+  }
+  if (s != span_count_) {
+    return false;
+  }
+  // Every span id must resolve through the index to its own leaf.
+  const Leaf* leaf = nullptr;
+  {
+    const void* node = root_;
+    bool is_leaf = root_is_leaf_;
+    while (!is_leaf) {
+      const Internal* in = static_cast<const Internal*>(node);
+      node = in->kids[0].node;
+      is_leaf = in->kids_are_leaves;
+    }
+    leaf = static_cast<const Leaf*>(node);
+  }
+  for (; leaf != nullptr; leaf = leaf->next) {
+    for (int i = 0; i < leaf->count; ++i) {
+      const Span& span = leaf->spans[i];
+      auto it = id_index_.upper_bound(span.id);
+      if (it == id_index_.begin()) {
+        return false;
+      }
+      --it;
+      if (span.id < it->first || span.id >= it->second.end || it->second.leaf != leaf) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace egwalker

@@ -1,0 +1,151 @@
+// The optimised Eg-walker internal state (Sections 3.3-3.6).
+//
+// A sequence of run-length-encoded records, one run per span of consecutive
+// characters, stored in the leaves of a B-tree. Each record carries the
+// dual state of Section 3.3:
+//
+//   prep: 0 = NotInsertedYet, 1 = Ins, n >= 2 = deleted (n-1) times
+//         (the character's state in the *prepare* version)
+//   ever_deleted: the character's state in the *effect* version
+//
+// Internal nodes cache, per child, the number of prepare-visible and
+// effect-visible characters beneath it (the order-statistic / "ranked
+// B-tree" construction of Section 3.4), so mapping an operation's index from
+// the prepare version to a record — and a record back to an index in the
+// effect version — both cost O(log n).
+//
+// A second index maps character ids (LVs, or replica-local placeholder ids)
+// to the leaf containing their record, so retreat/advance can find a record
+// by id in O(log n); when leaves split the index is updated (Section 3.4).
+//
+// Placeholder spans (Section 3.6) stand in for the unknown document content
+// at the replay window's base version: prepare- and effect-visible, with
+// ids >= kPlaceholderBase, never consulted by the ordering rule.
+
+#ifndef EGWALKER_CORE_STATE_TREE_H_
+#define EGWALKER_CORE_STATE_TREE_H_
+
+#include <cstdint>
+#include <map>
+
+#include "core/walker_types.h"
+#include "graph/frontier.h"
+
+namespace egwalker {
+
+class StateTree {
+ public:
+  StateTree();
+  ~StateTree();
+  StateTree(const StateTree&) = delete;
+  StateTree& operator=(const StateTree&) = delete;
+
+  struct Leaf;
+  struct Internal;
+
+  // A position between characters (offset < span length, or the end cursor).
+  struct Cursor {
+    Leaf* leaf = nullptr;
+    int idx = 0;
+    uint64_t offset = 0;
+  };
+
+  // A read-only view of the run at/after a cursor, with the cursor's offset
+  // applied: `first_id` is the character the cursor points at and
+  // `eff_origin_left` is that character's left origin (the in-run chain
+  // predecessor when the cursor is mid-span).
+  struct Piece {
+    Lv first_id = 0;
+    uint64_t len = 0;
+    Lv eff_origin_left = kOriginStart;
+    Lv origin_right = kOriginEnd;
+    uint32_t prep = 0;
+    bool ever_deleted = false;
+  };
+
+  // Drops all state and installs a placeholder of `placeholder_len`
+  // characters (0 = genuinely empty, for replay-from-scratch).
+  void Reset(uint64_t placeholder_len);
+
+  // True if the cursor is past the last record.
+  bool AtEnd(const Cursor& c) const;
+  Cursor Begin() const;
+
+  // Cursor landing immediately after the pos-th prepare-visible character
+  // (not skipping any following records). For insertions. When `origin_left`
+  // is non-null it receives the id of that pos-th visible character — the
+  // YATA left origin — or kOriginStart when pos == 0.
+  Cursor FindPrepInsert(uint64_t pos, Lv* origin_left = nullptr) const;
+
+  // Cursor at the character occupying prepare-visible position pos (skips
+  // invisible records). For deletions.
+  Cursor FindPrepChar(uint64_t pos) const;
+
+  // Cursor at the character with the given id (must exist).
+  Cursor FindById(Lv id) const;
+
+  Piece PieceAt(const Cursor& c) const;
+
+  // Advances to the start of the next run (crossing leaves).
+  Cursor NextPiece(const Cursor& c) const;
+
+  // Number of characters left in the cursor's run (len - offset).
+  uint64_t SpanRemaining(const Cursor& c) const;
+
+  // Number of effect-visible characters strictly before the cursor.
+  uint64_t EffPrefix(const Cursor& c) const;
+
+  // Inserts a fresh run (prep = Ins, effect-visible) at the cursor,
+  // splitting the run there if the cursor is mid-span. Invalidates cursors.
+  void InsertSpan(const Cursor& c, Lv id, uint64_t len, Lv origin_left, Lv origin_right);
+
+  // Applies one delete event to each of `count` characters starting at the
+  // cursor: prep += 1, ever_deleted = true. The range must lie within the
+  // cursor's run. Invalidates cursors.
+  void MarkDeleted(const Cursor& c, uint64_t count);
+
+  // CRDT-style idempotent delete (used by the reference CRDT, where the
+  // prepare/effect distinction collapses): marks `count` characters deleted
+  // whatever their current state. Returns true if they were previously
+  // visible. The range must lie within the cursor's run. Invalidates
+  // cursors.
+  bool MarkDeletedIdempotent(const Cursor& c, uint64_t count);
+
+  // Retreat/advance: prep += delta for `count` characters starting at the
+  // cursor; the range must lie within the cursor's run. Invalidates cursors.
+  void AdjustPrep(const Cursor& c, uint64_t count, int delta);
+
+  // Diagnostics.
+  size_t span_count() const { return span_count_; }
+  uint64_t total_prep_visible() const;
+  uint64_t total_eff_visible() const;
+  bool CheckInvariants() const;
+
+ private:
+  struct Span;
+
+  Leaf* LeafOfId(Lv id) const;
+  void IndexAssign(Lv id_start, uint64_t len, Leaf* leaf);
+  void PropagateDelta(Leaf* leaf, int64_t d_prep, int64_t d_eff);
+  // Splits the run at `c.offset` so the cursor lands on a run boundary;
+  // returns the (possibly updated) cursor at that boundary.
+  Cursor SplitAt(Cursor c);
+  // Inserts `span` at a run boundary cursor, splitting the leaf if full.
+  void InsertAtBoundary(Cursor c, const Span& span);
+  void FreeNode(void* node, bool is_leaf);
+
+  void* root_ = nullptr;  // Leaf* or Internal*.
+  bool root_is_leaf_ = true;
+  // id -> leaf index: key is the first id of a range, value is (end, leaf).
+  struct IndexEntry {
+    Lv end;
+    Leaf* leaf;
+  };
+  std::map<Lv, IndexEntry> id_index_;
+  Lv next_placeholder_ = kPlaceholderBase;
+  size_t span_count_ = 0;
+};
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_CORE_STATE_TREE_H_

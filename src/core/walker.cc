@@ -1,0 +1,342 @@
+#include "core/walker.h"
+
+#include <algorithm>
+
+#include "crdt/yata.h"
+#include "util/assert.h"
+
+namespace egwalker {
+
+void Walker::ReplayAll(Rope& doc, const Options& opts, ReplaySinks sinks) {
+  EGW_CHECK(doc.char_size() == 0);
+  ReplayRange(doc, Frontier{}, graph_.version(), opts, sinks);
+}
+
+void Walker::ReplayRange(Rope& doc, const Frontier& from, const Frontier& to,
+                         const Options& opts, ReplaySinks sinks) {
+  MergeRange(doc, from, doc.char_size(), to, /*apply_from=*/0, opts, sinks);
+}
+
+void Walker::MergeRange(Rope& doc, const Frontier& from, uint64_t base_len, const Frontier& to,
+                        Lv apply_from, const Options& opts, ReplaySinks sinks) {
+  doc_ = &doc;
+  opts_ = opts;
+  sinks_ = sinks;
+  apply_from_ = apply_from;
+  if (apply_from_ > 0) {
+    // The catch-up stage must precede every new event; LV order guarantees
+    // that (old events always have smaller LVs).
+    opts_.sort_mode = SortMode::kLvOrder;
+  }
+  // The CRDT-op sink reports real origins for every event, which requires
+  // replaying without placeholders or the untransformed fast path.
+  EGW_CHECK(sinks_.crdt_ops == nullptr ||
+            (!opts_.enable_clearing && from.empty() && apply_from == 0));
+
+  prepare_version_ = from;
+  logical_len_ = base_len;
+  tree_.Reset(base_len);
+  delete_targets_.clear();
+  peak_spans_ = 0;
+
+  WalkPlan plan = PlanWalk(graph_, from, to, opts_.sort_mode);
+  for (const WalkStep& step : plan.steps) {
+    ProcessStep(step);
+  }
+  doc_ = nullptr;
+}
+
+void Walker::NotePeak() { peak_spans_ = std::max(peak_spans_, tree_.span_count()); }
+
+void Walker::ClearState() {
+  NotePeak();
+  tree_.Reset(logical_len_);
+  delete_targets_.clear();
+  if (sinks_.critical_points != nullptr && prepare_version_.size() == 1) {
+    sinks_.critical_points->push_back(CriticalPoint{prepare_version_[0], logical_len_});
+  }
+}
+
+void Walker::ProcessStep(const WalkStep& step) {
+  const Lv start = step.span.start;
+  const uint64_t len = step.span.size();
+
+  if (!opts_.enable_clearing) {
+    EnterSpan(start);
+    ApplyRange(start, step.span.end);
+    prepare_version_ = Frontier{step.span.end - 1};
+    return;
+  }
+
+  // Fast range: events whose before- and after-boundaries are both critical
+  // (Section 3.5's second optimisation). Criticality within a run is a
+  // prefix, so this is [0 or 1, critical_prefix).
+  const uint64_t fast_end = step.critical_prefix;
+  const uint64_t fast_begin = step.critical_before ? 0 : 1;
+
+  if (step.critical_before) {
+    // The internal state's content is fully causally behind this run:
+    // discard it (Section 3.5's first optimisation).
+    ClearState();
+  }
+
+  if (fast_end <= fast_begin) {
+    EnterSpan(start);
+    ApplyRange(start, step.span.end);
+    prepare_version_ = Frontier{step.span.end - 1};
+    return;
+  }
+
+  if (fast_begin > 0) {
+    // Apply the first event normally; the boundary after it is critical.
+    EnterSpan(start);
+    ApplyRange(start, start + fast_begin);
+  }
+  FastApplyRange(start + fast_begin, start + fast_end);
+  prepare_version_ = Frontier{start + fast_end - 1};
+  // Boundary after the fast range is critical: rebase the internal state on
+  // a placeholder reflecting the document as of this point.
+  ClearState();
+  if (fast_end < len) {
+    // The remainder chains linearly from the fast range; prepare version
+    // already matches its parents, so no retreat/advance is needed.
+    ApplyRange(start + fast_end, step.span.end);
+  }
+  prepare_version_ = Frontier{step.span.end - 1};
+}
+
+void Walker::EnterSpan(Lv first) {
+  Frontier parents = graph_.ParentsOf(first);
+  if (parents == prepare_version_) {
+    return;
+  }
+  DiffResult diff = graph_.Diff(prepare_version_, parents);
+  // Retreat events only in the old prepare version (newest-first), then
+  // advance events only in the new one. Because prepare states are plain
+  // counters, per-span processing order does not affect the result.
+  for (auto it = diff.only_a.rbegin(); it != diff.only_a.rend(); ++it) {
+    ProcessPrepSpan(*it, -1);
+  }
+  for (const LvSpan& span : diff.only_b) {
+    ProcessPrepSpan(span, +1);
+  }
+}
+
+void Walker::AdjustPrepRange(Lv id_start, uint64_t count, int delta) {
+  Lv id = id_start;
+  uint64_t left = count;
+  while (left > 0) {
+    StateTree::Cursor cursor = tree_.FindById(id);
+    uint64_t take = std::min<uint64_t>(left, tree_.SpanRemaining(cursor));
+    tree_.AdjustPrep(cursor, take, delta);
+    id += take;
+    left -= take;
+  }
+}
+
+void Walker::ProcessPrepSpan(const LvSpan& span, int delta) {
+  Lv v = span.start;
+  while (v < span.end) {
+    OpSlice slice = ops_.SliceAt(v, span.end);
+    if (slice.kind == OpKind::kInsert) {
+      // Insert events: the affected record ids are the event ids.
+      AdjustPrepRange(v, slice.count, delta);
+    } else {
+      // Delete events: look up the victims recorded when they were applied.
+      Lv ev = v;
+      uint64_t left = slice.count;
+      while (left > 0) {
+        auto it = delete_targets_.upper_bound(ev);
+        EGW_CHECK(it != delete_targets_.begin());
+        --it;
+        EGW_CHECK(ev >= it->first && ev < it->second.ev_end);
+        uint64_t offset = ev - it->first;
+        uint64_t avail = it->second.ev_end - ev;
+        uint64_t take = std::min(left, avail);
+        if (it->second.fwd) {
+          AdjustPrepRange(it->second.target + offset, take, delta);
+        } else {
+          // Victims descend: events ev..ev+take-1 delete ids
+          // (target - offset) down to (target - offset - take + 1). A state
+          // adjustment of +-1 per character is order-independent, so apply
+          // it to the ascending range.
+          Lv hi = it->second.target - offset;
+          AdjustPrepRange(hi - take + 1, take, delta);
+        }
+        ev += take;
+        left -= take;
+      }
+    }
+    v += slice.count;
+  }
+}
+
+void Walker::ApplyRange(Lv begin, Lv end) {
+  // Keep every slice entirely on one side of the apply threshold so the
+  // per-slice suppression test is uniform.
+  if (begin < apply_from_ && apply_from_ < end) {
+    ApplyRange(begin, apply_from_);
+    ApplyRange(apply_from_, end);
+    return;
+  }
+  Lv v = begin;
+  while (v < end) {
+    OpSlice slice = ops_.SliceAt(v, end);
+    if (slice.kind == OpKind::kInsert) {
+      ApplyInsertSlice(v, slice);
+    } else {
+      ApplyDeleteSlice(v, slice);
+    }
+    v += slice.count;
+  }
+  NotePeak();
+}
+
+void Walker::FastApplyRange(Lv begin, Lv end) {
+  if (begin < apply_from_ && apply_from_ < end) {
+    FastApplyRange(begin, apply_from_);
+    FastApplyRange(apply_from_, end);
+    return;
+  }
+  const bool live = begin >= apply_from_;
+  Lv v = begin;
+  while (v < end) {
+    OpSlice slice = ops_.SliceAt(v, end);
+    if (slice.kind == OpKind::kInsert) {
+      logical_len_ += slice.count;
+      if (live) {
+        doc_->InsertAt(slice.pos_start, slice.text);
+        if (sinks_.xf_ops != nullptr) {
+          XfOp xf;
+          xf.kind = OpKind::kInsert;
+          xf.pos = slice.pos_start;
+          xf.count = slice.count;
+          xf.text = std::string(slice.text);
+          sinks_.xf_ops->push_back(std::move(xf));
+        }
+      }
+    } else {
+      uint64_t pos = slice.fwd ? slice.pos_start : slice.pos_start - (slice.count - 1);
+      logical_len_ -= slice.count;
+      if (live) {
+        doc_->RemoveAt(pos, slice.count);
+        if (sinks_.xf_ops != nullptr) {
+          XfOp xf;
+          xf.kind = OpKind::kDelete;
+          xf.pos = pos;
+          xf.count = slice.count;
+          sinks_.xf_ops->push_back(std::move(xf));
+        }
+      }
+    }
+    v += slice.count;
+  }
+}
+
+StateTree::Cursor Walker::Integrate(StateTree::Cursor cursor, Lv new_id, Lv origin_left,
+                                    Lv origin_right) const {
+  return YataIntegrate(tree_, graph_, cursor, new_id, origin_left, origin_right);
+}
+
+void Walker::ApplyInsertSlice(Lv id_start, const OpSlice& slice) {
+  Lv origin_left = kOriginStart;
+  StateTree::Cursor cursor = tree_.FindPrepInsert(slice.pos_start, &origin_left);
+
+  // Right origin: the next record that exists in the prepare version.
+  Lv origin_right = kOriginEnd;
+  for (StateTree::Cursor scan = cursor; !tree_.AtEnd(scan); scan = tree_.NextPiece(scan)) {
+    StateTree::Piece piece = tree_.PieceAt(scan);
+    if (piece.prep >= 1) {
+      origin_right = piece.first_id;
+      break;
+    }
+  }
+
+  StateTree::Cursor dest = Integrate(cursor, id_start, origin_left, origin_right);
+  uint64_t eff_pos = tree_.EffPrefix(dest);
+  tree_.InsertSpan(dest, id_start, slice.count, origin_left, origin_right);
+  logical_len_ += slice.count;
+  if (id_start >= apply_from_) {
+    doc_->InsertAt(eff_pos, slice.text);
+    if (sinks_.xf_ops != nullptr) {
+      XfOp xf;
+      xf.kind = OpKind::kInsert;
+      xf.pos = eff_pos;
+      xf.count = slice.count;
+      xf.text = std::string(slice.text);
+      sinks_.xf_ops->push_back(std::move(xf));
+    }
+  }
+  if (sinks_.crdt_ops != nullptr) {
+    CrdtOp cop;
+    cop.kind = OpKind::kInsert;
+    cop.id = id_start;
+    cop.count = slice.count;
+    cop.origin_left = origin_left;
+    cop.origin_right = origin_right;
+    cop.text = std::string(slice.text);
+    sinks_.crdt_ops->push_back(std::move(cop));
+  }
+}
+
+void Walker::ApplyDeleteSlice(Lv ev_start, const OpSlice& slice) {
+  Lv ev = ev_start;
+  uint64_t left = slice.count;
+  uint64_t pos = slice.pos_start;
+  while (left > 0) {
+    StateTree::Cursor cursor = tree_.FindPrepChar(pos);
+    StateTree::Piece piece = tree_.PieceAt(cursor);
+    uint64_t take;
+    Lv first_victim;
+    StateTree::Cursor range_start = cursor;
+    if (slice.fwd) {
+      take = std::min(left, piece.len);
+      first_victim = piece.first_id;
+    } else {
+      // Backspace: this event deletes the char at `pos`, the next deletes
+      // the one before it, and so on — the run extends backwards through
+      // the record span.
+      uint64_t avail = cursor.offset + 1;
+      take = std::min(left, avail);
+      range_start = StateTree::Cursor{cursor.leaf, cursor.idx, cursor.offset - (take - 1)};
+      first_victim = piece.first_id;  // Highest id; victims descend from it.
+    }
+    StateTree::Piece range_piece = tree_.PieceAt(range_start);
+    bool noop = range_piece.ever_deleted;
+    uint64_t eff_pos = tree_.EffPrefix(range_start);
+    tree_.MarkDeleted(range_start, take);
+    if (!noop) {
+      logical_len_ -= take;
+    }
+    if (ev >= apply_from_) {
+      if (!noop) {
+        doc_->RemoveAt(eff_pos, take);
+      }
+      if (sinks_.xf_ops != nullptr) {
+        XfOp xf;
+        xf.kind = OpKind::kDelete;
+        xf.pos = eff_pos;
+        xf.count = take;
+        xf.noop = noop;
+        sinks_.xf_ops->push_back(std::move(xf));
+      }
+    }
+    delete_targets_[ev] = TargetRun{ev + take, first_victim, slice.fwd};
+    if (sinks_.crdt_ops != nullptr) {
+      CrdtOp cop;
+      cop.kind = OpKind::kDelete;
+      cop.id = ev;
+      cop.count = take;
+      cop.target = first_victim;
+      cop.target_fwd = slice.fwd;
+      sinks_.crdt_ops->push_back(std::move(cop));
+    }
+    ev += take;
+    left -= take;
+    if (!slice.fwd) {
+      pos -= take;
+    }
+  }
+}
+
+}  // namespace egwalker

@@ -1,0 +1,110 @@
+// The optimised Eg-walker (Section 3).
+//
+// Replays a window of the event graph in topologically sorted order,
+// maintaining the B-tree internal state of state_tree.h. Before each run of
+// events, the prepare version is moved to the run's parents by retreating
+// and advancing the events in the version diff (Section 3.2); each event is
+// then applied, producing a transformed operation against the effect
+// document (Section 3.4).
+//
+// With clearing enabled (the default), the internal state is discarded at
+// critical versions and replaced by a placeholder (Sections 3.5-3.6), and
+// events whose surrounding boundaries are both critical skip the internal
+// state entirely — the transformed operation is the original operation.
+// Sequential editing histories therefore replay as fast as simply applying
+// the operations to a rope.
+//
+// All operations are processed run-at-a-time: a typed run of n characters
+// costs one tree lookup and one integration scan, not n.
+
+#ifndef EGWALKER_CORE_WALKER_H_
+#define EGWALKER_CORE_WALKER_H_
+
+#include <map>
+
+#include "core/state_tree.h"
+#include "core/walker_types.h"
+#include "graph/graph.h"
+#include "graph/topo_sort.h"
+#include "rope/rope.h"
+#include "trace/trace.h"
+
+namespace egwalker {
+
+struct WalkerOptions {
+  SortMode sort_mode = SortMode::kHeuristic;
+  // Critical-version state clearing + untransformed fast path (the
+  // Section 3.5 optimisations; Figure 9 toggles this).
+  bool enable_clearing = true;
+};
+
+class Walker {
+ public:
+  using Options = WalkerOptions;
+
+  Walker(const Graph& graph, const OpLog& ops) : graph_(graph), ops_(ops) {}
+
+  // Replays the whole graph into `doc`, which must be empty.
+  void ReplayAll(Rope& doc, const Options& opts = {}, ReplaySinks sinks = {});
+
+  // Replays Events(to) - Events(from) into `doc`, which must hold the
+  // document at version `from`. `from` must be {} or a (singleton) critical
+  // version; see Section 3.6.
+  void ReplayRange(Rope& doc, const Frontier& from, const Frontier& to,
+                   const Options& opts = {}, ReplaySinks sinks = {});
+
+  // Incremental merge (Section 3.6): `doc` currently holds the document at
+  // some version V that already reflects every event with LV < apply_from.
+  // Rebuilds internal state by replaying Events(to) - Events(from) — where
+  // `from` must be a critical version dominated by the whole window and
+  // `base_len` the document length at `from` — but only events with
+  // LV >= apply_from emit transformed operations and touch `doc`. Events
+  // below the threshold are the catch-up stage: they update internal state
+  // silently, since the document already contains their effects.
+  void MergeRange(Rope& doc, const Frontier& from, uint64_t base_len, const Frontier& to,
+                  Lv apply_from, const Options& opts = {}, ReplaySinks sinks = {});
+
+  // Diagnostics: high-water mark of internal-state record spans across the
+  // last replay (proxy for peak internal-state size).
+  size_t peak_span_count() const { return peak_spans_; }
+  const StateTree& tree() const { return tree_; }
+
+ private:
+  struct TargetRun {
+    Lv ev_end = 0;     // Delete events [key, ev_end).
+    Lv target = 0;     // Victim id of the first event.
+    bool fwd = true;   // Victim ids ascend (true) or descend (false).
+  };
+
+  void ProcessStep(const WalkStep& step);
+  void EnterSpan(Lv first);
+  void AdjustPrepRange(Lv id_start, uint64_t count, int delta);
+  void ProcessPrepSpan(const LvSpan& span, int delta);
+  void ApplyRange(Lv begin, Lv end);
+  void FastApplyRange(Lv begin, Lv end);
+  void ApplyInsertSlice(Lv id_start, const OpSlice& slice);
+  void ApplyDeleteSlice(Lv ev_start, const OpSlice& slice);
+  StateTree::Cursor Integrate(StateTree::Cursor cursor, Lv new_id, Lv origin_left,
+                              Lv origin_right) const;
+  void ClearState();
+  void NotePeak();
+
+  const Graph& graph_;
+  const OpLog& ops_;
+  StateTree tree_;
+  std::map<Lv, TargetRun> delete_targets_;
+  Frontier prepare_version_;
+  Rope* doc_ = nullptr;
+  Options opts_;
+  ReplaySinks sinks_;
+  size_t peak_spans_ = 0;
+  // Document length at the current replay point. Differs from doc_ length
+  // only during MergeRange's catch-up stage.
+  uint64_t logical_len_ = 0;
+  // Events below this LV update internal state only (catch-up stage).
+  Lv apply_from_ = 0;
+};
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_CORE_WALKER_H_

@@ -1,0 +1,88 @@
+// Shared types for event-graph replay.
+//
+// Replay turns the event graph into a topologically-sorted stream of
+// *transformed* operations (Section 3): each original index-based operation
+// is re-expressed against the document state produced by all previously
+// applied events, so applying the stream to an empty document reproduces
+// replay(G). A delete whose character was already removed by a concurrent
+// delete transforms into a no-op.
+//
+// Replay can also emit the ID-based operations a traditional CRDT would
+// exchange (Section 2.5): each insert annotated with its (origin_left,
+// origin_right) anchors and each delete with the id of its victim. The CRDT
+// baselines consume this stream.
+
+#ifndef EGWALKER_CORE_WALKER_TYPES_H_
+#define EGWALKER_CORE_WALKER_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graph/frontier.h"
+#include "trace/trace.h"
+
+namespace egwalker {
+
+// Sentinel "ids" for YATA origins at the document edges.
+inline constexpr Lv kOriginStart = std::numeric_limits<Lv>::max() - 1;
+inline constexpr Lv kOriginEnd = std::numeric_limits<Lv>::max() - 2;
+
+// Ids at or above this base are replica-local placeholder ids: characters
+// that were inserted before the replay window's base version (Section 3.6).
+// They are never compared by the CRDT ordering rule and never leave the
+// process.
+inline constexpr Lv kPlaceholderBase = Lv{1} << 62;
+
+// A transformed operation run, expressed against the effect document.
+// Applying the stream of XfOps in order to an empty document reproduces the
+// replay result. An insert run inserts `text` at `pos`; a delete run removes
+// the range [pos, pos + count) unless it is a no-op (the characters were
+// already removed by a concurrent delete).
+struct XfOp {
+  OpKind kind = OpKind::kInsert;
+  uint64_t pos = 0;
+  uint64_t count = 0;
+  bool noop = false;
+  std::string text;  // UTF-8 content for inserts; count scalar values.
+};
+
+// A run of ID-based operations, as a traditional CRDT would receive them.
+// Insert runs: character ids id..id+count-1; the first character's origins
+// are (origin_left, origin_right), each later character chains behind its
+// predecessor (origin_left = previous id, same origin_right). Delete runs:
+// event ids id..id+count-1 removing characters target, target±1, ... in the
+// direction given by target_fwd.
+struct CrdtOp {
+  OpKind kind = OpKind::kInsert;
+  Lv id = 0;
+  uint64_t count = 0;
+  Lv origin_left = kOriginStart;
+  Lv origin_right = kOriginEnd;
+  Lv target = 0;
+  bool target_fwd = true;
+  std::string text;  // UTF-8 content for inserts.
+};
+
+// A singleton critical version encountered during replay, together with the
+// document length at that version (the placeholder length a future partial
+// replay starting there would need).
+struct CriticalPoint {
+  Lv lv = 0;
+  uint64_t doc_len = 0;
+};
+
+// Optional output hooks for a replay.
+struct ReplaySinks {
+  std::vector<XfOp>* xf_ops = nullptr;
+  std::vector<CrdtOp>* crdt_ops = nullptr;
+  // Receives each singleton critical version at which the walker cleared
+  // its internal state. Doc caches these to seed future partial replays
+  // (Section 3.5/3.6).
+  std::vector<CriticalPoint>* critical_points = nullptr;
+};
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_CORE_WALKER_TYPES_H_

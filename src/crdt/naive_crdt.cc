@@ -1,0 +1,105 @@
+#include "crdt/naive_crdt.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "rope/utf8.h"
+#include "util/assert.h"
+
+namespace egwalker {
+
+NaiveCrdt::~NaiveCrdt() {
+  Item* it = head_;
+  while (it != nullptr) {
+    Item* next = it->next;
+    delete it;
+    it = next;
+  }
+}
+
+NaiveCrdt::Item* NaiveCrdt::ItemOf(Lv id) const {
+  auto it = items_.find(id);
+  EGW_CHECK(it != items_.end());
+  return it->second;
+}
+
+void NaiveCrdt::IntegrateChar(Lv id, Lv origin_left, Lv origin_right, uint32_t codepoint) {
+  Item* item = new Item();
+  item->id = id;
+  item->origin_left = origin_left;
+  item->origin_right = origin_right;
+  item->codepoint = codepoint;
+  items_.emplace(id, item);
+
+  Item* left = (origin_left == kOriginStart) ? nullptr : ItemOf(origin_left);
+  Item* right_bound = (origin_right == kOriginEnd) ? nullptr : ItemOf(origin_right);
+
+  auto contains = [](const std::vector<Lv>& v, Lv x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+  };
+  std::vector<Lv> visited;
+  std::vector<Lv> conflicting;
+  Item* dest_left = left;
+  for (Item* o = (left != nullptr) ? left->next : head_; o != nullptr && o != right_bound;
+       o = o->next) {
+    visited.push_back(o->id);
+    conflicting.push_back(o->id);
+    bool move = false;
+    if (o->origin_left == origin_left) {
+      if (graph_.CompareRaw(o->id, id) < 0) {
+        move = true;
+      } else if (o->origin_right == origin_right) {
+        break;
+      }
+    } else if (o->origin_left != kOriginStart && contains(visited, o->origin_left)) {
+      if (!contains(conflicting, o->origin_left)) {
+        move = true;
+      }
+    } else {
+      break;
+    }
+    if (move) {
+      dest_left = o;
+      conflicting.clear();
+    }
+  }
+
+  if (dest_left == nullptr) {
+    item->next = head_;
+    head_ = item;
+  } else {
+    item->next = dest_left->next;
+    dest_left->next = item;
+  }
+}
+
+void NaiveCrdt::Apply(const CrdtOp& op) {
+  if (op.kind == OpKind::kInsert) {
+    Lv oL = op.origin_left;
+    size_t byte = 0;
+    for (uint64_t i = 0; i < op.count; ++i) {
+      size_t len;
+      uint32_t cp = Utf8DecodeAt(op.text, byte, &len);
+      byte += len;
+      IntegrateChar(op.id + i, oL, op.origin_right, cp);
+      oL = op.id + i;  // Later characters chain behind their predecessor.
+    }
+  } else {
+    for (uint64_t i = 0; i < op.count; ++i) {
+      Lv victim = op.target_fwd ? op.target + i : op.target - i;
+      ItemOf(victim)->deleted = true;
+    }
+  }
+}
+
+std::string NaiveCrdt::ToText() const {
+  std::string out;
+  for (const Item* it = head_; it != nullptr; it = it->next) {
+    if (!it->deleted) {
+      Utf8Append(out, it->codepoint);
+    }
+  }
+  return out;
+}
+
+}  // namespace egwalker

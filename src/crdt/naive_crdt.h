@@ -1,0 +1,62 @@
+// The naive CRDT baseline: one heap-allocated item per character.
+//
+// This models the Automerge/Yjs class of implementations in the paper's
+// evaluation: algorithmically fine (the same YATA rule, integration scans
+// only over concurrent items) but with per-character records, pointer
+// chasing, and an allocation per insertion instead of run-length-encoded
+// spans in a B-tree. Its memory footprint and constant factors reproduce
+// the gap between those libraries and the reference CRDT in Figures 8/10;
+// see DESIGN.md §3 (Substitutions) for exactly what this does and does not
+// model.
+//
+// The document is materialised only on demand (ToText); like the other
+// baselines it consumes the ID-based CrdtOp stream in causal order.
+
+#ifndef EGWALKER_CRDT_NAIVE_CRDT_H_
+#define EGWALKER_CRDT_NAIVE_CRDT_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/walker_types.h"
+#include "graph/graph.h"
+
+namespace egwalker {
+
+class NaiveCrdt {
+ public:
+  explicit NaiveCrdt(const Graph& graph) : graph_(graph) {}
+  ~NaiveCrdt();
+  NaiveCrdt(const NaiveCrdt&) = delete;
+  NaiveCrdt& operator=(const NaiveCrdt&) = delete;
+
+  // Integrates one op run (causal order).
+  void Apply(const CrdtOp& op);
+
+  // Walks the item list and returns the visible document text.
+  std::string ToText() const;
+
+  size_t item_count() const { return items_.size(); }
+
+ private:
+  struct Item {
+    Lv id = 0;
+    Lv origin_left = kOriginStart;
+    Lv origin_right = kOriginEnd;
+    uint32_t codepoint = 0;
+    bool deleted = false;
+    Item* next = nullptr;
+  };
+
+  Item* ItemOf(Lv id) const;
+  void IntegrateChar(Lv id, Lv origin_left, Lv origin_right, uint32_t codepoint);
+
+  const Graph& graph_;
+  Item* head_ = nullptr;
+  std::unordered_map<Lv, Item*> items_;
+};
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_CRDT_NAIVE_CRDT_H_

@@ -1,0 +1,50 @@
+#include "crdt/ref_crdt.h"
+
+#include <algorithm>
+
+#include "crdt/yata.h"
+#include "util/assert.h"
+
+namespace egwalker {
+namespace {
+
+// Cursor one character past `c` (which must point at a character).
+StateTree::Cursor AfterChar(const StateTree& tree, StateTree::Cursor c) {
+  if (tree.SpanRemaining(c) > 1) {
+    return StateTree::Cursor{c.leaf, c.idx, c.offset + 1};
+  }
+  return tree.NextPiece(c);
+}
+
+}  // namespace
+
+void RefCrdt::Apply(const CrdtOp& op, Rope& doc) {
+  if (op.kind == OpKind::kInsert) {
+    StateTree::Cursor cursor =
+        (op.origin_left == kOriginStart) ? tree_.Begin()
+                                         : AfterChar(tree_, tree_.FindById(op.origin_left));
+    StateTree::Cursor dest =
+        YataIntegrate(tree_, graph_, cursor, op.id, op.origin_left, op.origin_right);
+    uint64_t eff_pos = tree_.EffPrefix(dest);
+    tree_.InsertSpan(dest, op.id, op.count, op.origin_left, op.origin_right);
+    doc.InsertAt(eff_pos, op.text);
+    return;
+  }
+  // Delete run: victims are op.target, op.target +- 1, ... Process in
+  // ascending-id chunks (the per-character effect is direction-agnostic).
+  Lv lo = op.target_fwd ? op.target : op.target - (op.count - 1);
+  uint64_t left = op.count;
+  Lv id = lo;
+  while (left > 0) {
+    StateTree::Cursor cursor = tree_.FindById(id);
+    uint64_t take = std::min<uint64_t>(left, tree_.SpanRemaining(cursor));
+    uint64_t eff_pos = tree_.EffPrefix(cursor);
+    if (tree_.MarkDeletedIdempotent(cursor, take)) {
+      doc.RemoveAt(eff_pos, take);
+    }
+    id += take;
+    left -= take;
+  }
+}
+
+}  // namespace egwalker

@@ -1,0 +1,51 @@
+// The reference CRDT baseline ("dt-crdt" in the paper's evaluation).
+//
+// A traditional list CRDT: every replica permanently stores one record per
+// inserted character — id, YATA origins, deleted flag — and integrates
+// ID-based operations received in causal order. Unlike Eg-walker it never
+// discards this state: it is what must be loaded into memory to edit the
+// document and what is persisted to disk, which is exactly the overhead the
+// paper measures in Figures 8 and 10.
+//
+// To make the comparison like-for-like (Section 4.2), the record sequence
+// reuses the same run-length-encoded order-statistic B-tree as the
+// eg-walker core (with the prepare state collapsed onto the effect state)
+// and the same YATA integration rule.
+//
+// Input is the CrdtOp stream produced by a Walker replay with a crdt_ops
+// sink — the ID-based form of the trace, i.e. what this CRDT would have
+// received over the network (Section 2.5). Producing that stream is
+// untimed preprocessing in the benchmarks.
+
+#ifndef EGWALKER_CRDT_REF_CRDT_H_
+#define EGWALKER_CRDT_REF_CRDT_H_
+
+#include <string>
+
+#include "core/state_tree.h"
+#include "core/walker_types.h"
+#include "graph/graph.h"
+#include "rope/rope.h"
+
+namespace egwalker {
+
+class RefCrdt {
+ public:
+  explicit RefCrdt(const Graph& graph) : graph_(graph) { tree_.Reset(0); }
+
+  // Integrates one op run (ops must arrive in causal order) and applies the
+  // resulting visible change to `doc`.
+  void Apply(const CrdtOp& op, Rope& doc);
+
+  // Diagnostics: number of record runs held (the CRDT's permanent state).
+  size_t record_spans() const { return tree_.span_count(); }
+  const StateTree& tree() const { return tree_; }
+
+ private:
+  const Graph& graph_;
+  StateTree tree_;
+};
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_CRDT_REF_CRDT_H_

@@ -1,0 +1,77 @@
+#include "crdt/yata.h"
+
+#include <vector>
+
+namespace egwalker {
+namespace {
+
+// A tiny set of id ranges with linear-scan membership. Integration scans
+// only cover the items between two origins — the concurrency window — so
+// these stay very small in practice.
+class RangeSet {
+ public:
+  void Add(Lv start, uint64_t len) { ranges_.push_back({start, start + len}); }
+  bool Contains(Lv id) const {
+    for (const auto& r : ranges_) {
+      if (id >= r.start && id < r.end) {
+        return true;
+      }
+    }
+    return false;
+  }
+  void Clear() { ranges_.clear(); }
+
+ private:
+  struct Range {
+    Lv start;
+    Lv end;
+  };
+  std::vector<Range> ranges_;
+};
+
+}  // namespace
+
+StateTree::Cursor YataIntegrate(const StateTree& tree, const Graph& graph,
+                                StateTree::Cursor cursor, Lv new_id, Lv origin_left,
+                                Lv origin_right) {
+  if (tree.AtEnd(cursor)) {
+    return cursor;
+  }
+  RangeSet visited;
+  RangeSet conflicting;
+  StateTree::Cursor dest = cursor;
+  StateTree::Cursor scan = cursor;
+  while (!tree.AtEnd(scan)) {
+    StateTree::Piece piece = tree.PieceAt(scan);
+    if (piece.first_id == origin_right) {
+      break;  // Reached the right anchor.
+    }
+    visited.Add(piece.first_id, piece.len);
+    conflicting.Add(piece.first_id, piece.len);
+    bool move_dest = false;
+    if (piece.eff_origin_left == origin_left) {
+      // A direct sibling: same left origin. Order by (agent, seq).
+      if (graph.CompareRaw(piece.first_id, new_id) < 0) {
+        move_dest = true;
+      } else if (piece.origin_right == origin_right) {
+        break;  // Same origins, larger id: the new item goes before it.
+      }
+    } else if (piece.eff_origin_left != kOriginStart && visited.Contains(piece.eff_origin_left)) {
+      // The candidate hangs off something inside the scan range; it belongs
+      // to whichever sibling subtree we are currently walking through.
+      if (!conflicting.Contains(piece.eff_origin_left)) {
+        move_dest = true;
+      }
+    } else {
+      break;  // The candidate's origin precedes ours: we stay before it.
+    }
+    scan = tree.NextPiece(scan);
+    if (move_dest) {
+      dest = scan;
+      conflicting.Clear();
+    }
+  }
+  return dest;
+}
+
+}  // namespace egwalker

@@ -1,0 +1,34 @@
+// The YATA concurrent-insertion ordering rule (Section 3.3).
+//
+// When two replicas insert at the same position concurrently, every replica
+// must order the insertions identically. We use the Yjs variant of YATA:
+// each character carries (origin_left, origin_right) anchors captured at
+// generation time; integration scans the items between the anchors and
+// places the new item deterministically, breaking ties by (agent, seq).
+//
+// The same rule is used by the eg-walker internal state (where the scanned
+// candidates are exactly the concurrent, not-inserted-yet records) and by
+// the reference CRDT (where the scan happens against the full persistent
+// record sequence). Both operate on StateTree, so the scan is shared here.
+//
+// The scan works run-at-a-time: a candidate run behaves atomically (its
+// chained items follow their head), so runs are never split by integration.
+
+#ifndef EGWALKER_CRDT_YATA_H_
+#define EGWALKER_CRDT_YATA_H_
+
+#include "core/state_tree.h"
+#include "graph/graph.h"
+
+namespace egwalker {
+
+// Returns the cursor at which a new item (or run) with the given id and
+// origins must be inserted, given `cursor` pointing immediately after the
+// item `origin_left` (or at the scan start for kOriginStart).
+StateTree::Cursor YataIntegrate(const StateTree& tree, const Graph& graph,
+                                StateTree::Cursor cursor, Lv new_id, Lv origin_left,
+                                Lv origin_right);
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_CRDT_YATA_H_

@@ -1,0 +1,487 @@
+#include "encoding/columnar.h"
+
+#include "core/walker.h"
+#include "lz4/lz4.h"
+#include "rope/rope.h"
+#include "rope/utf8.h"
+#include "util/assert.h"
+#include "util/varint.h"
+
+namespace egwalker {
+namespace {
+
+constexpr char kMagic[4] = {'E', 'G', 'W', 'K'};
+constexpr uint8_t kFormatVersion = 1;
+
+constexpr uint8_t kFlagContentComplete = 1 << 0;
+constexpr uint8_t kFlagCompressed = 1 << 1;
+constexpr uint8_t kFlagCachedDoc = 1 << 2;
+
+void AppendLenPrefixed(std::string& out, const std::string& column) {
+  AppendVarint(out, column.size());
+  out += column;
+}
+
+}  // namespace
+
+std::vector<LvSpan> ComputeSurvivingChars(const Graph& graph, const OpLog& ops) {
+  // Replay with clearing disabled so the final internal state covers every
+  // character, then collect the runs that were never deleted.
+  Walker walker(graph, ops);
+  Rope doc;
+  Walker::Options opts;
+  opts.enable_clearing = false;
+  walker.ReplayAll(doc, opts);
+  std::vector<LvSpan> out;
+  const StateTree& tree = walker.tree();
+  for (StateTree::Cursor c = tree.Begin(); !tree.AtEnd(c); c = tree.NextPiece(c)) {
+    StateTree::Piece piece = tree.PieceAt(c);
+    if (piece.ever_deleted || piece.first_id >= kPlaceholderBase) {
+      continue;
+    }
+    if (!out.empty() && out.back().end == piece.first_id) {
+      out.back().end += piece.len;
+    } else {
+      out.push_back({piece.first_id, piece.first_id + piece.len});
+    }
+  }
+  // Record ids are insert-event LVs but appear in document order; sort into
+  // LV order for the encoder's sequential scan.
+  std::sort(out.begin(), out.end(),
+            [](const LvSpan& a, const LvSpan& b) { return a.start < b.start; });
+  std::vector<LvSpan> merged;
+  for (const LvSpan& s : out) {
+    if (!merged.empty() && merged.back().end >= s.start) {
+      merged.back().end = std::max(merged.back().end, s.end);
+    } else {
+      merged.push_back(s);
+    }
+  }
+  return merged;
+}
+
+std::string EncodeTrace(const Trace& trace, const SaveOptions& options,
+                        std::string_view final_doc, const std::vector<LvSpan>* surviving) {
+  EGW_CHECK(options.include_deleted_content || surviving != nullptr);
+
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  out.push_back(static_cast<char>(kFormatVersion));
+  uint8_t flags = 0;
+  if (options.include_deleted_content) {
+    flags |= kFlagContentComplete;
+  }
+  if (options.compress_content) {
+    flags |= kFlagCompressed;
+  }
+  if (options.cache_final_doc) {
+    flags |= kFlagCachedDoc;
+  }
+  out.push_back(static_cast<char>(flags));
+  AppendVarint(out, trace.graph.size());
+
+  // Agent name table.
+  AppendVarint(out, trace.graph.agent_count());
+  for (size_t i = 0; i < trace.graph.agent_count(); ++i) {
+    const std::string& name = trace.graph.AgentName(static_cast<AgentId>(i));
+    AppendVarint(out, name.size());
+    out += name;
+  }
+
+  // Column 1: operations (type, direction, start position, run length).
+  // Start positions are delta-coded against the cursor position implied by
+  // the previous run — consecutive typing bursts usually cost one byte.
+  std::string ops_col;
+  {
+    int64_t cursor = 0;
+    for (const OpRun& run : trace.ops.runs()) {
+      uint64_t tag = (run.kind == OpKind::kDelete ? 1 : 0) | (run.fwd ? 2 : 0);
+      AppendVarint(ops_col, (run.span.size() << 2) | tag);
+      AppendVarintSigned(ops_col, static_cast<int64_t>(run.pos) - cursor);
+      if (run.kind == OpKind::kInsert) {
+        cursor = static_cast<int64_t>(run.pos + run.span.size());
+      } else if (run.fwd) {
+        cursor = static_cast<int64_t>(run.pos);
+      } else {
+        cursor = static_cast<int64_t>(run.pos - (run.span.size() - 1));
+      }
+    }
+  }
+  AppendLenPrefixed(out, ops_col);
+
+  // Column 2: parents. One record per graph run; parents are encoded as
+  // positive deltas below the run's first event.
+  std::string parents_col;
+  for (const GraphEntry& e : trace.graph.entries()) {
+    AppendVarint(parents_col, e.span.size());
+    AppendVarint(parents_col, e.parents.size());
+    for (Lv p : e.parents) {
+      AppendVarint(parents_col, e.span.start - p);
+    }
+  }
+  AppendLenPrefixed(out, parents_col);
+
+  // Column 3: agent assignment runs.
+  std::string agents_col;
+  for (const AgentSpan& s : trace.graph.agent_spans()) {
+    AppendVarint(agents_col, s.agent);
+    AppendVarint(agents_col, s.span.size());
+    AppendVarint(agents_col, s.seq_start);
+  }
+  AppendLenPrefixed(out, agents_col);
+
+  // Column 4 (optional): survival spans, when deleted content is omitted.
+  if (!options.include_deleted_content) {
+    std::string survival_col;
+    AppendVarint(survival_col, surviving->size());
+    Lv prev = 0;
+    for (const LvSpan& s : *surviving) {
+      AppendVarint(survival_col, s.start - prev);
+      AppendVarint(survival_col, s.size());
+      prev = s.end;
+    }
+    AppendLenPrefixed(out, survival_col);
+  }
+
+  // Column 5: inserted content, in event order.
+  std::string content;
+  {
+    size_t survive_idx = 0;
+    for (const OpRun& run : trace.ops.runs()) {
+      if (run.kind != OpKind::kInsert) {
+        continue;
+      }
+      if (options.include_deleted_content) {
+        content += run.text;
+        continue;
+      }
+      // Keep only the bytes of surviving characters.
+      Lv id = run.span.start;
+      size_t byte = 0;
+      while (id < run.span.end) {
+        while (survive_idx < surviving->size() && (*surviving)[survive_idx].end <= id) {
+          ++survive_idx;
+        }
+        bool alive = survive_idx < surviving->size() && (*surviving)[survive_idx].contains(id);
+        Lv chunk_end = run.span.end;
+        if (survive_idx < surviving->size()) {
+          chunk_end = alive ? std::min(chunk_end, (*surviving)[survive_idx].end)
+                            : std::min(chunk_end, (*surviving)[survive_idx].start);
+          if (chunk_end <= id) {
+            chunk_end = run.span.end;  // Past the last survival span.
+          }
+        }
+        size_t end_byte = Utf8ByteOfChar(std::string_view(run.text).substr(byte),
+                                         chunk_end - id) +
+                          byte;
+        if (alive) {
+          content.append(run.text, byte, end_byte - byte);
+        }
+        byte = end_byte;
+        id = chunk_end;
+      }
+    }
+  }
+  AppendVarint(out, content.size());
+  if (options.compress_content) {
+    std::string compressed = lz4::Compress(content);
+    AppendVarint(out, compressed.size());
+    out += compressed;
+  } else {
+    out += content;
+  }
+
+  // Column 6 (optional): cached final document.
+  if (options.cache_final_doc) {
+    AppendVarint(out, final_doc.size());
+    out += final_doc;
+  }
+  return out;
+}
+
+std::optional<DecodeResult> DecodeTrace(std::string_view bytes, std::string* error) {
+  auto fail = [&](const char* msg) -> std::optional<DecodeResult> {
+    if (error != nullptr) {
+      *error = msg;
+    }
+    return std::nullopt;
+  };
+
+  ByteReader reader(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  std::string magic;
+  if (!reader.ReadBytes(4, magic) || magic != std::string(kMagic, 4)) {
+    return fail("bad magic");
+  }
+  auto version = reader.ReadByte();
+  if (!version || *version != kFormatVersion) {
+    return fail("unsupported version");
+  }
+  auto flags = reader.ReadByte();
+  if (!flags) {
+    return fail("truncated flags");
+  }
+  bool content_complete = (*flags & kFlagContentComplete) != 0;
+  bool compressed = (*flags & kFlagCompressed) != 0;
+  bool cached_doc = (*flags & kFlagCachedDoc) != 0;
+  auto event_count = reader.ReadVarint();
+  if (!event_count) {
+    return fail("truncated event count");
+  }
+
+  DecodeResult result;
+  result.content_complete = content_complete;
+  Trace& trace = result.trace;
+
+  auto agent_count = reader.ReadVarint();
+  if (!agent_count || *agent_count > 1u << 24) {
+    return fail("bad agent count");
+  }
+  std::vector<AgentId> agents;
+  for (uint64_t i = 0; i < *agent_count; ++i) {
+    auto len = reader.ReadVarint();
+    std::string name;
+    if (!len || !reader.ReadBytes(*len, name)) {
+      return fail("bad agent name");
+    }
+    agents.push_back(trace.graph.GetOrCreateAgent(name));
+  }
+
+  auto read_column = [&](std::string& col) {
+    auto len = reader.ReadVarint();
+    return len && reader.ReadBytes(*len, col);
+  };
+  std::string ops_col, parents_col, agents_col, survival_col;
+  if (!read_column(ops_col) || !read_column(parents_col) || !read_column(agents_col)) {
+    return fail("truncated columns");
+  }
+  std::vector<LvSpan> surviving;
+  if (!content_complete) {
+    if (!read_column(survival_col)) {
+      return fail("truncated survival column");
+    }
+    ByteReader sr(survival_col);
+    auto count = sr.ReadVarint();
+    if (!count) {
+      return fail("bad survival column");
+    }
+    Lv prev = 0;
+    for (uint64_t i = 0; i < *count; ++i) {
+      auto gap = sr.ReadVarint();
+      auto len = sr.ReadVarint();
+      if (!gap || !len) {
+        return fail("bad survival span");
+      }
+      Lv start = prev + *gap;
+      surviving.push_back({start, start + *len});
+      prev = start + *len;
+    }
+  }
+
+  auto raw_content_len = reader.ReadVarint();
+  if (!raw_content_len) {
+    return fail("truncated content length");
+  }
+  std::string content;
+  if (compressed) {
+    auto comp_len = reader.ReadVarint();
+    std::string comp;
+    if (!comp_len || !reader.ReadBytes(*comp_len, comp)) {
+      return fail("truncated compressed content");
+    }
+    auto decompressed = lz4::Decompress(comp, *raw_content_len);
+    if (!decompressed) {
+      return fail("corrupt compressed content");
+    }
+    content = std::move(*decompressed);
+  } else if (!reader.ReadBytes(*raw_content_len, content)) {
+    return fail("truncated content");
+  }
+
+  if (cached_doc) {
+    auto len = reader.ReadVarint();
+    std::string doc;
+    if (!len || !reader.ReadBytes(*len, doc)) {
+      return fail("truncated cached document");
+    }
+    result.cached_doc = std::move(doc);
+  }
+
+  // --- Rebuild the graph: walk the parents and agent columns in parallel,
+  // emitting maximal chunks on which both are constant. ---
+  {
+    ByteReader pr(parents_col);
+    ByteReader ar(agents_col);
+    uint64_t entry_left = 0;
+    Frontier entry_parents;
+    bool entry_fresh = false;  // True for the first chunk of an entry.
+    uint64_t agent_left = 0;
+    uint64_t agent_idx = 0;
+    uint64_t seq_next = 0;
+    Lv lv = 0;
+    while (lv < *event_count) {
+      if (entry_left == 0) {
+        auto len = pr.ReadVarint();
+        auto np = pr.ReadVarint();
+        if (!len || *len == 0 || !np || *np > 1u << 16) {
+          return fail("bad parents record");
+        }
+        entry_parents.clear();
+        for (uint64_t i = 0; i < *np; ++i) {
+          auto delta = pr.ReadVarint();
+          if (!delta || *delta == 0 || *delta > lv) {
+            return fail("bad parent delta");
+          }
+          FrontierInsert(entry_parents, lv - *delta);
+        }
+        entry_left = *len;
+        entry_fresh = true;
+      }
+      if (agent_left == 0) {
+        auto a = ar.ReadVarint();
+        auto len = ar.ReadVarint();
+        auto seq = ar.ReadVarint();
+        if (!a || *a >= agents.size() || !len || *len == 0 || !seq) {
+          return fail("bad agent record");
+        }
+        agent_idx = *a;
+        agent_left = *len;
+        seq_next = *seq;
+      }
+      uint64_t chunk = std::min(entry_left, agent_left);
+      chunk = std::min<uint64_t>(chunk, *event_count - lv);
+      Frontier parents = entry_fresh ? entry_parents : Frontier{lv - 1};
+      trace.graph.Add(agents[agent_idx], seq_next, chunk, parents);
+      seq_next += chunk;
+      lv += chunk;
+      entry_left -= chunk;
+      agent_left -= chunk;
+      entry_fresh = false;
+    }
+    if (!pr.empty() || !ar.empty()) {
+      return fail("trailing graph column data");
+    }
+  }
+
+  // --- Rebuild the op log. ---
+  {
+    ByteReader orr(ops_col);
+    size_t content_byte = 0;
+    size_t survive_idx = 0;
+    int64_t cursor = 0;
+    Lv lv = 0;
+    while (lv < *event_count) {
+      auto header = orr.ReadVarint();
+      auto delta = orr.ReadVarintSigned();
+      if (!header || (*header >> 2) == 0 || !delta) {
+        return fail("bad op record");
+      }
+      auto len = std::optional<uint64_t>(*header >> 2);
+      bool is_delete = (*header & 1) != 0;
+      bool fwd = (*header & 2) != 0;
+      int64_t pos_signed = cursor + *delta;
+      if (pos_signed < 0) {
+        return fail("op position underflow");
+      }
+      auto pos = std::optional<uint64_t>(static_cast<uint64_t>(pos_signed));
+      if (is_delete) {
+        cursor = fwd ? pos_signed : pos_signed - static_cast<int64_t>(*len - 1);
+        if (cursor < 0) {
+          return fail("op position underflow");
+        }
+        trace.ops.PushDelete(lv, *len, *pos, fwd);
+      } else {
+        cursor = pos_signed + static_cast<int64_t>(*len);
+        std::string text;
+        if (content_complete) {
+          size_t end_byte =
+              Utf8ByteOfChar(std::string_view(content).substr(content_byte), *len) + content_byte;
+          if (end_byte > content.size()) {
+            return fail("content column too short");
+          }
+          text = content.substr(content_byte, end_byte - content_byte);
+          content_byte = end_byte;
+        } else {
+          // Surviving chars come from the content stream; omitted ones
+          // decode as U+FFFD.
+          for (uint64_t i = 0; i < *len; ++i) {
+            Lv id = lv + i;
+            while (survive_idx < surviving.size() && surviving[survive_idx].end <= id) {
+              ++survive_idx;
+            }
+            bool alive = survive_idx < surviving.size() && surviving[survive_idx].contains(id);
+            if (alive) {
+              if (content_byte >= content.size()) {
+                return fail("content column too short");
+              }
+              size_t cl;
+              uint32_t cp = Utf8DecodeAt(content, content_byte, &cl);
+              content_byte += cl;
+              Utf8Append(text, cp);
+            } else {
+              Utf8Append(text, 0xFFFD);
+            }
+          }
+        }
+        trace.ops.PushInsert(lv, *pos, text);
+      }
+      lv += *len;
+    }
+    if (!orr.empty()) {
+      return fail("trailing op column data");
+    }
+  }
+  return result;
+}
+
+std::optional<std::string> ReadCachedDoc(std::string_view bytes) {
+  ByteReader reader(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  std::string magic;
+  if (!reader.ReadBytes(4, magic) || magic != std::string(kMagic, 4)) {
+    return std::nullopt;
+  }
+  auto version = reader.ReadByte();
+  auto flags = reader.ReadByte();
+  if (!version || *version != kFormatVersion || !flags || (*flags & kFlagCachedDoc) == 0) {
+    return std::nullopt;
+  }
+  if (!reader.ReadVarint()) {  // Event count.
+    return std::nullopt;
+  }
+  auto agent_count = reader.ReadVarint();
+  if (!agent_count) {
+    return std::nullopt;
+  }
+  for (uint64_t i = 0; i < *agent_count; ++i) {
+    auto len = reader.ReadVarint();
+    if (!len || !reader.Skip(*len)) {
+      return std::nullopt;
+    }
+  }
+  int columns = 3 + (((*flags & kFlagContentComplete) == 0) ? 1 : 0);
+  for (int c = 0; c < columns; ++c) {
+    auto len = reader.ReadVarint();
+    if (!len || !reader.Skip(*len)) {
+      return std::nullopt;
+    }
+  }
+  auto raw_len = reader.ReadVarint();
+  if (!raw_len) {
+    return std::nullopt;
+  }
+  if ((*flags & kFlagCompressed) != 0) {
+    auto comp_len = reader.ReadVarint();
+    if (!comp_len || !reader.Skip(*comp_len)) {
+      return std::nullopt;
+    }
+  } else if (!reader.Skip(*raw_len)) {
+    return std::nullopt;
+  }
+  auto doc_len = reader.ReadVarint();
+  std::string doc;
+  if (!doc_len || !reader.ReadBytes(*doc_len, doc)) {
+    return std::nullopt;
+  }
+  return doc;
+}
+
+}  // namespace egwalker

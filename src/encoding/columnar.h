@@ -1,0 +1,77 @@
+// The columnar event-graph file format (Section 3.8).
+//
+// Events are stored in LV order, with each property in its own column:
+//
+//   1. Operations: run-length encoded (type, direction, start position,
+//      length) tuples with varint fields — "the first 23 events are
+//      insertions at consecutive indexes starting from index 0, ...".
+//   2. Content: the UTF-8 of all inserted characters, concatenated in event
+//      order and LZ4-compressed. Optionally the content of characters that
+//      were later deleted is omitted (with a survival bitmap), which is the
+//      Figure 12 configuration.
+//   3. Parents: one record per graph run; runs of the "parent = predecessor"
+//      default cost two varints, explicit parent lists appear only at
+//      branch/merge points.
+//   4. Agents: the agent name table plus (agent, seq_start, length) runs.
+//   5. Optionally, a cached copy of the final document text, so loading a
+//      document for editing does not replay anything (Figure 8's "cached
+//      load" rows and Figure 11's "+ cached final doc" bars).
+//
+// All varints are LEB128 (util/varint.h); positions within a run are
+// implicit from the run encoding. The format round-trips Trace exactly
+// (except omitted deleted content, which decodes as U+FFFD placeholders).
+
+#ifndef EGWALKER_ENCODING_COLUMNAR_H_
+#define EGWALKER_ENCODING_COLUMNAR_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace egwalker {
+
+struct SaveOptions {
+  // Store the content of characters that no longer appear in the final
+  // document. Disabling this mirrors Yjs's storage model (Figure 12).
+  bool include_deleted_content = true;
+  // LZ4-compress the content column (the paper disables this for the
+  // like-for-like size comparison in Figures 11/12, so benches do too).
+  bool compress_content = false;
+  // Append the final document text so loads need no replay.
+  bool cache_final_doc = false;
+};
+
+// Ids (LV spans) of inserted characters that survive in the final document.
+// Computed by a full replay; used when omitting deleted content.
+std::vector<LvSpan> ComputeSurvivingChars(const Graph& graph, const OpLog& ops);
+
+// Serialises the trace. `final_doc` must be provided when
+// options.cache_final_doc is set; `surviving` must be provided when
+// options.include_deleted_content is false.
+std::string EncodeTrace(const Trace& trace, const SaveOptions& options,
+                        std::string_view final_doc = {},
+                        const std::vector<LvSpan>* surviving = nullptr);
+
+struct DecodeResult {
+  Trace trace;
+  std::optional<std::string> cached_doc;
+  bool content_complete = true;  // False if deleted content was omitted.
+};
+
+// Parses bytes produced by EncodeTrace. Returns std::nullopt (and sets
+// *error) on malformed input.
+std::optional<DecodeResult> DecodeTrace(std::string_view bytes, std::string* error = nullptr);
+
+// Lazy load: extracts only the cached final document, skipping (not
+// parsing) every other column. This is the Figure 8 "cached load" path —
+// opening a document for viewing/editing reads just the text; the event
+// graph stays on disk until a concurrent merge needs it. Returns
+// std::nullopt if the file has no cached document or is malformed.
+std::optional<std::string> ReadCachedDoc(std::string_view bytes);
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_ENCODING_COLUMNAR_H_

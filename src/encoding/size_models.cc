@@ -1,0 +1,193 @@
+#include "encoding/size_models.h"
+
+#include <string>
+#include <vector>
+
+#include "core/walker.h"
+#include "rope/rope.h"
+#include "util/varint.h"
+
+namespace egwalker {
+namespace {
+
+// A document-order run of characters from the final CRDT state.
+struct DocRun {
+  Lv id = 0;
+  uint64_t len = 0;
+  Lv origin_left = kOriginStart;
+  bool deleted = false;
+};
+
+// Replays the trace (clearing disabled so nothing is dropped) and returns
+// the final record sequence in document order.
+std::vector<DocRun> DocOrderRuns(const Graph& graph, const OpLog& ops) {
+  Walker walker(graph, ops);
+  Rope doc;
+  Walker::Options opts;
+  opts.enable_clearing = false;
+  walker.ReplayAll(doc, opts);
+  std::vector<DocRun> runs;
+  const StateTree& tree = walker.tree();
+  for (StateTree::Cursor c = tree.Begin(); !tree.AtEnd(c); c = tree.NextPiece(c)) {
+    StateTree::Piece piece = tree.PieceAt(c);
+    DocRun run;
+    run.id = piece.first_id;
+    run.len = piece.len;
+    run.origin_left = piece.eff_origin_left;
+    run.deleted = piece.ever_deleted;
+    runs.push_back(run);
+  }
+  return runs;
+}
+
+// Appends the UTF-8 content of insert events [id, id+len).
+void AppendContent(std::string& out, const OpLog& ops, Lv id, uint64_t len) {
+  Lv end = id + len;
+  while (id < end) {
+    OpSlice slice = ops.SliceAt(id, end);
+    out += slice.text;
+    id += slice.count;
+  }
+}
+
+}  // namespace
+
+uint64_t AutomergeLikeSize(const Graph& graph, const OpLog& ops) {
+  std::vector<DocRun> runs = DocOrderRuns(graph, ops);
+
+  // Actor table: Automerge actors are 16-byte ids.
+  std::string actors(graph.agent_count() * 16, '\0');
+
+  std::string actor_col;    // RLE (actor, count).
+  std::string ctr_col;      // (counter start, count) per run of counters.
+  std::string action_col;   // Per-run action/obj/key/insert-flag columns.
+  std::string origin_col;   // elemId references.
+  std::string succ_col;     // Deletion records: successor op ranges.
+  std::string change_col;   // Change metadata: actor, seq, time, deps, msg.
+  std::string content_col;  // All inserted text, document order.
+
+  // Change metadata: one change per event-graph run (Automerge additionally
+  // stores dependency references and a timestamp per change, which is why
+  // its files grow fastest on branch-heavy traces).
+  for (const GraphEntry& e : graph.entries()) {
+    AppendVarint(change_col, e.span.size());          // ops-in-change count.
+    AppendVarint(change_col, 1);                      // actor index.
+    AppendVarint(change_col, e.span.start);           // seq.
+    change_col.append(4, '\0');                       // timestamp (delta).
+    AppendVarint(change_col, e.parents.size());       // deps.
+    for (Lv p : e.parents) {
+      AppendVarint(change_col, e.span.start - p);     // dep change index.
+    }
+    change_col.push_back(0);                          // empty message.
+  }
+
+  uint32_t prev_actor = UINT32_MAX;
+  uint64_t actor_run = 0;
+  Lv prev_end_id = kOriginStart;
+  for (const DocRun& run : runs) {
+    // Actor/counter columns: split the run over agent assignment runs.
+    Lv id = run.id;
+    Lv end = run.id + run.len;
+    while (id < end) {
+      const AgentSpan& as = graph.agent_spans().FindChecked(id);
+      uint64_t chunk = std::min<uint64_t>(end, as.span.end) - id;
+      if (as.agent == prev_actor) {
+        actor_run += chunk;
+      } else {
+        if (actor_run > 0) {
+          AppendVarint(actor_col, prev_actor);
+          AppendVarint(actor_col, actor_run);
+        }
+        prev_actor = as.agent;
+        actor_run = chunk;
+      }
+      AppendVarint(ctr_col, as.seq_start + (id - as.span.start));
+      AppendVarint(ctr_col, chunk);
+      id += chunk;
+    }
+    // elemId column: a run that directly extends its document predecessor
+    // RLEs to one byte; otherwise an explicit (actor, ctr) reference.
+    if (run.origin_left == prev_end_id && prev_end_id != kOriginStart) {
+      origin_col.push_back(0);
+    } else {
+      origin_col.push_back(1);
+      if (run.origin_left == kOriginStart) {
+        AppendVarint(origin_col, 0);
+      } else {
+        const AgentSpan& oas = graph.agent_spans().FindChecked(run.origin_left);
+        AppendVarint(origin_col, oas.agent);
+        AppendVarint(origin_col, oas.seq_start + (run.origin_left - oas.span.start));
+      }
+    }
+    prev_end_id = run.id + run.len - 1;
+    // Action / obj / key / insert-flag columns: ~2 bytes per run once RLE'd.
+    action_col.push_back(0);
+    action_col.push_back(0);
+    // Deletions: Automerge records each deleted op's successor (the delete
+    // op id); consecutive victims RLE into one record.
+    if (run.deleted) {
+      AppendVarint(succ_col, run.id);
+      AppendVarint(succ_col, run.len);
+      AppendVarint(succ_col, 2);  // succ count + op reference, RLE'd.
+    }
+    // Content: Automerge stores the text of every insertion, ever.
+    AppendContent(content_col, ops, run.id, run.len);
+  }
+  if (actor_run > 0) {
+    AppendVarint(actor_col, prev_actor);
+    AppendVarint(actor_col, actor_run);
+  }
+
+  // Chunk header, checksum, column metadata (8 columns x ~12 bytes).
+  constexpr uint64_t kHeader = 8 + 4 + 1 + 8 * 12;
+  return kHeader + actors.size() + actor_col.size() + ctr_col.size() + action_col.size() +
+         origin_col.size() + succ_col.size() + change_col.size() + content_col.size();
+}
+
+uint64_t YjsLikeSize(const Graph& graph, const OpLog& ops) {
+  std::vector<DocRun> runs = DocOrderRuns(graph, ops);
+
+  std::string struct_col;   // Per-run item headers.
+  std::string content_col;  // Live text only.
+  std::string delete_set;   // (client, clock, len) ranges.
+
+  Lv prev_end_id = kOriginStart;
+  for (const DocRun& run : runs) {
+    if (run.deleted) {
+      // GC'd item: length-only skip marker in the struct stream...
+      struct_col.push_back(0);
+      AppendVarint(struct_col, run.len);
+      // ...plus a delete-set range.
+      const AgentSpan& das = graph.agent_spans().FindChecked(run.id);
+      AppendVarint(delete_set, das.agent);
+      AppendVarint(delete_set, das.seq_start + (run.id - das.span.start));
+      AppendVarint(delete_set, run.len);
+      prev_end_id = run.id + run.len - 1;
+      continue;
+    }
+    // Live item header: info byte, client, clock, length; left origin only
+    // when the item does not extend its document predecessor.
+    struct_col.push_back(1);
+    const AgentSpan& as = graph.agent_spans().FindChecked(run.id);
+    AppendVarint(struct_col, as.agent);                           // client
+    AppendVarint(struct_col, as.seq_start + (run.id - as.span.start));  // clock
+    AppendVarint(struct_col, run.len);
+    if (run.origin_left != prev_end_id || prev_end_id == kOriginStart) {
+      struct_col.push_back(2);  // has-origin marker
+      if (run.origin_left != kOriginStart) {
+        const AgentSpan& oas = graph.agent_spans().FindChecked(run.origin_left);
+        AppendVarint(struct_col, oas.agent);
+        AppendVarint(struct_col, oas.seq_start + (run.origin_left - oas.span.start));
+      } else {
+        AppendVarint(struct_col, 0);
+      }
+    }
+    prev_end_id = run.id + run.len - 1;
+    AppendContent(content_col, ops, run.id, run.len);
+  }
+
+  constexpr uint64_t kHeader = 32;
+  return kHeader + struct_col.size() + content_col.size() + delete_set.size();
+}
+
+}  // namespace egwalker

@@ -1,0 +1,40 @@
+// Storage-size models of the systems the paper compares against in
+// Figures 11 and 12.
+//
+// The real Automerge and Yjs libraries are not available offline, so these
+// are simplified re-implementations of their *storage models*, faithful to
+// the structure that determines file size (see each function's comment and
+// DESIGN.md §3). They build actual byte strings; only the sizes are used by
+// the benchmarks.
+//
+// Both models serialise the document-order record sequence (the final CRDT
+// state), which is how both libraries lay out their files — unlike our
+// event-graph format, which serialises in event (time) order. Document
+// order fragments typing runs that were later split by edits, which is one
+// of the structural reasons the sizes differ.
+
+#ifndef EGWALKER_ENCODING_SIZE_MODELS_H_
+#define EGWALKER_ENCODING_SIZE_MODELS_H_
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace egwalker {
+
+// Automerge-like binary document: the full editing history in columnar
+// form. Per document-order run: actor, counter, action, elemId-reference
+// columns; deletions recorded as successor-op ranges; the content of every
+// insertion ever made (Automerge keeps deleted text). Compression disabled,
+// matching the paper's Figure 11 methodology.
+uint64_t AutomergeLikeSize(const Graph& graph, const OpLog& ops);
+
+// Yjs-like document: only the final state. Per document-order run: client,
+// clock, left/right origin references and content for live runs; deleted
+// runs collapse to length-only skip markers plus a delete-set entry. No
+// parents/happened-before metadata is stored (Figure 12's comparison).
+uint64_t YjsLikeSize(const Graph& graph, const OpLog& ops);
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_ENCODING_SIZE_MODELS_H_

@@ -1,0 +1,72 @@
+// Frontier: a document version (Section 2.3).
+//
+// A version is the frontier set of an event graph — the events with no
+// children. We represent it as a sorted vector of local versions (LVs).
+// Versions are almost always tiny ("a version rarely consists of more than
+// two events in practice"), so a flat sorted vector beats any set structure.
+
+#ifndef EGWALKER_GRAPH_FRONTIER_H_
+#define EGWALKER_GRAPH_FRONTIER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace egwalker {
+
+// A local version: the index of an event in this replica's storage order.
+// LVs are replica-local; (agent, seq) pairs are the interchange identifiers.
+using Lv = uint64_t;
+
+inline constexpr Lv kInvalidLv = static_cast<Lv>(-1);
+
+// Sorted (ascending), duplicate-free set of LVs, minimal under the
+// happened-before relation when produced by Graph operations.
+using Frontier = std::vector<Lv>;
+
+// Inserts `v` preserving sort order (no-op if already present).
+inline void FrontierInsert(Frontier& f, Lv v) {
+  auto it = std::lower_bound(f.begin(), f.end(), v);
+  if (it == f.end() || *it != v) {
+    f.insert(it, v);
+  }
+}
+
+// Removes `v` if present.
+inline void FrontierErase(Frontier& f, Lv v) {
+  auto it = std::lower_bound(f.begin(), f.end(), v);
+  if (it != f.end() && *it == v) {
+    f.erase(it);
+  }
+}
+
+inline bool FrontierContains(const Frontier& f, Lv v) {
+  return std::binary_search(f.begin(), f.end(), v);
+}
+
+// Replaces the parents of a newly-generated event with the event itself:
+// the usual frontier advance when `parents` is the current frontier.
+inline void FrontierAdvance(Frontier& f, Lv new_event, const Frontier& parents) {
+  for (Lv p : parents) {
+    FrontierErase(f, p);
+  }
+  FrontierInsert(f, new_event);
+}
+
+// Debug rendering, e.g. "[3, 17]".
+inline std::string FrontierToString(const Frontier& f) {
+  std::string out = "[";
+  for (size_t i = 0; i < f.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += std::to_string(f[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_GRAPH_FRONTIER_H_

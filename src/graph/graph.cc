@@ -1,0 +1,274 @@
+#include "graph/graph.h"
+
+#include <queue>
+#include <unordered_set>
+
+#include "util/assert.h"
+
+namespace egwalker {
+namespace {
+
+// Reverses a descending span list and merges adjacent spans.
+std::vector<LvSpan> NormalizeDescending(std::vector<LvSpan> spans) {
+  std::vector<LvSpan> out;
+  out.reserve(spans.size());
+  for (auto it = spans.rbegin(); it != spans.rend(); ++it) {
+    if (!out.empty() && out.back().end == it->start) {
+      out.back().end = it->end;
+    } else {
+      out.push_back(*it);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+AgentId Graph::GetOrCreateAgent(std::string_view name) {
+  auto it = agent_ids_.find(std::string(name));
+  if (it != agent_ids_.end()) {
+    return it->second;
+  }
+  AgentId id = static_cast<AgentId>(agent_names_.size());
+  agent_names_.emplace_back(name);
+  agent_ids_.emplace(agent_names_.back(), id);
+  agent_seq_to_lv_.emplace_back();
+  return id;
+}
+
+Lv Graph::Add(AgentId agent, uint64_t seq_start, uint64_t count, const Frontier& parents) {
+  EGW_CHECK(count > 0);
+  EGW_CHECK(agent < agent_names_.size());
+  for (size_t i = 0; i < parents.size(); ++i) {
+    EGW_CHECK(parents[i] < next_lv_);
+    if (i > 0) {
+      EGW_CHECK(parents[i] > parents[i - 1]);
+    }
+  }
+  Lv start = next_lv_;
+  entries_.Push(GraphEntry{{start, start + count}, parents});
+  agent_assignment_.Push(AgentSpan{{start, start + count}, agent, seq_start});
+  agent_seq_to_lv_[agent].Push(SeqRun{seq_start, seq_start + count, start});
+  next_lv_ += count;
+
+  for (Lv p : parents) {
+    FrontierErase(version_, p);
+  }
+  FrontierInsert(version_, start + count - 1);
+  return start;
+}
+
+RawVersion Graph::LvToRaw(Lv v) const {
+  const AgentSpan& s = agent_assignment_.FindChecked(v);
+  return RawVersion{agent_names_[s.agent], s.seq_start + (v - s.span.start)};
+}
+
+Lv Graph::RawToLv(std::string_view agent, uint64_t seq) const {
+  auto it = agent_ids_.find(std::string(agent));
+  if (it == agent_ids_.end()) {
+    return kInvalidLv;
+  }
+  const auto& runs = agent_seq_to_lv_[it->second];
+  size_t idx = runs.FindIndex(seq);
+  if (idx == RleVec<SeqRun>::npos) {
+    return kInvalidLv;
+  }
+  const SeqRun& r = runs[idx];
+  return r.lv_start + (seq - r.seq_start);
+}
+
+uint64_t Graph::KnownRunLen(std::string_view agent, uint64_t seq) const {
+  auto it = agent_ids_.find(std::string(agent));
+  if (it == agent_ids_.end()) {
+    return 0;
+  }
+  const auto& runs = agent_seq_to_lv_[it->second];
+  size_t idx = runs.FindIndex(seq);
+  if (idx == RleVec<SeqRun>::npos) {
+    return 0;
+  }
+  return runs[idx].seq_end - seq;
+}
+
+uint64_t Graph::NextSeqFor(AgentId agent) const {
+  if (agent >= agent_seq_to_lv_.size() || agent_seq_to_lv_[agent].empty()) {
+    return 0;
+  }
+  // Sequence runs are appended in ascending order per agent.
+  return agent_seq_to_lv_[agent].back().seq_end;
+}
+
+int Graph::CompareRaw(Lv a, Lv b) const {
+  const AgentSpan& sa = agent_assignment_.FindChecked(a);
+  const AgentSpan& sb = agent_assignment_.FindChecked(b);
+  if (sa.agent != sb.agent) {
+    int c = agent_names_[sa.agent].compare(agent_names_[sb.agent]);
+    if (c != 0) {
+      return c < 0 ? -1 : 1;
+    }
+  }
+  uint64_t qa = sa.seq_start + (a - sa.span.start);
+  uint64_t qb = sb.seq_start + (b - sb.span.start);
+  if (qa == qb) {
+    return 0;
+  }
+  return qa < qb ? -1 : 1;
+}
+
+Frontier Graph::ParentsOf(Lv v) const {
+  const GraphEntry& e = entries_.FindChecked(v);
+  if (v > e.span.start) {
+    return Frontier{v - 1};
+  }
+  return e.parents;
+}
+
+const GraphEntry& Graph::EntryContaining(Lv v) const { return entries_.FindChecked(v); }
+
+bool Graph::VersionContains(const Frontier& frontier, Lv v) const {
+  std::priority_queue<Lv> queue;
+  for (Lv f : frontier) {
+    if (f == v) {
+      return true;
+    }
+    if (f > v) {
+      queue.push(f);
+    }
+  }
+  std::unordered_set<uint64_t> visited_entries;
+  while (!queue.empty()) {
+    Lv top = queue.top();
+    queue.pop();
+    const GraphEntry& e = entries_.FindChecked(top);
+    if (e.span.start <= v) {
+      return true;  // v lies within [e.span.start, top].
+    }
+    if (!visited_entries.insert(e.span.start).second) {
+      continue;
+    }
+    for (Lv p : e.parents) {
+      if (p >= v) {
+        queue.push(p);
+      }
+    }
+  }
+  return false;
+}
+
+bool Graph::IsAncestor(Lv a, Lv b) const {
+  if (a >= b) {
+    return false;  // Parents always have smaller LVs.
+  }
+  const GraphEntry& e = entries_.FindChecked(b);
+  if (a >= e.span.start) {
+    return true;  // Same run: a precedes b in a linear chain.
+  }
+  return VersionContains(e.parents, a);
+}
+
+DiffResult Graph::Diff(const Frontier& a, const Frontier& b) const {
+  enum : uint8_t { kOnlyA = 1, kOnlyB = 2, kShared = 3 };
+  using Entry = std::pair<Lv, uint8_t>;
+  std::priority_queue<Entry> queue;
+  int non_shared = 0;
+  auto push = [&](Lv v, uint8_t flag) {
+    queue.push({v, flag});
+    if (flag != kShared) {
+      ++non_shared;
+    }
+  };
+  for (Lv v : a) {
+    push(v, kOnlyA);
+  }
+  for (Lv v : b) {
+    push(v, kOnlyB);
+  }
+
+  std::vector<LvSpan> only_a;
+  std::vector<LvSpan> only_b;
+
+  while (!queue.empty() && non_shared > 0) {
+    auto [v, flag] = queue.top();
+    queue.pop();
+    if (flag != kShared) {
+      --non_shared;
+    }
+    // Merge all queued occurrences of this event; differing flags make the
+    // event (and everything it dominates alone) shared.
+    while (!queue.empty() && queue.top().first == v) {
+      uint8_t f2 = queue.top().second;
+      queue.pop();
+      if (f2 != kShared) {
+        --non_shared;
+      }
+      flag |= f2;
+    }
+
+    const GraphEntry& e = entries_.FindChecked(v);
+    if (!queue.empty() && queue.top().first >= e.span.start) {
+      // Another queued event lands inside this run: consume only the part
+      // above it and carry our flag down onto it.
+      Lv next = queue.top().first;
+      if (flag == kOnlyA) {
+        only_a.push_back({next + 1, v + 1});
+      } else if (flag == kOnlyB) {
+        only_b.push_back({next + 1, v + 1});
+      }
+      push(next, flag);
+      continue;
+    }
+    // Consume the whole run below v and walk to its parents.
+    if (flag == kOnlyA) {
+      only_a.push_back({e.span.start, v + 1});
+    } else if (flag == kOnlyB) {
+      only_b.push_back({e.span.start, v + 1});
+    }
+    for (Lv p : e.parents) {
+      push(p, flag);
+    }
+  }
+
+  return DiffResult{NormalizeDescending(std::move(only_a)), NormalizeDescending(std::move(only_b))};
+}
+
+std::vector<LvSpan> Graph::EventsOf(const Frontier& frontier) const {
+  std::priority_queue<Lv> queue;
+  for (Lv v : frontier) {
+    queue.push(v);
+  }
+  std::vector<LvSpan> spans;
+  Lv low = kInvalidLv;  // Start of the lowest emitted span so far.
+  while (!queue.empty()) {
+    Lv v = queue.top();
+    queue.pop();
+    if (low != kInvalidLv && v >= low) {
+      continue;  // Already covered.
+    }
+    const GraphEntry& e = entries_.FindChecked(v);
+    spans.push_back({e.span.start, v + 1});
+    low = e.span.start;
+    for (Lv p : e.parents) {
+      queue.push(p);
+    }
+  }
+  return NormalizeDescending(std::move(spans));
+}
+
+Frontier Graph::Reduce(const Frontier& frontier) const {
+  Frontier out;
+  for (Lv v : frontier) {
+    bool dominated = false;
+    for (Lv u : frontier) {
+      if (u != v && IsAncestor(v, u)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      FrontierInsert(out, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace egwalker

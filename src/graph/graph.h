@@ -1,0 +1,181 @@
+// The causal event graph (Section 2.2).
+//
+// Every editing event is a node in a transitively-reduced DAG; edges point
+// from parents to children and encode the happened-before relation. This
+// module stores the *graph structure only* — which events exist, their
+// (agent, seq) identities, and their parents. The operations themselves
+// (insert/delete, position, content) live in trace::Trace, indexed by LV;
+// keeping them separate mirrors the paper's columnar layout and lets the
+// graph be reused by every algorithm (eg-walker, OT, CRDTs) unchanged.
+//
+// Storage is run-length encoded: humans type in consecutive runs, so nearly
+// every event's parent is its predecessor. A graph entry covers a whole such
+// run; explicit parent lists exist only at run starts (Section 2.2, 3.8).
+//
+// Events are identified by local version (LV): the index of the event in
+// this replica's insertion order. Parents always have smaller LVs, so LV
+// order is a valid topological order.
+
+#ifndef EGWALKER_GRAPH_GRAPH_H_
+#define EGWALKER_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/frontier.h"
+#include "util/rle.h"
+
+namespace egwalker {
+
+// Interned agent (replica) identifier.
+using AgentId = uint32_t;
+
+// Interchange identifier of a single event: (agent name, per-agent sequence
+// number). Unique across the whole system; stable across replicas.
+struct RawVersion {
+  std::string agent;
+  uint64_t seq = 0;
+  bool operator==(const RawVersion&) const = default;
+};
+
+// One run of events: events span.start .. span.end-1, where the first event
+// has `parents` and every subsequent event's parent is its predecessor.
+struct GraphEntry {
+  LvSpan span;
+  Frontier parents;
+
+  uint64_t rle_start() const { return span.start; }
+  uint64_t rle_end() const { return span.end; }
+  bool can_append(const GraphEntry& next) const {
+    return next.span.start == span.end && next.parents.size() == 1 &&
+           next.parents[0] == span.end - 1;
+  }
+  void append(const GraphEntry& next) { span.end = next.span.end; }
+};
+
+// Maps a run of LVs to (agent, starting sequence number).
+struct AgentSpan {
+  LvSpan span;
+  AgentId agent = 0;
+  uint64_t seq_start = 0;
+
+  uint64_t rle_start() const { return span.start; }
+  uint64_t rle_end() const { return span.end; }
+  bool can_append(const AgentSpan& next) const {
+    return next.span.start == span.end && next.agent == agent &&
+           next.seq_start == seq_start + span.size();
+  }
+  void append(const AgentSpan& next) { span.end = next.span.end; }
+};
+
+// Result of Graph::Diff: the events reachable from exactly one of the two
+// versions, as ascending span lists.
+struct DiffResult {
+  std::vector<LvSpan> only_a;
+  std::vector<LvSpan> only_b;
+};
+
+class Graph {
+ public:
+  // --- Construction ---------------------------------------------------------
+
+  // Interns an agent name, returning its dense id.
+  AgentId GetOrCreateAgent(std::string_view name);
+  const std::string& AgentName(AgentId id) const { return agent_names_[id]; }
+  size_t agent_count() const { return agent_names_.size(); }
+
+  // Appends a run of `count` events by `agent` starting at sequence number
+  // `seq_start`, whose first event has `parents` (all of which must already
+  // exist). Returns the LV of the first new event. The graph's frontier is
+  // updated. Parents must be sorted, duplicate-free, and minimal.
+  Lv Add(AgentId agent, uint64_t seq_start, uint64_t count, const Frontier& parents);
+
+  // Total number of events.
+  Lv size() const { return next_lv_; }
+  bool empty() const { return next_lv_ == 0; }
+
+  // The frontier of the whole graph (Version(G)).
+  const Frontier& version() const { return version_; }
+
+  // --- Identity mapping -----------------------------------------------------
+
+  // LV -> (agent, seq).
+  RawVersion LvToRaw(Lv v) const;
+  // (agent, seq) -> LV; kInvalidLv when unknown.
+  Lv RawToLv(std::string_view agent, uint64_t seq) const;
+
+  // Number of contiguous sequence numbers starting at `seq` that are known
+  // for `agent` (0 if seq itself is unknown). Used when merging remote
+  // events to skip already-known runs.
+  uint64_t KnownRunLen(std::string_view agent, uint64_t seq) const;
+
+  // One past the largest sequence number known for `agent` (0 if none).
+  uint64_t NextSeqFor(AgentId agent) const;
+
+  // Compares the events `a` and `b` by (agent name, seq). Used as the
+  // replica-independent tie-breaker for concurrent insertions.
+  int CompareRaw(Lv a, Lv b) const;
+
+  // --- Structure queries ----------------------------------------------------
+
+  // Parents of a single event. Cheap for run-interior events.
+  Frontier ParentsOf(Lv v) const;
+
+  // The run entry containing `v` (for span-at-a-time iteration).
+  const GraphEntry& EntryContaining(Lv v) const;
+
+  // Number of run entries (diagnostics; Table 1's "graph runs").
+  size_t entry_count() const { return entries_.run_count(); }
+  const RleVec<GraphEntry>& entries() const { return entries_; }
+  const RleVec<AgentSpan>& agent_spans() const { return agent_assignment_; }
+
+  // True iff a happened before b (a -> b, strictly).
+  bool IsAncestor(Lv a, Lv b) const;
+
+  // True iff event `v` is in Events(frontier) — i.e. v is in the frontier or
+  // happened before some member of it.
+  bool VersionContains(const Frontier& frontier, Lv v) const;
+
+  // The set difference of the transitive closures of two versions
+  // (Section 3.2's retreat/advance computation). Runs in O(d log d) where d
+  // is the number of events walked — typically the size of the diff.
+  DiffResult Diff(const Frontier& a, const Frontier& b) const;
+
+  // All events in Events(frontier), as ascending spans.
+  std::vector<LvSpan> EventsOf(const Frontier& frontier) const;
+
+  // Removes redundant (dominated) members of `frontier`.
+  Frontier Reduce(const Frontier& frontier) const;
+
+ private:
+  RleVec<GraphEntry> entries_;
+  RleVec<AgentSpan> agent_assignment_;
+
+  // Per-agent mapping from seq runs to lv runs.
+  struct SeqRun {
+    uint64_t seq_start = 0;
+    uint64_t seq_end = 0;
+    Lv lv_start = 0;
+
+    uint64_t rle_start() const { return seq_start; }
+    uint64_t rle_end() const { return seq_end; }
+    bool can_append(const SeqRun& next) const {
+      return next.seq_start == seq_end && next.lv_start == lv_start + (seq_end - seq_start);
+    }
+    void append(const SeqRun& next) { seq_end = next.seq_end; }
+  };
+  std::vector<RleVec<SeqRun>> agent_seq_to_lv_;
+
+  std::vector<std::string> agent_names_;
+  std::unordered_map<std::string, AgentId> agent_ids_;
+
+  Frontier version_;
+  Lv next_lv_ = 0;
+};
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_GRAPH_GRAPH_H_

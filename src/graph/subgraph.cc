@@ -1,0 +1,30 @@
+#include "graph/subgraph.h"
+
+#include "util/assert.h"
+
+namespace egwalker {
+
+std::vector<SubEntry> WindowEntries(const Graph& g, const std::vector<LvSpan>& window) {
+  std::vector<SubEntry> out;
+  for (const LvSpan& w : window) {
+    EGW_DCHECK(!w.empty());
+    Lv cursor = w.start;
+    while (cursor < w.end) {
+      const GraphEntry& e = g.EntryContaining(cursor);
+      LvSpan piece = LvSpan::Intersect(e.span, LvSpan{cursor, w.end});
+      EGW_DCHECK(!piece.empty());
+      SubEntry sub;
+      sub.span = piece;
+      if (piece.start == e.span.start) {
+        sub.parents = e.parents;
+      } else {
+        sub.parents = Frontier{piece.start - 1};
+      }
+      out.push_back(std::move(sub));
+      cursor = piece.end;
+    }
+  }
+  return out;
+}
+
+}  // namespace egwalker

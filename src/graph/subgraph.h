@@ -1,0 +1,33 @@
+// Window extraction: restricting the event graph to a subset of events.
+//
+// Partial replay (Section 3.6) and incremental merging only ever replay the
+// events after the last critical version. Those events form a "window": a
+// set of LV spans. This module slices the graph's run entries down to that
+// window, producing sub-entries whose parents refer to full-graph LVs (some
+// of which may lie outside the window, i.e. in the dominated base version).
+
+#ifndef EGWALKER_GRAPH_SUBGRAPH_H_
+#define EGWALKER_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace egwalker {
+
+// A run of window events. Like GraphEntry, the first event carries explicit
+// parents and each later event's parent is its predecessor.
+struct SubEntry {
+  LvSpan span;
+  Frontier parents;
+};
+
+// Slices `g`'s entries to the (ascending, disjoint) `window` spans.
+// Sub-entries are returned in ascending LV order. A sub-entry that begins
+// mid-run inherits the implicit single parent {start - 1}, which may lie
+// outside the window.
+std::vector<SubEntry> WindowEntries(const Graph& g, const std::vector<LvSpan>& window);
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,225 @@
+#include "graph/topo_sort.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+
+#include "graph/subgraph.h"
+#include "util/assert.h"
+
+namespace egwalker {
+namespace {
+
+constexpr int64_t kNegInf = -1;
+constexpr int64_t kPosInf = std::numeric_limits<int64_t>::max();
+
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  uint64_t s = a + b;
+  return s < a ? std::numeric_limits<uint64_t>::max() : s;
+}
+
+// Binary search for the sub-entry containing `v`; subs are ascending and
+// disjoint. Returns npos when v is outside the window.
+size_t FindSub(const std::vector<SubEntry>& subs, Lv v) {
+  size_t lo = 0;
+  size_t hi = subs.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (subs[mid].span.end <= v) {
+      lo = mid + 1;
+    } else if (subs[mid].span.start > v) {
+      hi = mid;
+    } else {
+      return mid;
+    }
+  }
+  return static_cast<size_t>(-1);
+}
+
+}  // namespace
+
+WalkPlan PlanWalk(const Graph& g, const Frontier& from, const Frontier& to, SortMode mode) {
+  WalkPlan plan;
+
+  std::vector<LvSpan> window;
+  if (from.empty() && to == g.version()) {
+    if (g.size() > 0) {
+      window.push_back({0, g.size()});
+    }
+  } else {
+    window = g.Diff(to, from).only_a;
+  }
+  if (window.empty()) {
+    return plan;
+  }
+
+  std::vector<SubEntry> subs = WindowEntries(g, window);
+  const size_t m = subs.size();
+  constexpr size_t npos = static_cast<size_t>(-1);
+
+  // Build the sub-entry DAG (only in-window parent edges matter for order).
+  std::vector<std::vector<uint32_t>> children(m);
+  std::vector<uint32_t> indegree(m, 0);
+  for (size_t i = 0; i < m; ++i) {
+    for (Lv p : subs[i].parents) {
+      size_t j = FindSub(subs, p);
+      if (j != npos) {
+        children[j].push_back(static_cast<uint32_t>(i));
+        ++indegree[i];
+      }
+    }
+  }
+
+  // Branch-size estimate: events in this run plus everything after it
+  // (over-counts through merge points, which is fine for a heuristic).
+  std::vector<uint64_t> est(m);
+  for (size_t i = m; i-- > 0;) {
+    est[i] = subs[i].span.size();
+    for (uint32_t c : children[i]) {
+      est[i] = SaturatingAdd(est[i], est[c]);
+    }
+  }
+
+  // Produce the order.
+  std::vector<uint32_t> order;
+  order.reserve(m);
+  std::vector<uint32_t> indeg = indegree;
+  if (mode == SortMode::kLvOrder) {
+    for (size_t i = 0; i < m; ++i) {
+      order.push_back(static_cast<uint32_t>(i));
+    }
+  } else if (mode == SortMode::kHeuristic) {
+    // DFS-flavoured Kahn: ready entries live on a stack; among entries that
+    // become ready together, the one with the smallest branch estimate is
+    // pushed last so it is visited first (small branches first, and the
+    // just-emitted run's continuation tends to be on top, keeping runs
+    // consecutive).
+    std::vector<uint32_t> stack;
+    std::vector<uint32_t> batch;
+    auto push_batch = [&]() {
+      std::sort(batch.begin(), batch.end(), [&](uint32_t a, uint32_t b) {
+        if (est[a] != est[b]) {
+          return est[a] > est[b];  // Larger estimates deeper in the stack.
+        }
+        return a > b;
+      });
+      for (uint32_t v : batch) {
+        stack.push_back(v);
+      }
+      batch.clear();
+    };
+    for (size_t i = 0; i < m; ++i) {
+      if (indeg[i] == 0) {
+        batch.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    push_batch();
+    while (!stack.empty()) {
+      uint32_t i = stack.back();
+      stack.pop_back();
+      order.push_back(i);
+      for (uint32_t c : children[i]) {
+        if (--indeg[c] == 0) {
+          batch.push_back(c);
+        }
+      }
+      push_batch();
+    }
+  } else {
+    // Adversarial: breadth-first, which maximally alternates between
+    // branches and therefore maximises retreat/advance churn.
+    std::deque<uint32_t> queue;
+    for (size_t i = 0; i < m; ++i) {
+      if (indeg[i] == 0) {
+        queue.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    while (!queue.empty()) {
+      uint32_t i = queue.front();
+      queue.pop_front();
+      order.push_back(i);
+      for (uint32_t c : children[i]) {
+        if (--indeg[c] == 0) {
+          queue.push_back(c);
+        }
+      }
+    }
+  }
+  EGW_CHECK(order.size() == m);  // The graph is acyclic by construction.
+
+  // Topological positions of each emitted run (cumulative event counts).
+  std::vector<uint64_t> pos_base(m);  // Indexed by sub index, not emit index.
+  uint64_t cumulative = 0;
+  for (uint32_t i : order) {
+    pos_base[i] = cumulative;
+    cumulative += subs[i].span.size();
+  }
+  plan.total_events = cumulative;
+  auto pos_of_lv = [&](Lv v) -> int64_t {
+    size_t j = FindSub(subs, v);
+    EGW_DCHECK(j != npos);
+    return static_cast<int64_t>(pos_base[j] + (v - subs[j].span.start));
+  };
+
+  // mp[k]: the max topo position among the in-window parents of the k-th
+  // emitted run's first event; kNegInf when it has none (a window root).
+  std::vector<int64_t> mp(m);
+  for (size_t k = 0; k < m; ++k) {
+    const SubEntry& sub = subs[order[k]];
+    int64_t best = kNegInf;
+    for (Lv p : sub.parents) {
+      if (FindSub(subs, p) != npos) {
+        best = std::max(best, pos_of_lv(p));
+      }
+    }
+    mp[k] = best;
+  }
+  // sfx[k] = min(mp[k+1..]): the tightest constraint any later run places on
+  // boundaries at or before position sfx[k].
+  std::vector<int64_t> sfx(m);
+  int64_t running = kPosInf;
+  for (size_t k = m; k-- > 0;) {
+    sfx[k] = running;
+    running = std::min(running, mp[k]);
+  }
+
+  // Frontier simulation: a boundary can only be critical when the single
+  // just-applied event is the whole frontier of the prefix.
+  Frontier frontier = from;
+  plan.steps.reserve(m);
+  bool prev_fully_critical = true;  // Boundary before the first step: `from` itself.
+  for (size_t k = 0; k < m; ++k) {
+    const SubEntry& sub = subs[order[k]];
+    for (Lv p : sub.parents) {
+      FrontierErase(frontier, p);
+    }
+    bool residual_empty = frontier.empty();
+    FrontierInsert(frontier, sub.span.end - 1);
+
+    uint64_t len = sub.span.size();
+    uint64_t critical_prefix = 0;
+    if (residual_empty) {
+      int64_t base = static_cast<int64_t>(pos_base[order[k]]);
+      if (sfx[k] == kPosInf) {
+        critical_prefix = len;
+      } else if (sfx[k] >= base) {
+        critical_prefix = std::min<uint64_t>(static_cast<uint64_t>(sfx[k] - base) + 1, len);
+      }
+    }
+
+    WalkStep step;
+    step.span = sub.span;
+    step.critical_before = prev_fully_critical;
+    step.critical_prefix = critical_prefix;
+    plan.steps.push_back(step);
+    prev_fully_critical = (critical_prefix == len);
+  }
+  return plan;
+}
+
+WalkPlan PlanWalkAll(const Graph& g, SortMode mode) {
+  return PlanWalk(g, Frontier{}, g.version(), mode);
+}
+
+}  // namespace egwalker

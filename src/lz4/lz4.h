@@ -1,0 +1,34 @@
+// An LZ4 block-format codec, implemented from scratch.
+//
+// Section 3.8 of the paper LZ4-compresses the inserted-content column of the
+// event-graph file format. This module provides a compatible block
+// compressor (greedy, hash-chain-free: a single-entry hash table per 4-byte
+// prefix, like the reference LZ4 fast path) and a bounds-checked
+// decompressor. The compressed framing (where sizes live) is up to the
+// caller; the columnar encoder stores the decompressed size as a varint next
+// to the block.
+
+#ifndef EGWALKER_LZ4_LZ4_H_
+#define EGWALKER_LZ4_LZ4_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace egwalker::lz4 {
+
+// Worst-case compressed size for `src_size` input bytes.
+size_t MaxCompressedSize(size_t src_size);
+
+// Compresses `src` into LZ4 block format.
+std::string Compress(std::string_view src);
+
+// Decompresses an LZ4 block produced by Compress (or any valid LZ4 block).
+// `decompressed_size` must be the exact original size. Returns std::nullopt
+// on malformed input (including any out-of-bounds reference).
+std::optional<std::string> Decompress(std::string_view src, size_t decompressed_size);
+
+}  // namespace egwalker::lz4
+
+#endif  // EGWALKER_LZ4_LZ4_H_

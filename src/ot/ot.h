@@ -1,0 +1,114 @@
+// The OT baseline: server-sequenced operational transformation in the
+// TTF style (Oster et al. 2006), generalised to arbitrary event DAGs.
+//
+// Like the paper's reference OT implementation (Section 4.2, "a simple OT
+// library using the TTF algorithm"), this replayer:
+//
+//  - applies operations directly to the document on sequential stretches of
+//    the history (no transformation needed — the same critical-version
+//    analysis Eg-walker uses tells us when this is safe), which is why OT
+//    matches Eg-walker on the S traces in Figure 8;
+//  - inside a concurrency window, maintains a TTF "model" — the document
+//    with tombstones — as a flat span list, and transforms each event by
+//    linearly scanning that model to convert its index between the event's
+//    generation context and the current context. Every event also appends
+//    to a per-event history buffer (the memoised intermediate transformed
+//    operations a real OT server keeps to transform future arrivals). Both
+//    scans and buffer are linear in the window size, so merging two
+//    branches of n events each costs O(n^2) — the asymptotic behaviour the
+//    paper reports for OT (one hour on trace A2);
+//  - resolves concurrent same-position insertion ties with the same YATA
+//    rule as the rest of the system, so its merge semantics are identical
+//    to eg-walker's. Real TTF gets the same effect by fixing each victim's
+//    identity in model space at generation time; replaying index-based
+//    events requires re-deriving that identity, and it must be derived
+//    consistently or positions recorded by one algorithm would be invalid
+//    under the other (Section 2.5's point that this OT *is* a CRDT run in
+//    a different shape). Events are sequenced in canonical LV order (the
+//    "central server" order), making the replay deterministic.
+//
+// Unlike Eg-walker, there is no B-tree, no run-length batching (one model
+// record and one history entry per event), and every transform is a linear
+// scan — which is exactly the cost profile the paper measures for OT.
+
+#ifndef EGWALKER_OT_OT_H_
+#define EGWALKER_OT_OT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/walker_types.h"
+#include "graph/graph.h"
+#include "graph/topo_sort.h"
+#include "rope/rope.h"
+#include "trace/trace.h"
+
+namespace egwalker {
+
+class OtReplayer {
+ public:
+  struct Stats {
+    uint64_t model_span_visits = 0;  // Work measure; quadratic on async traces.
+    size_t peak_model_spans = 0;
+    size_t peak_history_events = 0;  // High-water mark of the history buffer.
+  };
+
+  OtReplayer(const Graph& graph, const OpLog& ops) : graph_(graph), ops_(ops) {}
+
+  // Replays the whole graph and returns the final document text.
+  std::string ReplayAll();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // One run of model characters (the document including tombstones).
+  // Window events get one record each; only placeholders span ranges.
+  struct ModelSpan {
+    Lv id = 0;
+    uint64_t len = 0;
+    Lv origin_left = kOriginStart;   // YATA anchors (window records only).
+    Lv origin_right = kOriginEnd;
+    uint32_t prep = 1;  // 0 = not-inserted-yet, 1 = visible, >=2 deleted.
+    bool ever_deleted = false;
+
+    uint64_t prep_units() const { return prep == 1 ? len : 0; }
+    uint64_t eff_units() const { return ever_deleted ? 0 : len; }
+  };
+  // The history buffer entry: one transformed operation per event.
+  struct HistoryEntry {
+    OpKind kind;
+    uint32_t pos;
+  };
+  struct TargetRun {
+    Lv ev_end = 0;
+    Lv target = 0;
+    bool fwd = true;
+  };
+
+  void ProcessStep(const WalkStep& step);
+  void EnterSpan(Lv first);
+  void ApplyRange(Lv begin, Lv end);
+  void FastApplyRange(Lv begin, Lv end);
+  void ApplyInsertSlice(Lv id_start, const OpSlice& slice);
+  void ApplyDeleteSlice(Lv ev_start, const OpSlice& slice);
+  void AdjustPrepRange(Lv id_start, uint64_t count, int delta);
+  void ProcessPrepSpan(const LvSpan& span, int delta);
+  void ResetWindow();
+  size_t SpanIndexOfId(Lv id, uint64_t* offset);
+  void NotePeaks();
+
+  const Graph& graph_;
+  const OpLog& ops_;
+  Rope doc_;
+  std::vector<ModelSpan> model_;
+  std::vector<HistoryEntry> history_;
+  std::map<Lv, TargetRun> delete_targets_;
+  Frontier prepare_version_;
+  Lv next_placeholder_ = kPlaceholderBase;
+  Stats stats_;
+};
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_OT_OT_H_

@@ -1,0 +1,96 @@
+// A rope: the document-state substrate.
+//
+// The paper (Section 3) keeps the current document text "as a rope, piece
+// table, or similar structure to support efficient insertions and
+// deletions". This implementation is a chunked B+-tree rope: leaves hold
+// small UTF-8 chunks, internal nodes hold per-child (byte, char) totals, so
+// insert/delete/read at an arbitrary *character* index costs O(log n).
+//
+// Indexing is by Unicode scalar value, matching the index space of editing
+// operations; storage is UTF-8 bytes, matching what is written to disk.
+//
+// All inputs must be valid UTF-8 (enforced with debug checks); the rope
+// never splits a scalar value across a leaf boundary.
+
+#ifndef EGWALKER_ROPE_ROPE_H_
+#define EGWALKER_ROPE_ROPE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace egwalker {
+
+class Rope {
+ public:
+  Rope();
+  explicit Rope(std::string_view utf8);
+  ~Rope();
+
+  Rope(Rope&&) noexcept;
+  Rope& operator=(Rope&&) noexcept;
+  Rope(const Rope& other);
+  Rope& operator=(const Rope& other);
+
+  // Inserts UTF-8 `text` so its first scalar value lands at character index
+  // `char_pos`. char_pos must be <= char_size().
+  void InsertAt(size_t char_pos, std::string_view text);
+
+  // Removes `char_count` scalar values starting at `char_pos`. The range
+  // must lie within the document.
+  void RemoveAt(size_t char_pos, size_t char_count);
+
+  // Number of Unicode scalar values in the document.
+  size_t char_size() const { return root_chars_; }
+
+  // Number of UTF-8 bytes in the document.
+  size_t byte_size() const { return root_bytes_; }
+
+  bool empty() const { return root_chars_ == 0; }
+
+  // Materialises the whole document.
+  std::string ToString() const;
+
+  // Materialises `char_count` scalar values starting at `char_pos`.
+  std::string Substring(size_t char_pos, size_t char_count) const;
+
+  // The scalar value at character index `char_pos` (must be < char_size()).
+  uint32_t CharAt(size_t char_pos) const;
+
+  // Invokes `fn(std::string_view chunk)` over the document's chunks in
+  // order. Used by serialisation to avoid materialising the whole text.
+  void ForEachChunk(void (*fn)(std::string_view, void*), void* ctx) const;
+
+  // Removes everything.
+  void Clear();
+
+  // Internal consistency check (counts match recursively); used by tests.
+  bool CheckInvariants() const;
+
+  // Implementation detail: node types are forward-declared here (and public)
+  // only so rope.cc's file-local helpers can name them; they are defined in
+  // rope.cc and not part of the API.
+  struct Node;
+  struct Leaf;
+  struct Internal;
+
+ private:
+  static void DeleteNode(Node* n);
+  static Node* CloneNode(const Node* n);
+
+  // Inserts `text` (guaranteed to fit in a leaf after a possible split)
+  // descending from the root, updating counts on the way down. Returns
+  // nothing; splits are handled bottom-up through the path stack.
+  void InsertChunk(size_t char_pos, std::string_view text);
+  void RemoveOnce(size_t char_pos, size_t* char_count);
+
+  Node* root_ = nullptr;
+  size_t root_bytes_ = 0;
+  size_t root_chars_ = 0;
+};
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_ROPE_ROPE_H_

@@ -1,0 +1,124 @@
+// UTF-8 helpers shared by the rope, the trace subsystem, and the columnar
+// encoder. Event operations address Unicode scalar values (like the paper's
+// implementation), while text is stored as UTF-8 bytes; these helpers convert
+// between the two index spaces.
+
+#ifndef EGWALKER_ROPE_UTF8_H_
+#define EGWALKER_ROPE_UTF8_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace egwalker {
+
+// True if `b` starts a UTF-8 encoded scalar value (i.e. is not a
+// continuation byte).
+constexpr bool IsUtf8CharStart(uint8_t b) { return (b & 0xc0) != 0x80; }
+
+// Number of Unicode scalar values in valid UTF-8 `s`.
+inline size_t Utf8CountChars(std::string_view s) {
+  size_t n = 0;
+  for (char c : s) {
+    n += IsUtf8CharStart(static_cast<uint8_t>(c)) ? 1 : 0;
+  }
+  return n;
+}
+
+// Byte offset of the `char_idx`-th scalar value in `s`. `char_idx` may equal
+// the total char count, in which case s.size() is returned.
+inline size_t Utf8ByteOfChar(std::string_view s, size_t char_idx) {
+  size_t byte = 0;
+  size_t seen = 0;
+  while (byte < s.size()) {
+    if (IsUtf8CharStart(static_cast<uint8_t>(s[byte]))) {
+      if (seen == char_idx) {
+        return byte;
+      }
+      ++seen;
+    }
+    ++byte;
+  }
+  return s.size();
+}
+
+// Appends the UTF-8 encoding of scalar value `cp` to `out`.
+inline void Utf8Append(std::string& out, uint32_t cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else {
+    out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  }
+}
+
+// Decodes the scalar value starting at byte `pos` of `s`; writes its encoded
+// length to `*len`. Input is assumed valid UTF-8.
+inline uint32_t Utf8DecodeAt(std::string_view s, size_t pos, size_t* len) {
+  uint8_t b0 = static_cast<uint8_t>(s[pos]);
+  if (b0 < 0x80) {
+    *len = 1;
+    return b0;
+  }
+  if ((b0 & 0xe0) == 0xc0) {
+    *len = 2;
+    return (static_cast<uint32_t>(b0 & 0x1f) << 6) |
+           (static_cast<uint32_t>(s[pos + 1]) & 0x3f);
+  }
+  if ((b0 & 0xf0) == 0xe0) {
+    *len = 3;
+    return (static_cast<uint32_t>(b0 & 0x0f) << 12) |
+           ((static_cast<uint32_t>(s[pos + 1]) & 0x3f) << 6) |
+           (static_cast<uint32_t>(s[pos + 2]) & 0x3f);
+  }
+  *len = 4;
+  return (static_cast<uint32_t>(b0 & 0x07) << 18) |
+         ((static_cast<uint32_t>(s[pos + 1]) & 0x3f) << 12) |
+         ((static_cast<uint32_t>(s[pos + 2]) & 0x3f) << 6) |
+         (static_cast<uint32_t>(s[pos + 3]) & 0x3f);
+}
+
+// True if `s` is structurally valid UTF-8 (no overlongs check beyond basic
+// shape; sufficient for internal sanity checks).
+inline bool Utf8IsValid(std::string_view s) {
+  size_t i = 0;
+  while (i < s.size()) {
+    uint8_t b = static_cast<uint8_t>(s[i]);
+    size_t extra;
+    if (b < 0x80) {
+      extra = 0;
+    } else if ((b & 0xe0) == 0xc0) {
+      extra = 1;
+    } else if ((b & 0xf0) == 0xe0) {
+      extra = 2;
+    } else if ((b & 0xf8) == 0xf0) {
+      extra = 3;
+    } else {
+      return false;
+    }
+    if (i + 1 + extra > s.size()) {
+      return false;
+    }
+    for (size_t k = 1; k <= extra; ++k) {
+      if ((static_cast<uint8_t>(s[i + k]) & 0xc0) != 0x80) {
+        return false;
+      }
+    }
+    i += 1 + extra;
+  }
+  return true;
+}
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_ROPE_UTF8_H_

@@ -1,0 +1,322 @@
+#include "sync/patch.h"
+
+#include <unordered_map>
+
+#include "rope/utf8.h"
+#include "util/assert.h"
+#include "util/varint.h"
+
+namespace egwalker {
+namespace {
+
+constexpr char kSummaryMagic[4] = {'E', 'G', 'V', 'S'};
+constexpr char kPatchMagic[4] = {'E', 'G', 'W', 'P'};
+constexpr uint8_t kFormatVersion = 1;
+
+// Chunk flag bits.
+constexpr uint8_t kChunkDelete = 1 << 0;
+constexpr uint8_t kChunkBackspace = 1 << 1;
+constexpr uint8_t kChunkChainPrevious = 1 << 2;
+
+}  // namespace
+
+VersionSummary SummarizeDoc(const Doc& doc) {
+  VersionSummary summary;
+  const Graph& g = doc.graph();
+  for (size_t i = 0; i < g.agent_count(); ++i) {
+    AgentId id = static_cast<AgentId>(i);
+    uint64_t next = g.NextSeqFor(id);
+    if (next > 0) {
+      summary.agents.emplace(g.AgentName(id), next);
+    }
+  }
+  return summary;
+}
+
+std::string EncodeSummary(const VersionSummary& summary) {
+  std::string out;
+  out.append(kSummaryMagic, sizeof(kSummaryMagic));
+  out.push_back(static_cast<char>(kFormatVersion));
+  AppendVarint(out, summary.agents.size());
+  for (const auto& [agent, count] : summary.agents) {
+    AppendVarint(out, agent.size());
+    out += agent;
+    AppendVarint(out, count);
+  }
+  return out;
+}
+
+std::optional<VersionSummary> DecodeSummary(std::string_view bytes, std::string* error) {
+  auto fail = [&](const char* msg) -> std::optional<VersionSummary> {
+    if (error != nullptr) {
+      *error = msg;
+    }
+    return std::nullopt;
+  };
+  ByteReader reader(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  std::string magic;
+  if (!reader.ReadBytes(4, magic) || magic != std::string(kSummaryMagic, 4)) {
+    return fail("bad summary magic");
+  }
+  auto version = reader.ReadByte();
+  if (!version || *version != kFormatVersion) {
+    return fail("unsupported summary version");
+  }
+  auto count = reader.ReadVarint();
+  if (!count || *count > 1u << 24) {
+    return fail("bad agent count");
+  }
+  VersionSummary summary;
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto len = reader.ReadVarint();
+    std::string name;
+    if (!len || !reader.ReadBytes(*len, name)) {
+      return fail("bad agent name");
+    }
+    auto seqs = reader.ReadVarint();
+    if (!seqs) {
+      return fail("bad agent seq count");
+    }
+    summary.agents.emplace(std::move(name), *seqs);
+  }
+  if (!reader.empty()) {
+    return fail("trailing summary bytes");
+  }
+  return summary;
+}
+
+std::string MakePatch(const Doc& doc, const VersionSummary& they_have) {
+  const Graph& g = doc.graph();
+  const OpLog& ops = doc.ops();
+
+  // Collect chunks in LV (causal) order, like Doc::MergeFrom, but keep only
+  // events beyond the receiver's per-agent prefix.
+  struct PendingChunk {
+    AgentId agent;
+    uint64_t seq_start;
+    uint64_t count;
+    Frontier parents;  // Local LVs; empty + chained set for a chain link.
+    bool chained;
+    OpSlice slice;
+    uint64_t skip;  // Leading events of the slice not included (known remotely).
+  };
+  std::vector<PendingChunk> chunks;
+  std::unordered_map<std::string, uint64_t> have;
+  for (const auto& [agent, count] : they_have.agents) {
+    have.emplace(agent, count);
+  }
+
+  Lv prev_included_tail = kInvalidLv;  // LV of the previous included chunk's last event.
+  Lv olv = 0;
+  while (olv < g.size()) {
+    const GraphEntry& entry = g.EntryContaining(olv);
+    const AgentSpan& as = g.agent_spans().FindChecked(olv);
+    Lv chunk_end = std::min(entry.span.end, as.span.end);
+    OpSlice slice = ops.SliceAt(olv, chunk_end);
+    chunk_end = olv + slice.count;
+
+    const std::string& agent_name = g.AgentName(as.agent);
+    uint64_t seq = as.seq_start + (olv - as.span.start);
+    uint64_t known_remote = 0;
+    if (auto it = have.find(agent_name); it != have.end() && it->second > seq) {
+      known_remote = std::min<uint64_t>(it->second - seq, slice.count);
+    }
+    if (known_remote == slice.count) {
+      olv = chunk_end;
+      continue;
+    }
+
+    PendingChunk chunk;
+    chunk.agent = as.agent;
+    chunk.seq_start = seq + known_remote;
+    chunk.count = slice.count - known_remote;
+    chunk.skip = known_remote;
+    chunk.slice = slice;
+    if (known_remote > 0) {
+      // The receiver has the run's prefix: chain from (agent, seq-1),
+      // encoded as an explicit parent.
+      chunk.chained = false;
+      chunk.parents = Frontier{olv + known_remote - 1};
+    } else {
+      Frontier parents = g.ParentsOf(olv);
+      chunk.chained = (parents.size() == 1 && parents[0] == prev_included_tail);
+      chunk.parents = std::move(parents);
+    }
+    prev_included_tail = chunk_end - 1;
+    chunks.push_back(std::move(chunk));
+    olv = chunk_end;
+  }
+  if (chunks.empty()) {
+    return std::string();
+  }
+
+  // Agent name table for every agent referenced (authors and parents).
+  std::vector<uint32_t> agent_table;
+  std::unordered_map<uint32_t, uint32_t> agent_index;
+  auto intern = [&](AgentId id) {
+    auto [it, inserted] = agent_index.emplace(id, static_cast<uint32_t>(agent_table.size()));
+    if (inserted) {
+      agent_table.push_back(id);
+    }
+    return it->second;
+  };
+  for (const PendingChunk& chunk : chunks) {
+    intern(chunk.agent);
+    if (!chunk.chained) {
+      for (Lv p : chunk.parents) {
+        intern(g.agent_spans().FindChecked(p).agent);
+      }
+    }
+  }
+
+  std::string out;
+  out.append(kPatchMagic, sizeof(kPatchMagic));
+  out.push_back(static_cast<char>(kFormatVersion));
+  AppendVarint(out, agent_table.size());
+  for (uint32_t id : agent_table) {
+    const std::string& name = g.AgentName(id);
+    AppendVarint(out, name.size());
+    out += name;
+  }
+  AppendVarint(out, chunks.size());
+  for (const PendingChunk& chunk : chunks) {
+    uint8_t flags = 0;
+    if (chunk.slice.kind == OpKind::kDelete) {
+      flags |= kChunkDelete;
+      if (!chunk.slice.fwd) {
+        flags |= kChunkBackspace;
+      }
+    }
+    if (chunk.chained) {
+      flags |= kChunkChainPrevious;
+    }
+    out.push_back(static_cast<char>(flags));
+    AppendVarint(out, intern(chunk.agent));
+    AppendVarint(out, chunk.seq_start);
+    AppendVarint(out, chunk.count);
+    if (!chunk.chained) {
+      AppendVarint(out, chunk.parents.size());
+      for (Lv p : chunk.parents) {
+        RawVersion rv = g.LvToRaw(p);
+        const AgentSpan& pas = g.agent_spans().FindChecked(p);
+        AppendVarint(out, intern(pas.agent));
+        AppendVarint(out, rv.seq);
+      }
+    }
+    // Operation payload, clipped past the receiver-known prefix.
+    if (chunk.slice.kind == OpKind::kInsert) {
+      size_t from = Utf8ByteOfChar(chunk.slice.text, chunk.skip);
+      std::string_view text = chunk.slice.text.substr(from);
+      AppendVarint(out, chunk.slice.pos_start + chunk.skip);
+      AppendVarint(out, text.size());
+      out += text;
+    } else {
+      uint64_t pos =
+          chunk.slice.fwd ? chunk.slice.pos_start : chunk.slice.pos_start - chunk.skip;
+      AppendVarint(out, pos);
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<RemoteChunk>> DecodePatch(std::string_view bytes, std::string* error) {
+  auto fail = [&](const char* msg) -> std::optional<std::vector<RemoteChunk>> {
+    if (error != nullptr) {
+      *error = msg;
+    }
+    return std::nullopt;
+  };
+  ByteReader reader(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  std::string magic;
+  if (!reader.ReadBytes(4, magic) || magic != std::string(kPatchMagic, 4)) {
+    return fail("bad patch magic");
+  }
+  auto version = reader.ReadByte();
+  if (!version || *version != kFormatVersion) {
+    return fail("unsupported patch version");
+  }
+  auto agent_count = reader.ReadVarint();
+  if (!agent_count || *agent_count == 0 || *agent_count > 1u << 24) {
+    return fail("bad patch agent count");
+  }
+  std::vector<std::string> agents;
+  for (uint64_t i = 0; i < *agent_count; ++i) {
+    auto len = reader.ReadVarint();
+    std::string name;
+    if (!len || !reader.ReadBytes(*len, name)) {
+      return fail("bad patch agent name");
+    }
+    agents.push_back(std::move(name));
+  }
+  auto chunk_count = reader.ReadVarint();
+  if (!chunk_count || *chunk_count > 1u << 28) {
+    return fail("bad patch chunk count");
+  }
+  std::vector<RemoteChunk> chunks;
+  chunks.reserve(*chunk_count);
+  for (uint64_t i = 0; i < *chunk_count; ++i) {
+    auto flags = reader.ReadByte();
+    auto agent = reader.ReadVarint();
+    auto seq = reader.ReadVarint();
+    auto count = reader.ReadVarint();
+    if (!flags || !agent || *agent >= agents.size() || !seq || !count || *count == 0) {
+      return fail("bad chunk header");
+    }
+    RemoteChunk chunk;
+    chunk.agent = agents[*agent];
+    chunk.seq_start = *seq;
+    chunk.count = *count;
+    chunk.kind = (*flags & kChunkDelete) != 0 ? OpKind::kDelete : OpKind::kInsert;
+    chunk.fwd = (*flags & kChunkBackspace) == 0;
+    chunk.chain_previous = (*flags & kChunkChainPrevious) != 0;
+    if (chunk.chain_previous && i == 0) {
+      return fail("first chunk cannot chain");
+    }
+    if (!chunk.chain_previous) {
+      auto nparents = reader.ReadVarint();
+      if (!nparents || *nparents > 1u << 16) {
+        return fail("bad chunk parent count");
+      }
+      for (uint64_t p = 0; p < *nparents; ++p) {
+        auto pagent = reader.ReadVarint();
+        auto pseq = reader.ReadVarint();
+        if (!pagent || *pagent >= agents.size() || !pseq) {
+          return fail("bad chunk parent");
+        }
+        chunk.parents.push_back(RawVersion{agents[*pagent], *pseq});
+      }
+    }
+    auto pos = reader.ReadVarint();
+    if (!pos) {
+      return fail("bad chunk position");
+    }
+    chunk.pos = *pos;
+    if (chunk.kind == OpKind::kInsert) {
+      auto text_len = reader.ReadVarint();
+      if (!text_len || !reader.ReadBytes(*text_len, chunk.text)) {
+        return fail("bad chunk text");
+      }
+      if (!Utf8IsValid(chunk.text) || Utf8CountChars(chunk.text) != chunk.count) {
+        return fail("chunk text does not match event count");
+      }
+    }
+    chunks.push_back(std::move(chunk));
+  }
+  if (!reader.empty()) {
+    return fail("trailing patch bytes");
+  }
+  return chunks;
+}
+
+std::optional<uint64_t> ApplyPatch(Doc& doc, std::string_view bytes, std::string* error) {
+  if (bytes.empty()) {
+    return 0;  // MakePatch returns an empty string for "nothing to send".
+  }
+  auto chunks = DecodePatch(bytes, error);
+  if (!chunks) {
+    return std::nullopt;
+  }
+  return doc.ApplyRemoteChunks(*chunks, error);
+}
+
+}  // namespace egwalker

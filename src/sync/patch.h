@@ -1,0 +1,69 @@
+// Network synchronisation: version summaries and event patches.
+//
+// Section 3.8: "We send the same data format over the network when
+// replicating the entire event graph. When sending a subset of events over
+// the network (e.g., a single event during real-time collaboration),
+// references to parent events outside of that subset need to be encoded
+// using event IDs of the form (replicaID, seqNo)."
+//
+// The protocol here is the classic two-step delta sync on top of that idea:
+//
+//   1. The receiver sends a VersionSummary: per agent, how many of that
+//      agent's events it has. Because an agent's events are generated
+//      sequentially on one replica, a causally-closed graph always holds a
+//      per-agent *prefix*, so one integer per agent fully describes the
+//      receiver's knowledge.
+//   2. The sender answers with a patch: every event run the receiver lacks,
+//      in causal order, with parents outside the patch encoded as
+//      (agent, seq) pairs and chained runs flagged instead of re-encoded.
+//
+// Patches compose with Doc::ApplyRemoteChunks, which validates causal
+// closure before touching the document — a patch whose dependencies have
+// not arrived yet is rejected wholesale (the reliable-broadcast layer
+// retries), never half-applied.
+
+#ifndef EGWALKER_SYNC_PATCH_H_
+#define EGWALKER_SYNC_PATCH_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/doc.h"
+
+namespace egwalker {
+
+// Per-agent event counts: agent name -> number of events held (a prefix of
+// that agent's sequence numbers).
+struct VersionSummary {
+  std::map<std::string, uint64_t> agents;
+  bool operator==(const VersionSummary&) const = default;
+};
+
+// Summarises what `doc` knows.
+VersionSummary SummarizeDoc(const Doc& doc);
+
+// Wire encoding of a summary.
+std::string EncodeSummary(const VersionSummary& summary);
+std::optional<VersionSummary> DecodeSummary(std::string_view bytes,
+                                            std::string* error = nullptr);
+
+// Builds a patch containing every event of `doc` the holder of `they_have`
+// lacks. Returns an empty string when there is nothing to send.
+std::string MakePatch(const Doc& doc, const VersionSummary& they_have);
+
+// Decodes a patch into remote chunks (ready for Doc::ApplyRemoteChunks).
+std::optional<std::vector<RemoteChunk>> DecodePatch(std::string_view bytes,
+                                                    std::string* error = nullptr);
+
+// Convenience: decode + apply. Returns the number of events merged;
+// std::nullopt if the patch is malformed or causally premature (the
+// document is left unchanged in either case).
+std::optional<uint64_t> ApplyPatch(Doc& doc, std::string_view bytes,
+                                   std::string* error = nullptr);
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_SYNC_PATCH_H_

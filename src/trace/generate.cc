@@ -1,0 +1,648 @@
+#include "trace/generate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+#include "util/prng.h"
+
+namespace egwalker {
+namespace {
+
+// Draws a burst length with roughly geometric distribution and mean `mean`.
+uint64_t Burst(Prng& rng, double mean) {
+  if (mean <= 1.0) {
+    return 1;
+  }
+  double p = 1.0 - 1.0 / mean;
+  return rng.BurstLen(p, static_cast<uint64_t>(mean * 6.0) + 1);
+}
+
+// Tracks progress towards the insert/delete event budget so generated traces
+// land on the target "chars remaining" fraction.
+class Budget {
+ public:
+  Budget(uint64_t target_events, double chars_remaining) {
+    double r = std::clamp(chars_remaining, 0.0, 1.0);
+    ins_target_ = static_cast<uint64_t>(std::llround(static_cast<double>(target_events) / (2.0 - r)));
+    del_target_ = target_events - ins_target_;
+  }
+
+  bool done() const { return ins_done_ >= ins_target_ && del_done_ >= del_target_; }
+
+  // Decides whether the next burst should delete, biased towards whichever
+  // budget is furthest behind.
+  bool WantDelete(Prng& rng) const {
+    double ins_need = ins_target_ > ins_done_ ? static_cast<double>(ins_target_ - ins_done_) : 0;
+    double del_need = del_target_ > del_done_ ? static_cast<double>(del_target_ - del_done_) : 0;
+    if (del_need == 0) {
+      return false;
+    }
+    if (ins_need == 0) {
+      return true;
+    }
+    return rng.NextDouble() < del_need / (ins_need + del_need);
+  }
+
+  void NoteInsert(uint64_t n) { ins_done_ += n; }
+  void NoteDelete(uint64_t n) { del_done_ += n; }
+  uint64_t ins_remaining() const { return ins_target_ > ins_done_ ? ins_target_ - ins_done_ : 0; }
+  uint64_t del_remaining() const { return del_target_ > del_done_ ? del_target_ - del_done_ : 0; }
+
+ private:
+  uint64_t ins_target_ = 0;
+  uint64_t del_target_ = 0;
+  uint64_t ins_done_ = 0;
+  uint64_t del_done_ = 0;
+};
+
+}  // namespace
+
+std::string GenerateProse(Prng& rng, uint64_t chars) {
+  static constexpr const char* kSyllables[] = {"ba", "re", "ti", "on", "al", "en", "qu",
+                                               "is", "or", "an", "th", "er", "in", "st",
+                                               "ed", "ar", "ou", "le", "co", "de"};
+  constexpr size_t kNumSyllables = sizeof(kSyllables) / sizeof(kSyllables[0]);
+  std::string out;
+  out.reserve(chars + 16);
+  uint64_t words_left_in_sentence = rng.Range(6, 14);
+  while (out.size() < chars) {
+    uint64_t syllables = rng.Range(1, 4);
+    for (uint64_t s = 0; s < syllables; ++s) {
+      out += kSyllables[rng.Below(kNumSyllables)];
+    }
+    if (--words_left_in_sentence == 0) {
+      out += rng.Chance(0.2) ? ".\n" : ". ";
+      words_left_in_sentence = rng.Range(6, 14);
+    } else {
+      out += ' ';
+    }
+  }
+  out.resize(chars);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sequential traces (S1, S2, S3)
+// ---------------------------------------------------------------------------
+
+Trace GenerateSequential(const SequentialConfig& config, std::string name) {
+  Trace trace;
+  trace.name = std::move(name);
+  Prng rng(config.seed);
+
+  std::vector<AgentId> agents;
+  for (uint32_t i = 0; i < std::max<uint32_t>(config.authors, 1); ++i) {
+    agents.push_back(trace.graph.GetOrCreateAgent("author-" + std::to_string(i)));
+  }
+  size_t current_agent = 0;
+
+  Budget budget(config.target_events, config.chars_remaining);
+  uint64_t doc_len = 0;
+  uint64_t cursor = 0;
+
+  while (!budget.done()) {
+    // Authors take turns in long stretches (the paper's S1/S3 pattern).
+    if (agents.size() > 1 && rng.Chance(0.0008)) {
+      current_agent = (current_agent + 1) % agents.size();
+    }
+    // Occasionally jump the cursor: mostly near the end of the document,
+    // sometimes anywhere (revising earlier text).
+    if (doc_len > 0 && rng.Chance(0.15)) {
+      if (rng.Chance(0.6)) {
+        uint64_t back = std::min<uint64_t>(doc_len, rng.Below(80));
+        cursor = doc_len - back;
+      } else {
+        cursor = rng.Below(doc_len + 1);
+      }
+    }
+
+    if (doc_len > 2 && budget.WantDelete(rng)) {
+      uint64_t n = std::min<uint64_t>(Burst(rng, 8.0), std::max<uint64_t>(budget.del_remaining(), 1));
+      if (rng.Chance(0.7) && cursor > 0) {
+        n = std::min(n, cursor);
+        trace.AppendDelete(agents[current_agent], trace.graph.version(), cursor - 1, n,
+                           /*fwd=*/false);
+        cursor -= n;
+      } else if (cursor < doc_len) {
+        n = std::min(n, doc_len - cursor);
+        trace.AppendDelete(agents[current_agent], trace.graph.version(), cursor, n, /*fwd=*/true);
+      } else {
+        continue;
+      }
+      doc_len -= n;
+      budget.NoteDelete(n);
+    } else {
+      uint64_t n = std::min<uint64_t>(Burst(rng, 22.0), std::max<uint64_t>(budget.ins_remaining(), 1));
+      std::string text = GenerateProse(rng, n);
+      trace.AppendInsert(agents[current_agent], trace.graph.version(), cursor, text);
+      cursor += n;
+      doc_len += n;
+      budget.NoteInsert(n);
+    }
+  }
+  return trace;
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent traces (C1, C2)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// One user's private view of their region during a concurrent phase. The two
+// users own disjoint halves of the document (split at `boundary`), so both
+// branches stay position-valid and the merged length is exactly the sum of
+// their growth.
+struct RegionEditor {
+  Frontier tip;          // This branch's latest event.
+  uint64_t view_offset;  // Where the region starts in this user's view.
+  uint64_t region_len;   // Current region length in this user's view.
+  uint64_t cursor;       // Offset within the region.
+  int64_t delta = 0;     // Net chars added by this branch.
+};
+
+}  // namespace
+
+Trace GenerateConcurrent(const ConcurrentConfig& config, std::string name) {
+  Trace trace;
+  trace.name = std::move(name);
+  Prng rng(config.seed);
+  AgentId alice = trace.graph.GetOrCreateAgent("alice");
+  AgentId bob = trace.graph.GetOrCreateAgent("bob");
+
+  Budget budget(config.target_events, config.chars_remaining);
+  uint64_t doc_len = 0;
+  uint64_t solo_cursor = 0;
+  uint64_t cycle = 0;
+
+  // Emits one burst inside a region editor; returns events emitted.
+  auto region_burst = [&](RegionEditor& ed, AgentId agent, uint64_t n) {
+    if (ed.cursor > ed.region_len) {
+      ed.cursor = ed.region_len;
+    }
+    bool do_delete = ed.region_len > 4 && ed.cursor > 1 && budget.WantDelete(rng);
+    if (do_delete) {
+      uint64_t take = std::min(n, ed.cursor);
+      Lv lv = trace.AppendDelete(agent, ed.tip, ed.view_offset + ed.cursor - 1, take,
+                                 /*fwd=*/false);
+      ed.tip = Frontier{lv + take - 1};
+      ed.cursor -= take;
+      ed.region_len -= take;
+      ed.delta -= static_cast<int64_t>(take);
+      budget.NoteDelete(take);
+    } else {
+      std::string text = GenerateProse(rng, n);
+      Lv lv = trace.AppendInsert(agent, ed.tip, ed.view_offset + ed.cursor, text);
+      ed.tip = Frontier{lv + n - 1};
+      ed.cursor += n;
+      ed.region_len += n;
+      ed.delta += static_cast<int64_t>(n);
+      budget.NoteInsert(n);
+    }
+  };
+
+  while (!budget.done()) {
+    // --- Solo phase: one user types alone (merging any open branches). ---
+    AgentId solo_agent = (cycle % 2 == 0) ? alice : bob;
+    uint64_t solo_events = Burst(rng, config.solo_mean);
+    for (uint64_t done = 0; done < solo_events && !budget.done();) {
+      if (doc_len > 0 && rng.Chance(0.3)) {
+        solo_cursor = rng.Chance(0.7) ? doc_len : rng.Below(doc_len + 1);
+      } else if (solo_cursor > doc_len) {
+        solo_cursor = doc_len;
+      }
+      uint64_t n = std::max<uint64_t>(1, std::min<uint64_t>(Burst(rng, 6.0), solo_events - done));
+      if (doc_len > 4 && solo_cursor > 1 && budget.WantDelete(rng)) {
+        uint64_t take = std::min(n, solo_cursor);
+        trace.AppendDelete(solo_agent, trace.graph.version(), solo_cursor - 1, take,
+                           /*fwd=*/false);
+        solo_cursor -= take;
+        doc_len -= take;
+        budget.NoteDelete(take);
+        done += take;
+      } else {
+        std::string text = GenerateProse(rng, n);
+        trace.AppendInsert(solo_agent, trace.graph.version(), solo_cursor, text);
+        solo_cursor += n;
+        doc_len += n;
+        budget.NoteInsert(n);
+        done += n;
+      }
+    }
+    ++cycle;
+    if (budget.done()) {
+      break;
+    }
+
+    // --- Concurrent phase: both users type at once in disjoint regions. ---
+    if (doc_len < 16) {
+      continue;  // Not enough content to split yet.
+    }
+    uint64_t boundary = rng.Range(4, doc_len - 4);
+    RegionEditor ea{trace.graph.version(), 0, boundary, boundary, 0};
+    RegionEditor eb{trace.graph.version(), boundary, doc_len - boundary, 0, 0};
+    // Occasionally both users start typing at the exact same spot (the
+    // region boundary), exercising the concurrent-insert tie-breaking rule.
+    if (rng.Chance(0.15)) {
+      ea.cursor = ea.region_len;
+      eb.cursor = 0;
+    } else {
+      ea.cursor = rng.Below(ea.region_len + 1);
+      eb.cursor = rng.Below(eb.region_len + 1);
+    }
+    for (uint32_t b = 0; b < config.bursts_per_phase && !budget.done(); ++b) {
+      region_burst(ea, alice, Burst(rng, config.burst_mean));
+      if (budget.done()) {
+        break;
+      }
+      region_burst(eb, bob, Burst(rng, config.burst_mean));
+    }
+    doc_len = static_cast<uint64_t>(static_cast<int64_t>(doc_len) + ea.delta + eb.delta);
+    solo_cursor = std::min(solo_cursor, doc_len);
+    // The next solo burst's parents are {tipA, tipB}: the merge point.
+  }
+  return trace;
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous traces (A1, A2)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// A Git-style branch: a private view of the document expressed as segment
+// lengths. Branches hold exclusive locks on the segments they edit, so the
+// merged document composes segment-wise and positions stay valid.
+struct Branch {
+  Frontier tip;
+  std::vector<uint64_t> seg_len;  // This branch's view of every segment.
+  std::vector<uint32_t> locked;   // Segments this branch may edit.
+  AgentId author = 0;
+};
+
+// Emits one commit: a run of diff-like edits confined to `locked` segments.
+// Returns the number of events emitted.
+uint64_t EmitCommit(Trace& trace, Prng& rng, Budget& budget, Branch& br, uint64_t target_events,
+                    double ins_mean) {
+  uint64_t emitted = 0;
+  while (emitted < target_events && !budget.done()) {
+    uint32_t seg = br.locked[rng.Below(br.locked.size())];
+    uint64_t seg_start = 0;
+    for (uint32_t s = 0; s < seg; ++s) {
+      seg_start += br.seg_len[s];
+    }
+    uint64_t len = br.seg_len[seg];
+    bool do_delete = len > 2 && budget.WantDelete(rng);
+    if (do_delete) {
+      uint64_t n = std::min<uint64_t>(Burst(rng, ins_mean), len - 1);
+      n = std::min<uint64_t>(n, std::max<uint64_t>(budget.del_remaining(), 1));
+      if (n == 0) {
+        continue;
+      }
+      uint64_t pos = seg_start + rng.Below(len - n + 1);
+      Lv lv = trace.AppendDelete(br.author, br.tip, pos, n, /*fwd=*/true);
+      br.tip = Frontier{lv + n - 1};
+      br.seg_len[seg] -= n;
+      budget.NoteDelete(n);
+      emitted += n;
+    } else {
+      uint64_t n = std::max<uint64_t>(1, Burst(rng, ins_mean));
+      n = std::min<uint64_t>(n, std::max<uint64_t>(budget.ins_remaining(), 1));
+      uint64_t pos = seg_start + rng.Below(len + 1);
+      std::string text = GenerateProse(rng, n);
+      Lv lv = trace.AppendInsert(br.author, br.tip, pos, text);
+      br.tip = Frontier{lv + n - 1};
+      br.seg_len[seg] += n;
+      budget.NoteInsert(n);
+      emitted += n;
+    }
+  }
+  return emitted;
+}
+
+}  // namespace
+
+Trace GenerateAsync(const AsyncConfig& config, std::string name) {
+  Trace trace;
+  trace.name = std::move(name);
+  Prng rng(config.seed);
+
+  std::vector<AgentId> authors;
+  for (uint32_t i = 0; i < std::max<uint32_t>(config.authors, 1); ++i) {
+    authors.push_back(trace.graph.GetOrCreateAgent("dev-" + std::to_string(i)));
+  }
+  size_t author_cursor = 0;
+  auto next_author = [&]() {
+    AgentId a = authors[author_cursor % authors.size()];
+    ++author_cursor;
+    return a;
+  };
+
+  Budget budget(config.target_events, config.chars_remaining);
+  constexpr uint32_t kSegments = 64;
+
+  // Bootstrap: the initial import commit seeds every segment with content.
+  uint64_t init_chars =
+      std::max<uint64_t>(kSegments * 48, std::min<uint64_t>(budget.ins_remaining() / 20, 65536));
+  Branch main;
+  main.author = next_author();
+  {
+    std::string text = GenerateProse(rng, init_chars);
+    Lv lv = trace.AppendInsert(main.author, Frontier{}, 0, text);
+    main.tip = Frontier{lv + init_chars - 1};
+    budget.NoteInsert(init_chars);
+    main.seg_len.assign(kSegments, init_chars / kSegments);
+    main.seg_len[0] += init_chars % kSegments;
+  }
+  for (uint32_t s = 0; s < kSegments; ++s) {
+    main.locked.push_back(s);
+  }
+
+  uint64_t commit_mean =
+      std::max<uint64_t>(16, config.target_events / std::max<uint64_t>(config.target_commits, 1));
+  const double kInsMean = 24.0;
+
+  if (config.style == AsyncConfig::Style::kSerial) {
+    // A1-like: purely sequential mainline stretches alternating with
+    // episodes of (mainline work || one offline branch). Real histories of
+    // this shape (e.g. node.cc) have long branch-free sections, which is
+    // what makes the critical-version optimisation effective on A1
+    // (Figure 9).
+    while (!budget.done()) {
+      // Sequential stretch: mainline commits with no live branch.
+      {
+        uint64_t stretch = commit_mean;
+        uint64_t done = 0;
+        while (done < stretch && !budget.done()) {
+          main.author = next_author();
+          uint64_t got =
+              EmitCommit(trace, rng, budget, main, std::min(commit_mean, stretch - done),
+                         kInsMean);
+          if (got == 0) {
+            break;
+          }
+          done += got;
+        }
+      }
+      if (budget.done()) {
+        break;
+      }
+      // Branch episode. The branch's share is doubled so the whole-trace
+      // concurrency average still hits branch_event_fraction.
+      uint64_t episode_events = commit_mean * 2;
+      uint64_t main_events = static_cast<uint64_t>(
+          static_cast<double>(episode_events) * (1.0 - 1.5 * config.branch_event_fraction));
+      // Fork before main continues: the branch sees this snapshot.
+      Branch side;
+      side.author = next_author();
+      side.tip = main.tip;
+      side.seg_len = main.seg_len;
+      uint32_t lock_count = 1 + static_cast<uint32_t>(rng.Below(kSegments / 4));
+      std::vector<uint32_t> free_segments;
+      for (uint32_t s = 0; s < kSegments; ++s) {
+        free_segments.push_back(s);
+      }
+      for (uint32_t i = 0; i < lock_count; ++i) {
+        uint32_t pick = static_cast<uint32_t>(rng.Below(free_segments.size()));
+        side.locked.push_back(free_segments[pick]);
+        free_segments.erase(free_segments.begin() + pick);
+      }
+      main.locked = free_segments;
+
+      // Mainline commits (several, different authors, all chaining).
+      uint64_t done = 0;
+      while (done < main_events && !budget.done()) {
+        main.author = next_author();
+        done += EmitCommit(trace, rng, budget, main, std::min(commit_mean, main_events - done),
+                           kInsMean);
+      }
+      // The offline branch's block, appended after (it worked concurrently).
+      uint64_t side_events = episode_events - main_events;
+      uint64_t sdone = 0;
+      while (sdone < side_events && !budget.done()) {
+        sdone += EmitCommit(trace, rng, budget, side, std::min(commit_mean, side_events - sdone),
+                            kInsMean);
+        if (sdone == 0) {
+          break;  // Budget exhausted mid-commit.
+        }
+      }
+      // Merge: adopt the branch's segments; the next main commit has both
+      // tips as parents.
+      for (uint32_t s : side.locked) {
+        main.seg_len[s] = side.seg_len[s];
+      }
+      Frontier merged;
+      for (Lv v : main.tip) {
+        FrontierInsert(merged, v);
+      }
+      for (Lv v : side.tip) {
+        FrontierInsert(merged, v);
+      }
+      main.tip = trace.graph.Reduce(merged);
+      main.locked.clear();
+      for (uint32_t s = 0; s < kSegments; ++s) {
+        main.locked.push_back(s);
+      }
+    }
+  } else {
+    // A2-like: several branches live at once, committing in turns.
+    std::vector<Branch> branches;  // branches[0] is main.
+    std::vector<uint32_t> free_segments;
+    for (uint32_t s = 0; s < kSegments; ++s) {
+      free_segments.push_back(s);
+    }
+    main.locked.clear();
+    branches.push_back(std::move(main));
+
+    auto fork = [&]() {
+      if (free_segments.size() < 4) {
+        return;
+      }
+      Branch side;
+      side.author = next_author();
+      side.tip = branches[0].tip;
+      side.seg_len = branches[0].seg_len;
+      uint32_t lock_count = 1 + static_cast<uint32_t>(rng.Below(4));
+      for (uint32_t i = 0; i < lock_count && !free_segments.empty(); ++i) {
+        uint32_t pick = static_cast<uint32_t>(rng.Below(free_segments.size()));
+        side.locked.push_back(free_segments[pick]);
+        free_segments.erase(free_segments.begin() + pick);
+      }
+      branches.push_back(std::move(side));
+    };
+    auto merge = [&](size_t idx) {
+      Branch& side = branches[idx];
+      for (uint32_t s : side.locked) {
+        branches[0].seg_len[s] = side.seg_len[s];
+        free_segments.push_back(s);
+      }
+      Frontier merged = branches[0].tip;
+      for (Lv v : side.tip) {
+        FrontierInsert(merged, v);
+      }
+      branches[0].tip = trace.graph.Reduce(merged);
+      branches.erase(branches.begin() + static_cast<long>(idx));
+    };
+
+    while (branches.size() < config.live_branches + 1) {
+      fork();
+    }
+    // Main needs some locked segments too; give it the remainder.
+    branches[0].locked = free_segments;
+    free_segments.clear();
+
+    uint64_t commits_since_churn = 0;
+    while (!budget.done()) {
+      size_t pick = rng.Below(branches.size());
+      Branch& br = branches[pick];
+      if (pick != 0) {
+        // Side branches keep one author for their lifetime; main rotates.
+      } else {
+        br.author = next_author();
+      }
+      if (br.locked.empty()) {
+        ++commits_since_churn;
+      } else {
+        EmitCommit(trace, rng, budget, br, std::max<uint64_t>(4, Burst(rng, double(commit_mean))),
+                   kInsMean);
+      }
+      // Branch churn: occasionally merge one branch and fork a fresh one,
+      // keeping the live count steady.
+      if (++commits_since_churn >= config.live_branches * 3 && branches.size() > 1) {
+        commits_since_churn = 0;
+        size_t victim = 1 + rng.Below(branches.size() - 1);
+        // Reclaim main's locks so the new fork has segments to take.
+        merge(victim);
+        fork();
+      }
+    }
+    // Merge everything at the end so the trace finishes on a single frontier.
+    while (branches.size() > 1) {
+      merge(branches.size() - 1);
+    }
+    if (trace.graph.version().size() > 1) {
+      // A final no-op-ish commit to join the remaining tips.
+      Branch& m = branches[0];
+      m.author = next_author();
+      if (m.locked.empty()) {
+        m.locked.push_back(0);
+        // Segment 0 may be locked elsewhere, but all branches are merged now.
+      }
+      std::string text = GenerateProse(rng, 1);
+      trace.AppendInsert(m.author, trace.graph.version(), 0, text);
+      budget.NoteInsert(1);
+    }
+  }
+  return trace;
+}
+
+// ---------------------------------------------------------------------------
+// Trace repetition (Table 1's "Repeats" column)
+// ---------------------------------------------------------------------------
+
+Trace RepeatTrace(const Trace& trace, uint32_t times, uint64_t final_len) {
+  EGW_CHECK(times >= 1);
+  Trace out;
+  out.name = trace.name;
+  const Lv n = trace.graph.size();
+  for (uint32_t k = 0; k < times; ++k) {
+    const uint64_t pos_shift = static_cast<uint64_t>(k) * final_len;
+    const Lv lv_shift = static_cast<Lv>(k) * n;
+    // Copy k's root events chain onto the previous copy's frontier.
+    const Frontier prev_tail = out.graph.version();
+
+    std::vector<AgentId> agents;
+    for (size_t i = 0; i < trace.graph.agent_count(); ++i) {
+      std::string name = trace.graph.AgentName(static_cast<AgentId>(i));
+      if (k > 0) {
+        name += "~" + std::to_string(k);
+      }
+      agents.push_back(out.graph.GetOrCreateAgent(name));
+    }
+
+    Lv olv = 0;
+    while (olv < n) {
+      const GraphEntry& entry = trace.graph.EntryContaining(olv);
+      const AgentSpan& as = trace.graph.agent_spans().FindChecked(olv);
+      Lv chunk_end = std::min(entry.span.end, as.span.end);
+      OpSlice slice = trace.ops.SliceAt(olv, chunk_end);
+      chunk_end = olv + slice.count;
+
+      Frontier parents;
+      if (olv == entry.span.start && entry.parents.empty()) {
+        parents = prev_tail;
+      } else {
+        for (Lv p : trace.graph.ParentsOf(olv)) {
+          FrontierInsert(parents, p + lv_shift);
+        }
+      }
+      uint64_t seq = as.seq_start + (olv - as.span.start);
+      Lv lstart = out.graph.Add(agents[as.agent], seq, slice.count, parents);
+      EGW_CHECK(lstart == olv + lv_shift);
+      if (slice.kind == OpKind::kInsert) {
+        out.ops.PushInsert(lstart, slice.pos_start + pos_shift, slice.text);
+      } else {
+        out.ops.PushDelete(lstart, slice.count, slice.pos_start + pos_shift, slice.fwd);
+      }
+      olv = chunk_end;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Named presets (Table 1)
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> TraceNames() { return {"S1", "S2", "S3", "C1", "C2", "A1", "A2"}; }
+
+Trace GenerateNamedTrace(std::string_view name, double scale) {
+  auto events = [scale](double thousands) {
+    return static_cast<uint64_t>(std::llround(thousands * 1000.0 * scale));
+  };
+  if (name == "S1") {
+    return GenerateSequential({events(779), 0.575, 2, 0x51}, "S1");
+  }
+  if (name == "S2") {
+    return GenerateSequential({events(1105), 0.267, 1, 0x52}, "S2");
+  }
+  if (name == "S3") {
+    return GenerateSequential({events(2339), 0.099, 2, 0x53}, "S3");
+  }
+  if (name == "C1") {
+    return GenerateConcurrent({events(652), 0.901, 3, 3.65, 20.6, 0xC1}, "C1");
+  }
+  if (name == "C2") {
+    return GenerateConcurrent({events(608), 0.930, 3, 2.4, 12.9, 0xC2}, "C2");
+  }
+  if (name == "A1") {
+    AsyncConfig cfg;
+    cfg.target_events = events(947);
+    cfg.chars_remaining = 0.078;
+    cfg.style = AsyncConfig::Style::kSerial;
+    cfg.branch_event_fraction = 0.10;
+    // Each cycle (sequential stretch + branch episode) spans three commit
+    // lengths and contributes two graph runs; 150 commits => ~50 cycles =>
+    // ~101 runs at scale 1.0, matching Table 1.
+    cfg.target_commits = static_cast<uint64_t>(std::max(9.0, 150.0 * scale));
+    cfg.authors = 194;
+    cfg.seed = 0xA1;
+    return GenerateAsync(cfg, "A1");
+  }
+  if (name == "A2") {
+    AsyncConfig cfg;
+    cfg.target_events = events(698);
+    cfg.chars_remaining = 0.496;
+    cfg.style = AsyncConfig::Style::kInterleaved;
+    cfg.live_branches = 6;
+    cfg.target_commits = static_cast<uint64_t>(std::max(8.0, 2430.0 * scale));
+    cfg.authors = 299;
+    cfg.seed = 0xA2;
+    return GenerateAsync(cfg, "A2");
+  }
+  EGW_CHECK(false && "unknown trace name");
+  return Trace{};
+}
+
+}  // namespace egwalker

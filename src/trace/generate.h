@@ -1,0 +1,92 @@
+// Synthetic editing-trace generators.
+//
+// The paper's evaluation uses seven recorded traces (Table 1). The raw
+// keystroke data is not redistributable here, so this module generates
+// deterministic synthetic equivalents parameterised to match the published
+// per-trace statistics: total events, average concurrency, graph runs,
+// author count, percentage of characters remaining, and final document size.
+// The algorithms under test are sensitive to the *shape* of the event graph
+// (linear runs, short-lived branches, long-running branches) and to edit
+// locality — which is exactly what Table 1 summarises and what these
+// generators reproduce. See DESIGN.md §3 (Substitutions).
+//
+// Three families:
+//  - Sequential (S1, S2, S3): one linear history; one or two authors taking
+//    turns; bursty human typing with backspaces and rewrites.
+//  - Concurrent (C1, C2): two live collaborators with network latency;
+//    many short-lived branches that merge within a few events.
+//  - Asynchronous (A1, A2): Git-style histories; long-running branches,
+//    fork/merge structure, per-commit diff-sized edit runs, many authors.
+//
+// All generators are fully deterministic given (name, scale): identical
+// traces on every machine, as required for comparable benchmark tables.
+
+#ifndef EGWALKER_TRACE_GENERATE_H_
+#define EGWALKER_TRACE_GENERATE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace egwalker {
+
+struct SequentialConfig {
+  uint64_t target_events = 100000;
+  double chars_remaining = 0.5;  // Fraction of inserted chars never deleted.
+  uint32_t authors = 1;
+  uint64_t seed = 1;
+};
+
+struct ConcurrentConfig {
+  uint64_t target_events = 100000;
+  double chars_remaining = 0.9;
+  // Per collaboration cycle: one solo run, then a concurrent phase where
+  // both users type `bursts_per_phase` bursts of mean length `burst_mean`.
+  uint32_t bursts_per_phase = 3;
+  double burst_mean = 3.0;
+  double solo_mean = 15.0;
+  uint64_t seed = 2;
+};
+
+struct AsyncConfig {
+  uint64_t target_events = 100000;
+  double chars_remaining = 0.3;
+  // kSerial: one branch at a time forks off main and merges back (A1-like:
+  //   offline editing). kInterleaved: several branches live at once and
+  //   commit in turns (A2-like: busy repository).
+  enum class Style { kSerial, kInterleaved };
+  Style style = Style::kSerial;
+  double branch_event_fraction = 0.10;  // kSerial: share of events on branches.
+  uint32_t live_branches = 6;           // kInterleaved: concurrent branch count.
+  uint64_t target_commits = 100;        // Approximate graph-run count driver.
+  uint32_t authors = 10;
+  uint64_t seed = 3;
+};
+
+Trace GenerateSequential(const SequentialConfig& config, std::string name);
+Trace GenerateConcurrent(const ConcurrentConfig& config, std::string name);
+Trace GenerateAsync(const AsyncConfig& config, std::string name);
+
+// Names of the seven Table 1 presets: S1 S2 S3 C1 C2 A1 A2.
+std::vector<std::string> TraceNames();
+
+// Generates a named preset. `scale` multiplies the event count (1.0 = the
+// paper's normalised size, roughly 500k-1M inserted characters).
+Trace GenerateNamedTrace(std::string_view name, double scale = 1.0);
+
+// Human-looking filler prose: ASCII words, spaces, punctuation, newlines.
+std::string GenerateProse(class Prng& rng, uint64_t chars);
+
+// Sequentially repeats a trace `times` times, as the paper does to
+// normalise trace lengths (Table 1's "Repeats" column): each copy re-edits
+// the document produced by the previous copies, with its positions shifted
+// by the accumulated document growth and its agents renamed per copy. The
+// repeated trace's graph is the original's copies chained end to end.
+// `final_len` must be the document length after replaying `trace` once.
+Trace RepeatTrace(const Trace& trace, uint32_t times, uint64_t final_len);
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_TRACE_GENERATE_H_

@@ -1,0 +1,143 @@
+#include "trace/trace.h"
+
+#include "rope/utf8.h"
+#include "util/assert.h"
+
+namespace egwalker {
+
+void OpLog::PushInsert(Lv start, uint64_t pos, std::string_view utf8) {
+  EGW_CHECK(start == size());
+  uint64_t chars = Utf8CountChars(utf8);
+  EGW_CHECK(chars > 0);
+  OpRun run;
+  run.span = {start, start + chars};
+  run.kind = OpKind::kInsert;
+  run.pos = pos;
+  run.fwd = true;
+  run.text = std::string(utf8);
+  runs_.Push(std::move(run));
+  inserted_ += chars;
+}
+
+void OpLog::PushDelete(Lv start, uint64_t count, uint64_t pos, bool fwd) {
+  EGW_CHECK(start == size());
+  EGW_CHECK(count > 0);
+  OpRun run;
+  run.span = {start, start + count};
+  run.kind = OpKind::kDelete;
+  run.pos = pos;
+  run.fwd = count == 1 ? true : fwd;
+  runs_.Push(std::move(run));
+  deleted_ += count;
+}
+
+Op OpLog::OpAt(Lv v) const {
+  const OpRun& run = runs_.FindChecked(v);
+  uint64_t off = v - run.span.start;
+  Op op;
+  op.kind = run.kind;
+  if (run.kind == OpKind::kInsert) {
+    op.pos = run.pos + off;
+    size_t byte = Utf8ByteOfChar(run.text, off);
+    size_t len;
+    op.codepoint = Utf8DecodeAt(run.text, byte, &len);
+  } else {
+    op.pos = run.fwd ? run.pos : run.pos - off;
+  }
+  return op;
+}
+
+OpSlice OpLog::SliceAt(Lv v, Lv end) const {
+  const OpRun& run = runs_.FindChecked(v);
+  uint64_t off = v - run.span.start;
+  uint64_t count = std::min<uint64_t>(end, run.span.end) - v;
+  OpSlice slice;
+  slice.kind = run.kind;
+  slice.count = count;
+  slice.fwd = run.fwd;
+  if (run.kind == OpKind::kInsert) {
+    slice.pos_start = run.pos + off;
+    size_t from = Utf8ByteOfChar(run.text, off);
+    size_t to = Utf8ByteOfChar(run.text, off + count);
+    slice.text = std::string_view(run.text).substr(from, to - from);
+  } else {
+    slice.pos_start = run.fwd ? run.pos : run.pos - off;
+  }
+  return slice;
+}
+
+uint64_t& Trace::NextSeq(AgentId agent) {
+  if (next_seq_.size() <= agent) {
+    next_seq_.resize(agent + 1, 0);
+  }
+  // Events may also have been added for this agent directly (loading a
+  // saved document, merging); never reuse a sequence number.
+  uint64_t& seq = next_seq_[agent];
+  uint64_t floor = graph.NextSeqFor(agent);
+  if (seq < floor) {
+    seq = floor;
+  }
+  return seq;
+}
+
+Lv Trace::AppendInsert(AgentId agent, const Frontier& parents, uint64_t pos,
+                       std::string_view utf8) {
+  uint64_t chars = Utf8CountChars(utf8);
+  uint64_t& seq = NextSeq(agent);
+  Lv start = graph.Add(agent, seq, chars, parents);
+  seq += chars;
+  ops.PushInsert(start, pos, utf8);
+  return start;
+}
+
+Lv Trace::AppendDelete(AgentId agent, const Frontier& parents, uint64_t pos, uint64_t count,
+                       bool fwd) {
+  uint64_t& seq = NextSeq(agent);
+  Lv start = graph.Add(agent, seq, count, parents);
+  seq += count;
+  ops.PushDelete(start, count, pos, fwd);
+  return start;
+}
+
+TraceStats ComputeStats(const Trace& trace, uint64_t final_doc_chars, uint64_t final_doc_bytes) {
+  TraceStats stats;
+  stats.name = trace.name;
+  stats.events = trace.graph.size();
+  stats.graph_runs = trace.graph.entry_count();
+  // Authors who contributed at least one event (interned-but-unused agents
+  // do not count, matching Table 1's definition).
+  {
+    std::vector<bool> seen(trace.graph.agent_count(), false);
+    for (const AgentSpan& s : trace.graph.agent_spans()) {
+      seen[s.agent] = true;
+    }
+    stats.authors = 0;
+    for (bool b : seen) {
+      stats.authors += b ? 1 : 0;
+    }
+  }
+  stats.inserted_chars = trace.ops.total_inserted_chars();
+  stats.final_size_bytes = final_doc_bytes;
+  stats.chars_remaining_pct =
+      stats.inserted_chars == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(final_doc_chars) / static_cast<double>(stats.inserted_chars);
+
+  // Average concurrency: walk runs in generation (LV) order, simulating the
+  // frontier; each event's concurrency is the number of other branch tips
+  // alive when it was generated.
+  Frontier frontier;
+  double weighted = 0.0;
+  for (const GraphEntry& e : trace.graph.entries()) {
+    for (Lv p : e.parents) {
+      FrontierErase(frontier, p);
+    }
+    weighted += static_cast<double>(frontier.size()) * static_cast<double>(e.span.size());
+    FrontierInsert(frontier, e.span.end - 1);
+  }
+  stats.avg_concurrency =
+      stats.events == 0 ? 0.0 : weighted / static_cast<double>(stats.events);
+  return stats;
+}
+
+}  // namespace egwalker

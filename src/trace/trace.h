@@ -1,0 +1,157 @@
+// Editing traces: the operations attached to the event graph.
+//
+// An event is (id, parents, operation) — Section 2.2. The Graph stores ids
+// and parents; this module stores the operations, run-length encoded by the
+// same local-version indexing. Keeping them in separate columns mirrors the
+// paper's storage format and means every algorithm (eg-walker, OT, the
+// CRDTs) consumes identical inputs.
+//
+// Operation positions are indexes into the document *as it was at the
+// event's parent version* (Section 2.3). Position runs exploit typing
+// patterns: an insert run types left-to-right (positions ascend), a
+// forward-delete run holds the delete key (positions constant), and a
+// backspace run moves backwards (positions descend).
+
+#ifndef EGWALKER_TRACE_TRACE_H_
+#define EGWALKER_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rle.h"
+
+namespace egwalker {
+
+enum class OpKind : uint8_t { kInsert, kDelete };
+
+// A single event's operation, fully resolved.
+struct Op {
+  OpKind kind = OpKind::kInsert;
+  uint64_t pos = 0;
+  uint32_t codepoint = 0;  // Inserted scalar value; 0 for deletes.
+};
+
+// A clipped, zero-copy view of part of one run (see OpLog::SliceAt).
+struct OpSlice {
+  OpKind kind = OpKind::kInsert;
+  uint64_t count = 0;
+  uint64_t pos_start = 0;       // Position of the slice's first event.
+  bool fwd = true;              // Delete direction; inserts are always fwd.
+  std::string_view text;        // UTF-8 content for insert slices.
+};
+
+// A run of same-kind operations at consecutive positions.
+struct OpRun {
+  LvSpan span;
+  OpKind kind = OpKind::kInsert;
+  uint64_t pos = 0;   // Position of the run's first event.
+  bool fwd = true;    // Inserts: always true. Deletes: true = positions
+                      // constant (delete key), false = descending (backspace).
+  std::string text;   // UTF-8 of inserted scalar values; empty for deletes.
+
+  uint64_t rle_start() const { return span.start; }
+  uint64_t rle_end() const { return span.end; }
+  bool can_append(const OpRun& next) const {
+    if (next.span.start != span.end || next.kind != kind) {
+      return false;
+    }
+    uint64_t n = span.size();
+    if (kind == OpKind::kInsert) {
+      return next.fwd && next.pos == pos + n;
+    }
+    // Deletes: single-event runs are direction-agnostic, multi-event runs
+    // are locked to their own direction. Both runs must be able to take
+    // part in the merged pattern.
+    bool self_can_fwd = fwd || n == 1;
+    bool self_can_bwd = !fwd || n == 1;
+    bool next_can_fwd = next.fwd || next.span.size() == 1;
+    bool next_can_bwd = !next.fwd || next.span.size() == 1;
+    if (self_can_fwd && next_can_fwd && next.pos == pos) {
+      return true;
+    }
+    if (self_can_bwd && next_can_bwd && next.pos + n == pos) {
+      return true;
+    }
+    return false;
+  }
+  void append(const OpRun& next) {
+    if (kind == OpKind::kDelete) {
+      fwd = (next.pos == pos);  // Which pattern matched decides direction.
+    }
+    span.end = next.span.end;
+    text += next.text;
+  }
+};
+
+// The operation column: ops for events 0..size(), run-length encoded.
+class OpLog {
+ public:
+  // Appends an insert run: event start+i inserts the i-th scalar value of
+  // `utf8` at position pos+i. The run must continue the log (start == size()).
+  void PushInsert(Lv start, uint64_t pos, std::string_view utf8);
+
+  // Appends a delete run of `count` events. fwd: every event deletes at
+  // `pos`; !fwd: event i deletes at pos - i (backspace).
+  void PushDelete(Lv start, uint64_t count, uint64_t pos, bool fwd);
+
+  uint64_t size() const { return runs_.CoveredEnd(); }
+
+  // The op of a single event. O(run length) for insert runs (content scan);
+  // prefer SliceAt for bulk iteration.
+  Op OpAt(Lv v) const;
+
+  // The maximal same-run slice covering [v, min(end, run end)).
+  OpSlice SliceAt(Lv v, Lv end) const;
+
+  const RleVec<OpRun>& runs() const { return runs_; }
+
+  uint64_t total_inserted_chars() const { return inserted_; }
+  uint64_t total_delete_events() const { return deleted_; }
+
+ private:
+  RleVec<OpRun> runs_;
+  uint64_t inserted_ = 0;
+  uint64_t deleted_ = 0;
+};
+
+// A complete editing trace: the event graph plus the operation column.
+struct Trace {
+  std::string name;
+  Graph graph;
+  OpLog ops;
+
+  // Appends a run of insert events by `agent` (sequence numbers assigned
+  // automatically) with the given parents; returns the first LV.
+  Lv AppendInsert(AgentId agent, const Frontier& parents, uint64_t pos, std::string_view utf8);
+
+  // Appends a run of delete events; see OpLog::PushDelete for fwd.
+  Lv AppendDelete(AgentId agent, const Frontier& parents, uint64_t pos, uint64_t count,
+                  bool fwd = true);
+
+ private:
+  std::vector<uint64_t> next_seq_;
+  uint64_t& NextSeq(AgentId agent);
+};
+
+// Table 1 statistics for a trace. final_doc_chars/bytes come from a replay
+// done by the caller (computing them requires a merge algorithm).
+struct TraceStats {
+  std::string name;
+  uint64_t events = 0;
+  double avg_concurrency = 0.0;  // Mean number of other active branch tips
+                                 // per event, in generation (LV) order.
+  uint64_t graph_runs = 0;
+  uint64_t authors = 0;
+  uint64_t inserted_chars = 0;
+  double chars_remaining_pct = 0.0;
+  uint64_t final_size_bytes = 0;
+};
+
+TraceStats ComputeStats(const Trace& trace, uint64_t final_doc_chars, uint64_t final_doc_bytes);
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_TRACE_TRACE_H_

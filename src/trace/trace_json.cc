@@ -1,0 +1,198 @@
+#include "trace/trace_json.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "rope/utf8.h"
+#include "util/assert.h"
+#include "util/json.h"
+
+namespace egwalker {
+namespace {
+
+// A transaction boundary must fall after every event that some other
+// transaction references as a parent, after every agent switch, and at the
+// end of every graph run.
+std::vector<LvSpan> ComputeTxnSpans(const Trace& trace) {
+  std::unordered_set<Lv> cut_after;  // Txn must end at these LVs.
+  for (const GraphEntry& e : trace.graph.entries()) {
+    for (Lv p : e.parents) {
+      cut_after.insert(p);
+    }
+    cut_after.insert(e.span.end - 1);
+  }
+  for (const AgentSpan& s : trace.graph.agent_spans()) {
+    cut_after.insert(s.span.end - 1);
+  }
+
+  std::vector<LvSpan> txns;
+  Lv start = 0;
+  for (Lv v = 0; v < trace.graph.size(); ++v) {
+    if (cut_after.count(v) > 0) {
+      txns.push_back({start, v + 1});
+      start = v + 1;
+    }
+  }
+  EGW_CHECK(start == trace.graph.size());
+  return txns;
+}
+
+}  // namespace
+
+std::string TraceToJson(const Trace& trace, int indent) {
+  std::vector<LvSpan> txns = ComputeTxnSpans(trace);
+  // Map each txn's last event to its index for parent references.
+  std::unordered_map<Lv, size_t> txn_of_tip;
+  txn_of_tip.reserve(txns.size());
+  for (size_t i = 0; i < txns.size(); ++i) {
+    txn_of_tip[txns[i].end - 1] = i;
+  }
+
+  JsonArray agents;
+  for (size_t i = 0; i < trace.graph.agent_count(); ++i) {
+    agents.emplace_back(trace.graph.AgentName(static_cast<AgentId>(i)));
+  }
+
+  JsonArray txn_array;
+  txn_array.reserve(txns.size());
+  for (const LvSpan& txn : txns) {
+    JsonObject obj;
+    const AgentSpan& as = trace.graph.agent_spans().FindChecked(txn.start);
+    obj.emplace_back("agent", Json(static_cast<int64_t>(as.agent)));
+
+    JsonArray parents;
+    for (Lv p : trace.graph.ParentsOf(txn.start)) {
+      auto it = txn_of_tip.find(p);
+      EGW_CHECK(it != txn_of_tip.end());
+      parents.emplace_back(static_cast<int64_t>(it->second));
+    }
+    obj.emplace_back("parents", Json(std::move(parents)));
+
+    JsonArray patches;
+    Lv cursor = txn.start;
+    while (cursor < txn.end) {
+      OpSlice slice = trace.ops.SliceAt(cursor, txn.end);
+      JsonArray patch;
+      if (slice.kind == OpKind::kInsert) {
+        patch.emplace_back(static_cast<int64_t>(slice.pos_start));
+        patch.emplace_back(static_cast<int64_t>(0));
+        patch.emplace_back(std::string(slice.text));
+      } else {
+        // Normalise backspace runs to an equivalent forward delete.
+        uint64_t pos =
+            slice.fwd ? slice.pos_start : slice.pos_start - (slice.count - 1);
+        patch.emplace_back(static_cast<int64_t>(pos));
+        patch.emplace_back(static_cast<int64_t>(slice.count));
+        patch.emplace_back(std::string());
+      }
+      patches.emplace_back(std::move(patch));
+      cursor += slice.count;
+    }
+    obj.emplace_back("patches", Json(std::move(patches)));
+    txn_array.emplace_back(std::move(obj));
+  }
+
+  JsonObject root;
+  root.emplace_back("kind", Json("egwalker-trace-v1"));
+  root.emplace_back("name", Json(trace.name));
+  root.emplace_back("agents", Json(std::move(agents)));
+  root.emplace_back("txns", Json(std::move(txn_array)));
+  return Json(std::move(root)).Dump(indent);
+}
+
+std::optional<Trace> TraceFromJson(std::string_view json, std::string* error) {
+  auto fail = [&](const char* msg) -> std::optional<Trace> {
+    if (error != nullptr) {
+      *error = msg;
+    }
+    return std::nullopt;
+  };
+
+  auto parsed = Json::Parse(json, error);
+  if (!parsed) {
+    return std::nullopt;
+  }
+  const Json& root = *parsed;
+  const Json* kind = root.Find("kind");
+  if (kind == nullptr || !kind->is_string() || kind->as_string() != "egwalker-trace-v1") {
+    return fail("missing or unsupported 'kind'");
+  }
+  const Json* agents = root.Find("agents");
+  const Json* txns = root.Find("txns");
+  if (agents == nullptr || !agents->is_array() || txns == nullptr || !txns->is_array()) {
+    return fail("missing 'agents' or 'txns'");
+  }
+
+  Trace trace;
+  if (const Json* name = root.Find("name"); name != nullptr && name->is_string()) {
+    trace.name = name->as_string();
+  }
+  std::vector<AgentId> agent_ids;
+  for (const Json& a : agents->as_array()) {
+    if (!a.is_string()) {
+      return fail("agent names must be strings");
+    }
+    agent_ids.push_back(trace.graph.GetOrCreateAgent(a.as_string()));
+  }
+
+  std::vector<Lv> txn_tips;
+  txn_tips.reserve(txns->as_array().size());
+  for (const Json& t : txns->as_array()) {
+    const Json* agent = t.Find("agent");
+    const Json* parents = t.Find("parents");
+    const Json* patches = t.Find("patches");
+    if (agent == nullptr || !agent->is_int() || parents == nullptr || !parents->is_array() ||
+        patches == nullptr || !patches->is_array()) {
+      return fail("malformed txn");
+    }
+    int64_t agent_idx = agent->as_int();
+    if (agent_idx < 0 || static_cast<size_t>(agent_idx) >= agent_ids.size()) {
+      return fail("txn agent out of range");
+    }
+
+    Frontier frontier;
+    for (const Json& p : parents->as_array()) {
+      if (!p.is_int() || p.as_int() < 0 ||
+          static_cast<size_t>(p.as_int()) >= txn_tips.size()) {
+        return fail("txn parent out of range");
+      }
+      FrontierInsert(frontier, txn_tips[static_cast<size_t>(p.as_int())]);
+    }
+    frontier = trace.graph.Reduce(frontier);
+
+    bool any_events = false;
+    Lv tip = kInvalidLv;
+    for (const Json& patch : patches->as_array()) {
+      if (!patch.is_array() || patch.as_array().size() != 3) {
+        return fail("malformed patch");
+      }
+      const JsonArray& pa = patch.as_array();
+      if (!pa[0].is_int() || !pa[1].is_int() || !pa[2].is_string()) {
+        return fail("malformed patch fields");
+      }
+      uint64_t pos = static_cast<uint64_t>(pa[0].as_int());
+      uint64_t ndel = static_cast<uint64_t>(pa[1].as_int());
+      const std::string& ins = pa[2].as_string();
+      if (ndel > 0) {
+        Lv lv = trace.AppendDelete(agent_ids[static_cast<size_t>(agent_idx)], frontier, pos, ndel,
+                                   /*fwd=*/true);
+        tip = lv + ndel - 1;
+        frontier = Frontier{tip};
+        any_events = true;
+      }
+      if (!ins.empty()) {
+        Lv lv = trace.AppendInsert(agent_ids[static_cast<size_t>(agent_idx)], frontier, pos, ins);
+        tip = lv + Utf8CountChars(ins) - 1;
+        frontier = Frontier{tip};
+        any_events = true;
+      }
+    }
+    if (!any_events) {
+      return fail("txn with no events");
+    }
+    txn_tips.push_back(tip);
+  }
+  return trace;
+}
+
+}  // namespace egwalker

@@ -1,0 +1,43 @@
+// JSON interchange format for editing traces.
+//
+// Modelled on the concurrent-trace format of the paper's published dataset
+// (github.com/josephg/editing-traces): a trace is a list of transactions,
+// each with an author, a list of parent transactions, and a list of patches
+// [position, delete_count, inserted_text] applied sequentially. This lets
+// traces recorded elsewhere be imported, and our synthetic traces be
+// exported for use by other systems.
+//
+// {
+//   "kind":   "egwalker-trace-v1",
+//   "name":   "S1",
+//   "agents": ["author-0", "author-1"],
+//   "txns": [
+//     {"agent": 0, "parents": [], "patches": [[0, 0, "hello"]]},
+//     {"agent": 1, "parents": [0], "patches": [[5, 0, " world"], [0, 1, "H"]]}
+//   ]
+// }
+//
+// Parents refer to transaction indexes; a parent edge means "after the last
+// event of that transaction". Backspace runs are normalised to forward
+// deletes on export (same effect, same event count).
+
+#ifndef EGWALKER_TRACE_TRACE_JSON_H_
+#define EGWALKER_TRACE_TRACE_JSON_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "trace/trace.h"
+
+namespace egwalker {
+
+// Serialises `trace` to JSON. indent > 0 pretty-prints.
+std::string TraceToJson(const Trace& trace, int indent = 0);
+
+// Parses a trace from JSON; std::nullopt (and *error) on malformed input.
+std::optional<Trace> TraceFromJson(std::string_view json, std::string* error = nullptr);
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_TRACE_TRACE_JSON_H_

@@ -1,0 +1,45 @@
+// Lightweight checking macros used across the library.
+//
+// EGW_CHECK(cond)    - always-on invariant check; aborts with a message on failure.
+// EGW_DCHECK(cond)   - debug-only check; compiled out in NDEBUG builds.
+// EGW_UNREACHABLE()  - marks provably-dead control flow.
+//
+// These are used for internal invariants only. Fallible public operations
+// (parsing, decoding) report errors through return values instead.
+
+#ifndef EGWALKER_UTIL_ASSERT_H_
+#define EGWALKER_UTIL_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace egwalker {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "EGW_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace egwalker
+
+#define EGW_CHECK(cond)                                  \
+  do {                                                   \
+    if (!(cond)) {                                       \
+      ::egwalker::CheckFailed(#cond, __FILE__, __LINE__); \
+    }                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define EGW_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define EGW_DCHECK(cond) EGW_CHECK(cond)
+#endif
+
+#define EGW_UNREACHABLE()                                        \
+  do {                                                           \
+    ::egwalker::CheckFailed("unreachable", __FILE__, __LINE__);  \
+  } while (0)
+
+#endif  // EGWALKER_UTIL_ASSERT_H_

@@ -1,0 +1,159 @@
+#include "util/diff.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace egwalker {
+namespace {
+
+// Collapses a (possibly empty) run of diagonal moves plus one edit into
+// hunks, merging adjacent hunks that touch.
+void PushHunk(std::vector<DiffHunk>& hunks, size_t a_pos, size_t a_len, size_t b_pos,
+              size_t b_len) {
+  if (a_len == 0 && b_len == 0) {
+    return;
+  }
+  if (!hunks.empty()) {
+    DiffHunk& last = hunks.back();
+    if (last.a_pos + last.a_len == a_pos && last.b_pos + last.b_len == b_pos) {
+      last.a_len += a_len;
+      last.b_len += b_len;
+      return;
+    }
+  }
+  hunks.push_back(DiffHunk{a_pos, a_len, b_pos, b_len});
+}
+
+}  // namespace
+
+std::vector<DiffHunk> MyersDiff(std::string_view a, std::string_view b, size_t max_d) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 && m == 0) {
+    return {};
+  }
+  if (n == 0 || m == 0) {
+    std::vector<DiffHunk> out;
+    PushHunk(out, 0, n, 0, m);
+    return out;
+  }
+
+  // Standard O(ND) forward search, keeping every round's V array so the
+  // path can be traced back.
+  const size_t d_cap = std::min(max_d, n + m);
+  const size_t width = 2 * d_cap + 1;
+  auto idx = [&](int64_t k) { return static_cast<size_t>(k + static_cast<int64_t>(d_cap)); };
+
+  std::vector<std::vector<int64_t>> trace;
+  std::vector<int64_t> v(width, 0);
+  bool found = false;
+  size_t d_final = 0;
+  for (size_t d = 0; d <= d_cap && !found; ++d) {
+    for (int64_t k = -static_cast<int64_t>(d); k <= static_cast<int64_t>(d); k += 2) {
+      int64_t x;
+      if (k == -static_cast<int64_t>(d) ||
+          (k != static_cast<int64_t>(d) && v[idx(k - 1)] < v[idx(k + 1)])) {
+        x = v[idx(k + 1)];  // Move down (insert from b).
+      } else {
+        x = v[idx(k - 1)] + 1;  // Move right (delete from a).
+      }
+      int64_t y = x - k;
+      while (x < static_cast<int64_t>(n) && y < static_cast<int64_t>(m) &&
+             a[static_cast<size_t>(x)] == b[static_cast<size_t>(y)]) {
+        ++x;
+        ++y;
+      }
+      v[idx(k)] = x;
+      if (x >= static_cast<int64_t>(n) && y >= static_cast<int64_t>(m)) {
+        found = true;
+        d_final = d;
+        break;
+      }
+    }
+    trace.push_back(v);
+  }
+  if (!found) {
+    // Edit distance exceeds the cap: one whole-string replacement.
+    std::vector<DiffHunk> out;
+    PushHunk(out, 0, n, 0, m);
+    return out;
+  }
+
+  // Trace back from (n, m), collecting single-char edits in reverse.
+  struct Step {
+    size_t a_pos, a_len, b_pos, b_len;
+  };
+  std::vector<Step> steps;
+  int64_t x = static_cast<int64_t>(n);
+  int64_t y = static_cast<int64_t>(m);
+  for (size_t d = d_final; d > 0; --d) {
+    const std::vector<int64_t>& pv = trace[d - 1];
+    int64_t k = x - y;
+    int64_t prev_k;
+    if (k == -static_cast<int64_t>(d) ||
+        (k != static_cast<int64_t>(d) && pv[idx(k - 1)] < pv[idx(k + 1)])) {
+      prev_k = k + 1;  // Came via an insertion.
+    } else {
+      prev_k = k - 1;  // Came via a deletion.
+    }
+    int64_t prev_x = pv[idx(prev_k)];
+    int64_t prev_y = prev_x - prev_k;
+    // Rewind the diagonal run.
+    while (x > prev_x && y > prev_y) {
+      --x;
+      --y;
+    }
+    if (prev_k == k + 1) {
+      // Insertion of b[prev_y].
+      steps.push_back(Step{static_cast<size_t>(prev_x), 0, static_cast<size_t>(prev_y), 1});
+    } else {
+      // Deletion of a[prev_x].
+      steps.push_back(Step{static_cast<size_t>(prev_x), 1, static_cast<size_t>(prev_y), 0});
+    }
+    x = prev_x;
+    y = prev_y;
+  }
+
+  std::vector<DiffHunk> hunks;
+  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    PushHunk(hunks, it->a_pos, it->a_len, it->b_pos, it->b_len);
+  }
+  return hunks;
+}
+
+std::string ApplyDiff(std::string_view a, std::string_view b,
+                      const std::vector<DiffHunk>& hunks) {
+  std::string out;
+  size_t a_cursor = 0;
+  for (const DiffHunk& h : hunks) {
+    EGW_CHECK(h.a_pos >= a_cursor);
+    out.append(a.substr(a_cursor, h.a_pos - a_cursor));
+    out.append(b.substr(h.b_pos, h.b_len));
+    a_cursor = h.a_pos + h.a_len;
+  }
+  out.append(a.substr(a_cursor));
+  return out;
+}
+
+std::string FormatDiff(std::string_view a, std::string_view b,
+                       const std::vector<DiffHunk>& hunks) {
+  std::string out;
+  for (const DiffHunk& h : hunks) {
+    out += "@" + std::to_string(h.a_pos);
+    if (h.a_len > 0) {
+      out += " -\"";
+      out += a.substr(h.a_pos, h.a_len);
+      out += "\"";
+    }
+    if (h.b_len > 0) {
+      out += " +\"";
+      out += b.substr(h.b_pos, h.b_len);
+      out += "\"";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace egwalker

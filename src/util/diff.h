@@ -1,0 +1,47 @@
+// Myers diff over character sequences.
+//
+// Supports the history features of Section 6: because eg-walker keeps the
+// fine-grained editing history, applications can reconstruct any two
+// versions (Doc::TextAt) and show the user what changed between them. The
+// diff here is the standard O(ND) greedy algorithm of Myers (1986) with
+// full trace-back; inputs beyond the edit-distance cap fall back to a
+// single whole-string replacement hunk rather than spending quadratic
+// memory.
+
+#ifndef EGWALKER_UTIL_DIFF_H_
+#define EGWALKER_UTIL_DIFF_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace egwalker {
+
+// Replace a[a_pos, a_pos + a_len) with b[b_pos, b_pos + b_len).
+// a_len == 0 is a pure insertion, b_len == 0 a pure deletion.
+struct DiffHunk {
+  size_t a_pos = 0;
+  size_t a_len = 0;
+  size_t b_pos = 0;
+  size_t b_len = 0;
+  bool operator==(const DiffHunk&) const = default;
+};
+
+// Minimal edit script from `a` to `b` (byte-wise; callers diffing UTF-8
+// should treat hunk boundaries as approximate or pre-split into lines).
+// `max_d` caps the explored edit distance; above it a single replace-all
+// hunk is returned.
+std::vector<DiffHunk> MyersDiff(std::string_view a, std::string_view b, size_t max_d = 4096);
+
+// Applies hunks to `a`, returning `b` (sanity helper; used by tests).
+std::string ApplyDiff(std::string_view a, std::string_view b,
+                      const std::vector<DiffHunk>& hunks);
+
+// Human-readable rendering: "-deleted" / "+inserted" fragments with offsets.
+std::string FormatDiff(std::string_view a, std::string_view b,
+                       const std::vector<DiffHunk>& hunks);
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_UTIL_DIFF_H_

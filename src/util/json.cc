@@ -1,0 +1,519 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace egwalker {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> Parse(std::string* error) {
+    auto v = ParseValue();
+    SkipWs();
+    if (v && pos_ != text_.size()) {
+      Fail("trailing characters after value");
+      v = std::nullopt;
+    }
+    if (!v && error) {
+      *error = error_;
+    }
+    return v;
+  }
+
+ private:
+  void Fail(const char* msg) {
+    if (error_.empty()) {
+      error_ = std::string(msg) + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (text_.substr(pos_, n) == lit) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return std::nullopt;
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        auto s = ParseString();
+        if (!s) {
+          return std::nullopt;
+        }
+        return Json(std::move(*s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) {
+          return Json(true);
+        }
+        Fail("invalid literal");
+        return std::nullopt;
+      case 'f':
+        if (ConsumeLiteral("false")) {
+          return Json(false);
+        }
+        Fail("invalid literal");
+        return std::nullopt;
+      case 'n':
+        if (ConsumeLiteral("null")) {
+          return Json(nullptr);
+        }
+        Fail("invalid literal");
+        return std::nullopt;
+      default:
+        return ParseNumber();
+    }
+  }
+
+  std::optional<Json> ParseObject() {
+    ++pos_;  // '{'
+    JsonObject obj;
+    SkipWs();
+    if (Consume('}')) {
+      return Json(std::move(obj));
+    }
+    for (;;) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        Fail("expected object key");
+        return std::nullopt;
+      }
+      auto key = ParseString();
+      if (!key) {
+        return std::nullopt;
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        Fail("expected ':'");
+        return std::nullopt;
+      }
+      auto value = ParseValue();
+      if (!value) {
+        return std::nullopt;
+      }
+      obj.emplace_back(std::move(*key), std::move(*value));
+      SkipWs();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return Json(std::move(obj));
+      }
+      Fail("expected ',' or '}'");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> ParseArray() {
+    ++pos_;  // '['
+    JsonArray arr;
+    SkipWs();
+    if (Consume(']')) {
+      return Json(std::move(arr));
+    }
+    for (;;) {
+      auto value = ParseValue();
+      if (!value) {
+        return std::nullopt;
+      }
+      arr.push_back(std::move(*value));
+      SkipWs();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return Json(std::move(arr));
+      }
+      Fail("expected ',' or ']'");
+      return std::nullopt;
+    }
+  }
+
+  // Appends the UTF-8 encoding of `cp` to `out`.
+  static void AppendUtf8(std::string& out, uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  std::optional<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      Fail("truncated \\u escape");
+      return std::nullopt;
+    }
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        Fail("invalid \\u escape");
+        return std::nullopt;
+      }
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  std::optional<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            auto cp = ParseHex4();
+            if (!cp) {
+              return std::nullopt;
+            }
+            uint32_t code = *cp;
+            if (code >= 0xd800 && code <= 0xdbff) {
+              // High surrogate: require a following low surrogate.
+              if (pos_ + 1 < text_.size() && text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+                pos_ += 2;
+                auto lo = ParseHex4();
+                if (!lo) {
+                  return std::nullopt;
+                }
+                if (*lo < 0xdc00 || *lo > 0xdfff) {
+                  Fail("unpaired surrogate");
+                  return std::nullopt;
+                }
+                code = 0x10000 + ((code - 0xd800) << 10) + (*lo - 0xdc00);
+              } else {
+                Fail("unpaired surrogate");
+                return std::nullopt;
+              }
+            } else if (code >= 0xdc00 && code <= 0xdfff) {
+              Fail("unpaired surrogate");
+              return std::nullopt;
+            }
+            AppendUtf8(out, code);
+            break;
+          }
+          default:
+            Fail("invalid escape");
+            return std::nullopt;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("raw control character in string");
+        return std::nullopt;
+      } else {
+        out.push_back(c);
+        ++pos_;
+      }
+    }
+    Fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Json> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    bool any_digits = false;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+      any_digits = true;
+    }
+    if (!any_digits) {
+      Fail("invalid number");
+      return std::nullopt;
+    }
+    bool is_integer = true;
+    if (Consume('.')) {
+      is_integer = false;
+      bool frac_digits = false;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        frac_digits = true;
+      }
+      if (!frac_digits) {
+        Fail("invalid number");
+        return std::nullopt;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_integer = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      bool exp_digits = false;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        exp_digits = true;
+      }
+      if (!exp_digits) {
+        Fail("invalid number");
+        return std::nullopt;
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    if (is_integer) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return Json(static_cast<int64_t>(v));
+      }
+      // Fall through to double on overflow.
+    }
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      Fail("invalid number");
+      return std::nullopt;
+    }
+    return Json(d);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+int64_t Json::as_int() const {
+  if (is_int()) {
+    return std::get<int64_t>(value_);
+  }
+  return static_cast<int64_t>(std::get<double>(value_));
+}
+
+double Json::as_double() const {
+  if (is_int()) {
+    return static_cast<double>(std::get<int64_t>(value_));
+  }
+  return std::get<double>(value_);
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void Json::DumpTo(std::string& out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent > 0) {
+      out.push_back('\n');
+      out.append(static_cast<size_t>(indent * d), ' ');
+    }
+  };
+  switch (type()) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += as_bool() ? "true" : "false";
+      break;
+    case Type::kInt:
+      out += std::to_string(std::get<int64_t>(value_));
+      break;
+    case Type::kDouble: {
+      double d = std::get<double>(value_);
+      if (std::isfinite(d)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        out += buf;
+      } else {
+        out += "null";  // JSON has no Inf/NaN.
+      }
+      break;
+    }
+    case Type::kString:
+      out += JsonEscape(as_string());
+      break;
+    case Type::kArray: {
+      const auto& arr = as_array();
+      if (arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (size_t i = 0; i < arr.size(); ++i) {
+        if (i > 0) {
+          out.push_back(',');
+        }
+        newline(depth + 1);
+        arr[i].DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      const auto& obj = as_object();
+      if (obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      for (size_t i = 0; i < obj.size(); ++i) {
+        if (i > 0) {
+          out.push_back(',');
+        }
+        newline(depth + 1);
+        out += JsonEscape(obj[i].first);
+        out.push_back(':');
+        if (indent > 0) {
+          out.push_back(' ');
+        }
+        obj[i].second.DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+std::optional<Json> Json::Parse(std::string_view text, std::string* error) {
+  Parser p(text);
+  return p.Parse(error);
+}
+
+}  // namespace egwalker

@@ -1,0 +1,84 @@
+// A minimal JSON value type, parser, and writer.
+//
+// The paper's artifact distributes its editing traces in a JSON format
+// (https://github.com/josephg/editing-traces); src/trace uses this module to
+// read and write a compatible representation. The parser accepts strict JSON
+// (RFC 8259) with UTF-8 input; it does not accept comments or trailing
+// commas. Numbers are kept as int64 when they round-trip exactly, otherwise
+// as double.
+
+#ifndef EGWALKER_UTIL_JSON_H_
+#define EGWALKER_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace egwalker {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// Object entries preserve insertion order (the trace format is order-stable).
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(int64_t i) : value_(i) {}
+  Json(int i) : value_(static_cast<int64_t>(i)) {}
+  Json(uint64_t u) : value_(static_cast<int64_t>(u)) {}
+  Json(double d) : value_(d) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  Type type() const { return static_cast<Type>(value_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_number() const { return is_int() || type() == Type::kDouble; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  bool as_bool() const { return std::get<bool>(value_); }
+  int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const JsonArray& as_array() const { return std::get<JsonArray>(value_); }
+  JsonArray& as_array() { return std::get<JsonArray>(value_); }
+  const JsonObject& as_object() const { return std::get<JsonObject>(value_); }
+  JsonObject& as_object() { return std::get<JsonObject>(value_); }
+
+  // Object field lookup; returns nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const;
+
+  // Serialises to compact JSON. `indent` > 0 pretty-prints.
+  std::string Dump(int indent = 0) const;
+
+  // Parses `text`; returns std::nullopt (and sets *error if given) on
+  // malformed input.
+  static std::optional<Json> Parse(std::string_view text, std::string* error = nullptr);
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, JsonArray, JsonObject> value_;
+};
+
+// Escapes `s` as a JSON string literal (with surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_UTIL_JSON_H_

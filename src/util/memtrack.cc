@@ -1,0 +1,122 @@
+#include "util/memtrack.h"
+
+#include <malloc.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace egwalker::memtrack {
+namespace {
+
+std::atomic<size_t> g_current{0};
+std::atomic<size_t> g_peak{0};
+std::atomic<size_t> g_allocs{0};
+
+void NoteAlloc(void* p) {
+  if (p == nullptr) {
+    return;
+  }
+  size_t usable = malloc_usable_size(p);
+  size_t now = g_current.fetch_add(usable, std::memory_order_relaxed) + usable;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  size_t peak = g_peak.load(std::memory_order_relaxed);
+  while (now > peak && !g_peak.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void NoteFree(void* p) {
+  if (p == nullptr) {
+    return;
+  }
+  g_current.fetch_sub(malloc_usable_size(p), std::memory_order_relaxed);
+}
+
+void* TrackedAlloc(size_t size) {
+  void* p = std::malloc(size ? size : 1);
+  NoteAlloc(p);
+  return p;
+}
+
+void* TrackedAllocAligned(size_t size, size_t align) {
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align, size ? size : 1) != 0) {
+    return nullptr;
+  }
+  NoteAlloc(p);
+  return p;
+}
+
+void TrackedFree(void* p) {
+  NoteFree(p);
+  std::free(p);
+}
+
+}  // namespace
+
+size_t CurrentBytes() { return g_current.load(std::memory_order_relaxed); }
+size_t PeakBytes() { return g_peak.load(std::memory_order_relaxed); }
+void ResetPeak() { g_peak.store(CurrentBytes(), std::memory_order_relaxed); }
+size_t TotalAllocations() { return g_allocs.load(std::memory_order_relaxed); }
+
+}  // namespace egwalker::memtrack
+
+// Global allocator replacement. Every binary linking the egwalker library
+// gets heap accounting; the overhead is two relaxed atomics per call.
+
+void* operator new(std::size_t size) {
+  void* p = egwalker::memtrack::TrackedAlloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return egwalker::memtrack::TrackedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return egwalker::memtrack::TrackedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = egwalker::memtrack::TrackedAllocAligned(size, static_cast<size_t>(align));
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return egwalker::memtrack::TrackedAllocAligned(size, static_cast<size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return egwalker::memtrack::TrackedAllocAligned(size, static_cast<size_t>(align));
+}
+
+void operator delete(void* p) noexcept { egwalker::memtrack::TrackedFree(p); }
+void operator delete[](void* p) noexcept { egwalker::memtrack::TrackedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { egwalker::memtrack::TrackedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { egwalker::memtrack::TrackedFree(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  egwalker::memtrack::TrackedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  egwalker::memtrack::TrackedFree(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { egwalker::memtrack::TrackedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { egwalker::memtrack::TrackedFree(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  egwalker::memtrack::TrackedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  egwalker::memtrack::TrackedFree(p);
+}

@@ -1,0 +1,34 @@
+// Heap usage accounting for the memory experiments (Figure 10).
+//
+// memtrack.cc replaces the global operator new/delete with versions that
+// count live heap bytes (using glibc's malloc_usable_size, so the numbers
+// reflect what the allocator actually reserved, including rounding). The
+// benchmark binaries read CurrentBytes() for "steady state" usage and
+// PeakBytes() for peak usage while merging, exactly mirroring the paper's
+// retained-heap measurements.
+//
+// This is Linux/glibc-specific, which matches the paper's artifact (the
+// authors also only ran on Linux).
+
+#ifndef EGWALKER_UTIL_MEMTRACK_H_
+#define EGWALKER_UTIL_MEMTRACK_H_
+
+#include <cstddef>
+
+namespace egwalker::memtrack {
+
+// Bytes currently allocated through operator new and not yet freed.
+size_t CurrentBytes();
+
+// High-water mark of CurrentBytes() since the last ResetPeak().
+size_t PeakBytes();
+
+// Resets the high-water mark to the current level.
+void ResetPeak();
+
+// Total number of operator new calls since process start (diagnostics).
+size_t TotalAllocations();
+
+}  // namespace egwalker::memtrack
+
+#endif  // EGWALKER_UTIL_MEMTRACK_H_

@@ -1,0 +1,103 @@
+// Run-length-encoded containers.
+//
+// The event graph and the eg-walker internal state both exploit the fact that
+// humans type in consecutive runs (Section 2.2): nearly every per-event data
+// structure in this library stores *spans* of events rather than single
+// events. RleVec<T> is the shared container for such spans: an append-mostly
+// vector that merges adjacent compatible items and supports O(log n) lookup
+// of the item covering a key.
+//
+// An RleVec item type T must provide:
+//   uint64_t rle_start() const;          // first key covered (inclusive)
+//   uint64_t rle_end() const;            // one past the last key covered
+//   bool can_append(const T& next) const;// true if `next` extends this run
+//   void append(const T& next);          // extend this run by `next`
+// Items pushed in key order with rle_start() == previous rle_end() may merge.
+
+#ifndef EGWALKER_UTIL_RLE_H_
+#define EGWALKER_UTIL_RLE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace egwalker {
+
+// A half-open range [start, end) of local versions (event indexes).
+struct LvSpan {
+  uint64_t start = 0;
+  uint64_t end = 0;
+
+  uint64_t size() const { return end - start; }
+  bool empty() const { return end <= start; }
+  bool contains(uint64_t v) const { return v >= start && v < end; }
+  bool operator==(const LvSpan&) const = default;
+
+  // Intersection of two spans; empty if they do not overlap.
+  static LvSpan Intersect(LvSpan a, LvSpan b) {
+    uint64_t s = std::max(a.start, b.start);
+    uint64_t e = std::min(a.end, b.end);
+    return (s < e) ? LvSpan{s, e} : LvSpan{s, s};
+  }
+};
+
+template <typename T>
+class RleVec {
+ public:
+  // Appends `item`, merging with the current last run when possible.
+  void Push(T item) {
+    if (!items_.empty() && items_.back().can_append(item)) {
+      items_.back().append(item);
+    } else {
+      items_.push_back(std::move(item));
+    }
+  }
+
+  // Returns the index of the run containing `key`, or npos when no run does.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t FindIndex(uint64_t key) const {
+    auto it = std::upper_bound(items_.begin(), items_.end(), key,
+                               [](uint64_t k, const T& t) { return k < t.rle_start(); });
+    if (it == items_.begin()) {
+      return npos;
+    }
+    --it;
+    if (key >= it->rle_start() && key < it->rle_end()) {
+      return static_cast<size_t>(it - items_.begin());
+    }
+    return npos;
+  }
+
+  // Returns the run containing `key`; the key must be covered.
+  const T& FindChecked(uint64_t key) const {
+    size_t idx = FindIndex(key);
+    EGW_CHECK(idx != npos);
+    return items_[idx];
+  }
+
+  size_t run_count() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const T& operator[](size_t i) const { return items_[i]; }
+  T& operator[](size_t i) { return items_[i]; }
+  const T& back() const { return items_.back(); }
+  T& back() { return items_.back(); }
+
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+  auto begin() { return items_.begin(); }
+  auto end() { return items_.end(); }
+
+  // Total number of keys covered, assuming runs are dense and sorted.
+  uint64_t CoveredEnd() const { return items_.empty() ? 0 : items_.back().rle_end(); }
+
+  void Clear() { items_.clear(); }
+
+ private:
+  std::vector<T> items_;
+};
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_UTIL_RLE_H_

@@ -1,0 +1,71 @@
+#include "util/varint.h"
+
+namespace egwalker {
+
+void AppendVarint(std::string& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>(static_cast<uint8_t>(value) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(static_cast<uint8_t>(value)));
+}
+
+void AppendVarintSigned(std::string& out, int64_t value) {
+  AppendVarint(out, ZigzagEncode(value));
+}
+
+std::optional<uint64_t> ByteReader::ReadVarint() {
+  uint64_t result = 0;
+  int shift = 0;
+  size_t p = pos_;
+  while (p < size_) {
+    uint8_t byte = data_[p++];
+    if (shift == 63 && (byte & 0x7e) != 0) {
+      return std::nullopt;  // Overflows 64 bits.
+    }
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      pos_ = p;
+      return result;
+    }
+    shift += 7;
+    if (shift > 63) {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;  // Truncated.
+}
+
+std::optional<int64_t> ByteReader::ReadVarintSigned() {
+  auto raw = ReadVarint();
+  if (!raw) {
+    return std::nullopt;
+  }
+  return ZigzagDecode(*raw);
+}
+
+std::optional<uint8_t> ByteReader::ReadByte() {
+  if (pos_ >= size_) {
+    return std::nullopt;
+  }
+  return data_[pos_++];
+}
+
+bool ByteReader::ReadBytes(size_t n, std::string& out) {
+  if (remaining() < n) {
+    return false;
+  }
+  out.append(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::Skip(size_t n) {
+  if (remaining() < n) {
+    return false;
+  }
+  pos_ += n;
+  return true;
+}
+
+}  // namespace egwalker

@@ -1,0 +1,114 @@
+// Cross-implementation convergence: the paper's correctness core.
+//
+// For a sweep of randomised event graphs, every implementation in this
+// repository must agree: the pseudocode oracle, the optimised walker under
+// all sort orders with and without clearing, and both CRDT baselines fed
+// the ID-based op stream. We additionally check the observable part of the
+// strong list specification (Appendix C): the result contains exactly the
+// inserted-but-never-effectively-deleted characters.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/simple_walker.h"
+#include "core/walker.h"
+#include "crdt/naive_crdt.h"
+#include "crdt/ref_crdt.h"
+#include "ot/ot.h"
+#include "rope/utf8.h"
+#include "testing/random_trace.h"
+
+namespace egwalker {
+namespace {
+
+struct ConvergenceParams {
+  uint64_t seed;
+  int replicas;
+  int actions;
+  double sync_prob;
+  double delete_prob;
+};
+
+class ConvergenceTest : public ::testing::TestWithParam<ConvergenceParams> {};
+
+TEST_P(ConvergenceTest, AllImplementationsAgree) {
+  const ConvergenceParams p = GetParam();
+  testing::RandomTraceOptions opts;
+  opts.seed = p.seed;
+  opts.replicas = p.replicas;
+  opts.actions = p.actions;
+  opts.sync_prob = p.sync_prob;
+  opts.delete_prob = p.delete_prob;
+  Trace t = testing::MakeRandomTrace(opts);
+
+  // 1. Pseudocode oracle.
+  SimpleWalker oracle(t.graph, t.ops);
+  const std::string expected = oracle.ReplayAll();
+
+  // 2. Optimised walker, all sort modes x clearing settings, plus the
+  //    ID-based conversion stream from the no-clearing run.
+  std::vector<CrdtOp> crdt_ops;
+  for (SortMode mode : {SortMode::kHeuristic, SortMode::kLvOrder, SortMode::kAdversarial}) {
+    for (bool clearing : {true, false}) {
+      Walker walker(t.graph, t.ops);
+      Rope doc;
+      Walker::Options wopts;
+      wopts.sort_mode = mode;
+      wopts.enable_clearing = clearing;
+      ReplaySinks sinks;
+      if (mode == SortMode::kHeuristic && !clearing) {
+        sinks.crdt_ops = &crdt_ops;
+      }
+      walker.ReplayAll(doc, wopts, sinks);
+      ASSERT_EQ(doc.ToString(), expected)
+          << "seed=" << p.seed << " mode=" << static_cast<int>(mode)
+          << " clearing=" << clearing;
+    }
+  }
+
+  // 3. CRDT baselines.
+  RefCrdt ref(t.graph);
+  Rope ref_doc;
+  NaiveCrdt naive(t.graph);
+  for (const CrdtOp& op : crdt_ops) {
+    ref.Apply(op, ref_doc);
+    naive.Apply(op);
+  }
+  EXPECT_EQ(ref_doc.ToString(), expected) << "seed " << p.seed;
+  EXPECT_EQ(naive.ToText(), expected) << "seed " << p.seed;
+
+  // 4. OT baseline: shares the YATA ordering rule (ot.h explains why any
+  // other tie rule would make one algorithm's traces invalid under the
+  // other), so it must reproduce the same document exactly.
+  OtReplayer ot(t.graph, t.ops);
+  EXPECT_EQ(ot.ReplayAll(), expected) << "seed " << p.seed;
+
+  // 5. Strong-list-style invariant: the document contains exactly the
+  //    characters that were inserted and never effectively deleted (checked
+  //    against the oracle's final internal state).
+  uint64_t surviving = 0;
+  for (const SimpleWalker::Item& item : oracle.items()) {
+    surviving += item.ever_deleted ? 0 : 1;
+  }
+  EXPECT_EQ(surviving, Utf8CountChars(expected));
+  EXPECT_EQ(oracle.items().size(), t.ops.total_inserted_chars());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConvergenceTest,
+    ::testing::Values(ConvergenceParams{101, 2, 60, 0.3, 0.3},
+                      ConvergenceParams{102, 3, 80, 0.25, 0.3},
+                      ConvergenceParams{103, 4, 100, 0.2, 0.25},
+                      ConvergenceParams{104, 2, 120, 0.05, 0.3},  // Long branches.
+                      ConvergenceParams{105, 3, 80, 0.5, 0.2},    // Chatty.
+                      ConvergenceParams{106, 3, 80, 0.25, 0.55},  // Delete-heavy.
+                      ConvergenceParams{107, 5, 120, 0.15, 0.3},
+                      ConvergenceParams{108, 2, 40, 0.0, 0.25},   // Pure fork.
+                      ConvergenceParams{109, 4, 150, 0.3, 0.35},
+                      ConvergenceParams{110, 3, 200, 0.2, 0.3},
+                      ConvergenceParams{111, 2, 90, 0.4, 0.45},
+                      ConvergenceParams{112, 6, 150, 0.2, 0.3}));
+
+}  // namespace
+}  // namespace egwalker

@@ -1,0 +1,145 @@
+// Tests for the CRDT baselines: both must reproduce the eg-walker result
+// when fed the ID-based op stream (Section 2.5's equivalence).
+
+#include "crdt/naive_crdt.h"
+#include "crdt/ref_crdt.h"
+
+#include <gtest/gtest.h>
+
+#include "core/walker.h"
+#include "testing/random_trace.h"
+
+namespace egwalker {
+namespace {
+
+// Converts a trace to ID-based ops and the expected final text.
+struct Converted {
+  std::vector<CrdtOp> ops;
+  std::string expected;
+};
+
+Converted Convert(const Trace& t) {
+  Converted out;
+  Walker walker(t.graph, t.ops);
+  Rope doc;
+  Walker::Options opts;
+  opts.enable_clearing = false;  // Required for real origins.
+  ReplaySinks sinks;
+  sinks.crdt_ops = &out.ops;
+  walker.ReplayAll(doc, opts, sinks);
+  out.expected = doc.ToString();
+  return out;
+}
+
+TEST(RefCrdt, SequentialTyping) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("alice");
+  t.AppendInsert(a, t.graph.version(), 0, "hello");
+  t.AppendInsert(a, t.graph.version(), 5, " world");
+  t.AppendDelete(a, t.graph.version(), 0, 6);
+  Converted c = Convert(t);
+  EXPECT_EQ(c.expected, "world");
+
+  RefCrdt crdt(t.graph);
+  Rope doc;
+  for (const CrdtOp& op : c.ops) {
+    crdt.Apply(op, doc);
+  }
+  EXPECT_EQ(doc.ToString(), "world");
+}
+
+TEST(RefCrdt, ConcurrentSamePositionInserts) {
+  Trace t;
+  AgentId b = t.graph.GetOrCreateAgent("bob");
+  AgentId cagent = t.graph.GetOrCreateAgent("carol");
+  t.AppendInsert(b, {}, 0, "aaa");
+  t.AppendInsert(cagent, {}, 0, "bbb");
+  Converted c = Convert(t);
+  EXPECT_EQ(c.expected, "aaabbb");
+  RefCrdt crdt(t.graph);
+  Rope doc;
+  for (const CrdtOp& op : c.ops) {
+    crdt.Apply(op, doc);
+  }
+  EXPECT_EQ(doc.ToString(), "aaabbb");
+}
+
+TEST(RefCrdt, DoubleDelete) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  Lv base = t.AppendInsert(a, {}, 0, "abc");
+  Frontier common{base + 2};
+  t.AppendDelete(a, common, 1, 1);
+  t.AppendDelete(b, common, 1, 1);
+  Converted c = Convert(t);
+  RefCrdt crdt(t.graph);
+  Rope doc;
+  for (const CrdtOp& op : c.ops) {
+    crdt.Apply(op, doc);
+  }
+  EXPECT_EQ(doc.ToString(), "ac");
+}
+
+TEST(NaiveCrdt, SequentialAndConcurrent) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  Lv base = t.AppendInsert(a, {}, 0, "shared ");
+  Frontier common{base + 6};
+  t.AppendInsert(a, common, 7, "alpha");
+  t.AppendInsert(b, common, 7, "beta");
+  Converted c = Convert(t);
+  NaiveCrdt crdt(t.graph);
+  for (const CrdtOp& op : c.ops) {
+    crdt.Apply(op);
+  }
+  EXPECT_EQ(crdt.ToText(), c.expected);
+  EXPECT_EQ(crdt.item_count(), t.ops.total_inserted_chars());
+}
+
+class CrdtRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrdtRandomTest, BothBaselinesMatchWalker) {
+  testing::RandomTraceOptions opts;
+  opts.seed = GetParam();
+  opts.actions = 80;
+  opts.replicas = 3;
+  Trace t = testing::MakeRandomTrace(opts);
+  Converted c = Convert(t);
+
+  RefCrdt ref(t.graph);
+  Rope ref_doc;
+  NaiveCrdt naive(t.graph);
+  for (const CrdtOp& op : c.ops) {
+    ref.Apply(op, ref_doc);
+    naive.Apply(op);
+  }
+  EXPECT_EQ(ref_doc.ToString(), c.expected) << "seed " << GetParam();
+  EXPECT_EQ(naive.ToText(), c.expected) << "seed " << GetParam();
+}
+
+TEST_P(CrdtRandomTest, RefCrdtStateIsPermanent) {
+  testing::RandomTraceOptions opts;
+  opts.seed = GetParam() ^ 0x7777;
+  opts.actions = 50;
+  Trace t = testing::MakeRandomTrace(opts);
+  Converted c = Convert(t);
+  RefCrdt ref(t.graph);
+  Rope doc;
+  for (const CrdtOp& op : c.ops) {
+    ref.Apply(op, doc);
+  }
+  // A CRDT keeps one record per inserted character forever (run-length
+  // encoded, so spans <= chars but > 0 whenever anything was inserted).
+  if (t.ops.total_inserted_chars() > 0) {
+    EXPECT_GT(ref.record_spans(), 0u);
+  }
+  EXPECT_EQ(ref.tree().total_eff_visible(), doc.char_size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrdtRandomTest,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18, 19, 20));
+
+}  // namespace
+}  // namespace egwalker

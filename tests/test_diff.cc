@@ -1,0 +1,112 @@
+// Tests for the Myers diff utility.
+
+#include "util/diff.h"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.h"
+
+namespace egwalker {
+namespace {
+
+void ExpectDiffValid(std::string_view a, std::string_view b, size_t max_d = 4096) {
+  std::vector<DiffHunk> hunks = MyersDiff(a, b, max_d);
+  EXPECT_EQ(ApplyDiff(a, b, hunks), b) << "a=" << a << " b=" << b;
+}
+
+TEST(MyersDiff, Identical) {
+  EXPECT_TRUE(MyersDiff("same", "same").empty());
+  EXPECT_TRUE(MyersDiff("", "").empty());
+}
+
+TEST(MyersDiff, PureInsertAndDelete) {
+  auto ins = MyersDiff("", "abc");
+  ASSERT_EQ(ins.size(), 1u);
+  EXPECT_EQ(ins[0], (DiffHunk{0, 0, 0, 3}));
+  auto del = MyersDiff("abc", "");
+  ASSERT_EQ(del.size(), 1u);
+  EXPECT_EQ(del[0], (DiffHunk{0, 3, 0, 0}));
+}
+
+TEST(MyersDiff, ClassicExample) {
+  // Myers' paper example: ABCABBA -> CBABAC (edit distance 5).
+  ExpectDiffValid("ABCABBA", "CBABAC");
+}
+
+TEST(MyersDiff, SingleEdits) {
+  ExpectDiffValid("hello", "hallo");
+  ExpectDiffValid("hello", "helloo");
+  ExpectDiffValid("hello", "hell");
+  ExpectDiffValid("hello", "_hello");
+}
+
+TEST(MyersDiff, MergesAdjacentEdits) {
+  // "Helo" -> "Hello!" should be two hunks, not three single-char ones.
+  auto hunks = MyersDiff("Helo", "Hello!");
+  EXPECT_EQ(ApplyDiff("Helo", "Hello!", hunks), "Hello!");
+  EXPECT_LE(hunks.size(), 2u);
+}
+
+TEST(MyersDiff, IsMinimal) {
+  // Total hunk size equals the true edit distance on a known case.
+  auto hunks = MyersDiff("kitten", "sitting");
+  size_t edits = 0;
+  for (const DiffHunk& h : hunks) {
+    edits += h.a_len + h.b_len;
+  }
+  // Levenshtein("kitten","sitting") = 3 substitutions-ish, but Myers counts
+  // insert+delete: k->s (2), e->i (2), +g (1) = 5.
+  EXPECT_EQ(edits, 5u);
+}
+
+TEST(MyersDiff, CapFallsBackToWholeReplace) {
+  std::string a(100, 'a');
+  std::string b(100, 'b');
+  auto hunks = MyersDiff(a, b, /*max_d=*/10);
+  ASSERT_EQ(hunks.size(), 1u);
+  EXPECT_EQ(hunks[0], (DiffHunk{0, 100, 0, 100}));
+  EXPECT_EQ(ApplyDiff(a, b, hunks), b);
+}
+
+TEST(MyersDiff, FormatShowsEdits) {
+  auto hunks = MyersDiff("Helo", "Hello");
+  std::string formatted = FormatDiff("Helo", "Hello", hunks);
+  EXPECT_NE(formatted.find("+\"l\""), std::string::npos);
+}
+
+TEST(MyersDiff, RandomisedRoundTrips) {
+  Prng rng(77);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string a;
+    for (uint64_t n = rng.Below(40); n > 0; --n) {
+      a.push_back(static_cast<char>('a' + rng.Below(4)));  // Small alphabet: many matches.
+    }
+    std::string b = a;
+    for (uint64_t edits = rng.Below(8); edits > 0; --edits) {
+      if (!b.empty() && rng.Chance(0.5)) {
+        b.erase(rng.Below(b.size()), 1);
+      } else {
+        b.insert(b.begin() + static_cast<long>(rng.Below(b.size() + 1)),
+                 static_cast<char>('a' + rng.Below(4)));
+      }
+    }
+    ExpectDiffValid(a, b);
+  }
+}
+
+TEST(MyersDiff, LargeSimilarInputs) {
+  Prng rng(78);
+  std::string a;
+  for (int i = 0; i < 20000; ++i) {
+    a.push_back(static_cast<char>('a' + rng.Below(26)));
+  }
+  std::string b = a;
+  b.insert(5000, "INSERTED CHUNK");
+  b.erase(12000, 40);
+  auto hunks = MyersDiff(a, b);
+  EXPECT_EQ(ApplyDiff(a, b, hunks), b);
+  EXPECT_LE(hunks.size(), 4u);
+}
+
+}  // namespace
+}  // namespace egwalker

@@ -1,0 +1,197 @@
+// Tests for the columnar storage format and the comparison size models.
+
+#include "encoding/columnar.h"
+#include "encoding/size_models.h"
+
+#include <gtest/gtest.h>
+
+#include "core/walker.h"
+#include "testing/random_trace.h"
+#include "trace/generate.h"
+
+namespace egwalker {
+namespace {
+
+std::string Replay(const Trace& t) {
+  Walker w(t.graph, t.ops);
+  Rope doc;
+  w.ReplayAll(doc);
+  return doc.ToString();
+}
+
+void ExpectTracesEquivalent(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.graph.size(), b.graph.size());
+  ASSERT_EQ(a.graph.entry_count(), b.graph.entry_count());
+  ASSERT_EQ(a.graph.agent_count(), b.graph.agent_count());
+  ASSERT_EQ(a.ops.runs().run_count(), b.ops.runs().run_count());
+  for (Lv v = 0; v < a.graph.size(); ++v) {
+    ASSERT_EQ(a.graph.LvToRaw(v), b.graph.LvToRaw(v)) << v;
+    ASSERT_EQ(a.graph.ParentsOf(v), b.graph.ParentsOf(v)) << v;
+  }
+  EXPECT_EQ(Replay(a), Replay(b));
+}
+
+TEST(Columnar, RoundTripSimple) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("alice");
+  t.AppendInsert(a, {}, 0, "hello world");
+  t.AppendDelete(a, t.graph.version(), 0, 6);
+
+  std::string bytes = EncodeTrace(t, SaveOptions{});
+  auto decoded = DecodeTrace(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->content_complete);
+  EXPECT_FALSE(decoded->cached_doc.has_value());
+  ExpectTracesEquivalent(t, decoded->trace);
+}
+
+TEST(Columnar, RoundTripConcurrentWithUnicode) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  Lv base = t.AppendInsert(a, {}, 0, "héllo 世界");
+  Frontier common{base + 7};
+  t.AppendInsert(a, common, 2, "😀");
+  t.AppendDelete(b, common, 1, 3, /*fwd=*/true);
+  std::string bytes = EncodeTrace(t, SaveOptions{});
+  auto decoded = DecodeTrace(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ExpectTracesEquivalent(t, decoded->trace);
+}
+
+TEST(Columnar, RoundTripWithCompression) {
+  Trace t = GenerateNamedTrace("S2", 0.005);
+  SaveOptions opts;
+  opts.compress_content = true;
+  std::string compressed = EncodeTrace(t, opts);
+  std::string plain = EncodeTrace(t, SaveOptions{});
+  EXPECT_LT(compressed.size(), plain.size());
+  auto decoded = DecodeTrace(compressed);
+  ASSERT_TRUE(decoded.has_value());
+  ExpectTracesEquivalent(t, decoded->trace);
+}
+
+TEST(Columnar, CachedFinalDoc) {
+  Trace t = GenerateNamedTrace("C2", 0.002);
+  std::string final_doc = Replay(t);
+  SaveOptions opts;
+  opts.cache_final_doc = true;
+  std::string bytes = EncodeTrace(t, opts, final_doc);
+  auto decoded = DecodeTrace(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->cached_doc.has_value());
+  EXPECT_EQ(*decoded->cached_doc, final_doc);
+  // Caching costs roughly the document size.
+  std::string without = EncodeTrace(t, SaveOptions{});
+  EXPECT_NEAR(static_cast<double>(bytes.size()),
+              static_cast<double>(without.size() + final_doc.size()), 16.0);
+}
+
+TEST(Columnar, OmittingDeletedContentShrinksFileButPreservesFinalText) {
+  Trace t = GenerateNamedTrace("S3", 0.004);  // Heavy churn: most chars die.
+  std::vector<LvSpan> surviving = ComputeSurvivingChars(t.graph, t.ops);
+  SaveOptions opts;
+  opts.include_deleted_content = false;
+  std::string small = EncodeTrace(t, opts, {}, &surviving);
+  std::string full = EncodeTrace(t, SaveOptions{});
+  EXPECT_LT(small.size(), full.size());
+
+  auto decoded = DecodeTrace(small);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->content_complete);
+  // Deleted characters decode as placeholders, so the *final* text — which
+  // contains only surviving characters — must be intact.
+  EXPECT_EQ(Replay(decoded->trace), Replay(t));
+}
+
+TEST(Columnar, RandomTracesRoundTrip) {
+  for (uint64_t seed = 71; seed <= 76; ++seed) {
+    testing::RandomTraceOptions ropts;
+    ropts.seed = seed;
+    ropts.actions = 60;
+    Trace t = testing::MakeRandomTrace(ropts);
+    auto decoded = DecodeTrace(EncodeTrace(t, SaveOptions{}));
+    ASSERT_TRUE(decoded.has_value()) << seed;
+    ExpectTracesEquivalent(t, decoded->trace);
+
+    // Also with deleted content omitted.
+    std::vector<LvSpan> surviving = ComputeSurvivingChars(t.graph, t.ops);
+    SaveOptions small_opts;
+    small_opts.include_deleted_content = false;
+    auto decoded_small = DecodeTrace(EncodeTrace(t, small_opts, {}, &surviving));
+    ASSERT_TRUE(decoded_small.has_value()) << seed;
+    EXPECT_EQ(Replay(decoded_small->trace), Replay(t)) << seed;
+  }
+}
+
+TEST(Columnar, RejectsCorruptInput) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("alice");
+  t.AppendInsert(a, {}, 0, "content goes here");
+  std::string bytes = EncodeTrace(t, SaveOptions{});
+
+  EXPECT_FALSE(DecodeTrace("").has_value());
+  EXPECT_FALSE(DecodeTrace("EGWX").has_value());
+  std::string wrong_version = bytes;
+  wrong_version[4] = 99;
+  EXPECT_FALSE(DecodeTrace(wrong_version).has_value());
+  for (size_t len = 0; len < bytes.size(); len += 5) {
+    std::string error;
+    EXPECT_FALSE(DecodeTrace(bytes.substr(0, len), &error).has_value()) << len;
+    EXPECT_FALSE(error.empty()) << len;
+  }
+}
+
+TEST(Columnar, MetadataOverheadIsSmallOnSequentialTraces) {
+  Trace t = GenerateNamedTrace("S2", 0.01);
+  std::string bytes = EncodeTrace(t, SaveOptions{});
+  // Paper Section 4.5: file sizes are dominated by the inserted text; the
+  // graph/ops metadata for a sequential trace is a small fraction.
+  EXPECT_LT(static_cast<double>(bytes.size()),
+            1.25 * static_cast<double>(t.ops.total_inserted_chars()));
+}
+
+TEST(Columnar, ReadCachedDocSkipsEverythingElse) {
+  Trace t = GenerateNamedTrace("C1", 0.002);
+  std::string final_doc = Replay(t);
+  SaveOptions opts;
+  opts.cache_final_doc = true;
+  std::string bytes = EncodeTrace(t, opts, final_doc);
+  auto text = ReadCachedDoc(bytes);
+  ASSERT_TRUE(text.has_value());
+  EXPECT_EQ(*text, final_doc);
+
+  // Also with compressed content and omitted deleted content in the file.
+  std::vector<LvSpan> surviving = ComputeSurvivingChars(t.graph, t.ops);
+  opts.compress_content = true;
+  opts.include_deleted_content = false;
+  bytes = EncodeTrace(t, opts, final_doc, &surviving);
+  text = ReadCachedDoc(bytes);
+  ASSERT_TRUE(text.has_value());
+  EXPECT_EQ(*text, final_doc);
+
+  // Files without a cached doc yield nothing.
+  EXPECT_FALSE(ReadCachedDoc(EncodeTrace(t, SaveOptions{})).has_value());
+  // Corrupt/truncated input never crashes.
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    ReadCachedDoc(std::string_view(bytes).substr(0, len));
+  }
+}
+
+TEST(SizeModels, OrderingMatchesPaperFigures) {
+  // Figure 11: the Automerge-like full-history file is larger than our
+  // event-graph encoding. Figure 12: the Yjs-like final-state file is
+  // smaller than the full encoding.
+  for (const char* name : {"S2", "C2", "A1"}) {
+    Trace t = GenerateNamedTrace(name, 0.004);
+    uint64_t ours = EncodeTrace(t, SaveOptions{}).size();
+    uint64_t automerge = AutomergeLikeSize(t.graph, t.ops);
+    uint64_t yjs = YjsLikeSize(t.graph, t.ops);
+    EXPECT_GT(automerge, ours) << name;
+    EXPECT_LT(yjs, automerge) << name;
+    EXPECT_GT(yjs, 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace egwalker

@@ -1,0 +1,198 @@
+// Tests for the synthetic trace generators: determinism, validity (every
+// preset replays cleanly), and approximate agreement with the Table 1
+// statistics each preset targets.
+
+#include "trace/generate.h"
+
+#include <gtest/gtest.h>
+
+#include "core/simple_walker.h"
+#include "core/walker.h"
+#include "rope/utf8.h"
+#include "util/prng.h"
+
+namespace egwalker {
+namespace {
+
+constexpr double kScale = 0.01;  // Small-scale presets keep tests fast.
+
+TraceStats ReplayAndStats(const Trace& t) {
+  Walker walker(t.graph, t.ops);
+  Rope doc;
+  walker.ReplayAll(doc);
+  return ComputeStats(t, doc.char_size(), doc.byte_size());
+}
+
+TEST(GenerateProse, ExactLengthAndAscii) {
+  Prng rng(1);
+  std::string text = GenerateProse(rng, 5000);
+  EXPECT_EQ(text.size(), 5000u);
+  for (char c : text) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || c == ' ' || c == '.' || c == '\n') << int{c};
+  }
+  EXPECT_TRUE(Utf8IsValid(text));
+}
+
+TEST(Generate, DeterministicAcrossCalls) {
+  Trace a = GenerateNamedTrace("C1", kScale);
+  Trace b = GenerateNamedTrace("C1", kScale);
+  ASSERT_EQ(a.graph.size(), b.graph.size());
+  ASSERT_EQ(a.graph.entry_count(), b.graph.entry_count());
+  Walker wa(a.graph, a.ops);
+  Walker wb(b.graph, b.ops);
+  Rope da, db;
+  wa.ReplayAll(da);
+  wb.ReplayAll(db);
+  EXPECT_EQ(da.ToString(), db.ToString());
+}
+
+TEST(Generate, AllPresetsReplayAndHitEventTargets) {
+  // Paper Table 1 event counts (thousands) per preset.
+  struct Target {
+    const char* name;
+    double events_k;
+  };
+  const Target targets[] = {{"S1", 779}, {"S2", 1105}, {"S3", 2339}, {"C1", 652},
+                            {"C2", 608}, {"A1", 947},  {"A2", 698}};
+  for (const Target& target : targets) {
+    Trace t = GenerateNamedTrace(target.name, kScale);
+    double expected = target.events_k * 1000 * kScale;
+    EXPECT_NEAR(static_cast<double>(t.graph.size()), expected, expected * 0.12) << target.name;
+    // Must replay without tripping any validity checks.
+    TraceStats stats = ReplayAndStats(t);
+    EXPECT_GT(stats.final_size_bytes, 0u) << target.name;
+  }
+}
+
+TEST(Generate, SequentialPresetsAreLinear) {
+  for (const char* name : {"S1", "S2", "S3"}) {
+    Trace t = GenerateNamedTrace(name, kScale);
+    TraceStats stats = ReplayAndStats(t);
+    EXPECT_EQ(stats.graph_runs, 1u) << name;
+    EXPECT_DOUBLE_EQ(stats.avg_concurrency, 0.0) << name;
+  }
+}
+
+TEST(Generate, SequentialCharsRemainingNearTargets) {
+  struct Target {
+    const char* name;
+    double remaining_pct;
+  };
+  const Target targets[] = {{"S1", 57.5}, {"S2", 26.7}, {"S3", 9.9}};
+  for (const Target& target : targets) {
+    Trace t = GenerateNamedTrace(target.name, kScale);
+    TraceStats stats = ReplayAndStats(t);
+    EXPECT_NEAR(stats.chars_remaining_pct, target.remaining_pct, 6.0) << target.name;
+  }
+}
+
+TEST(Generate, ConcurrentPresetsHaveManyShortBranches) {
+  for (const char* name : {"C1", "C2"}) {
+    Trace t = GenerateNamedTrace(name, kScale);
+    TraceStats stats = ReplayAndStats(t);
+    EXPECT_GT(stats.graph_runs, 50u) << name;
+    EXPECT_GT(stats.avg_concurrency, 0.2) << name;
+    EXPECT_LT(stats.avg_concurrency, 0.7) << name;
+    EXPECT_EQ(stats.authors, 2u) << name;
+    EXPECT_GT(stats.chars_remaining_pct, 80.0) << name;
+  }
+}
+
+TEST(Generate, AsyncSerialPresetShape) {
+  Trace t = GenerateNamedTrace("A1", kScale);
+  TraceStats stats = ReplayAndStats(t);
+  // Few long runs, light concurrency, heavy churn.
+  EXPECT_LT(stats.graph_runs, 40u);
+  EXPECT_LT(stats.avg_concurrency, 0.35);
+  EXPECT_LT(stats.chars_remaining_pct, 30.0);
+  EXPECT_GT(stats.authors, 3u);
+}
+
+TEST(Generate, AsyncInterleavedPresetShape) {
+  Trace t = GenerateNamedTrace("A2", kScale);
+  TraceStats stats = ReplayAndStats(t);
+  // Many runs, sustained concurrency from several live branches. At this
+  // tiny scale the fork/merge warm-up dominates, so the thresholds are
+  // looser than the full-scale Table 1 values (checked by bench_table1).
+  EXPECT_GT(stats.graph_runs, 8u);
+  EXPECT_GT(stats.avg_concurrency, 1.0);
+  EXPECT_GT(stats.authors, 3u);
+}
+
+TEST(Generate, ScaleScalesEventCount) {
+  Trace small = GenerateNamedTrace("S2", 0.005);
+  Trace bigger = GenerateNamedTrace("S2", 0.02);
+  EXPECT_GT(bigger.graph.size(), small.graph.size() * 3);
+}
+
+TEST(RepeatTrace, LinearTraceRepeatsDocument) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("alice");
+  t.AppendInsert(a, {}, 0, "hello ");
+  t.AppendDelete(a, t.graph.version(), 0, 1);
+
+  Walker w0(t.graph, t.ops);
+  Rope d0;
+  w0.ReplayAll(d0);
+  ASSERT_EQ(d0.ToString(), "ello ");
+
+  Trace r = RepeatTrace(t, 3, d0.char_size());
+  EXPECT_EQ(r.graph.size(), t.graph.size() * 3);
+  Walker w(r.graph, r.ops);
+  Rope doc;
+  w.ReplayAll(doc);
+  // Each copy edits its own region: the result is the original repeated.
+  EXPECT_EQ(doc.ToString(), "ello ello ello ");
+  // Copies chain sequentially: still a single linear run.
+  EXPECT_EQ(r.graph.entry_count(), 1u);
+}
+
+TEST(RepeatTrace, ConcurrentTraceRepeatsAndConverges) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  Lv base = t.AppendInsert(a, {}, 0, "Helo");
+  Frontier common{base + 3};
+  t.AppendInsert(a, common, 3, "l");
+  t.AppendInsert(b, common, 4, "!");
+
+  Walker w0(t.graph, t.ops);
+  Rope d0;
+  w0.ReplayAll(d0);
+  ASSERT_EQ(d0.ToString(), "Hello!");
+
+  Trace r = RepeatTrace(t, 4, d0.char_size());
+  SimpleWalker oracle(r.graph, r.ops);
+  std::string expected = oracle.ReplayAll();
+  EXPECT_EQ(expected, "Hello!Hello!Hello!Hello!");
+  Walker w(r.graph, r.ops);
+  Rope doc;
+  w.ReplayAll(doc);
+  EXPECT_EQ(doc.ToString(), expected);
+  // Distinct agents per copy, so the repetition has 8 authors.
+  TraceStats stats = ComputeStats(r, doc.char_size(), doc.byte_size());
+  EXPECT_EQ(stats.authors, 8u);
+  EXPECT_GT(stats.avg_concurrency, 0.0);
+}
+
+TEST(Generate, AllImplementationsAgreeOnPresets) {
+  // Cross-check generated (not random) graph shapes through the walker in
+  // multiple orders; these exercise the generators' merge structures.
+  for (const char* name : {"C1", "A1", "A2"}) {
+    Trace t = GenerateNamedTrace(name, 0.003);
+    Walker w1(t.graph, t.ops);
+    Walker w2(t.graph, t.ops);
+    Rope d1, d2;
+    Walker::Options o1;
+    o1.sort_mode = SortMode::kHeuristic;
+    Walker::Options o2;
+    o2.sort_mode = SortMode::kLvOrder;
+    o2.enable_clearing = false;
+    w1.ReplayAll(d1, o1);
+    w2.ReplayAll(d2, o2);
+    EXPECT_EQ(d1.ToString(), d2.ToString()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace egwalker

@@ -1,0 +1,305 @@
+// Tests for the causal event graph: structure bookkeeping, identity
+// mapping, and — via randomised differential tests against brute-force
+// ancestor sets — the version queries (IsAncestor, VersionContains, Diff,
+// EventsOf, Reduce) that everything else builds on.
+
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/prng.h"
+
+namespace egwalker {
+namespace {
+
+// Brute-force transitive closure of a version, one event at a time.
+std::set<Lv> BruteClosure(const Graph& g, const Frontier& frontier) {
+  std::set<Lv> out;
+  std::vector<Lv> stack(frontier.begin(), frontier.end());
+  while (!stack.empty()) {
+    Lv v = stack.back();
+    stack.pop_back();
+    if (!out.insert(v).second) {
+      continue;
+    }
+    for (Lv p : g.ParentsOf(v)) {
+      stack.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::set<Lv> SpansToSet(const std::vector<LvSpan>& spans) {
+  std::set<Lv> out;
+  for (const LvSpan& s : spans) {
+    for (Lv v = s.start; v < s.end; ++v) {
+      out.insert(v);
+    }
+  }
+  return out;
+}
+
+// Builds a random DAG: runs of events whose parents are a random antichain
+// of existing events. Returns the graph; shape controlled by seed.
+Graph RandomGraph(uint64_t seed, int runs, uint64_t max_run_len = 5) {
+  Graph g;
+  Prng rng(seed);
+  AgentId agents[3] = {g.GetOrCreateAgent("a"), g.GetOrCreateAgent("b"), g.GetOrCreateAgent("c")};
+  std::vector<uint64_t> next_seq(3, 0);
+  for (int r = 0; r < runs; ++r) {
+    Frontier parents;
+    if (g.size() > 0) {
+      int k = 1 + static_cast<int>(rng.Below(3));
+      for (int i = 0; i < k; ++i) {
+        FrontierInsert(parents, rng.Below(g.size()));
+      }
+      parents = g.Reduce(parents);
+      if (rng.Chance(0.2)) {
+        parents.clear();  // Occasional new root (fully concurrent branch).
+      }
+    }
+    uint64_t len = 1 + rng.Below(max_run_len);
+    size_t a = rng.Below(3);
+    g.Add(agents[a], next_seq[a], len, parents);
+    next_seq[a] += len;
+  }
+  return g;
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_TRUE(g.version().empty());
+}
+
+TEST(Graph, LinearChainIsOneEntry) {
+  Graph g;
+  AgentId a = g.GetOrCreateAgent("alice");
+  Lv first = g.Add(a, 0, 10, {});
+  EXPECT_EQ(first, 0u);
+  Lv second = g.Add(a, 10, 5, {9});
+  EXPECT_EQ(second, 10u);
+  EXPECT_EQ(g.entry_count(), 1u);  // Chained runs merge.
+  EXPECT_EQ(g.version(), (Frontier{14}));
+  EXPECT_EQ(g.ParentsOf(0), Frontier{});
+  EXPECT_EQ(g.ParentsOf(7), (Frontier{6}));
+  EXPECT_EQ(g.ParentsOf(10), (Frontier{9}));
+}
+
+TEST(Graph, BranchAndMerge) {
+  // 0..2 (a), then two concurrent branches 3..4 (b) and 5..6 (c), merged by 7.
+  Graph g;
+  AgentId a = g.GetOrCreateAgent("alice");
+  AgentId b = g.GetOrCreateAgent("bob");
+  AgentId c = g.GetOrCreateAgent("carol");
+  g.Add(a, 0, 3, {});
+  g.Add(b, 0, 2, {2});
+  g.Add(c, 0, 2, {2});
+  EXPECT_EQ(g.version(), (Frontier{4, 6}));
+  g.Add(a, 3, 1, {4, 6});
+  EXPECT_EQ(g.version(), (Frontier{7}));
+  // Bob's branch chains linearly off event 2 (the previous LV), so it
+  // run-length merges into alice's entry; carol's branch and the merge
+  // event start fresh entries.
+  EXPECT_EQ(g.entry_count(), 3u);
+
+  EXPECT_TRUE(g.IsAncestor(2, 3));
+  EXPECT_TRUE(g.IsAncestor(2, 5));
+  EXPECT_TRUE(g.IsAncestor(0, 7));
+  EXPECT_FALSE(g.IsAncestor(3, 5));
+  EXPECT_FALSE(g.IsAncestor(5, 3));
+  EXPECT_FALSE(g.IsAncestor(7, 6));
+  EXPECT_TRUE(g.IsAncestor(4, 7));
+}
+
+TEST(Graph, FrontierOfConcurrentRoots) {
+  Graph g;
+  AgentId a = g.GetOrCreateAgent("alice");
+  AgentId b = g.GetOrCreateAgent("bob");
+  g.Add(a, 0, 2, {});
+  g.Add(b, 0, 2, {});
+  EXPECT_EQ(g.version(), (Frontier{1, 3}));
+  EXPECT_FALSE(g.IsAncestor(0, 2));
+  EXPECT_FALSE(g.IsAncestor(1, 3));
+  EXPECT_TRUE(g.IsAncestor(0, 1));
+}
+
+TEST(Graph, RawVersionMapping) {
+  Graph g;
+  AgentId a = g.GetOrCreateAgent("alice");
+  AgentId b = g.GetOrCreateAgent("bob");
+  g.Add(a, 0, 5, {});
+  g.Add(b, 10, 3, {4});
+  g.Add(a, 5, 2, {7});
+
+  EXPECT_EQ(g.LvToRaw(0), (RawVersion{"alice", 0}));
+  EXPECT_EQ(g.LvToRaw(4), (RawVersion{"alice", 4}));
+  EXPECT_EQ(g.LvToRaw(5), (RawVersion{"bob", 10}));
+  EXPECT_EQ(g.LvToRaw(9), (RawVersion{"alice", 6}));
+
+  EXPECT_EQ(g.RawToLv("alice", 3), 3u);
+  EXPECT_EQ(g.RawToLv("bob", 12), 7u);
+  EXPECT_EQ(g.RawToLv("alice", 6), 9u);
+  EXPECT_EQ(g.RawToLv("bob", 0), kInvalidLv);
+  EXPECT_EQ(g.RawToLv("nobody", 0), kInvalidLv);
+
+  EXPECT_EQ(g.KnownRunLen("alice", 0), 5u);
+  EXPECT_EQ(g.KnownRunLen("alice", 5), 2u);
+  EXPECT_EQ(g.KnownRunLen("alice", 7), 0u);
+  EXPECT_EQ(g.KnownRunLen("bob", 11), 2u);
+
+  EXPECT_EQ(g.NextSeqFor(a), 7u);
+  EXPECT_EQ(g.NextSeqFor(b), 13u);
+}
+
+TEST(Graph, CompareRawOrdersByAgentThenSeq) {
+  Graph g;
+  AgentId a = g.GetOrCreateAgent("alice");
+  AgentId b = g.GetOrCreateAgent("bob");
+  g.Add(a, 0, 2, {});
+  g.Add(b, 0, 2, {});
+  EXPECT_LT(g.CompareRaw(0, 2), 0);  // alice < bob.
+  EXPECT_GT(g.CompareRaw(2, 0), 0);
+  EXPECT_LT(g.CompareRaw(0, 1), 0);  // Same agent: by seq.
+  EXPECT_EQ(g.CompareRaw(1, 1), 0);
+}
+
+TEST(Graph, DiffSimpleBranches) {
+  Graph g;
+  AgentId a = g.GetOrCreateAgent("a");
+  AgentId b = g.GetOrCreateAgent("b");
+  g.Add(a, 0, 3, {});     // 0 1 2
+  g.Add(b, 0, 3, {2});    // 3 4 5
+  g.Add(a, 3, 3, {2});    // 6 7 8
+
+  DiffResult d = g.Diff({5}, {8});
+  EXPECT_EQ(SpansToSet(d.only_a), (std::set<Lv>{3, 4, 5}));
+  EXPECT_EQ(SpansToSet(d.only_b), (std::set<Lv>{6, 7, 8}));
+
+  d = g.Diff({2}, {8});
+  EXPECT_TRUE(d.only_a.empty());
+  EXPECT_EQ(SpansToSet(d.only_b), (std::set<Lv>{6, 7, 8}));
+
+  d = g.Diff({8}, {8});
+  EXPECT_TRUE(d.only_a.empty());
+  EXPECT_TRUE(d.only_b.empty());
+
+  d = g.Diff({}, {2});
+  EXPECT_TRUE(d.only_a.empty());
+  EXPECT_EQ(SpansToSet(d.only_b), (std::set<Lv>{0, 1, 2}));
+}
+
+TEST(Graph, EventsOfClosure) {
+  Graph g;
+  AgentId a = g.GetOrCreateAgent("a");
+  AgentId b = g.GetOrCreateAgent("b");
+  g.Add(a, 0, 3, {});
+  g.Add(b, 0, 2, {1});  // Forks from mid-run.
+  EXPECT_EQ(SpansToSet(g.EventsOf({4})), (std::set<Lv>{0, 1, 3, 4}));
+  EXPECT_EQ(SpansToSet(g.EventsOf({2, 4})), (std::set<Lv>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(g.EventsOf({}).empty());
+}
+
+TEST(Graph, ReduceRemovesDominated) {
+  Graph g;
+  AgentId a = g.GetOrCreateAgent("a");
+  g.Add(a, 0, 5, {});
+  EXPECT_EQ(g.Reduce({1, 3, 4}), (Frontier{4}));
+  EXPECT_EQ(g.Reduce({2}), (Frontier{2}));
+  AgentId b = g.GetOrCreateAgent("b");
+  g.Add(b, 0, 2, {});  // Concurrent root: 5 6.
+  EXPECT_EQ(g.Reduce({4, 6}), (Frontier{4, 6}));
+  EXPECT_EQ(g.Reduce({1, 4, 5, 6}), (Frontier{4, 6}));
+}
+
+// --- Randomised differential tests -----------------------------------------
+
+class GraphRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphRandomTest, VersionContainsMatchesBruteForce) {
+  Graph g = RandomGraph(GetParam(), 40);
+  Prng rng(GetParam() ^ 0xabc);
+  for (int i = 0; i < 200; ++i) {
+    Frontier f;
+    int k = 1 + static_cast<int>(rng.Below(3));
+    for (int j = 0; j < k; ++j) {
+      FrontierInsert(f, rng.Below(g.size()));
+    }
+    std::set<Lv> closure = BruteClosure(g, f);
+    Lv probe = rng.Below(g.size());
+    EXPECT_EQ(g.VersionContains(f, probe), closure.count(probe) > 0)
+        << "probe " << probe << " frontier " << FrontierToString(f);
+  }
+}
+
+TEST_P(GraphRandomTest, IsAncestorMatchesBruteForce) {
+  Graph g = RandomGraph(GetParam(), 30);
+  for (Lv a = 0; a < g.size(); ++a) {
+    std::set<Lv> up = BruteClosure(g, {a});
+    for (Lv b = 0; b < g.size(); ++b) {
+      bool expected = (b != a) && up.count(b) > 0;
+      EXPECT_EQ(g.IsAncestor(b, a), expected) << b << " -> " << a;
+    }
+  }
+}
+
+TEST_P(GraphRandomTest, DiffMatchesBruteForce) {
+  Graph g = RandomGraph(GetParam(), 40);
+  Prng rng(GetParam() ^ 0xdef);
+  for (int i = 0; i < 100; ++i) {
+    Frontier fa, fb;
+    for (uint64_t j = 1 + rng.Below(3); j > 0; --j) {
+      FrontierInsert(fa, rng.Below(g.size()));
+    }
+    for (uint64_t j = 1 + rng.Below(3); j > 0; --j) {
+      FrontierInsert(fb, rng.Below(g.size()));
+    }
+    fa = g.Reduce(fa);
+    fb = g.Reduce(fb);
+    std::set<Lv> ca = BruteClosure(g, fa);
+    std::set<Lv> cb = BruteClosure(g, fb);
+    std::set<Lv> only_a, only_b;
+    for (Lv v : ca) {
+      if (cb.count(v) == 0) {
+        only_a.insert(v);
+      }
+    }
+    for (Lv v : cb) {
+      if (ca.count(v) == 0) {
+        only_b.insert(v);
+      }
+    }
+    DiffResult d = g.Diff(fa, fb);
+    EXPECT_EQ(SpansToSet(d.only_a), only_a) << FrontierToString(fa) << FrontierToString(fb);
+    EXPECT_EQ(SpansToSet(d.only_b), only_b) << FrontierToString(fa) << FrontierToString(fb);
+  }
+}
+
+TEST_P(GraphRandomTest, EventsOfMatchesBruteForce) {
+  Graph g = RandomGraph(GetParam(), 35);
+  Prng rng(GetParam() ^ 0x123);
+  for (int i = 0; i < 50; ++i) {
+    Frontier f;
+    for (uint64_t j = 1 + rng.Below(4); j > 0; --j) {
+      FrontierInsert(f, rng.Below(g.size()));
+    }
+    EXPECT_EQ(SpansToSet(g.EventsOf(f)), BruteClosure(g, f));
+  }
+}
+
+TEST_P(GraphRandomTest, VersionFrontierIsMinimalAndComplete) {
+  Graph g = RandomGraph(GetParam(), 50);
+  const Frontier& v = g.version();
+  // Minimal: no member dominated by another.
+  EXPECT_EQ(g.Reduce(v), v);
+  // Complete: every event is in the closure.
+  EXPECT_EQ(BruteClosure(g, v).size(), g.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphRandomTest, ::testing::Values(1, 2, 3, 4, 5, 77, 1234));
+
+}  // namespace
+}  // namespace egwalker

@@ -1,0 +1,117 @@
+// Tests for the minimal JSON parser/writer.
+
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace egwalker {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_EQ(Json::Parse("true")->as_bool(), true);
+  EXPECT_EQ(Json::Parse("false")->as_bool(), false);
+  EXPECT_EQ(Json::Parse("42")->as_int(), 42);
+  EXPECT_EQ(Json::Parse("-7")->as_int(), -7);
+  EXPECT_DOUBLE_EQ(Json::Parse("2.5")->as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Json::Parse("1e3")->as_double(), 1000.0);
+  EXPECT_EQ(Json::Parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(Json, IntegerVersusDoubleClassification) {
+  EXPECT_TRUE(Json::Parse("42")->is_int());
+  EXPECT_FALSE(Json::Parse("42.0")->is_int());
+  EXPECT_TRUE(Json::Parse("42.0")->is_number());
+  // Overflowing int64 falls back to double.
+  EXPECT_FALSE(Json::Parse("99999999999999999999999")->is_int());
+}
+
+TEST(Json, ParsesNestedStructures) {
+  auto v = Json::Parse(R"({"a": [1, 2, {"b": null}], "c": "x"})");
+  ASSERT_TRUE(v.has_value());
+  const Json* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->as_array().size(), 3u);
+  EXPECT_EQ(a->as_array()[1].as_int(), 2);
+  EXPECT_TRUE(a->as_array()[2].Find("b")->is_null());
+  EXPECT_EQ(v->Find("c")->as_string(), "x");
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(Json, StringEscapes) {
+  auto v = Json::Parse(R"("a\"b\\c\/d\b\f\n\r\t")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "a\"b\\c/d\b\f\n\r\t");
+}
+
+TEST(Json, UnicodeEscapes) {
+  EXPECT_EQ(Json::Parse(R"("A")")->as_string(), "A");
+  EXPECT_EQ(Json::Parse(R"("é")")->as_string(), "\xc3\xa9");      // é
+  EXPECT_EQ(Json::Parse(R"("世")")->as_string(), "\xe4\xb8\x96");  // 世
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Json::Parse(R"("😀")")->as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",        "{",        "[1,",   "tru",        "\"unterminated", "{\"a\":}",
+      "[1 2]",   "01x",      "1.",    "1e",         "{\"a\" 1}",      "nulll",
+      "\"\\q\"", "\"\\ud800\"",
+  };
+  for (const char* text : bad) {
+    std::string err;
+    EXPECT_FALSE(Json::Parse(text, &err).has_value()) << text;
+    EXPECT_FALSE(err.empty()) << text;
+  }
+}
+
+TEST(Json, RejectsTrailingGarbage) {
+  EXPECT_FALSE(Json::Parse("1 2").has_value());
+  EXPECT_FALSE(Json::Parse("{} {}").has_value());
+  EXPECT_TRUE(Json::Parse("  {}  ").has_value());
+}
+
+TEST(Json, DumpRoundTrips) {
+  const char* docs[] = {
+      "null",
+      "[1,2,3]",
+      R"({"k":"v","n":[true,false,null],"num":-12,"d":2.5})",
+      R"(["A \n \\ \" text"])",
+      "[]",
+      "{}",
+  };
+  for (const char* text : docs) {
+    auto v = Json::Parse(text);
+    ASSERT_TRUE(v.has_value()) << text;
+    std::string dumped = v->Dump();
+    auto v2 = Json::Parse(dumped);
+    ASSERT_TRUE(v2.has_value()) << dumped;
+    EXPECT_EQ(v2->Dump(), dumped) << text;
+  }
+}
+
+TEST(Json, PrettyPrintParses) {
+  auto v = Json::Parse(R"({"a":[1,{"b":2}],"c":"d"})");
+  std::string pretty = v->Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto v2 = Json::Parse(pretty);
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_EQ(v2->Dump(), v->Dump());
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  auto v = Json::Parse(R"({"z":1,"a":2,"m":3})");
+  const JsonObject& obj = v->as_object();
+  EXPECT_EQ(obj[0].first, "z");
+  EXPECT_EQ(obj[1].first, "a");
+  EXPECT_EQ(obj[2].first, "m");
+}
+
+TEST(JsonEscape, ControlCharacters) {
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\"\\u0001\"");
+  EXPECT_EQ(JsonEscape("tab\there"), "\"tab\\there\"");
+}
+
+}  // namespace
+}  // namespace egwalker

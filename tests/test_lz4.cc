@@ -1,0 +1,152 @@
+// Tests for the LZ4 block codec: round trips, compression effectiveness on
+// text-like input, and decoder robustness against corrupt input.
+
+#include "lz4/lz4.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/generate.h"
+#include "util/prng.h"
+
+namespace egwalker {
+namespace {
+
+void ExpectRoundTrip(const std::string& input) {
+  std::string compressed = lz4::Compress(input);
+  EXPECT_LE(compressed.size(), lz4::MaxCompressedSize(input.size()));
+  auto out = lz4::Decompress(compressed, input.size());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(Lz4, EmptyInput) { ExpectRoundTrip(""); }
+
+TEST(Lz4, TinyInputs) {
+  ExpectRoundTrip("a");
+  ExpectRoundTrip("ab");
+  ExpectRoundTrip("hello");
+  ExpectRoundTrip("aaaaaaaaaaaa");  // 12 bytes: right at the match limit.
+}
+
+TEST(Lz4, HighlyRepetitiveInputCompressesWell) {
+  std::string input(100000, 'x');
+  std::string compressed = lz4::Compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 50);
+  auto out = lz4::Decompress(compressed, input.size());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(Lz4, RepeatedPhrase) {
+  std::string input;
+  for (int i = 0; i < 3000; ++i) {
+    input += "the quick brown fox jumps over the lazy dog. ";
+  }
+  std::string compressed = lz4::Compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 10);
+  ExpectRoundTrip(input);
+}
+
+TEST(Lz4, ProseCompresses) {
+  Prng rng(5);
+  std::string prose = GenerateProse(rng, 200000);
+  std::string compressed = lz4::Compress(prose);
+  EXPECT_LT(compressed.size(), prose.size());  // Syllable soup still repeats.
+  auto out = lz4::Decompress(compressed, prose.size());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, prose);
+}
+
+TEST(Lz4, IncompressibleRandomBytesRoundTrip) {
+  Prng rng(17);
+  std::string input;
+  for (int i = 0; i < 50000; ++i) {
+    input.push_back(static_cast<char>(rng.Next() & 0xff));
+  }
+  std::string compressed = lz4::Compress(input);
+  EXPECT_LE(compressed.size(), lz4::MaxCompressedSize(input.size()));
+  ExpectRoundTrip(input);
+}
+
+TEST(Lz4, OverlappingMatches) {
+  // Period-1 through period-7 repetitions exercise the overlap copy path.
+  for (size_t period = 1; period <= 7; ++period) {
+    std::string input;
+    for (size_t i = 0; i < 5000; ++i) {
+      input.push_back(static_cast<char>('a' + (i % period)));
+    }
+    ExpectRoundTrip(input);
+  }
+}
+
+TEST(Lz4, LongLiteralRuns) {
+  // > 255 literal bytes forces length-extension bytes.
+  Prng rng(23);
+  std::string input;
+  for (int i = 0; i < 1000; ++i) {
+    input.push_back(static_cast<char>(rng.Next() & 0xff));
+  }
+  ExpectRoundTrip(input);
+}
+
+TEST(Lz4, LongMatches) {
+  // A very long match forces match-length extension bytes.
+  std::string input = "seed-block-";
+  input += std::string(10000, 'z');
+  ExpectRoundTrip(input);
+}
+
+TEST(Lz4, DecompressRejectsWrongSize) {
+  std::string input = "some reasonably compressible text text text text";
+  std::string compressed = lz4::Compress(input);
+  EXPECT_FALSE(lz4::Decompress(compressed, input.size() + 1).has_value());
+  EXPECT_FALSE(lz4::Decompress(compressed, input.size() - 1).has_value());
+}
+
+TEST(Lz4, DecompressRejectsTruncatedInput) {
+  std::string input(1000, 'r');
+  input += "tail";
+  std::string compressed = lz4::Compress(input);
+  for (size_t len = 0; len < compressed.size(); len += 3) {
+    EXPECT_FALSE(lz4::Decompress(compressed.substr(0, len), input.size()).has_value()) << len;
+  }
+}
+
+TEST(Lz4, DecompressRejectsBadOffsets) {
+  // Token: 1 literal + match; offset 0 is illegal; offset beyond output too.
+  std::string bad;
+  bad.push_back(0x14);  // 1 literal, match len 4+4.
+  bad.push_back('A');
+  bad.push_back(0x00);  // offset lo
+  bad.push_back(0x00);  // offset hi -> offset 0.
+  EXPECT_FALSE(lz4::Decompress(bad, 10).has_value());
+  bad[2] = 0x09;  // offset 9 > 1 byte of output so far.
+  EXPECT_FALSE(lz4::Decompress(bad, 10).has_value());
+}
+
+TEST(Lz4, FuzzRoundTripsRandomStructuredInputs) {
+  Prng rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string input;
+    size_t target = rng.Below(4000);
+    while (input.size() < target) {
+      if (rng.Chance(0.5) && !input.empty()) {
+        // Copy a random earlier slice (creates matches).
+        size_t from = rng.Below(input.size());
+        size_t n = 1 + rng.Below(std::min<size_t>(input.size() - from, 60));
+        input += input.substr(from, n);
+      } else {
+        for (uint64_t n = 1 + rng.Below(20); n > 0; --n) {
+          input.push_back(static_cast<char>('a' + rng.Below(26)));
+        }
+      }
+    }
+    std::string compressed = lz4::Compress(input);
+    auto out = lz4::Decompress(compressed, input.size());
+    ASSERT_TRUE(out.has_value()) << iter;
+    ASSERT_EQ(*out, input) << iter;
+  }
+}
+
+}  // namespace
+}  // namespace egwalker

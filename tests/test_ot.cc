@@ -1,0 +1,192 @@
+// Tests for the OT baseline: exactness on sequential histories, agreement
+// with eg-walker on concurrency without same-position insertion ties, and
+// surviving-character equivalence in general.
+
+#include "ot/ot.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/walker.h"
+#include "testing/random_trace.h"
+
+namespace egwalker {
+namespace {
+
+std::string WalkerReplay(const Trace& t) {
+  Walker w(t.graph, t.ops);
+  Rope doc;
+  w.ReplayAll(doc);
+  return doc.ToString();
+}
+
+TEST(Ot, SequentialMatchesWalkerExactly) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("alice");
+  t.AppendInsert(a, t.graph.version(), 0, "hello world");
+  t.AppendDelete(a, t.graph.version(), 0, 6);
+  t.AppendInsert(a, t.graph.version(), 5, "!");
+  OtReplayer ot(t.graph, t.ops);
+  EXPECT_EQ(ot.ReplayAll(), "world!");
+  EXPECT_EQ(ot.ReplayAll(), WalkerReplay(t));
+  // Sequential histories take the fast path: no transform work at all.
+  EXPECT_EQ(ot.stats().model_span_visits, 0u);
+}
+
+TEST(Ot, Figure1Transform) {
+  Trace t;
+  AgentId u1 = t.graph.GetOrCreateAgent("user1");
+  AgentId u2 = t.graph.GetOrCreateAgent("user2");
+  Lv base = t.AppendInsert(u1, {}, 0, "Helo");
+  Frontier common{base + 3};
+  t.AppendInsert(u1, common, 3, "l");
+  t.AppendInsert(u2, common, 4, "!");
+  OtReplayer ot(t.graph, t.ops);
+  EXPECT_EQ(ot.ReplayAll(), "Hello!");
+}
+
+TEST(Ot, ConcurrentDisjointRegions) {
+  // Two branches editing disjoint halves: OT and eg-walker must agree
+  // exactly (no insertion-position ties).
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  Lv base = t.AppendInsert(a, {}, 0, "aaaa bbbb");
+  Frontier common{base + 8};
+  Lv ta = t.AppendInsert(a, common, 2, "XX");    // Inside the a-region.
+  Lv tb = t.AppendInsert(b, common, 7, "YY");    // Inside the b-region.
+  t.AppendDelete(a, {ta + 1}, 0, 1);             // More a-branch work.
+  t.AppendDelete(b, {tb + 1}, 6, 1);
+  OtReplayer ot(t.graph, t.ops);
+  std::string ot_result = ot.ReplayAll();
+  EXPECT_EQ(ot_result, WalkerReplay(t));
+  EXPECT_GT(ot.stats().model_span_visits, 0u);
+}
+
+TEST(Ot, ConcurrentDoubleDelete) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  Lv base = t.AppendInsert(a, {}, 0, "abc");
+  Frontier common{base + 2};
+  t.AppendDelete(a, common, 1, 1);
+  t.AppendDelete(b, common, 1, 1);
+  OtReplayer ot(t.graph, t.ops);
+  EXPECT_EQ(ot.ReplayAll(), "ac");
+}
+
+TEST(Ot, SamePositionTieIsDeterministicAndUninterleaved) {
+  Trace t;
+  AgentId b = t.graph.GetOrCreateAgent("bob");
+  AgentId c = t.graph.GetOrCreateAgent("carol");
+  t.AppendInsert(b, {}, 0, "aaa");
+  t.AppendInsert(c, {}, 0, "bbb");
+  OtReplayer ot(t.graph, t.ops);
+  std::string r1 = ot.ReplayAll();
+  EXPECT_TRUE(r1 == "aaabbb" || r1 == "bbbaaa") << r1;
+  OtReplayer ot2(t.graph, t.ops);
+  EXPECT_EQ(ot2.ReplayAll(), r1);
+}
+
+TEST(Ot, HistoryBufferGrowsWithWindow) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  t.AppendInsert(a, {}, 0, std::string(200, 'x'));
+  t.AppendInsert(b, {}, 0, std::string(200, 'y'));
+  OtReplayer ot(t.graph, t.ops);
+  ot.ReplayAll();
+  // The history buffer memoises one entry per event in the window.
+  EXPECT_EQ(ot.stats().peak_history_events, 400u);
+}
+
+class OtRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OtRandomTest, MatchesWalkerExactlyOnArbitraryTraces) {
+  // The OT baseline shares the YATA tie rule (see ot.h: deriving victim
+  // identity consistently is what makes one trace replayable by every
+  // algorithm), so its output must equal eg-walker's byte for byte.
+  testing::RandomTraceOptions opts;
+  opts.seed = GetParam();
+  opts.actions = 70;
+  Trace t = testing::MakeRandomTrace(opts);
+  OtReplayer ot(t.graph, t.ops);
+  EXPECT_EQ(ot.ReplayAll(), WalkerReplay(t)) << "seed " << GetParam();
+}
+
+TEST_P(OtRandomTest, TieFreeTracesMatchWalkerExactly) {
+  // With a single replica per position region there are no insertion ties:
+  // build a two-replica trace where the replicas never interleave inserts
+  // at identical positions by keeping their regions disjoint.
+  Prng rng(GetParam());
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  Lv base = t.AppendInsert(a, {}, 0, std::string(40, '.'));
+  Frontier tip_a{base + 39};
+  Frontier tip_b{base + 39};
+  uint64_t len_a = 20;  // a owns [0, 20), b owns [20, 40) of the base doc.
+  uint64_t len_b = 20;
+  for (int i = 0; i < 30; ++i) {
+    if (rng.Chance(0.5)) {
+      uint64_t pos = rng.Below(len_a);
+      Lv lv = t.AppendInsert(a, tip_a, pos, "A");
+      tip_a = Frontier{lv};
+      ++len_a;
+    } else {
+      uint64_t pos = 20 + rng.Below(len_b + 1);
+      Lv lv = t.AppendInsert(b, tip_b, pos, "B");
+      tip_b = Frontier{lv};
+      ++len_b;
+    }
+  }
+  OtReplayer ot(t.graph, t.ops);
+  EXPECT_EQ(ot.ReplayAll(), WalkerReplay(t)) << "seed " << GetParam();
+}
+
+TEST_P(OtRandomTest, ReplayIsDeterministic) {
+  testing::RandomTraceOptions opts;
+  opts.seed = GetParam() ^ 0xbeef;
+  opts.actions = 50;
+  Trace t = testing::MakeRandomTrace(opts);
+  OtReplayer ot1(t.graph, t.ops);
+  OtReplayer ot2(t.graph, t.ops);
+  EXPECT_EQ(ot1.ReplayAll(), ot2.ReplayAll());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OtRandomTest, ::testing::Values(31, 32, 33, 34, 35, 36, 37, 38));
+
+TEST(Ot, TransformWorkGrowsQuadratically) {
+  // Merging two offline branches of n events each must cost Theta(n^2)
+  // model-span visits — the asymptotic claim behind Figure 8's async rows
+  // (each branch's events are contiguous, like a user reconnecting).
+  auto work_for = [](uint64_t n) {
+    Trace t;
+    AgentId a = t.graph.GetOrCreateAgent("a");
+    AgentId b = t.graph.GetOrCreateAgent("b");
+    Lv base = t.AppendInsert(a, {}, 0, std::string(16, '.'));
+    Frontier tip_a{base + 15};
+    Frontier tip_b{base + 15};
+    for (uint64_t i = 0; i < n; ++i) {
+      tip_a = Frontier{t.AppendInsert(a, tip_a, 1 + (i % 7), "A")};
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+      tip_b = Frontier{t.AppendInsert(b, tip_b, 9 + (i % 7), "B")};
+    }
+    OtReplayer ot(t.graph, t.ops);
+    ot.ReplayAll();
+    return ot.stats().model_span_visits;
+  };
+  uint64_t w1 = work_for(500);
+  uint64_t w2 = work_for(1000);
+  uint64_t w4 = work_for(2000);
+  // Doubling n should roughly quadruple the work (allow generous slack).
+  EXPECT_GT(w2, w1 * 3);
+  EXPECT_LT(w2, w1 * 6);
+  EXPECT_GT(w4, w2 * 3);
+  EXPECT_LT(w4, w2 * 6);
+}
+
+}  // namespace
+}  // namespace egwalker

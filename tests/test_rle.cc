@@ -1,0 +1,105 @@
+// Unit tests for the run-length-encoded container.
+
+#include "util/rle.h"
+
+#include <gtest/gtest.h>
+
+namespace egwalker {
+namespace {
+
+// A minimal RLE item: a span with a colour; adjacent same-colour spans merge.
+struct ColourRun {
+  LvSpan span;
+  int colour = 0;
+
+  uint64_t rle_start() const { return span.start; }
+  uint64_t rle_end() const { return span.end; }
+  bool can_append(const ColourRun& next) const {
+    return next.span.start == span.end && next.colour == colour;
+  }
+  void append(const ColourRun& next) { span.end = next.span.end; }
+};
+
+TEST(LvSpan, Basics) {
+  LvSpan s{5, 9};
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_TRUE(s.contains(8));
+  EXPECT_FALSE(s.contains(9));
+  EXPECT_TRUE((LvSpan{3, 3}).empty());
+}
+
+TEST(LvSpan, Intersect) {
+  EXPECT_EQ(LvSpan::Intersect({0, 10}, {5, 20}), (LvSpan{5, 10}));
+  EXPECT_EQ(LvSpan::Intersect({5, 20}, {0, 10}), (LvSpan{5, 10}));
+  EXPECT_TRUE(LvSpan::Intersect({0, 5}, {5, 10}).empty());
+  EXPECT_TRUE(LvSpan::Intersect({0, 5}, {7, 10}).empty());
+  EXPECT_EQ(LvSpan::Intersect({0, 10}, {2, 4}), (LvSpan{2, 4}));
+}
+
+TEST(RleVec, MergesAdjacentCompatibleRuns) {
+  RleVec<ColourRun> v;
+  v.Push({{0, 5}, 1});
+  v.Push({{5, 8}, 1});
+  v.Push({{8, 10}, 2});
+  v.Push({{10, 12}, 2});
+  v.Push({{12, 13}, 1});
+  EXPECT_EQ(v.run_count(), 3u);
+  EXPECT_EQ(v[0].span, (LvSpan{0, 8}));
+  EXPECT_EQ(v[1].span, (LvSpan{8, 12}));
+  EXPECT_EQ(v[2].span, (LvSpan{12, 13}));
+}
+
+TEST(RleVec, DoesNotMergeAcrossGaps) {
+  RleVec<ColourRun> v;
+  v.Push({{0, 5}, 1});
+  v.Push({{6, 8}, 1});  // Gap at 5.
+  EXPECT_EQ(v.run_count(), 2u);
+}
+
+TEST(RleVec, FindIndexHitsAndMisses) {
+  RleVec<ColourRun> v;
+  v.Push({{0, 5}, 1});
+  v.Push({{8, 12}, 2});
+  EXPECT_EQ(v.FindIndex(0), 0u);
+  EXPECT_EQ(v.FindIndex(4), 0u);
+  EXPECT_EQ(v.FindIndex(5), RleVec<ColourRun>::npos);
+  EXPECT_EQ(v.FindIndex(7), RleVec<ColourRun>::npos);
+  EXPECT_EQ(v.FindIndex(8), 1u);
+  EXPECT_EQ(v.FindIndex(11), 1u);
+  EXPECT_EQ(v.FindIndex(12), RleVec<ColourRun>::npos);
+}
+
+TEST(RleVec, FindCheckedReturnsRun) {
+  RleVec<ColourRun> v;
+  v.Push({{0, 5}, 1});
+  v.Push({{5, 9}, 3});
+  EXPECT_EQ(v.FindChecked(7).colour, 3);
+}
+
+TEST(RleVec, CoveredEnd) {
+  RleVec<ColourRun> v;
+  EXPECT_EQ(v.CoveredEnd(), 0u);
+  v.Push({{0, 5}, 1});
+  v.Push({{5, 7}, 2});
+  EXPECT_EQ(v.CoveredEnd(), 7u);
+}
+
+TEST(RleVec, LargeDenseLookup) {
+  RleVec<ColourRun> v;
+  // 1000 alternating-colour runs of length 3.
+  for (uint64_t i = 0; i < 1000; ++i) {
+    v.Push({{i * 3, i * 3 + 3}, static_cast<int>(i % 2)});
+  }
+  EXPECT_EQ(v.run_count(), 1000u);
+  for (uint64_t key = 0; key < 3000; ++key) {
+    size_t idx = v.FindIndex(key);
+    ASSERT_NE(idx, RleVec<ColourRun>::npos);
+    EXPECT_TRUE(v[idx].span.contains(key));
+    EXPECT_EQ(v[idx].colour, static_cast<int>((key / 3) % 2));
+  }
+}
+
+}  // namespace
+}  // namespace egwalker

@@ -1,0 +1,253 @@
+// Tests for the B+-tree rope: unit cases plus a randomised differential
+// test against a naive std::u32string-style oracle.
+
+#include "rope/rope.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rope/utf8.h"
+#include "util/prng.h"
+
+namespace egwalker {
+namespace {
+
+// Naive oracle: a vector of scalar values.
+class NaiveText {
+ public:
+  void InsertAt(size_t pos, std::string_view utf8) {
+    std::vector<uint32_t> cps;
+    size_t i = 0;
+    while (i < utf8.size()) {
+      size_t len;
+      cps.push_back(Utf8DecodeAt(utf8, i, &len));
+      i += len;
+    }
+    chars_.insert(chars_.begin() + static_cast<long>(pos), cps.begin(), cps.end());
+  }
+  void RemoveAt(size_t pos, size_t count) {
+    chars_.erase(chars_.begin() + static_cast<long>(pos),
+                 chars_.begin() + static_cast<long>(pos + count));
+  }
+  size_t size() const { return chars_.size(); }
+  std::string ToString() const {
+    std::string out;
+    for (uint32_t cp : chars_) {
+      Utf8Append(out, cp);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<uint32_t> chars_;
+};
+
+TEST(Utf8, CountAndIndex) {
+  std::string s = "a\xc3\xa9\xe4\xb8\x96\xf0\x9f\x98\x80z";  // a é 世 😀 z
+  EXPECT_EQ(Utf8CountChars(s), 5u);
+  EXPECT_EQ(Utf8ByteOfChar(s, 0), 0u);
+  EXPECT_EQ(Utf8ByteOfChar(s, 1), 1u);
+  EXPECT_EQ(Utf8ByteOfChar(s, 2), 3u);
+  EXPECT_EQ(Utf8ByteOfChar(s, 3), 6u);
+  EXPECT_EQ(Utf8ByteOfChar(s, 4), 10u);
+  EXPECT_EQ(Utf8ByteOfChar(s, 5), 11u);
+}
+
+TEST(Utf8, Validation) {
+  EXPECT_TRUE(Utf8IsValid("hello"));
+  EXPECT_TRUE(Utf8IsValid("\xc3\xa9"));
+  EXPECT_FALSE(Utf8IsValid("\xc3"));          // Truncated.
+  EXPECT_FALSE(Utf8IsValid("\x80"));          // Bare continuation.
+  EXPECT_FALSE(Utf8IsValid("\xff"));          // Invalid lead byte.
+  EXPECT_FALSE(Utf8IsValid("\xe4\xb8"));      // Truncated 3-byte.
+}
+
+TEST(Rope, EmptyBehaviour) {
+  Rope r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.char_size(), 0u);
+  EXPECT_EQ(r.byte_size(), 0u);
+  EXPECT_EQ(r.ToString(), "");
+  EXPECT_TRUE(r.CheckInvariants());
+}
+
+TEST(Rope, BasicInsertAndRemove) {
+  Rope r;
+  r.InsertAt(0, "Helo");
+  r.InsertAt(3, "l");
+  EXPECT_EQ(r.ToString(), "Hello");
+  r.InsertAt(5, "!");
+  EXPECT_EQ(r.ToString(), "Hello!");
+  r.RemoveAt(0, 1);
+  EXPECT_EQ(r.ToString(), "ello!");
+  r.RemoveAt(4, 1);
+  EXPECT_EQ(r.ToString(), "ello");
+  EXPECT_TRUE(r.CheckInvariants());
+}
+
+TEST(Rope, ConstructFromString) {
+  std::string text(5000, 'x');
+  Rope r(text);
+  EXPECT_EQ(r.char_size(), 5000u);
+  EXPECT_EQ(r.ToString(), text);
+  EXPECT_TRUE(r.CheckInvariants());
+}
+
+TEST(Rope, LargeSequentialAppendSplitsLeaves) {
+  Rope r;
+  std::string expected;
+  for (int i = 0; i < 2000; ++i) {
+    std::string word = "w" + std::to_string(i) + " ";
+    r.InsertAt(r.char_size(), word);
+    expected += word;
+  }
+  EXPECT_EQ(r.ToString(), expected);
+  EXPECT_TRUE(r.CheckInvariants());
+}
+
+TEST(Rope, PrependRepeatedly) {
+  Rope r;
+  std::string expected;
+  for (int i = 0; i < 500; ++i) {
+    r.InsertAt(0, "ab");
+    expected = "ab" + expected;
+  }
+  EXPECT_EQ(r.ToString(), expected);
+  EXPECT_TRUE(r.CheckInvariants());
+}
+
+TEST(Rope, RemoveEverything) {
+  Rope r(std::string(1000, 'q'));
+  r.RemoveAt(0, 1000);
+  EXPECT_EQ(r.char_size(), 0u);
+  EXPECT_EQ(r.ToString(), "");
+  EXPECT_TRUE(r.CheckInvariants());
+  r.InsertAt(0, "fresh");
+  EXPECT_EQ(r.ToString(), "fresh");
+}
+
+TEST(Rope, RemoveAcrossLeaves) {
+  std::string text;
+  for (int i = 0; i < 300; ++i) {
+    text += "0123456789";
+  }
+  Rope r(text);
+  r.RemoveAt(100, 2500);
+  text.erase(100, 2500);
+  EXPECT_EQ(r.ToString(), text);
+  EXPECT_TRUE(r.CheckInvariants());
+}
+
+TEST(Rope, MulticharUnicode) {
+  Rope r;
+  r.InsertAt(0, "héllo 世界");
+  EXPECT_EQ(r.char_size(), 8u);
+  r.InsertAt(6, "😀");
+  EXPECT_EQ(r.char_size(), 9u);
+  EXPECT_EQ(r.ToString(), "héllo 😀世界");
+  EXPECT_EQ(r.CharAt(6), 0x1F600u);
+  r.RemoveAt(6, 1);
+  EXPECT_EQ(r.ToString(), "héllo 世界");
+  EXPECT_TRUE(r.CheckInvariants());
+}
+
+TEST(Rope, Substring) {
+  std::string text;
+  for (int i = 0; i < 100; ++i) {
+    text += "abcdefghij";
+  }
+  Rope r(text);
+  EXPECT_EQ(r.Substring(0, 5), "abcde");
+  EXPECT_EQ(r.Substring(995, 5), "fghij");
+  EXPECT_EQ(r.Substring(37, 20), text.substr(37, 20));
+  EXPECT_EQ(r.Substring(0, 0), "");
+}
+
+TEST(Rope, CharAt) {
+  Rope r("hello");
+  EXPECT_EQ(r.CharAt(0), 'h');
+  EXPECT_EQ(r.CharAt(4), 'o');
+}
+
+TEST(Rope, CopyIsDeep) {
+  Rope a("shared");
+  Rope b(a);
+  b.InsertAt(0, "not ");
+  EXPECT_EQ(a.ToString(), "shared");
+  EXPECT_EQ(b.ToString(), "not shared");
+  a = b;
+  EXPECT_EQ(a.ToString(), "not shared");
+  a.RemoveAt(0, 4);
+  EXPECT_EQ(b.ToString(), "not shared");
+}
+
+TEST(Rope, MoveTransfersOwnership) {
+  Rope a("content");
+  Rope b(std::move(a));
+  EXPECT_EQ(b.ToString(), "content");
+  EXPECT_EQ(a.char_size(), 0u);  // NOLINT(bugprone-use-after-move)
+  a = std::move(b);
+  EXPECT_EQ(a.ToString(), "content");
+}
+
+TEST(Rope, ForEachChunkConcatenatesToFullText) {
+  std::string text;
+  for (int i = 0; i < 700; ++i) {
+    text += "chunk" + std::to_string(i);
+  }
+  Rope r(text);
+  std::string collected;
+  r.ForEachChunk(
+      [](std::string_view chunk, void* ctx) {
+        static_cast<std::string*>(ctx)->append(chunk);
+      },
+      &collected);
+  EXPECT_EQ(collected, text);
+}
+
+// Randomised differential test vs the oracle, parameterised over edit mixes.
+struct FuzzParams {
+  uint64_t seed;
+  double insert_prob;
+  int ops;
+};
+
+class RopeFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
+
+TEST_P(RopeFuzzTest, MatchesNaiveOracle) {
+  const FuzzParams p = GetParam();
+  Prng rng(p.seed);
+  Rope rope;
+  NaiveText naive;
+  const char* snippets[] = {"a", "xyz", "hello world", "é", "世界", "😀!", "\n", "long-ish text"};
+  for (int i = 0; i < p.ops; ++i) {
+    if (naive.size() == 0 || rng.Chance(p.insert_prob)) {
+      size_t pos = rng.Below(naive.size() + 1);
+      const char* text = snippets[rng.Below(8)];
+      rope.InsertAt(pos, text);
+      naive.InsertAt(pos, text);
+    } else {
+      size_t pos = rng.Below(naive.size());
+      size_t count = 1 + rng.Below(std::min<size_t>(naive.size() - pos, 20));
+      rope.RemoveAt(pos, count);
+      naive.RemoveAt(pos, count);
+    }
+    ASSERT_EQ(rope.char_size(), naive.size());
+  }
+  EXPECT_EQ(rope.ToString(), naive.ToString());
+  EXPECT_TRUE(rope.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixes, RopeFuzzTest,
+                         ::testing::Values(FuzzParams{1, 0.9, 4000},   // Growth-heavy.
+                                           FuzzParams{2, 0.5, 4000},   // Balanced churn.
+                                           FuzzParams{3, 0.55, 8000},  // Long churn.
+                                           FuzzParams{4, 0.7, 2000},   // Moderate.
+                                           FuzzParams{5, 0.95, 6000},  // Mostly typing.
+                                           FuzzParams{6, 0.45, 6000}   // Shrink-heavy.
+                                           ));
+
+}  // namespace
+}  // namespace egwalker

@@ -1,0 +1,192 @@
+// Tests for the reference (pseudocode-faithful) Eg-walker, including the
+// paper's worked examples from Figures 1/2 and Figure 4.
+
+#include "core/simple_walker.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/random_trace.h"
+
+namespace egwalker {
+namespace {
+
+TEST(SimpleWalker, EmptyGraph) {
+  Trace t;
+  SimpleWalker w(t.graph, t.ops);
+  EXPECT_EQ(w.ReplayAll(), "");
+}
+
+TEST(SimpleWalker, SequentialTyping) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("alice");
+  t.AppendInsert(a, t.graph.version(), 0, "hello");
+  t.AppendInsert(a, t.graph.version(), 5, " world");
+  SimpleWalker w(t.graph, t.ops);
+  EXPECT_EQ(w.ReplayAll(), "hello world");
+}
+
+TEST(SimpleWalker, PaperFigure1HelloExample) {
+  // Both users start from "Helo". User 1 inserts "l" at 3; user 2 inserts
+  // "!" at 4 concurrently. Result must be "Hello!" (Figures 1 and 2).
+  Trace t;
+  AgentId u1 = t.graph.GetOrCreateAgent("user1");
+  AgentId u2 = t.graph.GetOrCreateAgent("user2");
+  Lv base = t.AppendInsert(u1, {}, 0, "Helo");  // e1..e4 (LV 0..3).
+  Frontier common{base + 3};
+  t.AppendInsert(u1, common, 3, "l");  // e5.
+  t.AppendInsert(u2, common, 4, "!");  // e6.
+  SimpleWalker w(t.graph, t.ops);
+  EXPECT_EQ(w.ReplayAll(), "Hello!");
+}
+
+TEST(SimpleWalker, PaperFigure4HeyExample) {
+  // "hi" typed; one user edits to "hey" while another capitalises "h";
+  // after merging, "!" is appended: final state "Hey!" (Figure 4).
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  t.AppendInsert(a, {}, 0, "hi");                 // e1 e2 -> LV 0 1.
+  Lv e3 = t.AppendInsert(b, {1}, 0, "H");         // LV 2.
+  Lv e4 = t.AppendDelete(b, {e3}, 1, 1);          // LV 3: deletes "h".
+  Lv e5 = t.AppendDelete(a, {1}, 1, 1);           // LV 4: deletes "i".
+  Lv e6 = t.AppendInsert(a, {e5}, 1, "e");        // LV 5.
+  Lv e7 = t.AppendInsert(a, {e6}, 2, "y");        // LV 6.
+  t.AppendInsert(a, {e4, e7}, 3, "!");            // LV 7.
+  SimpleWalker w(t.graph, t.ops);
+  EXPECT_EQ(w.ReplayAll(), "Hey!");
+}
+
+TEST(SimpleWalker, Figure4InternalStateMatchesFigure7) {
+  // After replaying e1..e7 of Figure 4 (without the final "!") the internal
+  // state of Figure 7 has documents order H h e y i with h and i deleted.
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  t.AppendInsert(a, {}, 0, "hi");
+  Lv e3 = t.AppendInsert(b, {1}, 0, "H");
+  Lv e4 = t.AppendDelete(b, {e3}, 1, 1);
+  Lv e5 = t.AppendDelete(a, {1}, 1, 1);
+  Lv e6 = t.AppendInsert(a, {e5}, 1, "e");
+  Lv e7 = t.AppendInsert(a, {e6}, 2, "y");
+  t.AppendInsert(a, {e4, e7}, 3, "!");
+  SimpleWalker w(t.graph, t.ops);
+  EXPECT_EQ(w.ReplayAll(), "Hey!");
+  const auto& items = w.items();
+  ASSERT_EQ(items.size(), 6u);  // H h e y ! i.
+  EXPECT_EQ(items[0].id, e3);   // "H"
+  EXPECT_EQ(items[1].id, 0u);   // "h"
+  EXPECT_TRUE(items[1].ever_deleted);
+  EXPECT_EQ(items[2].id, e6);   // "e"
+  EXPECT_EQ(items[3].id, e7);   // "y"
+  EXPECT_EQ(items[5].id, 1u);   // "i"
+  EXPECT_TRUE(items[5].ever_deleted);
+}
+
+TEST(SimpleWalker, ConcurrentSamePositionInsertsDoNotInterleave) {
+  Trace t;
+  AgentId b = t.graph.GetOrCreateAgent("bob");
+  AgentId c = t.graph.GetOrCreateAgent("carol");
+  t.AppendInsert(b, {}, 0, "aaa");
+  t.AppendInsert(c, {}, 0, "bbb");
+  SimpleWalker w(t.graph, t.ops);
+  std::string result = w.ReplayAll();
+  // YATA with (agent, seq) tie-breaking: bob's run sorts before carol's,
+  // and the runs must not interleave.
+  EXPECT_EQ(result, "aaabbb");
+}
+
+TEST(SimpleWalker, ThreeWaySamePositionInsertsSortByAgent) {
+  Trace t;
+  AgentId c = t.graph.GetOrCreateAgent("carol");
+  AgentId a = t.graph.GetOrCreateAgent("alice");
+  AgentId b = t.graph.GetOrCreateAgent("bob");
+  t.AppendInsert(c, {}, 0, "CC");
+  t.AppendInsert(a, {}, 0, "AA");
+  t.AppendInsert(b, {}, 0, "BB");
+  SimpleWalker w(t.graph, t.ops);
+  EXPECT_EQ(w.ReplayAll(), "AABBCC");
+}
+
+TEST(SimpleWalker, ConcurrentDoubleDeleteRemovesOnce) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  Lv base = t.AppendInsert(a, {}, 0, "abc");
+  Frontier common{base + 2};
+  t.AppendDelete(a, common, 1, 1);  // Both delete "b".
+  t.AppendDelete(b, common, 1, 1);
+  SimpleWalker w(t.graph, t.ops);
+  std::vector<XfOp> xf;
+  ReplaySinks sinks;
+  sinks.xf_ops = &xf;
+  EXPECT_EQ(w.ReplayAll(SortMode::kLvOrder, sinks), "ac");
+  // One of the two deletes must have transformed into a no-op.
+  ASSERT_EQ(xf.size(), 5u);
+  EXPECT_FALSE(xf[3].noop);
+  EXPECT_TRUE(xf[4].noop);
+}
+
+TEST(SimpleWalker, DeleteConcurrentWithInsertBefore) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  Lv base = t.AppendInsert(a, {}, 0, "xyz");
+  Frontier common{base + 2};
+  t.AppendInsert(a, common, 0, "!");  // "!xyz"
+  t.AppendDelete(b, common, 2, 1);    // Deletes "z" in "xyz".
+  SimpleWalker w(t.graph, t.ops);
+  EXPECT_EQ(w.ReplayAll(), "!xy");
+}
+
+TEST(SimpleWalker, BackspaceRun) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  t.AppendInsert(a, {}, 0, "abcdef");
+  // Backspace three times from after "e" (positions 4, 3, 2).
+  t.AppendDelete(a, t.graph.version(), 4, 3, /*fwd=*/false);
+  SimpleWalker w(t.graph, t.ops);
+  EXPECT_EQ(w.ReplayAll(), "abf");
+}
+
+TEST(SimpleWalker, OrderIndependenceOnRandomTraces) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    testing::RandomTraceOptions opts;
+    opts.seed = seed;
+    opts.actions = 40;
+    Trace t = testing::MakeRandomTrace(opts);
+    SimpleWalker w1(t.graph, t.ops);
+    SimpleWalker w2(t.graph, t.ops);
+    SimpleWalker w3(t.graph, t.ops);
+    std::string a = w1.ReplayAll(SortMode::kLvOrder);
+    std::string b = w2.ReplayAll(SortMode::kHeuristic);
+    std::string c = w3.ReplayAll(SortMode::kAdversarial);
+    EXPECT_EQ(a, b) << "seed " << seed;
+    EXPECT_EQ(a, c) << "seed " << seed;
+  }
+}
+
+TEST(SimpleWalker, TransformedOpsReproduceDocument) {
+  testing::RandomTraceOptions opts;
+  opts.seed = 42;
+  opts.actions = 50;
+  Trace t = testing::MakeRandomTrace(opts);
+  SimpleWalker w(t.graph, t.ops);
+  std::vector<XfOp> xf;
+  ReplaySinks sinks;
+  sinks.xf_ops = &xf;
+  std::string expected = w.ReplayAll(SortMode::kHeuristic, sinks);
+  // Applying the transformed op stream to an empty buffer must reproduce
+  // the final document (the defining property of the output).
+  Rope doc;
+  for (const XfOp& op : xf) {
+    if (op.kind == OpKind::kInsert) {
+      doc.InsertAt(op.pos, op.text);
+    } else if (!op.noop) {
+      doc.RemoveAt(op.pos, op.count);
+    }
+  }
+  EXPECT_EQ(doc.ToString(), expected);
+}
+
+}  // namespace
+}  // namespace egwalker

@@ -1,0 +1,353 @@
+// Tests for the order-statistic B-tree internal state: unit behaviour of
+// every operation plus a randomised differential test against a flat
+// per-character model.
+
+#include "core/state_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/prng.h"
+
+namespace egwalker {
+namespace {
+
+TEST(StateTree, EmptyReset) {
+  StateTree tree;
+  tree.Reset(0);
+  EXPECT_TRUE(tree.AtEnd(tree.Begin()));
+  EXPECT_EQ(tree.total_prep_visible(), 0u);
+  EXPECT_EQ(tree.total_eff_visible(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(StateTree, PlaceholderReset) {
+  StateTree tree;
+  tree.Reset(1000);
+  EXPECT_EQ(tree.total_prep_visible(), 1000u);
+  EXPECT_EQ(tree.total_eff_visible(), 1000u);
+  EXPECT_EQ(tree.span_count(), 1u);
+  StateTree::Piece p = tree.PieceAt(tree.Begin());
+  EXPECT_GE(p.first_id, kPlaceholderBase);
+  EXPECT_EQ(p.len, 1000u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(StateTree, InsertIntoEmpty) {
+  StateTree tree;
+  tree.Reset(0);
+  tree.InsertSpan(tree.Begin(), /*id=*/0, /*len=*/5, kOriginStart, kOriginEnd);
+  EXPECT_EQ(tree.total_prep_visible(), 5u);
+  EXPECT_EQ(tree.total_eff_visible(), 5u);
+  StateTree::Cursor c = tree.FindById(2);
+  EXPECT_EQ(c.offset, 2u);
+  EXPECT_EQ(tree.EffPrefix(c), 2u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(StateTree, SplitPlaceholderWithInsert) {
+  StateTree tree;
+  tree.Reset(100);
+  // Insert 3 chars after prepare position 40.
+  Lv origin;
+  StateTree::Cursor c = tree.FindPrepInsert(40, &origin);
+  tree.InsertSpan(c, 0, 3, origin, kOriginEnd);
+  EXPECT_EQ(tree.total_prep_visible(), 103u);
+  EXPECT_EQ(tree.total_eff_visible(), 103u);
+  EXPECT_EQ(tree.EffPrefix(tree.FindById(0)), 40u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(StateTree, FindPrepInsertReportsOriginLeft) {
+  StateTree tree;
+  tree.Reset(0);
+  tree.InsertSpan(tree.Begin(), 10, 5, kOriginStart, kOriginEnd);  // ids 10..14
+  Lv origin = 123;
+  tree.FindPrepInsert(0, &origin);
+  EXPECT_EQ(origin, kOriginStart);
+  tree.FindPrepInsert(3, &origin);
+  EXPECT_EQ(origin, 12u);
+  tree.FindPrepInsert(5, &origin);
+  EXPECT_EQ(origin, 14u);
+}
+
+TEST(StateTree, MarkDeletedUpdatesCountsAndStates) {
+  StateTree tree;
+  tree.Reset(0);
+  tree.InsertSpan(tree.Begin(), 0, 10, kOriginStart, kOriginEnd);
+  // Delete chars at prepare positions 3..5.
+  StateTree::Cursor c = tree.FindPrepChar(3);
+  tree.MarkDeleted(c, 3);
+  EXPECT_EQ(tree.total_prep_visible(), 7u);
+  EXPECT_EQ(tree.total_eff_visible(), 7u);
+  StateTree::Piece p = tree.PieceAt(tree.FindById(3));
+  EXPECT_EQ(p.prep, 2u);
+  EXPECT_TRUE(p.ever_deleted);
+  EXPECT_EQ(p.len, 3u);
+  // Surrounding chars untouched.
+  EXPECT_EQ(tree.PieceAt(tree.FindById(2)).prep, 1u);
+  EXPECT_EQ(tree.PieceAt(tree.FindById(6)).prep, 1u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(StateTree, AdjustPrepRetreatAndAdvance) {
+  StateTree tree;
+  tree.Reset(0);
+  tree.InsertSpan(tree.Begin(), 0, 6, kOriginStart, kOriginEnd);
+  tree.AdjustPrep(tree.FindById(2), 2, -1);  // Retreat ids 2..3.
+  EXPECT_EQ(tree.total_prep_visible(), 4u);
+  EXPECT_EQ(tree.total_eff_visible(), 6u);  // Effect state untouched.
+  EXPECT_EQ(tree.PieceAt(tree.FindById(2)).prep, 0u);
+  tree.AdjustPrep(tree.FindById(2), 2, +1);  // Advance them again.
+  EXPECT_EQ(tree.total_prep_visible(), 6u);
+  EXPECT_EQ(tree.PieceAt(tree.FindById(2)).prep, 1u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(StateTree, FindPrepSkipsInvisible) {
+  StateTree tree;
+  tree.Reset(0);
+  tree.InsertSpan(tree.Begin(), 0, 10, kOriginStart, kOriginEnd);
+  tree.AdjustPrep(tree.FindById(0), 4, -1);  // ids 0..3 now NIY.
+  // Prepare position 0 is id 4.
+  EXPECT_EQ(tree.PieceAt(tree.FindPrepChar(0)).first_id, 4u);
+  // Insert cursor at prepare pos 0 lands before everything (not skipping
+  // the NIY records).
+  StateTree::Cursor c = tree.FindPrepInsert(0);
+  EXPECT_EQ(tree.PieceAt(c).first_id, 0u);
+  // Insert cursor at prepare pos 1 lands right after id 4.
+  Lv origin;
+  c = tree.FindPrepInsert(1, &origin);
+  EXPECT_EQ(origin, 4u);
+  EXPECT_EQ(tree.PieceAt(c).first_id, 5u);
+}
+
+TEST(StateTree, MarkDeletedIdempotent) {
+  StateTree tree;
+  tree.Reset(0);
+  tree.InsertSpan(tree.Begin(), 0, 4, kOriginStart, kOriginEnd);
+  EXPECT_TRUE(tree.MarkDeletedIdempotent(tree.FindById(1), 2));
+  EXPECT_FALSE(tree.MarkDeletedIdempotent(tree.FindById(1), 2));  // Again: no-op.
+  EXPECT_EQ(tree.total_eff_visible(), 2u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(StateTree, ManySequentialInsertsSplitLeaves) {
+  StateTree tree;
+  tree.Reset(0);
+  // Alternate prep states so spans cannot merge and leaves must split.
+  uint64_t pos = 0;
+  for (Lv id = 0; id < 500; ++id) {
+    Lv origin;
+    StateTree::Cursor c = tree.FindPrepInsert(pos, &origin);
+    tree.InsertSpan(c, id * 10, 1, origin, kOriginEnd);
+    if (id % 3 == 0) {
+      tree.AdjustPrep(tree.FindById(id * 10), 1, -1);
+    } else {
+      ++pos;
+    }
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.total_eff_visible(), 500u);
+  // All ids still resolvable.
+  for (Lv id = 0; id < 500; ++id) {
+    StateTree::Cursor c = tree.FindById(id * 10);
+    EXPECT_EQ(tree.PieceAt(c).first_id, id * 10);
+  }
+}
+
+TEST(StateTree, DeletingPlaceholderCharsSplitsThePlaceholder) {
+  // Partial replay (Section 3.6): deleting characters inserted before the
+  // window base splits the placeholder; the tombstone keeps its (local)
+  // placeholder id and stays addressable for retreat/advance.
+  StateTree tree;
+  tree.Reset(50);
+  StateTree::Cursor c = tree.FindPrepChar(20);
+  StateTree::Piece victim = tree.PieceAt(c);
+  EXPECT_GE(victim.first_id, kPlaceholderBase);
+  tree.MarkDeleted(c, 5);
+  EXPECT_EQ(tree.total_prep_visible(), 45u);
+  EXPECT_EQ(tree.total_eff_visible(), 45u);
+  EXPECT_EQ(tree.span_count(), 3u);  // head + tombstone + tail.
+  // The tombstone resolves by its placeholder-derived id.
+  StateTree::Cursor t = tree.FindById(victim.first_id);
+  StateTree::Piece p = tree.PieceAt(t);
+  EXPECT_EQ(p.prep, 2u);
+  EXPECT_TRUE(p.ever_deleted);
+  EXPECT_EQ(p.len, 5u);
+  // Retreating the delete restores visibility.
+  tree.AdjustPrep(t, 5, -1);
+  EXPECT_EQ(tree.total_prep_visible(), 50u);
+  EXPECT_EQ(tree.total_eff_visible(), 45u);  // Effect state is permanent.
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(StateTree, InsertAtPlaceholderEdges) {
+  StateTree tree;
+  tree.Reset(10);
+  // Insert at the very start, the very end, and a middle boundary.
+  Lv origin;
+  tree.InsertSpan(tree.FindPrepInsert(0, &origin), 0, 2, origin, kOriginEnd);
+  EXPECT_EQ(origin, kOriginStart);
+  tree.InsertSpan(tree.FindPrepInsert(12, &origin), 10, 2, origin, kOriginEnd);
+  tree.InsertSpan(tree.FindPrepInsert(7, &origin), 20, 1, origin, kOriginEnd);
+  EXPECT_EQ(tree.total_eff_visible(), 15u);
+  EXPECT_EQ(tree.EffPrefix(tree.FindById(0)), 0u);
+  EXPECT_EQ(tree.EffPrefix(tree.FindById(20)), 7u);
+  EXPECT_EQ(tree.EffPrefix(tree.FindById(10)), 13u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(StateTree, ResetReusesCleanly) {
+  StateTree tree;
+  for (int round = 0; round < 5; ++round) {
+    tree.Reset(round * 7);
+    EXPECT_EQ(tree.total_eff_visible(), static_cast<uint64_t>(round * 7));
+    Lv origin;
+    StateTree::Cursor c = tree.FindPrepInsert(round * 3, &origin);
+    tree.InsertSpan(c, 1000 + round, 3, origin, kOriginEnd);
+    EXPECT_EQ(tree.total_eff_visible(), static_cast<uint64_t>(round * 7 + 3));
+    EXPECT_TRUE(tree.CheckInvariants());
+  }
+  // Placeholder ids must stay unique across resets (no aliasing between
+  // rounds in the id index).
+  tree.Reset(3);
+  StateTree::Piece p = tree.PieceAt(tree.Begin());
+  EXPECT_GE(p.first_id, kPlaceholderBase);
+}
+
+// --- Randomised differential test -------------------------------------------
+
+// Flat per-character model of the internal state.
+struct ModelChar {
+  Lv id;
+  uint32_t prep;
+  bool ever_deleted;
+};
+
+class Model {
+ public:
+  size_t PrepInsertIndex(uint64_t pos, Lv* origin) const {
+    *origin = kOriginStart;
+    size_t i = 0;
+    uint64_t remaining = pos;
+    while (remaining > 0) {
+      EXPECT_LT(i, chars_.size());
+      if (chars_[i].prep == 1) {
+        --remaining;
+        *origin = chars_[i].id;
+      }
+      ++i;
+    }
+    return i;
+  }
+  size_t PrepCharIndex(uint64_t pos) const {
+    size_t i = 0;
+    uint64_t remaining = pos;
+    for (;; ++i) {
+      EXPECT_LT(i, chars_.size());
+      if (chars_[i].prep == 1) {
+        if (remaining == 0) {
+          return i;
+        }
+        --remaining;
+      }
+    }
+  }
+  uint64_t EffPrefix(size_t idx) const {
+    uint64_t n = 0;
+    for (size_t i = 0; i < idx; ++i) {
+      n += chars_[i].ever_deleted ? 0 : 1;
+    }
+    return n;
+  }
+  std::vector<ModelChar> chars_;
+};
+
+TEST(StateTree, RandomisedDifferentialAgainstFlatModel) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Prng rng(seed);
+    StateTree tree;
+    tree.Reset(0);
+    Model model;
+    Lv next_id = 0;
+
+    for (int step = 0; step < 600; ++step) {
+      uint64_t prep_total = tree.total_prep_visible();
+      double action = rng.NextDouble();
+      if (model.chars_.empty() || action < 0.5) {
+        // Insert a run of 1..4 chars at a random prepare position.
+        uint64_t len = 1 + rng.Below(4);
+        uint64_t pos = rng.Below(prep_total + 1);
+        Lv origin_tree;
+        StateTree::Cursor c = tree.FindPrepInsert(pos, &origin_tree);
+        tree.InsertSpan(c, next_id, len, origin_tree, kOriginEnd);
+
+        Lv origin_model;
+        size_t idx = model.PrepInsertIndex(pos, &origin_model);
+        EXPECT_EQ(origin_tree, origin_model) << "seed " << seed << " step " << step;
+        for (uint64_t k = 0; k < len; ++k) {
+          model.chars_.insert(model.chars_.begin() + static_cast<long>(idx + k),
+                              ModelChar{next_id + k, 1, false});
+        }
+        next_id += len + 3;  // Gap so ids stay distinguishable.
+      } else if (action < 0.75 && prep_total > 0) {
+        // Delete 1..3 visible chars at a random prepare position (only a
+        // chunk that fits in one span — mirror what the walker does).
+        uint64_t pos = rng.Below(prep_total);
+        StateTree::Cursor c = tree.FindPrepChar(pos);
+        uint64_t avail = std::min<uint64_t>(tree.SpanRemaining(c), 3);
+        // Model bound: contiguous visible chars with consecutive ids.
+        size_t idx = model.PrepCharIndex(pos);
+        uint64_t take = 1 + rng.Below(avail);
+        uint64_t eff_tree = tree.EffPrefix(c);
+        EXPECT_EQ(eff_tree, model.EffPrefix(idx));
+        tree.MarkDeleted(c, take);
+        for (uint64_t k = 0; k < take; ++k) {
+          model.chars_[idx + k].prep = 2;
+          model.chars_[idx + k].ever_deleted = true;
+        }
+      } else if (!model.chars_.empty()) {
+        // Retreat or advance a random id range within one span.
+        size_t mi = rng.Below(model.chars_.size());
+        ModelChar& mc = model.chars_[mi];
+        int delta = (mc.prep > 0 && rng.Chance(0.5)) ? -1 : +1;
+        if (mc.prep == 0 && delta < 0) {
+          delta = +1;
+        }
+        StateTree::Cursor c = tree.FindById(mc.id);
+        tree.AdjustPrep(c, 1, delta);
+        mc.prep = static_cast<uint32_t>(static_cast<int>(mc.prep) + delta);
+      }
+
+      ASSERT_TRUE(tree.CheckInvariants()) << "seed " << seed << " step " << step;
+      // Totals must match the model.
+      uint64_t model_prep = 0, model_eff = 0;
+      for (const ModelChar& mc : model.chars_) {
+        model_prep += mc.prep == 1 ? 1 : 0;
+        model_eff += mc.ever_deleted ? 0 : 1;
+      }
+      ASSERT_EQ(tree.total_prep_visible(), model_prep);
+      ASSERT_EQ(tree.total_eff_visible(), model_eff);
+    }
+
+    // Full sequence comparison at the end.
+    std::vector<ModelChar> from_tree;
+    for (StateTree::Cursor c = tree.Begin(); !tree.AtEnd(c); c = tree.NextPiece(c)) {
+      StateTree::Piece p = tree.PieceAt(c);
+      for (uint64_t k = 0; k < p.len; ++k) {
+        from_tree.push_back(ModelChar{p.first_id + k, p.prep, p.ever_deleted});
+      }
+    }
+    ASSERT_EQ(from_tree.size(), model.chars_.size());
+    for (size_t i = 0; i < from_tree.size(); ++i) {
+      EXPECT_EQ(from_tree[i].id, model.chars_[i].id) << i;
+      EXPECT_EQ(from_tree[i].prep, model.chars_[i].prep) << i;
+      EXPECT_EQ(from_tree[i].ever_deleted, model.chars_[i].ever_deleted) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace egwalker

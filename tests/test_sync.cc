@@ -1,0 +1,237 @@
+// Tests for the sync layer: version summaries, delta patches, causal
+// rejection, and patch-only convergence between replicas.
+
+#include "sync/patch.h"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.h"
+
+namespace egwalker {
+namespace {
+
+TEST(Summary, EmptyDoc) {
+  Doc doc("alice");
+  VersionSummary s = SummarizeDoc(doc);
+  EXPECT_TRUE(s.agents.empty());
+}
+
+TEST(Summary, CountsPerAgent) {
+  Doc alice("alice");
+  alice.Insert(0, "hello");
+  Doc bob("bob");
+  bob.MergeFrom(alice);
+  bob.Insert(5, "!!");
+  VersionSummary s = SummarizeDoc(bob);
+  EXPECT_EQ(s.agents.at("alice"), 5u);
+  EXPECT_EQ(s.agents.at("bob"), 2u);
+}
+
+TEST(Summary, EncodingRoundTrips) {
+  VersionSummary s;
+  s.agents["alice"] = 12345;
+  s.agents["bob"] = 1;
+  s.agents["carol-with-a-long-name"] = 99;
+  auto back = DecodeSummary(EncodeSummary(s));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, s);
+  auto empty = DecodeSummary(EncodeSummary(VersionSummary{}));
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->agents.empty());
+}
+
+TEST(Summary, RejectsCorruptInput) {
+  std::string error;
+  EXPECT_FALSE(DecodeSummary("", &error).has_value());
+  EXPECT_FALSE(DecodeSummary("EGXX\x01", &error).has_value());
+  std::string good = EncodeSummary({{{"a", 1}}});
+  EXPECT_FALSE(DecodeSummary(good + "x").has_value());       // Trailing bytes.
+  EXPECT_FALSE(DecodeSummary(good.substr(0, 6)).has_value());  // Truncated.
+}
+
+TEST(Patch, NothingToSendIsEmpty) {
+  Doc alice("alice");
+  alice.Insert(0, "state");
+  std::string patch = MakePatch(alice, SummarizeDoc(alice));
+  EXPECT_TRUE(patch.empty());
+  Doc bob("bob");
+  bob.MergeFrom(alice);
+  EXPECT_EQ(ApplyPatch(bob, patch), 0u);
+}
+
+TEST(Patch, FullBootstrap) {
+  Doc alice("alice");
+  alice.Insert(0, "hello world");
+  alice.Delete(0, 6);
+  Doc bob("bob");
+  std::string patch = MakePatch(alice, SummarizeDoc(bob));
+  EXPECT_FALSE(patch.empty());
+  auto merged = ApplyPatch(bob, patch);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(*merged, 17u);
+  EXPECT_EQ(bob.Text(), "world");
+}
+
+TEST(Patch, IncrementalDelta) {
+  Doc alice("alice");
+  alice.Insert(0, "base");
+  Doc bob("bob");
+  bob.MergeFrom(alice);
+  alice.Insert(4, " more");
+  std::string patch = MakePatch(alice, SummarizeDoc(bob));
+  // Only the delta travels: far smaller than a full history.
+  EXPECT_LT(patch.size(), 64u);
+  ASSERT_TRUE(ApplyPatch(bob, patch).has_value());
+  EXPECT_EQ(bob.Text(), "base more");
+}
+
+TEST(Patch, ConcurrentEditsBothWays) {
+  Doc alice("alice");
+  alice.Insert(0, "Helo");
+  Doc bob("bob");
+  bob.MergeFrom(alice);
+  alice.Insert(3, "l");
+  bob.Insert(4, "!");
+  std::string a_to_b = MakePatch(alice, SummarizeDoc(bob));
+  std::string b_to_a = MakePatch(bob, SummarizeDoc(alice));
+  ASSERT_TRUE(ApplyPatch(bob, a_to_b).has_value());
+  ASSERT_TRUE(ApplyPatch(alice, b_to_a).has_value());
+  EXPECT_EQ(alice.Text(), "Hello!");
+  EXPECT_EQ(bob.Text(), "Hello!");
+}
+
+TEST(Patch, PartialRunDelta) {
+  // Bob holds a prefix of one of alice's runs; the patch must clip the run
+  // and chain it onto the part bob already has.
+  Doc alice("alice");
+  alice.Insert(0, "abcdef");
+  Doc bob("bob");
+  bob.MergeFrom(alice);
+  alice.Insert(6, "ghijkl");  // Extends the same typing run.
+  std::string patch = MakePatch(alice, SummarizeDoc(bob));
+  ASSERT_TRUE(ApplyPatch(bob, patch).has_value());
+  EXPECT_EQ(bob.Text(), "abcdefghijkl");
+}
+
+TEST(Patch, BackspaceRunDelta) {
+  Doc alice("alice");
+  alice.Insert(0, "abcdef");
+  Doc bob("bob");
+  bob.MergeFrom(alice);
+  // Delete "cde" (alice's editor may have issued backspaces; Doc::Delete
+  // normalises to a forward run — direction is covered by the OpLog tests).
+  alice.Delete(2, 3);
+  std::string patch = MakePatch(alice, SummarizeDoc(bob));
+  ASSERT_TRUE(ApplyPatch(bob, patch).has_value());
+  EXPECT_EQ(bob.Text(), alice.Text());
+}
+
+TEST(Patch, RejectsCausallyPrematurePatch) {
+  Doc alice("alice");
+  alice.Insert(0, "base");
+  Doc bob("bob");
+  bob.MergeFrom(alice);
+  alice.Insert(4, "1");
+  VersionSummary bob_has = SummarizeDoc(bob);
+  alice.Insert(5, "2");
+  // A patch against an artificially advanced summary: pretend bob already
+  // has alice's 5th event so the patch only carries the 6th.
+  VersionSummary fake = bob_has;
+  fake.agents["alice"] = 5;
+  std::string premature = MakePatch(alice, fake);
+  std::string error;
+  EXPECT_FALSE(ApplyPatch(bob, premature, &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(bob.Text(), "base");  // Untouched.
+  // Once the gap is filled, the same patch applies cleanly.
+  ASSERT_TRUE(ApplyPatch(bob, MakePatch(alice, bob_has)).has_value());
+  EXPECT_EQ(bob.Text(), "base12");
+}
+
+TEST(Patch, RejectsCorruptBytes) {
+  Doc alice("alice");
+  alice.Insert(0, "content");
+  Doc bob("bob");
+  std::string patch = MakePatch(alice, SummarizeDoc(bob));
+  for (size_t len = 1; len < patch.size(); len += 3) {
+    std::string error;
+    EXPECT_FALSE(ApplyPatch(bob, patch.substr(0, len), &error).has_value()) << len;
+  }
+  std::string mangled = patch;
+  mangled[1] = 'X';
+  EXPECT_FALSE(ApplyPatch(bob, mangled).has_value());
+  EXPECT_EQ(bob.size(), 0u);
+}
+
+TEST(Patch, ApplyingTwiceIsIdempotent) {
+  Doc alice("alice");
+  alice.Insert(0, "once");
+  Doc bob("bob");
+  std::string patch = MakePatch(alice, SummarizeDoc(bob));
+  ASSERT_TRUE(ApplyPatch(bob, patch).has_value());
+  auto again = ApplyPatch(bob, patch);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, 0u);
+  EXPECT_EQ(bob.Text(), "once");
+}
+
+TEST(Patch, RandomisedPatchOnlyGossipConverges) {
+  for (uint64_t seed = 201; seed <= 208; ++seed) {
+    Prng rng(seed);
+    std::vector<Doc> peers;
+    for (int i = 0; i < 3; ++i) {
+      peers.emplace_back("p" + std::to_string(i));
+    }
+    peers[0].Insert(0, "root ");
+    for (int i = 1; i < 3; ++i) {
+      std::string boot = MakePatch(peers[0], SummarizeDoc(peers[i]));
+      ASSERT_TRUE(ApplyPatch(peers[i], boot).has_value());
+    }
+    for (int step = 0; step < 120; ++step) {
+      Doc& d = peers[rng.Below(3)];
+      if (d.size() > 6 && rng.Chance(0.3)) {
+        uint64_t pos = rng.Below(d.size() - 1);
+        d.Delete(pos, 1 + rng.Below(2));
+      } else {
+        std::string text(1 + rng.Below(4), static_cast<char>('a' + rng.Below(26)));
+        d.Insert(rng.Below(d.size() + 1), text);
+      }
+      if (rng.Chance(0.3)) {
+        size_t from = rng.Below(3);
+        size_t to = rng.Below(3);
+        if (from != to) {
+          std::string patch = MakePatch(peers[from], SummarizeDoc(peers[to]));
+          ASSERT_TRUE(ApplyPatch(peers[to], patch).has_value()) << "seed " << seed;
+        }
+      }
+    }
+    for (int sweep = 0; sweep < 2; ++sweep) {
+      for (size_t i = 0; i < 3; ++i) {
+        for (size_t j = 0; j < 3; ++j) {
+          if (i != j) {
+            std::string patch = MakePatch(peers[i], SummarizeDoc(peers[j]));
+            ASSERT_TRUE(ApplyPatch(peers[j], patch).has_value());
+          }
+        }
+      }
+    }
+    EXPECT_EQ(peers[0].Text(), peers[1].Text()) << "seed " << seed;
+    EXPECT_EQ(peers[1].Text(), peers[2].Text()) << "seed " << seed;
+  }
+}
+
+TEST(Patch, DeltaSizeIsProportionalToChanges) {
+  Doc alice("alice");
+  for (int i = 0; i < 200; ++i) {
+    alice.Insert(alice.size(), "paragraph " + std::to_string(i) + "\n");
+  }
+  Doc bob("bob");
+  bob.MergeFrom(alice);
+  alice.Insert(0, "tiny");
+  std::string delta = MakePatch(alice, SummarizeDoc(bob));
+  std::string full = MakePatch(alice, VersionSummary{});
+  EXPECT_LT(delta.size() * 20, full.size());
+}
+
+}  // namespace
+}  // namespace egwalker

@@ -1,0 +1,239 @@
+// Tests for walk planning: topological validity of every sort mode, exact
+// window coverage, and the critical-version annotations (checked against the
+// brute-force definition from Section 3.5).
+
+#include "graph/topo_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/prng.h"
+
+namespace egwalker {
+namespace {
+
+Graph RandomGraph(uint64_t seed, int runs) {
+  Graph g;
+  Prng rng(seed);
+  AgentId agents[3] = {g.GetOrCreateAgent("a"), g.GetOrCreateAgent("b"), g.GetOrCreateAgent("c")};
+  std::vector<uint64_t> next_seq(3, 0);
+  for (int r = 0; r < runs; ++r) {
+    Frontier parents;
+    if (g.size() > 0) {
+      for (uint64_t j = 1 + rng.Below(2); j > 0; --j) {
+        FrontierInsert(parents, rng.Below(g.size()));
+      }
+      parents = g.Reduce(parents);
+      if (rng.Chance(0.15)) {
+        parents.clear();
+      }
+    }
+    size_t a = rng.Below(3);
+    uint64_t len = 1 + rng.Below(4);
+    g.Add(agents[a], next_seq[a], len, parents);
+    next_seq[a] += len;
+  }
+  return g;
+}
+
+std::vector<Lv> ExpandOrder(const WalkPlan& plan) {
+  std::vector<Lv> order;
+  for (const WalkStep& s : plan.steps) {
+    for (Lv v = s.span.start; v < s.span.end; ++v) {
+      order.push_back(v);
+    }
+  }
+  return order;
+}
+
+void ExpectValidTopoOrder(const Graph& g, const WalkPlan& plan, const std::set<Lv>& window) {
+  std::vector<Lv> order = ExpandOrder(plan);
+  EXPECT_EQ(order.size(), window.size());
+  EXPECT_EQ(plan.total_events, window.size());
+  std::set<Lv> seen;
+  for (Lv v : order) {
+    EXPECT_TRUE(window.count(v) > 0) << v;
+    for (Lv p : g.ParentsOf(v)) {
+      if (window.count(p) > 0) {
+        EXPECT_TRUE(seen.count(p) > 0) << "event " << v << " before its parent " << p;
+      }
+    }
+    EXPECT_TRUE(seen.insert(v).second) << "duplicate " << v;
+  }
+}
+
+// Brute-force criticality of every boundary in the emitted order.
+std::vector<bool> BruteCriticalBoundaries(const Graph& g, const std::vector<Lv>& order) {
+  // after_boundary[k] == boundary after order[k].
+  std::vector<bool> result(order.size(), true);
+  for (size_t k = 0; k < order.size(); ++k) {
+    for (size_t i = 0; i <= k && result[k]; ++i) {
+      for (size_t j = k + 1; j < order.size(); ++j) {
+        if (!g.IsAncestor(order[i], order[j])) {
+          result[k] = false;
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+TEST(PlanWalk, EmptyGraph) {
+  Graph g;
+  WalkPlan plan = PlanWalkAll(g);
+  EXPECT_TRUE(plan.steps.empty());
+  EXPECT_EQ(plan.total_events, 0u);
+}
+
+TEST(PlanWalk, LinearGraphIsOneFullyCriticalStep) {
+  Graph g;
+  AgentId a = g.GetOrCreateAgent("a");
+  g.Add(a, 0, 100, {});
+  WalkPlan plan = PlanWalkAll(g);
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_EQ(plan.steps[0].span, (LvSpan{0, 100}));
+  EXPECT_TRUE(plan.steps[0].critical_before);
+  EXPECT_EQ(plan.steps[0].critical_prefix, 100u);
+}
+
+TEST(PlanWalk, DiamondCriticality) {
+  // 0 1 2, then branches {3 4} (chained onto 2, so it run-length merges
+  // into the first entry) and {5 6}, then merge 7 8 9.
+  Graph g;
+  AgentId a = g.GetOrCreateAgent("a");
+  AgentId b = g.GetOrCreateAgent("b");
+  g.Add(a, 0, 3, {});
+  g.Add(b, 0, 2, {2});
+  g.Add(a, 3, 2, {2});
+  g.Add(a, 5, 3, {4, 6});
+
+  WalkPlan plan = PlanWalkAll(g, SortMode::kLvOrder);
+  std::vector<Lv> order = ExpandOrder(plan);
+  std::vector<bool> expected = BruteCriticalBoundaries(g, order);
+  // Brute-force shape of this graph.
+  EXPECT_TRUE(expected[0]);
+  EXPECT_TRUE(expected[2]);   // Both branches descend from event 2.
+  EXPECT_FALSE(expected[3]);  // Inside the branch region.
+  EXPECT_FALSE(expected[5]);
+  EXPECT_TRUE(expected[6]);   // {4, 6}: a MULTI-event critical version.
+  EXPECT_TRUE(expected[7]);   // The merge event: singleton critical again.
+  EXPECT_TRUE(expected[9]);
+
+  // Annotations: sound everywhere; exact for singleton boundaries. The
+  // multi-event critical version before the merge (after index 6) is
+  // deliberately not detected — clearing simply happens one event later.
+  ASSERT_EQ(plan.steps.size(), 3u);
+  EXPECT_TRUE(plan.steps[0].critical_before);
+  EXPECT_EQ(plan.steps[0].span, (LvSpan{0, 5}));
+  EXPECT_EQ(plan.steps[0].critical_prefix, 3u);  // After events 0, 1, 2.
+  EXPECT_FALSE(plan.steps[1].critical_before);
+  EXPECT_EQ(plan.steps[1].critical_prefix, 0u);
+  EXPECT_FALSE(plan.steps[2].critical_before);
+  EXPECT_EQ(plan.steps[2].critical_prefix, 3u);  // Whole merge run critical.
+  size_t k = 0;
+  for (const WalkStep& step : plan.steps) {
+    for (uint64_t o = 0; o < step.span.size(); ++o, ++k) {
+      if (o < step.critical_prefix) {
+        EXPECT_TRUE(expected[k]) << "unsound boundary after order index " << k;
+      }
+    }
+  }
+}
+
+TEST(PlanWalk, CriticalBeforeChains) {
+  Graph g;
+  AgentId a = g.GetOrCreateAgent("a");
+  AgentId b = g.GetOrCreateAgent("b");
+  g.Add(a, 0, 3, {});
+  g.Add(b, 0, 2, {2});  // Chains onto 2: merges into the first entry.
+  g.Add(a, 3, 2, {2});
+  WalkPlan plan = PlanWalkAll(g, SortMode::kLvOrder);
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_TRUE(plan.steps[0].critical_before);
+  // Events 0..2 dominate everything; events 3..4 are concurrent with 5..6.
+  EXPECT_EQ(plan.steps[0].critical_prefix, 3u);
+  EXPECT_FALSE(plan.steps[1].critical_before);
+  EXPECT_EQ(plan.steps[1].critical_prefix, 0u);
+}
+
+class PlanWalkRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlanWalkRandomTest, AllModesProduceValidFullOrders) {
+  Graph g = RandomGraph(GetParam(), 40);
+  std::set<Lv> window;
+  for (Lv v = 0; v < g.size(); ++v) {
+    window.insert(v);
+  }
+  for (SortMode mode : {SortMode::kHeuristic, SortMode::kLvOrder, SortMode::kAdversarial}) {
+    WalkPlan plan = PlanWalkAll(g, mode);
+    ExpectValidTopoOrder(g, plan, window);
+  }
+}
+
+TEST_P(PlanWalkRandomTest, CriticalAnnotationsSoundAndSingletonComplete) {
+  Graph g = RandomGraph(GetParam(), 25);
+  for (SortMode mode : {SortMode::kHeuristic, SortMode::kLvOrder}) {
+    WalkPlan plan = PlanWalkAll(g, mode);
+    std::vector<Lv> order = ExpandOrder(plan);
+    std::vector<bool> expected = BruteCriticalBoundaries(g, order);
+    size_t k = 0;
+    bool prev_critical = true;
+    for (const WalkStep& step : plan.steps) {
+      // critical_before must equal the previous boundary's annotation.
+      EXPECT_EQ(step.critical_before, prev_critical);
+      for (uint64_t o = 0; o < step.span.size(); ++o, ++k) {
+        bool annotated = o < step.critical_prefix;
+        // Soundness is required for correctness: the walker clears state at
+        // annotated boundaries, so a false positive would corrupt replay.
+        if (annotated) {
+          EXPECT_TRUE(expected[k]) << "unsound at seed " << GetParam() << " boundary " << k;
+        }
+        // Completeness is only promised for singleton critical versions
+        // (the prefix frontier is exactly the just-applied event); the rare
+        // multi-event critical versions are deliberately not detected.
+        bool singleton_frontier = true;
+        for (size_t i = 0; i < k && singleton_frontier; ++i) {
+          singleton_frontier = g.IsAncestor(order[i], order[k]);
+        }
+        if (expected[k] && singleton_frontier) {
+          EXPECT_TRUE(annotated) << "missed singleton critical boundary at seed " << GetParam()
+                                 << " boundary " << k;
+        }
+      }
+      prev_critical = (step.critical_prefix == step.span.size());
+    }
+  }
+}
+
+TEST_P(PlanWalkRandomTest, WindowedPlanCoversDiff) {
+  Graph g = RandomGraph(GetParam(), 40);
+  // Choose `from` as a random singleton that is critical: scan LV order for
+  // an event all later events descend from.
+  for (Lv candidate = 0; candidate + 1 < g.size(); ++candidate) {
+    bool critical = true;
+    for (Lv later = candidate + 1; later < g.size() && critical; ++later) {
+      critical = g.IsAncestor(candidate, later);
+    }
+    // Also require the prefix to be fully dominated.
+    for (Lv earlier = 0; earlier < candidate && critical; ++earlier) {
+      critical = g.IsAncestor(earlier, candidate);
+    }
+    if (!critical) {
+      continue;
+    }
+    Frontier from{candidate};
+    WalkPlan plan = PlanWalk(g, from, g.version(), SortMode::kHeuristic);
+    std::set<Lv> window;
+    for (Lv v = candidate + 1; v < g.size(); ++v) {
+      window.insert(v);
+    }
+    ExpectValidTopoOrder(g, plan, window);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanWalkRandomTest, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace egwalker

@@ -1,0 +1,132 @@
+// Tests for the operation log and trace statistics.
+
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace egwalker {
+namespace {
+
+TEST(OpLog, InsertRunsMergeWhenTypedSequentially) {
+  OpLog log;
+  log.PushInsert(0, 0, "abc");
+  log.PushInsert(3, 3, "def");  // Continues typing at the next position.
+  EXPECT_EQ(log.runs().run_count(), 1u);
+  EXPECT_EQ(log.size(), 6u);
+  EXPECT_EQ(log.total_inserted_chars(), 6u);
+}
+
+TEST(OpLog, InsertRunsDoNotMergeAcrossPositions) {
+  OpLog log;
+  log.PushInsert(0, 0, "abc");
+  log.PushInsert(3, 1, "x");  // Cursor moved.
+  EXPECT_EQ(log.runs().run_count(), 2u);
+}
+
+TEST(OpLog, DeleteRunsMergeByDirection) {
+  OpLog log;
+  log.PushInsert(0, 0, "abcdef");
+  log.PushDelete(6, 2, 1, /*fwd=*/true);
+  log.PushDelete(8, 1, 1, /*fwd=*/true);  // Still deleting at position 1.
+  EXPECT_EQ(log.runs().run_count(), 2u);
+  log.PushDelete(9, 2, 3, /*fwd=*/false);  // Backspace run.
+  log.PushDelete(11, 1, 1, /*fwd=*/false);
+  EXPECT_EQ(log.runs().run_count(), 3u);
+}
+
+TEST(OpLog, OpAtResolvesPositionsAndContent) {
+  OpLog log;
+  log.PushInsert(0, 10, "xyz");
+  log.PushDelete(3, 3, 5, /*fwd=*/true);
+  log.PushDelete(6, 3, 9, /*fwd=*/false);
+
+  EXPECT_EQ(log.OpAt(0).kind, OpKind::kInsert);
+  EXPECT_EQ(log.OpAt(0).pos, 10u);
+  EXPECT_EQ(log.OpAt(0).codepoint, uint32_t{'x'});
+  EXPECT_EQ(log.OpAt(2).pos, 12u);
+  EXPECT_EQ(log.OpAt(2).codepoint, uint32_t{'z'});
+
+  EXPECT_EQ(log.OpAt(3).kind, OpKind::kDelete);
+  EXPECT_EQ(log.OpAt(3).pos, 5u);
+  EXPECT_EQ(log.OpAt(5).pos, 5u);  // Forward deletes stay put.
+
+  EXPECT_EQ(log.OpAt(6).pos, 9u);  // Backspace positions descend.
+  EXPECT_EQ(log.OpAt(7).pos, 8u);
+  EXPECT_EQ(log.OpAt(8).pos, 7u);
+}
+
+TEST(OpLog, SliceAtClipsRuns) {
+  OpLog log;
+  log.PushInsert(0, 0, "abcdefgh");
+  OpSlice s = log.SliceAt(2, 5);
+  EXPECT_EQ(s.kind, OpKind::kInsert);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.pos_start, 2u);
+  EXPECT_EQ(s.text, "cde");
+
+  s = log.SliceAt(6, 100);  // Clipped by run end.
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.text, "gh");
+}
+
+TEST(OpLog, SliceAtUnicodeContent) {
+  OpLog log;
+  log.PushInsert(0, 0, "aé世😀b");
+  OpSlice s = log.SliceAt(1, 4);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.text, "é世😀");
+  Op op = log.OpAt(3);
+  EXPECT_EQ(op.codepoint, 0x1F600u);
+}
+
+TEST(Trace, AppendAssignsSequentialSeqs) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("alice");
+  t.AppendInsert(a, {}, 0, "abc");
+  t.AppendDelete(a, t.graph.version(), 0, 2);
+  t.AppendInsert(a, t.graph.version(), 1, "z");
+  EXPECT_EQ(t.graph.LvToRaw(0), (RawVersion{"alice", 0}));
+  EXPECT_EQ(t.graph.LvToRaw(3), (RawVersion{"alice", 3}));
+  EXPECT_EQ(t.graph.LvToRaw(5), (RawVersion{"alice", 5}));
+}
+
+TEST(Trace, StatsOnLinearTrace) {
+  Trace t;
+  t.name = "linear";
+  AgentId a = t.graph.GetOrCreateAgent("alice");
+  AgentId b = t.graph.GetOrCreateAgent("bob");
+  t.AppendInsert(a, {}, 0, "0123456789");
+  t.AppendDelete(b, t.graph.version(), 0, 4);
+  TraceStats stats = ComputeStats(t, 6, 6);
+  EXPECT_EQ(stats.name, "linear");
+  EXPECT_EQ(stats.events, 14u);
+  EXPECT_EQ(stats.graph_runs, 1u);
+  EXPECT_EQ(stats.authors, 2u);
+  EXPECT_EQ(stats.inserted_chars, 10u);
+  EXPECT_DOUBLE_EQ(stats.avg_concurrency, 0.0);
+  EXPECT_NEAR(stats.chars_remaining_pct, 60.0, 1e-9);
+  EXPECT_EQ(stats.final_size_bytes, 6u);
+}
+
+TEST(Trace, StatsSeeConcurrentBranches) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  t.AppendInsert(a, {}, 0, "aaaa");         // 4 events, no concurrency.
+  t.AppendInsert(b, {}, 0, "bbbb");         // 4 events, 1 concurrent tip.
+  TraceStats stats = ComputeStats(t, 8, 8);
+  EXPECT_EQ(stats.graph_runs, 2u);
+  EXPECT_DOUBLE_EQ(stats.avg_concurrency, 0.5);  // 4 of 8 events see one tip.
+}
+
+TEST(Trace, UnusedInternedAgentsDoNotCountAsAuthors) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("writer");
+  t.graph.GetOrCreateAgent("lurker");
+  t.AppendInsert(a, {}, 0, "hi");
+  TraceStats stats = ComputeStats(t, 2, 2);
+  EXPECT_EQ(stats.authors, 1u);
+}
+
+}  // namespace
+}  // namespace egwalker

@@ -1,0 +1,141 @@
+// Tests for the JSON trace interchange format.
+
+#include "trace/trace_json.h"
+
+#include <gtest/gtest.h>
+
+#include "core/walker.h"
+#include "testing/random_trace.h"
+#include "trace/generate.h"
+
+namespace egwalker {
+namespace {
+
+std::string Replay(const Trace& t) {
+  Walker w(t.graph, t.ops);
+  Rope doc;
+  w.ReplayAll(doc);
+  return doc.ToString();
+}
+
+TEST(TraceJson, SimpleRoundTrip) {
+  Trace t;
+  t.name = "simple";
+  AgentId a = t.graph.GetOrCreateAgent("alice");
+  t.AppendInsert(a, {}, 0, "hello");
+  t.AppendDelete(a, t.graph.version(), 0, 2);
+
+  std::string json = TraceToJson(t);
+  auto back = TraceFromJson(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->name, "simple");
+  EXPECT_EQ(back->graph.size(), t.graph.size());
+  EXPECT_EQ(Replay(*back), Replay(t));
+  EXPECT_EQ(Replay(*back), "llo");
+}
+
+TEST(TraceJson, ConcurrentGraphRoundTrip) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  Lv base = t.AppendInsert(a, {}, 0, "shared");
+  Frontier common{base + 5};
+  t.AppendInsert(a, common, 6, "-alpha");
+  t.AppendInsert(b, common, 6, "-beta");
+  t.AppendInsert(a, t.graph.version(), 0, ">");
+
+  std::string json = TraceToJson(t, /*indent=*/2);
+  auto back = TraceFromJson(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->graph.size(), t.graph.size());
+  EXPECT_EQ(back->graph.entry_count(), t.graph.entry_count());
+  EXPECT_EQ(Replay(*back), Replay(t));
+}
+
+TEST(TraceJson, MidRunForkRoundTrip) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  t.AppendInsert(a, {}, 0, "0123456789");
+  t.AppendInsert(b, {4}, 3, "X");  // Fork from the middle of a's run.
+  std::string json = TraceToJson(t);
+  auto back = TraceFromJson(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(Replay(*back), Replay(t));
+}
+
+TEST(TraceJson, BackspaceNormalisesButReplaysIdentically) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  t.AppendInsert(a, {}, 0, "abcdef");
+  t.AppendDelete(a, t.graph.version(), 4, 3, /*fwd=*/false);  // Backspace x3.
+  auto back = TraceFromJson(TraceToJson(t));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->graph.size(), t.graph.size());  // Same event count.
+  EXPECT_EQ(Replay(*back), "abf");
+}
+
+TEST(TraceJson, RandomTracesRoundTrip) {
+  for (uint64_t seed = 61; seed <= 66; ++seed) {
+    testing::RandomTraceOptions opts;
+    opts.seed = seed;
+    opts.actions = 50;
+    Trace t = testing::MakeRandomTrace(opts);
+    auto back = TraceFromJson(TraceToJson(t));
+    ASSERT_TRUE(back.has_value()) << seed;
+    EXPECT_EQ(back->graph.size(), t.graph.size()) << seed;
+    EXPECT_EQ(Replay(*back), Replay(t)) << seed;
+  }
+}
+
+TEST(TraceJson, GeneratedPresetRoundTrips) {
+  Trace t = GenerateNamedTrace("C2", 0.002);
+  auto back = TraceFromJson(TraceToJson(t));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->graph.size(), t.graph.size());
+  EXPECT_EQ(Replay(*back), Replay(t));
+}
+
+TEST(TraceJson, RejectsMalformedDocuments) {
+  EXPECT_FALSE(TraceFromJson("not json").has_value());
+  EXPECT_FALSE(TraceFromJson("{}").has_value());
+  EXPECT_FALSE(TraceFromJson(R"({"kind":"wrong","agents":[],"txns":[]})").has_value());
+  // Parent index out of range.
+  EXPECT_FALSE(TraceFromJson(
+                   R"({"kind":"egwalker-trace-v1","agents":["a"],
+                       "txns":[{"agent":0,"parents":[5],"patches":[[0,0,"x"]]}]})")
+                   .has_value());
+  // Agent out of range.
+  EXPECT_FALSE(TraceFromJson(
+                   R"({"kind":"egwalker-trace-v1","agents":["a"],
+                       "txns":[{"agent":3,"parents":[],"patches":[[0,0,"x"]]}]})")
+                   .has_value());
+  // Empty txn.
+  EXPECT_FALSE(TraceFromJson(
+                   R"({"kind":"egwalker-trace-v1","agents":["a"],
+                       "txns":[{"agent":0,"parents":[],"patches":[]}]})")
+                   .has_value());
+  std::string error;
+  EXPECT_FALSE(TraceFromJson("{]", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TraceJson, AcceptsHandWrittenTrace) {
+  // The documented format should be writable by hand / other tools.
+  const char* json = R"({
+    "kind": "egwalker-trace-v1",
+    "name": "hand",
+    "agents": ["u1", "u2"],
+    "txns": [
+      {"agent": 0, "parents": [], "patches": [[0, 0, "Helo"]]},
+      {"agent": 0, "parents": [0], "patches": [[3, 0, "l"]]},
+      {"agent": 1, "parents": [0], "patches": [[4, 0, "!"]]}
+    ]
+  })";
+  auto t = TraceFromJson(json);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(Replay(*t), "Hello!");
+}
+
+}  // namespace
+}  // namespace egwalker

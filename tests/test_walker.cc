@@ -1,0 +1,329 @@
+// Tests for the optimised Eg-walker: agreement with the pseudocode oracle
+// on randomised traces, order independence, the clearing optimisation, and
+// partial replay.
+
+#include "core/walker.h"
+
+#include <gtest/gtest.h>
+
+#include "core/simple_walker.h"
+#include "testing/random_trace.h"
+
+namespace egwalker {
+namespace {
+
+std::string WalkerReplay(const Trace& t, Walker::Options opts, ReplaySinks sinks = {}) {
+  Walker w(t.graph, t.ops);
+  Rope doc;
+  w.ReplayAll(doc, opts, sinks);
+  return doc.ToString();
+}
+
+TEST(Walker, EmptyGraph) {
+  Trace t;
+  EXPECT_EQ(WalkerReplay(t, {}), "");
+}
+
+TEST(Walker, SequentialTypingUsesFastPath) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("alice");
+  t.AppendInsert(a, t.graph.version(), 0, "hello");
+  t.AppendInsert(a, t.graph.version(), 5, " world");
+  t.AppendDelete(a, t.graph.version(), 0, 1);
+  Walker w(t.graph, t.ops);
+  Rope doc;
+  w.ReplayAll(doc, {});
+  EXPECT_EQ(doc.ToString(), "ello world");
+  // Everything was critical: the internal state never grew.
+  EXPECT_EQ(w.peak_span_count(), 0u);
+}
+
+TEST(Walker, ClearingDisabledBuildsFullState) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("alice");
+  t.AppendInsert(a, t.graph.version(), 0, "hello");
+  t.AppendInsert(a, t.graph.version(), 5, " world");
+  Walker w(t.graph, t.ops);
+  Rope doc;
+  Walker::Options opts;
+  opts.enable_clearing = false;
+  w.ReplayAll(doc, opts);
+  EXPECT_EQ(doc.ToString(), "hello world");
+  EXPECT_GT(w.peak_span_count(), 0u);
+}
+
+TEST(Walker, PaperFigure1) {
+  Trace t;
+  AgentId u1 = t.graph.GetOrCreateAgent("user1");
+  AgentId u2 = t.graph.GetOrCreateAgent("user2");
+  Lv base = t.AppendInsert(u1, {}, 0, "Helo");
+  Frontier common{base + 3};
+  t.AppendInsert(u1, common, 3, "l");
+  t.AppendInsert(u2, common, 4, "!");
+  EXPECT_EQ(WalkerReplay(t, {}), "Hello!");
+}
+
+TEST(Walker, PaperFigure4) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  t.AppendInsert(a, {}, 0, "hi");
+  Lv e3 = t.AppendInsert(b, {1}, 0, "H");
+  Lv e4 = t.AppendDelete(b, {e3}, 1, 1);
+  Lv e5 = t.AppendDelete(a, {1}, 1, 1);
+  Lv e6 = t.AppendInsert(a, {e5}, 1, "e");
+  Lv e7 = t.AppendInsert(a, {e6}, 2, "y");
+  t.AppendInsert(a, {e4, e7}, 3, "!");
+  EXPECT_EQ(WalkerReplay(t, {}), "Hey!");
+}
+
+struct WalkerParams {
+  uint64_t seed;
+  int replicas;
+  int actions;
+  double sync_prob;
+  double delete_prob;
+};
+
+class WalkerRandomTest : public ::testing::TestWithParam<WalkerParams> {};
+
+TEST_P(WalkerRandomTest, MatchesSimpleWalkerOracle) {
+  WalkerParams p = GetParam();
+  testing::RandomTraceOptions opts;
+  opts.seed = p.seed;
+  opts.replicas = p.replicas;
+  opts.actions = p.actions;
+  opts.sync_prob = p.sync_prob;
+  opts.delete_prob = p.delete_prob;
+  Trace t = testing::MakeRandomTrace(opts);
+
+  SimpleWalker oracle(t.graph, t.ops);
+  std::string expected = oracle.ReplayAll();
+
+  for (SortMode mode : {SortMode::kHeuristic, SortMode::kLvOrder, SortMode::kAdversarial}) {
+    for (bool clearing : {true, false}) {
+      Walker::Options wopts;
+      wopts.sort_mode = mode;
+      wopts.enable_clearing = clearing;
+      EXPECT_EQ(WalkerReplay(t, wopts), expected)
+          << "seed=" << p.seed << " mode=" << static_cast<int>(mode) << " clearing=" << clearing;
+    }
+  }
+}
+
+TEST_P(WalkerRandomTest, TransformedOpsReproduceDocument) {
+  WalkerParams p = GetParam();
+  testing::RandomTraceOptions opts;
+  opts.seed = p.seed ^ 0x9999;
+  opts.replicas = p.replicas;
+  opts.actions = p.actions;
+  Trace t = testing::MakeRandomTrace(opts);
+
+  std::vector<XfOp> xf;
+  ReplaySinks sinks;
+  sinks.xf_ops = &xf;
+  std::string expected = WalkerReplay(t, {}, sinks);
+
+  Rope doc;
+  for (const XfOp& op : xf) {
+    if (op.kind == OpKind::kInsert) {
+      doc.InsertAt(op.pos, op.text);
+    } else if (!op.noop) {
+      doc.RemoveAt(op.pos, op.count);
+    }
+  }
+  EXPECT_EQ(doc.ToString(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WalkerRandomTest,
+    ::testing::Values(WalkerParams{1, 2, 40, 0.3, 0.3},    // Two replicas, chatty sync.
+                      WalkerParams{2, 3, 60, 0.25, 0.3},   // Three replicas.
+                      WalkerParams{3, 4, 80, 0.2, 0.25},   // Four replicas.
+                      WalkerParams{4, 2, 100, 0.05, 0.3},  // Long offline branches.
+                      WalkerParams{5, 3, 100, 0.5, 0.2},   // Very chatty.
+                      WalkerParams{6, 3, 60, 0.25, 0.6},   // Delete-heavy.
+                      WalkerParams{7, 5, 120, 0.15, 0.3},  // Five replicas, sparse sync.
+                      WalkerParams{8, 2, 30, 0.0, 0.3},    // Never syncs: pure fork.
+                      WalkerParams{9, 3, 150, 0.3, 0.35},  // Longer run.
+                      WalkerParams{10, 4, 90, 0.35, 0.4}));
+
+TEST(Walker, PartialReplayFromCriticalVersionMatchesFull) {
+  for (uint64_t seed = 21; seed <= 26; ++seed) {
+    testing::RandomTraceOptions opts;
+    opts.seed = seed;
+    opts.actions = 60;
+    Trace t = testing::MakeRandomTrace(opts);
+
+    std::string full = WalkerReplay(t, {});
+
+    // Find every singleton critical version by brute force and replay the
+    // document in two stages across it.
+    for (Lv c = 0; c + 1 < t.graph.size(); ++c) {
+      bool critical = true;
+      for (Lv later = c + 1; later < t.graph.size() && critical; ++later) {
+        critical = t.graph.IsAncestor(c, later);
+      }
+      for (Lv earlier = 0; earlier < c && critical; ++earlier) {
+        critical = t.graph.IsAncestor(earlier, c);
+      }
+      if (!critical) {
+        continue;
+      }
+      Walker w1(t.graph, t.ops);
+      Rope doc;
+      w1.ReplayRange(doc, Frontier{}, Frontier{c});
+      Walker w2(t.graph, t.ops);
+      w2.ReplayRange(doc, Frontier{c}, t.graph.version());
+      EXPECT_EQ(doc.ToString(), full) << "seed " << seed << " critical " << c;
+    }
+  }
+}
+
+TEST(Walker, CriticalPointSinkReportsValidPoints) {
+  testing::RandomTraceOptions opts;
+  opts.seed = 33;
+  opts.actions = 80;
+  opts.sync_prob = 0.4;
+  Trace t = testing::MakeRandomTrace(opts);
+  std::vector<CriticalPoint> points;
+  ReplaySinks sinks;
+  sinks.critical_points = &points;
+  std::string full = WalkerReplay(t, {}, sinks);
+  for (const CriticalPoint& cp : points) {
+    // Every reported point must be genuinely critical...
+    for (Lv later = cp.lv + 1; later < t.graph.size(); ++later) {
+      EXPECT_TRUE(t.graph.IsAncestor(cp.lv, later)) << cp.lv << " vs " << later;
+    }
+    // ...and the recorded length must match the document at that version.
+    Walker w(t.graph, t.ops);
+    Rope doc;
+    w.ReplayRange(doc, Frontier{}, Frontier{cp.lv});
+    EXPECT_EQ(doc.char_size(), cp.doc_len);
+  }
+}
+
+TEST(Walker, MergeRangeAppliesOnlyNewEvents) {
+  // Build a trace, replay a prefix as "the existing doc", then append more
+  // events and merge them with MergeRange.
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  Lv base = t.AppendInsert(a, {}, 0, "base text here");
+  Lv tip = base + 13;
+  // Two concurrent branches.
+  Lv ba = t.AppendInsert(a, {tip}, 4, " alpha");
+  Lv bb = t.AppendInsert(b, {tip}, 9, " beta");
+
+  // Doc state at version {just a's branch}.
+  Walker w0(t.graph, t.ops);
+  Rope doc;
+  w0.ReplayRange(doc, Frontier{}, Frontier{ba + 5});
+  EXPECT_EQ(doc.ToString(), "base alpha text here");
+
+  // Merge bob's concurrent events: catch up from the critical version `tip`
+  // (doc length there was 14), applying only events >= bb.
+  Walker w1(t.graph, t.ops);
+  w1.MergeRange(doc, Frontier{tip}, 14, t.graph.version(), bb);
+  // Full replay for comparison.
+  Walker w2(t.graph, t.ops);
+  Rope full;
+  w2.ReplayAll(full);
+  EXPECT_EQ(doc.ToString(), full.ToString());
+}
+
+TEST(Walker, UnicodeContentSurvivesConcurrentMerging) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  Lv base = t.AppendInsert(a, {}, 0, "héllo 世界");
+  Frontier common{base + 7};
+  t.AppendInsert(a, common, 6, "😀🎉");
+  t.AppendDelete(b, common, 0, 2, /*fwd=*/true);
+  t.AppendInsert(b, t.graph.version(), 0, "Ω");
+
+  SimpleWalker oracle(t.graph, t.ops);
+  std::string expected = oracle.ReplayAll();
+  EXPECT_EQ(WalkerReplay(t, {}), expected);
+  EXPECT_NE(expected.find("😀🎉"), std::string::npos);
+  EXPECT_EQ(expected.substr(0, 2), "Ω");
+}
+
+TEST(Walker, VeryLongRunsCrossLeafBoundaries) {
+  // Two concurrent 5000-char runs force internal-state leaf splits while
+  // keeping everything in two logical spans.
+  Trace t;
+  AgentId x = t.graph.GetOrCreateAgent("x");
+  AgentId y = t.graph.GetOrCreateAgent("y");
+  t.AppendInsert(x, {}, 0, std::string(5000, 'x'));
+  t.AppendInsert(y, {}, 0, std::string(5000, 'y'));
+  // Sequential deletes carve both runs into many record spans.
+  for (int i = 0; i < 40; ++i) {
+    t.AppendDelete(x, t.graph.version(), static_cast<uint64_t>(i * 53), 3, true);
+  }
+  SimpleWalker oracle(t.graph, t.ops);
+  std::string expected = oracle.ReplayAll();
+  EXPECT_EQ(WalkerReplay(t, {}), expected);
+  EXPECT_EQ(expected.size(), 10000u - 120u);
+}
+
+TEST(Walker, RepeatedMergeRangeBatches) {
+  // Incrementally extend a document through several MergeRange calls, as
+  // Doc does: each batch must land exactly like a fresh full replay.
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  Lv tip = t.AppendInsert(a, {}, 0, "0123456789") + 9;
+  Rope doc;
+  {
+    Walker w(t.graph, t.ops);
+    w.ReplayAll(doc);
+  }
+  uint64_t base_len = doc.char_size();
+  Lv base = tip;
+  for (int round = 0; round < 5; ++round) {
+    // Two concurrent branches per round, merged by the next round's base.
+    Lv ba = t.AppendInsert(a, Frontier{base}, 1 + static_cast<uint64_t>(round), "aa");
+    Lv bb = t.AppendInsert(b, Frontier{base}, 3 + static_cast<uint64_t>(round), "bb");
+    Walker w(t.graph, t.ops);
+    w.MergeRange(doc, Frontier{base}, base_len, t.graph.version(), ba);
+    // The merge event for the next round.
+    Frontier merged{ba + 1, bb + 1};
+    Lv m = t.AppendInsert(a, merged, 0, "|");
+    Walker w2(t.graph, t.ops);
+    w2.MergeRange(doc, Frontier{base}, base_len, t.graph.version(), m);
+    base = m;
+    base_len = doc.char_size();
+  }
+  Walker fresh(t.graph, t.ops);
+  Rope full;
+  fresh.ReplayAll(full);
+  EXPECT_EQ(doc.ToString(), full.ToString());
+}
+
+TEST(Walker, PeakSpanCountSmallOnSequentialLargeOnConcurrent) {
+  // Sequential trace: clearing keeps internal state empty.
+  Trace seq;
+  AgentId a = seq.graph.GetOrCreateAgent("a");
+  for (int i = 0; i < 50; ++i) {
+    seq.AppendInsert(a, seq.graph.version(), seq.ops.total_inserted_chars(), "0123456789");
+  }
+  Walker ws(seq.graph, seq.ops);
+  Rope d1;
+  ws.ReplayAll(d1, {});
+  EXPECT_EQ(ws.peak_span_count(), 0u);
+
+  // Two fully concurrent branches: state must cover the whole window.
+  Trace conc;
+  AgentId x = conc.graph.GetOrCreateAgent("x");
+  AgentId y = conc.graph.GetOrCreateAgent("y");
+  conc.AppendInsert(x, {}, 0, std::string(100, 'x'));
+  conc.AppendInsert(y, {}, 0, std::string(100, 'y'));
+  Walker wc(conc.graph, conc.ops);
+  Rope d2;
+  wc.ReplayAll(d2, {});
+  EXPECT_GT(wc.peak_span_count(), 1u);
+}
+
+}  // namespace
+}  // namespace egwalker

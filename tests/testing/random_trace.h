@@ -1,0 +1,103 @@
+// Randomised valid editing traces for property tests.
+//
+// Simulates N replicas editing and syncing: each replica tracks the version
+// it knows and its document *length* at that version (lengths are all that
+// position-validity — Definition C.1(4) — requires). Local bursts pick
+// positions within the replica's view; syncs merge frontiers and recompute
+// the length by replay.
+//
+// The generated traces exercise everything at once: concurrent inserts at
+// equal positions (tie-breaking), concurrent deletes of the same characters
+// (Del-n states), backspace runs, forks from run interiors, and multi-way
+// merges.
+
+#ifndef EGWALKER_TESTS_TESTING_RANDOM_TRACE_H_
+#define EGWALKER_TESTS_TESTING_RANDOM_TRACE_H_
+
+#include <string>
+
+#include "core/walker.h"
+#include "rope/rope.h"
+#include "trace/trace.h"
+#include "util/prng.h"
+
+namespace egwalker::testing {
+
+struct RandomTraceOptions {
+  uint64_t seed = 1;
+  int replicas = 3;
+  int actions = 60;
+  double sync_prob = 0.25;
+  double delete_prob = 0.3;
+  uint64_t max_burst = 6;
+};
+
+inline Trace MakeRandomTrace(const RandomTraceOptions& options) {
+  Trace trace;
+  Prng rng(options.seed);
+  struct Replica {
+    Frontier version;
+    uint64_t len = 0;
+    AgentId agent = 0;
+  };
+  std::vector<Replica> replicas;
+  for (int i = 0; i < options.replicas; ++i) {
+    replicas.push_back({{}, 0, trace.graph.GetOrCreateAgent("replica-" + std::to_string(i))});
+  }
+
+  auto len_at = [&](const Frontier& v) -> uint64_t {
+    if (v.empty()) {
+      return 0;
+    }
+    Walker walker(trace.graph, trace.ops);
+    Rope tmp;
+    walker.ReplayRange(tmp, Frontier{}, v);
+    return tmp.char_size();
+  };
+
+  for (int step = 0; step < options.actions; ++step) {
+    Replica& r = replicas[rng.Below(replicas.size())];
+    if (replicas.size() > 1 && rng.Chance(options.sync_prob)) {
+      const Replica& other = replicas[rng.Below(replicas.size())];
+      Frontier merged = r.version;
+      for (Lv v : other.version) {
+        FrontierInsert(merged, v);
+      }
+      merged = trace.graph.Reduce(merged);
+      if (merged != r.version) {
+        r.version = merged;
+        r.len = len_at(r.version);
+      }
+      continue;
+    }
+    if (r.len > 1 && rng.Chance(options.delete_prob)) {
+      uint64_t n = 1 + rng.Below(std::min<uint64_t>(r.len, options.max_burst));
+      uint64_t pos = rng.Below(r.len - n + 1);
+      Lv start;
+      if (rng.Chance(0.5)) {
+        start = trace.AppendDelete(r.agent, r.version, pos, n, /*fwd=*/true);
+      } else {
+        // Backspace run ending at the same range: first event deletes the
+        // range's last character.
+        start = trace.AppendDelete(r.agent, r.version, pos + n - 1, n, /*fwd=*/false);
+      }
+      r.version = Frontier{start + n - 1};
+      r.len -= n;
+    } else {
+      uint64_t n = 1 + rng.Below(options.max_burst);
+      uint64_t pos = rng.Below(r.len + 1);
+      std::string text;
+      for (uint64_t i = 0; i < n; ++i) {
+        text.push_back(static_cast<char>('a' + rng.Below(26)));
+      }
+      Lv start = trace.AppendInsert(r.agent, r.version, pos, text);
+      r.version = Frontier{start + n - 1};
+      r.len += n;
+    }
+  }
+  return trace;
+}
+
+}  // namespace egwalker::testing
+
+#endif  // EGWALKER_TESTS_TESTING_RANDOM_TRACE_H_
