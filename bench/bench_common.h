@@ -4,7 +4,11 @@
 //   --scale=<f>   trace scale relative to the paper's normalised sizes
 //                 (1.0 = Table 1 sizes, roughly 0.6M-2.3M events per trace)
 //   --quick       shorthand for a very small scale (smoke testing)
-//   --trace=<n>   restrict to one trace (S1 S2 S3 C1 C2 A1 A2)
+//   --trace=<n>   restrict to a comma-separated subset of the traces
+//                 (S1 S2 S3 C1 C2 A1 A2)
+//   --json=<p>    additionally write the measurements as structured JSON to
+//                 <p>, so successive PRs can track the perf trajectory in
+//                 committed BENCH_*.json files
 //
 // Timing methodology mirrors the paper where practical: each measurement is
 // repeated until a time budget is used (at least twice), reporting the mean.
@@ -20,12 +24,14 @@
 #include <cstring>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/walker.h"
 #include "rope/rope.h"
 #include "trace/generate.h"
 #include "trace/trace.h"
+#include "util/json.h"
 
 namespace egwalker::bench {
 
@@ -33,6 +39,7 @@ struct Options {
   double scale = 0.25;
   std::vector<std::string> traces = {"S1", "S2", "S3", "C1", "C2", "A1", "A2"};
   double time_budget_s = 1.0;  // Per measurement.
+  std::string json_path;       // Empty: no JSON output.
 };
 
 inline Options ParseArgs(int argc, char** argv) {
@@ -47,7 +54,21 @@ inline Options ParseArgs(int argc, char** argv) {
       opts.scale = 0.02;
       opts.time_budget_s = 0.2;
     } else if (std::strncmp(arg, "--trace=", 8) == 0) {
-      opts.traces = {std::string(arg + 8)};
+      opts.traces.clear();
+      std::string list(arg + 8);
+      size_t from = 0;
+      while (from <= list.size()) {
+        size_t comma = list.find(',', from);
+        if (comma == std::string::npos) {
+          comma = list.size();
+        }
+        if (comma > from) {
+          opts.traces.push_back(list.substr(from, comma - from));
+        }
+        from = comma + 1;
+      }
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      opts.json_path = std::string(arg + 7);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg);
       std::exit(2);
@@ -55,6 +76,57 @@ inline Options ParseArgs(int argc, char** argv) {
   }
   return opts;
 }
+
+// Collects one row per (trace, algorithm) measurement and, when the binary
+// was given --json=<path>, writes them as a JSON document on destruction:
+//
+//   {"bench": "...", "scale": 0.25,
+//    "rows": [{"trace": "S1", "algorithm": "...", "mean_ms": 1.23, ...}]}
+//
+// Annotate() attaches extra fields (e.g. peak_spans) to the last-added row.
+class JsonReport {
+ public:
+  JsonReport(std::string bench, const Options& opts)
+      : bench_(std::move(bench)), scale_(opts.scale), path_(opts.json_path) {}
+
+  ~JsonReport() {
+    if (path_.empty()) {
+      return;
+    }
+    JsonObject doc;
+    doc.emplace_back("bench", Json(bench_));
+    doc.emplace_back("scale", Json(scale_));
+    doc.emplace_back("rows", Json(std::move(rows_)));
+    std::string text = Json(std::move(doc)).Dump(2);
+    text += '\n';
+    if (FILE* f = std::fopen(path_.c_str(), "w")) {
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+    }
+  }
+
+  void Add(const std::string& trace, const std::string& algorithm, double mean_ms) {
+    JsonObject row;
+    row.emplace_back("trace", Json(trace));
+    row.emplace_back("algorithm", Json(algorithm));
+    row.emplace_back("mean_ms", Json(mean_ms));
+    rows_.emplace_back(Json(std::move(row)));
+  }
+
+  void Annotate(const std::string& key, Json value) {
+    if (!rows_.empty()) {
+      rows_.back().as_object().emplace_back(key, std::move(value));
+    }
+  }
+
+ private:
+  std::string bench_;
+  double scale_;
+  std::string path_;
+  JsonArray rows_;
+};
 
 // Runs `fn` repeatedly until the budget is exhausted (at least twice unless
 // a single run already exceeds it); returns the mean milliseconds.

@@ -44,6 +44,7 @@ constexpr PaperFig8 kPaper[] = {
 int Run(int argc, char** argv) {
   Options opts = ParseArgs(argc, argv);
   PrintHeader("Figure 8: merge + cached-load times", opts);
+  JsonReport report("fig8_merge", opts);
   std::printf("%-4s | %-26s %12s | %12s\n", "", "algorithm", "measured", "paper@1.0");
 
   for (const PaperFig8& paper : kPaper) {
@@ -58,15 +59,24 @@ int Run(int argc, char** argv) {
     const Trace& trace = bt.trace;
 
     // --- eg-walker merge ---
-    double eg_ms = TimeMs(
-        [&] {
-          Walker walker(trace.graph, trace.ops);
-          Rope doc;
-          walker.ReplayAll(doc);
-        },
-        opts.time_budget_s);
+    double eg_ms;
+    size_t eg_peak_spans;
+    {
+      // The walker must not outlive this block: `bt` (and the trace it
+      // references) is reassigned below for the OT rows.
+      Walker walker(trace.graph, trace.ops);
+      eg_ms = TimeMs(
+          [&] {
+            Rope doc;
+            walker.ReplayAll(doc);
+          },
+          opts.time_budget_s);
+      eg_peak_spans = walker.peak_span_count();
+    }
     std::printf("%-4s | %-26s %12s | %12s\n", paper.name, "eg-walker (merge)",
                 FmtMs(eg_ms).c_str(), FmtMs(paper.egwalker_ms).c_str());
+    report.Add(paper.name, "eg-walker (merge)", eg_ms);
+    report.Annotate("peak_spans", Json(static_cast<uint64_t>(eg_peak_spans)));
 
     // --- eg-walker / OT cached load ---
     SaveOptions save;
@@ -83,6 +93,7 @@ int Run(int argc, char** argv) {
         opts.time_budget_s);
     std::printf("%-4s | %-26s %12s | %12s\n", paper.name, "eg-walker/OT (cached load)",
                 FmtMs(load_ms).c_str(), FmtMs(paper.eg_load_ms).c_str());
+    report.Add(paper.name, "eg-walker/OT (cached load)", load_ms);
 
     // --- OT merge (capped on A2, whose window is the whole trace) ---
     {
@@ -104,10 +115,14 @@ int Run(int argc, char** argv) {
         std::printf("%-4s | %-26s %12s | %12s   (measured at scale %.2f: %s; x%.0f quadratic)\n",
                     paper.name, "OT (merge, extrapolated)", FmtMs(ot_ms * factor).c_str(),
                     FmtMs(paper.ot_ms).c_str(), ot_scale, FmtMs(ot_ms).c_str(), factor);
+        report.Add(paper.name, "OT (merge, extrapolated)", ot_ms * factor);
+        report.Annotate("measured_scale", Json(ot_scale));
+        report.Annotate("measured_ms", Json(ot_ms));
         bt = MakeBenchTrace(paper.name, opts.scale);  // Restore for CRDT rows.
       } else {
         std::printf("%-4s | %-26s %12s | %12s\n", paper.name, "OT (merge)",
                     FmtMs(ot_ms).c_str(), FmtMs(paper.ot_ms).c_str());
+        report.Add(paper.name, "OT (merge)", ot_ms);
         bt = std::move(ot_bt);
       }
     }
@@ -134,6 +149,7 @@ int Run(int argc, char** argv) {
         opts.time_budget_s);
     std::printf("%-4s | %-26s %12s | %12s\n", paper.name, "ref CRDT (merge=load)",
                 FmtMs(ref_ms).c_str(), FmtMs(paper.ref_ms).c_str());
+    report.Add(paper.name, "ref CRDT (merge=load)", ref_ms);
 
     double naive_ms = TimeMs(
         [&] {
@@ -149,6 +165,7 @@ int Run(int argc, char** argv) {
     std::printf("%-4s | %-26s %12s | %12s   (paper: Automerge %s / Yjs %s)\n", paper.name,
                 "naive CRDT (merge=load)", FmtMs(naive_ms).c_str(), "-",
                 FmtMs(paper.automerge_ms).c_str(), FmtMs(paper.yjs_ms).c_str());
+    report.Add(paper.name, "naive CRDT (merge=load)", naive_ms);
     std::printf("-----+\n");
   }
   return 0;

@@ -1,8 +1,15 @@
 // Substrate microbenchmarks (google-benchmark): the hot paths under the
 // algorithms — rope edits, internal-state tree operations, graph version
 // diffs, varint coding, and the LZ4 codec.
+//
+// Accepts the shared bench flags alongside google-benchmark's own:
+//   --quick        short per-benchmark time budget (smoke testing)
+//   --json=<path>  structured output (maps to --benchmark_out=<path> JSON)
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "core/state_tree.h"
 #include "graph/graph.h"
@@ -150,4 +157,34 @@ BENCHMARK(BM_Lz4Decompress);
 }  // namespace
 }  // namespace egwalker
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Translate the shared bench flags into google-benchmark equivalents
+  // before handing the argument vector over.
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc) + 1);
+  args.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      args.emplace_back("--benchmark_min_time=0.02");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.emplace_back("--benchmark_out=" + arg.substr(7));
+      args.emplace_back("--benchmark_out_format=json");
+    } else {
+      args.emplace_back(std::move(arg));
+    }
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(args.size());
+  for (std::string& a : args) {
+    cargv.push_back(a.data());
+  }
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

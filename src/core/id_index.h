@@ -1,0 +1,217 @@
+// Flat id -> leaf index for the Eg-walker internal state (Section 3.4).
+//
+// Retreat/advance resolve a record by character id on the hottest path in
+// the system, so the index must be cheap in the common case. Ids come from
+// two disjoint domains with very different shapes:
+//
+//   * Real LVs are dense 0..n (one per event), so the dense side is a paged
+//     direct-mapped array: lookup is O(1) indexing, assignment writes the
+//     covered slots. Pages are allocated lazily — only for LV ranges that
+//     actually hold records — and freed on Clear(), so retained memory is
+//     bounded by the live replay window. The walker clears the index at
+//     every critical version (Section 3.5), but with clearing enabled those
+//     windows assign almost nothing, so Clear() stays effectively O(1).
+//
+//   * Placeholder ids (>= kPlaceholderBase, Section 3.6) are sparse and far
+//     too large to index directly, but there are only ever a handful of
+//     placeholder runs (one per surviving split of the base-version span),
+//     so they live in a small sorted run vector with binary search plus a
+//     last-hit cursor cache for the sequential access patterns replay
+//     produces.
+//
+// Assignments replace exactly the covered range, trimming or splitting any
+// previous overlapping run — the same semantics the previous std::map-based
+// index had, without the per-entry node allocations.
+
+#ifndef EGWALKER_CORE_ID_INDEX_H_
+#define EGWALKER_CORE_ID_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/walker_types.h"
+#include "util/assert.h"
+
+namespace egwalker {
+
+template <typename LeafT>
+class IdIndex {
+ public:
+  // Forgets every mapping and releases the dense pages (memory stays
+  // bounded by the live replay window, matching the paper's "Smaller").
+  void Clear() {
+    pages_.clear();
+    runs_.clear();
+    run_cursor_ = 0;
+  }
+
+  // Maps [start, start + len) to `leaf`, replacing any previous mapping of
+  // those ids. The range must not straddle the placeholder boundary.
+  void Assign(Lv start, uint64_t len, LeafT* leaf) {
+    EGW_DCHECK(len > 0);
+    if (start < kPlaceholderBase) {
+      EGW_DCHECK(start + len <= kPlaceholderBase);
+      AssignDense(start, start + len, leaf);
+    } else {
+      AssignRun(start, start + len, leaf);
+    }
+  }
+
+  // The leaf containing `id`, or nullptr when the id is unmapped.
+  LeafT* Find(Lv id) const {
+    if (id < kPlaceholderBase) {
+      const uint64_t p = id >> kPageShift;
+      if (p >= pages_.size() || pages_[p] == nullptr) {
+        return nullptr;
+      }
+      return pages_[p]->slots[id & kPageMask];
+    }
+    return FindRun(id);
+  }
+
+  // True iff every id in [start, start + len) maps to `leaf`. Test/debug
+  // oracle for CheckInvariants-style validation; O(len) on the dense side.
+  bool CheckRange(Lv start, uint64_t len, const LeafT* leaf) const {
+    for (uint64_t k = 0; k < len; ++k) {
+      if (Find(start + k) != leaf) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Structural invariants of the placeholder side: runs sorted, non-empty,
+  // non-overlapping, all in the placeholder domain. (The dense side is a
+  // plain array; there is no structure to violate.)
+  bool CheckConsistent() const {
+    Lv prev_end = 0;
+    for (const Run& r : runs_) {
+      if (r.start < kPlaceholderBase || r.end <= r.start || r.leaf == nullptr) {
+        return false;
+      }
+      if (r.start < prev_end) {
+        return false;
+      }
+      prev_end = r.end;
+    }
+    return true;
+  }
+
+  size_t placeholder_run_count() const { return runs_.size(); }
+
+ private:
+  static constexpr int kPageShift = 12;
+  static constexpr uint64_t kPageSize = uint64_t{1} << kPageShift;
+  static constexpr uint64_t kPageMask = kPageSize - 1;
+
+  struct Page {
+    LeafT* slots[kPageSize];
+  };
+
+  struct Run {
+    Lv start;
+    Lv end;
+    LeafT* leaf;
+  };
+
+  Page* EnsurePage(uint64_t p) {
+    if (p >= pages_.size()) {
+      pages_.resize(p + 1);
+    }
+    Page* page = pages_[p].get();
+    if (page == nullptr) {
+      pages_[p] = std::make_unique<Page>();
+      page = pages_[p].get();
+      std::fill(page->slots, page->slots + kPageSize, nullptr);
+    }
+    return page;
+  }
+
+  void AssignDense(Lv start, Lv end, LeafT* leaf) {
+    Lv id = start;
+    while (id < end) {
+      Page* page = EnsurePage(id >> kPageShift);
+      const uint64_t from = id & kPageMask;
+      const uint64_t to = std::min<uint64_t>(kPageSize, from + (end - id));
+      std::fill(page->slots + from, page->slots + to, leaf);
+      id += to - from;
+    }
+  }
+
+  LeafT* FindRun(Lv id) const {
+    if (run_cursor_ < runs_.size()) {
+      const Run& r = runs_[run_cursor_];
+      if (id >= r.start && id < r.end) {
+        return r.leaf;
+      }
+    }
+    auto it = std::upper_bound(runs_.begin(), runs_.end(), id,
+                               [](Lv v, const Run& r) { return v < r.start; });
+    if (it == runs_.begin()) {
+      return nullptr;
+    }
+    --it;
+    if (id >= it->end) {
+      return nullptr;
+    }
+    run_cursor_ = static_cast<size_t>(it - runs_.begin());
+    return it->leaf;
+  }
+
+  void AssignRun(Lv start, Lv end, LeafT* leaf) {
+    // Index of the first run whose start is >= `start`.
+    size_t i = static_cast<size_t>(
+        std::lower_bound(runs_.begin(), runs_.end(), start,
+                         [](const Run& r, Lv v) { return r.start < v; }) -
+        runs_.begin());
+    // A predecessor overlapping `start` keeps its left part (non-empty,
+    // since lower_bound guarantees prev.start < start); if it extends past
+    // `end` its right part survives too (the new run splits it).
+    if (i > 0 && runs_[i - 1].end > start) {
+      Run& prev = runs_[i - 1];
+      const Lv old_end = prev.end;
+      LeafT* const old_leaf = prev.leaf;
+      prev.end = start;
+      if (old_end > end) {
+        runs_.insert(runs_.begin() + static_cast<long>(i), Run{end, old_end, old_leaf});
+      }
+    }
+    // Drop runs fully covered by [start, end); trim one extending past end.
+    size_t j = i;
+    while (j < runs_.size() && runs_[j].start < end) {
+      if (runs_[j].end <= end) {
+        ++j;
+      } else {
+        runs_[j].start = end;
+        break;
+      }
+    }
+    if (j > i) {
+      runs_.erase(runs_.begin() + static_cast<long>(i), runs_.begin() + static_cast<long>(j));
+    }
+    // Append-mostly in practice: extend the predecessor when the new range
+    // chains onto it with the same leaf, else insert at the sorted position.
+    if (i > 0 && runs_[i - 1].end == start && runs_[i - 1].leaf == leaf) {
+      runs_[i - 1].end = end;
+      if (i < runs_.size() && runs_[i].start == end && runs_[i].leaf == leaf) {
+        runs_[i - 1].end = runs_[i].end;
+        runs_.erase(runs_.begin() + static_cast<long>(i));
+      }
+    } else if (i < runs_.size() && runs_[i].start == end && runs_[i].leaf == leaf) {
+      runs_[i].start = start;
+    } else {
+      runs_.insert(runs_.begin() + static_cast<long>(i), Run{start, end, leaf});
+    }
+    run_cursor_ = 0;
+  }
+
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<Run> runs_;
+  mutable size_t run_cursor_ = 0;
+};
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_CORE_ID_INDEX_H_

@@ -90,11 +90,17 @@ void StateTree::FreeNode(void* node, bool is_leaf) {
   delete in;
 }
 
+void StateTree::InvalidateCaches() const {
+  insert_cache_.valid = false;
+  pending_valid_ = false;
+}
+
 void StateTree::Reset(uint64_t placeholder_len) {
   if (root_ != nullptr) {
     FreeNode(root_, root_is_leaf_);
   }
-  id_index_.clear();
+  id_index_.Clear();
+  InvalidateCaches();
   Leaf* leaf = new Leaf();
   root_ = leaf;
   root_is_leaf_ = true;
@@ -109,7 +115,7 @@ void StateTree::Reset(uint64_t placeholder_len) {
     s.ever_deleted = false;
     leaf->count = 1;
     span_count_ = 1;
-    id_index_.emplace(s.id, IndexEntry{s.id + s.len, leaf});
+    id_index_.Assign(s.id, s.len, leaf);
     next_placeholder_ += placeholder_len;
   }
 }
@@ -148,6 +154,18 @@ StateTree::Cursor NormalizeCursor(StateTree::Cursor c) {
 }  // namespace
 
 StateTree::Cursor StateTree::FindPrepInsert(uint64_t pos, Lv* origin_left) const {
+  if (insert_cache_.valid && pos == insert_cache_.prep_pos) {
+    // Continuing a typing run at the boundary right after the previous
+    // insert: no descent needed.
+    if (origin_left != nullptr) {
+      *origin_left = insert_cache_.left_id;
+    }
+    Cursor c = NormalizeCursor(Cursor{insert_cache_.leaf, insert_cache_.idx, 0});
+    pending_valid_ = true;
+    pending_pos_ = pos;
+    pending_cursor_ = c;
+    return c;
+  }
   if (origin_left != nullptr) {
     *origin_left = kOriginStart;
   }
@@ -169,10 +187,11 @@ StateTree::Cursor StateTree::FindPrepInsert(uint64_t pos, Lv* origin_left) const
     is_leaf = in->kids_are_leaves;
   }
   Leaf* leaf = static_cast<Leaf*>(node);
-  int i = 0;
-  for (; i < leaf->count; ++i) {
+  Cursor result{leaf, leaf->count, 0};
+  for (int i = 0; i < leaf->count; ++i) {
     if (remaining == 0) {
-      return Cursor{leaf, i, 0};
+      result = Cursor{leaf, i, 0};
+      break;
     }
     const Span& s = leaf->spans[i];
     uint64_t u = s.prep_units();
@@ -180,7 +199,9 @@ StateTree::Cursor StateTree::FindPrepInsert(uint64_t pos, Lv* origin_left) const
       if (origin_left != nullptr) {
         *origin_left = s.id + remaining - 1;
       }
-      return Cursor{leaf, i, remaining};
+      result = Cursor{leaf, i, remaining};
+      remaining = 0;
+      break;
     }
     if (u > 0 && origin_left != nullptr) {
       *origin_left = s.id + s.len - 1;
@@ -188,7 +209,11 @@ StateTree::Cursor StateTree::FindPrepInsert(uint64_t pos, Lv* origin_left) const
     remaining -= u;  // u == remaining lands at the start of the next span.
   }
   EGW_CHECK(remaining == 0);
-  return NormalizeCursor(Cursor{leaf, leaf->count, 0});
+  result = NormalizeCursor(result);
+  pending_valid_ = true;
+  pending_pos_ = pos;
+  pending_cursor_ = result;
+  return result;
 }
 
 StateTree::Cursor StateTree::FindPrepChar(uint64_t pos) const {
@@ -221,11 +246,9 @@ StateTree::Cursor StateTree::FindPrepChar(uint64_t pos) const {
 }
 
 StateTree::Leaf* StateTree::LeafOfId(Lv id) const {
-  auto it = id_index_.upper_bound(id);
-  EGW_CHECK(it != id_index_.begin());
-  --it;
-  EGW_CHECK(id >= it->first && id < it->second.end);
-  return it->second.leaf;
+  Leaf* leaf = id_index_.Find(id);
+  EGW_CHECK(leaf != nullptr);
+  return leaf;
 }
 
 StateTree::Cursor StateTree::FindById(Lv id) const {
@@ -340,37 +363,7 @@ void StateTree::PropagateDelta(Leaf* leaf, int64_t d_prep, int64_t d_eff) {
 }
 
 void StateTree::IndexAssign(Lv id_start, uint64_t len, Leaf* leaf) {
-  Lv id_end = id_start + len;
-  // Trim or split any existing entries overlapping [id_start, id_end).
-  auto it = id_index_.upper_bound(id_start);
-  if (it != id_index_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second.end > id_start) {
-      // prev overlaps: [prev.start, prev.end) covers id_start.
-      IndexEntry old = prev->second;
-      prev->second.end = id_start;  // Keep the left part.
-      if (prev->second.end == prev->first) {
-        id_index_.erase(prev);
-      }
-      if (old.end > id_end) {
-        // The old entry also extends past our range: keep the right part.
-        id_index_.emplace(id_end, IndexEntry{old.end, old.leaf});
-      }
-    }
-  }
-  // Remove entries fully inside, trim one extending past the end.
-  it = id_index_.lower_bound(id_start);
-  while (it != id_index_.end() && it->first < id_end) {
-    if (it->second.end <= id_end) {
-      it = id_index_.erase(it);
-    } else {
-      IndexEntry tail = it->second;
-      id_index_.erase(it);
-      id_index_.emplace(id_end, tail);
-      break;
-    }
-  }
-  id_index_.emplace(id_start, IndexEntry{id_end, leaf});
+  id_index_.Assign(id_start, len, leaf);
 }
 
 void StateTree::InsertAtBoundary(Cursor c, const Span& span) {
@@ -389,6 +382,8 @@ void StateTree::InsertAtBoundary(Cursor c, const Span& span) {
     IndexAssign(span.id, span.len, leaf);
     PropagateDelta(leaf, static_cast<int64_t>(span.prep_units()),
                    static_cast<int64_t>(span.eff_units()));
+    last_insert_leaf_ = leaf;
+    last_insert_idx_ = idx;
     return;
   }
 
@@ -525,6 +520,8 @@ void StateTree::InsertAtBoundary(Cursor c, const Span& span) {
   IndexAssign(span.id, span.len, target);
   PropagateDelta(target, static_cast<int64_t>(span.prep_units()),
                  static_cast<int64_t>(span.eff_units()));
+  last_insert_leaf_ = target;
+  last_insert_idx_ = idx;
 }
 
 StateTree::Cursor StateTree::SplitAt(Cursor c) {
@@ -555,6 +552,13 @@ StateTree::Cursor StateTree::SplitAt(Cursor c) {
 void StateTree::InsertSpan(const Cursor& c, Lv id, uint64_t len, Lv origin_left,
                            Lv origin_right) {
   EGW_CHECK(len > 0);
+  // If the caller inserts exactly where the last FindPrepInsert landed, the
+  // boundary right after the new span answers the next FindPrepInsert of a
+  // continuing typing run without a descent.
+  const bool chain = pending_valid_ && c.leaf == pending_cursor_.leaf &&
+                     c.idx == pending_cursor_.idx && c.offset == pending_cursor_.offset;
+  const uint64_t chain_pos = pending_pos_;
+  InvalidateCaches();
   Cursor at = SplitAt(c);
   Span s;
   s.id = id;
@@ -564,10 +568,18 @@ void StateTree::InsertSpan(const Cursor& c, Lv id, uint64_t len, Lv origin_left,
   s.prep = 1;
   s.ever_deleted = false;
   InsertAtBoundary(at, s);
+  if (chain) {
+    insert_cache_.valid = true;
+    insert_cache_.prep_pos = chain_pos + len;
+    insert_cache_.leaf = last_insert_leaf_;
+    insert_cache_.idx = last_insert_idx_ + 1;
+    insert_cache_.left_id = id + len - 1;
+  }
 }
 
 void StateTree::MarkDeleted(const Cursor& c, uint64_t count) {
   EGW_CHECK(count > 0);
+  InvalidateCaches();
   Cursor at = SplitAt(c);
   EGW_CHECK(at.idx < at.leaf->count);
   EGW_CHECK(at.leaf->spans[at.idx].len >= count);
@@ -590,6 +602,7 @@ void StateTree::MarkDeleted(const Cursor& c, uint64_t count) {
 
 bool StateTree::MarkDeletedIdempotent(const Cursor& c, uint64_t count) {
   EGW_CHECK(count > 0);
+  InvalidateCaches();
   Cursor at = SplitAt(c);
   EGW_CHECK(at.idx < at.leaf->count);
   EGW_CHECK(at.leaf->spans[at.idx].len >= count);
@@ -613,6 +626,7 @@ bool StateTree::MarkDeletedIdempotent(const Cursor& c, uint64_t count) {
 
 void StateTree::AdjustPrep(const Cursor& c, uint64_t count, int delta) {
   EGW_CHECK(count > 0);
+  InvalidateCaches();
   Cursor at = SplitAt(c);
   EGW_CHECK(at.idx < at.leaf->count);
   EGW_CHECK(at.leaf->spans[at.idx].len >= count);
@@ -704,15 +718,15 @@ bool StateTree::CheckInvariants() const {
     }
     leaf = static_cast<const Leaf*>(node);
   }
+  // The flat index must be structurally sound, and every id of every span
+  // must resolve to the span's own leaf.
+  if (!id_index_.CheckConsistent()) {
+    return false;
+  }
   for (; leaf != nullptr; leaf = leaf->next) {
     for (int i = 0; i < leaf->count; ++i) {
       const Span& span = leaf->spans[i];
-      auto it = id_index_.upper_bound(span.id);
-      if (it == id_index_.begin()) {
-        return false;
-      }
-      --it;
-      if (span.id < it->first || span.id >= it->second.end || it->second.leaf != leaf) {
+      if (!id_index_.CheckRange(span.id, span.len, leaf)) {
         return false;
       }
     }

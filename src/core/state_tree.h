@@ -14,9 +14,19 @@
 // the prepare version to a record — and a record back to an index in the
 // effect version — both cost O(log n).
 //
-// A second index maps character ids (LVs, or replica-local placeholder ids)
-// to the leaf containing their record, so retreat/advance can find a record
-// by id in O(log n); when leaves split the index is updated (Section 3.4).
+// Finding a record by character id — the retreat/advance hot path — goes
+// through a flat run-length id index (id_index.h) instead of a tree: real
+// LVs are dense 0..n, so the lookup is O(1) array indexing into a paged
+// direct map; placeholder ids (Section 3.6) resolve through a small sorted
+// run vector. When leaves split, the moved spans' ranges are reassigned in
+// the index.
+//
+// Sequential editing is further served by a last-insert adjacency cache
+// (the run-at-a-time design of Section 3): when FindPrepInsert is asked for
+// the position immediately after the previous InsertSpan — the common case
+// of a typing run chopped into several op slices — the cached boundary
+// cursor and left origin are returned without descending the tree. Any
+// non-insert mutation invalidates the cache.
 //
 // Placeholder spans (Section 3.6) stand in for the unknown document content
 // at the replay window's base version: prepare- and effect-visible, with
@@ -26,8 +36,8 @@
 #define EGWALKER_CORE_STATE_TREE_H_
 
 #include <cstdint>
-#include <map>
 
+#include "core/id_index.h"
 #include "core/walker_types.h"
 #include "graph/frontier.h"
 
@@ -131,19 +141,38 @@ class StateTree {
   // returns the (possibly updated) cursor at that boundary.
   Cursor SplitAt(Cursor c);
   // Inserts `span` at a run boundary cursor, splitting the leaf if full.
+  // Records where the span landed in last_insert_{leaf_,idx_}.
   void InsertAtBoundary(Cursor c, const Span& span);
   void FreeNode(void* node, bool is_leaf);
+  void InvalidateCaches() const;
 
   void* root_ = nullptr;  // Leaf* or Internal*.
   bool root_is_leaf_ = true;
-  // id -> leaf index: key is the first id of a range, value is (end, leaf).
-  struct IndexEntry {
-    Lv end;
-    Leaf* leaf;
-  };
-  std::map<Lv, IndexEntry> id_index_;
+  // id -> leaf containing the id's record (flat, see id_index.h).
+  IdIndex<Leaf> id_index_;
   Lv next_placeholder_ = kPlaceholderBase;
   size_t span_count_ = 0;
+
+  // Where InsertAtBoundary last placed a span (valid right after the call).
+  Leaf* last_insert_leaf_ = nullptr;
+  int last_insert_idx_ = 0;
+
+  // Last-insert adjacency cache: the boundary right after the previously
+  // inserted span, keyed by its prepare-visible prefix. Hit when the next
+  // FindPrepInsert continues a typing run exactly there.
+  struct InsertCache {
+    bool valid = false;
+    uint64_t prep_pos = 0;  // Prepare-visible characters before the boundary.
+    Leaf* leaf = nullptr;
+    int idx = 0;
+    Lv left_id = kOriginStart;  // Left origin at the boundary.
+  };
+  mutable InsertCache insert_cache_;
+  // The last FindPrepInsert result; lets InsertSpan establish the cache
+  // when the caller inserts exactly where it searched.
+  mutable bool pending_valid_ = false;
+  mutable uint64_t pending_pos_ = 0;
+  mutable Cursor pending_cursor_;
 };
 
 }  // namespace egwalker

@@ -37,6 +37,7 @@ void Walker::MergeRange(Rope& doc, const Frontier& from, uint64_t base_len, cons
   logical_len_ = base_len;
   tree_.Reset(base_len);
   delete_targets_.clear();
+  target_cursor_ = 0;
   peak_spans_ = 0;
 
   WalkPlan plan = PlanWalk(graph_, from, to, opts_.sort_mode);
@@ -52,6 +53,7 @@ void Walker::ClearState() {
   NotePeak();
   tree_.Reset(logical_len_);
   delete_targets_.clear();
+  target_cursor_ = 0;
   if (sinks_.critical_points != nullptr && prepare_version_.size() == 1) {
     sinks_.critical_points->push_back(CriticalPoint{prepare_version_[0], logical_len_});
   }
@@ -122,6 +124,46 @@ void Walker::EnterSpan(Lv first) {
   }
 }
 
+void Walker::RecordDeleteTargets(Lv ev_start, uint64_t count, Lv target, bool fwd) {
+  const Lv ev_end = ev_start + count;
+  if (!delete_targets_.empty() && delete_targets_.back().ev_end <= ev_start) {
+    // In-order arrival (the common case). Extend the previous run when the
+    // events and victim ids both chain in the same direction.
+    TargetRun& back = delete_targets_.back();
+    const uint64_t back_len = back.ev_end - back.ev_start;
+    const Lv chained = back.fwd ? back.target + back_len : back.target - back_len;
+    if (back.ev_end == ev_start && back.fwd == fwd && chained == target) {
+      back.ev_end = ev_end;
+      return;
+    }
+    delete_targets_.push_back(TargetRun{ev_start, ev_end, target, fwd});
+    return;
+  }
+  // Out-of-order arrival (different walk steps can interleave event ranges):
+  // insert at the sorted position.
+  auto it = std::lower_bound(delete_targets_.begin(), delete_targets_.end(), ev_start,
+                             [](const TargetRun& r, Lv v) { return r.ev_start < v; });
+  EGW_DCHECK(it == delete_targets_.end() || ev_end <= it->ev_start);
+  EGW_DCHECK(it == delete_targets_.begin() || std::prev(it)->ev_end <= ev_start);
+  delete_targets_.insert(it, TargetRun{ev_start, ev_end, target, fwd});
+}
+
+const Walker::TargetRun& Walker::FindDeleteTargets(Lv ev) const {
+  if (target_cursor_ < delete_targets_.size()) {
+    const TargetRun& r = delete_targets_[target_cursor_];
+    if (ev >= r.ev_start && ev < r.ev_end) {
+      return r;
+    }
+  }
+  auto it = std::upper_bound(delete_targets_.begin(), delete_targets_.end(), ev,
+                             [](Lv v, const TargetRun& r) { return v < r.ev_start; });
+  EGW_CHECK(it != delete_targets_.begin());
+  --it;
+  EGW_CHECK(ev >= it->ev_start && ev < it->ev_end);
+  target_cursor_ = static_cast<size_t>(it - delete_targets_.begin());
+  return *it;
+}
+
 void Walker::AdjustPrepRange(Lv id_start, uint64_t count, int delta) {
   Lv id = id_start;
   uint64_t left = count;
@@ -146,21 +188,18 @@ void Walker::ProcessPrepSpan(const LvSpan& span, int delta) {
       Lv ev = v;
       uint64_t left = slice.count;
       while (left > 0) {
-        auto it = delete_targets_.upper_bound(ev);
-        EGW_CHECK(it != delete_targets_.begin());
-        --it;
-        EGW_CHECK(ev >= it->first && ev < it->second.ev_end);
-        uint64_t offset = ev - it->first;
-        uint64_t avail = it->second.ev_end - ev;
+        const TargetRun& run = FindDeleteTargets(ev);
+        uint64_t offset = ev - run.ev_start;
+        uint64_t avail = run.ev_end - ev;
         uint64_t take = std::min(left, avail);
-        if (it->second.fwd) {
-          AdjustPrepRange(it->second.target + offset, take, delta);
+        if (run.fwd) {
+          AdjustPrepRange(run.target + offset, take, delta);
         } else {
           // Victims descend: events ev..ev+take-1 delete ids
           // (target - offset) down to (target - offset - take + 1). A state
           // adjustment of +-1 per character is order-independent, so apply
           // it to the ascending range.
-          Lv hi = it->second.target - offset;
+          Lv hi = run.target - offset;
           AdjustPrepRange(hi - take + 1, take, delta);
         }
         ev += take;
@@ -321,7 +360,7 @@ void Walker::ApplyDeleteSlice(Lv ev_start, const OpSlice& slice) {
         sinks_.xf_ops->push_back(std::move(xf));
       }
     }
-    delete_targets_[ev] = TargetRun{ev + take, first_victim, slice.fwd};
+    RecordDeleteTargets(ev, take, first_victim, slice.fwd);
     if (sinks_.crdt_ops != nullptr) {
       CrdtOp cop;
       cop.kind = OpKind::kDelete;

@@ -20,7 +20,7 @@
 #ifndef EGWALKER_CORE_WALKER_H_
 #define EGWALKER_CORE_WALKER_H_
 
-#include <map>
+#include <vector>
 
 #include "core/state_tree.h"
 #include "core/walker_types.h"
@@ -70,11 +70,21 @@ class Walker {
   const StateTree& tree() const { return tree_; }
 
  private:
+  // Victim records for processed delete events: events [ev_start, ev_end)
+  // deleted the ids starting at `target`, ascending (fwd) or descending.
+  // Kept in a flat vector sorted by ev_start — replay emits delete runs in
+  // ascending event order within each walk step, so recording is a
+  // push_back (often an RLE extension of the previous run) and retreat/
+  // advance resolve events by binary search plus a last-hit cache.
   struct TargetRun {
-    Lv ev_end = 0;     // Delete events [key, ev_end).
+    Lv ev_start = 0;
+    Lv ev_end = 0;     // Delete events [ev_start, ev_end).
     Lv target = 0;     // Victim id of the first event.
     bool fwd = true;   // Victim ids ascend (true) or descend (false).
   };
+
+  void RecordDeleteTargets(Lv ev_start, uint64_t count, Lv target, bool fwd);
+  const TargetRun& FindDeleteTargets(Lv ev) const;
 
   void ProcessStep(const WalkStep& step);
   void EnterSpan(Lv first);
@@ -92,7 +102,8 @@ class Walker {
   const Graph& graph_;
   const OpLog& ops_;
   StateTree tree_;
-  std::map<Lv, TargetRun> delete_targets_;
+  std::vector<TargetRun> delete_targets_;
+  mutable size_t target_cursor_ = 0;  // Last-hit index into delete_targets_.
   Frontier prepare_version_;
   Rope* doc_ = nullptr;
   Options opts_;

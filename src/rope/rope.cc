@@ -76,11 +76,6 @@ Metrics MetricsOf(const Rope::Node* n) {
   return MetricsOfInternal(static_cast<const Rope::Internal*>(n));
 }
 
-struct PathEntry {
-  Rope::Internal* node;
-  int child_idx;
-};
-
 }  // namespace
 
 void Rope::DeleteNode(Node* n) {
@@ -126,6 +121,7 @@ Rope::Rope(Rope&& other) noexcept
   other.root_ = nullptr;
   other.root_bytes_ = 0;
   other.root_chars_ = 0;
+  other.InvalidateEditCache();
 }
 
 Rope& Rope::operator=(Rope&& other) noexcept {
@@ -137,6 +133,8 @@ Rope& Rope::operator=(Rope&& other) noexcept {
     other.root_ = nullptr;
     other.root_bytes_ = 0;
     other.root_chars_ = 0;
+    other.InvalidateEditCache();
+    InvalidateEditCache();
   }
   return *this;
 }
@@ -152,6 +150,7 @@ Rope& Rope::operator=(const Rope& other) {
     root_ = other.root_ ? CloneNode(other.root_) : nullptr;
     root_bytes_ = other.root_bytes_;
     root_chars_ = other.root_chars_;
+    InvalidateEditCache();
   }
   return *this;
 }
@@ -161,6 +160,7 @@ void Rope::Clear() {
   root_ = nullptr;
   root_bytes_ = 0;
   root_chars_ = 0;
+  InvalidateEditCache();
 }
 
 void Rope::InsertAt(size_t char_pos, std::string_view text) {
@@ -183,12 +183,40 @@ void Rope::InsertAt(size_t char_pos, std::string_view text) {
   }
 }
 
+void Rope::ApplyLeafInsert(Leaf* leaf, size_t pos, std::string_view text,
+                           const std::vector<PathStep>& path) {
+  EGW_DCHECK(pos <= leaf->nchars);
+  size_t byte_pos = Utf8ByteOfChar(leaf->view(), pos);
+  size_t tchars = Utf8CountChars(text);
+  std::memmove(leaf->data + byte_pos + text.size(), leaf->data + byte_pos,
+               leaf->nbytes - byte_pos);
+  std::memcpy(leaf->data + byte_pos, text.data(), text.size());
+  leaf->nbytes += static_cast<uint32_t>(text.size());
+  leaf->nchars += static_cast<uint32_t>(tchars);
+  for (const PathStep& step : path) {
+    step.node->children[step.child_idx].bytes += text.size();
+    step.node->children[step.child_idx].chars += tchars;
+  }
+  root_bytes_ += text.size();
+  root_chars_ += tchars;
+}
+
 void Rope::InsertChunk(size_t char_pos, std::string_view text) {
   if (root_ == nullptr) {
     root_ = new Leaf();
   }
+
+  // Fast path: the edit lands inside the cached leaf and fits — patch the
+  // leaf and add the deltas along the cached path, no descent.
+  if (edit_cache_.valid && char_pos >= edit_cache_.leaf_start &&
+      char_pos <= edit_cache_.leaf_start + edit_cache_.leaf->nchars &&
+      edit_cache_.leaf->nbytes + text.size() <= kLeafCapacity) {
+    ApplyLeafInsert(edit_cache_.leaf, char_pos - edit_cache_.leaf_start, text, edit_cache_.path);
+    return;
+  }
+
   // Descend to the leaf covering char_pos, recording the path.
-  std::vector<PathEntry> path;
+  path_scratch_.clear();
   Node* n = root_;
   size_t pos = char_pos;
   while (!n->is_leaf) {
@@ -200,22 +228,28 @@ void Rope::InsertChunk(size_t char_pos, std::string_view text) {
       pos -= in->children[i].chars;
       ++i;
     }
-    path.push_back({in, i});
+    path_scratch_.push_back({in, i});
     n = in->children[i].node;
   }
 
   Leaf* leaf = static_cast<Leaf*>(n);
   EGW_DCHECK(pos <= leaf->nchars);
-  size_t byte_pos = Utf8ByteOfChar(leaf->view(), pos);
 
-  Node* new_sibling = nullptr;  // Set if the leaf splits.
   if (leaf->nbytes + text.size() <= kLeafCapacity) {
-    std::memmove(leaf->data + byte_pos + text.size(), leaf->data + byte_pos,
-                 leaf->nbytes - byte_pos);
-    std::memcpy(leaf->data + byte_pos, text.data(), text.size());
-    leaf->nbytes += static_cast<uint32_t>(text.size());
-    leaf->nchars += static_cast<uint32_t>(Utf8CountChars(text));
-  } else {
+    ApplyLeafInsert(leaf, pos, text, path_scratch_);
+    edit_cache_.valid = true;
+    edit_cache_.leaf = leaf;
+    edit_cache_.leaf_start = char_pos - pos;
+    edit_cache_.path = path_scratch_;
+    return;
+  }
+
+  // The leaf splits: the slow path below rebuilds metrics bottom-up and may
+  // reshape the tree, so the cache cannot survive.
+  InvalidateEditCache();
+  size_t byte_pos = Utf8ByteOfChar(leaf->view(), pos);
+  Node* new_sibling = nullptr;  // Set if the leaf splits.
+  {
     // Split the leaf near the middle (on a scalar boundary), then insert the
     // chunk into whichever half now covers byte_pos. text.size() <= kMaxChunk
     // guarantees it fits after the split.
@@ -247,9 +281,9 @@ void Rope::InsertChunk(size_t char_pos, std::string_view text) {
 
   // Walk back up: refresh the touched child's metrics and splice in any new
   // sibling, splitting internals as needed.
-  for (size_t level = path.size(); level-- > 0;) {
-    Internal* in = path[level].node;
-    int idx = path[level].child_idx;
+  for (size_t level = path_scratch_.size(); level-- > 0;) {
+    Internal* in = path_scratch_[level].node;
+    int idx = path_scratch_[level].child_idx;
     Metrics m = MetricsOf(in->children[idx].node);
     in->children[idx].bytes = m.bytes;
     in->children[idx].chars = m.chars;
@@ -314,7 +348,35 @@ void Rope::RemoveAt(size_t char_pos, size_t char_count) {
 
 void Rope::RemoveOnce(size_t char_pos, size_t* char_count) {
   EGW_CHECK(root_ != nullptr);
-  std::vector<PathEntry> path;
+
+  // Fast path: the removal lies inside the cached leaf and leaves it
+  // non-empty (or it is the root leaf) — patch the leaf and subtract the
+  // deltas along the cached path, no descent, no structural change.
+  if (edit_cache_.valid && char_pos >= edit_cache_.leaf_start &&
+      char_pos < edit_cache_.leaf_start + edit_cache_.leaf->nchars) {
+    Leaf* leaf = edit_cache_.leaf;
+    size_t pos = char_pos - edit_cache_.leaf_start;
+    size_t take = std::min<size_t>(leaf->nchars - pos, *char_count);
+    if (take < leaf->nchars || edit_cache_.path.empty()) {
+      size_t byte_from = Utf8ByteOfChar(leaf->view(), pos);
+      size_t byte_to = Utf8ByteOfChar(leaf->view(), pos + take);
+      size_t bytes_removed = byte_to - byte_from;
+      std::memmove(leaf->data + byte_from, leaf->data + byte_to, leaf->nbytes - byte_to);
+      leaf->nbytes -= static_cast<uint32_t>(bytes_removed);
+      leaf->nchars -= static_cast<uint32_t>(take);
+      for (const PathStep& step : edit_cache_.path) {
+        step.node->children[step.child_idx].bytes -= bytes_removed;
+        step.node->children[step.child_idx].chars -= take;
+      }
+      *char_count -= take;
+      root_bytes_ -= bytes_removed;
+      root_chars_ -= take;
+      return;
+    }
+    // Would empty the cached leaf: the structural slow path must handle it.
+  }
+
+  path_scratch_.clear();
   Node* n = root_;
   size_t pos = char_pos;
   while (!n->is_leaf) {
@@ -324,7 +386,7 @@ void Rope::RemoveOnce(size_t char_pos, size_t* char_count) {
       pos -= in->children[i].chars;
       ++i;
     }
-    path.push_back({in, i});
+    path_scratch_.push_back({in, i});
     n = in->children[i].node;
   }
   Leaf* leaf = static_cast<Leaf*>(n);
@@ -341,15 +403,19 @@ void Rope::RemoveOnce(size_t char_pos, size_t* char_count) {
   root_bytes_ -= bytes_removed;
   root_chars_ -= take;
 
-  bool drop_child = (leaf->nbytes == 0 && !path.empty());
+  bool drop_child = (leaf->nbytes == 0 && !path_scratch_.empty());
+  // Any node deletion below (the leaf, a merged sibling, an emptied
+  // ancestor, a collapsed root) may strand the cache; track it and only
+  // re-establish the cache when the tree's shape survived intact.
+  bool structural = drop_child;
   if (drop_child) {
     delete leaf;
   }
 
   // Fix up ancestors; remove emptied nodes on the way.
-  for (size_t level = path.size(); level-- > 0;) {
-    Internal* in = path[level].node;
-    int idx = path[level].child_idx;
+  for (size_t level = path_scratch_.size(); level-- > 0;) {
+    Internal* in = path_scratch_[level].node;
+    int idx = path_scratch_[level].child_idx;
     if (drop_child) {
       for (int j = idx; j + 1 < in->count; ++j) {
         in->children[j] = in->children[j + 1];
@@ -382,6 +448,7 @@ void Rope::RemoveOnce(size_t char_pos, size_t* char_count) {
             in->children[j] = in->children[j + 1];
           }
           --in->count;
+          structural = true;
         }
       }
     }
@@ -392,10 +459,21 @@ void Rope::RemoveOnce(size_t char_pos, size_t* char_count) {
     if (in->count == 1) {
       root_ = in->children[0].node;
       delete in;
+      structural = true;
     } else if (in->count == 0) {
       delete in;
       root_ = nullptr;
+      structural = true;
     }
+  }
+
+  if (structural) {
+    InvalidateEditCache();
+  } else {
+    edit_cache_.valid = true;
+    edit_cache_.leaf = leaf;
+    edit_cache_.leaf_start = char_pos - pos;
+    edit_cache_.path = path_scratch_;
   }
 }
 

@@ -6,6 +6,13 @@
 // small UTF-8 chunks, internal nodes hold per-child (byte, char) totals, so
 // insert/delete/read at an arbitrary *character* index costs O(log n).
 //
+// Edits are heavily clustered in practice (typing runs, backspace runs), so
+// the rope keeps a last-edit cache: the leaf last touched, its absolute
+// character offset, and the root-to-leaf path. An edit that lands inside
+// that leaf (and does not split, empty, or merge it) skips the descent and
+// just patches the cached path's counts. Any structural change invalidates
+// the cache.
+//
 // Indexing is by Unicode scalar value, matching the index space of editing
 // operations; storage is UTF-8 bytes, matching what is written to disk.
 //
@@ -20,6 +27,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace egwalker {
 
@@ -77,6 +85,13 @@ class Rope {
   struct Internal;
 
  private:
+  // One step of a root-to-leaf descent: an internal node and the child
+  // index the descent took.
+  struct PathStep {
+    Internal* node;
+    int child_idx;
+  };
+
   static void DeleteNode(Node* n);
   static Node* CloneNode(const Node* n);
 
@@ -85,10 +100,27 @@ class Rope {
   // nothing; splits are handled bottom-up through the path stack.
   void InsertChunk(size_t char_pos, std::string_view text);
   void RemoveOnce(size_t char_pos, size_t* char_count);
+  // Splices `text` into `leaf` at character offset `pos` (must fit) and
+  // adds the deltas along `path` and the root totals.
+  void ApplyLeafInsert(Leaf* leaf, size_t pos, std::string_view text,
+                       const std::vector<PathStep>& path);
+  void InvalidateEditCache() { edit_cache_.valid = false; }
 
   Node* root_ = nullptr;
   size_t root_bytes_ = 0;
   size_t root_chars_ = 0;
+
+  // Last-edit cache: the last leaf an insert/remove landed in, with its
+  // absolute character start and the descent path (for count fixups).
+  struct EditCache {
+    bool valid = false;
+    Leaf* leaf = nullptr;
+    size_t leaf_start = 0;  // Character index of the leaf's first char.
+    std::vector<PathStep> path;
+  };
+  EditCache edit_cache_;
+  // Descent scratch, reused across edits so the hot path never allocates.
+  std::vector<PathStep> path_scratch_;
 };
 
 }  // namespace egwalker

@@ -1,0 +1,219 @@
+// Tests for the flat run-length id index (id_index.h): unit coverage of the
+// placeholder-run trim/split semantics plus a randomised differential test
+// driving the index against a std::map reference model — the structure the
+// index replaced — over thousands of Assign/Find/Clear operations in both
+// id domains.
+
+#include "core/id_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/prng.h"
+
+namespace egwalker {
+namespace {
+
+// Fake leaves: the index only stores pointers, so distinct addresses from a
+// static pool are all the test needs.
+int g_leaves[64];
+int* LeafNo(size_t i) { return &g_leaves[i % 64]; }
+
+TEST(IdIndex, DenseAssignAndFind) {
+  IdIndex<int> index;
+  EXPECT_EQ(index.Find(0), nullptr);
+  index.Assign(0, 10, LeafNo(0));
+  index.Assign(10, 5, LeafNo(1));
+  EXPECT_EQ(index.Find(0), LeafNo(0));
+  EXPECT_EQ(index.Find(9), LeafNo(0));
+  EXPECT_EQ(index.Find(10), LeafNo(1));
+  EXPECT_EQ(index.Find(14), LeafNo(1));
+  EXPECT_EQ(index.Find(15), nullptr);
+  // Reassignment replaces exactly the covered range.
+  index.Assign(5, 7, LeafNo(2));
+  EXPECT_EQ(index.Find(4), LeafNo(0));
+  EXPECT_EQ(index.Find(5), LeafNo(2));
+  EXPECT_EQ(index.Find(11), LeafNo(2));
+  EXPECT_EQ(index.Find(12), LeafNo(1));
+  EXPECT_TRUE(index.CheckConsistent());
+}
+
+TEST(IdIndex, ClearForgetsBothDomains) {
+  IdIndex<int> index;
+  index.Assign(100, 50, LeafNo(0));
+  index.Assign(kPlaceholderBase + 7, 20, LeafNo(1));
+  EXPECT_EQ(index.Find(120), LeafNo(0));
+  EXPECT_EQ(index.Find(kPlaceholderBase + 7), LeafNo(1));
+  index.Clear();
+  EXPECT_EQ(index.Find(120), nullptr);
+  EXPECT_EQ(index.Find(kPlaceholderBase + 7), nullptr);
+  // A fresh assignment after Clear must not resurrect neighbours from
+  // before it.
+  index.Assign(110, 5, LeafNo(2));
+  EXPECT_EQ(index.Find(110), LeafNo(2));
+  EXPECT_EQ(index.Find(109), nullptr);
+  EXPECT_EQ(index.Find(115), nullptr);
+  EXPECT_EQ(index.Find(130), nullptr);
+  EXPECT_TRUE(index.CheckConsistent());
+}
+
+TEST(IdIndex, DenseAssignAcrossPages) {
+  IdIndex<int> index;
+  // Page size is an implementation detail; 100k ids certainly spans several.
+  index.Assign(1000, 100000, LeafNo(3));
+  EXPECT_EQ(index.Find(999), nullptr);
+  EXPECT_EQ(index.Find(1000), LeafNo(3));
+  EXPECT_EQ(index.Find(50'000), LeafNo(3));
+  EXPECT_EQ(index.Find(100'999), LeafNo(3));
+  EXPECT_EQ(index.Find(101'000), nullptr);
+}
+
+TEST(IdIndex, PlaceholderSplitKeepsBothSides) {
+  IdIndex<int> index;
+  const Lv base = kPlaceholderBase;
+  index.Assign(base, 100, LeafNo(0));
+  // Carve a range out of the middle: the old run must survive on both sides.
+  index.Assign(base + 40, 10, LeafNo(1));
+  EXPECT_EQ(index.Find(base + 39), LeafNo(0));
+  EXPECT_EQ(index.Find(base + 40), LeafNo(1));
+  EXPECT_EQ(index.Find(base + 49), LeafNo(1));
+  EXPECT_EQ(index.Find(base + 50), LeafNo(0));
+  EXPECT_EQ(index.Find(base + 99), LeafNo(0));
+  EXPECT_EQ(index.Find(base + 100), nullptr);
+  EXPECT_TRUE(index.CheckConsistent());
+  // Cover several runs at once, trimming the outermost two.
+  index.Assign(base + 30, 40, LeafNo(2));
+  EXPECT_EQ(index.Find(base + 29), LeafNo(0));
+  EXPECT_EQ(index.Find(base + 30), LeafNo(2));
+  EXPECT_EQ(index.Find(base + 69), LeafNo(2));
+  EXPECT_EQ(index.Find(base + 70), LeafNo(0));
+  EXPECT_TRUE(index.CheckConsistent());
+}
+
+TEST(IdIndex, PlaceholderAdjacentSameLeafRunsCoalesce) {
+  IdIndex<int> index;
+  const Lv base = kPlaceholderBase;
+  index.Assign(base, 10, LeafNo(0));
+  index.Assign(base + 10, 10, LeafNo(0));
+  index.Assign(base + 20, 10, LeafNo(0));
+  EXPECT_EQ(index.placeholder_run_count(), 1u);
+  EXPECT_EQ(index.Find(base + 25), LeafNo(0));
+  EXPECT_TRUE(index.CheckConsistent());
+}
+
+// --- Randomised differential test -------------------------------------------
+
+// The std::map-based index this structure replaced, kept as the reference
+// model: key = range start, value = (range end, leaf).
+class MapModel {
+ public:
+  void Clear() { map_.clear(); }
+
+  void Assign(Lv start, uint64_t len, int* leaf) {
+    Lv end = start + len;
+    auto it = map_.upper_bound(start);
+    if (it != map_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.end > start) {
+        Entry old = prev->second;
+        prev->second.end = start;
+        if (prev->second.end == prev->first) {
+          map_.erase(prev);
+        }
+        if (old.end > end) {
+          map_.emplace(end, Entry{old.end, old.leaf});
+        }
+      }
+    }
+    it = map_.lower_bound(start);
+    while (it != map_.end() && it->first < end) {
+      if (it->second.end <= end) {
+        it = map_.erase(it);
+      } else {
+        Entry tail = it->second;
+        map_.erase(it);
+        map_.emplace(end, tail);
+        break;
+      }
+    }
+    map_.emplace(start, Entry{end, leaf});
+  }
+
+  int* Find(Lv id) const {
+    auto it = map_.upper_bound(id);
+    if (it == map_.begin()) {
+      return nullptr;
+    }
+    --it;
+    if (id < it->first || id >= it->second.end) {
+      return nullptr;
+    }
+    return it->second.leaf;
+  }
+
+ private:
+  struct Entry {
+    Lv end;
+    int* leaf;
+  };
+  std::map<Lv, Entry> map_;
+};
+
+TEST(IdIndex, RandomisedDifferentialAgainstMap) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Prng rng(seed);
+    IdIndex<int> index;
+    MapModel model;
+
+    // Keep ids inside windows so assignments overlap often enough to
+    // exercise every trim/split path.
+    const Lv dense_window = 50'000;
+    const Lv ph_window = 2'000;
+
+    auto random_range = [&](Lv* start, uint64_t* len) {
+      *len = 1 + rng.Below(64);
+      if (rng.Chance(0.5)) {
+        *start = rng.Below(dense_window);
+      } else {
+        *start = kPlaceholderBase + rng.Below(ph_window);
+      }
+    };
+
+    for (int step = 0; step < 3000; ++step) {
+      double action = rng.NextDouble();
+      if (action < 0.45) {
+        Lv start;
+        uint64_t len;
+        random_range(&start, &len);
+        int* leaf = LeafNo(rng.Below(64));
+        index.Assign(start, len, leaf);
+        model.Assign(start, len, leaf);
+      } else if (action < 0.98) {
+        // Probe a handful of ids, mapped and unmapped alike.
+        for (int probe = 0; probe < 8; ++probe) {
+          Lv id = rng.Chance(0.5) ? rng.Below(dense_window + 100)
+                                  : kPlaceholderBase + rng.Below(ph_window + 100);
+          ASSERT_EQ(index.Find(id), model.Find(id))
+              << "seed " << seed << " step " << step << " id " << id;
+        }
+      } else {
+        index.Clear();
+        model.Clear();
+      }
+      ASSERT_TRUE(index.CheckConsistent()) << "seed " << seed << " step " << step;
+    }
+
+    // Full sweep at the end: every id in both windows must agree.
+    for (Lv id = 0; id < dense_window; ++id) {
+      ASSERT_EQ(index.Find(id), model.Find(id)) << "seed " << seed << " id " << id;
+    }
+    for (Lv off = 0; off < ph_window; ++off) {
+      Lv id = kPlaceholderBase + off;
+      ASSERT_EQ(index.Find(id), model.Find(id)) << "seed " << seed << " id " << id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace egwalker
