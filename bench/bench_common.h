@@ -84,6 +84,12 @@ inline Options ParseArgs(int argc, char** argv) {
 //    "rows": [{"trace": "S1", "algorithm": "...", "mean_ms": 1.23, ...}]}
 //
 // Annotate() attaches extra fields (e.g. peak_spans) to the last-added row.
+#if defined(__GNUC__) && !defined(__clang__)
+// gcc 12 flags the inlined moves of Json's variant-of-vector alternatives as
+// maybe-uninitialized at -O2; a known false positive (gcc PR 105593 family).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 class JsonReport {
  public:
   JsonReport(std::string bench, const Options& opts)
@@ -127,6 +133,9 @@ class JsonReport {
   std::string path_;
   JsonArray rows_;
 };
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 // Runs `fn` repeatedly until the budget is exhausted (at least twice unless
 // a single run already exceeds it); returns the mean milliseconds.

@@ -15,6 +15,7 @@
 #include "graph/graph.h"
 #include "lz4/lz4.h"
 #include "rope/rope.h"
+#include "rope/utf8.h"
 #include "trace/generate.h"
 #include "util/prng.h"
 #include "util/varint.h"
@@ -73,6 +74,48 @@ void BM_StateTreeInsertFindMark(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_StateTreeInsertFindMark)->Arg(1000)->Arg(10000);
+
+void BM_StateTreeResetChurn(benchmark::State& state) {
+  // The critical-version pattern: grow a window, Reset, grow again. With
+  // node pooling the steady-state iteration allocates nothing.
+  StateTree tree;
+  Prng rng(9);
+  for (auto _ : state) {
+    tree.Reset(1000);
+    uint64_t pos = 0;
+    for (Lv id = 0; id < 256; ++id) {
+      Lv origin;
+      StateTree::Cursor c = tree.FindPrepInsert(pos % (1000 + id * 2), &origin);
+      tree.InsertSpan(c, id * 8, 2, origin, kOriginEnd);
+      pos += 37;
+    }
+    benchmark::DoNotOptimize(tree.span_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_StateTreeResetChurn);
+
+void BM_Utf8CountChars(benchmark::State& state) {
+  Prng rng(6);
+  std::string prose = GenerateProse(rng, 1 << 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Utf8CountChars(prose));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(prose.size()));
+}
+BENCHMARK(BM_Utf8CountChars);
+
+void BM_Utf8ByteOfChar(benchmark::State& state) {
+  Prng rng(7);
+  std::string prose = GenerateProse(rng, 4096);
+  size_t chars = Utf8CountChars(prose);
+  size_t i = 0;
+  for (auto _ : state) {
+    i = (i + 997) % chars;
+    benchmark::DoNotOptimize(Utf8ByteOfChar(prose, i));
+  }
+}
+BENCHMARK(BM_Utf8ByteOfChar);
 
 void BM_GraphDiff(benchmark::State& state) {
   // A braided graph: two users alternating merges.

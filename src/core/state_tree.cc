@@ -80,19 +80,21 @@ StateTree::~StateTree() {
 
 void StateTree::FreeNode(void* node, bool is_leaf) {
   if (is_leaf) {
-    delete static_cast<Leaf*>(node);
+    leaf_pool_.Delete(static_cast<Leaf*>(node));
     return;
   }
   Internal* in = static_cast<Internal*>(node);
   for (int i = 0; i < in->count; ++i) {
     FreeNode(in->kids[i].node, in->kids_are_leaves);
   }
-  delete in;
+  internal_pool_.Delete(in);
 }
 
 void StateTree::InvalidateCaches() const {
   insert_cache_.valid = false;
   pending_valid_ = false;
+  prep_char_cache_.valid = false;
+  pc_pending_valid_ = false;
 }
 
 void StateTree::Reset(uint64_t placeholder_len) {
@@ -101,7 +103,7 @@ void StateTree::Reset(uint64_t placeholder_len) {
   }
   id_index_.Clear();
   InvalidateCaches();
-  Leaf* leaf = new Leaf();
+  Leaf* leaf = leaf_pool_.New();
   root_ = leaf;
   root_is_leaf_ = true;
   span_count_ = 0;
@@ -216,7 +218,64 @@ StateTree::Cursor StateTree::FindPrepInsert(uint64_t pos, Lv* origin_left) const
   return result;
 }
 
+bool StateTree::FindPrepCharFromAnchor(uint64_t pos, Cursor* out) const {
+  const PrepCharCache& a = prep_char_cache_;
+  if (pos >= a.pos) {
+    // Forward delete run: the run re-queries the anchor position itself
+    // (tombstoned characters stop counting), so only serve pos == a.pos and
+    // give up after a handful of invisible spans — anything longer is not
+    // the adjacency pattern and the descent is cheaper than a blind scan.
+    if (pos != a.pos) {
+      return false;
+    }
+    Leaf* leaf = a.leaf;
+    int i = a.idx;
+    for (int scanned = 0; scanned < 8; ++scanned) {
+      if (i >= leaf->count) {
+        if (leaf->next == nullptr) {
+          return false;
+        }
+        leaf = leaf->next;
+        i = 0;
+        continue;
+      }
+      const Span& s = leaf->spans[i];
+      if (s.prep == 1) {
+        *out = Cursor{leaf, i, 0};
+        return true;
+      }
+      ++i;
+    }
+    return false;
+  }
+  // Backspace run: the position is shortly before the anchor. Scan backwards
+  // within the anchor leaf only (no prev links across leaves).
+  uint64_t remaining = a.pos - pos;  // >= 1: chars before the boundary.
+  Leaf* leaf = a.leaf;
+  for (int i = (a.idx < leaf->count ? a.idx : leaf->count) - 1; i >= 0; --i) {
+    const Span& s = leaf->spans[i];
+    if (s.prep != 1) {
+      continue;
+    }
+    if (s.len >= remaining) {
+      *out = Cursor{leaf, i, s.len - remaining};
+      return true;
+    }
+    remaining -= s.len;
+  }
+  return false;
+}
+
 StateTree::Cursor StateTree::FindPrepChar(uint64_t pos) const {
+  if (prep_char_cache_.valid) {
+    Cursor hit;
+    if (FindPrepCharFromAnchor(pos, &hit)) {
+      pc_pending_valid_ = true;
+      pc_pending_pos_ = pos;
+      pc_pending_cursor_ = hit;
+      return hit;
+    }
+  }
   void* node = root_;
   bool is_leaf = root_is_leaf_;
   uint64_t remaining = pos;
@@ -237,7 +296,11 @@ StateTree::Cursor StateTree::FindPrepChar(uint64_t pos) const {
       continue;
     }
     if (s.len > remaining) {
-      return Cursor{leaf, i, remaining};
+      Cursor c{leaf, i, remaining};
+      pc_pending_valid_ = true;
+      pc_pending_pos_ = pos;
+      pc_pending_cursor_ = c;
+      return c;
     }
     remaining -= s.len;
   }
@@ -388,7 +451,7 @@ void StateTree::InsertAtBoundary(Cursor c, const Span& span) {
   }
 
   // Leaf is full: split it, then insert into the correct half.
-  Leaf* right = new Leaf();
+  Leaf* right = leaf_pool_.New();
   int half = kLeafCap / 2;
   right->count = kLeafCap - half;
   for (int i = 0; i < right->count; ++i) {
@@ -413,7 +476,7 @@ void StateTree::InsertAtBoundary(Cursor c, const Span& span) {
   void* anchor = leaf;  // Insert new_node right after anchor.
 
   if (parent == nullptr) {
-    Internal* new_root = new Internal();
+    Internal* new_root = internal_pool_.New();
     new_root->kids_are_leaves = true;
     new_root->count = 2;
     new_root->kids[0] = {leaf, lp, le};
@@ -443,7 +506,7 @@ void StateTree::InsertAtBoundary(Cursor c, const Span& span) {
         break;
       }
       // Split this internal node.
-      Internal* right_in = new Internal();
+      Internal* right_in = internal_pool_.New();
       right_in->kids_are_leaves = parent->kids_are_leaves;
       int ihalf = kNodeCap / 2;
       right_in->count = kNodeCap - ihalf;
@@ -472,7 +535,7 @@ void StateTree::InsertAtBoundary(Cursor c, const Span& span) {
       }
       Internal* grand = parent->parent;
       if (grand == nullptr) {
-        Internal* new_root = new Internal();
+        Internal* new_root = internal_pool_.New();
         new_root->kids_are_leaves = false;
         new_root->count = 2;
         uint64_t pp = 0, pe = 0;
@@ -524,6 +587,31 @@ void StateTree::InsertAtBoundary(Cursor c, const Span& span) {
   last_insert_idx_ = idx;
 }
 
+bool StateTree::MergeWithPrev(Leaf* leaf, int idx) {
+  if (idx <= 0 || idx >= leaf->count) {
+    return false;
+  }
+  Span& a = leaf->spans[idx - 1];
+  const Span& b = leaf->spans[idx];
+  // Merge only when the merged record is piece-wise indistinguishable from
+  // the pair: ids chain, b's origins are exactly what PieceAt would derive
+  // for a mid-span offset of a, and the dual state is identical.
+  if (b.id != a.id + a.len || b.origin_left != a.id + a.len - 1 ||
+      b.origin_right != a.origin_right || b.prep != a.prep ||
+      b.ever_deleted != a.ever_deleted) {
+    return false;
+  }
+  a.len += b.len;
+  for (int i = idx; i + 1 < leaf->count; ++i) {
+    leaf->spans[i] = leaf->spans[i + 1];
+  }
+  --leaf->count;
+  --span_count_;
+  // Totals are unchanged (identical states, same leaf) and b's ids already
+  // resolve to this leaf, so neither ancestors nor the id index move.
+  return true;
+}
+
 StateTree::Cursor StateTree::SplitAt(Cursor c) {
   c = NormalizeCursor(c);
   if (c.offset == 0) {
@@ -559,7 +647,28 @@ void StateTree::InsertSpan(const Cursor& c, Lv id, uint64_t len, Lv origin_left,
                      c.idx == pending_cursor_.idx && c.offset == pending_cursor_.offset;
   const uint64_t chain_pos = pending_pos_;
   InvalidateCaches();
-  Cursor at = SplitAt(c);
+  Cursor at = NormalizeCursor(c);
+  if (at.offset == 0 && at.idx > 0) {
+    // Run coalescing: a fresh insert landing right after the span it chains
+    // onto extends that span in place — a typing run chopped into op slices
+    // stays one record.
+    Span& prev = at.leaf->spans[at.idx - 1];
+    if (prev.prep == 1 && !prev.ever_deleted && id == prev.id + prev.len &&
+        origin_left == prev.id + prev.len - 1 && origin_right == prev.origin_right) {
+      prev.len += len;
+      IndexAssign(id, len, at.leaf);
+      PropagateDelta(at.leaf, static_cast<int64_t>(len), static_cast<int64_t>(len));
+      if (chain) {
+        insert_cache_.valid = true;
+        insert_cache_.prep_pos = chain_pos + len;
+        insert_cache_.leaf = at.leaf;
+        insert_cache_.idx = at.idx;
+        insert_cache_.left_id = id + len - 1;
+      }
+      return;
+    }
+  }
+  at = SplitAt(at);
   Span s;
   s.id = id;
   s.len = len;
@@ -579,6 +688,15 @@ void StateTree::InsertSpan(const Cursor& c, Lv id, uint64_t len, Lv origin_left,
 
 void StateTree::MarkDeleted(const Cursor& c, uint64_t count) {
   EGW_CHECK(count > 0);
+  // If the caller deletes the characters the last FindPrepChar found, the
+  // boundary after the tombstone anchors the next lookup of the run: a
+  // forward run re-queries the same prepare position, a backspace run the
+  // position just before it.
+  const bool pc_chain = pc_pending_valid_ && c.leaf == pc_pending_cursor_.leaf &&
+                        c.idx == pc_pending_cursor_.idx && c.offset <= pc_pending_cursor_.offset &&
+                        pc_pending_cursor_.offset < c.offset + count;
+  const uint64_t anchor_pos =
+      pc_chain ? pc_pending_pos_ - (pc_pending_cursor_.offset - c.offset) : 0;
   InvalidateCaches();
   Cursor at = SplitAt(c);
   EGW_CHECK(at.idx < at.leaf->count);
@@ -598,6 +716,23 @@ void StateTree::MarkDeleted(const Cursor& c, uint64_t count) {
   d_prep += static_cast<int64_t>(s.prep_units());
   d_eff += static_cast<int64_t>(s.eff_units());
   PropagateDelta(at.leaf, d_prep, d_eff);
+  if (pc_chain) {
+    // A sequential delete run: rejoin the tombstone with the runs the
+    // sequence carved it from, so a long run stays a handful of spans, and
+    // anchor the boundary after it for the run's next lookup. Deletes
+    // outside a run are skipped deliberately — their events are retreated/
+    // advanced later, which would split the merge right back.
+    Leaf* lf = at.leaf;
+    int idx = at.idx;
+    MergeWithPrev(lf, idx + 1);
+    if (MergeWithPrev(lf, idx)) {
+      --idx;
+    }
+    prep_char_cache_.valid = true;
+    prep_char_cache_.pos = anchor_pos;
+    prep_char_cache_.leaf = lf;
+    prep_char_cache_.idx = idx + 1;
+  }
 }
 
 bool StateTree::MarkDeletedIdempotent(const Cursor& c, uint64_t count) {
@@ -621,6 +756,9 @@ bool StateTree::MarkDeletedIdempotent(const Cursor& c, uint64_t count) {
   d_prep += static_cast<int64_t>(s.prep_units());
   d_eff += static_cast<int64_t>(s.eff_units());
   PropagateDelta(at.leaf, d_prep, d_eff);
+  // The reference CRDT never retreats, so tombstone merges always pay off.
+  MergeWithPrev(at.leaf, at.idx + 1);
+  MergeWithPrev(at.leaf, at.idx);
   return was_visible;
 }
 
@@ -642,6 +780,9 @@ void StateTree::AdjustPrep(const Cursor& c, uint64_t count, int delta) {
   s.prep = static_cast<uint32_t>(static_cast<int64_t>(s.prep) + delta);
   d_prep += static_cast<int64_t>(s.prep_units());
   PropagateDelta(at.leaf, d_prep, 0);
+  // Deliberately no coalescing here: retreat/advance revisits the same
+  // event ranges across walk steps, and re-merging after every adjustment
+  // would force the next adjustment to split the span again.
 }
 
 // ---------------------------------------------------------------------------

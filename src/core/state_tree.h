@@ -26,7 +26,22 @@
 // the position immediately after the previous InsertSpan — the common case
 // of a typing run chopped into several op slices — the cached boundary
 // cursor and left origin are returned without descending the tree. Any
-// non-insert mutation invalidates the cache.
+// non-insert mutation invalidates the cache. A sibling cache serves delete
+// runs: MarkDeleted anchors the boundary after the tombstone it just wrote,
+// and the next FindPrepChar resolves positions near that anchor (the same
+// position for forward deletes, slightly before it for backspace runs) by a
+// short local scan instead of a descent.
+//
+// Runs are coalesced aggressively: a mutation that leaves two physically
+// adjacent spans with chaining ids, chaining origins, and identical
+// (prep, ever_deleted) state merges them in place. Typing runs split across
+// op slices collapse back into one record, and delete/retreat runs collapse
+// their tombstones, keeping span_count near the paper's run-length bound.
+//
+// Leaves and internal nodes come from per-tree recycling pools
+// (util/pool.h): Reset at every critical version returns the whole tree to
+// the freelist and the next window rebuilds from it without touching the
+// global allocator.
 //
 // Placeholder spans (Section 3.6) stand in for the unknown document content
 // at the replay window's base version: prepare- and effect-visible, with
@@ -40,6 +55,7 @@
 #include "core/id_index.h"
 #include "core/walker_types.h"
 #include "graph/frontier.h"
+#include "util/pool.h"
 
 namespace egwalker {
 
@@ -143,8 +159,14 @@ class StateTree {
   // Inserts `span` at a run boundary cursor, splitting the leaf if full.
   // Records where the span landed in last_insert_{leaf_,idx_}.
   void InsertAtBoundary(Cursor c, const Span& span);
+  // Merges spans[idx] into spans[idx - 1] when ids, origins, and states all
+  // chain; returns true if it merged (span_count_ shrinks by one).
+  bool MergeWithPrev(Leaf* leaf, int idx);
   void FreeNode(void* node, bool is_leaf);
   void InvalidateCaches() const;
+  // Resolves a prepare position near the delete-run anchor without a
+  // descent; false when the anchor cannot answer it.
+  bool FindPrepCharFromAnchor(uint64_t pos, Cursor* out) const;
 
   void* root_ = nullptr;  // Leaf* or Internal*.
   bool root_is_leaf_ = true;
@@ -173,6 +195,28 @@ class StateTree {
   mutable bool pending_valid_ = false;
   mutable uint64_t pending_pos_ = 0;
   mutable Cursor pending_cursor_;
+
+  // Delete-run adjacency cache: the boundary right after the tombstone the
+  // previous MarkDeleted wrote, keyed by its prepare-visible prefix. A
+  // forward delete run queries the same prepare position again; a backspace
+  // run queries just before it. Both resolve by a short scan from here.
+  struct PrepCharCache {
+    bool valid = false;
+    uint64_t pos = 0;  // Prepare-visible characters before the boundary.
+    Leaf* leaf = nullptr;
+    int idx = 0;
+  };
+  mutable PrepCharCache prep_char_cache_;
+  // The last FindPrepChar result; lets MarkDeleted establish the cache when
+  // the caller deletes the characters it just searched for.
+  mutable bool pc_pending_valid_ = false;
+  mutable uint64_t pc_pending_pos_ = 0;
+  mutable Cursor pc_pending_cursor_;
+
+  // Node recycling (see util/pool.h): Reset at critical versions returns
+  // every node here instead of the global allocator.
+  FreePool<Leaf> leaf_pool_;
+  FreePool<Internal> internal_pool_;
 };
 
 }  // namespace egwalker

@@ -76,32 +76,62 @@ Metrics MetricsOf(const Rope::Node* n) {
   return MetricsOfInternal(static_cast<const Rope::Internal*>(n));
 }
 
+// Byte offset of char `pos` inside a leaf. All-ASCII leaves (the common
+// case: nbytes == nchars) translate with no scan at all.
+size_t LeafByteOfChar(const Rope::Leaf* l, size_t pos) {
+  if (l->nbytes == l->nchars) {
+    return pos;
+  }
+  return Utf8ByteOfChar(l->view(), pos);
+}
+
+// Byte offset of char `pos + count` given that char `pos` starts at byte
+// `from`: resumes the scan there instead of from the leaf start.
+size_t LeafByteOfCharAfter(const Rope::Leaf* l, size_t from, size_t count) {
+  if (l->nbytes == l->nchars) {
+    return from + count;
+  }
+  return from + Utf8ByteOfChar(std::string_view(l->data + from, l->nbytes - from), count);
+}
+
+// Retention caps: replay churn frees and reallocates nodes in small bursts
+// (a merge here, a split there), so a few cached slots capture the
+// recycling win while a long-lived document retains under 2 KiB — below
+// the noise floor of the fig10 steady-state measurements.
+constexpr size_t kMaxCachedLeaves = 4;
+constexpr size_t kMaxCachedInternals = 2;
+
 }  // namespace
+
+Rope::Leaf* Rope::NewLeaf() { return leaf_pool_.New(); }
+Rope::Internal* Rope::NewInternal() { return internal_pool_.New(); }
+void Rope::FreeLeaf(Leaf* l) { leaf_pool_.Delete(l); }
+void Rope::FreeInternal(Internal* in) { internal_pool_.Delete(in); }
 
 void Rope::DeleteNode(Node* n) {
   if (n == nullptr) {
     return;
   }
   if (n->is_leaf) {
-    delete static_cast<Leaf*>(n);
+    FreeLeaf(static_cast<Leaf*>(n));
     return;
   }
   Internal* in = static_cast<Internal*>(n);
   for (int i = 0; i < in->count; ++i) {
     DeleteNode(in->children[i].node);
   }
-  delete in;
+  FreeInternal(in);
 }
 
 Rope::Node* Rope::CloneNode(const Node* n) {
   if (n->is_leaf) {
     const Leaf* l = static_cast<const Leaf*>(n);
-    Leaf* copy = new Leaf();
+    Leaf* copy = NewLeaf();
     *copy = *l;
     return copy;
   }
   const Internal* in = static_cast<const Internal*>(n);
-  Internal* copy = new Internal();
+  Internal* copy = NewInternal();
   copy->count = in->count;
   for (int i = 0; i < in->count; ++i) {
     copy->children[i] = in->children[i];
@@ -110,14 +140,19 @@ Rope::Node* Rope::CloneNode(const Node* n) {
   return copy;
 }
 
-Rope::Rope() = default;
+Rope::Rope() {
+  leaf_pool_.set_max_cached(kMaxCachedLeaves);
+  internal_pool_.set_max_cached(kMaxCachedInternals);
+}
 
-Rope::Rope(std::string_view utf8) { InsertAt(0, utf8); }
+Rope::Rope(std::string_view utf8) : Rope() { InsertAt(0, utf8); }
 
 Rope::~Rope() { DeleteNode(root_); }
 
-Rope::Rope(Rope&& other) noexcept
-    : root_(other.root_), root_bytes_(other.root_bytes_), root_chars_(other.root_chars_) {
+Rope::Rope(Rope&& other) noexcept : Rope() {
+  root_ = other.root_;
+  root_bytes_ = other.root_bytes_;
+  root_chars_ = other.root_chars_;
   other.root_ = nullptr;
   other.root_bytes_ = 0;
   other.root_chars_ = 0;
@@ -126,6 +161,8 @@ Rope::Rope(Rope&& other) noexcept
 
 Rope& Rope::operator=(Rope&& other) noexcept {
   if (this != &other) {
+    // Nodes are individually heap-allocated, so adopting another rope's
+    // tree is safe: this rope's pool frees them later.
     DeleteNode(root_);
     root_ = other.root_;
     root_bytes_ = other.root_bytes_;
@@ -139,10 +176,11 @@ Rope& Rope::operator=(Rope&& other) noexcept {
   return *this;
 }
 
-Rope::Rope(const Rope& other)
-    : root_(other.root_ ? CloneNode(other.root_) : nullptr),
-      root_bytes_(other.root_bytes_),
-      root_chars_(other.root_chars_) {}
+Rope::Rope(const Rope& other) : Rope() {
+  root_ = other.root_ ? CloneNode(other.root_) : nullptr;
+  root_bytes_ = other.root_bytes_;
+  root_chars_ = other.root_chars_;
+}
 
 Rope& Rope::operator=(const Rope& other) {
   if (this != &other) {
@@ -186,7 +224,7 @@ void Rope::InsertAt(size_t char_pos, std::string_view text) {
 void Rope::ApplyLeafInsert(Leaf* leaf, size_t pos, std::string_view text,
                            const std::vector<PathStep>& path) {
   EGW_DCHECK(pos <= leaf->nchars);
-  size_t byte_pos = Utf8ByteOfChar(leaf->view(), pos);
+  size_t byte_pos = LeafByteOfChar(leaf, pos);
   size_t tchars = Utf8CountChars(text);
   std::memmove(leaf->data + byte_pos + text.size(), leaf->data + byte_pos,
                leaf->nbytes - byte_pos);
@@ -203,7 +241,7 @@ void Rope::ApplyLeafInsert(Leaf* leaf, size_t pos, std::string_view text,
 
 void Rope::InsertChunk(size_t char_pos, std::string_view text) {
   if (root_ == nullptr) {
-    root_ = new Leaf();
+    root_ = NewLeaf();
   }
 
   // Fast path: the edit lands inside the cached leaf and fits — patch the
@@ -247,13 +285,13 @@ void Rope::InsertChunk(size_t char_pos, std::string_view text) {
   // The leaf splits: the slow path below rebuilds metrics bottom-up and may
   // reshape the tree, so the cache cannot survive.
   InvalidateEditCache();
-  size_t byte_pos = Utf8ByteOfChar(leaf->view(), pos);
+  size_t byte_pos = LeafByteOfChar(leaf, pos);
   Node* new_sibling = nullptr;  // Set if the leaf splits.
   {
     // Split the leaf near the middle (on a scalar boundary), then insert the
     // chunk into whichever half now covers byte_pos. text.size() <= kMaxChunk
     // guarantees it fits after the split.
-    Leaf* right = new Leaf();
+    Leaf* right = NewLeaf();
     size_t split = leaf->nbytes / 2;
     while (split > 0 && !IsUtf8CharStart(static_cast<uint8_t>(leaf->data[split]))) {
       --split;
@@ -302,7 +340,7 @@ void Rope::InsertChunk(size_t char_pos, std::string_view text) {
     } else {
       // Split this internal node in half; insert the entry into the correct
       // half, and propagate the new right internal upward.
-      Internal* right = new Internal();
+      Internal* right = NewInternal();
       int half = kMaxChildren / 2;
       right->count = kMaxChildren - half;
       for (int j = 0; j < right->count; ++j) {
@@ -326,7 +364,7 @@ void Rope::InsertChunk(size_t char_pos, std::string_view text) {
 
   if (new_sibling != nullptr) {
     // The root itself split: grow the tree by one level.
-    Internal* new_root = new Internal();
+    Internal* new_root = NewInternal();
     Metrics lm = MetricsOf(root_);
     Metrics rm = MetricsOf(new_sibling);
     new_root->count = 2;
@@ -358,8 +396,8 @@ void Rope::RemoveOnce(size_t char_pos, size_t* char_count) {
     size_t pos = char_pos - edit_cache_.leaf_start;
     size_t take = std::min<size_t>(leaf->nchars - pos, *char_count);
     if (take < leaf->nchars || edit_cache_.path.empty()) {
-      size_t byte_from = Utf8ByteOfChar(leaf->view(), pos);
-      size_t byte_to = Utf8ByteOfChar(leaf->view(), pos + take);
+      size_t byte_from = LeafByteOfChar(leaf, pos);
+      size_t byte_to = LeafByteOfCharAfter(leaf, byte_from, take);
       size_t bytes_removed = byte_to - byte_from;
       std::memmove(leaf->data + byte_from, leaf->data + byte_to, leaf->nbytes - byte_to);
       leaf->nbytes -= static_cast<uint32_t>(bytes_removed);
@@ -393,8 +431,8 @@ void Rope::RemoveOnce(size_t char_pos, size_t* char_count) {
   EGW_CHECK(pos < leaf->nchars);
 
   size_t take = std::min<size_t>(leaf->nchars - pos, *char_count);
-  size_t byte_from = Utf8ByteOfChar(leaf->view(), pos);
-  size_t byte_to = Utf8ByteOfChar(leaf->view(), pos + take);
+  size_t byte_from = LeafByteOfChar(leaf, pos);
+  size_t byte_to = LeafByteOfCharAfter(leaf, byte_from, take);
   size_t bytes_removed = byte_to - byte_from;
   std::memmove(leaf->data + byte_from, leaf->data + byte_to, leaf->nbytes - byte_to);
   leaf->nbytes -= static_cast<uint32_t>(bytes_removed);
@@ -409,7 +447,7 @@ void Rope::RemoveOnce(size_t char_pos, size_t* char_count) {
   // re-establish the cache when the tree's shape survived intact.
   bool structural = drop_child;
   if (drop_child) {
-    delete leaf;
+    FreeLeaf(leaf);
   }
 
   // Fix up ancestors; remove emptied nodes on the way.
@@ -423,7 +461,7 @@ void Rope::RemoveOnce(size_t char_pos, size_t* char_count) {
       --in->count;
       drop_child = false;
       if (in->count == 0 && level > 0) {
-        delete in;
+        FreeInternal(in);
         drop_child = true;
         continue;
       }
@@ -443,7 +481,7 @@ void Rope::RemoveOnce(size_t char_pos, size_t* char_count) {
           a->nchars += b->nchars;
           in->children[idx].bytes = a->nbytes;
           in->children[idx].chars = a->nchars;
-          delete b;
+          FreeLeaf(b);
           for (int j = idx + 1; j + 1 < in->count; ++j) {
             in->children[j] = in->children[j + 1];
           }
@@ -458,10 +496,10 @@ void Rope::RemoveOnce(size_t char_pos, size_t* char_count) {
     Internal* in = static_cast<Internal*>(root_);
     if (in->count == 1) {
       root_ = in->children[0].node;
-      delete in;
+      FreeInternal(in);
       structural = true;
     } else if (in->count == 0) {
-      delete in;
+      FreeInternal(in);
       root_ = nullptr;
       structural = true;
     }
@@ -525,8 +563,8 @@ std::string Rope::Substring(size_t char_pos, size_t char_count) const {
     }
     const Leaf* l = static_cast<const Leaf*>(n);
     size_t take = std::min<size_t>(l->nchars - p, remaining);
-    size_t from = Utf8ByteOfChar(l->view(), p);
-    size_t to = Utf8ByteOfChar(l->view(), p + take);
+    size_t from = LeafByteOfChar(l, p);
+    size_t to = LeafByteOfCharAfter(l, from, take);
     out.append(l->data + from, to - from);
     pos += take;
     remaining -= take;
@@ -548,7 +586,7 @@ uint32_t Rope::CharAt(size_t char_pos) const {
     n = in->children[i].node;
   }
   const Leaf* l = static_cast<const Leaf*>(n);
-  size_t byte = Utf8ByteOfChar(l->view(), pos);
+  size_t byte = LeafByteOfChar(l, pos);
   size_t len;
   return Utf8DecodeAt(l->view(), byte, &len);
 }

@@ -13,6 +13,12 @@
 // just patches the cached path's counts. Any structural change invalidates
 // the cache.
 //
+// Nodes come from per-rope recycling pools (util/pool.h) with a small
+// retention cap, so split/merge churn during replay reuses storage instead
+// of hitting the global allocator, while a long-lived document retains at
+// most a few cached nodes. Nodes are individually heap-allocated, so moves
+// can transfer a tree between ropes; the receiving rope's pool frees it.
+//
 // Indexing is by Unicode scalar value, matching the index space of editing
 // operations; storage is UTF-8 bytes, matching what is written to disk.
 //
@@ -28,6 +34,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/pool.h"
 
 namespace egwalker {
 
@@ -92,8 +100,12 @@ class Rope {
     int child_idx;
   };
 
-  static void DeleteNode(Node* n);
-  static Node* CloneNode(const Node* n);
+  Leaf* NewLeaf();
+  Internal* NewInternal();
+  void FreeLeaf(Leaf* l);
+  void FreeInternal(Internal* in);
+  void DeleteNode(Node* n);
+  Node* CloneNode(const Node* n);
 
   // Inserts `text` (guaranteed to fit in a leaf after a possible split)
   // descending from the root, updating counts on the way down. Returns
@@ -121,6 +133,10 @@ class Rope {
   EditCache edit_cache_;
   // Descent scratch, reused across edits so the hot path never allocates.
   std::vector<PathStep> path_scratch_;
+  // Node recycling with a small retention cap (see util/pool.h): replay
+  // churn reuses nodes, long-lived documents stay lean.
+  FreePool<Leaf> leaf_pool_;
+  FreePool<Internal> internal_pool_;
 };
 
 }  // namespace egwalker

@@ -1,0 +1,113 @@
+// A recycling freelist pool for fixed-type tree nodes.
+//
+// The replay hot path rebuilds the internal state at every critical version
+// (StateTree::Reset, Section 3.5) and reshapes rope leaves continuously;
+// with the global allocator that is a new/delete pair per node per rebuild.
+// FreePool<T> keeps freed nodes on an intrusive LIFO freelist instead:
+// Delete() runs the destructor and caches the storage, New() pops the cache
+// (placement-new) and only falls back to `::operator new` when the cache is
+// empty. A Reset/rebuild cycle therefore allocates nothing once the pool has
+// warmed up to the high-water mark of live nodes.
+//
+// Nodes are individually allocated with the global `::operator new`, so a
+// node obtained from one pool may be released into another (or plain
+// `delete`d) — Rope exploits this for cheap move semantics. The freelist
+// link is stored in the first word of the dead object's storage, which is
+// why T must be at least pointer-sized.
+//
+// Recycling contract with memtrack (util/memtrack.h, the Figure 10 heap
+// accounting): cached nodes were allocated through the tracked
+// `::operator new` and are NOT released until Purge() or pool destruction,
+// so memtrack counts them as live heap. This keeps the fig10 numbers honest
+// — a pool cannot hide memory from the peak/steady measurements, it can
+// only retain it visibly. Peak usage is unchanged by recycling (the cache
+// never exceeds the high-water mark of live nodes), and owners measured at
+// steady state either die before the measurement (the Walker's StateTree)
+// or bound their retention with set_max_cached() (Rope).
+
+#ifndef EGWALKER_UTIL_POOL_H_
+#define EGWALKER_UTIL_POOL_H_
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace egwalker {
+
+template <typename T>
+class FreePool {
+ public:
+  FreePool() = default;
+  FreePool(const FreePool&) = delete;
+  FreePool& operator=(const FreePool&) = delete;
+  FreePool(FreePool&& other) noexcept
+      : head_(other.head_), cached_(other.cached_), max_cached_(other.max_cached_) {
+    other.head_ = nullptr;
+    other.cached_ = 0;
+  }
+  FreePool& operator=(FreePool&& other) noexcept {
+    if (this != &other) {
+      Purge();
+      head_ = other.head_;
+      cached_ = other.cached_;
+      max_cached_ = other.max_cached_;
+      other.head_ = nullptr;
+      other.cached_ = 0;
+    }
+    return *this;
+  }
+  ~FreePool() { Purge(); }
+
+  // Constructs a T, reusing cached storage when available.
+  template <typename... Args>
+  T* New(Args&&... args) {
+    static_assert(sizeof(T) >= sizeof(void*), "node too small for a freelist link");
+    static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                  "over-aligned nodes need an aligned allocation path");
+    void* p = head_;
+    if (p != nullptr) {
+      head_ = *static_cast<void**>(p);
+      --cached_;
+    } else {
+      p = ::operator new(sizeof(T));
+    }
+    return ::new (p) T(std::forward<Args>(args)...);
+  }
+
+  // Destroys `t` and caches its storage (or frees it past the cap).
+  void Delete(T* t) {
+    t->~T();
+    if (cached_ >= max_cached_) {
+      ::operator delete(static_cast<void*>(t));
+      return;
+    }
+    void* p = static_cast<void*>(t);
+    *static_cast<void**>(p) = head_;
+    head_ = p;
+    ++cached_;
+  }
+
+  // Releases every cached slot back to the global allocator.
+  void Purge() {
+    while (head_ != nullptr) {
+      void* next = *static_cast<void**>(head_);
+      ::operator delete(head_);
+      head_ = next;
+    }
+    cached_ = 0;
+  }
+
+  // Bounds retention: Delete() frees outright once `n` slots are cached.
+  void set_max_cached(size_t n) { max_cached_ = n; }
+
+  size_t cached() const { return cached_; }
+
+ private:
+  void* head_ = nullptr;
+  size_t cached_ = 0;
+  size_t max_cached_ = static_cast<size_t>(-1);
+};
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_UTIL_POOL_H_

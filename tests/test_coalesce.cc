@@ -1,0 +1,330 @@
+// Differential tests for StateTree run coalescing: the coalesced tree must
+// be piece-wise indistinguishable from a non-coalesced flat per-character
+// reference — same (id, prep, ever_deleted) sequence, same per-character
+// origins as PieceAt derives them — over randomised edit scripts that mirror
+// the walker's access patterns (typing runs chopped into slices, forward
+// delete runs, backspace runs, retreat/advance), with CheckInvariants after
+// every operation. Plus targeted checks that coalescing actually fires.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/state_tree.h"
+#include "util/prng.h"
+
+namespace egwalker {
+namespace {
+
+struct RefChar {
+  Lv id;
+  uint32_t prep;
+  bool ever_deleted;
+  Lv origin_left;
+  Lv origin_right;
+};
+
+// The non-coalesced reference: one record per character.
+class RefState {
+ public:
+  // Mirrors FindPrepInsert: index after the pos-th prepare-visible char.
+  size_t InsertIndex(uint64_t pos, Lv* origin_left) const {
+    *origin_left = kOriginStart;
+    size_t i = 0;
+    uint64_t remaining = pos;
+    while (remaining > 0) {
+      if (chars_[i].prep == 1) {
+        --remaining;
+        *origin_left = chars_[i].id;
+      }
+      ++i;
+    }
+    return i;
+  }
+  // Mirrors the walker's right-origin scan: first record with prep >= 1 at
+  // or after `idx`.
+  Lv OriginRightAt(size_t idx) const {
+    for (size_t i = idx; i < chars_.size(); ++i) {
+      if (chars_[i].prep >= 1) {
+        return chars_[i].id;
+      }
+    }
+    return kOriginEnd;
+  }
+  size_t CharIndex(uint64_t pos) const {
+    size_t i = 0;
+    uint64_t remaining = pos;
+    for (;; ++i) {
+      if (chars_[i].prep == 1) {
+        if (remaining == 0) {
+          return i;
+        }
+        --remaining;
+      }
+    }
+  }
+  uint64_t PrepVisible() const {
+    uint64_t n = 0;
+    for (const RefChar& c : chars_) {
+      n += c.prep == 1 ? 1 : 0;
+    }
+    return n;
+  }
+  std::vector<RefChar> chars_;
+};
+
+// Walker-style insert: derive both origins the way ApplyInsertSlice does,
+// apply to tree and reference.
+void DoInsert(StateTree& tree, RefState& ref, uint64_t pos, Lv id, uint64_t len) {
+  Lv origin_left = kOriginStart;
+  StateTree::Cursor cursor = tree.FindPrepInsert(pos, &origin_left);
+  Lv origin_right = kOriginEnd;
+  for (StateTree::Cursor scan = cursor; !tree.AtEnd(scan); scan = tree.NextPiece(scan)) {
+    StateTree::Piece piece = tree.PieceAt(scan);
+    if (piece.prep >= 1) {
+      origin_right = piece.first_id;
+      break;
+    }
+  }
+  Lv ref_left;
+  size_t idx = ref.InsertIndex(pos, &ref_left);
+  ASSERT_EQ(origin_left, ref_left) << "insert origin_left at pos " << pos;
+  ASSERT_EQ(origin_right, ref.OriginRightAt(idx)) << "insert origin_right at pos " << pos;
+  tree.InsertSpan(cursor, id, len, origin_left, origin_right);
+  for (uint64_t k = 0; k < len; ++k) {
+    ref.chars_.insert(ref.chars_.begin() + static_cast<long>(idx + k),
+                      RefChar{id + k, 1, false, k == 0 ? origin_left : id + k - 1, origin_right});
+  }
+}
+
+// Walker-style delete run (ApplyDeleteSlice): `count` chars starting at
+// prepare position `pos`, forward or backspace.
+void DoDeleteRun(StateTree& tree, RefState& ref, uint64_t pos, uint64_t count, bool fwd) {
+  uint64_t left = count;
+  while (left > 0) {
+    StateTree::Cursor cursor = tree.FindPrepChar(pos);
+    uint64_t take;
+    StateTree::Cursor range_start = cursor;
+    if (fwd) {
+      take = std::min(left, tree.SpanRemaining(cursor));
+    } else {
+      uint64_t avail = cursor.offset + 1;
+      take = std::min(left, avail);
+      range_start = StateTree::Cursor{cursor.leaf, cursor.idx, cursor.offset - (take - 1)};
+    }
+    size_t idx = ref.CharIndex(pos);
+    if (!fwd) {
+      idx -= take - 1;
+    }
+    tree.MarkDeleted(range_start, take);
+    for (uint64_t k = 0; k < take; ++k) {
+      ref.chars_[idx + k].prep = 2;
+      ref.chars_[idx + k].ever_deleted = true;
+    }
+    left -= take;
+    if (!fwd) {
+      if (pos < take) {
+        return;  // Ran into the document start.
+      }
+      pos -= take;
+    }
+    ASSERT_TRUE(tree.CheckInvariants());
+    if (left > 0 && tree.total_prep_visible() == 0) {
+      return;
+    }
+    if (!fwd && pos >= tree.total_prep_visible()) {
+      return;
+    }
+    if (fwd && pos >= tree.total_prep_visible()) {
+      return;
+    }
+  }
+}
+
+// Walker-style retreat/advance (AdjustPrepRange): span-at-a-time over ids.
+void DoAdjust(StateTree& tree, RefState& ref, Lv id_start, uint64_t count, int delta) {
+  Lv id = id_start;
+  uint64_t left = count;
+  while (left > 0) {
+    StateTree::Cursor cursor = tree.FindById(id);
+    uint64_t take = std::min<uint64_t>(left, tree.SpanRemaining(cursor));
+    tree.AdjustPrep(cursor, take, delta);
+    id += take;
+    left -= take;
+  }
+  for (RefChar& c : ref.chars_) {
+    if (c.id >= id_start && c.id < id_start + count) {
+      c.prep = static_cast<uint32_t>(static_cast<int>(c.prep) + delta);
+    }
+  }
+}
+
+void CheckAgainstRef(const StateTree& tree, const RefState& ref) {
+  // Sequence equality, expanded per character.
+  std::vector<RefChar> flat;
+  for (StateTree::Cursor c = tree.Begin(); !tree.AtEnd(c); c = tree.NextPiece(c)) {
+    StateTree::Piece p = tree.PieceAt(c);
+    for (uint64_t k = 0; k < p.len; ++k) {
+      flat.push_back(RefChar{p.first_id + k, p.prep, p.ever_deleted,
+                             k == 0 ? p.eff_origin_left : p.first_id + k - 1, p.origin_right});
+    }
+  }
+  ASSERT_EQ(flat.size(), ref.chars_.size());
+  for (size_t i = 0; i < flat.size(); ++i) {
+    ASSERT_EQ(flat[i].id, ref.chars_[i].id) << i;
+    ASSERT_EQ(flat[i].prep, ref.chars_[i].prep) << i;
+    ASSERT_EQ(flat[i].ever_deleted, ref.chars_[i].ever_deleted) << i;
+    ASSERT_EQ(flat[i].origin_left, ref.chars_[i].origin_left) << "id " << flat[i].id;
+    ASSERT_EQ(flat[i].origin_right, ref.chars_[i].origin_right) << "id " << flat[i].id;
+  }
+  // Per-id piece view must match too (mid-span cursor derivation).
+  for (const RefChar& rc : ref.chars_) {
+    StateTree::Piece p = tree.PieceAt(tree.FindById(rc.id));
+    ASSERT_EQ(p.first_id, rc.id);
+    ASSERT_EQ(p.prep, rc.prep);
+    ASSERT_EQ(p.ever_deleted, rc.ever_deleted);
+    ASSERT_EQ(p.eff_origin_left, rc.origin_left) << "id " << rc.id;
+    ASSERT_EQ(p.origin_right, rc.origin_right) << "id " << rc.id;
+  }
+}
+
+TEST(Coalesce, TypingRunStaysOneSpan) {
+  // A typing run chopped into op slices with chaining LVs collapses into a
+  // single record, like the paper's run-length bound promises.
+  StateTree tree;
+  tree.Reset(0);
+  uint64_t pos = 0;
+  Lv id = 0;
+  for (int i = 0; i < 200; ++i) {
+    uint64_t len = 1 + (i % 3);
+    Lv origin;
+    StateTree::Cursor c = tree.FindPrepInsert(pos, &origin);
+    tree.InsertSpan(c, id, len, origin, kOriginEnd);
+    pos += len;
+    id += len;
+    ASSERT_TRUE(tree.CheckInvariants());
+  }
+  EXPECT_EQ(tree.span_count(), 1u);
+  EXPECT_EQ(tree.total_prep_visible(), pos);
+}
+
+TEST(Coalesce, BackspaceRunTombstonesMerge) {
+  StateTree tree;
+  tree.Reset(0);
+  tree.InsertSpan(tree.Begin(), 0, 100, kOriginStart, kOriginEnd);
+  RefState ref;
+  for (Lv k = 0; k < 100; ++k) {
+    ref.chars_.push_back(RefChar{k, 1, false, k == 0 ? kOriginStart : k - 1, kOriginEnd});
+  }
+  // Backspace 40 chars ending at position 79.
+  DoDeleteRun(tree, ref, 79, 40, /*fwd=*/false);
+  ASSERT_TRUE(tree.CheckInvariants());
+  // head (0..39) + one merged tombstone (40..79) + tail (80..99).
+  EXPECT_EQ(tree.span_count(), 3u);
+  CheckAgainstRef(tree, ref);
+}
+
+TEST(Coalesce, ForwardDeleteRunTombstonesMerge) {
+  StateTree tree;
+  tree.Reset(0);
+  tree.InsertSpan(tree.Begin(), 0, 100, kOriginStart, kOriginEnd);
+  RefState ref;
+  for (Lv k = 0; k < 100; ++k) {
+    ref.chars_.push_back(RefChar{k, 1, false, k == 0 ? kOriginStart : k - 1, kOriginEnd});
+  }
+  DoDeleteRun(tree, ref, 20, 50, /*fwd=*/true);
+  ASSERT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.span_count(), 3u);
+  CheckAgainstRef(tree, ref);
+}
+
+TEST(Coalesce, RetreatAdvanceKeepsSliceBoundaries) {
+  // Retreat/advance deliberately does NOT re-merge: the walker revisits the
+  // same event ranges across walk steps, and keeping the slice boundaries
+  // avoids split/merge churn. The state must still be exactly right.
+  StateTree tree;
+  RefState unused;
+  tree.Reset(0);
+  tree.InsertSpan(tree.Begin(), 0, 60, kOriginStart, kOriginEnd);
+  DoAdjust(tree, unused, 20, 10, -1);  // prep 1 -> 0 for ids 20..29.
+  EXPECT_EQ(tree.span_count(), 3u);
+  EXPECT_EQ(tree.total_prep_visible(), 50u);
+  DoAdjust(tree, unused, 20, 10, +1);  // Back to prep 1.
+  ASSERT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.span_count(), 3u);  // Boundaries kept for the next pass.
+  EXPECT_EQ(tree.total_prep_visible(), 60u);
+  // A later sequential delete across the kept boundary still coalesces.
+  StateTree::Cursor c = tree.FindPrepChar(15);
+  tree.MarkDeleted(c, tree.SpanRemaining(c));
+  c = tree.FindPrepChar(15);
+  tree.MarkDeleted(c, 5);
+  ASSERT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.PieceAt(tree.FindById(15)).len, 10u);  // 15..24 merged.
+}
+
+TEST(Coalesce, RandomisedDifferentialAgainstFlatReference) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Prng rng(seed);
+    StateTree tree;
+    tree.Reset(0);
+    RefState ref;
+    Lv next_id = 0;
+    // Sticky typing-run state so chaining inserts actually occur.
+    bool run_active = false;
+    uint64_t run_pos = 0;
+
+    for (int step = 0; step < 500; ++step) {
+      uint64_t prep_total = tree.total_prep_visible();
+      ASSERT_EQ(prep_total, ref.PrepVisible());
+      double action = rng.NextDouble();
+      if (ref.chars_.empty() || action < 0.55) {
+        uint64_t len = 1 + rng.Below(4);
+        uint64_t pos;
+        if (run_active && rng.Chance(0.7) && run_pos <= prep_total) {
+          pos = run_pos;  // Continue the typing run: ids chain, spans merge.
+        } else {
+          pos = rng.Below(prep_total + 1);
+          next_id += 5;  // Break the id chain for a fresh run.
+        }
+        DoInsert(tree, ref, pos, next_id, len);
+        next_id += len;
+        run_active = true;
+        run_pos = pos + len;
+      } else if (action < 0.8 && prep_total > 0) {
+        bool fwd = rng.Chance(0.5);
+        uint64_t count = 1 + rng.Below(6);
+        uint64_t pos = rng.Below(prep_total);
+        if (!fwd) {
+          count = std::min<uint64_t>(count, pos + 1);
+        } else {
+          count = std::min<uint64_t>(count, prep_total - pos);
+        }
+        DoDeleteRun(tree, ref, pos, count, fwd);
+        run_active = false;
+      } else if (!ref.chars_.empty()) {
+        size_t mi = rng.Below(ref.chars_.size());
+        const RefChar& mc = ref.chars_[mi];
+        uint64_t span = 1 + rng.Below(3);
+        // Clamp to contiguous ids present in the reference.
+        uint64_t avail = 1;
+        while (avail < span && mi + avail < ref.chars_.size() &&
+               ref.chars_[mi + avail].id == mc.id + avail &&
+               ref.chars_[mi + avail].prep == mc.prep) {
+          ++avail;
+        }
+        int delta = (mc.prep > 0 && rng.Chance(0.5)) ? -1 : +1;
+        DoAdjust(tree, ref, mc.id, avail, delta);
+        run_active = false;
+      }
+      ASSERT_TRUE(tree.CheckInvariants()) << "seed " << seed << " step " << step;
+      // The coalesced tree can never need more spans than the reference has
+      // state-change boundaries; spot-check it stays run-length compressed.
+      ASSERT_LE(tree.span_count(), ref.chars_.size() + 1);
+    }
+    CheckAgainstRef(tree, ref);
+  }
+}
+
+}  // namespace
+}  // namespace egwalker

@@ -1,0 +1,124 @@
+// Tests for the block-wise (SWAR/SIMD) UTF-8 helpers: differential checks
+// of Utf8CountChars and Utf8ByteOfChar against byte-at-a-time references,
+// across block-boundary sizes and randomised multi-byte content.
+
+#include "rope/utf8.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/prng.h"
+
+namespace egwalker {
+namespace {
+
+// Byte-at-a-time references (the pre-SWAR implementations).
+size_t RefCountChars(std::string_view s) {
+  size_t n = 0;
+  for (char c : s) {
+    n += IsUtf8CharStart(static_cast<uint8_t>(c)) ? 1 : 0;
+  }
+  return n;
+}
+
+size_t RefByteOfChar(std::string_view s, size_t char_idx) {
+  size_t byte = 0;
+  size_t seen = 0;
+  while (byte < s.size()) {
+    if (IsUtf8CharStart(static_cast<uint8_t>(s[byte]))) {
+      if (seen == char_idx) {
+        return byte;
+      }
+      ++seen;
+    }
+    ++byte;
+  }
+  return s.size();
+}
+
+// A scalar value whose encoded length is 1..4 bytes.
+uint32_t RandomScalar(Prng& rng, int bytes) {
+  switch (bytes) {
+    case 1:
+      return static_cast<uint32_t>(rng.Below(0x80));
+    case 2:
+      return 0x80 + static_cast<uint32_t>(rng.Below(0x800 - 0x80));
+    case 3: {
+      // Skip the surrogate range (not scalar values).
+      uint32_t cp = 0x800 + static_cast<uint32_t>(rng.Below(0x10000 - 0x800 - 0x800));
+      return cp >= 0xd800 ? cp + 0x800 : cp;
+    }
+    default:
+      return 0x10000 + static_cast<uint32_t>(rng.Below(0x110000 - 0x10000));
+  }
+}
+
+TEST(Utf8, CountCharsAscii) {
+  EXPECT_EQ(Utf8CountChars(""), 0u);
+  EXPECT_EQ(Utf8CountChars("a"), 1u);
+  EXPECT_EQ(Utf8CountChars("hello world"), 11u);
+  // Sizes straddling the 8- and 16-byte block boundaries.
+  for (size_t n = 0; n <= 64; ++n) {
+    EXPECT_EQ(Utf8CountChars(std::string(n, 'x')), n) << n;
+  }
+}
+
+TEST(Utf8, CountCharsMultibyte) {
+  EXPECT_EQ(Utf8CountChars("caf\xc3\xa9"), 4u);                // cafe with acute.
+  EXPECT_EQ(Utf8CountChars("\xe6\x97\xa5\xe6\x9c\xac"), 2u);   // Two CJK chars.
+  EXPECT_EQ(Utf8CountChars("\xf0\x9f\x98\x80"), 1u);           // One emoji.
+}
+
+TEST(Utf8, ByteOfCharBasics) {
+  std::string_view s = "a\xc3\xa9z";
+  EXPECT_EQ(Utf8ByteOfChar(s, 0), 0u);
+  EXPECT_EQ(Utf8ByteOfChar(s, 1), 1u);
+  EXPECT_EQ(Utf8ByteOfChar(s, 2), 3u);
+  EXPECT_EQ(Utf8ByteOfChar(s, 3), 4u);  // One-past-the-end.
+  EXPECT_EQ(Utf8ByteOfChar("", 0), 0u);
+}
+
+TEST(Utf8, DifferentialRandomStrings) {
+  Prng rng(99);
+  for (int round = 0; round < 300; ++round) {
+    std::string s;
+    size_t len = rng.Below(200);
+    for (size_t i = 0; i < len; ++i) {
+      int bytes = 1 + static_cast<int>(rng.Below(4));
+      if (rng.Chance(0.6)) {
+        bytes = 1;  // Mostly ASCII, like real documents.
+      }
+      Utf8Append(s, RandomScalar(rng, bytes));
+    }
+    ASSERT_TRUE(Utf8IsValid(s)) << round;
+    size_t chars = RefCountChars(s);
+    ASSERT_EQ(Utf8CountChars(s), chars) << round;
+    for (size_t idx = 0; idx <= chars + 1; ++idx) {
+      ASSERT_EQ(Utf8ByteOfChar(s, idx), RefByteOfChar(s, idx))
+          << "round " << round << " idx " << idx;
+    }
+  }
+}
+
+TEST(Utf8, DifferentialUnalignedViews) {
+  // Block kernels must behave identically on any substring alignment.
+  Prng rng(123);
+  std::string s;
+  for (int i = 0; i < 500; ++i) {
+    Utf8Append(s, RandomScalar(rng, 1 + static_cast<int>(rng.Below(4))));
+  }
+  for (size_t from = 0; from < 40; ++from) {
+    for (size_t take : {0u, 1u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 33u, 100u}) {
+      std::string_view v = std::string_view(s).substr(from, take);
+      ASSERT_EQ(Utf8CountChars(v), RefCountChars(v)) << from << "+" << take;
+      size_t chars = RefCountChars(v);
+      for (size_t idx = 0; idx <= chars; ++idx) {
+        ASSERT_EQ(Utf8ByteOfChar(v, idx), RefByteOfChar(v, idx)) << from << "+" << take;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace egwalker

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate: compare fresh bench JSON against committed baselines.
+
+Used by the `bench-gate` CI job:
+
+    ./build/bench_fig8_merge --trace=S1,S2,S3 --scale=0.2  --json=ci_fig8_seq.json
+    ./build/bench_fig8_merge --trace=C1,C2,A1,A2 --scale=0.05 --json=ci_fig8_conc.json
+    ./build/bench_micro --json=ci_micro.json
+    python3 tools/check_bench.py \
+        --fig8-baseline BENCH_fig8.json --fig8 ci_fig8_seq.json ci_fig8_conc.json \
+        --micro-baseline BENCH_micro.json --micro ci_micro.json
+
+The committed baselines were measured on a different machine (and, for
+fig8, at different trace scales), so absolute times are not comparable.
+What IS comparable is the per-row ratio measured/baseline relative to the
+other rows: a uniform machine-speed or scale factor shifts every ratio
+equally, while a real regression in one code path makes its rows stand
+out. The gate therefore normalises each row's ratio by the median ratio
+of its group and fails when any row regresses by more than --threshold
+(default 30%) against that median. The gate scales are chosen to keep the
+baseline proportions (sequential traces 1.0 : concurrent 0.25 == 0.2 :
+0.05) so trace-size nonlinearity stays out of the ratios.
+
+A uniform, across-the-board slowdown is invisible to this gate by
+construction; it is caught instead by re-measuring interleaved
+before/after numbers into BENCH_fig8.json whenever a perf-relevant PR
+lands (see ROADMAP's perf-trajectory section).
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+# Rows whose mean is below this many ms in either measurement are too noisy
+# to gate on (timer jitter dominates).
+DEFAULT_MIN_MS = 0.5
+
+# fig8 algorithms worth gating: the hot paths this repo optimises. OT rows
+# are excluded entirely — OT replay is quadratic in the concurrency window,
+# so its measured/baseline ratio shifts with trace scale in a way the
+# median normalisation cannot cancel.
+FIG8_ALGORITHMS = (
+    "eg-walker (merge)",
+    "eg-walker/OT (cached load)",
+    "ref CRDT (merge=load)",
+    "naive CRDT (merge=load)",
+)
+
+
+def load_fig8_rows(path, section=None):
+    """Returns {(trace, algorithm): mean_ms} from a bench --json file, or from
+    a committed before/after document when `section` is given."""
+    with open(path) as f:
+        doc = json.load(f)
+    if section is not None:
+        doc = doc[section]
+    rows = {}
+    for part in doc.values() if "rows" not in doc else [doc]:
+        for row in part["rows"]:
+            key = (row["trace"], row["algorithm"])
+            rows[key] = row["mean_ms"]
+    return rows
+
+
+def load_micro_rows(path):
+    """Returns {name: time_ns} from google-benchmark JSON output."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") == "aggregate":
+            continue
+        unit = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[b.get("time_unit", "ns")]
+        rows[b["name"]] = b["real_time"] * unit
+    return rows
+
+
+def check_group(name, baseline, measured, threshold, min_ms=None):
+    """Returns the number of failing rows in one comparable group."""
+    pairs = []
+    for key in sorted(set(baseline) & set(measured)):
+        base, meas = baseline[key], measured[key]
+        if base <= 0:
+            continue
+        if min_ms is not None and (base < min_ms or meas < min_ms):
+            continue
+        pairs.append((key, base, meas, meas / base))
+    if len(pairs) < 3:
+        print(f"[{name}] only {len(pairs)} comparable rows - skipping gate")
+        return 0
+    median = statistics.median(r for (_, _, _, r) in pairs)
+    if median <= 0:
+        print(f"[{name}] degenerate median ratio - skipping gate")
+        return 0
+    limit = 1.0 + threshold
+    failures = 0
+    print(f"[{name}] {len(pairs)} rows, median measured/baseline ratio "
+          f"{median:.3f} (machine/scale factor, normalised out)")
+    for key, base, meas, ratio in pairs:
+        norm = ratio / median
+        flag = "FAIL" if norm > limit else "ok"
+        if norm > limit:
+            failures += 1
+        label = " | ".join(key) if isinstance(key, tuple) else key
+        print(f"  {flag:4} {label:<55} base {base:>12.4f}  meas {meas:>12.4f}"
+              f"  norm x{norm:.3f}")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--fig8-baseline", help="committed BENCH_fig8.json (uses its 'after' section)")
+    ap.add_argument("--fig8-section", default="after",
+                    help="section of the committed fig8 baseline to compare against")
+    ap.add_argument("--fig8", nargs="*", default=[], help="fresh bench_fig8_merge --json outputs")
+    ap.add_argument("--micro-baseline", help="committed BENCH_micro.json")
+    ap.add_argument("--micro", nargs="*", default=[], help="fresh bench_micro --json outputs")
+    ap.add_argument("--threshold", type=float, default=0.30,
+                    help="maximum tolerated median-normalised regression (0.30 = 30%%)")
+    ap.add_argument("--micro-threshold", type=float, default=0.50,
+                    help="threshold for the micro group: its rows mix SIMD-, "
+                         "allocator-, and branch-bound kernels whose relative "
+                         "speed shifts between CPU families, so it needs more "
+                         "headroom than the homogeneous fig8 replay rows")
+    ap.add_argument("--min-ms", type=float, default=DEFAULT_MIN_MS,
+                    help="ignore fig8 rows faster than this (noise floor)")
+    args = ap.parse_args()
+
+    failures = 0
+    if args.fig8_baseline and args.fig8:
+        baseline = load_fig8_rows(args.fig8_baseline, section=args.fig8_section)
+        baseline = {k: v for k, v in baseline.items() if k[1] in FIG8_ALGORITHMS}
+        measured = {}
+        for path in args.fig8:
+            measured.update(load_fig8_rows(path))
+        measured = {k: v for k, v in measured.items() if k[1] in FIG8_ALGORITHMS}
+        failures += check_group("fig8", baseline, measured, args.threshold, args.min_ms)
+    if args.micro_baseline and args.micro:
+        baseline = load_micro_rows(args.micro_baseline)
+        measured = {}
+        for path in args.micro:
+            measured.update(load_micro_rows(path))
+        failures += check_group("micro", baseline, measured, args.micro_threshold)
+
+    if failures:
+        print(f"\nbench gate: {failures} row(s) regressed beyond "
+              f"{args.threshold:.0%} of the group median")
+        return 1
+    print("\nbench gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
