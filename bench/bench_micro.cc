@@ -47,6 +47,24 @@ void BM_RopeRandomEdits(benchmark::State& state) {
 }
 BENCHMARK(BM_RopeRandomEdits);
 
+void BM_RopeAlternatingEditPoints(benchmark::State& state) {
+  // A typing point and a distant delete point, interleaved — the workload
+  // the two-entry edit cache serves (a single entry evicts every switch).
+  Rope rope(std::string(100000, 'x'));
+  size_t ins = 25000;
+  size_t del = 75000;
+  for (auto _ : state) {
+    rope.InsertAt(ins, "ab");
+    ins += 2;
+    rope.RemoveAt(del + 2, 2);
+    if (ins > 40000) {
+      ins = 25000;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_RopeAlternatingEditPoints);
+
 void BM_RopeToString(benchmark::State& state) {
   Prng rng(2);
   Rope rope(GenerateProse(rng, 500000));

@@ -1,0 +1,204 @@
+// Server throughput bench: documents x clients x churn.
+//
+// Drives the whole server stack — NetSim transport, Broker fan-out,
+// DocRegistry LRU + incremental checkpoint flushes — with scripted client
+// churn on a lossless network (losses measure the protocol, not the
+// engine), and reports end-to-end throughput in applied events/second plus
+// checkpoint flush/reload costs. This opens the multi-document workload
+// axis the fig8 benches (single trace, single document) cannot see:
+// registry pressure, fan-out amplification, and flush overhead.
+//
+//   ./build/bench_server [--quick] [--json=<path>]
+//
+// Rows (the "trace" column is the scenario name):
+//   soak <docs>x<clients>     ticks of edit/push churn through the broker
+//   flush ...                 FlushAll of every resident document
+//   reload ...                LoadChain of every document from its chain
+//
+// Scenario scale is fixed (not --scale driven): server throughput depends
+// on topology, not trace length, and fixed shapes keep rows comparable
+// across machines for the bench-gate's median normalisation.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "encoding/columnar.h"
+#include "server/broker.h"
+#include "server/client.h"
+#include "server/netsim.h"
+#include "server/registry.h"
+#include "util/prng.h"
+
+namespace egwalker {
+namespace {
+
+struct Scenario {
+  int docs = 4;
+  int clients_per_doc = 4;
+  int ticks = 60;
+  size_t max_resident = 0;  // 0 = no eviction pressure.
+};
+
+struct SoakResult {
+  uint64_t events_applied = 0;   // New events reaching the server.
+  uint64_t messages = 0;
+  uint64_t flush_segments = 0;
+  uint64_t chain_bytes = 0;
+  uint64_t reload_docs = 0;
+};
+
+// Runs one scripted churn scenario end to end; the three phase durations
+// are returned via the out parameters.
+SoakResult RunScenario(const Scenario& scenario, double* soak_ms, double* flush_ms,
+                       double* reload_ms) {
+  NetSimConfig net_config;
+  net_config.seed = 7;
+  net_config.min_latency = 1;
+  net_config.max_latency = 3;
+  MemStorage storage;
+  DocRegistry::Config registry_config;
+  registry_config.max_resident = scenario.max_resident;
+  DocRegistry registry(storage, registry_config);
+  Broker::Config broker_config;
+  broker_config.flush_every_events = 64;
+  Broker broker(registry, broker_config);
+  NetSim net(net_config);
+  broker.Attach(net);
+
+  std::vector<std::string> names;
+  for (int d = 0; d < scenario.docs; ++d) {
+    names.push_back("doc-" + std::to_string(d));
+  }
+  std::vector<CollabClient> clients;
+  clients.reserve(static_cast<size_t>(scenario.docs * scenario.clients_per_doc));
+  for (int d = 0; d < scenario.docs; ++d) {
+    for (int c = 0; c < scenario.clients_per_doc; ++c) {
+      clients.emplace_back("a" + std::to_string(d) + "-" + std::to_string(c));
+    }
+  }
+  for (auto& client : clients) {
+    client.Attach(net, broker.endpoint_id());
+  }
+  for (int d = 0; d < scenario.docs; ++d) {
+    for (int c = 0; c < scenario.clients_per_doc; ++c) {
+      clients[static_cast<size_t>(d * scenario.clients_per_doc + c)].Join(net, names[static_cast<size_t>(d)]);
+    }
+  }
+  net.Run(64);
+
+  Prng rng(41);
+  auto t0 = std::chrono::steady_clock::now();
+  for (int tick = 0; tick < scenario.ticks; ++tick) {
+    for (int d = 0; d < scenario.docs; ++d) {
+      for (int c = 0; c < scenario.clients_per_doc; ++c) {
+        CollabClient& client =
+            clients[static_cast<size_t>(d * scenario.clients_per_doc + c)];
+        const std::string& name = names[static_cast<size_t>(d)];
+        Doc& doc = client.doc(name);
+        if (doc.size() > 16 && rng.Chance(0.25)) {
+          client.Delete(name, rng.Below(doc.size() - 2), 1 + rng.Below(2));
+        } else {
+          std::string burst(1 + rng.Below(4), static_cast<char>('a' + (c % 26)));
+          client.Insert(name, rng.Below(doc.size() + 1), burst);
+        }
+        if (rng.Chance(0.5)) {
+          client.PushEdits(net, name);
+        }
+      }
+    }
+    net.Tick();
+  }
+  net.Run(1 << 12);
+  *soak_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                 .count();
+
+  SoakResult result;
+  result.messages = net.stats().delivered;
+
+  t0 = std::chrono::steady_clock::now();
+  registry.FlushAll();
+  *flush_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                  .count();
+  result.chain_bytes = storage.total_bytes();
+  result.flush_segments = registry.stats().flushes;
+
+  // Event totals read from the flushed chains (the last segment's end LV),
+  // not via registry.Open: re-opening under LRU pressure would evict-flush
+  // documents between the timed phases and distort both measurements.
+  for (int d = 0; d < scenario.docs; ++d) {
+    const std::vector<std::string>* chain = storage.Chain(names[static_cast<size_t>(d)]);
+    if (chain == nullptr || chain->empty()) {
+      continue;
+    }
+    if (auto info = PeekSegment(chain->back())) {
+      result.events_applied += info->base_lv + info->event_count;
+    }
+  }
+
+  t0 = std::chrono::steady_clock::now();
+  for (int d = 0; d < scenario.docs; ++d) {
+    const std::vector<std::string>* chain = storage.Chain(names[static_cast<size_t>(d)]);
+    if (chain == nullptr) {
+      continue;
+    }
+    auto reloaded = Doc::LoadChain(*chain, "!server");
+    if (reloaded.has_value()) {
+      ++result.reload_docs;
+    }
+  }
+  *reload_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  bench::Options opts = bench::ParseArgs(argc, argv);
+  bool quick = opts.scale <= 0.05;  // --quick maps to a tiny scale.
+  bench::JsonReport report("server", opts);
+
+  std::vector<Scenario> scenarios;
+  if (quick) {
+    scenarios.push_back({2, 3, 12, 0});
+    scenarios.push_back({4, 3, 8, 2});
+  } else {
+    scenarios.push_back({4, 4, 60, 0});    // Fan-out heavy, all resident.
+    scenarios.push_back({8, 6, 40, 0});    // The soak-test topology.
+    scenarios.push_back({16, 2, 40, 4});   // Registry pressure: LRU churn.
+  }
+
+  std::printf("%-12s %7s %8s %10s %10s %10s %12s\n", "scenario", "events", "msgs",
+              "soak", "flush", "reload", "events/sec");
+  for (const Scenario& scenario : scenarios) {
+    std::string name = std::to_string(scenario.docs) + "x" +
+                       std::to_string(scenario.clients_per_doc) +
+                       (scenario.max_resident != 0
+                            ? "/r" + std::to_string(scenario.max_resident)
+                            : "");
+    double soak_ms = 0, flush_ms = 0, reload_ms = 0;
+    SoakResult result = RunScenario(scenario, &soak_ms, &flush_ms, &reload_ms);
+    double events_per_sec =
+        soak_ms > 0 ? static_cast<double>(result.events_applied) / (soak_ms / 1000.0) : 0;
+    std::printf("%-12s %7llu %8llu %10s %10s %10s %12.0f\n", name.c_str(),
+                static_cast<unsigned long long>(result.events_applied),
+                static_cast<unsigned long long>(result.messages),
+                bench::FmtMs(soak_ms).c_str(), bench::FmtMs(flush_ms).c_str(),
+                bench::FmtMs(reload_ms).c_str(), events_per_sec);
+    report.Add(name, "server soak", soak_ms);
+    report.Annotate("events_applied", Json(static_cast<double>(result.events_applied)));
+    report.Annotate("messages", Json(static_cast<double>(result.messages)));
+    report.Annotate("events_per_sec", Json(events_per_sec));
+    report.Add(name, "checkpoint flush", flush_ms);
+    report.Annotate("chain_bytes", Json(static_cast<double>(result.chain_bytes)));
+    report.Annotate("flush_segments", Json(static_cast<double>(result.flush_segments)));
+    report.Add(name, "chain reload", reload_ms);
+    report.Annotate("docs_reloaded", Json(static_cast<double>(result.reload_docs)));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace egwalker
+
+int main(int argc, char** argv) { return egwalker::Run(argc, argv); }

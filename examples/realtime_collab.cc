@@ -1,109 +1,121 @@
 // Real-time collaboration over a simulated lossy, laggy network.
 //
-// N peers type concurrently; a message queue delivers event batches with
-// random delay and reordering (the reliable-broadcast layer of Section 2.1
-// is simulated by retrying until a peer can merge). Every peer converges to
-// the same text, with no server anywhere — the peer-to-peer deployment the
-// paper argues eg-walker makes practical.
+// N clients type concurrently into one shared document, connected through
+// the collaboration server (src/server): a Broker routes summary/patch
+// exchanges, and the deterministic NetSim delivers them with seeded random
+// latency, loss, duplication, and reordering (the reliable-broadcast layer
+// of Section 2.1 is the protocol's periodic sync-request retry). Every
+// replica converges to the same text.
 //
-// Run: ./build/examples/realtime_collab [peers] [rounds]
+// This used to be a hand-rolled peer-to-peer message loop; it now rides the
+// server/NetSim API — same scenario, real subsystem.
+//
+// Run: ./build/realtime_collab [clients] [rounds]
 
 #include <cstdio>
 #include <cstdlib>
-#include <deque>
 #include <string>
 #include <vector>
 
-#include "core/doc.h"
+#include "server/broker.h"
+#include "server/client.h"
+#include "server/netsim.h"
+#include "server/registry.h"
 #include "util/prng.h"
 
-using egwalker::Doc;
-using egwalker::Prng;
-
-namespace {
-
-struct Network {
-  struct Packet {
-    size_t from;
-    size_t to;
-    int deliver_at;
-  };
-  std::deque<Packet> in_flight;
-};
-
-}  // namespace
+using namespace egwalker;
 
 int main(int argc, char** argv) {
-  size_t n_peers = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 4;
+  size_t n_clients = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 4;
   int rounds = argc > 2 ? std::atoi(argv[2]) : 400;
+  const std::string kDoc = "session";
+
+  NetSimConfig net_config;
+  net_config.seed = 7;
+  net_config.min_latency = 1;
+  net_config.max_latency = 5;
+  net_config.drop = 0.05;
+  net_config.duplicate = 0.03;
+  NetSim net(net_config);
+
+  MemStorage storage;
+  DocRegistry registry(storage);
+  Broker broker(registry);
+  broker.Attach(net);
+
+  std::vector<CollabClient> clients;
+  clients.reserve(n_clients);
+  for (size_t i = 0; i < n_clients; ++i) {
+    clients.emplace_back("peer-" + std::to_string(i));
+  }
+  for (auto& client : clients) {
+    client.Attach(net, broker.endpoint_id());
+    client.Join(net, kDoc);
+  }
+  net.Run(64);
+  clients[0].Insert(kDoc, 0, "collaborative session\n");
+  clients[0].PushEdits(net, kDoc);
+  net.Run(64);
 
   Prng rng(7);
-  std::vector<Doc> peers;
-  for (size_t i = 0; i < n_peers; ++i) {
-    peers.emplace_back("peer-" + std::to_string(i));
-  }
-  peers[0].Insert(0, "collaborative session\n");
-  for (size_t i = 1; i < n_peers; ++i) {
-    peers[i].MergeFrom(peers[0]);
-  }
-
-  Network net;
-  uint64_t merges = 0;
   uint64_t typed = 0;
   for (int tick = 0; tick < rounds; ++tick) {
-    // Each peer types a little, at its own cursor position.
-    for (size_t i = 0; i < n_peers; ++i) {
+    for (size_t i = 0; i < n_clients; ++i) {
       if (!rng.Chance(0.7)) {
         continue;
       }
-      Doc& d = peers[i];
+      CollabClient& client = clients[i];
+      Doc& d = client.doc(kDoc);
       if (d.size() > 10 && rng.Chance(0.2)) {
         uint64_t pos = rng.Below(d.size() - 1);
-        d.Delete(pos, 1 + rng.Below(2));
+        client.Delete(kDoc, pos, 1 + rng.Below(2));
       } else {
         std::string burst(1 + rng.Below(4), static_cast<char>('a' + (i % 26)));
-        d.Insert(rng.Below(d.size() + 1), burst);
+        client.Insert(kDoc, rng.Below(d.size() + 1), burst);
         typed += burst.size();
       }
-      // Gossip: enqueue a sync towards a random peer with 1..5 ticks delay.
-      size_t to = rng.Below(n_peers);
-      if (to != i) {
-        net.in_flight.push_back({i, to, tick + 1 + static_cast<int>(rng.Below(5))});
+      if (rng.Chance(0.6)) {
+        client.PushEdits(net, kDoc);
+      }
+      if (rng.Chance(0.1)) {
+        client.RequestSync(net, kDoc);  // Loss repair.
       }
     }
-    // Deliver due packets (out of order arrival is fine: MergeFrom pulls
-    // whatever the sender has that the receiver lacks, causally).
-    for (size_t k = 0; k < net.in_flight.size();) {
-      if (net.in_flight[k].deliver_at <= tick) {
-        Network::Packet p = net.in_flight[k];
-        merges += peers[p.to].MergeFrom(peers[p.from]) > 0 ? 1 : 0;
-        net.in_flight.erase(net.in_flight.begin() + static_cast<long>(k));
-      } else {
-        ++k;
-      }
-    }
+    net.Tick();
   }
 
-  // Drain: final full gossip so everyone has everything.
-  for (int sweep = 0; sweep < 2; ++sweep) {
-    for (size_t i = 0; i < n_peers; ++i) {
-      for (size_t j = 0; j < n_peers; ++j) {
-        if (i != j) {
-          peers[i].MergeFrom(peers[j]);
-        }
-      }
+  // Drain: lossless network, sync sweeps until everyone has everything.
+  NetSimConfig lossless;
+  lossless.min_latency = 1;
+  lossless.max_latency = 2;
+  net.set_config(lossless);
+  for (int sweep = 0; sweep < 4; ++sweep) {
+    for (auto& client : clients) {
+      client.PushEdits(net, kDoc);
+      client.RequestSync(net, kDoc);
     }
+    net.Run(1 << 12);
   }
 
-  std::printf("%zu peers, %d ticks, %llu chars typed, %llu effective merges\n", n_peers, rounds,
-              static_cast<unsigned long long>(typed), static_cast<unsigned long long>(merges));
+  uint64_t applied = 0;
+  for (const auto& client : clients) {
+    applied += client.stats().patches_applied;
+  }
+  std::printf("%zu clients, %d ticks, %llu chars typed, %llu patches applied, "
+              "%llu msgs (%llu dropped, %llu duplicated)\n",
+              n_clients, rounds, static_cast<unsigned long long>(typed),
+              static_cast<unsigned long long>(applied),
+              static_cast<unsigned long long>(net.stats().sent),
+              static_cast<unsigned long long>(net.stats().dropped),
+              static_cast<unsigned long long>(net.stats().duplicated));
+  std::string server_text = registry.Open(kDoc).Text();
   bool converged = true;
-  for (size_t i = 1; i < n_peers; ++i) {
-    converged = converged && peers[i].Text() == peers[0].Text();
+  for (auto& client : clients) {
+    converged = converged && client.doc(kDoc).Text() == server_text;
   }
   std::printf("converged: %s (doc %llu chars, graph %llu events)\n",
               converged ? "yes" : "NO — BUG",
-              static_cast<unsigned long long>(peers[0].size()),
-              static_cast<unsigned long long>(peers[0].graph().size()));
+              static_cast<unsigned long long>(registry.Open(kDoc).size()),
+              static_cast<unsigned long long>(registry.Open(kDoc).graph().size()));
   return converged ? 0 : 1;
 }

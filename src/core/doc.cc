@@ -243,10 +243,14 @@ std::optional<uint64_t> Doc::ApplyRemoteChunks(const std::vector<RemoteChunk>& c
     // No usable critical version: rebuild the document from scratch.
     rope_.Clear();
     walker.ReplayRange(rope_, Frontier{}, trace_.graph.version(), Walker::Options{}, sinks);
+    replayed_events_ += trace_.graph.size();
   } else {
     uint64_t base_len = critical_lens_.back();
     walker.MergeRange(rope_, Frontier{base}, base_len, trace_.graph.version(), first_new,
                       Walker::Options{}, sinks);
+    // The window replayed is everything past the critical base (a singleton
+    // critical version dominates the whole prefix [0, base]).
+    replayed_events_ += trace_.graph.size() - base - 1;
   }
   for (const CriticalPoint& cp : criticals) {
     if (critical_candidates_.empty() || cp.lv > critical_candidates_.back()) {
@@ -313,10 +317,56 @@ std::optional<Doc> Doc::Load(std::string_view bytes, std::string_view agent_name
   } else {
     Walker walker(doc.trace_.graph, doc.trace_.ops);
     walker.ReplayAll(doc.rope_);
+    doc.replayed_events_ += doc.trace_.graph.size();
   }
   const Frontier& v = doc.trace_.graph.version();
   if (v.size() == 1) {
     // A singleton frontier dominates the whole graph: it is critical.
+    doc.critical_candidates_.push_back(v[0]);
+    doc.critical_lens_.push_back(doc.rope_.char_size());
+  }
+  return doc;
+}
+
+std::string Doc::SaveSegment(Lv base_lv, const SaveOptions& options) const {
+  std::string final_doc;
+  if (options.cache_final_doc) {
+    final_doc = rope_.ToString();
+  }
+  return EncodeSegment(trace_, base_lv, options, final_doc);
+}
+
+std::optional<Doc> Doc::LoadChain(const std::vector<std::string>& segments,
+                                  std::string_view agent_name, std::string* error) {
+  auto fail = [&](const char* msg) -> std::optional<Doc> {
+    if (error != nullptr && error->empty()) {
+      *error = msg;
+    }
+    return std::nullopt;
+  };
+  if (segments.empty()) {
+    return fail("empty checkpoint chain");
+  }
+  Doc doc;
+  std::optional<std::string> cached;
+  for (const std::string& segment : segments) {
+    // Only the final segment's cached document reflects the full chain.
+    if (!DecodeSegmentInto(doc.trace_, segment, &cached, error)) {
+      return std::nullopt;
+    }
+  }
+  doc.agent_ = doc.trace_.graph.GetOrCreateAgent(agent_name);
+  if (cached.has_value()) {
+    // Replay-free reload: the incremental-checkpoint analogue of the full
+    // format's cached-final-doc fast path.
+    doc.rope_ = Rope(*cached);
+  } else {
+    Walker walker(doc.trace_.graph, doc.trace_.ops);
+    walker.ReplayAll(doc.rope_);
+    doc.replayed_events_ += doc.trace_.graph.size();
+  }
+  const Frontier& v = doc.trace_.graph.version();
+  if (v.size() == 1) {
     doc.critical_candidates_.push_back(v[0]);
     doc.critical_lens_.push_back(doc.rope_.char_size());
   }

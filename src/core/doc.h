@@ -113,6 +113,39 @@ class Doc {
   static std::optional<Doc> Load(std::string_view bytes, std::string_view agent_name,
                                  std::string* error = nullptr);
 
+  // --- Incremental checkpointing (server hooks) ---------------------------
+
+  // One past the last event's LV: the frontier of checkpoint bookkeeping.
+  // A server flush saves [last_checkpoint, end_lv()) and records end_lv()
+  // as the new checkpoint; any LV prefix is causally closed.
+  Lv end_lv() const { return trace_.graph.size(); }
+
+  // The newest cached critical version (kInvalidLv if none): the natural
+  // boundary for checkpoint policies that want replay-free partial loads
+  // even without a cached document.
+  Lv latest_critical() const {
+    return critical_candidates_.empty() ? kInvalidLv : critical_candidates_.back();
+  }
+
+  // Serialises events [base_lv, end_lv()) as an append-only checkpoint
+  // segment (see encoding/columnar.h). With options.cache_final_doc set the
+  // current text rides along, so a LoadChain ending in this segment replays
+  // nothing. options.include_deleted_content must stay true for segments.
+  std::string SaveSegment(Lv base_lv, const SaveOptions& options = {}) const;
+
+  // Restores a document from a chain of SaveSegment outputs (contiguous,
+  // oldest first). When the final segment carries a cached document, the
+  // load is replay-free: replayed_events() of the result is 0.
+  static std::optional<Doc> LoadChain(const std::vector<std::string>& segments,
+                                      std::string_view agent_name,
+                                      std::string* error = nullptr);
+
+  // Diagnostic counter: how many events this Doc has replayed through the
+  // walker (full rebuilds, incremental merges, uncached loads). Incremental
+  // checkpointing exists to keep this at zero on reload; the server soak
+  // test asserts on it.
+  uint64_t replayed_events() const { return replayed_events_; }
+
   // --- Introspection ------------------------------------------------------
 
   const Trace& trace() const { return trace_; }
@@ -134,6 +167,7 @@ class Doc {
   std::vector<uint64_t> critical_lens_;
   ChangeListener change_listener_ = nullptr;
   void* change_ctx_ = nullptr;
+  uint64_t replayed_events_ = 0;
 };
 
 }  // namespace egwalker

@@ -1,5 +1,7 @@
 #include "encoding/columnar.h"
 
+#include <unordered_map>
+
 #include "core/walker.h"
 #include "lz4/lz4.h"
 #include "rope/rope.h"
@@ -11,6 +13,7 @@ namespace egwalker {
 namespace {
 
 constexpr char kMagic[4] = {'E', 'G', 'W', 'K'};
+constexpr char kSegmentMagic[4] = {'E', 'G', 'W', 'S'};
 constexpr uint8_t kFormatVersion = 1;
 
 constexpr uint8_t kFlagContentComplete = 1 << 0;
@@ -20,6 +23,213 @@ constexpr uint8_t kFlagCachedDoc = 1 << 2;
 void AppendLenPrefixed(std::string& out, const std::string& column) {
   AppendVarint(out, column.size());
   out += column;
+}
+
+// --- Shared column walkers ---------------------------------------------------
+//
+// The full file format (EncodeTrace/DecodeTrace) and the incremental
+// checkpoint segments (EncodeSegment/DecodeSegmentInto) use the same three
+// structure columns; the only difference is the window [base_lv, end_lv)
+// they cover (the full format is simply base_lv == 0). One implementation
+// serves both so the formats cannot drift apart.
+
+// Column 1: operations — (type, direction, run length) headers with start
+// positions delta-coded against the cursor implied by the previous run,
+// restarting from 0 at base_lv. When `content` is non-null, the UTF-8 of
+// insert slices is appended to it in event order.
+void WriteOpsColumn(const OpLog& ops, Lv base_lv, Lv end_lv, std::string& ops_col,
+                    std::string* content) {
+  int64_t cursor = 0;
+  for (Lv lv = base_lv; lv < end_lv;) {
+    OpSlice slice = ops.SliceAt(lv, end_lv);
+    uint64_t tag = (slice.kind == OpKind::kDelete ? 1 : 0) | (slice.fwd ? 2 : 0);
+    AppendVarint(ops_col, (slice.count << 2) | tag);
+    AppendVarintSigned(ops_col, static_cast<int64_t>(slice.pos_start) - cursor);
+    if (slice.kind == OpKind::kInsert) {
+      cursor = static_cast<int64_t>(slice.pos_start + slice.count);
+      if (content != nullptr) {
+        *content += slice.text;
+      }
+    } else if (slice.fwd) {
+      cursor = static_cast<int64_t>(slice.pos_start);
+    } else {
+      cursor = static_cast<int64_t>(slice.pos_start - (slice.count - 1));
+    }
+    lv += slice.count;
+  }
+}
+
+// Column 2: parents — one record per graph run clipped to the window;
+// parents are encoded as positive deltas below the record's first event. A
+// run straddling base_lv chains its tail onto the predecessor (delta 1).
+void WriteParentsColumn(const Graph& g, Lv base_lv, Lv end_lv, std::string& col) {
+  for (Lv lv = base_lv; lv < end_lv;) {
+    const GraphEntry& entry = g.EntryContaining(lv);
+    AppendVarint(col, entry.span.end - lv);
+    if (lv > entry.span.start) {
+      AppendVarint(col, 1);
+      AppendVarint(col, 1);  // Parent = lv - 1.
+    } else {
+      AppendVarint(col, entry.parents.size());
+      for (Lv p : entry.parents) {
+        AppendVarint(col, lv - p);
+      }
+    }
+    lv = entry.span.end;
+  }
+}
+
+// Column 3: agent assignment runs, clipped and seq-adjusted. `remap`
+// translates interned AgentIds to column indexes (nullptr = identity, for
+// the full format whose table holds every agent in id order).
+void WriteAgentsColumn(const Graph& g, Lv base_lv, Lv end_lv,
+                       const std::unordered_map<AgentId, uint32_t>* remap, std::string& col) {
+  for (Lv lv = base_lv; lv < end_lv;) {
+    const AgentSpan& as = g.agent_spans().FindChecked(lv);
+    AppendVarint(col, remap != nullptr ? remap->at(as.agent) : as.agent);
+    AppendVarint(col, as.span.end - lv);
+    AppendVarint(col, as.seq_start + (lv - as.span.start));
+    lv = as.span.end;
+  }
+}
+
+// Rebuilds graph events [base_lv, end_lv) by walking the parents and agent
+// columns in parallel, emitting maximal chunks on which both are constant.
+// Returns nullptr on success, a static error message on malformed input.
+const char* DecodeGraphColumns(Graph& graph, const std::string& parents_col,
+                               const std::string& agents_col,
+                               const std::vector<AgentId>& agents, Lv base_lv, Lv end_lv) {
+  ByteReader pr(parents_col);
+  ByteReader ar(agents_col);
+  uint64_t entry_left = 0;
+  Frontier entry_parents;
+  bool entry_fresh = false;  // True for the first chunk of an entry.
+  uint64_t agent_left = 0;
+  uint64_t agent_idx = 0;
+  uint64_t seq_next = 0;
+  Lv lv = base_lv;
+  while (lv < end_lv) {
+    if (entry_left == 0) {
+      auto len = pr.ReadVarint();
+      auto np = pr.ReadVarint();
+      if (!len || *len == 0 || !np || *np > 1u << 16) {
+        return "bad parents record";
+      }
+      entry_parents.clear();
+      for (uint64_t i = 0; i < *np; ++i) {
+        auto delta = pr.ReadVarint();
+        if (!delta || *delta == 0 || *delta > lv) {
+          return "bad parent delta";
+        }
+        FrontierInsert(entry_parents, lv - *delta);
+      }
+      entry_left = *len;
+      entry_fresh = true;
+    }
+    if (agent_left == 0) {
+      auto a = ar.ReadVarint();
+      auto len = ar.ReadVarint();
+      auto seq = ar.ReadVarint();
+      if (!a || *a >= agents.size() || !len || *len == 0 || !seq) {
+        return "bad agent record";
+      }
+      agent_idx = *a;
+      agent_left = *len;
+      seq_next = *seq;
+    }
+    uint64_t chunk = std::min(entry_left, agent_left);
+    chunk = std::min<uint64_t>(chunk, end_lv - lv);
+    Frontier parents = entry_fresh ? entry_parents : Frontier{lv - 1};
+    graph.Add(agents[agent_idx], seq_next, chunk, parents);
+    seq_next += chunk;
+    lv += chunk;
+    entry_left -= chunk;
+    agent_left -= chunk;
+    entry_fresh = false;
+  }
+  if (!pr.empty() || !ar.empty()) {
+    return "trailing graph column data";
+  }
+  return nullptr;
+}
+
+// Rebuilds ops [base_lv, end_lv) from the ops column plus the content
+// stream. `surviving` enables the omitted-deleted-content decode (absent
+// characters come back as U+FFFD); nullptr means the content is complete.
+// The whole content stream must be consumed exactly.
+const char* DecodeOpsColumn(OpLog& ops, const std::string& ops_col, const std::string& content,
+                            const std::vector<LvSpan>* surviving, Lv base_lv, Lv end_lv) {
+  ByteReader orr(ops_col);
+  size_t content_byte = 0;
+  size_t survive_idx = 0;
+  int64_t cursor = 0;
+  Lv lv = base_lv;
+  while (lv < end_lv) {
+    auto header = orr.ReadVarint();
+    auto delta = orr.ReadVarintSigned();
+    if (!header || (*header >> 2) == 0 || !delta) {
+      return "bad op record";
+    }
+    uint64_t len = *header >> 2;
+    bool is_delete = (*header & 1) != 0;
+    bool fwd = (*header & 2) != 0;
+    int64_t pos_signed = cursor + *delta;
+    if (pos_signed < 0) {
+      return "op position underflow";
+    }
+    uint64_t pos = static_cast<uint64_t>(pos_signed);
+    if (is_delete) {
+      cursor = fwd ? pos_signed : pos_signed - static_cast<int64_t>(len - 1);
+      if (cursor < 0) {
+        return "op position underflow";
+      }
+      ops.PushDelete(lv, len, pos, fwd);
+    } else {
+      cursor = pos_signed + static_cast<int64_t>(len);
+      std::string text;
+      if (surviving == nullptr) {
+        size_t end_byte =
+            Utf8ByteOfChar(std::string_view(content).substr(content_byte), len) + content_byte;
+        text = content.substr(content_byte, end_byte - content_byte);
+        // Utf8ByteOfChar saturates at the end of the stream, so a short
+        // content column shows up as a short slice, not an overrun.
+        if (Utf8CountChars(text) != len) {
+          return "content column too short";
+        }
+        content_byte = end_byte;
+      } else {
+        // Surviving chars come from the content stream; omitted ones
+        // decode as U+FFFD.
+        for (uint64_t i = 0; i < len; ++i) {
+          Lv id = lv + i;
+          while (survive_idx < surviving->size() && (*surviving)[survive_idx].end <= id) {
+            ++survive_idx;
+          }
+          bool alive = survive_idx < surviving->size() && (*surviving)[survive_idx].contains(id);
+          if (alive) {
+            if (content_byte >= content.size()) {
+              return "content column too short";
+            }
+            size_t cl;
+            uint32_t cp = Utf8DecodeAt(content, content_byte, &cl);
+            content_byte += cl;
+            Utf8Append(text, cp);
+          } else {
+            Utf8Append(text, 0xFFFD);
+          }
+        }
+      }
+      ops.PushInsert(lv, pos, text);
+    }
+    lv += len;
+  }
+  if (!orr.empty()) {
+    return "trailing op column data";
+  }
+  if (content_byte != content.size()) {
+    return "trailing content bytes";
+  }
+  return nullptr;
 }
 
 }  // namespace
@@ -88,46 +298,19 @@ std::string EncodeTrace(const Trace& trace, const SaveOptions& options,
     out += name;
   }
 
-  // Column 1: operations (type, direction, start position, run length).
-  // Start positions are delta-coded against the cursor position implied by
-  // the previous run — consecutive typing bursts usually cost one byte.
+  // Columns 1-3 (shared walkers, full window): operations, parents, agent
+  // assignment runs. With complete content the insert text falls out of the
+  // ops walk; the survival-filtered content is built separately below.
   std::string ops_col;
-  {
-    int64_t cursor = 0;
-    for (const OpRun& run : trace.ops.runs()) {
-      uint64_t tag = (run.kind == OpKind::kDelete ? 1 : 0) | (run.fwd ? 2 : 0);
-      AppendVarint(ops_col, (run.span.size() << 2) | tag);
-      AppendVarintSigned(ops_col, static_cast<int64_t>(run.pos) - cursor);
-      if (run.kind == OpKind::kInsert) {
-        cursor = static_cast<int64_t>(run.pos + run.span.size());
-      } else if (run.fwd) {
-        cursor = static_cast<int64_t>(run.pos);
-      } else {
-        cursor = static_cast<int64_t>(run.pos - (run.span.size() - 1));
-      }
-    }
-  }
+  std::string content;
+  WriteOpsColumn(trace.ops, 0, trace.graph.size(), ops_col,
+                 options.include_deleted_content ? &content : nullptr);
   AppendLenPrefixed(out, ops_col);
-
-  // Column 2: parents. One record per graph run; parents are encoded as
-  // positive deltas below the run's first event.
   std::string parents_col;
-  for (const GraphEntry& e : trace.graph.entries()) {
-    AppendVarint(parents_col, e.span.size());
-    AppendVarint(parents_col, e.parents.size());
-    for (Lv p : e.parents) {
-      AppendVarint(parents_col, e.span.start - p);
-    }
-  }
+  WriteParentsColumn(trace.graph, 0, trace.graph.size(), parents_col);
   AppendLenPrefixed(out, parents_col);
-
-  // Column 3: agent assignment runs.
   std::string agents_col;
-  for (const AgentSpan& s : trace.graph.agent_spans()) {
-    AppendVarint(agents_col, s.agent);
-    AppendVarint(agents_col, s.span.size());
-    AppendVarint(agents_col, s.seq_start);
-  }
+  WriteAgentsColumn(trace.graph, 0, trace.graph.size(), nullptr, agents_col);
   AppendLenPrefixed(out, agents_col);
 
   // Column 4 (optional): survival spans, when deleted content is omitted.
@@ -143,19 +326,15 @@ std::string EncodeTrace(const Trace& trace, const SaveOptions& options,
     AppendLenPrefixed(out, survival_col);
   }
 
-  // Column 5: inserted content, in event order.
-  std::string content;
-  {
+  // Column 5: inserted content, in event order. The complete-content case
+  // was collected by the ops walk above; the Figure 12 configuration keeps
+  // only the bytes of surviving characters.
+  if (!options.include_deleted_content) {
     size_t survive_idx = 0;
     for (const OpRun& run : trace.ops.runs()) {
       if (run.kind != OpKind::kInsert) {
         continue;
       }
-      if (options.include_deleted_content) {
-        content += run.text;
-        continue;
-      }
-      // Keep only the bytes of surviving characters.
       Lv id = run.span.start;
       size_t byte = 0;
       while (id < run.span.end) {
@@ -306,131 +485,221 @@ std::optional<DecodeResult> DecodeTrace(std::string_view bytes, std::string* err
     result.cached_doc = std::move(doc);
   }
 
-  // --- Rebuild the graph: walk the parents and agent columns in parallel,
-  // emitting maximal chunks on which both are constant. ---
-  {
-    ByteReader pr(parents_col);
-    ByteReader ar(agents_col);
-    uint64_t entry_left = 0;
-    Frontier entry_parents;
-    bool entry_fresh = false;  // True for the first chunk of an entry.
-    uint64_t agent_left = 0;
-    uint64_t agent_idx = 0;
-    uint64_t seq_next = 0;
-    Lv lv = 0;
-    while (lv < *event_count) {
-      if (entry_left == 0) {
-        auto len = pr.ReadVarint();
-        auto np = pr.ReadVarint();
-        if (!len || *len == 0 || !np || *np > 1u << 16) {
-          return fail("bad parents record");
-        }
-        entry_parents.clear();
-        for (uint64_t i = 0; i < *np; ++i) {
-          auto delta = pr.ReadVarint();
-          if (!delta || *delta == 0 || *delta > lv) {
-            return fail("bad parent delta");
-          }
-          FrontierInsert(entry_parents, lv - *delta);
-        }
-        entry_left = *len;
-        entry_fresh = true;
-      }
-      if (agent_left == 0) {
-        auto a = ar.ReadVarint();
-        auto len = ar.ReadVarint();
-        auto seq = ar.ReadVarint();
-        if (!a || *a >= agents.size() || !len || *len == 0 || !seq) {
-          return fail("bad agent record");
-        }
-        agent_idx = *a;
-        agent_left = *len;
-        seq_next = *seq;
-      }
-      uint64_t chunk = std::min(entry_left, agent_left);
-      chunk = std::min<uint64_t>(chunk, *event_count - lv);
-      Frontier parents = entry_fresh ? entry_parents : Frontier{lv - 1};
-      trace.graph.Add(agents[agent_idx], seq_next, chunk, parents);
-      seq_next += chunk;
-      lv += chunk;
-      entry_left -= chunk;
-      agent_left -= chunk;
-      entry_fresh = false;
-    }
-    if (!pr.empty() || !ar.empty()) {
-      return fail("trailing graph column data");
-    }
+  // --- Rebuild the graph and op log via the shared column walkers. ---
+  if (const char* err =
+          DecodeGraphColumns(trace.graph, parents_col, agents_col, agents, 0, *event_count)) {
+    return fail(err);
   }
-
-  // --- Rebuild the op log. ---
-  {
-    ByteReader orr(ops_col);
-    size_t content_byte = 0;
-    size_t survive_idx = 0;
-    int64_t cursor = 0;
-    Lv lv = 0;
-    while (lv < *event_count) {
-      auto header = orr.ReadVarint();
-      auto delta = orr.ReadVarintSigned();
-      if (!header || (*header >> 2) == 0 || !delta) {
-        return fail("bad op record");
-      }
-      auto len = std::optional<uint64_t>(*header >> 2);
-      bool is_delete = (*header & 1) != 0;
-      bool fwd = (*header & 2) != 0;
-      int64_t pos_signed = cursor + *delta;
-      if (pos_signed < 0) {
-        return fail("op position underflow");
-      }
-      auto pos = std::optional<uint64_t>(static_cast<uint64_t>(pos_signed));
-      if (is_delete) {
-        cursor = fwd ? pos_signed : pos_signed - static_cast<int64_t>(*len - 1);
-        if (cursor < 0) {
-          return fail("op position underflow");
-        }
-        trace.ops.PushDelete(lv, *len, *pos, fwd);
-      } else {
-        cursor = pos_signed + static_cast<int64_t>(*len);
-        std::string text;
-        if (content_complete) {
-          size_t end_byte =
-              Utf8ByteOfChar(std::string_view(content).substr(content_byte), *len) + content_byte;
-          if (end_byte > content.size()) {
-            return fail("content column too short");
-          }
-          text = content.substr(content_byte, end_byte - content_byte);
-          content_byte = end_byte;
-        } else {
-          // Surviving chars come from the content stream; omitted ones
-          // decode as U+FFFD.
-          for (uint64_t i = 0; i < *len; ++i) {
-            Lv id = lv + i;
-            while (survive_idx < surviving.size() && surviving[survive_idx].end <= id) {
-              ++survive_idx;
-            }
-            bool alive = survive_idx < surviving.size() && surviving[survive_idx].contains(id);
-            if (alive) {
-              if (content_byte >= content.size()) {
-                return fail("content column too short");
-              }
-              size_t cl;
-              uint32_t cp = Utf8DecodeAt(content, content_byte, &cl);
-              content_byte += cl;
-              Utf8Append(text, cp);
-            } else {
-              Utf8Append(text, 0xFFFD);
-            }
-          }
-        }
-        trace.ops.PushInsert(lv, *pos, text);
-      }
-      lv += *len;
-    }
-    if (!orr.empty()) {
-      return fail("trailing op column data");
-    }
+  if (const char* err = DecodeOpsColumn(trace.ops, ops_col, content,
+                                        content_complete ? nullptr : &surviving, 0,
+                                        *event_count)) {
+    return fail(err);
   }
   return result;
+}
+
+std::string EncodeSegment(const Trace& trace, Lv base_lv, const SaveOptions& options,
+                          std::string_view final_doc) {
+  // Survival bitmaps are whole-trace properties; a chain cannot compose
+  // them, so segments always carry deleted content.
+  EGW_CHECK(options.include_deleted_content);
+  const Graph& g = trace.graph;
+  const OpLog& ops = trace.ops;
+  EGW_CHECK(base_lv <= g.size());
+  const Lv end_lv = g.size();
+
+  std::string out;
+  out.append(kSegmentMagic, sizeof(kSegmentMagic));
+  out.push_back(static_cast<char>(kFormatVersion));
+  uint8_t flags = kFlagContentComplete;
+  if (options.compress_content) {
+    flags |= kFlagCompressed;
+  }
+  if (options.cache_final_doc) {
+    flags |= kFlagCachedDoc;
+  }
+  out.push_back(static_cast<char>(flags));
+  AppendVarint(out, base_lv);
+  AppendVarint(out, end_lv - base_lv);
+
+  // Segment-local agent table: only agents authoring events in the window.
+  // (Parents are LV deltas and never name agents.)
+  std::vector<AgentId> agent_table;
+  std::unordered_map<AgentId, uint32_t> agent_index;
+  for (Lv lv = base_lv; lv < end_lv;) {
+    const AgentSpan& as = g.agent_spans().FindChecked(lv);
+    auto [it, inserted] = agent_index.emplace(as.agent, static_cast<uint32_t>(agent_table.size()));
+    if (inserted) {
+      agent_table.push_back(as.agent);
+    }
+    lv = as.span.end;
+  }
+  AppendVarint(out, agent_table.size());
+  for (AgentId id : agent_table) {
+    const std::string& name = g.AgentName(id);
+    AppendVarint(out, name.size());
+    out += name;
+  }
+
+  // Columns 1-3 (shared walkers, clipped to the window). A run straddling
+  // base_lv chains its tail onto the predecessor event, which lives in the
+  // chain prefix; the ops cursor restarts from 0 at the segment boundary.
+  std::string ops_col;
+  std::string content;
+  WriteOpsColumn(ops, base_lv, end_lv, ops_col, &content);
+  AppendLenPrefixed(out, ops_col);
+  std::string parents_col;
+  WriteParentsColumn(g, base_lv, end_lv, parents_col);
+  AppendLenPrefixed(out, parents_col);
+  std::string agents_col;
+  WriteAgentsColumn(g, base_lv, end_lv, &agent_index, agents_col);
+  AppendLenPrefixed(out, agents_col);
+
+  // Column 4: inserted content of the window.
+  AppendVarint(out, content.size());
+  if (options.compress_content) {
+    std::string compressed = lz4::Compress(content);
+    AppendVarint(out, compressed.size());
+    out += compressed;
+  } else {
+    out += content;
+  }
+
+  // Column 5 (optional): cached document at the segment's end version.
+  if (options.cache_final_doc) {
+    AppendVarint(out, final_doc.size());
+    out += final_doc;
+  }
+  return out;
+}
+
+std::optional<SegmentInfo> PeekSegment(std::string_view bytes) {
+  ByteReader reader(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  std::string magic;
+  if (!reader.ReadBytes(4, magic) || magic != std::string(kSegmentMagic, 4)) {
+    return std::nullopt;
+  }
+  auto version = reader.ReadByte();
+  auto flags = reader.ReadByte();
+  if (!version || *version != kFormatVersion || !flags) {
+    return std::nullopt;
+  }
+  auto base_lv = reader.ReadVarint();
+  auto count = reader.ReadVarint();
+  if (!base_lv || !count) {
+    return std::nullopt;
+  }
+  SegmentInfo info;
+  info.base_lv = *base_lv;
+  info.event_count = *count;
+  info.has_cached_doc = (*flags & kFlagCachedDoc) != 0;
+  return info;
+}
+
+bool DecodeSegmentInto(Trace& trace, std::string_view bytes,
+                       std::optional<std::string>* cached_doc, std::string* error) {
+  auto fail = [&](const char* msg) {
+    if (error != nullptr) {
+      *error = msg;
+    }
+    return false;
+  };
+
+  ByteReader reader(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  std::string magic;
+  if (!reader.ReadBytes(4, magic) || magic != std::string(kSegmentMagic, 4)) {
+    return fail("bad segment magic");
+  }
+  auto version = reader.ReadByte();
+  if (!version || *version != kFormatVersion) {
+    return fail("unsupported segment version");
+  }
+  auto flags = reader.ReadByte();
+  if (!flags) {
+    return fail("truncated segment flags");
+  }
+  bool compressed = (*flags & kFlagCompressed) != 0;
+  bool has_cached = (*flags & kFlagCachedDoc) != 0;
+  auto base_lv = reader.ReadVarint();
+  auto event_count = reader.ReadVarint();
+  if (!base_lv || !event_count) {
+    return fail("truncated segment header");
+  }
+  if (*base_lv != trace.graph.size()) {
+    return fail("segment chain gap: base_lv does not continue the trace");
+  }
+
+  auto agent_count = reader.ReadVarint();
+  if (!agent_count || *agent_count > 1u << 24) {
+    return fail("bad segment agent count");
+  }
+  std::vector<AgentId> agents;
+  for (uint64_t i = 0; i < *agent_count; ++i) {
+    auto len = reader.ReadVarint();
+    std::string name;
+    if (!len || !reader.ReadBytes(*len, name)) {
+      return fail("bad segment agent name");
+    }
+    agents.push_back(trace.graph.GetOrCreateAgent(name));
+  }
+
+  auto read_column = [&](std::string& col) {
+    auto len = reader.ReadVarint();
+    return len && reader.ReadBytes(*len, col);
+  };
+  std::string ops_col, parents_col, agents_col;
+  if (!read_column(ops_col) || !read_column(parents_col) || !read_column(agents_col)) {
+    return fail("truncated segment columns");
+  }
+
+  auto raw_content_len = reader.ReadVarint();
+  if (!raw_content_len) {
+    return fail("truncated segment content length");
+  }
+  std::string content;
+  if (compressed) {
+    auto comp_len = reader.ReadVarint();
+    std::string comp;
+    if (!comp_len || !reader.ReadBytes(*comp_len, comp)) {
+      return fail("truncated compressed segment content");
+    }
+    auto decompressed = lz4::Decompress(comp, *raw_content_len);
+    if (!decompressed) {
+      return fail("corrupt compressed segment content");
+    }
+    content = std::move(*decompressed);
+  } else if (!reader.ReadBytes(*raw_content_len, content)) {
+    return fail("truncated segment content");
+  }
+
+  if (has_cached) {
+    auto len = reader.ReadVarint();
+    std::string doc;
+    if (!len || !reader.ReadBytes(*len, doc)) {
+      return fail("truncated segment cached document");
+    }
+    if (cached_doc != nullptr) {
+      *cached_doc = std::move(doc);
+    }
+  } else if (cached_doc != nullptr) {
+    cached_doc->reset();
+  }
+  if (!reader.empty()) {
+    return fail("trailing segment bytes");
+  }
+
+  const Lv seg_end = *base_lv + *event_count;
+
+  // --- Rebuild via the shared column walkers, windowed at base_lv. ---
+  if (const char* err =
+          DecodeGraphColumns(trace.graph, parents_col, agents_col, agents, *base_lv, seg_end)) {
+    return fail(err);
+  }
+  if (const char* err =
+          DecodeOpsColumn(trace.ops, ops_col, content, nullptr, *base_lv, seg_end)) {
+    return fail(err);
+  }
+  return true;
 }
 
 std::optional<std::string> ReadCachedDoc(std::string_view bytes) {

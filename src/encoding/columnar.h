@@ -72,6 +72,50 @@ std::optional<DecodeResult> DecodeTrace(std::string_view bytes, std::string* err
 // std::nullopt if the file has no cached document or is malformed.
 std::optional<std::string> ReadCachedDoc(std::string_view bytes);
 
+// --- Incremental checkpoint segments ----------------------------------------
+//
+// Append-only chain format for server-side flushes: a segment encodes only
+// the events [base_lv, graph.size()) appended since the previous checkpoint,
+// in the same columnar layout as the full format (ops / parents / agents /
+// content), plus an optional cached copy of the document text at the
+// segment's end version. Because LV order is topological, any LV prefix is
+// causally closed, so a chain of segments with contiguous base_lv values
+// rebuilds the exact trace — and when the final segment carries a cached
+// document, reloading replays nothing at all (the cached-final-doc fast
+// path of the full format, extended to incremental flushes).
+//
+// Parent references may point below base_lv; they are encoded as the usual
+// backward deltas, which resolve against the already-decoded chain prefix.
+// Runs that straddle base_lv (a typing run continuing across a checkpoint)
+// are clipped: the tail chains onto the predecessor event of the prefix.
+//
+// Segments always store deleted content (survival bitmaps do not compose
+// across a chain): options.include_deleted_content must be left true.
+
+// Serialises events [base_lv, trace.graph.size()) as one chain segment.
+// `final_doc` must be the full document text at the trace's current version
+// when options.cache_final_doc is set. base_lv == graph.size() is allowed
+// (an empty refresh segment carrying only a cached document).
+std::string EncodeSegment(const Trace& trace, Lv base_lv, const SaveOptions& options,
+                          std::string_view final_doc = {});
+
+// Chain position of a segment, readable without parsing the columns.
+struct SegmentInfo {
+  Lv base_lv = 0;           // First event covered.
+  uint64_t event_count = 0; // Events in this segment.
+  bool has_cached_doc = false;
+};
+std::optional<SegmentInfo> PeekSegment(std::string_view bytes);
+
+// Appends a segment's events onto `trace`, whose graph must currently end
+// exactly at the segment's base_lv (chains decode strictly in order). When
+// the segment carries a cached document it is stored into *cached_doc
+// (pass nullptr to ignore). Returns false (and sets *error) on malformed
+// input or a chain gap; `trace` may then hold a partially-appended suffix
+// and should be discarded.
+bool DecodeSegmentInto(Trace& trace, std::string_view bytes,
+                       std::optional<std::string>* cached_doc, std::string* error = nullptr);
+
 }  // namespace egwalker
 
 #endif  // EGWALKER_ENCODING_COLUMNAR_H_

@@ -13,8 +13,12 @@ namespace {
 // scans are cheap and memmoves stay inside a cache line or two.
 constexpr size_t kLeafCapacity = 256;
 // Inserted text is chopped into chunks of at most this many bytes so a
-// single leaf split always makes room.
-constexpr size_t kMaxChunk = kLeafCapacity / 2;
+// single leaf split always makes room: a split lands within 3 bytes of the
+// byte midpoint (it backs down to a scalar-value boundary, and a scalar is
+// at most 4 bytes), so the larger half holds at most kLeafCapacity/2 + 3
+// bytes and must still fit a whole chunk. kLeafCapacity/2 alone overflows
+// the leaf when multi-byte characters straddle the midpoint.
+constexpr size_t kMaxChunk = kLeafCapacity / 2 - 4;
 constexpr int kMaxChildren = 16;
 
 }  // namespace
@@ -221,11 +225,11 @@ void Rope::InsertAt(size_t char_pos, std::string_view text) {
   }
 }
 
-void Rope::ApplyLeafInsert(Leaf* leaf, size_t pos, std::string_view text,
+void Rope::ApplyLeafInsert(Leaf* leaf, size_t pos, std::string_view text, size_t tchars,
                            const std::vector<PathStep>& path) {
   EGW_DCHECK(pos <= leaf->nchars);
+  EGW_DCHECK(tchars == Utf8CountChars(text));
   size_t byte_pos = LeafByteOfChar(leaf, pos);
-  size_t tchars = Utf8CountChars(text);
   std::memmove(leaf->data + byte_pos + text.size(), leaf->data + byte_pos,
                leaf->nbytes - byte_pos);
   std::memcpy(leaf->data + byte_pos, text.data(), text.size());
@@ -239,18 +243,48 @@ void Rope::ApplyLeafInsert(Leaf* leaf, size_t pos, std::string_view text,
   root_chars_ += tchars;
 }
 
+void Rope::SetEditCache(int role, Leaf* leaf, size_t leaf_start,
+                        const std::vector<PathStep>& path) {
+  EditCache& cache = edit_caches_[role];
+  cache.valid = true;
+  cache.leaf = leaf;
+  cache.leaf_start = leaf_start;
+  cache.path = path;
+}
+
+void Rope::ShiftOtherCaches(const Leaf* edited, size_t char_pos, ptrdiff_t delta) {
+  for (EditCache& cache : edit_caches_) {
+    if (cache.valid && cache.leaf != edited && cache.leaf_start >= char_pos) {
+      // The cached leaf lies entirely after the edit point: its absolute
+      // start shifts by the edit's character delta. (A cached leaf before
+      // the edit point is unaffected; the edited leaf's own start never
+      // moves for an in-leaf edit.)
+      cache.leaf_start = static_cast<size_t>(static_cast<ptrdiff_t>(cache.leaf_start) + delta);
+    }
+  }
+}
+
 void Rope::InsertChunk(size_t char_pos, std::string_view text) {
   if (root_ == nullptr) {
     root_ = NewLeaf();
   }
 
-  // Fast path: the edit lands inside the cached leaf and fits — patch the
-  // leaf and add the deltas along the cached path, no descent.
-  if (edit_cache_.valid && char_pos >= edit_cache_.leaf_start &&
-      char_pos <= edit_cache_.leaf_start + edit_cache_.leaf->nchars &&
-      edit_cache_.leaf->nbytes + text.size() <= kLeafCapacity) {
-    ApplyLeafInsert(edit_cache_.leaf, char_pos - edit_cache_.leaf_start, text, edit_cache_.path);
-    return;
+  // Fast path: the edit lands inside a cached leaf and fits — patch the
+  // leaf and add the deltas along the cached path, no descent. The insert
+  // cache is tried first (typing runs), the delete cache second.
+  for (int role : {kInsCache, kDelCache}) {
+    EditCache& cache = edit_caches_[role];
+    if (cache.valid && char_pos >= cache.leaf_start &&
+        char_pos <= cache.leaf_start + cache.leaf->nchars &&
+        cache.leaf->nbytes + text.size() <= kLeafCapacity) {
+      size_t tchars = Utf8CountChars(text);
+      ApplyLeafInsert(cache.leaf, char_pos - cache.leaf_start, text, tchars, cache.path);
+      ShiftOtherCaches(cache.leaf, char_pos, static_cast<ptrdiff_t>(tchars));
+      if (role != kInsCache) {
+        SetEditCache(kInsCache, cache.leaf, cache.leaf_start, cache.path);
+      }
+      return;
+    }
   }
 
   // Descend to the leaf covering char_pos, recording the path.
@@ -274,11 +308,10 @@ void Rope::InsertChunk(size_t char_pos, std::string_view text) {
   EGW_DCHECK(pos <= leaf->nchars);
 
   if (leaf->nbytes + text.size() <= kLeafCapacity) {
-    ApplyLeafInsert(leaf, pos, text, path_scratch_);
-    edit_cache_.valid = true;
-    edit_cache_.leaf = leaf;
-    edit_cache_.leaf_start = char_pos - pos;
-    edit_cache_.path = path_scratch_;
+    size_t tchars = Utf8CountChars(text);
+    ApplyLeafInsert(leaf, pos, text, tchars, path_scratch_);
+    ShiftOtherCaches(leaf, char_pos, static_cast<ptrdiff_t>(tchars));
+    SetEditCache(kInsCache, leaf, char_pos - pos, path_scratch_);
     return;
   }
 
@@ -387,31 +420,41 @@ void Rope::RemoveAt(size_t char_pos, size_t char_count) {
 void Rope::RemoveOnce(size_t char_pos, size_t* char_count) {
   EGW_CHECK(root_ != nullptr);
 
-  // Fast path: the removal lies inside the cached leaf and leaves it
+  // Fast path: the removal lies inside a cached leaf and leaves it
   // non-empty (or it is the root leaf) — patch the leaf and subtract the
-  // deltas along the cached path, no descent, no structural change.
-  if (edit_cache_.valid && char_pos >= edit_cache_.leaf_start &&
-      char_pos < edit_cache_.leaf_start + edit_cache_.leaf->nchars) {
-    Leaf* leaf = edit_cache_.leaf;
-    size_t pos = char_pos - edit_cache_.leaf_start;
-    size_t take = std::min<size_t>(leaf->nchars - pos, *char_count);
-    if (take < leaf->nchars || edit_cache_.path.empty()) {
-      size_t byte_from = LeafByteOfChar(leaf, pos);
-      size_t byte_to = LeafByteOfCharAfter(leaf, byte_from, take);
-      size_t bytes_removed = byte_to - byte_from;
-      std::memmove(leaf->data + byte_from, leaf->data + byte_to, leaf->nbytes - byte_to);
-      leaf->nbytes -= static_cast<uint32_t>(bytes_removed);
-      leaf->nchars -= static_cast<uint32_t>(take);
-      for (const PathStep& step : edit_cache_.path) {
-        step.node->children[step.child_idx].bytes -= bytes_removed;
-        step.node->children[step.child_idx].chars -= take;
+  // deltas along the cached path, no descent, no structural change. The
+  // delete cache is tried first (delete/backspace runs), the insert cache
+  // second.
+  for (int role : {kDelCache, kInsCache}) {
+    EditCache& cache = edit_caches_[role];
+    if (cache.valid && char_pos >= cache.leaf_start &&
+        char_pos < cache.leaf_start + cache.leaf->nchars) {
+      Leaf* leaf = cache.leaf;
+      size_t pos = char_pos - cache.leaf_start;
+      size_t take = std::min<size_t>(leaf->nchars - pos, *char_count);
+      if (take < leaf->nchars || cache.path.empty()) {
+        size_t byte_from = LeafByteOfChar(leaf, pos);
+        size_t byte_to = LeafByteOfCharAfter(leaf, byte_from, take);
+        size_t bytes_removed = byte_to - byte_from;
+        std::memmove(leaf->data + byte_from, leaf->data + byte_to, leaf->nbytes - byte_to);
+        leaf->nbytes -= static_cast<uint32_t>(bytes_removed);
+        leaf->nchars -= static_cast<uint32_t>(take);
+        for (const PathStep& step : cache.path) {
+          step.node->children[step.child_idx].bytes -= bytes_removed;
+          step.node->children[step.child_idx].chars -= take;
+        }
+        *char_count -= take;
+        root_bytes_ -= bytes_removed;
+        root_chars_ -= take;
+        ShiftOtherCaches(leaf, char_pos, -static_cast<ptrdiff_t>(take));
+        if (role != kDelCache) {
+          SetEditCache(kDelCache, cache.leaf, cache.leaf_start, cache.path);
+        }
+        return;
       }
-      *char_count -= take;
-      root_bytes_ -= bytes_removed;
-      root_chars_ -= take;
-      return;
+      // Would empty the cached leaf: the structural slow path must handle it.
+      break;
     }
-    // Would empty the cached leaf: the structural slow path must handle it.
   }
 
   path_scratch_.clear();
@@ -508,10 +551,8 @@ void Rope::RemoveOnce(size_t char_pos, size_t* char_count) {
   if (structural) {
     InvalidateEditCache();
   } else {
-    edit_cache_.valid = true;
-    edit_cache_.leaf = leaf;
-    edit_cache_.leaf_start = char_pos - pos;
-    edit_cache_.path = path_scratch_;
+    ShiftOtherCaches(leaf, char_pos, -static_cast<ptrdiff_t>(take));
+    SetEditCache(kDelCache, leaf, char_pos - pos, path_scratch_);
   }
 }
 

@@ -7,11 +7,15 @@
 // insert/delete/read at an arbitrary *character* index costs O(log n).
 //
 // Edits are heavily clustered in practice (typing runs, backspace runs), so
-// the rope keeps a last-edit cache: the leaf last touched, its absolute
+// the rope keeps two last-edit cache entries — one for the last insert
+// point, one for the last delete point: the leaf last touched, its absolute
 // character offset, and the root-to-leaf path. An edit that lands inside
-// that leaf (and does not split, empty, or merge it) skips the descent and
-// just patches the cached path's counts. Any structural change invalidates
-// the cache.
+// either cached leaf (and does not split, empty, or merge it) skips the
+// descent and just patches the cached path's counts. Merges that alternate
+// between an insert point and a distant delete point (the walker applying a
+// concurrent insert run and delete run interleaved) therefore keep both
+// hot, where a single entry would evict on every switch. Any structural
+// change invalidates both entries.
 //
 // Nodes come from per-rope recycling pools (util/pool.h) with a small
 // retention cap, so split/merge churn during replay reuses storage instead
@@ -112,17 +116,16 @@ class Rope {
   // nothing; splits are handled bottom-up through the path stack.
   void InsertChunk(size_t char_pos, std::string_view text);
   void RemoveOnce(size_t char_pos, size_t* char_count);
-  // Splices `text` into `leaf` at character offset `pos` (must fit) and
-  // adds the deltas along `path` and the root totals.
-  void ApplyLeafInsert(Leaf* leaf, size_t pos, std::string_view text,
+  // Splices `text` (`tchars` scalar values) into `leaf` at character offset
+  // `pos` (must fit) and adds the deltas along `path` and the root totals.
+  void ApplyLeafInsert(Leaf* leaf, size_t pos, std::string_view text, size_t tchars,
                        const std::vector<PathStep>& path);
-  void InvalidateEditCache() { edit_cache_.valid = false; }
 
   Node* root_ = nullptr;
   size_t root_bytes_ = 0;
   size_t root_chars_ = 0;
 
-  // Last-edit cache: the last leaf an insert/remove landed in, with its
+  // Last-edit cache entry: a leaf an insert/remove landed in, with its
   // absolute character start and the descent path (for count fixups).
   struct EditCache {
     bool valid = false;
@@ -130,7 +133,20 @@ class Rope {
     size_t leaf_start = 0;  // Character index of the leaf's first char.
     std::vector<PathStep> path;
   };
-  EditCache edit_cache_;
+  // Two entries: [kInsCache] tracks the last insert point, [kDelCache] the
+  // last delete point, so alternating insert/delete merges keep both warm.
+  static constexpr int kInsCache = 0;
+  static constexpr int kDelCache = 1;
+  EditCache edit_caches_[2];
+  void InvalidateEditCache() {
+    edit_caches_[0].valid = false;
+    edit_caches_[1].valid = false;
+  }
+  // Re-points cache `role` at `leaf` (descended via `path`).
+  void SetEditCache(int role, Leaf* leaf, size_t leaf_start, const std::vector<PathStep>& path);
+  // After a non-structural edit inside `edited` at char_pos (chars grew by
+  // `delta`), fixes the other caches' absolute offsets.
+  void ShiftOtherCaches(const Leaf* edited, size_t char_pos, ptrdiff_t delta);
   // Descent scratch, reused across edits so the hot path never allocates.
   std::vector<PathStep> path_scratch_;
   // Node recycling with a small retention cap (see util/pool.h): replay

@@ -1,0 +1,162 @@
+#include "server/broker.h"
+
+#include <climits>
+
+#include "util/assert.h"
+
+namespace egwalker {
+
+Broker::Broker(DocRegistry& registry, const Config& config)
+    : registry_(registry), config_(config) {}
+
+int Broker::Attach(NetSim& net) {
+  endpoint_id_ = net.AddEndpoint(this);
+  return endpoint_id_;
+}
+
+void Broker::OnMessage(NetSim& net, int from, int self, const Message& msg) {
+  EGW_CHECK(self == endpoint_id_);
+  switch (msg.type) {
+    case MsgType::kSyncRequest:
+      HandleSyncRequest(net, from, msg);
+      break;
+    case MsgType::kPatch:
+      HandlePatch(net, from, msg);
+      break;
+    case MsgType::kLeave:
+      ++stats_.leaves;
+      sessions_.erase(SessionKey{msg.doc, from});
+      break;
+  }
+  // Sweep after handling: the message just processed counts as liveness,
+  // so a client resurfacing exactly at its timeout is not reaped by its
+  // own message.
+  SweepIdleSessions(net.now());
+}
+
+void Broker::HandleSyncRequest(NetSim& net, int from, const Message& msg) {
+  ++stats_.sync_requests;
+  auto theirs = DecodeSummary(msg.summary);
+  if (!theirs) {
+    return;  // Malformed summaries are dropped like lost packets.
+  }
+  Session& session = sessions_[SessionKey{msg.doc, from}];
+  session.last_active = net.now();
+  Doc& doc = registry_.Open(msg.doc);
+  VersionSummary mine = SummarizeDoc(doc);
+  std::string my_summary = EncodeSummary(mine);
+  Message reply;
+  reply.type = MsgType::kPatch;
+  reply.doc = msg.doc;
+  reply.summary = my_summary;
+  reply.patch = MakePatch(doc, *theirs);
+  net.Send(endpoint_id_, from, std::move(reply));
+
+  // The summary may also reveal events the server lacks (the client edited
+  // while its patches were lost): pull them.
+  if (SummaryAhead(*theirs, mine)) {
+    Message pull;
+    pull.type = MsgType::kSyncRequest;
+    pull.doc = msg.doc;
+    pull.summary = std::move(my_summary);
+    net.Send(endpoint_id_, from, std::move(pull));
+  }
+  // Optimistic: the client will hold its own events plus the in-flight
+  // reply, so the estimate is the pointwise max of the two summaries.
+  session.known = std::move(mine);
+  SummaryMerge(session.known, *theirs);
+}
+
+void Broker::HandlePatch(NetSim& net, int from, const Message& msg) {
+  ++stats_.patches_in;
+  // A patch may arrive without a session (the client left and the patch
+  // was still in flight, possibly reordered after its kLeave). The events
+  // are still applied — a departing client's last edits must not be lost —
+  // but no session is created: resurrecting one would leak a ghost
+  // subscriber the broker broadcasts to forever.
+  auto it = sessions_.find(SessionKey{msg.doc, from});
+  Session* session = it != sessions_.end() ? &it->second : nullptr;
+  if (session != nullptr) {
+    session->last_active = net.now();
+  }
+
+  Doc& doc = registry_.Open(msg.doc);
+  std::string error;
+  auto merged = ApplyPatch(doc, msg.patch, &error);
+  if (!merged.has_value()) {
+    // Causally premature (an earlier client patch was dropped or is still
+    // in flight): ask the client for everything we lack.
+    ++stats_.patches_rejected;
+    Message repair;
+    repair.type = MsgType::kSyncRequest;
+    repair.doc = msg.doc;
+    repair.summary = EncodeSummary(SummarizeDoc(doc));
+    net.Send(endpoint_id_, from, std::move(repair));
+    return;
+  }
+  if (session != nullptr) {
+    if (auto theirs = DecodeSummary(msg.summary)) {
+      session->known = *theirs;
+    }
+  }
+  if (*merged == 0) {
+    return;  // Duplicate delivery: nothing new, nothing to fan out.
+  }
+  ++stats_.patches_applied;
+  MaybeCheckpoint(msg.doc);
+  Broadcast(net, doc, msg.doc, from);
+}
+
+void Broker::Broadcast(NetSim& net, Doc& doc, const std::string& doc_name, int except) {
+  VersionSummary mine = SummarizeDoc(doc);
+  std::string my_summary = EncodeSummary(mine);
+  // Doc-first session keys: scan exactly this document's subscribers.
+  for (auto it = sessions_.lower_bound(SessionKey{doc_name, INT_MIN});
+       it != sessions_.end() && it->first.first == doc_name; ++it) {
+    Session& session = it->second;
+    if (it->first.second == except) {
+      continue;
+    }
+    std::string patch = MakePatch(doc, session.known);
+    if (patch.empty()) {
+      continue;
+    }
+    Message out;
+    out.type = MsgType::kPatch;
+    out.doc = doc_name;
+    out.summary = my_summary;
+    out.patch = std::move(patch);
+    net.Send(endpoint_id_, it->first.second, std::move(out));
+    // Optimistic union of what it had and what is in flight; repaired by
+    // the client's next sync request if the broadcast is lost.
+    SummaryMerge(session.known, mine);
+    ++stats_.broadcasts;
+  }
+}
+
+void Broker::SweepIdleSessions(uint64_t now) {
+  if (config_.session_idle_timeout == 0) {
+    return;
+  }
+  // Sweep at most once per half-timeout: cheap, and a session can outlive
+  // its timeout by at most 1.5x.
+  if (now < last_sweep_ + config_.session_idle_timeout / 2) {
+    return;
+  }
+  last_sweep_ = now;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now >= it->second.last_active + config_.session_idle_timeout) {
+      it = sessions_.erase(it);
+      ++stats_.expired;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Broker::MaybeCheckpoint(const std::string& doc_name) {
+  uint64_t threshold = config_.flush_every_events == 0 ? 1 : config_.flush_every_events;
+  registry_.FlushIfDirty(doc_name, threshold);
+}
+
+}  // namespace egwalker

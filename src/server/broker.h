@@ -1,0 +1,142 @@
+// Broker: the server endpoint routing summary/patch exchanges.
+//
+// One Broker serves every document in a DocRegistry to every subscribed
+// client over the Message protocol (protocol.h). The broker is a star: each
+// client syncs with the server's replica of a document, and the broker
+// fans changes out to the other subscribers — the deployment shape the
+// paper contrasts with pure peer-to-peer, and the one large-scale
+// collaborative-writing studies assume (session management on a server).
+//
+// Session lifecycle state machine — a session is one (client endpoint,
+// document) pair. Creation and the bootstrap exchange are atomic (the same
+// message that creates the session triggers the bootstrap patch), so the
+// machine has two states plus absence:
+//
+//   (none) --kSyncRequest--> LIVE     the request's summary seeds the
+//                                     estimate and the bootstrap patch is
+//                                     sent in the same handling step.
+//   LIVE --kLeave----------> CLOSED   the session is erased. A kPatch
+//                                     without a session (racing ahead of
+//                                     the join, or reordered after the
+//                                     leave) still has its events applied —
+//                                     a departing client's last edits are
+//                                     not lost — but does NOT create a
+//                                     session: that would resurrect a
+//                                     ghost subscriber.
+//   LIVE --idle timeout----> CLOSED   kLeave is best-effort (it is the one
+//                                     message loss cannot be repaired by a
+//                                     retry — the sender is gone), and a
+//                                     kSyncRequest reordered after its own
+//                                     kLeave legitimately re-creates a
+//                                     session (a join IS a sync request).
+//                                     The backstop for both is expiry: a
+//                                     session that sends nothing for
+//                                     Config::session_idle_timeout ticks
+//                                     is swept. Live clients stay resident
+//                                     for free — their periodic sync
+//                                     requests are already the protocol's
+//                                     repair heartbeat.
+//
+// The client side of the same lifecycle (bootstrap pending vs live) is
+// described in client.h.
+//
+// Broadcasts are *optimistic*: after fanning a patch out to a session the
+// broker assumes delivery and advances its estimate of that client's
+// summary, so steady-state traffic is deltas only. A dropped broadcast
+// therefore silently desynchronises the estimate — by design; the client's
+// periodic kSyncRequest carries its true summary, which both repairs the
+// estimate and triggers the catch-up patch (retry-based reliable
+// broadcast, paper Section 2.1).
+//
+// Checkpointing: after applying client patches the broker flushes the
+// document's new events to the registry's incremental checkpoint chain
+// once at least Config::flush_every_events have accumulated, so an
+// eviction is cheap and a crash loses at most that many events.
+
+#ifndef EGWALKER_SERVER_BROKER_H_
+#define EGWALKER_SERVER_BROKER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "server/netsim.h"
+#include "server/protocol.h"
+#include "server/registry.h"
+
+namespace egwalker {
+
+// Out-of-class so the constructor's `= {}` default parses (same idiom as
+// WalkerOptions).
+struct BrokerConfig {
+  // Checkpoint cadence: flush a document's dirty suffix once this many
+  // uncheckpointed events have accumulated (0 = flush on every change).
+  uint64_t flush_every_events = 64;
+  // Sessions that send nothing for this many network ticks are swept
+  // (0 = never expire). The backstop for lost/reordered kLeave messages;
+  // must comfortably exceed the clients' sync-request period.
+  uint64_t session_idle_timeout = 512;
+};
+
+class Broker : public Endpoint {
+ public:
+  using Config = BrokerConfig;
+
+  struct Stats {
+    uint64_t sync_requests = 0;
+    uint64_t patches_in = 0;
+    uint64_t patches_applied = 0;  // With at least one new event.
+    uint64_t patches_rejected = 0; // Causally premature (client repairs).
+    uint64_t broadcasts = 0;
+    uint64_t leaves = 0;
+    uint64_t expired = 0;  // Sessions swept by the idle timeout.
+  };
+
+  explicit Broker(DocRegistry& registry, const Config& config = {});
+
+  // Registers with the network; returns (and remembers) the endpoint id.
+  int Attach(NetSim& net);
+  int endpoint_id() const { return endpoint_id_; }
+
+  void OnMessage(NetSim& net, int from, int self, const Message& msg) override;
+
+  DocRegistry& registry() { return registry_; }
+  const Stats& stats() const { return stats_; }
+  size_t session_count() const { return sessions_.size(); }
+
+ private:
+  struct Session {
+    // Best estimate of the client's summary: authoritative on every
+    // kSyncRequest, advanced optimistically on every broadcast.
+    VersionSummary known;
+    // Network tick of the last message received from the client (sends do
+    // not count: only inbound traffic proves the client is alive).
+    uint64_t last_active = 0;
+  };
+
+  // (doc name, endpoint): doc-first so Broadcast range-scans one document's
+  // subscribers instead of every session on the server.
+  using SessionKey = std::pair<std::string, int>;
+
+  void HandleSyncRequest(NetSim& net, int from, const Message& msg);
+  void HandlePatch(NetSim& net, int from, const Message& msg);
+  // Erases sessions idle past the timeout; runs lazily from OnMessage.
+  void SweepIdleSessions(uint64_t now);
+  // Sends each other live subscriber of `doc_name` the delta it is missing.
+  // `doc` is the caller's already-open registry reference (re-opening here
+  // would distort the registry's hit-rate stats).
+  void Broadcast(NetSim& net, Doc& doc, const std::string& doc_name, int except);
+  void MaybeCheckpoint(const std::string& doc_name);
+
+  DocRegistry& registry_;
+  Config config_;
+  int endpoint_id_ = -1;
+  std::map<SessionKey, Session> sessions_;
+  uint64_t last_sweep_ = 0;
+  Stats stats_;
+};
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_SERVER_BROKER_H_

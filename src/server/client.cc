@@ -1,0 +1,140 @@
+#include "server/client.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace egwalker {
+
+CollabClient::CollabClient(std::string agent_name) : agent_name_(std::move(agent_name)) {}
+
+int CollabClient::Attach(NetSim& net, int broker_endpoint) {
+  broker_ = broker_endpoint;
+  endpoint_id_ = net.AddEndpoint(this);
+  return endpoint_id_;
+}
+
+void CollabClient::Join(NetSim& net, const std::string& doc_name) {
+  EGW_CHECK(endpoint_id_ >= 0);
+  if (subs_.count(doc_name) != 0) {
+    return;  // Already subscribed.
+  }
+  // Fresh replica incarnation: reusing the previous identity would re-issue
+  // (agent, seq) pairs already bound to other events (see header).
+  uint64_t incarnation = ++incarnations_[doc_name];
+  std::string agent = agent_name_;
+  if (incarnation > 1) {
+    agent += "~" + std::to_string(incarnation);
+  }
+  subs_.emplace(doc_name, Sub{Doc(agent), VersionSummary{}});
+  RequestSync(net, doc_name);
+}
+
+void CollabClient::Leave(NetSim& net, const std::string& doc_name) {
+  auto it = subs_.find(doc_name);
+  if (it == subs_.end()) {
+    return;
+  }
+  Message bye;
+  bye.type = MsgType::kLeave;
+  bye.doc = doc_name;
+  net.Send(endpoint_id_, broker_, std::move(bye));
+  subs_.erase(it);
+}
+
+Doc& CollabClient::doc(const std::string& doc_name) {
+  auto it = subs_.find(doc_name);
+  EGW_CHECK(it != subs_.end());
+  return it->second.doc;
+}
+
+void CollabClient::Insert(const std::string& doc_name, uint64_t pos, std::string_view text) {
+  doc(doc_name).Insert(pos, text);
+}
+
+void CollabClient::Delete(const std::string& doc_name, uint64_t pos, uint64_t count) {
+  doc(doc_name).Delete(pos, count);
+}
+
+void CollabClient::PushEdits(NetSim& net, const std::string& doc_name) {
+  auto it = subs_.find(doc_name);
+  EGW_CHECK(it != subs_.end());
+  Sub& sub = it->second;
+  std::string patch = MakePatch(sub.doc, sub.server_known);
+  if (patch.empty()) {
+    return;
+  }
+  Message out;
+  out.type = MsgType::kPatch;
+  out.doc = doc_name;
+  out.summary = EncodeSummary(SummarizeDoc(sub.doc));
+  out.patch = std::move(patch);
+  net.Send(endpoint_id_, broker_, std::move(out));
+}
+
+void CollabClient::RequestSync(NetSim& net, const std::string& doc_name) {
+  auto it = subs_.find(doc_name);
+  EGW_CHECK(it != subs_.end());
+  Message out;
+  out.type = MsgType::kSyncRequest;
+  out.doc = doc_name;
+  out.summary = EncodeSummary(SummarizeDoc(it->second.doc));
+  net.Send(endpoint_id_, broker_, std::move(out));
+}
+
+void CollabClient::OnMessage(NetSim& net, int from, int self, const Message& msg) {
+  EGW_CHECK(self == endpoint_id_);
+  auto it = subs_.find(msg.doc);
+  if (it == subs_.end()) {
+    return;  // Left the document; late messages are dropped.
+  }
+  Sub& sub = it->second;
+  switch (msg.type) {
+    case MsgType::kSyncRequest: {
+      // The broker pulls: send whatever it reports lacking.
+      auto theirs = DecodeSummary(msg.summary);
+      if (!theirs) {
+        return;
+      }
+      sub.server_known = *theirs;
+      std::string patch = MakePatch(sub.doc, *theirs);
+      if (patch.empty()) {
+        return;
+      }
+      Message out;
+      out.type = MsgType::kPatch;
+      out.doc = msg.doc;
+      out.summary = EncodeSummary(SummarizeDoc(sub.doc));
+      out.patch = std::move(patch);
+      net.Send(endpoint_id_, from, std::move(out));
+      break;
+    }
+    case MsgType::kPatch: {
+      auto merged = ApplyPatch(sub.doc, msg.patch);
+      if (!merged.has_value()) {
+        // Premature (an earlier broadcast was lost): repair by reporting
+        // our true summary; the broker resends the full gap.
+        ++stats_.patches_rejected;
+        RequestSync(net, msg.doc);
+        return;
+      }
+      stats_.events_received += *merged;
+      if (*merged > 0) {
+        ++stats_.patches_applied;
+      }
+      if (auto theirs = DecodeSummary(msg.summary)) {
+        sub.server_known = *theirs;
+        // The server may still lack local edits (our pushes were lost);
+        // resend the difference rather than waiting for the next push.
+        if (SummaryAhead(SummarizeDoc(sub.doc), *theirs)) {
+          PushEdits(net, msg.doc);
+        }
+      }
+      break;
+    }
+    case MsgType::kLeave:
+      break;  // The broker never sends kLeave.
+  }
+}
+
+}  // namespace egwalker

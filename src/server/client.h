@@ -1,0 +1,104 @@
+// CollabClient: the editor-side endpoint of the collaboration server.
+//
+// A client owns a local Doc replica per subscribed document and speaks the
+// summary/patch protocol with the broker. Local edits apply to the replica
+// immediately (zero-latency typing, as the paper's architecture demands);
+// PushEdits() ships the delta the server is estimated to lack, and
+// RequestSync() runs the periodic repair exchange that makes the whole
+// protocol loss-tolerant.
+//
+// Client-side session lifecycle (mirror of the broker's, see broker.h):
+//
+//   Join(doc)        creates the local replica and sends the first
+//                    kSyncRequest (the bootstrap).
+//   (steady state)   edits -> PushEdits deltas; incoming kPatch applies or,
+//                    when causally premature, triggers a kSyncRequest; a
+//                    periodic RequestSync repairs anything loss desynced.
+//   Leave(doc)       sends kLeave and drops the replica.
+//
+// The client's estimate of the server state (`server_known_`) advances only
+// on summaries *received from* the server — never optimistically on sends —
+// so a lost PushEdits simply makes the next push a superset (idempotent at
+// the receiver), trading bandwidth for robustness; the broker makes the
+// opposite trade for its fan-out (see broker.h).
+
+#ifndef EGWALKER_SERVER_CLIENT_H_
+#define EGWALKER_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "core/doc.h"
+#include "server/netsim.h"
+#include "server/protocol.h"
+
+namespace egwalker {
+
+class CollabClient : public Endpoint {
+ public:
+  struct Stats {
+    uint64_t patches_applied = 0;
+    uint64_t patches_rejected = 0;  // Premature; repaired via sync request.
+    uint64_t events_received = 0;
+  };
+
+  explicit CollabClient(std::string agent_name);
+
+  // Registers with the network (remembering the broker's endpoint id);
+  // returns this client's endpoint id.
+  int Attach(NetSim& net, int broker_endpoint);
+
+  // Subscribes to a document: creates the local replica (empty until the
+  // bootstrap patch arrives) and sends the initial sync request. Re-joining
+  // after a Leave gets a *fresh replica identity* (agent name suffixed with
+  // an incarnation counter): the old replica is gone, and a fresh Doc that
+  // reused the same agent name would re-issue sequence numbers the rest of
+  // the system already binds to different events — edits made before the
+  // bootstrap arrives would then collide and diverge permanently.
+  void Join(NetSim& net, const std::string& doc_name);
+  // Sends a best-effort kLeave and drops the replica. If the kLeave is
+  // lost, the broker's session idle timeout reaps the session.
+  void Leave(NetSim& net, const std::string& doc_name);
+
+  // The local replica (must be subscribed).
+  Doc& doc(const std::string& doc_name);
+  bool subscribed(const std::string& doc_name) const { return subs_.count(doc_name) > 0; }
+
+  // Local edits: applied to the replica immediately, not yet sent.
+  void Insert(const std::string& doc_name, uint64_t pos, std::string_view text);
+  void Delete(const std::string& doc_name, uint64_t pos, uint64_t count);
+
+  // Ships the delta the server is estimated to lack (no-op when none).
+  void PushEdits(NetSim& net, const std::string& doc_name);
+
+  // Periodic repair: sends the replica's true summary; the broker answers
+  // with whatever this client is missing.
+  void RequestSync(NetSim& net, const std::string& doc_name);
+
+  void OnMessage(NetSim& net, int from, int self, const Message& msg) override;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Sub {
+    Doc doc;
+    // Estimate of the server's summary; advances only on received server
+    // summaries (see file comment).
+    VersionSummary server_known;
+  };
+
+  std::string agent_name_;
+  int endpoint_id_ = -1;
+  int broker_ = -1;
+  std::map<std::string, Sub> subs_;
+  // Joins per document so far: a re-join uses a new agent identity (see
+  // Join).
+  std::map<std::string, uint64_t> incarnations_;
+  Stats stats_;
+};
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_SERVER_CLIENT_H_

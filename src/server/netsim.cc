@@ -1,0 +1,103 @@
+#include "server/netsim.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace egwalker {
+
+namespace {
+
+// One tick of latency is the floor (same-tick delivery would break the
+// snapshot-then-deliver reentrancy guarantee), and the range must be sane.
+NetSimConfig Normalized(NetSimConfig config) {
+  if (config.min_latency == 0) {
+    config.min_latency = 1;
+  }
+  if (config.max_latency < config.min_latency) {
+    config.max_latency = config.min_latency;
+  }
+  return config;
+}
+
+}  // namespace
+
+NetSim::NetSim(const NetSimConfig& config)
+    : config_(Normalized(config)), rng_(config.seed) {}
+
+void NetSim::set_config(const NetSimConfig& config) {
+  uint64_t seed = config_.seed;  // The PRNG stream is not restarted.
+  config_ = Normalized(config);
+  config_.seed = seed;
+}
+
+int NetSim::AddEndpoint(Endpoint* endpoint) {
+  EGW_CHECK(endpoint != nullptr);
+  endpoints_.push_back(endpoint);
+  return static_cast<int>(endpoints_.size() - 1);
+}
+
+void NetSim::Enqueue(int from, int to, Message msg) {
+  Flight flight;
+  flight.deliver_at = now_ + rng_.Range(config_.min_latency, config_.max_latency);
+  flight.seq = next_seq_++;
+  flight.from = from;
+  flight.to = to;
+  flight.msg = std::move(msg);
+  flights_.push_back(std::move(flight));
+}
+
+void NetSim::Send(int from, int to, Message msg) {
+  EGW_CHECK(from >= 0 && static_cast<size_t>(from) < endpoints_.size());
+  EGW_CHECK(to >= 0 && static_cast<size_t>(to) < endpoints_.size());
+  ++stats_.sent;
+  if (rng_.Chance(config_.drop)) {
+    ++stats_.dropped;
+    return;
+  }
+  if (rng_.Chance(config_.duplicate)) {
+    ++stats_.duplicated;
+    Enqueue(from, to, msg);  // Copy; the original moves below.
+  }
+  Enqueue(from, to, std::move(msg));
+}
+
+uint64_t NetSim::Tick() {
+  ++now_;
+  // Snapshot the due messages, then deliver: handlers may Send(), and the
+  // one-tick minimum latency guarantees those new flights are not yet due.
+  std::vector<Flight> due;
+  size_t keep = 0;
+  for (size_t i = 0; i < flights_.size(); ++i) {
+    if (flights_[i].deliver_at <= now_) {
+      due.push_back(std::move(flights_[i]));
+    } else {
+      if (keep != i) {  // Guard: self-move would corrupt the message.
+        flights_[keep] = std::move(flights_[i]);
+      }
+      ++keep;
+    }
+  }
+  flights_.resize(keep);
+  std::sort(due.begin(), due.end(), [](const Flight& a, const Flight& b) {
+    return a.deliver_at != b.deliver_at ? a.deliver_at < b.deliver_at : a.seq < b.seq;
+  });
+  for (const Flight& flight : due) {
+    ++stats_.delivered;
+    endpoints_[static_cast<size_t>(flight.to)]->OnMessage(*this, flight.from, flight.to,
+                                                          flight.msg);
+  }
+  return due.size();
+}
+
+bool NetSim::Run(uint64_t max_ticks) {
+  for (uint64_t i = 0; i < max_ticks; ++i) {
+    Tick();
+    if (flights_.empty()) {
+      return true;
+    }
+  }
+  return flights_.empty();
+}
+
+}  // namespace egwalker

@@ -1,0 +1,107 @@
+// NetSim: a deterministic in-process network simulator.
+//
+// Convergence scenarios need an adversarial network — latency, loss,
+// duplication, reordering — without sockets or threads, and above all
+// *reproducibly*: a failing seed must replay bit-for-bit. NetSim is a
+// discrete-time message queue over the repo's xoshiro Prng: endpoints are
+// registered objects, Send() enqueues a message with a seeded random
+// delivery delay (reordering falls out of unequal delays), and each Tick()
+// delivers everything due, in (delivery time, send order) order, by calling
+// the receiving endpoint's OnMessage. Drops discard at send time;
+// duplicates enqueue a second copy with an independent delay.
+//
+// Endpoints may Send() from inside OnMessage; because the minimum latency
+// is one tick, newly sent messages are never delivered within the tick that
+// produced them, so delivery iterates over a stable snapshot.
+//
+// Single-threaded by design: the simulator is the event loop. A real
+// socket transport would slot in behind the same Endpoint interface
+// (ROADMAP: scale-out).
+
+#ifndef EGWALKER_SERVER_NETSIM_H_
+#define EGWALKER_SERVER_NETSIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "server/protocol.h"
+#include "util/prng.h"
+
+namespace egwalker {
+
+class NetSim;
+
+// A party on the simulated network. Non-owning registration; the endpoint
+// must outlive the NetSim.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  // `self` is the receiving endpoint's own id (as returned by AddEndpoint).
+  virtual void OnMessage(NetSim& net, int from, int self, const Message& msg) = 0;
+};
+
+struct NetSimConfig {
+  uint64_t seed = 1;
+  uint64_t min_latency = 1;  // Delivery delay in ticks (clamped to >= 1).
+  uint64_t max_latency = 4;
+  double drop = 0.0;       // P(message silently lost).
+  double duplicate = 0.0;  // P(message delivered twice, independent delays).
+};
+
+class NetSim {
+ public:
+  struct Stats {
+    uint64_t sent = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+    uint64_t duplicated = 0;
+  };
+
+  explicit NetSim(const NetSimConfig& config = {});
+
+  // Registers an endpoint, returning its id (dense, starting at 0).
+  int AddEndpoint(Endpoint* endpoint);
+
+  // Enqueues a message. May drop or duplicate per the config.
+  void Send(int from, int to, Message msg);
+
+  // Advances one tick and delivers every message due; returns how many
+  // messages were delivered.
+  uint64_t Tick();
+
+  // Runs Tick() until the network is quiet or `max_ticks` have elapsed;
+  // returns true if the network drained.
+  bool Run(uint64_t max_ticks);
+
+  uint64_t now() const { return now_; }
+  size_t in_flight() const { return flights_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  // Reconfigures loss/latency in place (e.g. a lossless drain phase after
+  // an adversarial soak). The PRNG stream continues; determinism holds as
+  // long as the reconfiguration point is itself deterministic.
+  void set_config(const NetSimConfig& config);
+
+ private:
+  struct Flight {
+    uint64_t deliver_at = 0;
+    uint64_t seq = 0;  // Send order; the reproducible tie-breaker.
+    int from = 0;
+    int to = 0;
+    Message msg;
+  };
+
+  void Enqueue(int from, int to, Message msg);
+
+  NetSimConfig config_;
+  Prng rng_;
+  std::vector<Endpoint*> endpoints_;
+  std::vector<Flight> flights_;
+  uint64_t now_ = 0;
+  uint64_t next_seq_ = 0;
+  Stats stats_;
+};
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_SERVER_NETSIM_H_

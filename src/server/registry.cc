@@ -1,0 +1,150 @@
+#include "server/registry.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace egwalker {
+
+void MemStorage::Append(const std::string& doc, std::string segment) {
+  total_bytes_ += segment.size();
+  chains_[doc].push_back(std::move(segment));
+}
+
+const std::vector<std::string>* MemStorage::Chain(const std::string& doc) const {
+  auto it = chains_.find(doc);
+  return it == chains_.end() ? nullptr : &it->second;
+}
+
+void MemStorage::Replace(const std::string& doc, std::vector<std::string> chain) {
+  std::vector<std::string>& slot = chains_[doc];
+  for (const std::string& segment : slot) {
+    total_bytes_ -= segment.size();
+  }
+  for (const std::string& segment : chain) {
+    total_bytes_ += segment.size();
+  }
+  slot = std::move(chain);
+}
+
+DocRegistry::DocRegistry(SegmentStorage& storage, const Config& config)
+    : storage_(storage), config_(config) {
+  EGW_CHECK(config_.checkpoint.include_deleted_content);
+}
+
+Doc& DocRegistry::Open(const std::string& name) {
+  ++stats_.opens;
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    Touch(it->second);
+    return it->second.doc;
+  }
+
+  Doc doc(config_.agent);
+  Lv checkpoint_lv = 0;
+  if (const std::vector<std::string>* chain = storage_.Chain(name)) {
+    std::string error;
+    auto loaded = Doc::LoadChain(*chain, config_.agent, &error);
+    // Chains are written by this registry; a decode failure is corruption.
+    EGW_CHECK(loaded.has_value());
+    doc = std::move(*loaded);
+    checkpoint_lv = doc.end_lv();
+    ++stats_.loads;
+    stats_.replayed_on_load += doc.replayed_events();
+  } else {
+    ++stats_.creates;
+  }
+  Entry& entry =
+      entries_.emplace(name, Entry{std::move(doc), checkpoint_lv, 0}).first->second;
+  Touch(entry);
+  EvictOverCapacity(name);
+  return entry.doc;
+}
+
+uint64_t DocRegistry::DirtyEvents(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return 0;
+  }
+  return it->second.doc.end_lv() - it->second.checkpoint_lv;
+}
+
+bool DocRegistry::FlushEntry(const std::string& name, Entry& entry) {
+  if (entry.doc.end_lv() == entry.checkpoint_lv) {
+    return false;  // Clean: an incremental flush writes nothing.
+  }
+  // Compaction: a heavily evicted document accumulates one segment per
+  // eviction; once the chain is about to reach the threshold, skip the
+  // incremental append and rewrite it as a single consolidated segment, so
+  // reload cost stays O(history), not O(history x evictions).
+  const std::vector<std::string>* chain = storage_.Chain(name);
+  size_t chain_len = chain != nullptr ? chain->size() : 0;
+  if (config_.compact_above_segments != 0 && chain_len + 1 >= config_.compact_above_segments) {
+    std::vector<std::string> consolidated;
+    consolidated.push_back(entry.doc.SaveSegment(0, config_.checkpoint));
+    storage_.Replace(name, std::move(consolidated));
+    ++stats_.compactions;
+  } else {
+    storage_.Append(name, entry.doc.SaveSegment(entry.checkpoint_lv, config_.checkpoint));
+  }
+  entry.checkpoint_lv = entry.doc.end_lv();
+  ++stats_.flushes;
+  return true;
+}
+
+bool DocRegistry::Flush(const std::string& name) {
+  auto it = entries_.find(name);
+  return it != entries_.end() && FlushEntry(name, it->second);
+}
+
+bool DocRegistry::FlushIfDirty(const std::string& name, uint64_t min_new_events) {
+  auto it = entries_.find(name);
+  if (it == entries_.end() ||
+      it->second.doc.end_lv() - it->second.checkpoint_lv < min_new_events) {
+    return false;
+  }
+  return FlushEntry(name, it->second);
+}
+
+void DocRegistry::FlushAll() {
+  for (auto& [name, entry] : entries_) {
+    FlushEntry(name, entry);
+  }
+}
+
+bool DocRegistry::Evict(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return false;
+  }
+  FlushEntry(name, it->second);
+  entries_.erase(it);
+  ++stats_.evictions;
+  return true;
+}
+
+void DocRegistry::EvictOverCapacity(const std::string& keep) {
+  if (config_.max_resident == 0) {
+    return;
+  }
+  while (entries_.size() > config_.max_resident) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == keep) {
+        continue;
+      }
+      if (victim == entries_.end() || it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) {
+      return;  // Only the protected document is resident.
+    }
+    FlushEntry(victim->first, victim->second);
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace egwalker

@@ -207,6 +207,67 @@ TEST(Rope, ForEachChunkConcatenatesToFullText) {
   EXPECT_EQ(collected, text);
 }
 
+TEST(Rope, MixedWidthBulkConstructionSplitsSafely) {
+  // Regression: bulk-loading text whose multi-byte scalars straddle leaf
+  // byte midpoints used to overflow a leaf — the split backs down to a
+  // scalar boundary, so the right half can exceed half the leaf capacity,
+  // and a maximum-size insert chunk then failed the capacity check. This
+  // is exactly the cached-doc reload path (Rope(text)) for non-ASCII
+  // documents. Build many mixed-width strings with pseudo-random
+  // interleavings and round-trip each.
+  const char* pieces[] = {"a", "bc", "é", "ß", "世", "界", "😀", "𝄞", "\n"};
+  Prng rng(77);
+  for (int round = 0; round < 200; ++round) {
+    std::string text;
+    size_t target = 200 + rng.Below(1200);
+    while (text.size() < target) {
+      text += pieces[rng.Below(sizeof(pieces) / sizeof(pieces[0]))];
+    }
+    Rope rope(text);
+    ASSERT_TRUE(rope.CheckInvariants()) << "round " << round;
+    ASSERT_EQ(rope.ToString(), text) << "round " << round;
+  }
+}
+
+TEST(Rope, AlternatingInsertDeletePointsMatchOracle) {
+  // Two clustered cursors — a typing point and a distant delete point —
+  // interleaved every step, the walker-style workload the two-entry edit
+  // cache serves. Differential vs the oracle validates the cross-cache
+  // absolute-offset fixups when one cache's edit shifts the other's leaf.
+  for (uint64_t seed : {11, 12, 13}) {
+    Prng rng(seed);
+    Rope rope;
+    NaiveText naive;
+    std::string base(8000, 'x');
+    rope.InsertAt(0, base);
+    naive.InsertAt(0, base);
+    size_t ins_cursor = naive.size() / 4;
+    size_t del_cursor = (naive.size() * 3) / 4;
+    for (int i = 0; i < 6000; ++i) {
+      if (rng.Chance(0.01)) {  // Occasionally relocate both points.
+        ins_cursor = rng.Below(naive.size() + 1);
+        del_cursor = rng.Below(naive.size());
+      }
+      ins_cursor = std::min(ins_cursor, naive.size());
+      rope.InsertAt(ins_cursor, "ab");
+      naive.InsertAt(ins_cursor, "ab");
+      ins_cursor += 2;
+      if (del_cursor >= ins_cursor && del_cursor + 2 <= naive.size()) {
+        del_cursor += 2;  // Keep the delete point on the same text.
+      }
+      if (del_cursor + 1 < naive.size()) {
+        rope.RemoveAt(del_cursor, 1);
+        naive.RemoveAt(del_cursor, 1);
+      } else {
+        del_cursor = naive.size() / 2;
+      }
+      ASSERT_EQ(rope.char_size(), naive.size()) << "seed " << seed << " step " << i;
+    }
+    EXPECT_EQ(rope.ToString(), naive.ToString()) << "seed " << seed;
+    EXPECT_TRUE(rope.CheckInvariants()) << "seed " << seed;
+  }
+}
+
 // Randomised differential test vs the oracle, parameterised over edit mixes.
 struct FuzzParams {
   uint64_t seed;

@@ -220,6 +220,161 @@ TEST(Patch, RandomisedPatchOnlyGossipConverges) {
   }
 }
 
+TEST(Patch, AdversarialDeliveryNeverHalfApplies) {
+  // Fuzz the causal-closure gate: patches built against stale summaries
+  // (massive duplication), against artificially advanced summaries
+  // (causally premature by construction), delivered out of order and more
+  // than once. Invariant: ApplyPatch either applies cleanly or leaves the
+  // document byte-identical — text, event count, and summary all unchanged
+  // on rejection; duplicates merge zero events; and the replicas still
+  // converge once real deltas flow.
+  for (uint64_t seed = 501; seed <= 506; ++seed) {
+    Prng rng(seed);
+    std::vector<Doc> peers;
+    for (int i = 0; i < 3; ++i) {
+      peers.emplace_back("p" + std::to_string(i));
+    }
+    peers[0].Insert(0, "seed text ");
+    for (int i = 1; i < 3; ++i) {
+      ASSERT_TRUE(ApplyPatch(peers[i], MakePatch(peers[0], SummarizeDoc(peers[i]))).has_value());
+    }
+
+    // In-flight patches (reordering: random pick; duplication: not removed
+    // on delivery half the time) and a history of stale summaries.
+    struct Flight {
+      size_t to;
+      std::string patch;
+    };
+    std::vector<Flight> flights;
+    std::vector<VersionSummary> stale;
+    uint64_t rejections = 0;
+
+    for (int step = 0; step < 300; ++step) {
+      size_t actor = rng.Below(3);
+      Doc& doc = peers[actor];
+      switch (rng.Below(6)) {
+        case 0:
+        case 1: {  // Edit.
+          if (doc.size() > 4 && rng.Chance(0.3)) {
+            doc.Delete(rng.Below(doc.size() - 1), 1);
+          } else {
+            std::string text(1 + rng.Below(3), static_cast<char>('a' + rng.Below(26)));
+            doc.Insert(rng.Below(doc.size() + 1), text);
+          }
+          break;
+        }
+        case 2: {  // Record a summary for later (it will go stale).
+          stale.push_back(SummarizeDoc(doc));
+          break;
+        }
+        case 3: {  // Send a patch against a stale (or fresh) summary.
+          size_t to = rng.Below(3);
+          if (to == actor) {
+            break;
+          }
+          VersionSummary base = (!stale.empty() && rng.Chance(0.6))
+                                    ? stale[rng.Below(stale.size())]
+                                    : SummarizeDoc(peers[to]);
+          std::string patch = MakePatch(doc, base);
+          if (!patch.empty()) {
+            flights.push_back({to, std::move(patch)});
+          }
+          break;
+        }
+        case 4: {  // Send a causally premature patch: pretend the receiver
+                   // is ahead of everyone, so the patch has gaps.
+          size_t to = rng.Below(3);
+          if (to == actor) {
+            break;
+          }
+          VersionSummary advanced = SummarizeDoc(peers[to]);
+          bool inflated = false;
+          for (auto& [agent, count] : advanced.agents) {
+            if (SummarizeDoc(doc).agents.count(agent) != 0 &&
+                SummarizeDoc(doc).agents.at(agent) > count + 1) {
+              count += 1 + rng.Below(2);  // Claim events the receiver lacks.
+              inflated = true;
+            }
+          }
+          std::string patch = MakePatch(doc, advanced);
+          if (inflated && !patch.empty()) {
+            flights.push_back({to, std::move(patch)});
+          }
+          break;
+        }
+        case 5: {  // Deliver a random in-flight patch (reordered); keep it
+                   // around half the time (duplication).
+          if (flights.empty()) {
+            break;
+          }
+          size_t pick = rng.Below(flights.size());
+          Doc& target = peers[flights[pick].to];
+          std::string before_text = target.Text();
+          uint64_t before_events = target.graph().size();
+          VersionSummary before_summary = SummarizeDoc(target);
+          auto merged = ApplyPatch(target, flights[pick].patch);
+          if (!merged.has_value()) {
+            ++rejections;
+            // The whole point: rejection is all-or-nothing.
+            ASSERT_EQ(target.Text(), before_text) << "seed " << seed;
+            ASSERT_EQ(target.graph().size(), before_events) << "seed " << seed;
+            ASSERT_EQ(SummarizeDoc(target), before_summary) << "seed " << seed;
+          } else {
+            ASSERT_GE(target.graph().size(), before_events);
+          }
+          if (rng.Chance(0.5)) {
+            flights.erase(flights.begin() + static_cast<long>(pick));
+          }
+          break;
+        }
+      }
+    }
+    EXPECT_GT(rejections, 0u) << "seed " << seed;  // The adversary showed up.
+
+    // Clean final exchange: everyone converges despite the chaos above.
+    for (int sweep = 0; sweep < 3; ++sweep) {
+      for (size_t i = 0; i < 3; ++i) {
+        for (size_t j = 0; j < 3; ++j) {
+          if (i != j) {
+            ASSERT_TRUE(
+                ApplyPatch(peers[j], MakePatch(peers[i], SummarizeDoc(peers[j]))).has_value());
+          }
+        }
+      }
+    }
+    EXPECT_EQ(peers[0].Text(), peers[1].Text()) << "seed " << seed;
+    EXPECT_EQ(peers[1].Text(), peers[2].Text()) << "seed " << seed;
+  }
+}
+
+TEST(Patch, DuplicateAndInterleavedDeliveryIsIdempotent) {
+  // The same patch applied repeatedly, interleaved with other patches that
+  // partially overlap it, must merge each event exactly once.
+  Doc alice("alice");
+  Doc bob("bob");
+  alice.Insert(0, "shared base. ");
+  ASSERT_TRUE(ApplyPatch(bob, MakePatch(alice, SummarizeDoc(bob))).has_value());
+  alice.Insert(13, "one ");
+  std::string patch1 = MakePatch(alice, SummarizeDoc(bob));
+  alice.Insert(17, "two ");
+  std::string patch2 = MakePatch(alice, SummarizeDoc(bob));  // Overlaps patch1.
+  bob.Insert(0, "bob! ");
+  std::string patch_b = MakePatch(bob, SummarizeDoc(alice));
+
+  ASSERT_TRUE(ApplyPatch(bob, patch1).has_value());
+  auto again = ApplyPatch(bob, patch1);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, 0u);
+  auto overlap = ApplyPatch(bob, patch2);  // Brings only the new run.
+  ASSERT_TRUE(overlap.has_value());
+  EXPECT_EQ(*overlap, 4u);
+  ASSERT_TRUE(ApplyPatch(bob, patch2).has_value());
+  ASSERT_TRUE(ApplyPatch(alice, patch_b).has_value());
+  ASSERT_TRUE(ApplyPatch(alice, patch_b).has_value());
+  EXPECT_EQ(alice.graph().size(), bob.graph().size());
+  EXPECT_EQ(alice.Text(), bob.Text());
+}
+
 TEST(Patch, DeltaSizeIsProportionalToChanges) {
   Doc alice("alice");
   for (int i = 0; i < 200; ++i) {
