@@ -13,7 +13,33 @@ namespace {
 // any newer valid candidate gives a smaller replay window.
 constexpr size_t kMaxCandidates = 64;
 
+// A merge session whose retained state grows past this many record spans +
+// delete-target runs is dropped after the merge: an idle document then
+// holds at most this much walker state, and the next merge rebuilds from
+// the newest critical version as before. High-concurrency windows without
+// critical versions are the only way to get here.
+constexpr size_t kMaxSessionState = 8192;
+
 }  // namespace
+
+bool Doc::default_merge_sessions_ = true;
+
+void Doc::SetMergeSessionsDefault(bool enabled) { default_merge_sessions_ = enabled; }
+
+bool Doc::MergeSessionsDefault() { return default_merge_sessions_; }
+
+void Doc::set_merge_sessions(bool enabled) {
+  merge_sessions_ = enabled;
+  if (!enabled) {
+    DropSession();
+  }
+}
+
+bool Doc::merge_session_active() const {
+  return session_.walker != nullptr && session_.walker->has_session();
+}
+
+void Doc::DropSession() { session_.walker.reset(); }
 
 Doc::Doc(std::string_view agent_name) { agent_ = trace_.graph.GetOrCreateAgent(agent_name); }
 
@@ -93,26 +119,24 @@ uint64_t Doc::MergeFrom(const Doc& other) {
   const OpLog& oops = other.trace_.ops;
   std::vector<RemoteChunk> chunks;
   Lv olv = 0;
+  ChunkScanner scan(og, oops);
   while (olv < og.size()) {
-    const GraphEntry& entry = og.EntryContaining(olv);
-    const AgentSpan& as = og.agent_spans().FindChecked(olv);
-    Lv chunk_end = std::min(entry.span.end, as.span.end);
-    OpSlice slice = oops.SliceAt(olv, chunk_end);
-    chunk_end = olv + slice.count;
+    ChunkScanner::Chunk ck = scan.At(olv);
+    const AgentSpan& as = *ck.agent;
 
     RemoteChunk chunk;
     chunk.agent = og.AgentName(as.agent);
     chunk.seq_start = as.seq_start + (olv - as.span.start);
-    chunk.count = chunk_end - olv;
+    chunk.count = ck.end - olv;
     for (Lv p : og.ParentsOf(olv)) {
       chunk.parents.push_back(og.LvToRaw(p));
     }
-    chunk.kind = slice.kind;
-    chunk.pos = slice.pos_start;
-    chunk.fwd = slice.fwd;
-    chunk.text = std::string(slice.text);
+    chunk.kind = ck.slice.kind;
+    chunk.pos = ck.slice.pos_start;
+    chunk.fwd = ck.slice.fwd;
+    chunk.text = std::string(ck.slice.text);
     chunks.push_back(std::move(chunk));
-    olv = chunk_end;
+    olv = ck.end;
   }
   auto merged = ApplyRemoteChunks(chunks);
   EGW_CHECK(merged.has_value());  // A full history is always causally closed.
@@ -227,9 +251,10 @@ std::optional<uint64_t> Doc::ApplyRemoteChunks(const std::vector<RemoteChunk>& c
     return 0;
   }
 
-  // --- Incremental replay from the best cached critical version. ---
+  // --- Replay: continue the persistent walker session when the appended
+  // events stay ahead of its base, otherwise rebuild from the best cached
+  // critical version (retaining the fresh walker as the next session). ---
   Lv base = FindReplayBase(new_chunk_starts);
-  Walker walker(trace_.graph, trace_.ops);
   std::vector<CriticalPoint> criticals;
   std::vector<XfOp> xf_ops;
   ReplaySinks sinks;
@@ -237,20 +262,54 @@ std::optional<uint64_t> Doc::ApplyRemoteChunks(const std::vector<RemoteChunk>& c
   if (change_listener_ != nullptr) {
     sinks.xf_ops = &xf_ops;
   }
-  bool full_rebuild = (base == kInvalidLv);
+  bool full_rebuild = false;
   uint64_t old_len = rope_.char_size();
-  if (full_rebuild) {
-    // No usable critical version: rebuild the document from scratch.
-    rope_.Clear();
-    walker.ReplayRange(rope_, Frontier{}, trace_.graph.version(), Walker::Options{}, sinks);
-    replayed_events_ += trace_.graph.size();
+
+  auto fresh_replay = [&](Walker& walker) {
+    if (base == kInvalidLv) {
+      // No usable critical version: rebuild the document from scratch.
+      full_rebuild = true;
+      rope_.Clear();
+      walker.ReplayRange(rope_, Frontier{}, trace_.graph.version(), Walker::Options{}, sinks);
+      replayed_events_ += trace_.graph.size();
+    } else {
+      uint64_t base_len = critical_lens_.back();
+      walker.MergeRange(rope_, Frontier{base}, base_len, trace_.graph.version(), first_new,
+                        Walker::Options{}, sinks);
+      // The window replayed is everything past the critical base (a
+      // singleton critical version dominates the whole prefix [0, base]).
+      replayed_events_ += trace_.graph.size() - base - 1;
+    }
+  };
+
+  Walker* session = session_.walker.get();
+  // Continuation is valid when the session's anchor dominates every
+  // appended event: the chosen base `c` is critical (dominates [0, c]) and
+  // in every new chunk's closure, so c >= anchor implies the anchor is too.
+  bool continue_session = merge_sessions_ && session != nullptr && session->has_session() &&
+                          (session->session_base().empty() ||
+                           (base != kInvalidLv && base >= session->session_base()[0]));
+  if (continue_session) {
+    Lv resume_from = session->session_seen_end();
+    session->ContinueMerge(rope_, first_new, sinks);
+    // Only the appended suffix (local catch-up + new chunks) was walked.
+    replayed_events_ += trace_.graph.size() - resume_from;
+  } else if (merge_sessions_) {
+    if (session == nullptr) {
+      session_.walker = std::make_unique<Walker>(trace_.graph, trace_.ops);
+      session = session_.walker.get();
+    }
+    fresh_replay(*session);
   } else {
-    uint64_t base_len = critical_lens_.back();
-    walker.MergeRange(rope_, Frontier{base}, base_len, trace_.graph.version(), first_new,
-                      Walker::Options{}, sinks);
-    // The window replayed is everything past the critical base (a singleton
-    // critical version dominates the whole prefix [0, base]).
-    replayed_events_ += trace_.graph.size() - base - 1;
+    Walker walker(trace_.graph, trace_.ops);
+    fresh_replay(walker);
+  }
+  // Cap an over-grown session so idle documents stay small (see
+  // kMaxSessionState); the next merge rebuilds incrementally as before.
+  if (session_.walker != nullptr &&
+      (!session_.walker->has_session() ||
+       session_.walker->session_state_size() > kMaxSessionState)) {
+    DropSession();
   }
   for (const CriticalPoint& cp : criticals) {
     if (critical_candidates_.empty() || cp.lv > critical_candidates_.back()) {

@@ -12,12 +12,22 @@
 // most recent critical version that precedes the incoming ones
 // (Section 3.6) — usually a small suffix of the history.
 //
+// On top of that, consecutive merges share a *persistent walker session*
+// (see walker.h): the internal state built by one merge is kept alive, so
+// the next merge replays only the events appended since — local edits
+// catch up silently, remote events apply live. The session is dropped (and
+// the incremental replay falls back to the critical-version path) when the
+// incoming events are concurrent with the session's base, or when the
+// retained state grows past a memory cap. Sessions are a pure cache:
+// merged documents are byte-identical with sessions on or off.
+//
 // Save/Load use the columnar format of Section 3.8, optionally caching the
 // final text so documents open without any replay.
 
 #ifndef EGWALKER_CORE_DOC_H_
 #define EGWALKER_CORE_DOC_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -146,6 +156,24 @@ class Doc {
   // test asserts on it.
   uint64_t replayed_events() const { return replayed_events_; }
 
+  // --- Merge sessions -----------------------------------------------------
+
+  // Per-document toggle for persistent walker sessions (on by default; the
+  // process-wide default below seeds new documents). Turning sessions off
+  // drops any live session; merges then rebuild a fresh walker each time —
+  // the behaviour differential tests compare against.
+  void set_merge_sessions(bool enabled);
+  bool merge_sessions() const { return merge_sessions_; }
+
+  // Process-wide default copied by every subsequently constructed/loaded
+  // Doc. Lets soak tests toggle whole server topologies (registry docs,
+  // client replicas) without threading a flag through each layer.
+  static void SetMergeSessionsDefault(bool enabled);
+  static bool MergeSessionsDefault();
+
+  // True while a walker session is retained for the next merge.
+  bool merge_session_active() const;
+
   // --- Introspection ------------------------------------------------------
 
   const Trace& trace() const { return trace_; }
@@ -153,14 +181,40 @@ class Doc {
  private:
   Doc() = default;
   void NoteLocalEvent(Lv tip);
+  void DropSession();
   // The most recent cached critical version dominating every newly merged
   // chunk, or kInvalidLv for "replay everything". Prunes invalidated
   // candidates.
   Lv FindReplayBase(const std::vector<Lv>& new_chunk_starts);
 
+  // The retained walker references this Doc's trace_ by address, so it must
+  // not survive a copy or move of the Doc — on either side: every special
+  // member leaves both slots empty (the session is a cache; dropping it is
+  // always correct). A moved-from source in particular must not keep a
+  // walker whose seen_end outruns its gutted graph.
+  struct SessionSlot {
+    std::unique_ptr<Walker> walker;
+    SessionSlot() = default;
+    SessionSlot(const SessionSlot&) noexcept {}
+    SessionSlot(SessionSlot&& other) noexcept { other.walker.reset(); }
+    SessionSlot& operator=(const SessionSlot&) noexcept {
+      walker.reset();
+      return *this;
+    }
+    SessionSlot& operator=(SessionSlot&& other) noexcept {
+      walker.reset();
+      other.walker.reset();
+      return *this;
+    }
+  };
+
+  static bool default_merge_sessions_;
+
   Trace trace_;
   Rope rope_;
   AgentId agent_ = 0;
+  SessionSlot session_;
+  bool merge_sessions_ = default_merge_sessions_;
   // Cached critical versions (ascending) and the document length at each;
   // parallel vectors, bounded by kMaxCandidates.
   std::vector<Lv> critical_candidates_;

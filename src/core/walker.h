@@ -16,6 +16,46 @@
 //
 // All operations are processed run-at-a-time: a typed run of n characters
 // costs one tree lookup and one integration scan, not n.
+//
+// Persistent merge sessions
+// -------------------------
+// The same argument the paper makes for critical-version clearing
+// (Section 3.5: internal state is disposable once every remaining event
+// descends from a single version) also makes the state *reusable*: after a
+// completed MergeRange whose `to` was the graph frontier, the tree, the
+// prepare version, and the delete-target records are exactly the state a
+// future merge of appended events would have to rebuild. A session keeps
+// them alive so consecutive merges pay O(new events) instead of re-walking
+// the whole window past the last critical version.
+//
+// Session lifecycle state machine (documented in the broker/registry style):
+//
+//   (closed) --MergeRange(to == graph frontier)--> OPEN
+//                 the walker records seen_end (= graph size) and the seen
+//                 frontier; the retained tree covers every event since the
+//                 session base (the `from` version, advanced to the newest
+//                 clear point by each ClearState).
+//   OPEN --ContinueMerge--> OPEN
+//                 replays only the appended LV range [seen_end, graph size)
+//                 via PlanWalkAppend; events below `apply_from` are the
+//                 catch-up stage (local edits already in the document).
+//                 PRECONDITION (caller-checked): session_base() must
+//                 dominate every appended event — otherwise retreat would
+//                 reach below the placeholder and the session must be
+//                 dropped instead. Clearing at critical versions inside the
+//                 continuation advances the base as usual, re-anchoring the
+//                 session for cheap future merges.
+//   OPEN --MergeRange/ReplayRange--> OPEN or (closed)
+//                 any fresh replay discards the previous session and opens
+//                 a new one iff its `to` is the graph frontier.
+//   OPEN --EndSession--> (closed)
+//                 drops the retained state (memory-cap enforcement or an
+//                 owner that knows the frontier diverged).
+//
+// Sessions are a pure cache: ContinueMerge produces byte-identical
+// documents and transformed-op streams to a fresh MergeRange over the same
+// window (the session-equivalence soak in tests/test_server.cc and the
+// fuzz_all entry pin this).
 
 #ifndef EGWALKER_CORE_WALKER_H_
 #define EGWALKER_CORE_WALKER_H_
@@ -64,6 +104,37 @@ class Walker {
   void MergeRange(Rope& doc, const Frontier& from, uint64_t base_len, const Frontier& to,
                   Lv apply_from, const Options& opts = {}, ReplaySinks sinks = {});
 
+  // --- Persistent merge sessions (see the file comment) -------------------
+
+  // True after a completed replay whose `to` was the graph frontier.
+  bool has_session() const { return session_open_; }
+
+  // One past the last LV the retained state covers (the graph size at the
+  // end of the last replay); ContinueMerge processes [seen_end, size).
+  Lv session_seen_end() const { return seen_end_; }
+
+  // The version the retained tree is anchored on: the last clear point (a
+  // singleton critical version), or the original `from`. Empty means the
+  // state was never rebased on a placeholder — it covers every replayed
+  // event and any continuation is valid. Otherwise the caller must verify
+  // the base dominates every appended event before ContinueMerge.
+  const Frontier& session_base() const { return session_base_; }
+
+  // Retained-state footprint (record spans + delete-target runs): owners
+  // cap this to bound steady-state memory of an idle session.
+  size_t session_state_size() const { return tree_.span_count() + delete_targets_.size(); }
+
+  // Continues the open session over the appended events
+  // [session_seen_end(), graph size): events below `apply_from` update
+  // internal state only (they are already reflected in `doc`, e.g. local
+  // edits made since the last merge), events at or above it apply to `doc`
+  // and emit transformed operations. `doc` must hold the same document the
+  // previous replay left (plus those local edits).
+  void ContinueMerge(Rope& doc, Lv apply_from, ReplaySinks sinks = {});
+
+  // Drops the retained session state.
+  void EndSession();
+
   // Diagnostics: high-water mark of internal-state record spans across the
   // last replay (proxy for peak internal-state size).
   size_t peak_span_count() const { return peak_spans_; }
@@ -109,6 +180,16 @@ class Walker {
   Options opts_;
   ReplaySinks sinks_;
   size_t peak_spans_ = 0;
+  // Run-carrying op-log cursors: the apply path and the retreat/advance
+  // path each scan mostly sequentially, but interleaved with each other, so
+  // they carry separate run state (see OpLog::SliceCursor).
+  OpLog::SliceCursor apply_cursor_;
+  OpLog::SliceCursor prep_cursor_;
+  // Session state (see file comment).
+  bool session_open_ = false;
+  Frontier session_base_;
+  Lv seen_end_ = 0;
+  Frontier seen_version_;
   // Document length at the current replay point. Differs from doc_ length
   // only during MergeRange's catch-up stage.
   uint64_t logical_len_ = 0;

@@ -78,6 +78,13 @@ struct DiffResult {
   std::vector<LvSpan> only_b;
 };
 
+// Counters for the frontier-keyed diff cache (see Graph::Diff).
+struct DiffCacheStats {
+  uint64_t hits = 0;           // Diff() answered from the cache.
+  uint64_t misses = 0;         // Diff() fell through to a graph walk.
+  uint64_t invalidations = 0;  // Cache clears triggered by Add().
+};
+
 class Graph {
  public:
   // --- Construction ---------------------------------------------------------
@@ -142,7 +149,41 @@ class Graph {
   // The set difference of the transitive closures of two versions
   // (Section 3.2's retreat/advance computation). Runs in O(d log d) where d
   // is the number of events walked — typically the size of the diff.
+  //
+  // Results are memoised in a small frontier-keyed LRU cache, which pays off
+  // on repeatable queries: fan-out where many readers diff against the same
+  // document frontier, history browsing (TextAt planning re-diffs the same
+  // version), and repeated version comparisons. The cache is consulted for
+  // the pair in either order (the result is symmetric modulo swapping
+  // only_a/only_b). Call sites whose pairs are unique by construction — the
+  // walker's retreat/advance path, where the prepare version advances with
+  // every step — use DiffUncached instead, since caching a never-repeating
+  // stream is pure insert cost.
+  //
+  // Invalidation contract: Add() clears the cache. (Appending events never
+  // changes the closure of existing frontiers, so this is conservative; it
+  // keeps the cache trivially correct under any future mutation and bounds
+  // staleness reasoning to a single merge window.)
+  //
+  // Memory contract (mirrors util/pool.h's memtrack note): cached spans are
+  // ordinary tracked heap and stay visible to the Figure 10 accounting.
+  // Retention is capped — at most kDiffCacheEntries keys and
+  // kDiffCacheSpanBudget total cached spans, frontiers of at most
+  // kDiffCacheMaxFrontier members — so a steady-state Graph retains well
+  // under ~2 KiB of cache, and oversized results are simply not cached.
   DiffResult Diff(const Frontier& a, const Frontier& b) const;
+
+  // The uncached reference walk behind Diff(). Exposed for differential
+  // tests (cached vs reference) and for callers that know the pair will
+  // never recur.
+  DiffResult DiffUncached(const Frontier& a, const Frontier& b) const;
+
+  const DiffCacheStats& diff_cache_stats() const { return diff_cache_stats_; }
+
+  // Cache retention caps (see Diff). Public so tests can pin behaviour.
+  static constexpr size_t kDiffCacheEntries = 8;
+  static constexpr size_t kDiffCacheMaxFrontier = 4;
+  static constexpr size_t kDiffCacheSpanBudget = 96;
 
   // All events in Events(frontier), as ascending spans.
   std::vector<LvSpan> EventsOf(const Frontier& frontier) const;
@@ -174,6 +215,19 @@ class Graph {
 
   Frontier version_;
   Lv next_lv_ = 0;
+
+  // Frontier-keyed diff cache (see Diff). Mutable: Diff is logically const.
+  struct DiffCacheEntry {
+    Frontier a;
+    Frontier b;
+    DiffResult result;
+    uint64_t stamp = 0;  // LRU clock value of the last hit or insert.
+  };
+  void DiffCacheInsert(const Frontier& a, const Frontier& b, const DiffResult& result) const;
+  mutable std::vector<DiffCacheEntry> diff_cache_;
+  mutable size_t diff_cache_spans_ = 0;  // Total spans across cached results.
+  mutable uint64_t diff_cache_clock_ = 0;
+  mutable DiffCacheStats diff_cache_stats_;
 };
 
 }  // namespace egwalker

@@ -222,4 +222,99 @@ WalkPlan PlanWalkAll(const Graph& g, SortMode mode) {
   return PlanWalk(g, Frontier{}, g.version(), mode);
 }
 
+WalkPlan PlanWalkAppend(const Graph& g, const Frontier& seen_version, Lv seen_end, Lv end) {
+  EGW_CHECK(seen_end <= end && end <= g.size());
+  WalkPlan plan;
+  if (seen_end == end) {
+    return plan;
+  }
+
+  // The appended window is the contiguous LV range [seen_end, end): every
+  // appended event lands above every seen one, so no Diff or DAG sort is
+  // needed — entry order IS a topological order. Clip the first entry when
+  // an appended run RLE-extended a seen one (its implicit parent is then
+  // the predecessor LV, exactly like a mid-run SubEntry).
+  std::vector<SubEntry> subs;
+  Lv v = seen_end;
+  while (v < end) {
+    const GraphEntry& e = g.EntryContaining(v);
+    SubEntry sub;
+    sub.span = {v, std::min(e.span.end, end)};
+    if (v == e.span.start) {
+      sub.parents = e.parents;
+    } else {
+      sub.parents = Frontier{v - 1};
+    }
+    v = sub.span.end;
+    subs.push_back(std::move(sub));
+  }
+  const size_t m = subs.size();
+
+  // Criticality uses the same machinery as PlanWalk, with one extra virtual
+  // position: position 0 stands for the whole seen region, and window event
+  // lv sits at position 1 + (lv - seen_end). A parent below seen_end proves
+  // descent from the seen region only when it is the region's dominating tip
+  // (seen_version is the singleton {seen_end - 1}); any older seen parent is
+  // no constraint the machinery can use (kNegInf), which correctly kills the
+  // criticality of every earlier boundary.
+  const bool seen_singleton = seen_version.size() == 1;
+  std::vector<int64_t> mp(m);
+  for (size_t k = 0; k < m; ++k) {
+    int64_t best = kNegInf;
+    for (Lv p : subs[k].parents) {
+      if (p >= seen_end) {
+        best = std::max(best, static_cast<int64_t>(1 + (p - seen_end)));
+      } else if (p == seen_end - 1) {
+        best = std::max(best, int64_t{0});
+      }
+    }
+    mp[k] = best;
+  }
+  // sfx[k] = min(mp[k+1..]); sfx_init additionally folds in mp[0] — the
+  // boundary between the seen region and the window constrains run 0 too.
+  std::vector<int64_t> sfx(m);
+  int64_t running = kPosInf;
+  for (size_t k = m; k-- > 0;) {
+    sfx[k] = running;
+    running = std::min(running, mp[k]);
+  }
+  const int64_t sfx_init = running;
+
+  Frontier frontier = seen_version;
+  plan.steps.reserve(m);
+  // Boundary between the seen region and the window: trivially critical for
+  // an empty region (nothing precedes the window), otherwise the region's
+  // tip must dominate everything seen (singleton) and every window run must
+  // descend from it (sfx over all runs).
+  bool prev_fully_critical = seen_end == 0 || (seen_singleton && sfx_init >= 0);
+  for (size_t k = 0; k < m; ++k) {
+    const SubEntry& sub = subs[k];
+    for (Lv p : sub.parents) {
+      FrontierErase(frontier, p);
+    }
+    bool residual_empty = frontier.empty();
+    FrontierInsert(frontier, sub.span.end - 1);
+
+    uint64_t len = sub.span.size();
+    uint64_t critical_prefix = 0;
+    if (residual_empty) {
+      int64_t base = static_cast<int64_t>(1 + (sub.span.start - seen_end));
+      if (sfx[k] == kPosInf) {
+        critical_prefix = len;
+      } else if (sfx[k] >= base) {
+        critical_prefix = std::min<uint64_t>(static_cast<uint64_t>(sfx[k] - base) + 1, len);
+      }
+    }
+
+    WalkStep step;
+    step.span = sub.span;
+    step.critical_before = prev_fully_critical;
+    step.critical_prefix = critical_prefix;
+    plan.steps.push_back(step);
+    plan.total_events += len;
+    prev_fully_critical = (critical_prefix == len);
+  }
+  return plan;
+}
+
 }  // namespace egwalker

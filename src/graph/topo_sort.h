@@ -58,6 +58,18 @@ WalkPlan PlanWalk(const Graph& g, const Frontier& from, const Frontier& to, Sort
 // Convenience: plan a full replay of the whole graph.
 WalkPlan PlanWalkAll(const Graph& g, SortMode mode = SortMode::kHeuristic);
 
+// Plans the continuation of a replay whose internal state already covers
+// every event with LV < seen_end (a persistent walker session): LV-order
+// steps over the appended events [seen_end, end) only, without re-planning
+// or re-walking the already-covered window. `seen_version` must be the
+// graph frontier as of seen_end — i.e. the version whose closure is exactly
+// [0, seen_end). Criticality annotations are computed against the *full*
+// history (a boundary is only critical when the appended prefix plus
+// everything seen is dominated by a single event), so clearing and the
+// untransformed fast path stay sound even though the plan never visits the
+// seen events.
+WalkPlan PlanWalkAppend(const Graph& g, const Frontier& seen_version, Lv seen_end, Lv end);
+
 }  // namespace egwalker
 
 #endif  // EGWALKER_GRAPH_TOPO_SORT_H_

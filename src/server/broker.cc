@@ -1,6 +1,8 @@
 #include "server/broker.h"
 
 #include <climits>
+#include <utility>
+#include <vector>
 
 #include "util/assert.h"
 
@@ -104,28 +106,59 @@ void Broker::HandlePatch(NetSim& net, int from, const Message& msg) {
   }
   ++stats_.patches_applied;
   MaybeCheckpoint(msg.doc);
-  Broadcast(net, doc, msg.doc, from);
+  // Batched fan-out: every patch applied to this document within the
+  // current tick shares the broadcast round OnTick flushes.
+  pending_broadcasts_.insert(msg.doc);
 }
 
-void Broker::Broadcast(NetSim& net, Doc& doc, const std::string& doc_name, int except) {
+void Broker::OnTick(NetSim& net, int self) {
+  EGW_CHECK(self == endpoint_id_);
+  if (pending_broadcasts_.empty()) {
+    return;
+  }
+  // Swap out first: Broadcast sends nothing that could re-mark a document
+  // within this flush, but keep the loop reentrancy-proof anyway.
+  std::set<std::string> pending;
+  pending.swap(pending_broadcasts_);
+  for (const std::string& doc_name : pending) {
+    Doc& doc = registry_.Open(doc_name);
+    ++stats_.broadcast_rounds;
+    Broadcast(net, doc, doc_name);
+  }
+}
+
+void Broker::Broadcast(NetSim& net, Doc& doc, const std::string& doc_name) {
   VersionSummary mine = SummarizeDoc(doc);
   std::string my_summary = EncodeSummary(mine);
+  // One encoded patch per distinct subscriber summary: after a batched
+  // round the subscribers' estimates are mostly in lockstep, so the whole
+  // fan-out usually costs a single MakePatch walk.
+  std::vector<std::pair<VersionSummary, std::string>> encoded;
   // Doc-first session keys: scan exactly this document's subscribers.
   for (auto it = sessions_.lower_bound(SessionKey{doc_name, INT_MIN});
        it != sessions_.end() && it->first.first == doc_name; ++it) {
     Session& session = it->second;
-    if (it->first.second == except) {
-      continue;
+    const std::string* patch = nullptr;
+    for (const auto& [summary, bytes] : encoded) {
+      if (summary == session.known) {
+        patch = &bytes;
+        ++stats_.patch_encodes_shared;
+        break;
+      }
     }
-    std::string patch = MakePatch(doc, session.known);
-    if (patch.empty()) {
-      continue;
+    if (patch == nullptr) {
+      ++stats_.patch_encodes;
+      encoded.emplace_back(session.known, MakePatch(doc, session.known));
+      patch = &encoded.back().second;
+    }
+    if (patch->empty()) {
+      continue;  // Estimated fully caught up (e.g. the patch's own sender).
     }
     Message out;
     out.type = MsgType::kPatch;
     out.doc = doc_name;
     out.summary = my_summary;
-    out.patch = std::move(patch);
+    out.patch = *patch;
     net.Send(endpoint_id_, it->first.second, std::move(out));
     // Optimistic union of what it had and what is in flight; repaired by
     // the client's next sync request if the broadcast is lost.

@@ -48,6 +48,19 @@
 // estimate and triggers the catch-up patch (retry-based reliable
 // broadcast, paper Section 2.1).
 //
+// Broadcasts are also *batched per tick*: HandlePatch only marks the
+// document broadcast-pending, and the fan-out runs once from OnTick after
+// every message of the tick was applied. N patches to one document in a
+// tick therefore cost one fan-out round instead of N (cutting the
+// amplification from N*subscribers patch encodes to subscribers), and
+// subscribers whose summary estimates are equal — the steady state once
+// batching keeps them in lockstep — share a single encoded patch. The
+// sender of a patch is not special-cased: after its summary update, the
+// patch built against its estimate is empty (or carries exactly the other
+// clients' same-tick events, which it needs anyway). Batching delays a
+// fan-out by less than one tick, which is below the network's minimum
+// latency — the protocol's loss tolerance is untouched.
+//
 // Checkpointing: after applying client patches the broker flushes the
 // document's new events to the registry's incremental checkpoint chain
 // once at least Config::flush_every_events have accumulated, so an
@@ -58,6 +71,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <utility>
 
@@ -88,7 +102,10 @@ class Broker : public Endpoint {
     uint64_t patches_in = 0;
     uint64_t patches_applied = 0;  // With at least one new event.
     uint64_t patches_rejected = 0; // Causally premature (client repairs).
-    uint64_t broadcasts = 0;
+    uint64_t broadcasts = 0;       // Patches actually sent by fan-out.
+    uint64_t broadcast_rounds = 0; // Per-tick fan-outs (<= patches_applied).
+    uint64_t patch_encodes = 0;        // MakePatch calls during fan-out.
+    uint64_t patch_encodes_shared = 0; // Subscribers served a reused patch.
     uint64_t leaves = 0;
     uint64_t expired = 0;  // Sessions swept by the idle timeout.
   };
@@ -100,6 +117,8 @@ class Broker : public Endpoint {
   int endpoint_id() const { return endpoint_id_; }
 
   void OnMessage(NetSim& net, int from, int self, const Message& msg) override;
+  // Flushes the tick's batched broadcasts (see the file comment).
+  void OnTick(NetSim& net, int self) override;
 
   DocRegistry& registry() { return registry_; }
   const Stats& stats() const { return stats_; }
@@ -123,16 +142,19 @@ class Broker : public Endpoint {
   void HandlePatch(NetSim& net, int from, const Message& msg);
   // Erases sessions idle past the timeout; runs lazily from OnMessage.
   void SweepIdleSessions(uint64_t now);
-  // Sends each other live subscriber of `doc_name` the delta it is missing.
-  // `doc` is the caller's already-open registry reference (re-opening here
-  // would distort the registry's hit-rate stats).
-  void Broadcast(NetSim& net, Doc& doc, const std::string& doc_name, int except);
+  // Sends each live subscriber of `doc_name` the delta it is missing,
+  // encoding one patch per distinct subscriber summary. `doc` is the
+  // caller's already-open registry reference (re-opening here would
+  // distort the registry's hit-rate stats).
+  void Broadcast(NetSim& net, Doc& doc, const std::string& doc_name);
   void MaybeCheckpoint(const std::string& doc_name);
 
   DocRegistry& registry_;
   Config config_;
   int endpoint_id_ = -1;
   std::map<SessionKey, Session> sessions_;
+  // Documents with applied-but-not-yet-broadcast events; flushed by OnTick.
+  std::set<std::string> pending_broadcasts_;
   uint64_t last_sweep_ = 0;
   Stats stats_;
 };

@@ -87,6 +87,12 @@ uint64_t NetSim::Tick() {
     endpoints_[static_cast<size_t>(flight.to)]->OnMessage(*this, flight.from, flight.to,
                                                           flight.msg);
   }
+  // Tick-boundary callbacks, in endpoint order. After the delivery loop so
+  // batching endpoints see everything that arrived this tick; their sends
+  // land in flights_ and keep Run() going until all batches drain.
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    endpoints_[i]->OnTick(*this, static_cast<int>(i));
+  }
   return due.size();
 }
 

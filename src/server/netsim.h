@@ -38,6 +38,14 @@ class Endpoint {
   virtual ~Endpoint() = default;
   // `self` is the receiving endpoint's own id (as returned by AddEndpoint).
   virtual void OnMessage(NetSim& net, int from, int self, const Message& msg) = 0;
+  // Called once per Tick() after all due messages were delivered, in
+  // endpoint-id order (deterministic). Endpoints that batch work per tick —
+  // the broker coalesces its broadcast fan-out here — flush it now; sends
+  // from OnTick obey the one-tick minimum latency like any other send.
+  virtual void OnTick(NetSim& net, int self) {
+    (void)net;
+    (void)self;
+  }
 };
 
 struct NetSimConfig {

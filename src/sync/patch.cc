@@ -108,12 +108,15 @@ std::string MakePatch(const Doc& doc, const VersionSummary& they_have) {
 
   Lv prev_included_tail = kInvalidLv;  // LV of the previous included chunk's last event.
   Lv olv = 0;
+  // Patch building scans the whole history per receiver (broker fan-out
+  // calls this once per distinct subscriber summary): the shared scanner
+  // keeps each of the three RLE column lookups O(1) per chunk.
+  ChunkScanner scan(g, ops);
   while (olv < g.size()) {
-    const GraphEntry& entry = g.EntryContaining(olv);
-    const AgentSpan& as = g.agent_spans().FindChecked(olv);
-    Lv chunk_end = std::min(entry.span.end, as.span.end);
-    OpSlice slice = ops.SliceAt(olv, chunk_end);
-    chunk_end = olv + slice.count;
+    ChunkScanner::Chunk ck = scan.At(olv);
+    const AgentSpan& as = *ck.agent;
+    OpSlice slice = ck.slice;
+    Lv chunk_end = ck.end;
 
     const std::string& agent_name = g.AgentName(as.agent);
     uint64_t seq = as.seq_start + (olv - as.span.start);

@@ -1,5 +1,7 @@
 #include "trace/trace.h"
 
+#include <algorithm>
+
 #include "rope/utf8.h"
 #include "util/assert.h"
 
@@ -48,7 +50,12 @@ Op OpLog::OpAt(Lv v) const {
 }
 
 OpSlice OpLog::SliceAt(Lv v, Lv end) const {
-  const OpRun& run = runs_.FindChecked(v);
+  SliceCursor cursor;
+  return SliceAt(v, end, cursor);
+}
+
+OpSlice OpLog::SliceAt(Lv v, Lv end, SliceCursor& cursor) const {
+  const OpRun& run = runs_.FindCheckedHinted(v, &cursor.run);
   uint64_t off = v - run.span.start;
   uint64_t count = std::min<uint64_t>(end, run.span.end) - v;
   OpSlice slice;
@@ -64,6 +71,16 @@ OpSlice OpLog::SliceAt(Lv v, Lv end) const {
     slice.pos_start = run.fwd ? run.pos : run.pos - off;
   }
   return slice;
+}
+
+ChunkScanner::Chunk ChunkScanner::At(Lv v) {
+  Chunk chunk;
+  chunk.entry = &graph_.entries().FindCheckedHinted(v, &entry_hint_);
+  chunk.agent = &graph_.agent_spans().FindCheckedHinted(v, &agent_hint_);
+  Lv end = std::min(chunk.entry->span.end, chunk.agent->span.end);
+  chunk.slice = ops_.SliceAt(v, end, op_cursor_);
+  chunk.end = v + chunk.slice.count;
+  return chunk;
 }
 
 uint64_t& Trace::NextSeq(AgentId agent) {

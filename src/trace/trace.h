@@ -106,6 +106,17 @@ class OpLog {
   // The maximal same-run slice covering [v, min(end, run end)).
   OpSlice SliceAt(Lv v, Lv end) const;
 
+  // A run-carrying cursor for SliceAt: remembers which RLE run served the
+  // previous slice, so walk-shaped iteration (sequential within a span,
+  // mostly-sequential across spans) stops re-seeking run state — the
+  // per-slice binary search becomes an O(1) neighbour check. A cursor is
+  // never invalidated: a stale one only costs the fallback search. Distinct
+  // interleaved scans should each carry their own cursor.
+  struct SliceCursor {
+    size_t run = static_cast<size_t>(-1);
+  };
+  OpSlice SliceAt(Lv v, Lv end, SliceCursor& cursor) const;
+
   const RleVec<OpRun>& runs() const { return runs_; }
 
   uint64_t total_inserted_chars() const { return inserted_; }
@@ -115,6 +126,34 @@ class OpLog {
   RleVec<OpRun> runs_;
   uint64_t inserted_ = 0;
   uint64_t deleted_ = 0;
+};
+
+// A run-carrying scanner over the three RLE columns (graph entries, agent
+// spans, op runs): At(v) yields the maximal chunk starting at `v` that
+// stays within one run of each column. The whole-history chunk scans
+// (Doc::MergeFrom, sync's MakePatch) share it so their cursor state and
+// clipping logic live in one place.
+class ChunkScanner {
+ public:
+  ChunkScanner(const Graph& graph, const OpLog& ops) : graph_(graph), ops_(ops) {}
+
+  struct Chunk {
+    const GraphEntry* entry = nullptr;
+    const AgentSpan* agent = nullptr;
+    OpSlice slice;  // Clipped to the entry/agent-span boundaries.
+    Lv end = 0;     // One past the chunk's last event (v + slice.count).
+  };
+
+  // The chunk starting at `v` (must be < graph size). Amortised O(1) when
+  // successive calls ascend, as the history scans do.
+  Chunk At(Lv v);
+
+ private:
+  const Graph& graph_;
+  const OpLog& ops_;
+  OpLog::SliceCursor op_cursor_;
+  size_t entry_hint_ = RleVec<GraphEntry>::npos;
+  size_t agent_hint_ = RleVec<AgentSpan>::npos;
 };
 
 // A complete editing trace: the event graph plus the operation column.

@@ -77,6 +77,37 @@ class RleVec {
     return items_[idx];
   }
 
+  // Like FindIndex, but carries run state across calls: tries `*hint` and
+  // its successor before falling back to the binary search, and stores the
+  // found index back into *hint. Sequential (or mostly-sequential) scans
+  // over dense runs become O(1) per lookup; a stale hint only costs the
+  // fallback. Pass npos (the initial value) for a cold start.
+  size_t FindIndexHinted(uint64_t key, size_t* hint) const {
+    size_t h = *hint;
+    if (h < items_.size() && key >= items_[h].rle_start()) {
+      if (key < items_[h].rle_end()) {
+        return h;
+      }
+      if (h + 1 < items_.size() && key >= items_[h + 1].rle_start() &&
+          key < items_[h + 1].rle_end()) {
+        *hint = h + 1;
+        return h + 1;
+      }
+    }
+    size_t idx = FindIndex(key);
+    if (idx != npos) {
+      *hint = idx;
+    }
+    return idx;
+  }
+
+  // Hinted variant of FindChecked; the key must be covered.
+  const T& FindCheckedHinted(uint64_t key, size_t* hint) const {
+    size_t idx = FindIndexHinted(key, hint);
+    EGW_CHECK(idx != npos);
+    return items_[idx];
+  }
+
   size_t run_count() const { return items_.size(); }
   bool empty() const { return items_.empty(); }
   const T& operator[](size_t i) const { return items_[i]; }

@@ -4,7 +4,15 @@
 // For each seed it builds a randomised multi-replica trace and requires
 // byte-identical output from: the pseudocode oracle, the optimised walker
 // under every sort order with and without clearing, both CRDT baselines
-// (via the ID-based op stream), and the OT baseline.
+// (via the ID-based op stream), and the OT baseline. Each seed additionally
+// drives (under the ASan/UBSan CI configuration):
+//   - random frontier pairs through the cached Graph::Diff vs the uncached
+//     reference walk, with interleaved Appends exercising invalidation;
+//   - the run-carrying OpLog::SliceAt cursor vs the plain overload across
+//     random jump patterns (stale-hint recovery included);
+//   - randomized summary/patch exchange sequences through paired document
+//     universes — persistent walker sessions vs fresh-walker-per-merge —
+//     requiring identical patch bytes and byte-identical documents.
 //
 // Usage: fuzz_all [count] [start_seed]
 //   ./build/tests/fuzz_all 100000       # long background hunt
@@ -12,16 +20,22 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "core/simple_walker.h"
 #include "core/walker.h"
 #include "crdt/naive_crdt.h"
 #include "crdt/ref_crdt.h"
 #include "ot/ot.h"
+#include "sync/patch.h"
 #include "testing/random_trace.h"
 
 namespace egwalker {
 namespace {
+
+bool CheckDiffCacheAndCursor(uint64_t seed, const Trace& t);
+bool CheckSessionPatchSequences(uint64_t seed);
 
 bool CheckSeed(uint64_t seed) {
   testing::RandomTraceOptions opts;
@@ -72,6 +86,149 @@ bool CheckSeed(uint64_t seed) {
   if (ot.ReplayAll() != expected) {
     std::fprintf(stderr, "OT MISMATCH seed=%llu\n", static_cast<unsigned long long>(seed));
     return false;
+  }
+
+  if (!CheckDiffCacheAndCursor(seed, t)) {
+    return false;
+  }
+  return CheckSessionPatchSequences(seed);
+}
+
+// Frontier pairs through the diff cache vs the reference walk (with
+// interleaved Appends), and the run-carrying SliceAt cursor vs the plain
+// overload, on a copy of the trace's graph.
+bool CheckDiffCacheAndCursor(uint64_t seed, const Trace& t) {
+  Prng rng(seed ^ 0xd1ffc4c4e);
+  Graph g = t.graph;  // Copy: the appends below must not affect the trace.
+  AgentId extra = g.GetOrCreateAgent("fuzz-extra");
+  uint64_t extra_seq = 0;
+  std::vector<Frontier> pool;
+  for (int i = 0; i < 5; ++i) {
+    Frontier f;
+    for (uint64_t j = 1 + rng.Below(3); j > 0; --j) {
+      FrontierInsert(f, rng.Below(g.size()));
+    }
+    pool.push_back(g.Reduce(f));
+  }
+  pool.push_back(Frontier{});
+  pool.push_back(g.version());
+  for (int round = 0; round < 60; ++round) {
+    const Frontier& a = pool[rng.Below(pool.size())];
+    const Frontier& b = pool[rng.Below(pool.size())];
+    DiffResult cached = g.Diff(a, b);
+    DiffResult reference = g.DiffUncached(a, b);
+    if (cached.only_a != reference.only_a || cached.only_b != reference.only_b) {
+      std::fprintf(stderr, "DIFF CACHE MISMATCH seed=%llu round=%d\n",
+                   static_cast<unsigned long long>(seed), round);
+      return false;
+    }
+    if (round % 15 == 14) {
+      Frontier parents = g.Reduce(Frontier{rng.Below(g.size())});
+      uint64_t len = 1 + rng.Below(3);
+      g.Add(extra, extra_seq, len, parents);
+      extra_seq += len;
+      pool.back() = g.version();
+    }
+  }
+
+  // Cursor-carried slices against the plain overload: sequential scans,
+  // random restarts (stale hints), and random clip points.
+  OpLog::SliceCursor cursor;
+  Lv v = 0;
+  const Lv size = t.ops.size();
+  while (v < size) {
+    Lv clip = v + 1 + rng.Below(8);
+    if (rng.Chance(0.1)) {
+      v = rng.Below(size);  // Jump: the cursor hint goes stale.
+      clip = v + 1 + rng.Below(8);
+    }
+    OpSlice with_cursor = t.ops.SliceAt(v, clip > size ? size : clip, cursor);
+    OpSlice plain = t.ops.SliceAt(v, clip > size ? size : clip);
+    if (with_cursor.kind != plain.kind || with_cursor.count != plain.count ||
+        with_cursor.pos_start != plain.pos_start || with_cursor.fwd != plain.fwd ||
+        with_cursor.text != plain.text) {
+      std::fprintf(stderr, "SLICE CURSOR MISMATCH seed=%llu lv=%llu\n",
+                   static_cast<unsigned long long>(seed), static_cast<unsigned long long>(v));
+      return false;
+    }
+    v += with_cursor.count;
+  }
+  return true;
+}
+
+// Paired universes of three replicas exchanging summary/patch messages: the
+// session universe and the fresh-walker universe must generate identical
+// patch bytes and converge to byte-identical documents.
+bool CheckSessionPatchSequences(uint64_t seed) {
+  Prng rng(seed ^ 0x5e5510);
+  std::vector<Doc> on;
+  std::vector<Doc> off;
+  for (int i = 0; i < 3; ++i) {
+    on.emplace_back("r" + std::to_string(i));
+    off.emplace_back("r" + std::to_string(i));
+    on.back().set_merge_sessions(true);
+    off.back().set_merge_sessions(false);
+  }
+  auto sync = [&](size_t from, size_t to) -> bool {
+    std::string patch_on = MakePatch(on[from], SummarizeDoc(on[to]));
+    std::string patch_off = MakePatch(off[from], SummarizeDoc(off[to]));
+    if (patch_on != patch_off) {
+      std::fprintf(stderr, "SESSION PATCH BYTES MISMATCH seed=%llu\n",
+                   static_cast<unsigned long long>(seed));
+      return false;
+    }
+    auto merged_on = ApplyPatch(on[to], patch_on);
+    auto merged_off = ApplyPatch(off[to], patch_off);
+    if (!merged_on.has_value() || !merged_off.has_value() || *merged_on != *merged_off) {
+      std::fprintf(stderr, "SESSION PATCH APPLY MISMATCH seed=%llu\n",
+                   static_cast<unsigned long long>(seed));
+      return false;
+    }
+    return true;
+  };
+  on[0].Insert(0, "seed ");
+  off[0].Insert(0, "seed ");
+  for (int step = 0; step < 50; ++step) {
+    size_t i = rng.Below(3);
+    uint64_t len = on[i].size();
+    if (len != off[i].size()) {
+      std::fprintf(stderr, "SESSION LENGTH DIVERGENCE seed=%llu\n",
+                   static_cast<unsigned long long>(seed));
+      return false;
+    }
+    if (len > 4 && rng.Chance(0.3)) {
+      uint64_t pos = rng.Below(len - 1);
+      uint64_t count = 1 + rng.Below(2);
+      on[i].Delete(pos, count);
+      off[i].Delete(pos, count);
+    } else {
+      std::string burst(1 + rng.Below(4), static_cast<char>('a' + rng.Below(26)));
+      uint64_t pos = rng.Below(len + 1);
+      on[i].Insert(pos, burst);
+      off[i].Insert(pos, burst);
+    }
+    if (rng.Chance(0.35)) {
+      size_t to = rng.Below(3);
+      if (to != i && !sync(i, to)) {
+        return false;
+      }
+    }
+  }
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (size_t i = 0; i < 3; ++i) {
+      for (size_t j = 0; j < 3; ++j) {
+        if (i != j && !sync(i, j)) {
+          return false;
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    if (on[i].Text() != off[i].Text() || on[0].Text() != on[i].Text()) {
+      std::fprintf(stderr, "SESSION UNIVERSE MISMATCH seed=%llu replica=%zu\n",
+                   static_cast<unsigned long long>(seed), i);
+      return false;
+    }
   }
   return true;
 }

@@ -196,6 +196,70 @@ TEST(Doc, RandomisedThreeWayGossipConvergence) {
   }
 }
 
+// Differential universes: the identical randomized three-peer gossip script
+// run once with persistent walker sessions and once with a fresh walker per
+// merge must produce byte-identical documents at every comparison point,
+// while the session universe replays strictly fewer events (proving the
+// sessions actually engaged).
+TEST(Doc, SessionUniverseMatchesFreshWalkerUniverse) {
+  for (uint64_t seed = 301; seed <= 308; ++seed) {
+    std::vector<std::vector<Doc>> universes;
+    for (bool sessions : {true, false}) {
+      Prng rng(seed);  // Same stream for both universes.
+      std::vector<Doc> peers;
+      for (int i = 0; i < 3; ++i) {
+        peers.emplace_back("p" + std::to_string(i));
+        peers.back().set_merge_sessions(sessions);
+      }
+      peers[0].Insert(0, "seed ");
+      peers[1].MergeFrom(peers[0]);
+      peers[2].MergeFrom(peers[0]);
+      for (int tick = 0; tick < 40; ++tick) {
+        for (size_t i = 0; i < peers.size(); ++i) {
+          if (!rng.Chance(0.7)) {
+            continue;
+          }
+          Doc& d = peers[i];
+          if (d.size() > 10 && rng.Chance(0.25)) {
+            uint64_t pos = rng.Below(d.size() - 1);
+            d.Delete(pos, 1 + rng.Below(2));
+          } else {
+            std::string burst(1 + rng.Below(4), static_cast<char>('a' + i));
+            d.Insert(rng.Below(d.size() + 1), burst);
+          }
+          size_t to = rng.Below(peers.size());
+          if (to != i) {
+            peers[to].MergeFrom(peers[i]);
+          }
+        }
+      }
+      for (int sweep = 0; sweep < 2; ++sweep) {
+        for (size_t i = 0; i < peers.size(); ++i) {
+          for (size_t j = 0; j < peers.size(); ++j) {
+            if (i != j) {
+              peers[i].MergeFrom(peers[j]);
+            }
+          }
+        }
+      }
+      universes.push_back(std::move(peers));
+    }
+    uint64_t replayed_on = 0;
+    uint64_t replayed_off = 0;
+    for (size_t i = 0; i < 3; ++i) {
+      ASSERT_EQ(universes[0][i].Text(), universes[1][i].Text())
+          << "seed " << seed << " peer " << i;
+      ASSERT_EQ(universes[0][i].end_lv(), universes[1][i].end_lv())
+          << "seed " << seed << " peer " << i;
+      replayed_on += universes[0][i].replayed_events();
+      replayed_off += universes[1][i].replayed_events();
+      EXPECT_TRUE(universes[0][i].merge_session_active()) << "seed " << seed;
+      EXPECT_FALSE(universes[1][i].merge_session_active()) << "seed " << seed;
+    }
+    EXPECT_LT(replayed_on, replayed_off) << "seed " << seed;
+  }
+}
+
 // An "editor buffer" driven purely by the change feed: if the listener
 // contract holds, this shadow copy tracks the document exactly.
 struct ShadowBuffer {

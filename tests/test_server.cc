@@ -589,8 +589,34 @@ TEST(Broker, PatchReorderedAfterLeaveAppliesWithoutGhostSession) {
 // reordering; every replica converges byte-identically, documents get
 // LRU-evicted and reloaded from incremental checkpoint chains mid-run, and
 // a post-hoc chain reload equals the never-evicted client replicas without
-// replaying a single pre-checkpoint event.
-TEST(ServerSoak, ConvergesUnderAdversarialDeliveryWithEvictionChurn) {
+// replaying a single pre-checkpoint event. Factored into a helper so the
+// session-equivalence test can run the identical script with persistent
+// walker sessions on and off and compare the two universes.
+
+struct SoakOutcome {
+  // Final text per document (server replica after the drain).
+  std::vector<std::string> server_texts;
+  // Final text per (doc, client) replica.
+  std::vector<std::vector<std::string>> client_texts;
+  // Sum of Doc::replayed_events() across all client replicas (clients are
+  // never evicted, so this is a stable work metric for the whole run).
+  uint64_t client_replayed = 0;
+  uint64_t client_events = 0;  // Sum of end_lv() across client replicas.
+};
+
+// RAII guard: the soak flips the process-wide session default; every exit
+// path must restore the prior value or later tests silently run in the
+// wrong universe.
+struct MergeSessionsDefaultGuard {
+  explicit MergeSessionsDefaultGuard(bool enabled) : previous(Doc::MergeSessionsDefault()) {
+    Doc::SetMergeSessionsDefault(enabled);
+  }
+  ~MergeSessionsDefaultGuard() { Doc::SetMergeSessionsDefault(previous); }
+  bool previous;
+};
+
+void RunAcceptanceSoak(bool merge_sessions, SoakOutcome* out) {
+  MergeSessionsDefaultGuard session_guard(merge_sessions);
   constexpr int kDocs = 8;
   constexpr int kClientsPerDoc = 6;
   constexpr int kTicks = 120;
@@ -680,10 +706,15 @@ TEST(ServerSoak, ConvergesUnderAdversarialDeliveryWithEvictionChurn) {
     const std::string& name = doc_names[static_cast<size_t>(d)];
     std::string server_text = h.registry.Open(name).Text();
     EXPECT_GT(server_text.size(), 0u) << name;
+    out->server_texts.push_back(server_text);
+    out->client_texts.emplace_back();
     for (int c = 0; c < kClientsPerDoc; ++c) {
-      EXPECT_EQ(clients[static_cast<size_t>(d * kClientsPerDoc + c)].doc(name).Text(),
-                server_text)
-          << name << " client " << c;
+      Doc& replica = clients[static_cast<size_t>(d * kClientsPerDoc + c)].doc(name);
+      EXPECT_EQ(replica.Text(), server_text) << name << " client " << c;
+      out->client_texts.back().push_back(replica.Text());
+      out->client_replayed += replica.replayed_events();
+      out->client_events += replica.end_lv();
+      EXPECT_EQ(replica.merge_session_active(), merge_sessions) << name << " client " << c;
     }
   }
 
@@ -714,6 +745,40 @@ TEST(ServerSoak, ConvergesUnderAdversarialDeliveryWithEvictionChurn) {
     rejections += client.stats().patches_rejected;
   }
   EXPECT_GT(rejections, 0u);
+  // The batched fan-out actually coalesced: strictly fewer broadcast
+  // rounds than applied patches.
+  EXPECT_GT(h.broker.stats().broadcast_rounds, 0u);
+  EXPECT_LT(h.broker.stats().broadcast_rounds, h.broker.stats().patches_applied);
+}
+
+TEST(ServerSoak, ConvergesUnderAdversarialDeliveryWithEvictionChurn) {
+  SoakOutcome outcome;
+  RunAcceptanceSoak(/*merge_sessions=*/true, &outcome);
+}
+
+// Session-equivalence property: the identical adversarial soak script run
+// with persistent walker sessions and with a fresh walker per merge must
+// land every replica of every document on byte-identical text, while the
+// session universe replays strictly fewer events through the walker.
+TEST(ServerSoak, SessionUniverseIsByteIdenticalToFreshWalkerUniverse) {
+  SoakOutcome with_sessions;
+  RunAcceptanceSoak(/*merge_sessions=*/true, &with_sessions);
+  SoakOutcome without_sessions;
+  RunAcceptanceSoak(/*merge_sessions=*/false, &without_sessions);
+
+  ASSERT_EQ(with_sessions.server_texts.size(), without_sessions.server_texts.size());
+  for (size_t d = 0; d < with_sessions.server_texts.size(); ++d) {
+    EXPECT_EQ(with_sessions.server_texts[d], without_sessions.server_texts[d]) << "doc " << d;
+    ASSERT_EQ(with_sessions.client_texts[d].size(), without_sessions.client_texts[d].size());
+    for (size_t c = 0; c < with_sessions.client_texts[d].size(); ++c) {
+      EXPECT_EQ(with_sessions.client_texts[d][c], without_sessions.client_texts[d][c])
+          << "doc " << d << " client " << c;
+    }
+  }
+  // Both universes saw the same events (the script and network are seeded),
+  // but the session universe walked far fewer of them.
+  EXPECT_EQ(with_sessions.client_events, without_sessions.client_events);
+  EXPECT_LT(with_sessions.client_replayed, without_sessions.client_replayed);
 }
 
 }  // namespace

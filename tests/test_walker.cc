@@ -301,6 +301,176 @@ TEST(Walker, RepeatedMergeRangeBatches) {
   EXPECT_EQ(doc.ToString(), full.ToString());
 }
 
+// --- Persistent merge sessions ----------------------------------------------
+
+TEST(WalkerSession, OpensAfterFrontierReplayAndContinues) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  t.AppendInsert(a, {}, 0, "hello world");
+  Rope doc;
+  Walker w(t.graph, t.ops);
+  w.ReplayAll(doc);
+  ASSERT_TRUE(w.has_session());
+  EXPECT_EQ(w.session_seen_end(), t.graph.size());
+
+  // Two clients fork concurrently from the seen tip (the server steady
+  // state): the continuation replays only the appended events.
+  Frontier tip = t.graph.version();
+  Lv first_new = t.AppendInsert(a, tip, 5, " brave");
+  t.AppendInsert(b, tip, 11, "!!");
+  w.ContinueMerge(doc, first_new);
+  ASSERT_TRUE(w.has_session());
+  EXPECT_EQ(w.session_seen_end(), t.graph.size());
+
+  Walker fresh(t.graph, t.ops);
+  Rope full;
+  fresh.ReplayAll(full);
+  EXPECT_EQ(doc.ToString(), full.ToString());
+
+  // A second continuation: merge the branches and keep typing.
+  Lv m = t.AppendInsert(a, t.graph.version(), 0, "# ");
+  t.AppendDelete(b, t.graph.version(), 0, 2);
+  w.ContinueMerge(doc, m);
+  Walker fresh2(t.graph, t.ops);
+  Rope full2;
+  fresh2.ReplayAll(full2);
+  EXPECT_EQ(doc.ToString(), full2.ToString());
+}
+
+TEST(WalkerSession, CatchUpStageSkipsDocument) {
+  // Events below apply_from are already in the document (local edits made
+  // between merges): the continuation must update internal state silently
+  // and only apply the remote events.
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  t.AppendInsert(a, {}, 0, "base");
+  Rope doc;
+  Walker w(t.graph, t.ops);
+  w.ReplayAll(doc);
+  Frontier tip = t.graph.version();
+
+  // Local typing after the replay, applied directly (as Doc::Insert does).
+  t.AppendInsert(a, tip, 4, " local");
+  doc.InsertAt(4, " local");
+
+  // A remote branch concurrent with the local typing, forked from the tip.
+  std::vector<XfOp> xf;
+  ReplaySinks sinks;
+  sinks.xf_ops = &xf;
+  Lv remote = t.AppendInsert(b, tip, 0, "[r]");
+  w.ContinueMerge(doc, remote, sinks);
+
+  Walker fresh(t.graph, t.ops);
+  Rope full;
+  fresh.ReplayAll(full);
+  EXPECT_EQ(doc.ToString(), full.ToString());
+  // Only the remote insert reached the transformed-op stream.
+  ASSERT_EQ(xf.size(), 1u);
+  EXPECT_EQ(xf[0].text, "[r]");
+}
+
+TEST(WalkerSession, SessionBaseAdvancesWithCriticalClears) {
+  // Sequential typing keeps every boundary critical: the continuation
+  // clears at the tip and the session base follows it.
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  t.AppendInsert(a, {}, 0, "one");
+  Rope doc;
+  Walker w(t.graph, t.ops);
+  w.ReplayAll(doc);
+  for (int i = 0; i < 4; ++i) {
+    Lv lv = t.AppendInsert(a, t.graph.version(), doc.char_size(), " more");
+    w.ContinueMerge(doc, lv);
+    ASSERT_EQ(w.session_base(), t.graph.version());
+    // Fully-critical continuations keep no state beyond the placeholder.
+    EXPECT_LE(w.session_state_size(), 1u);
+  }
+  EXPECT_EQ(doc.ToString(), "one more more more more");
+}
+
+TEST(WalkerSession, EndSessionDropsStateAndClosesSession) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("a");
+  AgentId b = t.graph.GetOrCreateAgent("b");
+  Lv tip = t.AppendInsert(a, {}, 0, "0123456789") + 9;
+  // Two concurrent branches keep the internal state populated.
+  t.AppendInsert(a, Frontier{tip}, 2, "aa");
+  t.AppendInsert(b, Frontier{tip}, 7, "bb");
+  Rope doc;
+  Walker w(t.graph, t.ops);
+  w.ReplayAll(doc);
+  ASSERT_TRUE(w.has_session());
+  ASSERT_GT(w.session_state_size(), 0u);
+  w.EndSession();
+  EXPECT_FALSE(w.has_session());
+  EXPECT_EQ(w.session_state_size(), 0u);
+  // The walker object stays usable: a fresh replay re-opens a session.
+  Rope doc2;
+  w.ReplayAll(doc2);
+  EXPECT_EQ(doc2.ToString(), doc.ToString());
+  EXPECT_TRUE(w.has_session());
+}
+
+TEST(WalkerSession, RandomizedContinuationMatchesFreshReplay) {
+  // Grow a graph through randomized rounds of concurrent client branches
+  // (every branch forks at or after the previous round's merge point, as
+  // the Doc-level dominance check guarantees) and compare the continued
+  // session against a fresh full replay after every round.
+  for (uint64_t seed : {1u, 7u, 23u, 99u}) {
+    Prng rng(seed);
+    Trace t;
+    std::vector<AgentId> agents;
+    for (int i = 0; i < 4; ++i) {
+      agents.push_back(t.graph.GetOrCreateAgent("c" + std::to_string(i)));
+    }
+    t.AppendInsert(agents[0], {}, 0, "0123456789");
+    Rope doc;
+    Walker w(t.graph, t.ops);
+    w.ReplayAll(doc);
+
+    for (int round = 0; round < 12; ++round) {
+      // Fork 1-3 concurrent branches from the current frontier; each branch
+      // may chain a couple of runs (forking mid-round from its own tail).
+      Frontier tip = t.graph.version();
+      uint64_t len_at_tip = doc.char_size();
+      Lv first_new = kInvalidLv;
+      int branches = 1 + static_cast<int>(rng.Below(3));
+      for (int c = 0; c < branches; ++c) {
+        AgentId agent = agents[static_cast<size_t>(c)];
+        Frontier at = tip;
+        uint64_t len = len_at_tip;
+        for (uint64_t runs = 1 + rng.Below(2); runs > 0; --runs) {
+          Lv lv;
+          if (len > 2 && rng.Chance(0.35)) {
+            uint64_t count = 1 + rng.Below(2);
+            uint64_t pos = rng.Below(len - count + 1);
+            lv = t.AppendDelete(agent, at, pos, count);
+            len -= count;
+            at = Frontier{lv + count - 1};
+          } else {
+            std::string burst(1 + rng.Below(4), static_cast<char>('a' + rng.Below(26)));
+            lv = t.AppendInsert(agent, at, rng.Below(len + 1), burst);
+            len += burst.size();
+            at = Frontier{lv + burst.size() - 1};
+          }
+          if (first_new == kInvalidLv) {
+            first_new = lv;
+          }
+        }
+      }
+      w.ContinueMerge(doc, first_new);
+
+      Walker fresh(t.graph, t.ops);
+      Rope full;
+      fresh.ReplayAll(full);
+      ASSERT_EQ(doc.ToString(), full.ToString()) << "seed=" << seed << " round=" << round;
+      ASSERT_TRUE(w.has_session());
+    }
+  }
+}
+
 TEST(Walker, PeakSpanCountSmallOnSequentialLargeOnConcurrent) {
   // Sequential trace: clearing keeps internal state empty.
   Trace seq;

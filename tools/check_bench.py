@@ -6,9 +6,11 @@ Used by the `bench-gate` CI job:
     ./build/bench_fig8_merge --trace=S1,S2,S3 --scale=0.2  --json=ci_fig8_seq.json
     ./build/bench_fig8_merge --trace=C1,C2,A1,A2 --scale=0.05 --json=ci_fig8_conc.json
     ./build/bench_micro --json=ci_micro.json
+    ./build/bench_server --json=ci_server.json
     python3 tools/check_bench.py \
         --fig8-baseline BENCH_fig8.json --fig8 ci_fig8_seq.json ci_fig8_conc.json \
-        --micro-baseline BENCH_micro.json --micro ci_micro.json
+        --micro-baseline BENCH_micro.json --micro ci_micro.json \
+        --server-baseline BENCH_server.json --server ci_server.json
 
 The committed baselines were measured on a different machine (and, for
 fig8, at different trace scales), so absolute times are not comparable.
@@ -46,6 +48,11 @@ FIG8_ALGORITHMS = (
     "ref CRDT (merge=load)",
     "naive CRDT (merge=load)",
 )
+
+# bench_server phases worth gating. The soak phase is the end-to-end
+# throughput headline; flush/reload are skipped — they sit at or below the
+# min-ms noise floor on the fixed scenario sizes.
+SERVER_PHASES = ("server soak",)
 
 
 def load_fig8_rows(path, section=None):
@@ -117,6 +124,11 @@ def main():
     ap.add_argument("--fig8", nargs="*", default=[], help="fresh bench_fig8_merge --json outputs")
     ap.add_argument("--micro-baseline", help="committed BENCH_micro.json")
     ap.add_argument("--micro", nargs="*", default=[], help="fresh bench_micro --json outputs")
+    ap.add_argument("--server-baseline",
+                    help="committed BENCH_server.json (uses its 'after' section)")
+    ap.add_argument("--server-section", default="after",
+                    help="section of the committed server baseline to compare against")
+    ap.add_argument("--server", nargs="*", default=[], help="fresh bench_server --json outputs")
     ap.add_argument("--threshold", type=float, default=0.30,
                     help="maximum tolerated median-normalised regression (0.30 = 30%%)")
     ap.add_argument("--micro-threshold", type=float, default=0.50,
@@ -124,6 +136,10 @@ def main():
                          "allocator-, and branch-bound kernels whose relative "
                          "speed shifts between CPU families, so it needs more "
                          "headroom than the homogeneous fig8 replay rows")
+    ap.add_argument("--server-threshold", type=float, default=0.50,
+                    help="threshold for the server group: end-to-end soak "
+                         "times fold in NetSim scheduling and map churn, "
+                         "which are noisier than pure replay kernels")
     ap.add_argument("--min-ms", type=float, default=DEFAULT_MIN_MS,
                     help="ignore fig8 rows faster than this (noise floor)")
     args = ap.parse_args()
@@ -143,6 +159,18 @@ def main():
         for path in args.micro:
             measured.update(load_micro_rows(path))
         failures += check_group("micro", baseline, measured, args.micro_threshold)
+    if args.server_baseline and args.server:
+        # bench_server emits the same {trace, algorithm, mean_ms} row schema
+        # as fig8 (trace = scenario, algorithm = phase), so the loader is
+        # shared; only the gated phases differ.
+        baseline = load_fig8_rows(args.server_baseline, section=args.server_section)
+        baseline = {k: v for k, v in baseline.items() if k[1] in SERVER_PHASES}
+        measured = {}
+        for path in args.server:
+            measured.update(load_fig8_rows(path))
+        measured = {k: v for k, v in measured.items() if k[1] in SERVER_PHASES}
+        failures += check_group("server", baseline, measured, args.server_threshold,
+                                args.min_ms)
 
     if failures:
         print(f"\nbench gate: {failures} row(s) regressed beyond "
