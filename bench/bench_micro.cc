@@ -16,6 +16,7 @@
 #include "lz4/lz4.h"
 #include "rope/rope.h"
 #include "rope/utf8.h"
+#include "sync/patch.h"
 #include "trace/generate.h"
 #include "util/prng.h"
 #include "util/varint.h"
@@ -190,6 +191,42 @@ void BM_GraphDiffCached(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GraphDiffCached);
+
+void BM_MakePatchColdVsWatermarked(benchmark::State& state) {
+  // The O(delta) patch pipeline's two extremes on one long two-author
+  // history. Arg 0 — cold: an empty summary, so the whole history is
+  // encoded (the bootstrap cost, linear by necessity). Arg 1 — watermarked:
+  // a subscriber missing exactly one event, which the agent-indexed scan
+  // must serve in O(1) chunks regardless of history length (the steady
+  // state of broker fan-out; the old implementation walked all ~8k events
+  // here too).
+  Doc alice("alice");
+  Doc bob("bob");
+  Prng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    alice.Insert(rng.Below(alice.size() + 1), "alice typed this. ");
+    bob.MergeFrom(alice);
+    bob.Insert(rng.Below(bob.size() + 1), "bob answered! ");
+    if (alice.size() > 40 && rng.Chance(0.4)) {
+      bob.Delete(rng.Below(bob.size() - 8), 1 + rng.Below(6));
+    }
+    alice.MergeFrom(bob);
+  }
+  VersionSummary summary;
+  if (state.range(0) == 1) {
+    summary = SummarizeDoc(alice);
+    --summary.agents["alice"];  // Caught up but one event.
+  }
+  uint64_t scanned = 0;
+  for (auto _ : state) {
+    MakePatchStats stats;
+    std::string patch = MakePatch(alice, summary, &stats);
+    scanned += stats.events_scanned;
+    benchmark::DoNotOptimize(patch.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(scanned));
+}
+BENCHMARK(BM_MakePatchColdVsWatermarked)->Arg(0)->Arg(1);
 
 void BM_VarintEncodeDecode(benchmark::State& state) {
   Prng rng(3);

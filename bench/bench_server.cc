@@ -39,6 +39,13 @@ struct Scenario {
   int clients_per_doc = 4;
   int ticks = 60;
   size_t max_resident = 0;  // 0 = no eviction pressure.
+  // First `writers` clients of each doc edit; the rest only subscribe and
+  // periodically sync (0 = everyone writes). The writer/reader split models
+  // the many-followers documents of large collaborative-writing studies:
+  // subscriber count drives fan-out and sync-request load, writer count
+  // drives merge concurrency.
+  int writers = 0;
+  double reader_sync_prob = 0.0;  // Per-reader per-tick kSyncRequest chance.
 };
 
 struct SoakResult {
@@ -96,6 +103,14 @@ SoakResult RunScenario(const Scenario& scenario, double* soak_ms, double* flush_
         CollabClient& client =
             clients[static_cast<size_t>(d * scenario.clients_per_doc + c)];
         const std::string& name = names[static_cast<size_t>(d)];
+        if (scenario.writers != 0 && c >= scenario.writers) {
+          // Reader: receives broadcasts; periodically runs the protocol's
+          // repair heartbeat (a kSyncRequest carrying its true summary).
+          if (scenario.reader_sync_prob > 0 && rng.Chance(scenario.reader_sync_prob)) {
+            client.RequestSync(net, name);
+          }
+          continue;
+        }
         Doc& doc = client.doc(name);
         if (doc.size() > 16 && rng.Chance(0.25)) {
           client.Delete(name, rng.Below(doc.size() - 2), 1 + rng.Below(2));
@@ -166,6 +181,12 @@ int Run(int argc, char** argv) {
     scenarios.push_back({4, 4, 60, 0});    // Fan-out heavy, all resident.
     scenarios.push_back({8, 6, 40, 0});    // The soak-test topology.
     scenarios.push_back({16, 2, 40, 4});   // Registry pressure: LRU churn.
+    // High subscriber count under LRU churn: 32 subscribers per doc (4
+    // writers, 28 syncing readers) with capacity for half the docs. Fan-out
+    // encodes, sync-request heartbeats, and evict/reload cycles are the
+    // whole cost — the O(delta) patch pipeline + session-surviving-eviction
+    // headline row.
+    scenarios.push_back({4, 32, 180, 2, 4, 0.25});
   }
 
   std::printf("%-12s %7s %8s %10s %10s %10s %12s\n", "scenario", "events", "msgs",
@@ -175,7 +196,9 @@ int Run(int argc, char** argv) {
                        std::to_string(scenario.clients_per_doc) +
                        (scenario.max_resident != 0
                             ? "/r" + std::to_string(scenario.max_resident)
-                            : "");
+                            : "") +
+                       (scenario.writers != 0 ? "/w" + std::to_string(scenario.writers)
+                                              : "");
     double soak_ms = 0, flush_ms = 0, reload_ms = 0;
     SoakResult result = RunScenario(scenario, &soak_ms, &flush_ms, &reload_ms);
     double events_per_sec =

@@ -39,7 +39,10 @@ bool Doc::merge_session_active() const {
   return session_.walker != nullptr && session_.walker->has_session();
 }
 
-void Doc::DropSession() { session_.walker.reset(); }
+void Doc::DropSession() {
+  session_.walker.reset();
+  pending_session_state_.clear();
+}
 
 Doc::Doc(std::string_view agent_name) { agent_ = trace_.graph.GetOrCreateAgent(agent_name); }
 
@@ -392,7 +395,25 @@ std::string Doc::SaveSegment(Lv base_lv, const SaveOptions& options) const {
   if (options.cache_final_doc) {
     final_doc = rope_.ToString();
   }
-  return EncodeSegment(trace_, base_lv, options, final_doc);
+  // Checkpoint the walker session: the anchor tier is the newest cached
+  // critical version — critical w.r.t. the current graph (see
+  // latest_critical), exactly the contract EncodeSegment's anchor field
+  // requires — and the state tier is the live session itself, so a reload
+  // can resume it even when the history has no critical versions at all.
+  SegmentAnchor anchor;
+  if (options.checkpoint_session_anchor) {
+    if (!critical_candidates_.empty()) {
+      anchor.lv = critical_candidates_.back();
+      anchor.doc_len = critical_lens_.back();
+    }
+    // The state tier rides only on request (eviction flushes): only the
+    // final segment's state is ever consumed, so periodic checkpoints skip
+    // the O(session) serialization.
+    if (options.checkpoint_session_state && merge_session_active()) {
+      anchor.session_state = session_.walker->SaveSession();
+    }
+  }
+  return EncodeSegment(trace_, base_lv, options, final_doc, anchor);
 }
 
 std::optional<Doc> Doc::LoadChain(const std::vector<std::string>& segments,
@@ -408,9 +429,12 @@ std::optional<Doc> Doc::LoadChain(const std::vector<std::string>& segments,
   }
   Doc doc;
   std::optional<std::string> cached;
+  SegmentAnchor anchor;
   for (const std::string& segment : segments) {
-    // Only the final segment's cached document reflects the full chain.
-    if (!DecodeSegmentInto(doc.trace_, segment, &cached, error)) {
+    // Only the final segment's cached document and session anchor reflect
+    // the full chain (DecodeSegmentInto resets both per segment; an earlier
+    // segment's anchor may have been invalidated by later events).
+    if (!DecodeSegmentInto(doc.trace_, segment, &cached, error, &anchor)) {
       return std::nullopt;
     }
   }
@@ -424,12 +448,73 @@ std::optional<Doc> Doc::LoadChain(const std::vector<std::string>& segments,
     walker.ReplayAll(doc.rope_);
     doc.replayed_events_ += doc.trace_.graph.size();
   }
+  // Re-seed the incremental-replay candidates: the final segment's anchor
+  // first (critical w.r.t. the whole chain by the writer's contract), then
+  // the frontier tip when it is a singleton (a singleton frontier dominates
+  // the whole graph: it is critical). A tip candidate always takes the
+  // freshly computed document length over the stored anchor length.
   const Frontier& v = doc.trace_.graph.version();
+  if (anchor.lv != kInvalidLv && anchor.lv < doc.trace_.graph.size() &&
+      !(v.size() == 1 && anchor.lv == v[0])) {
+    doc.critical_candidates_.push_back(anchor.lv);
+    doc.critical_lens_.push_back(anchor.doc_len);
+  }
   if (v.size() == 1) {
     doc.critical_candidates_.push_back(v[0]);
     doc.critical_lens_.push_back(doc.rope_.char_size());
   }
+  // Stash the serialized session (if any) for TryResumeSession: the walker
+  // cannot be rebuilt here because it would reference this stack-local
+  // Doc's trace and be dropped by the return move (see SessionSlot).
+  doc.chain_session_checkpoint_ =
+      anchor.lv != kInvalidLv || !anchor.session_state.empty();
+  doc.pending_session_state_ = std::move(anchor.session_state);
   return doc;
+}
+
+bool Doc::TryResumeSession() {
+  // This lives on the settled Doc, not inside LoadChain: a session walker
+  // holds references into this Doc's trace, and SessionSlot intentionally
+  // drops it on copy/move — a session primed before the return move would
+  // be discarded. Owners (DocRegistry::Open) call this once the Doc has
+  // reached its resting address.
+  if (!merge_sessions_ || merge_session_active()) {
+    pending_session_state_.clear();
+    return merge_session_active();
+  }
+  if (!chain_session_checkpoint_) {
+    return false;  // Not a checkpoint-carrying chain load.
+  }
+  // Preferred path: rebuild the checkpointed session state outright — works
+  // at any frontier, including concurrency-heavy histories with no critical
+  // versions at all. Falls through on validation failure (mismatched or
+  // malformed chains): sessions are a cache, so falling back is always
+  // safe, never wrong.
+  if (!pending_session_state_.empty()) {
+    std::string state = std::move(pending_session_state_);
+    pending_session_state_.clear();
+    auto walker = std::make_unique<Walker>(trace_.graph, trace_.ops);
+    if (walker->RestoreSession(state, rope_.char_size())) {
+      session_.walker = std::move(walker);
+      return true;
+    }
+  }
+  // Fallback: a critical frontier tip with a known document length. The
+  // post-clear walker state there is just a placeholder over the current
+  // document, so reopening the session is an empty-window MergeRange — no
+  // replay at all. A multi-tip frontier without checkpointed state cannot
+  // resume; its next merge instead rebuilds from the newest critical
+  // candidate (seeded from the chain's session anchor after a reload).
+  const Frontier& v = trace_.graph.version();
+  if (v.size() != 1 || critical_candidates_.empty() || critical_candidates_.back() != v[0]) {
+    return false;
+  }
+  if (session_.walker == nullptr) {
+    session_.walker = std::make_unique<Walker>(trace_.graph, trace_.ops);
+  }
+  session_.walker->MergeRange(rope_, v, rope_.char_size(), v,
+                              /*apply_from=*/trace_.graph.size());
+  return true;
 }
 
 }  // namespace egwalker

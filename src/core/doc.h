@@ -132,20 +132,38 @@ class Doc {
 
   // The newest cached critical version (kInvalidLv if none): the natural
   // boundary for checkpoint policies that want replay-free partial loads
-  // even without a cached document.
+  // even without a cached document. Every cached candidate is critical with
+  // respect to the current graph (new events are only ever appended under
+  // domination checks), which is what lets SaveSegment checkpoint it as the
+  // segment's session anchor.
   Lv latest_critical() const {
     return critical_candidates_.empty() ? kInvalidLv : critical_candidates_.back();
+  }
+
+  // Document character length at latest_critical() (0 if none).
+  uint64_t latest_critical_len() const {
+    return critical_lens_.empty() ? 0 : critical_lens_.back();
   }
 
   // Serialises events [base_lv, end_lv()) as an append-only checkpoint
   // segment (see encoding/columnar.h). With options.cache_final_doc set the
   // current text rides along, so a LoadChain ending in this segment replays
-  // nothing. options.include_deleted_content must stay true for segments.
+  // nothing; with options.checkpoint_session_anchor set (the default) the
+  // newest critical version rides along as the segment's session anchor.
+  // options.include_deleted_content must stay true for segments.
   std::string SaveSegment(Lv base_lv, const SaveOptions& options = {}) const;
 
   // Restores a document from a chain of SaveSegment outputs (contiguous,
   // oldest first). When the final segment carries a cached document, the
-  // load is replay-free: replayed_events() of the result is 0.
+  // load is replay-free: replayed_events() of the result is 0. When it also
+  // carries a session anchor, the anchor re-seeds the incremental-replay
+  // candidates — the first post-reload merge replays from the anchor
+  // instead of rebuilding the whole history — and, when the loaded frontier
+  // is a single tip, the merge session itself is resumed for free (the
+  // post-clear walker state at a critical tip is just a placeholder over
+  // the cached document), so eviction/reload no longer costs the next merge
+  // anything: replayed_events() stays O(appended), exactly as if the
+  // document had never left memory.
   static std::optional<Doc> LoadChain(const std::vector<std::string>& segments,
                                       std::string_view agent_name,
                                       std::string* error = nullptr);
@@ -173,6 +191,19 @@ class Doc {
 
   // True while a walker session is retained for the next merge.
   bool merge_session_active() const;
+
+  // Reopens a merge session on a settled document (sessions never survive a
+  // Doc copy/move — the walker references this Doc's trace by address, so
+  // resuming must happen after the Doc has reached its final address).
+  // A no-op unless this Doc was chain-loaded from a segment carrying a
+  // session checkpoint (anchor or serialized state) — checkpoint-free
+  // chains keep the plain reload behaviour. Rebuilds the checkpointed
+  // session state when present (works at any frontier), or falls back to
+  // the free placeholder rebuild at a single critical tip; returns whether
+  // a session is active afterwards. DocRegistry::Open calls this after a
+  // chain reload so eviction/reload does not cost the next merge a history
+  // re-walk.
+  bool TryResumeSession();
 
   // --- Introspection ------------------------------------------------------
 
@@ -214,6 +245,13 @@ class Doc {
   Rope rope_;
   AgentId agent_ = 0;
   SessionSlot session_;
+  // Serialized walker session found by LoadChain, held until
+  // TryResumeSession consumes it (the walker itself cannot be built before
+  // the Doc settles at its final address — see SessionSlot).
+  std::string pending_session_state_;
+  // True iff LoadChain's final segment carried a session checkpoint
+  // (anchor and/or state): the gate for TryResumeSession.
+  bool chain_session_checkpoint_ = false;
   bool merge_sessions_ = default_merge_sessions_;
   // Cached critical versions (ascending) and the document length at each;
   // parallel vectors, bounded by kMaxCandidates.

@@ -1,9 +1,11 @@
 #include "core/walker.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "crdt/yata.h"
 #include "util/assert.h"
+#include "util/varint.h"
 
 namespace egwalker {
 
@@ -81,6 +83,257 @@ void Walker::EndSession() {
   tree_.Reset(0);
   delete_targets_.clear();
   target_cursor_ = 0;
+}
+
+namespace {
+
+constexpr uint8_t kSessionFormatVersion = 1;
+
+void AppendFrontier(std::string& out, const Frontier& f) {
+  AppendVarint(out, f.size());
+  for (Lv v : f) {
+    AppendVarint(out, v);
+  }
+}
+
+bool ReadFrontier(ByteReader& reader, Frontier* out, Lv limit) {
+  auto count = reader.ReadVarint();
+  // A frontier's tips are distinct events, so its width is bounded by the
+  // graph size — accept exactly what SaveSession can write (a fixed cap
+  // would strand wide-frontier sessions: saved but never restorable).
+  if (!count || *count > limit) {
+    return false;
+  }
+  out->clear();
+  Lv prev = 0;
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto v = reader.ReadVarint();
+    if (!v || *v >= limit || (i > 0 && *v <= prev)) {
+      return false;  // Frontiers are sorted, duplicate-free, in-graph.
+    }
+    out->push_back(*v);
+    prev = *v;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Walker::SaveSession() const {
+  EGW_CHECK(session_open_);
+  std::string out;
+  out.push_back(static_cast<char>(kSessionFormatVersion));
+  AppendVarint(out, seen_end_);
+  AppendFrontier(out, seen_version_);
+  AppendFrontier(out, session_base_);
+  AppendFrontier(out, prepare_version_);
+  AppendVarint(out, logical_len_);
+  AppendVarint(out, delete_targets_.size());
+  for (const TargetRun& run : delete_targets_) {
+    AppendVarint(out, run.ev_start);
+    AppendVarint(out, run.ev_end - run.ev_start);
+    AppendVarint(out, run.target);
+    out.push_back(run.fwd ? 1 : 0);
+  }
+  // Record spans in document order. Placeholder ids and the YATA origin
+  // sentinels are plain (large) varints; they round-trip verbatim so
+  // delete-target references into placeholder ranges stay valid.
+  AppendVarint(out, tree_.span_count());
+  for (StateTree::Cursor c = tree_.Begin(); !tree_.AtEnd(c); c = tree_.NextPiece(c)) {
+    StateTree::Piece piece = tree_.PieceAt(c);
+    AppendVarint(out, piece.first_id);
+    AppendVarint(out, piece.len);
+    AppendVarint(out, piece.eff_origin_left);
+    AppendVarint(out, piece.origin_right);
+    AppendVarint(out, piece.prep);
+    out.push_back(piece.ever_deleted ? 1 : 0);
+  }
+  return out;
+}
+
+bool Walker::RestoreSession(std::string_view bytes, uint64_t doc_len) {
+  session_open_ = false;
+  ByteReader reader(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  auto version = reader.ReadByte();
+  if (!version || *version != kSessionFormatVersion) {
+    return false;
+  }
+  auto seen_end = reader.ReadVarint();
+  // The session must have been saved against exactly this graph.
+  if (!seen_end || *seen_end != graph_.size()) {
+    return false;
+  }
+  Frontier seen_version, session_base, prepare_version;
+  if (!ReadFrontier(reader, &seen_version, *seen_end) ||
+      !ReadFrontier(reader, &session_base, *seen_end) ||
+      !ReadFrontier(reader, &prepare_version, *seen_end)) {
+    return false;
+  }
+  if (!(seen_version == graph_.version()) || session_base.size() > 1) {
+    return false;
+  }
+  auto logical_len = reader.ReadVarint();
+  if (!logical_len || *logical_len != doc_len) {
+    return false;
+  }
+
+  auto target_count = reader.ReadVarint();
+  if (!target_count || *target_count > (1u << 24)) {
+    return false;
+  }
+  std::vector<TargetRun> targets;
+  targets.reserve(*target_count);
+  Lv prev_end = 0;
+  for (uint64_t i = 0; i < *target_count; ++i) {
+    auto ev_start = reader.ReadVarint();
+    auto len = reader.ReadVarint();
+    auto target = reader.ReadVarint();
+    auto fwd = reader.ReadByte();
+    if (!ev_start || !len || *len == 0 || !target || !fwd || *fwd > 1) {
+      return false;
+    }
+    // Runs are sorted, disjoint, and within the seen range; the subtraction
+    // form keeps the bound overflow-safe against crafted huge values.
+    if (*ev_start < prev_end || *ev_start >= *seen_end || *len > *seen_end - *ev_start) {
+      return false;
+    }
+    // Targets name record ids: the whole victim range (ascending from
+    // `target` for fwd runs, descending for backspace runs) must stay
+    // inside one id class without wrapping, or the next retreat would ask
+    // FindById for ids no span covers (a crash, not the promised graceful
+    // restore failure).
+    bool target_real = *target < *seen_end;
+    bool target_placeholder = *target >= kPlaceholderBase && *target < kOriginEnd;
+    if (!target_real && !target_placeholder) {
+      return false;
+    }
+    if (*fwd == 1) {
+      if (target_real && *len > *seen_end - *target) {
+        return false;
+      }
+      if (target_placeholder && *len > kOriginEnd - *target) {
+        return false;
+      }
+    } else {
+      if (*target < *len - 1) {
+        return false;  // Descending run underflows id 0.
+      }
+      if (target_placeholder && *target - (*len - 1) < kPlaceholderBase) {
+        return false;  // Descending run crosses out of the placeholder class.
+      }
+    }
+    Lv ev_end = *ev_start + *len;
+    prev_end = ev_end;
+    targets.push_back(TargetRun{*ev_start, ev_end, *target, *fwd == 1});
+  }
+
+  // Parse spans fully before touching the tree, validating that real ids
+  // stay below seen_end, placeholder ids stay in the placeholder range, and
+  // the effect-visible total reproduces the document length.
+  struct SpanRec {
+    Lv id;
+    uint64_t len;
+    Lv origin_left;
+    Lv origin_right;
+    uint32_t prep;
+    bool ever_deleted;
+  };
+  auto span_count = reader.ReadVarint();
+  if (!span_count || *span_count > (1u << 24)) {
+    return false;
+  }
+  std::vector<SpanRec> spans;
+  spans.reserve(*span_count);
+  uint64_t eff_total = 0;
+  for (uint64_t i = 0; i < *span_count; ++i) {
+    auto id = reader.ReadVarint();
+    auto len = reader.ReadVarint();
+    auto origin_left = reader.ReadVarint();
+    auto origin_right = reader.ReadVarint();
+    auto prep = reader.ReadVarint();
+    auto deleted = reader.ReadByte();
+    if (!id || !len || *len == 0 || !origin_left || !origin_right || !prep ||
+        *prep > (1u << 30) || !deleted || *deleted > 1) {
+      return false;
+    }
+    // Overflow-safe range checks (subtraction form): real ids stay below
+    // seen_end, placeholder runs stay below the origin sentinels (ids AT
+    // the sentinels are malformed too).
+    bool placeholder = *id >= kPlaceholderBase;
+    if (!placeholder && (*id >= *seen_end || *len > *seen_end - *id)) {
+      return false;
+    }
+    if (placeholder && (*id >= kOriginEnd || *len > kOriginEnd - *id)) {
+      return false;  // Placeholder run at/overflowing into the sentinels.
+    }
+    // Origins feed YataIntegrate ordering decisions later: they must name a
+    // real event, a placeholder, or an edge sentinel.
+    auto origin_ok = [&](Lv o) {
+      return o == kOriginStart || o == kOriginEnd || o < *seen_end ||
+             (o >= kPlaceholderBase && o < kOriginEnd);
+    };
+    if (!origin_ok(*origin_left) || !origin_ok(*origin_right)) {
+      return false;
+    }
+    if (*deleted == 0) {
+      eff_total += *len;
+      if (eff_total > doc_len) {
+        return false;  // Early out also keeps the sum from ever wrapping.
+      }
+    }
+    spans.push_back(SpanRec{*id, *len, *origin_left, *origin_right,
+                            static_cast<uint32_t>(*prep), *deleted == 1});
+  }
+  if (!reader.empty() || eff_total != doc_len) {
+    return false;
+  }
+  // Distinct spans must cover disjoint id ranges, or the id index would be
+  // corrupted mid-rebuild.
+  {
+    std::vector<std::pair<Lv, Lv>> ranges;
+    ranges.reserve(spans.size());
+    for (const SpanRec& s : spans) {
+      ranges.emplace_back(s.id, s.id + s.len);
+    }
+    std::sort(ranges.begin(), ranges.end());
+    for (size_t i = 1; i < ranges.size(); ++i) {
+      if (ranges[i].first < ranges[i - 1].second) {
+        return false;
+      }
+    }
+  }
+
+  // Rebuild the tree: insert spans in reverse document order at the front
+  // (O(1) cursor per span), then fix each span's dual state — InsertSpan
+  // leaves (prep=Ins, visible); MarkDeleted needs exactly that state and
+  // AdjustPrep closes the remaining prepare-count gap.
+  tree_.Reset(0);
+  for (size_t i = spans.size(); i-- > 0;) {
+    const SpanRec& s = spans[i];
+    tree_.InsertSpan(tree_.Begin(), s.id, s.len, s.origin_left, s.origin_right);
+    int delta = static_cast<int>(s.prep) - 1;
+    if (s.ever_deleted) {
+      tree_.MarkDeleted(tree_.FindById(s.id), s.len);
+      delta = static_cast<int>(s.prep) - 2;
+    }
+    if (delta != 0) {
+      tree_.AdjustPrep(tree_.FindById(s.id), s.len, delta);
+    }
+  }
+
+  delete_targets_ = std::move(targets);
+  target_cursor_ = 0;
+  prepare_version_ = std::move(prepare_version);
+  session_base_ = std::move(session_base);
+  seen_end_ = *seen_end;
+  seen_version_ = std::move(seen_version);
+  logical_len_ = *logical_len;
+  apply_cursor_ = OpLog::SliceCursor{};
+  prep_cursor_ = OpLog::SliceCursor{};
+  opts_ = Options{};
+  peak_spans_ = tree_.span_count();
+  session_open_ = true;
+  return true;
 }
 
 void Walker::NotePeak() { peak_spans_ = std::max(peak_spans_, tree_.span_count()); }

@@ -135,6 +135,31 @@ class Walker {
   // Drops the retained session state.
   void EndSession();
 
+  // --- Session checkpointing (eviction survival) ---------------------------
+  //
+  // A session is a pure in-memory cache — but rebuilding it after an
+  // eviction costs a window re-walk (or, in concurrency-heavy histories
+  // with no critical versions at all, a full-history rebuild). SaveSession
+  // serialises the retained state — record spans with their YATA origins
+  // and dual states, delete-target runs, the prepare/seen/base versions —
+  // compactly enough to ride along a checkpoint segment (bounded by the
+  // owner's session-size cap), and RestoreSession rebuilds an equivalent
+  // open session against a graph byte-equivalent to the one saved from
+  // (same size and frontier; chain reloads reproduce LVs exactly).
+  // Restored sessions are indistinguishable from uninterrupted ones:
+  // ContinueMerge produces byte-identical documents (pinned by the
+  // server soak and fuzz differentials).
+
+  // Serialises the open session (has_session() must hold).
+  std::string SaveSession() const;
+
+  // Rebuilds a session from SaveSession bytes. `doc_len` is the current
+  // document character length (the effect-visible total the restored state
+  // must reproduce — an integrity check against mismatched chains). On any
+  // mismatch or malformed input returns false and leaves the walker
+  // session-less; the caller falls back to the ordinary rebuild path.
+  bool RestoreSession(std::string_view bytes, uint64_t doc_len);
+
   // Diagnostics: high-water mark of internal-state record spans across the
   // last replay (proxy for peak internal-state size).
   size_t peak_span_count() const { return peak_spans_; }

@@ -19,6 +19,13 @@ constexpr uint8_t kFormatVersion = 1;
 constexpr uint8_t kFlagContentComplete = 1 << 0;
 constexpr uint8_t kFlagCompressed = 1 << 1;
 constexpr uint8_t kFlagCachedDoc = 1 << 2;
+// Segments only: the header carries a walker-session anchor (critical LV +
+// document length at it). Flag-gated, so pre-anchor segments decode as
+// anchor-free.
+constexpr uint8_t kFlagSessionAnchor = 1 << 3;
+// Segments only: the header carries a serialized walker session
+// (Walker::SaveSession bytes, length-prefixed, opaque here).
+constexpr uint8_t kFlagSessionState = 1 << 4;
 
 void AppendLenPrefixed(std::string& out, const std::string& column) {
   AppendVarint(out, column.size());
@@ -499,7 +506,7 @@ std::optional<DecodeResult> DecodeTrace(std::string_view bytes, std::string* err
 }
 
 std::string EncodeSegment(const Trace& trace, Lv base_lv, const SaveOptions& options,
-                          std::string_view final_doc) {
+                          std::string_view final_doc, const SegmentAnchor& anchor) {
   // Survival bitmaps are whole-trace properties; a chain cannot compose
   // them, so segments always carry deleted content.
   EGW_CHECK(options.include_deleted_content);
@@ -507,6 +514,11 @@ std::string EncodeSegment(const Trace& trace, Lv base_lv, const SaveOptions& opt
   const OpLog& ops = trace.ops;
   EGW_CHECK(base_lv <= g.size());
   const Lv end_lv = g.size();
+  const bool with_anchor =
+      options.checkpoint_session_anchor && anchor.lv != kInvalidLv;
+  EGW_CHECK(!with_anchor || anchor.lv < end_lv);
+  const bool with_state =
+      options.checkpoint_session_anchor && !anchor.session_state.empty();
 
   std::string out;
   out.append(kSegmentMagic, sizeof(kSegmentMagic));
@@ -518,9 +530,23 @@ std::string EncodeSegment(const Trace& trace, Lv base_lv, const SaveOptions& opt
   if (options.cache_final_doc) {
     flags |= kFlagCachedDoc;
   }
+  if (with_anchor) {
+    flags |= kFlagSessionAnchor;
+  }
+  if (with_state) {
+    flags |= kFlagSessionState;
+  }
   out.push_back(static_cast<char>(flags));
   AppendVarint(out, base_lv);
   AppendVarint(out, end_lv - base_lv);
+  if (with_anchor) {
+    AppendVarint(out, anchor.lv);
+    AppendVarint(out, anchor.doc_len);
+  }
+  if (with_state) {
+    AppendVarint(out, anchor.session_state.size());
+    out += anchor.session_state;
+  }
 
   // Segment-local agent table: only agents authoring events in the window.
   // (Parents are LV deltas and never name agents.)
@@ -593,17 +619,37 @@ std::optional<SegmentInfo> PeekSegment(std::string_view bytes) {
   info.base_lv = *base_lv;
   info.event_count = *count;
   info.has_cached_doc = (*flags & kFlagCachedDoc) != 0;
+  if ((*flags & kFlagSessionAnchor) != 0) {
+    auto anchor_lv = reader.ReadVarint();
+    auto anchor_len = reader.ReadVarint();
+    if (!anchor_lv || !anchor_len || *anchor_lv >= *base_lv + *count) {
+      return std::nullopt;
+    }
+    info.anchor.lv = *anchor_lv;
+    info.anchor.doc_len = *anchor_len;
+  }
+  if ((*flags & kFlagSessionState) != 0) {
+    auto state_len = reader.ReadVarint();
+    if (!state_len || !reader.Skip(*state_len)) {
+      return std::nullopt;
+    }
+    info.has_session_state = true;
+  }
   return info;
 }
 
 bool DecodeSegmentInto(Trace& trace, std::string_view bytes,
-                       std::optional<std::string>* cached_doc, std::string* error) {
+                       std::optional<std::string>* cached_doc, std::string* error,
+                       SegmentAnchor* anchor) {
   auto fail = [&](const char* msg) {
     if (error != nullptr) {
       *error = msg;
     }
     return false;
   };
+  if (anchor != nullptr) {
+    *anchor = SegmentAnchor{};  // Anchor-free until this segment proves one.
+  }
 
   ByteReader reader(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
   std::string magic;
@@ -627,6 +673,34 @@ bool DecodeSegmentInto(Trace& trace, std::string_view bytes,
   }
   if (*base_lv != trace.graph.size()) {
     return fail("segment chain gap: base_lv does not continue the trace");
+  }
+  if ((*flags & kFlagSessionAnchor) != 0) {
+    auto anchor_lv = reader.ReadVarint();
+    auto anchor_len = reader.ReadVarint();
+    if (!anchor_lv || !anchor_len) {
+      return fail("truncated segment anchor");
+    }
+    if (*anchor_lv >= *base_lv + *event_count) {
+      return fail("segment anchor past the segment end");
+    }
+    // Criticality and doc_len cannot be validated structurally here; they
+    // share the cached-doc text's trust model — segment payloads are only
+    // as trustworthy as the storage they came from (the registry owns its
+    // chains; integrity of untrusted transports is a storage-layer job).
+    if (anchor != nullptr) {
+      anchor->lv = *anchor_lv;
+      anchor->doc_len = *anchor_len;
+    }
+  }
+  if ((*flags & kFlagSessionState) != 0) {
+    auto state_len = reader.ReadVarint();
+    std::string state;
+    if (!state_len || !reader.ReadBytes(*state_len, state)) {
+      return fail("truncated segment session state");
+    }
+    if (anchor != nullptr) {
+      anchor->session_state = std::move(state);
+    }
   }
 
   auto agent_count = reader.ReadVarint();
@@ -681,7 +755,10 @@ bool DecodeSegmentInto(Trace& trace, std::string_view bytes,
     if (cached_doc != nullptr) {
       *cached_doc = std::move(doc);
     }
-  } else if (cached_doc != nullptr) {
+  } else if (cached_doc != nullptr && *event_count > 0) {
+    // Appending events invalidates the previous segment's cached document;
+    // an empty refresh segment (a clean eviction checkpointing its session)
+    // leaves it standing — the chain's end version is unchanged.
     cached_doc->reset();
   }
   if (!reader.empty()) {

@@ -42,6 +42,19 @@ struct SaveOptions {
   bool compress_content = false;
   // Append the final document text so loads need no replay.
   bool cache_final_doc = false;
+  // Segments only: record the document's newest critical version (the
+  // walker-session anchor) in the segment, so a chain reload can seed its
+  // replay-base candidates and resume merge sessions instead of falling
+  // back to a full-history rebuild on the first post-reload merge. Ignored
+  // by the full file format.
+  bool checkpoint_session_anchor = true;
+  // Segments only, and only meaningful with checkpoint_session_anchor:
+  // additionally serialize the live walker session into the segment
+  // (Doc::SaveSegment -> Walker::SaveSession). Off by default — only the
+  // FINAL segment's state is ever consumed on reload, so periodic flushes
+  // carrying it would pay O(session) bytes for nothing; DocRegistry sets
+  // it on eviction (retiring) flushes alone.
+  bool checkpoint_session_state = false;
 };
 
 // Ids (LV spans) of inserted characters that survive in the final document.
@@ -91,30 +104,77 @@ std::optional<std::string> ReadCachedDoc(std::string_view bytes);
 //
 // Segments always store deleted content (survival bitmaps do not compose
 // across a chain): options.include_deleted_content must be left true.
+//
+// Segments may additionally carry a *session checkpoint*, in two tiers:
+//
+//   anchor:  the LV of the document's newest critical version at save time
+//            plus the document length at that version. The writer's
+//            contract is that the anchor is critical with respect to the
+//            segment's end version — so a chain whose FINAL segment
+//            carries one can trust it for the whole loaded graph (earlier
+//            segments' anchors may have been invalidated by later
+//            concurrent events and are ignored). Doc::LoadChain uses it to
+//            seed its incremental-replay candidates, so the first merge
+//            after a reload replays from the anchor, never the whole
+//            history.
+//   state:   the serialized walker session itself (Walker::SaveSession —
+//            record spans, delete targets, prepare version), written on
+//            eviction flushes. Concurrency-heavy histories can go long
+//            stretches without any critical version at all; this tier is
+//            what lets such documents resume their session after a reload
+//            instead of rebuilding internal state from scratch. Opaque at
+//            this layer; Doc::TryResumeSession validates and applies it.
+//
+// Both ride the segment header, flag-gated, so pre-checkpoint segments
+// decode unchanged.
+
+// The walker-session checkpoint carried by a segment (see above). lv is
+// kInvalidLv and session_state empty when the segment has none.
+struct SegmentAnchor {
+  Lv lv = kInvalidLv;         // Newest critical version at save time.
+  uint64_t doc_len = 0;       // Document character length at that version.
+  std::string session_state;  // Walker::SaveSession bytes; empty = none.
+};
 
 // Serialises events [base_lv, trace.graph.size()) as one chain segment.
 // `final_doc` must be the full document text at the trace's current version
 // when options.cache_final_doc is set. base_lv == graph.size() is allowed
-// (an empty refresh segment carrying only a cached document).
+// (an empty refresh segment carrying only a cached document). The anchor
+// is recorded when options.checkpoint_session_anchor is set and
+// anchor.lv != kInvalidLv; the caller (Doc::SaveSegment) guarantees its
+// criticality contract.
 std::string EncodeSegment(const Trace& trace, Lv base_lv, const SaveOptions& options,
-                          std::string_view final_doc = {});
+                          std::string_view final_doc = {},
+                          const SegmentAnchor& anchor = {});
 
 // Chain position of a segment, readable without parsing the columns.
 struct SegmentInfo {
   Lv base_lv = 0;           // First event covered.
   uint64_t event_count = 0; // Events in this segment.
   bool has_cached_doc = false;
+  bool has_session_state = false;  // Serialized walker session on board.
+  SegmentAnchor anchor;     // anchor.lv == kInvalidLv when absent; the
+                            // session_state bytes are NOT materialised by
+                            // Peek (header metadata only).
 };
 std::optional<SegmentInfo> PeekSegment(std::string_view bytes);
 
 // Appends a segment's events onto `trace`, whose graph must currently end
 // exactly at the segment's base_lv (chains decode strictly in order). When
 // the segment carries a cached document it is stored into *cached_doc
-// (pass nullptr to ignore). Returns false (and sets *error) on malformed
-// input or a chain gap; `trace` may then hold a partially-appended suffix
-// and should be discarded.
+// (pass nullptr to ignore); likewise the session checkpoint into *anchor
+// (reset when the segment has none, so chain loops naturally keep only the
+// final segment's). One asymmetry: a cached document is only *invalidated*
+// by a segment that appends events — an empty refresh segment without its
+// own cached doc leaves the previous one standing, since the document it
+// reflects is still the chain's end version (eviction flushes of clean
+// documents rely on this to checkpoint the session without re-writing the
+// text). Returns false (and sets *error) on malformed input or a chain
+// gap; `trace` may then hold a partially-appended suffix and should be
+// discarded.
 bool DecodeSegmentInto(Trace& trace, std::string_view bytes,
-                       std::optional<std::string>* cached_doc, std::string* error = nullptr);
+                       std::optional<std::string>* cached_doc, std::string* error = nullptr,
+                       SegmentAnchor* anchor = nullptr);
 
 }  // namespace egwalker
 

@@ -59,7 +59,7 @@ Lv Graph::Add(AgentId agent, uint64_t seq_start, uint64_t count, const Frontier&
   Lv start = next_lv_;
   entries_.Push(GraphEntry{{start, start + count}, parents});
   agent_assignment_.Push(AgentSpan{{start, start + count}, agent, seq_start});
-  agent_seq_to_lv_[agent].Push(SeqRun{seq_start, seq_start + count, start});
+  agent_seq_to_lv_[agent].Push(AgentSeqRun{seq_start, seq_start + count, start});
   next_lv_ += count;
 
   for (Lv p : parents) {
@@ -81,10 +81,10 @@ Lv Graph::RawToLv(std::string_view agent, uint64_t seq) const {
   }
   const auto& runs = agent_seq_to_lv_[it->second];
   size_t idx = runs.FindIndex(seq);
-  if (idx == RleVec<SeqRun>::npos) {
+  if (idx == RleVec<AgentSeqRun>::npos) {
     return kInvalidLv;
   }
-  const SeqRun& r = runs[idx];
+  const AgentSeqRun& r = runs[idx];
   return r.lv_start + (seq - r.seq_start);
 }
 
@@ -95,7 +95,7 @@ uint64_t Graph::KnownRunLen(std::string_view agent, uint64_t seq) const {
   }
   const auto& runs = agent_seq_to_lv_[it->second];
   size_t idx = runs.FindIndex(seq);
-  if (idx == RleVec<SeqRun>::npos) {
+  if (idx == RleVec<AgentSeqRun>::npos) {
     return 0;
   }
   return runs[idx].seq_end - seq;

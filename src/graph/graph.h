@@ -71,6 +71,24 @@ struct AgentSpan {
   void append(const AgentSpan& next) { span.end = next.span.end; }
 };
 
+// One run of the per-agent history index: sequence numbers
+// [seq_start, seq_end) map to the contiguous LV run starting at lv_start.
+// Runs are stored per agent, sorted ascending in both seq and LV (an
+// agent's events are generated sequentially on one replica, so a
+// causally-closed graph holds them in seq order; LV order is topological).
+struct AgentSeqRun {
+  uint64_t seq_start = 0;
+  uint64_t seq_end = 0;
+  Lv lv_start = 0;
+
+  uint64_t rle_start() const { return seq_start; }
+  uint64_t rle_end() const { return seq_end; }
+  bool can_append(const AgentSeqRun& next) const {
+    return next.seq_start == seq_end && next.lv_start == lv_start + (seq_end - seq_start);
+  }
+  void append(const AgentSeqRun& next) { seq_end = next.seq_end; }
+};
+
 // Result of Graph::Diff: the events reachable from exactly one of the two
 // versions, as ascending span lists.
 struct DiffResult {
@@ -139,6 +157,17 @@ class Graph {
   const RleVec<GraphEntry>& entries() const { return entries_; }
   const RleVec<AgentSpan>& agent_spans() const { return agent_assignment_; }
 
+  // The agent-indexed history: this agent's (seq run -> LV span) list,
+  // maintained incrementally by Add (push + RLE merge, never rebuilt).
+  // Sorted ascending in seq AND LV, so a per-agent seq suffix — "everything
+  // at or past the receiver's per-agent watermark" — maps to a tail of this
+  // list via one binary search. sync's MakePatch k-way-merges these tails
+  // in LV order to visit only the events a receiver is missing instead of
+  // rescanning the whole history per subscriber.
+  const RleVec<AgentSeqRun>& agent_runs(AgentId agent) const {
+    return agent_seq_to_lv_[agent];
+  }
+
   // True iff a happened before b (a -> b, strictly).
   bool IsAncestor(Lv a, Lv b) const;
 
@@ -195,20 +224,8 @@ class Graph {
   RleVec<GraphEntry> entries_;
   RleVec<AgentSpan> agent_assignment_;
 
-  // Per-agent mapping from seq runs to lv runs.
-  struct SeqRun {
-    uint64_t seq_start = 0;
-    uint64_t seq_end = 0;
-    Lv lv_start = 0;
-
-    uint64_t rle_start() const { return seq_start; }
-    uint64_t rle_end() const { return seq_end; }
-    bool can_append(const SeqRun& next) const {
-      return next.seq_start == seq_end && next.lv_start == lv_start + (seq_end - seq_start);
-    }
-    void append(const SeqRun& next) { seq_end = next.seq_end; }
-  };
-  std::vector<RleVec<SeqRun>> agent_seq_to_lv_;
+  // Per-agent mapping from seq runs to lv runs (see agent_runs()).
+  std::vector<RleVec<AgentSeqRun>> agent_seq_to_lv_;
 
   std::vector<std::string> agent_names_;
   std::unordered_map<std::string, AgentId> agent_ids_;

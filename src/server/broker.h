@@ -61,6 +61,21 @@
 // fan-out by less than one tick, which is below the network's minimum
 // latency — the protocol's loss tolerance is untouched.
 //
+// Patch encodes are *watermarked and cached across ticks*: every encoded
+// patch is remembered per (document, receiver summary), stamped with the
+// document's end LV at encode time — the entry's watermark. A later
+// request for the same summary reuses the bytes as long as every event
+// appended past the watermark is already covered by that summary
+// (SummaryCoversRange over the agent-span runs in the gap — O(new runs),
+// no re-encode): the missing set, and therefore the deterministic
+// encoding, cannot have changed, so the cached bytes are still
+// byte-identical to a fresh MakePatch. Validation advances the watermark.
+// Together with the O(delta) MakePatch (sync/patch.h) this makes the
+// steady-state fan-out cost of a mostly-caught-up subscriber O(events it
+// is actually sent): hits within one fan-out round count as
+// patch_encodes_shared, cross-tick hits as patch_encodes_reused, and the
+// scanned/encoded event counters expose the O(delta) property to tests.
+//
 // Checkpointing: after applying client patches the broker flushes the
 // document's new events to the registry's incremental checkpoint chain
 // once at least Config::flush_every_events have accumulated, so an
@@ -104,8 +119,12 @@ class Broker : public Endpoint {
     uint64_t patches_rejected = 0; // Causally premature (client repairs).
     uint64_t broadcasts = 0;       // Patches actually sent by fan-out.
     uint64_t broadcast_rounds = 0; // Per-tick fan-outs (<= patches_applied).
-    uint64_t patch_encodes = 0;        // MakePatch calls during fan-out.
-    uint64_t patch_encodes_shared = 0; // Subscribers served a reused patch.
+    uint64_t patch_encodes = 0;        // MakePatch calls (fan-out + sync).
+    uint64_t patch_encodes_shared = 0; // Cache hits within one fan-out round.
+    uint64_t patch_encodes_reused = 0; // Cross-tick cache hits (watermark
+                                       // still valid after new events).
+    uint64_t patch_events_scanned = 0; // Events visited by MakePatch.
+    uint64_t patch_events_encoded = 0; // Events written into patches.
     uint64_t leaves = 0;
     uint64_t expired = 0;  // Sessions swept by the idle timeout.
   };
@@ -138,16 +157,42 @@ class Broker : public Endpoint {
   // subscribers instead of every session on the server.
   using SessionKey = std::pair<std::string, int>;
 
+  // One remembered encode of the watermarked patch cache (see the file
+  // comment). `end_lv` is the watermark: the document end the bytes were
+  // last validated against.
+  struct CachedEncode {
+    VersionSummary summary;
+    Lv end_lv = 0;
+    std::string patch;
+    uint64_t stamp = 0;  // LRU clock value of the last hit or encode.
+    uint64_t epoch = 0;  // Encode epoch of the last hit (shared-vs-reused).
+  };
+  // Cached entries per document, LRU-capped. Entries never go stale-wrong:
+  // reuse is gated on the watermark check against the live graph, so an
+  // invalid entry is simply re-encoded in place.
+  static constexpr size_t kPatchCacheEntriesPerDoc = 16;
+
   void HandleSyncRequest(NetSim& net, int from, const Message& msg);
   void HandlePatch(NetSim& net, int from, const Message& msg);
   // Erases sessions idle past the timeout; runs lazily from OnMessage.
   void SweepIdleSessions(uint64_t now);
   // Sends each live subscriber of `doc_name` the delta it is missing,
-  // encoding one patch per distinct subscriber summary. `doc` is the
-  // caller's already-open registry reference (re-opening here would
-  // distort the registry's hit-rate stats).
+  // encoding one patch per distinct subscriber summary and reusing
+  // watermark-valid encodes from previous ticks. `doc` is the caller's
+  // already-open registry reference (re-opening here would distort the
+  // registry's hit-rate stats).
   void Broadcast(NetSim& net, Doc& doc, const std::string& doc_name);
   void MaybeCheckpoint(const std::string& doc_name);
+  // The patch for `summary` against `doc`, from the cache when the
+  // watermark validates, freshly encoded (and cached) otherwise. `epoch`
+  // groups lookups of one fan-out round for the shared/reused stats split.
+  // The reference is valid until the next CachedPatch call.
+  const std::string& CachedPatch(Doc& doc, const std::string& doc_name,
+                                 const VersionSummary& summary, uint64_t epoch);
+  // Frees `doc_name`'s cached encodes once no session subscribes to it —
+  // the cache's memory lifetime is tied to subscriber interest, so broker
+  // memory does not grow with every document ever touched.
+  void MaybeDropPatchCache(const std::string& doc_name);
 
   DocRegistry& registry_;
   Config config_;
@@ -155,6 +200,13 @@ class Broker : public Endpoint {
   std::map<SessionKey, Session> sessions_;
   // Documents with applied-but-not-yet-broadcast events; flushed by OnTick.
   std::set<std::string> pending_broadcasts_;
+  std::map<std::string, std::vector<CachedEncode>> patch_cache_;
+  // Scratch slot for a round with more distinct subscriber summaries than
+  // cache slots: the overflow encode lands here instead of evicting an
+  // entry already served this round (see CachedPatch).
+  CachedEncode overflow_encode_;
+  uint64_t patch_cache_clock_ = 0;
+  uint64_t patch_epoch_ = 0;
   uint64_t last_sweep_ = 0;
   Stats stats_;
 };

@@ -57,9 +57,25 @@ Doc& DocRegistry::Open(const std::string& name) {
   }
   Entry& entry =
       entries_.emplace(name, Entry{std::move(doc), checkpoint_lv, 0}).first->second;
+  // Sessions never survive the moves above; resume on the settled Doc so an
+  // evicted-then-reloaded document merges exactly like a resident one
+  // (TryResumeSession is a no-op for non-chain docs and checkpoint-free
+  // chains — older files, checkpoint_session_anchor off — which keep the
+  // plain reload behaviour).
+  if (entry.doc.TryResumeSession()) {
+    ++stats_.session_resumes;
+  }
   Touch(entry);
   EvictOverCapacity(name);
   return entry.doc;
+}
+
+uint64_t DocRegistry::TotalReplayedEvents() const {
+  uint64_t total = stats_.replayed_retired;
+  for (const auto& [name, entry] : entries_) {
+    total += entry.doc.replayed_events();
+  }
+  return total;
 }
 
 uint64_t DocRegistry::DirtyEvents(const std::string& name) const {
@@ -70,26 +86,63 @@ uint64_t DocRegistry::DirtyEvents(const std::string& name) const {
   return it->second.doc.end_lv() - it->second.checkpoint_lv;
 }
 
-bool DocRegistry::FlushEntry(const std::string& name, Entry& entry) {
-  if (entry.doc.end_lv() == entry.checkpoint_lv) {
-    return false;  // Clean: an incremental flush writes nothing.
-  }
-  // Compaction: a heavily evicted document accumulates one segment per
-  // eviction; once the chain is about to reach the threshold, skip the
-  // incremental append and rewrite it as a single consolidated segment, so
-  // reload cost stays O(history), not O(history x evictions).
+bool DocRegistry::FlushEntry(const std::string& name, Entry& entry, bool retiring) {
+  // The serialized walker session rides only on retiring (eviction)
+  // flushes — only a chain's final segment's state is ever consumed, so
+  // periodic checkpoints skip those bytes.
+  SaveOptions opts = config_.checkpoint;
+  opts.checkpoint_session_state = retiring;
+
+  // Compaction applies to BOTH write paths below: a heavily evicted
+  // document accumulates one segment per eviction (incremental or refresh),
+  // and once the chain is about to reach the threshold the write is
+  // replaced by a single consolidated segment, so reload cost stays
+  // O(history), not O(history x evictions).
   const std::vector<std::string>* chain = storage_.Chain(name);
   size_t chain_len = chain != nullptr ? chain->size() : 0;
-  if (config_.compact_above_segments != 0 && chain_len + 1 >= config_.compact_above_segments) {
-    std::vector<std::string> consolidated;
-    consolidated.push_back(entry.doc.SaveSegment(0, config_.checkpoint));
-    storage_.Replace(name, std::move(consolidated));
-    ++stats_.compactions;
-  } else {
-    storage_.Append(name, entry.doc.SaveSegment(entry.checkpoint_lv, config_.checkpoint));
+  const bool compact = config_.compact_above_segments != 0 &&
+                       chain_len + 1 >= config_.compact_above_segments;
+  auto write = [&](const SaveOptions& incremental_opts) {
+    if (compact) {
+      // The consolidated segment replaces the whole chain, so it keeps the
+      // configured cached-doc behaviour and carries the session iff this
+      // flush is retiring.
+      std::vector<std::string> consolidated;
+      consolidated.push_back(entry.doc.SaveSegment(0, opts));
+      storage_.Replace(name, std::move(consolidated));
+      ++stats_.compactions;
+    } else {
+      storage_.Append(name, entry.doc.SaveSegment(entry.checkpoint_lv, incremental_opts));
+    }
+    entry.checkpoint_lv = entry.doc.end_lv();
+    ++stats_.flushes;
+  };
+
+  if (entry.doc.end_lv() == entry.checkpoint_lv) {
+    // Clean: an incremental flush writes nothing — except when the document
+    // is being retired with a live merge session. Losing the session would
+    // make the next post-reload merge rebuild internal state from scratch,
+    // so the eviction appends a tiny *refresh* segment (no events, no
+    // cached doc — the previous segment's is still valid, see
+    // DecodeSegmentInto) carrying just the serialized session.
+    if (retiring && config_.checkpoint.checkpoint_session_anchor &&
+        entry.doc.merge_session_active() && chain_len > 0) {
+      // Idle evict/resume cycles would otherwise append an identical
+      // refresh per cycle: a clean document's session is semantically the
+      // one the chain's final segment already holds (nothing merged since
+      // the resume), so an existing state checkpoint makes this a no-op.
+      if (auto info = PeekSegment((*chain)[chain_len - 1]);
+          info.has_value() && info->has_session_state) {
+        return false;
+      }
+      SaveOptions refresh = opts;
+      refresh.cache_final_doc = false;
+      write(refresh);
+      return true;
+    }
+    return false;
   }
-  entry.checkpoint_lv = entry.doc.end_lv();
-  ++stats_.flushes;
+  write(opts);
   return true;
 }
 
@@ -118,7 +171,8 @@ bool DocRegistry::Evict(const std::string& name) {
   if (it == entries_.end()) {
     return false;
   }
-  FlushEntry(name, it->second);
+  FlushEntry(name, it->second, /*retiring=*/true);
+  stats_.replayed_retired += it->second.doc.replayed_events();
   entries_.erase(it);
   ++stats_.evictions;
   return true;
@@ -141,7 +195,8 @@ void DocRegistry::EvictOverCapacity(const std::string& keep) {
     if (victim == entries_.end()) {
       return;  // Only the protected document is resident.
     }
-    FlushEntry(victim->first, victim->second);
+    FlushEntry(victim->first, victim->second, /*retiring=*/true);
+    stats_.replayed_retired += victim->second.doc.replayed_events();
     entries_.erase(victim);
     ++stats_.evictions;
   }

@@ -15,6 +15,21 @@
 //           doc fast path of the full file format, extended to incremental
 //           flushes.
 //
+// Walker sessions survive the evict/reload cycle: every flushed segment
+// checkpoints the document's session anchor (its newest critical version)
+// and an eviction flush additionally serializes the live walker session
+// itself into the segment (encoding/columnar.h's session-checkpoint
+// fields; a clean eviction writes a tiny event-less refresh segment to
+// carry it). Open then resumes the session on the reloaded Doc
+// (Doc::TryResumeSession): the serialized state rebuilds at any frontier —
+// including concurrency-heavy histories with no critical versions at all —
+// and the anchor both seeds the replay-base candidates (so even a
+// session-less merge replays from the anchor, never the whole history) and
+// provides the free placeholder-resume at a critical tip. An eviction
+// therefore no longer resets the incremental-merge machinery —
+// reload-then-merge costs O(appended events), the same as if the document
+// had stayed resident.
+//
 // Document lifecycle state machine (one document's journey):
 //
 //     (absent) --Open--> RESIDENT+clean --local events--> RESIDENT+dirty
@@ -105,6 +120,11 @@ class DocRegistry {
     uint64_t replayed_on_load = 0;  // Events replayed across all chain
                                     // loads; 0 while every segment carries
                                     // a cached doc.
+    uint64_t session_resumes = 0;   // Chain loads that reopened the merge
+                                    // session (anchor at a critical tip).
+    uint64_t replayed_retired = 0;  // Doc::replayed_events() accumulated
+                                    // from evicted docs (see
+                                    // TotalReplayedEvents).
   };
 
   explicit DocRegistry(SegmentStorage& storage, const Config& config = {});
@@ -135,6 +155,12 @@ class DocRegistry {
 
   const Stats& stats() const { return stats_; }
 
+  // Total walker replay work done by every document this registry has ever
+  // held: the retired sum plus the currently resident docs' counters. The
+  // soak tests compare this across anchored and anchor-free universes to
+  // prove sessions really survive eviction.
+  uint64_t TotalReplayedEvents() const;
+
  private:
   struct Entry {
     Doc doc;
@@ -143,7 +169,9 @@ class DocRegistry {
   };
 
   void Touch(Entry& entry) { entry.last_used = ++clock_; }
-  bool FlushEntry(const std::string& name, Entry& entry);
+  // `retiring` marks an eviction flush: it may write a session-carrying
+  // refresh segment even when the document is clean.
+  bool FlushEntry(const std::string& name, Entry& entry, bool retiring = false);
   void EvictOverCapacity(const std::string& keep);
 
   SegmentStorage& storage_;

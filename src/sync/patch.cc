@@ -1,5 +1,6 @@
 #include "sync/patch.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "rope/utf8.h"
@@ -85,70 +86,23 @@ std::optional<VersionSummary> DecodeSummary(std::string_view bytes, std::string*
   return summary;
 }
 
-std::string MakePatch(const Doc& doc, const VersionSummary& they_have) {
-  const Graph& g = doc.graph();
-  const OpLog& ops = doc.ops();
+namespace {
 
-  // Collect chunks in LV (causal) order, like Doc::MergeFrom, but keep only
-  // events beyond the receiver's per-agent prefix.
-  struct PendingChunk {
-    AgentId agent;
-    uint64_t seq_start;
-    uint64_t count;
-    Frontier parents;  // Local LVs; empty + chained set for a chain link.
-    bool chained;
-    OpSlice slice;
-    uint64_t skip;  // Leading events of the slice not included (known remotely).
-  };
-  std::vector<PendingChunk> chunks;
-  std::unordered_map<std::string, uint64_t> have;
-  for (const auto& [agent, count] : they_have.agents) {
-    have.emplace(agent, count);
-  }
+// One patch chunk awaiting encode, in LV order.
+struct PendingChunk {
+  AgentId agent;
+  uint64_t seq_start;
+  uint64_t count;
+  Frontier parents;  // Local LVs; empty + chained set for a chain link.
+  bool chained;
+  OpSlice slice;
+  uint64_t skip;  // Leading events of the slice not included (known remotely).
+};
 
-  Lv prev_included_tail = kInvalidLv;  // LV of the previous included chunk's last event.
-  Lv olv = 0;
-  // Patch building scans the whole history per receiver (broker fan-out
-  // calls this once per distinct subscriber summary): the shared scanner
-  // keeps each of the three RLE column lookups O(1) per chunk.
-  ChunkScanner scan(g, ops);
-  while (olv < g.size()) {
-    ChunkScanner::Chunk ck = scan.At(olv);
-    const AgentSpan& as = *ck.agent;
-    OpSlice slice = ck.slice;
-    Lv chunk_end = ck.end;
-
-    const std::string& agent_name = g.AgentName(as.agent);
-    uint64_t seq = as.seq_start + (olv - as.span.start);
-    uint64_t known_remote = 0;
-    if (auto it = have.find(agent_name); it != have.end() && it->second > seq) {
-      known_remote = std::min<uint64_t>(it->second - seq, slice.count);
-    }
-    if (known_remote == slice.count) {
-      olv = chunk_end;
-      continue;
-    }
-
-    PendingChunk chunk;
-    chunk.agent = as.agent;
-    chunk.seq_start = seq + known_remote;
-    chunk.count = slice.count - known_remote;
-    chunk.skip = known_remote;
-    chunk.slice = slice;
-    if (known_remote > 0) {
-      // The receiver has the run's prefix: chain from (agent, seq-1),
-      // encoded as an explicit parent.
-      chunk.chained = false;
-      chunk.parents = Frontier{olv + known_remote - 1};
-    } else {
-      Frontier parents = g.ParentsOf(olv);
-      chunk.chained = (parents.size() == 1 && parents[0] == prev_included_tail);
-      chunk.parents = std::move(parents);
-    }
-    prev_included_tail = chunk_end - 1;
-    chunks.push_back(std::move(chunk));
-    olv = chunk_end;
-  }
+// Serialises collected chunks into patch wire bytes. Shared by MakePatch
+// and MakePatchReference so the two collection strategies cannot drift in
+// encoding (the fuzz differential compares their bytes, not just decodes).
+std::string EncodePendingChunks(const Graph& g, const std::vector<PendingChunk>& chunks) {
   if (chunks.empty()) {
     return std::string();
   }
@@ -220,6 +174,208 @@ std::string MakePatch(const Doc& doc, const VersionSummary& they_have) {
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::string MakePatch(const Doc& doc, const VersionSummary& they_have,
+                      MakePatchStats* stats) {
+  const Graph& g = doc.graph();
+  const OpLog& ops = doc.ops();
+
+  // Phase 1 — translate the receiver's summary into missing LV spans via
+  // the agent-indexed history: per agent, the summary count is a watermark;
+  // one binary search finds the first (seq run -> LV span) past it, and the
+  // clipped tail of that agent's run list is its missing set. Only agents
+  // and runs with missing events are ever touched.
+  std::vector<LvSpan> missing;
+  for (size_t a = 0; a < g.agent_count(); ++a) {
+    const RleVec<AgentSeqRun>& runs = g.agent_runs(static_cast<AgentId>(a));
+    if (runs.empty()) {
+      continue;
+    }
+    uint64_t have = 0;
+    if (auto it = they_have.agents.find(g.AgentName(static_cast<AgentId>(a)));
+        it != they_have.agents.end()) {
+      have = it->second;
+    }
+    if (have >= runs.back().seq_end) {
+      continue;  // Caught up on this agent (or an inflated claim: trust it —
+                 // the receiver's periodic sync requests repair any lie).
+    }
+    // First run with events at or past the watermark. (A causally-closed
+    // graph holds per-agent seq *prefixes*, but the search stays a plain
+    // first-seq_end-above-have bound so a gapped index would only over-send,
+    // never crash.)
+    size_t lo = 0, hi = runs.run_count();
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (runs[mid].seq_end <= have) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    for (size_t i = lo; i < runs.run_count(); ++i) {
+      const AgentSeqRun& r = runs[i];
+      uint64_t from_seq = std::max(r.seq_start, have);
+      missing.push_back({r.lv_start + (from_seq - r.seq_start),
+                         r.lv_start + (r.seq_end - r.seq_start)});
+    }
+  }
+  if (missing.empty()) {
+    return std::string();
+  }
+  // Phase 2 — merge the per-agent span lists into one ascending LV
+  // sequence. Spans from different agents are disjoint, so a sort by start
+  // is exactly the k-way merge, and LV order is the causal order the wire
+  // format requires.
+  std::sort(missing.begin(), missing.end(),
+            [](const LvSpan& a, const LvSpan& b) { return a.start < b.start; });
+
+  // Phase 3 — cut chunks from the missing spans only. The scanner state
+  // stays cheap because spans ascend; nothing outside them is visited.
+  std::vector<PendingChunk> chunks;
+  Lv prev_included_tail = kInvalidLv;  // LV of the previous chunk's last event.
+  ChunkScanner scan(g, ops);
+  for (const LvSpan& span : missing) {
+    Lv olv = span.start;
+    while (olv < span.end) {
+      ChunkScanner::Chunk ck = scan.At(olv);
+      // Agent-span boundaries bound both the scanner chunk and the missing
+      // span, so ck.end never overshoots span.end; min() keeps a malformed
+      // span from dragging known events in regardless.
+      Lv chunk_end = std::min(ck.end, span.end);
+
+      PendingChunk chunk;
+      chunk.agent = ck.agent->agent;
+      chunk.seq_start = ck.agent->seq_start + (olv - ck.agent->span.start);
+      chunk.count = chunk_end - olv;
+      chunk.skip = 0;  // The slice already starts at the first missing event.
+      chunk.slice = ck.slice;
+      if (chunk_end < ck.end && chunk.slice.kind == OpKind::kInsert) {
+        chunk.slice.text =
+            chunk.slice.text.substr(0, Utf8ByteOfChar(chunk.slice.text, chunk.count));
+      }
+      chunk.slice.count = chunk.count;
+      // Parents: mid-run events chain onto their predecessor — including
+      // the chain-link edge case where the receiver's watermark split the
+      // run and the predecessor is NOT in the patch (it is encoded as the
+      // explicit parent (agent, seq-1) because prev_included_tail then
+      // points at some other run's tail, never at olv-1).
+      Frontier parents =
+          olv > ck.entry->span.start ? Frontier{olv - 1} : ck.entry->parents;
+      chunk.chained = (parents.size() == 1 && parents[0] == prev_included_tail);
+      chunk.parents = std::move(parents);
+      prev_included_tail = chunk_end - 1;
+      if (stats != nullptr) {
+        // scanned counts the scanner's materialised chunk extent (ck.end),
+        // encoded the span-clipped portion actually written. They agree
+        // exactly when the builder touches nothing outside the missing
+        // spans — the O(delta) property the soak asserts; a scan
+        // overshooting its span (or a reintroduced history walk) makes
+        // scanned outrun encoded.
+        stats->events_scanned += ck.end - olv;
+        stats->events_encoded += chunk.count;
+        ++stats->chunks;
+      }
+      chunks.push_back(std::move(chunk));
+      olv = chunk_end;
+    }
+  }
+  return EncodePendingChunks(g, chunks);
+}
+
+std::string MakePatchReference(const Doc& doc, const VersionSummary& they_have,
+                               MakePatchStats* stats) {
+  const Graph& g = doc.graph();
+  const OpLog& ops = doc.ops();
+
+  // Collect chunks in LV (causal) order, like Doc::MergeFrom, but keep only
+  // events beyond the receiver's per-agent prefix. This scans the whole
+  // history per receiver — the pre-index behaviour MakePatch is
+  // differentially tested against; production paths use MakePatch.
+  std::vector<PendingChunk> chunks;
+  std::unordered_map<std::string, uint64_t> have;
+  for (const auto& [agent, count] : they_have.agents) {
+    have.emplace(agent, count);
+  }
+
+  Lv prev_included_tail = kInvalidLv;  // LV of the previous included chunk's last event.
+  Lv olv = 0;
+  ChunkScanner scan(g, ops);
+  while (olv < g.size()) {
+    ChunkScanner::Chunk ck = scan.At(olv);
+    const AgentSpan& as = *ck.agent;
+    OpSlice slice = ck.slice;
+    Lv chunk_end = ck.end;
+    if (stats != nullptr) {
+      stats->events_scanned += chunk_end - olv;  // Every event is visited.
+    }
+
+    const std::string& agent_name = g.AgentName(as.agent);
+    uint64_t seq = as.seq_start + (olv - as.span.start);
+    uint64_t known_remote = 0;
+    if (auto it = have.find(agent_name); it != have.end() && it->second > seq) {
+      known_remote = std::min<uint64_t>(it->second - seq, slice.count);
+    }
+    if (known_remote == slice.count) {
+      olv = chunk_end;
+      continue;
+    }
+    if (stats != nullptr) {
+      stats->events_encoded += slice.count - known_remote;
+      ++stats->chunks;
+    }
+
+    PendingChunk chunk;
+    chunk.agent = as.agent;
+    chunk.seq_start = seq + known_remote;
+    chunk.count = slice.count - known_remote;
+    chunk.skip = known_remote;
+    chunk.slice = slice;
+    if (known_remote > 0) {
+      // The receiver has the run's prefix: chain from (agent, seq-1),
+      // encoded as an explicit parent.
+      chunk.chained = false;
+      chunk.parents = Frontier{olv + known_remote - 1};
+    } else {
+      Frontier parents = g.ParentsOf(olv);
+      chunk.chained = (parents.size() == 1 && parents[0] == prev_included_tail);
+      chunk.parents = std::move(parents);
+    }
+    prev_included_tail = chunk_end - 1;
+    chunks.push_back(std::move(chunk));
+    olv = chunk_end;
+  }
+  return EncodePendingChunks(g, chunks);
+}
+
+bool SummaryCoversRange(const Graph& graph, const VersionSummary& summary, Lv from, Lv to) {
+  if (from >= to) {
+    return true;
+  }
+  if (to > graph.size()) {
+    return false;
+  }
+  const RleVec<AgentSpan>& spans = graph.agent_spans();
+  size_t idx = spans.FindIndex(from);
+  EGW_CHECK(idx != RleVec<AgentSpan>::npos);
+  for (; idx < spans.run_count(); ++idx) {
+    const AgentSpan& as = spans[idx];
+    if (as.span.start >= to) {
+      break;
+    }
+    // Summaries are per-agent prefixes, so covering the range's highest seq
+    // in this run covers the whole overlap.
+    Lv hi = std::min(to, as.span.end);
+    uint64_t seq_hi = as.seq_start + (hi - as.span.start);
+    auto it = summary.agents.find(graph.AgentName(as.agent));
+    if (it == summary.agents.end() || it->second < seq_hi) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::optional<std::vector<RemoteChunk>> DecodePatch(std::string_view bytes, std::string* error) {

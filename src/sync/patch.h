@@ -21,6 +21,35 @@
 // closure before touching the document — a patch whose dependencies have
 // not arrived yet is rejected wholesale (the reliable-broadcast layer
 // retries), never half-applied.
+//
+// O(delta) patch building
+// -----------------------
+// MakePatch does NOT scan the sender's history. It runs on the graph's
+// agent-indexed history (Graph::agent_runs: per-agent sorted lists of
+// (seq run -> LV span), maintained incrementally on append):
+//
+//   1. Per agent, the receiver's count is a *watermark*: sequence numbers
+//      below it are known, everything at or above it is missing. One binary
+//      search per agent finds the first run past the watermark; the tail of
+//      the run list, clipped at the watermark, is that agent's missing
+//      LV-span set.
+//   2. The per-agent span lists are merged into one ascending LV sequence
+//      (spans from different agents never overlap), which is exactly the
+//      causal order the old full scan produced.
+//   3. Chunks are cut from those spans by the shared ChunkScanner and
+//      encoded as before, so the bytes are identical to the full scan's.
+//
+// A nearly-caught-up receiver therefore costs O(missing events + agents),
+// not O(history) — the broker's steady-state fan-out depends on it.
+//
+// Chain-link edge case: when a receiver's watermark splits an RLE run
+// mid-chunk (it holds the run's prefix), the missing tail cannot use the
+// kChunkChainPrevious flag — the previous *included* chunk is some other
+// run entirely. The tail instead encodes one explicit parent,
+// (agent, watermark seq - 1): within a graph run every event's parent is
+// its predecessor, so the link is exact. MakePatchReference keeps the old
+// whole-history scan alive as the differential-testing oracle
+// (fuzz_all requires byte-identical output for random summaries).
 
 #ifndef EGWALKER_SYNC_PATCH_H_
 #define EGWALKER_SYNC_PATCH_H_
@@ -50,9 +79,38 @@ std::string EncodeSummary(const VersionSummary& summary);
 std::optional<VersionSummary> DecodeSummary(std::string_view bytes,
                                             std::string* error = nullptr);
 
+// Work counters for one MakePatch call (accumulated by Broker::Stats).
+// events_scanned is instrumented at the chunk scan itself — it counts the
+// events the builder actually VISITS, not the missing-set size — so it is
+// the observable form of the O(delta) claim: MakePatch keeps
+// scanned == encoded (it visits nothing it does not send; the server soak
+// asserts the ratio stays 1), while MakePatchReference reports the whole
+// history as scanned — swapping the full scan back in trips the same
+// assertions.
+struct MakePatchStats {
+  uint64_t events_scanned = 0;  // Events visited while building chunks.
+  uint64_t events_encoded = 0;  // Events actually written into the patch.
+  uint64_t chunks = 0;          // Chunks written.
+};
+
 // Builds a patch containing every event of `doc` the holder of `they_have`
-// lacks. Returns an empty string when there is nothing to send.
-std::string MakePatch(const Doc& doc, const VersionSummary& they_have);
+// lacks. Returns an empty string when there is nothing to send. Runs in
+// O(missing events + agents), not O(history) — see the file comment.
+std::string MakePatch(const Doc& doc, const VersionSummary& they_have,
+                      MakePatchStats* stats = nullptr);
+
+// The original whole-history scan, kept as the differential-testing oracle:
+// byte-identical output to MakePatch for every summary, O(history) cost
+// (its stats report every visited event, i.e. the full history).
+std::string MakePatchReference(const Doc& doc, const VersionSummary& they_have,
+                               MakePatchStats* stats = nullptr);
+
+// True iff the holder of `summary` already has every event in [from, to) —
+// i.e. each event's (agent, seq) sits below the summary's watermark. The
+// broker's cross-tick encode cache uses this as the reuse condition: a
+// cached patch stays valid while every event appended past its encode
+// point is already known to the receiver. O(agent runs in the range).
+bool SummaryCoversRange(const Graph& graph, const VersionSummary& summary, Lv from, Lv to);
 
 // Decodes a patch into remote chunks (ready for Doc::ApplyRemoteChunks).
 std::optional<std::vector<RemoteChunk>> DecodePatch(std::string_view bytes,

@@ -12,7 +12,11 @@
 //     random jump patterns (stale-hint recovery included);
 //   - randomized summary/patch exchange sequences through paired document
 //     universes — persistent walker sessions vs fresh-walker-per-merge —
-//     requiring identical patch bytes and byte-identical documents.
+//     requiring identical patch bytes and byte-identical documents;
+//   - the agent-indexed O(delta) MakePatch vs the whole-history
+//     MakePatchReference oracle over perturbed summaries (absent agents,
+//     inflated seqs, watermarks splitting RLE runs mid-chunk), requiring
+//     byte-identical patches and scanned == encoded work counters.
 //
 // Usage: fuzz_all [count] [start_seed]
 //   ./build/tests/fuzz_all 100000       # long background hunt
@@ -156,6 +160,50 @@ bool CheckDiffCacheAndCursor(uint64_t seed, const Trace& t) {
   return true;
 }
 
+// The O(delta) MakePatch against the whole-history reference scan, over
+// summaries perturbed to hit every edge: agents dropped entirely, counts
+// inflated past what the sender holds, and watermarks landing mid-run so a
+// known prefix splits an RLE chunk (the explicit-parent chain link).
+bool CheckPatchDifferential(uint64_t seed, const Doc& doc, Prng& rng) {
+  VersionSummary full = SummarizeDoc(doc);
+  for (int round = 0; round < 8; ++round) {
+    VersionSummary s;
+    for (const auto& [agent, count] : full.agents) {
+      if (rng.Chance(0.2)) {
+        continue;  // Absent agent: everything of theirs is missing.
+      }
+      if (rng.Chance(0.15)) {
+        s.agents[agent] = count + 1 + rng.Below(5);  // Inflated claim.
+      } else {
+        s.agents[agent] = rng.Below(count + 1);  // Any prefix, incl. mid-run.
+      }
+    }
+    if (rng.Chance(0.25)) {
+      s.agents["ghost-" + std::to_string(rng.Below(3))] = rng.Below(10);
+    }
+    MakePatchStats stats;
+    std::string fast = MakePatch(doc, s, &stats);
+    MakePatchStats ref_stats;
+    std::string reference = MakePatchReference(doc, s, &ref_stats);
+    if (fast != reference) {
+      std::fprintf(stderr, "MAKEPATCH DIFFERENTIAL MISMATCH seed=%llu round=%d\n",
+                   static_cast<unsigned long long>(seed), round);
+      return false;
+    }
+    // The indexed scan visits exactly what it encodes; the reference visits
+    // the whole history. Both encode the same missing set.
+    if (stats.events_scanned != stats.events_encoded ||
+        stats.events_encoded != ref_stats.events_encoded ||
+        stats.chunks != ref_stats.chunks ||
+        ref_stats.events_scanned != doc.end_lv()) {
+      std::fprintf(stderr, "MAKEPATCH WORK-COUNTER DRIFT seed=%llu round=%d\n",
+                   static_cast<unsigned long long>(seed), round);
+      return false;
+    }
+  }
+  return true;
+}
+
 // Paired universes of three replicas exchanging summary/patch messages: the
 // session universe and the fresh-walker universe must generate identical
 // patch bytes and converge to byte-identical documents.
@@ -174,6 +222,12 @@ bool CheckSessionPatchSequences(uint64_t seed) {
     std::string patch_off = MakePatch(off[from], SummarizeDoc(off[to]));
     if (patch_on != patch_off) {
       std::fprintf(stderr, "SESSION PATCH BYTES MISMATCH seed=%llu\n",
+                   static_cast<unsigned long long>(seed));
+      return false;
+    }
+    // Every real exchange also pins the indexed scan to the reference scan.
+    if (patch_on != MakePatchReference(on[from], SummarizeDoc(on[to]))) {
+      std::fprintf(stderr, "MAKEPATCH REFERENCE MISMATCH seed=%llu\n",
                    static_cast<unsigned long long>(seed));
       return false;
     }
@@ -227,6 +281,9 @@ bool CheckSessionPatchSequences(uint64_t seed) {
     if (on[i].Text() != off[i].Text() || on[0].Text() != on[i].Text()) {
       std::fprintf(stderr, "SESSION UNIVERSE MISMATCH seed=%llu replica=%zu\n",
                    static_cast<unsigned long long>(seed), i);
+      return false;
+    }
+    if (!CheckPatchDifferential(seed, on[i], rng)) {
       return false;
     }
   }

@@ -436,5 +436,75 @@ TEST_P(GraphRandomTest, VersionFrontierIsMinimalAndComplete) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GraphRandomTest, ::testing::Values(1, 2, 3, 4, 5, 77, 1234));
 
+// --- The agent-indexed history (Graph::agent_runs) ---------------------------
+
+TEST(AgentIndex, ContiguousAppendsCoalesceIntoOneRun) {
+  Graph g;
+  AgentId a = g.GetOrCreateAgent("a");
+  g.Add(a, 0, 5, {});
+  g.Add(a, 5, 3, Frontier{4});  // Seq- and LV-contiguous: must RLE-merge.
+  const RleVec<AgentSeqRun>& runs = g.agent_runs(a);
+  ASSERT_EQ(runs.run_count(), 1u);
+  EXPECT_EQ(runs[0].seq_start, 0u);
+  EXPECT_EQ(runs[0].seq_end, 8u);
+  EXPECT_EQ(runs[0].lv_start, 0u);
+}
+
+TEST(AgentIndex, InterleavedAgentsSplitRuns) {
+  Graph g;
+  AgentId a = g.GetOrCreateAgent("a");
+  AgentId b = g.GetOrCreateAgent("b");
+  g.Add(a, 0, 4, {});            // LVs [0, 4)
+  g.Add(b, 0, 2, Frontier{3});   // LVs [4, 6)
+  g.Add(a, 4, 3, Frontier{5});   // LVs [6, 9): seq-contiguous, LV-gapped.
+  const RleVec<AgentSeqRun>& runs_a = g.agent_runs(a);
+  ASSERT_EQ(runs_a.run_count(), 2u);
+  EXPECT_EQ(runs_a[0].lv_start, 0u);
+  EXPECT_EQ(runs_a[1].seq_start, 4u);
+  EXPECT_EQ(runs_a[1].lv_start, 6u);
+  ASSERT_EQ(g.agent_runs(b).run_count(), 1u);
+  EXPECT_EQ(g.agent_runs(b)[0].lv_start, 4u);
+}
+
+TEST_P(GraphRandomTest, AgentRunsMatchIdentityMapping) {
+  // Differential: the per-agent index must agree, event by event, with the
+  // (slower) global identity mapping — and its run boundaries must match
+  // the agent-span column's, which is what MakePatch's span clipping
+  // relies on.
+  Graph g = RandomGraph(GetParam(), 60);
+  for (size_t a = 0; a < g.agent_count(); ++a) {
+    AgentId id = static_cast<AgentId>(a);
+    const std::string& name = g.AgentName(id);
+    uint64_t covered = 0;
+    uint64_t prev_seq_end = 0;
+    Lv prev_lv = 0;
+    for (const AgentSeqRun& run : g.agent_runs(id)) {
+      ASSERT_LT(run.seq_start, run.seq_end);
+      // Sorted ascending in both seq and LV.
+      EXPECT_GE(run.seq_start, prev_seq_end);
+      EXPECT_GE(run.lv_start, prev_lv);
+      prev_seq_end = run.seq_end;
+      prev_lv = run.lv_start + (run.seq_end - run.seq_start);
+      for (uint64_t seq = run.seq_start; seq < run.seq_end; ++seq) {
+        Lv lv = run.lv_start + (seq - run.seq_start);
+        RawVersion rv = g.LvToRaw(lv);
+        EXPECT_EQ(rv.agent, name) << "lv " << lv;
+        EXPECT_EQ(rv.seq, seq) << "lv " << lv;
+        EXPECT_EQ(g.RawToLv(name, seq), lv);
+      }
+      // Run boundaries coincide with the agent-span column's runs.
+      const AgentSpan& as = g.agent_spans().FindChecked(run.lv_start);
+      EXPECT_EQ(as.span.start, run.lv_start);
+      EXPECT_EQ(as.span.end, prev_lv);
+      EXPECT_EQ(as.agent, id);
+      EXPECT_EQ(as.seq_start, run.seq_start);
+      covered += run.seq_end - run.seq_start;
+    }
+    EXPECT_EQ(g.NextSeqFor(id), prev_seq_end);
+    // A causally-closed graph holds per-agent seq prefixes: full coverage.
+    EXPECT_EQ(covered, prev_seq_end);
+  }
+}
+
 }  // namespace
 }  // namespace egwalker

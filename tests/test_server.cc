@@ -200,6 +200,159 @@ TEST(Segment, RejectsChainGapsAndCorruption) {
   EXPECT_FALSE(Doc::LoadChain({}, "alice").has_value());
 }
 
+TEST(Segment, AnchorSurvivesReloadAndBoundsReplay) {
+  // A server doc whose frontier has two tips at flush time: without the
+  // checkpointed session anchor a reload loses every replay-base candidate
+  // (no singleton frontier to seed from) and the next merge rebuilds the
+  // whole history; with it, the merge replays only the post-anchor window.
+  Doc server("!server");
+  server.Insert(0, std::string(50, 'x'));  // Critical tip at LV 49.
+  Doc c1("c1"), c2("c2");
+  c1.MergeFrom(server);
+  c2.MergeFrom(server);
+  c1.Insert(10, "one");
+  c2.Insert(20, "two");
+  server.MergeFrom(c1);
+  server.MergeFrom(c2);  // Two concurrent tips: no critical frontier.
+  ASSERT_GT(server.version().size(), 1u);
+  Lv anchor = server.latest_critical();
+  ASSERT_NE(anchor, kInvalidLv);
+
+  SaveOptions cached = CachedSegmentOptions();
+  std::string with_anchor = server.SaveSegment(0, cached);
+  SaveOptions no_anchor = cached;
+  no_anchor.checkpoint_session_anchor = false;
+  std::string without_anchor = server.SaveSegment(0, no_anchor);
+
+  auto info = PeekSegment(with_anchor);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->anchor.lv, anchor);
+  EXPECT_EQ(info->anchor.doc_len, server.latest_critical_len());
+  EXPECT_EQ(PeekSegment(without_anchor)->anchor.lv, kInvalidLv);
+
+  auto anchored = Doc::LoadChain({with_anchor}, "!server");
+  auto plain = Doc::LoadChain({without_anchor}, "!server");
+  ASSERT_TRUE(anchored.has_value() && plain.has_value());
+  EXPECT_EQ(anchored->latest_critical(), anchor);
+  EXPECT_EQ(plain->latest_critical(), kInvalidLv);
+  EXPECT_EQ(anchored->Text(), plain->Text());
+
+  // The next merge: anchored replays the post-anchor window, the plain
+  // reload has to rebuild from scratch — byte-identical results.
+  c1.Insert(0, "zz");
+  anchored->MergeFrom(c1);
+  plain->MergeFrom(c1);
+  EXPECT_EQ(anchored->Text(), plain->Text());
+  EXPECT_GT(plain->replayed_events(), 0u);
+  EXPECT_LT(anchored->replayed_events(), plain->replayed_events());
+}
+
+TEST(Segment, AnchorRejectsCorruptValues) {
+  Doc doc("alice");
+  doc.Insert(0, "abc");
+  std::string seg = doc.SaveSegment(0, CachedSegmentOptions());
+  auto info = PeekSegment(seg);
+  ASSERT_TRUE(info.has_value());
+  ASSERT_NE(info->anchor.lv, kInvalidLv);  // Local edits keep a critical tip.
+  {
+    Trace scratch;
+    std::optional<std::string> cached;
+    SegmentAnchor anchor;
+    ASSERT_TRUE(DecodeSegmentInto(scratch, seg, &cached, nullptr, &anchor));
+    EXPECT_EQ(anchor.lv, info->anchor.lv);
+    EXPECT_EQ(anchor.doc_len, 3u);
+  }
+  // The anchor-specific validation: anchor at/past the segment end must be
+  // rejected by decode AND peek. With 3 single-digit header values the
+  // anchor LV varint sits at a fixed offset: magic(4) + version(1) +
+  // flags(1) + base_lv(1, =0) + count(1, =3) -> offset 8 holds anchor.lv
+  // (=2). Guard the layout assumption, then corrupt it in place.
+  ASSERT_EQ(static_cast<uint8_t>(seg[7]), 3u);  // event count
+  ASSERT_EQ(static_cast<uint8_t>(seg[8]), 2u);  // anchor.lv == end - 1
+  std::string corrupt = seg;
+  corrupt[8] = 3;  // anchor.lv == base + count: past the segment end.
+  EXPECT_FALSE(PeekSegment(corrupt).has_value());
+  Trace scratch;
+  std::optional<std::string> cached;
+  SegmentAnchor anchor;
+  std::string error;
+  EXPECT_FALSE(DecodeSegmentInto(scratch, corrupt, &cached, &error, &anchor));
+  EXPECT_EQ(error, "segment anchor past the segment end");
+  EXPECT_EQ(anchor.lv, kInvalidLv);  // Nothing restored from a bad segment.
+}
+
+TEST(Registry, EvictionChurnWithSessionsIsByteIdenticalToResident) {
+  // Randomized differential for the serialized-session restore path: one
+  // registry evicts its document after every round (forcing a session
+  // save/restore cycle each time, at whatever frontier the round left —
+  // including multi-tip ones with no critical version), the other keeps it
+  // resident with an uninterrupted session. Both merge the same client
+  // patches; the documents must stay byte-identical, and the churned
+  // registry must replay only O(appended) events despite the churn.
+  Prng rng(4242);
+  MemStorage churn_storage, calm_storage;
+  DocRegistry churned(churn_storage, DocRegistry::Config{});
+  DocRegistry calm(calm_storage, DocRegistry::Config{});
+  std::vector<Doc> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back("client-" + std::to_string(c));
+  }
+  for (int round = 0; round < 40; ++round) {
+    // Each client edits its own replica (divergent, concurrent).
+    for (Doc& client : clients) {
+      uint64_t len = client.size();
+      if (len > 6 && rng.Chance(0.3)) {
+        client.Delete(rng.Below(len - 2), 1 + rng.Below(2));
+      } else {
+        std::string burst(1 + rng.Below(3), static_cast<char>('a' + rng.Below(26)));
+        client.Insert(rng.Below(len + 1), burst);
+      }
+    }
+    // A random client syncs with both servers (patch-level, like the
+    // broker), then pulls the servers' state back.
+    size_t who = rng.Below(clients.size());
+    for (DocRegistry* registry : {&churned, &calm}) {
+      Doc& server = registry->Open("doc");
+      std::string patch = MakePatch(clients[who], SummarizeDoc(server));
+      ASSERT_TRUE(ApplyPatch(server, patch).has_value()) << round;
+    }
+    ASSERT_TRUE(
+        ApplyPatch(clients[who], MakePatch(churned.Open("doc"), SummarizeDoc(clients[who])))
+            .has_value());
+    ASSERT_EQ(churned.Open("doc").Text(), calm.Open("doc").Text()) << round;
+    churned.Evict("doc");  // Session checkpoint + reload next round.
+  }
+  EXPECT_GE(churned.stats().session_resumes, 30u);  // Restores actually ran.
+  // The churned universe did no extra walker work: sessions survived, so
+  // replay stayed O(appended) — identical to the resident universe.
+  EXPECT_EQ(churned.TotalReplayedEvents(), calm.TotalReplayedEvents());
+}
+
+TEST(Registry, EvictedDocResumesSessionOnReload) {
+  MemStorage storage;
+  DocRegistry::Config config;
+  config.max_resident = 1;
+  DocRegistry registry(storage, config);
+  Doc& doc = registry.Open("doc");
+  doc.Insert(0, "hello session");  // Singleton critical tip.
+  registry.Open("other");          // Evicts "doc", flushing tip + anchor.
+  EXPECT_FALSE(registry.resident("doc"));
+
+  Doc& back = registry.Open("doc");  // Evicts "other".
+  EXPECT_EQ(back.replayed_events(), 0u);   // Cached-doc reload: no replay...
+  EXPECT_TRUE(back.merge_session_active());  // ...and the session is back.
+  EXPECT_EQ(registry.stats().session_resumes, 1u);
+
+  // The resumed session continues exactly like an uninterrupted one: a
+  // remote merge walks only the appended events.
+  Doc peer("peer");
+  peer.MergeFrom(back);
+  peer.Insert(0, "x");
+  back.MergeFrom(peer);
+  EXPECT_EQ(back.replayed_events(), 1u);
+  EXPECT_EQ(back.Text(), peer.Text());
+}
+
 TEST(Segment, IncrementalSegmentsAreSmallerThanFullSaves) {
   Doc doc("alice");
   std::string paragraph(400, 'p');
@@ -399,16 +552,18 @@ struct Harness {
   NetSim net;
 
   explicit Harness(const NetSimConfig& net_config = {}, size_t max_resident = 8,
-                   uint64_t flush_every = 16)
-      : registry(storage, RegistryConfig(max_resident)),
+                   uint64_t flush_every = 16, bool checkpoint_anchor = true)
+      : registry(storage, RegistryConfig(max_resident, checkpoint_anchor)),
         broker(registry, BrokerCfg(flush_every)),
         net(net_config) {
     broker.Attach(net);
   }
 
-  static DocRegistry::Config RegistryConfig(size_t max_resident) {
+  static DocRegistry::Config RegistryConfig(size_t max_resident,
+                                            bool checkpoint_anchor = true) {
     DocRegistry::Config config;
     config.max_resident = max_resident;
+    config.checkpoint.checkpoint_session_anchor = checkpoint_anchor;
     return config;
   }
   static Broker::Config BrokerCfg(uint64_t flush_every) {
@@ -602,6 +757,10 @@ struct SoakOutcome {
   // never evicted, so this is a stable work metric for the whole run).
   uint64_t client_replayed = 0;
   uint64_t client_events = 0;  // Sum of end_lv() across client replicas.
+  // Server-side walker work across the whole run, including docs that were
+  // evicted mid-run (DocRegistry::TotalReplayedEvents).
+  uint64_t server_replayed = 0;
+  uint64_t server_session_resumes = 0;
 };
 
 // RAII guard: the soak flips the process-wide session default; every exit
@@ -615,7 +774,8 @@ struct MergeSessionsDefaultGuard {
   bool previous;
 };
 
-void RunAcceptanceSoak(bool merge_sessions, SoakOutcome* out) {
+void RunAcceptanceSoak(bool merge_sessions, SoakOutcome* out,
+                       bool checkpoint_anchor = true) {
   MergeSessionsDefaultGuard session_guard(merge_sessions);
   constexpr int kDocs = 8;
   constexpr int kClientsPerDoc = 6;
@@ -629,7 +789,7 @@ void RunAcceptanceSoak(bool merge_sessions, SoakOutcome* out) {
   net_config.duplicate = 0.08;
   // Capacity 3 of 8 documents: traffic interleaving forces constant
   // eviction / chain-reload churn while clients are live.
-  Harness h(net_config, /*max_resident=*/3, /*flush_every=*/24);
+  Harness h(net_config, /*max_resident=*/3, /*flush_every=*/24, checkpoint_anchor);
 
   std::vector<std::string> doc_names;
   for (int d = 0; d < kDocs; ++d) {
@@ -749,6 +909,17 @@ void RunAcceptanceSoak(bool merge_sessions, SoakOutcome* out) {
   // rounds than applied patches.
   EXPECT_GT(h.broker.stats().broadcast_rounds, 0u);
   EXPECT_LT(h.broker.stats().broadcast_rounds, h.broker.stats().patches_applied);
+  // The O(delta) patch pipeline: MakePatch visits only events it encodes,
+  // so steady-state scanned-events-per-encoded-event is exactly 1 (the old
+  // full scan visited the whole history per encode, making this ratio grow
+  // with document age). The watermarked cache also got cross-tick reuse.
+  const Broker::Stats& bs = h.broker.stats();
+  EXPECT_GT(bs.patch_encodes, 0u);
+  EXPECT_GT(bs.patch_events_encoded, 0u);
+  EXPECT_EQ(bs.patch_events_scanned, bs.patch_events_encoded);
+  EXPECT_GT(bs.patch_encodes_reused, 0u);
+  out->server_replayed = h.registry.TotalReplayedEvents();
+  out->server_session_resumes = h.registry.stats().session_resumes;
 }
 
 TEST(ServerSoak, ConvergesUnderAdversarialDeliveryWithEvictionChurn) {
@@ -779,6 +950,28 @@ TEST(ServerSoak, SessionUniverseIsByteIdenticalToFreshWalkerUniverse) {
   // but the session universe walked far fewer of them.
   EXPECT_EQ(with_sessions.client_events, without_sessions.client_events);
   EXPECT_LT(with_sessions.client_replayed, without_sessions.client_replayed);
+}
+
+// Session-across-eviction property: the identical soak script run with and
+// without the checkpointed session anchor must land on byte-identical
+// documents (the anchor only changes local replay work, never wire bytes),
+// while the anchored universe resumes sessions after eviction/reload and
+// replays strictly fewer events server-side — i.e. eviction no longer
+// destroys the persistent-session machinery.
+TEST(ServerSoak, AnchoredCheckpointsResumeSessionsAcrossEviction) {
+  SoakOutcome anchored;
+  RunAcceptanceSoak(/*merge_sessions=*/true, &anchored, /*checkpoint_anchor=*/true);
+  SoakOutcome plain;
+  RunAcceptanceSoak(/*merge_sessions=*/true, &plain, /*checkpoint_anchor=*/false);
+
+  ASSERT_EQ(anchored.server_texts.size(), plain.server_texts.size());
+  for (size_t d = 0; d < anchored.server_texts.size(); ++d) {
+    EXPECT_EQ(anchored.server_texts[d], plain.server_texts[d]) << "doc " << d;
+  }
+  EXPECT_EQ(anchored.client_events, plain.client_events);
+  EXPECT_GT(anchored.server_session_resumes, 0u);
+  EXPECT_EQ(plain.server_session_resumes, 0u);
+  EXPECT_LT(anchored.server_replayed, plain.server_replayed);
 }
 
 }  // namespace

@@ -113,6 +113,77 @@ TEST(Patch, PartialRunDelta) {
   EXPECT_EQ(bob.Text(), "abcdefghijkl");
 }
 
+TEST(Patch, CaughtUpButOneEventScansOneEvent) {
+  // The acceptance property of the O(delta) pipeline: a subscriber missing
+  // exactly one event costs one scanned event, no matter how long the
+  // history is.
+  Doc alice("alice");
+  for (int i = 0; i < 200; ++i) {
+    alice.Insert(alice.size(), "history line; ");
+    alice.Delete(3, 2);
+  }
+  Doc bob("bob");
+  bob.MergeFrom(alice);
+  alice.Insert(0, "x");  // The one event bob lacks.
+  MakePatchStats stats;
+  std::string patch = MakePatch(alice, SummarizeDoc(bob), &stats);
+  EXPECT_EQ(stats.events_scanned, 1u);
+  EXPECT_EQ(stats.events_encoded, 1u);
+  EXPECT_EQ(stats.chunks, 1u);
+  ASSERT_TRUE(ApplyPatch(bob, patch).has_value());
+  EXPECT_EQ(bob.Text(), alice.Text());
+  // Fully caught up: zero work, empty patch.
+  MakePatchStats caught_up;
+  EXPECT_TRUE(MakePatch(alice, SummarizeDoc(bob), &caught_up).empty());
+  EXPECT_EQ(caught_up.events_scanned, 0u);
+}
+
+TEST(Patch, MatchesReferenceScanOnEdgeSummaries) {
+  // Absent agents, inflated claims, and mid-run watermarks against the
+  // whole-history oracle (the fuzz in fuzz_all covers random shapes; these
+  // pin the named edge cases deterministically).
+  Doc alice("alice");
+  alice.Insert(0, "aaaa");
+  Doc bob("bob");
+  bob.MergeFrom(alice);
+  bob.Insert(4, "bbbb");
+  alice.MergeFrom(bob);
+  alice.Insert(8, "cccc");  // alice: seqs 0..7 (runs split by the merge).
+  auto expect_equal = [&](const VersionSummary& summary) {
+    MakePatchStats stats;
+    EXPECT_EQ(MakePatch(alice, summary, &stats), MakePatchReference(alice, summary));
+    EXPECT_EQ(stats.events_scanned, stats.events_encoded);
+  };
+  expect_equal(VersionSummary{});                           // Absent agents.
+  expect_equal(VersionSummary{{{"alice", 2}}});             // Mid-run split.
+  expect_equal(VersionSummary{{{"alice", 6}, {"bob", 2}}}); // Splits both.
+  expect_equal(VersionSummary{{{"alice", 99}, {"bob", 99}}});  // Inflated.
+  expect_equal(VersionSummary{{{"ghost", 7}}});             // Unknown agent.
+  expect_equal(SummarizeDoc(alice));                        // Caught up.
+}
+
+TEST(SummaryCovers, RangeChecks) {
+  Doc alice("alice");
+  alice.Insert(0, "aaaa");  // LVs [0, 4).
+  Doc bob("bob");
+  bob.MergeFrom(alice);
+  bob.Insert(4, "bb");      // LVs [4, 6) on alice after the merge below.
+  alice.MergeFrom(bob);
+  const Graph& g = alice.graph();
+  VersionSummary all = SummarizeDoc(alice);
+  EXPECT_TRUE(SummaryCoversRange(g, all, 0, g.size()));
+  EXPECT_TRUE(SummaryCoversRange(g, VersionSummary{}, 3, 3));  // Empty range.
+  EXPECT_FALSE(SummaryCoversRange(g, VersionSummary{}, 0, 1));
+  VersionSummary only_alice{{{"alice", 4}}};
+  EXPECT_TRUE(SummaryCoversRange(g, only_alice, 0, 4));
+  EXPECT_FALSE(SummaryCoversRange(g, only_alice, 0, 5));  // Bob's events.
+  VersionSummary partial{{{"alice", 2}, {"bob", 2}}};
+  EXPECT_FALSE(SummaryCoversRange(g, partial, 0, 4));  // alice seqs 2-3.
+  EXPECT_TRUE(SummaryCoversRange(g, partial, 0, 2));
+  EXPECT_TRUE(SummaryCoversRange(g, partial, 4, 6));
+  EXPECT_FALSE(SummaryCoversRange(g, all, 0, g.size() + 1));  // Past the end.
+}
+
 TEST(Patch, BackspaceRunDelta) {
   Doc alice("alice");
   alice.Insert(0, "abcdef");
