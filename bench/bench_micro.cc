@@ -174,6 +174,59 @@ void BM_GraphDiff(benchmark::State& state) {
 }
 BENCHMARK(BM_GraphDiff);
 
+void BM_GraphDiffWide(benchmark::State& state) {
+  // A braided frontier of width W: every agent commits a short run on top
+  // of the full previous round, so each round is W separate graph entries
+  // and the frontier never narrows. The measured diff is the walker's
+  // EnterSpan shape — two frontiers differing in a single member (one
+  // agent one run behind) — which an all-writers soak issues once per
+  // integrated event. The answer is one run regardless of W; the bench
+  // shows how much graph a walk touches to prove the other W-1 branches
+  // shared (events_per_diff should stay flat, not grow with W).
+  const int width = static_cast<int>(state.range(0));
+  const int rounds = 24;
+  const uint64_t run_len = 4;
+  Graph g;
+  std::vector<AgentId> agents;
+  std::vector<uint64_t> seq(static_cast<size_t>(width), 0);
+  for (int w = 0; w < width; ++w) {
+    agents.push_back(g.GetOrCreateAgent("agent-" + std::to_string(w)));
+  }
+  Frontier prev;
+  Frontier curr;
+  Lv agent0_prev_tip = 0;
+  for (int r = 0; r < rounds; ++r) {
+    curr.clear();
+    for (int w = 0; w < width; ++w) {
+      Lv lv = g.Add(agents[static_cast<size_t>(w)], seq[static_cast<size_t>(w)],
+                    run_len, prev);
+      seq[static_cast<size_t>(w)] += run_len;
+      curr.push_back(lv + run_len - 1);
+      if (w == 0 && r == rounds - 2) {
+        agent0_prev_tip = lv + run_len - 1;
+      }
+    }
+    prev = curr;
+  }
+  Frontier a = curr;
+  Frontier b = curr;
+  b[0] = agent0_prev_tip;  // Agent 0 one run behind; still the smallest LV.
+  for (auto _ : state) {
+    DiffResult d = g.DiffUncached(a, b);
+    benchmark::DoNotOptimize(d.only_a.size());
+  }
+  const DiffStats& stats = g.diff_stats();
+  state.counters["events_per_diff"] = benchmark::Counter(
+      stats.calls > 0 ? static_cast<double>(stats.events_spanned) /
+                            static_cast<double>(stats.calls)
+                      : 0.0);
+  state.counters["runs_per_diff"] = benchmark::Counter(
+      stats.calls > 0 ? static_cast<double>(stats.runs_visited) /
+                            static_cast<double>(stats.calls)
+                      : 0.0);
+}
+BENCHMARK(BM_GraphDiffWide)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
 void BM_GraphDiffCached(benchmark::State& state) {
   // The cache-hit path on a recurring frontier pair (fan-out readers
   // re-diffing the same document frontier).

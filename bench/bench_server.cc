@@ -46,6 +46,9 @@ struct Scenario {
   // drives merge concurrency.
   int writers = 0;
   double reader_sync_prob = 0.0;  // Per-reader per-tick kSyncRequest chance.
+  // Optional row-name override; by default the name is derived as
+  // "<docs>x<clients>[/r<max_resident>][/w<writers>]".
+  const char* label = nullptr;
 };
 
 struct SoakResult {
@@ -187,12 +190,19 @@ int Run(int argc, char** argv) {
     // whole cost — the O(delta) patch pipeline + session-surviving-eviction
     // headline row.
     scenarios.push_back({4, 32, 180, 2, 4, 0.25});
+    // Every client writes every tick, no readers: 32 concurrent writers
+    // per doc braiding a frontier as wide as the client count. Retreat/
+    // advance frontier diffs dominate this shape — it is the wide-frontier
+    // row the run-level version algebra is gated on.
+    scenarios.push_back({4, 32, 12, 0, 0, 0.0, "4x32w"});
   }
 
   std::printf("%-12s %7s %8s %10s %10s %10s %12s\n", "scenario", "events", "msgs",
               "soak", "flush", "reload", "events/sec");
   for (const Scenario& scenario : scenarios) {
-    std::string name = std::to_string(scenario.docs) + "x" +
+    std::string name = scenario.label != nullptr
+                           ? scenario.label
+                           : std::to_string(scenario.docs) + "x" +
                        std::to_string(scenario.clients_per_doc) +
                        (scenario.max_resident != 0
                             ? "/r" + std::to_string(scenario.max_resident)

@@ -21,14 +21,10 @@ std::string SimpleWalker::ReplayAll(SortMode mode, ReplaySinks sinks) {
     DiffResult diff = graph_.DiffUncached(prepare_version_, parents);
     // Retreat newest-first so deletions are undone before their insertions.
     for (auto it = diff.only_a.rbegin(); it != diff.only_a.rend(); ++it) {
-      for (Lv v = it->end; v-- > it->start;) {
-        Retreat(v);
-      }
+      RetreatRun(*it);
     }
     for (const LvSpan& span : diff.only_b) {
-      for (Lv v = span.start; v < span.end; ++v) {
-        Advance(v);
-      }
+      AdvanceRun(span);
     }
     for (Lv v = step.span.start; v < step.span.end; ++v) {
       Apply(v, sinks);
@@ -54,20 +50,43 @@ size_t SimpleWalker::IndexOfItem(Lv id) const {
   return 0;
 }
 
-void SimpleWalker::Retreat(Lv ev) {
-  Op op = ops_.OpAt(ev);
-  Lv target = (op.kind == OpKind::kInsert) ? ev : delete_target_.at(ev);
-  Item& item = items_[IndexOfItem(target)];
-  EGW_CHECK(item.prepare_state >= 1);
-  item.prepare_state -= 1;
+// Per-run prepare-state adjustment. Insert events target their own ids, so
+// one pass over items_ flips every insert in the run at once; delete events
+// resolve their victims through the map individually (targets are arbitrary
+// ids). Prepare states are plain counters, so within one run only the
+// retreat underflow check cares about order: undo deletions before the
+// insertions they stack on (and mirror that for advance).
+void SimpleWalker::AdjustPrepRun(const LvSpan& span, int delta) {
+  auto adjust_deletes = [&] {
+    for (Lv v = span.start; v < span.end; ++v) {
+      if (ops_.OpAt(v).kind == OpKind::kInsert) {
+        continue;
+      }
+      Item& item = items_[IndexOfItem(delete_target_.at(v))];
+      EGW_CHECK(delta > 0 || item.prepare_state >= 1);
+      item.prepare_state = static_cast<uint32_t>(static_cast<int>(item.prepare_state) + delta);
+    }
+  };
+  auto adjust_inserts = [&] {
+    for (Item& item : items_) {
+      if (item.id >= span.start && item.id < span.end) {
+        EGW_CHECK(delta > 0 || item.prepare_state >= 1);
+        item.prepare_state = static_cast<uint32_t>(static_cast<int>(item.prepare_state) + delta);
+      }
+    }
+  };
+  if (delta < 0) {
+    adjust_deletes();
+    adjust_inserts();
+  } else {
+    adjust_inserts();
+    adjust_deletes();
+  }
 }
 
-void SimpleWalker::Advance(Lv ev) {
-  Op op = ops_.OpAt(ev);
-  Lv target = (op.kind == OpKind::kInsert) ? ev : delete_target_.at(ev);
-  Item& item = items_[IndexOfItem(target)];
-  item.prepare_state += 1;
-}
+void SimpleWalker::RetreatRun(const LvSpan& span) { AdjustPrepRun(span, -1); }
+
+void SimpleWalker::AdvanceRun(const LvSpan& span) { AdjustPrepRun(span, +1); }
 
 // Yjs-style YATA integration: scans the concurrent items between the new
 // item's origins to find its deterministic position (see Section 3.3).

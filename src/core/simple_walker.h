@@ -46,8 +46,9 @@ class SimpleWalker {
   const std::vector<Item>& items() const { return items_; }
 
  private:
-  void Retreat(Lv ev);
-  void Advance(Lv ev);
+  void AdjustPrepRun(const LvSpan& span, int delta);
+  void RetreatRun(const LvSpan& span);
+  void AdvanceRun(const LvSpan& span);
   void Apply(Lv ev, ReplaySinks& sinks);
   size_t IndexOfItem(Lv id) const;
   size_t IntegrateScan(const Item& item, size_t idx) const;

@@ -27,6 +27,7 @@
 
 #include "graph/frontier.h"
 #include "util/rle.h"
+#include "util/scratch_map.h"
 
 namespace egwalker {
 
@@ -103,6 +104,17 @@ struct DiffCacheStats {
   uint64_t invalidations = 0;  // Cache clears triggered by Add().
 };
 
+// Counters for the diff walk itself (every DiffUncached walk, including
+// cache misses): how much of the graph the version algebra actually
+// touches. The server soak asserts that diff work scales with the runs a
+// query touches, not with history length — these counters make that a CI
+// invariant instead of a profiler anecdote.
+struct DiffStats {
+  uint64_t calls = 0;           // Graph walks performed.
+  uint64_t runs_visited = 0;    // Queue pops that consumed part of an entry.
+  uint64_t events_spanned = 0;  // Total LVs covered by consumed ranges.
+};
+
 class Graph {
  public:
   // --- Construction ---------------------------------------------------------
@@ -168,6 +180,17 @@ class Graph {
     return agent_seq_to_lv_[agent];
   }
 
+  // True while `agent` is *linear*: every event of the agent so far
+  // dominates all of the agent's earlier events. Real replicas are linear
+  // by construction — a device's next event causally follows everything it
+  // already produced — so protocol graphs keep the flag for every agent,
+  // and the run-level version algebra below can treat "agent g, seq < s"
+  // as a closed ancestor set (one watermark describes a whole per-agent
+  // prefix). Synthetic DAGs (randomised tests) may violate it; Add()
+  // detects the violation and clears the flag permanently, which disables
+  // the per-agent pruning for that agent but keeps every query exact.
+  bool agent_linear(AgentId agent) const { return agent_linear_[agent] != 0; }
+
   // True iff a happened before b (a -> b, strictly).
   bool IsAncestor(Lv a, Lv b) const;
 
@@ -176,8 +199,30 @@ class Graph {
   bool VersionContains(const Frontier& frontier, Lv v) const;
 
   // The set difference of the transitive closures of two versions
-  // (Section 3.2's retreat/advance computation). Runs in O(d log d) where d
-  // is the number of events walked — typically the size of the diff.
+  // (Section 3.2's retreat/advance computation).
+  //
+  // The walk is *run-level*: it never visits events one at a time. The
+  // priority queue holds run tops; a pop consumes the whole chain below it
+  // in one step (splitting only where another queued event lands inside
+  // the same run), and per-agent seq watermarks — sound for linear agents,
+  // see agent_linear() — record how much of each agent's prefix is already
+  // known to lie inside each side's closure. Watermarks kill the two
+  // event-level failure modes of wide braided frontiers:
+  //
+  //  * Identical or overlapping members are merged/classified at seed time
+  //    instead of being walked to a meet point, so diffing two width-W
+  //    frontiers that differ in one member costs O(W) comparisons plus the
+  //    one divergent run — not a W-branch shared descent.
+  //  * A popped one-sided run is split against the opposite side's
+  //    watermark: the covered chain prefix (and everything beneath it) is
+  //    reclassified shared without ever being visited, so the walk stops
+  //    as soon as the genuinely divergent events are exhausted.
+  //
+  // Cost is O((agents + runs touched) log q) with q the queue width —
+  // independent of history length for the steady-state shapes (walker
+  // retreat/advance, broker fan-out) that dominate collaborative soaks.
+  // The event-level walk this replaces survives verbatim as
+  // DiffReference() below, the differential-testing oracle.
   //
   // Results are memoised in a small frontier-keyed LRU cache, which pays off
   // on repeatable queries: fan-out where many readers diff against the same
@@ -202,12 +247,21 @@ class Graph {
   // under ~2 KiB of cache, and oversized results are simply not cached.
   DiffResult Diff(const Frontier& a, const Frontier& b) const;
 
-  // The uncached reference walk behind Diff(). Exposed for differential
-  // tests (cached vs reference) and for callers that know the pair will
-  // never recur.
+  // The uncached run-level walk behind Diff(). Exposed for differential
+  // tests (cached vs uncached) and for callers that know the pair will
+  // never recur (the walker's retreat/advance path).
   DiffResult DiffUncached(const Frontier& a, const Frontier& b) const;
 
+  // The original event-at-a-time walk, kept as the differential oracle
+  // (mirroring sync's MakePatchReference): it is the simplest possible
+  // statement of the diff semantics, shares no pruning machinery with the
+  // run-level walk, and every run-level result must match it byte for
+  // byte. Tests and the fuzzer compare against it; production code never
+  // calls it.
+  DiffResult DiffReference(const Frontier& a, const Frontier& b) const;
+
   const DiffCacheStats& diff_cache_stats() const { return diff_cache_stats_; }
+  const DiffStats& diff_stats() const { return diff_stats_; }
 
   // Cache retention caps (see Diff). Public so tests can pin behaviour.
   static constexpr size_t kDiffCacheEntries = 8;
@@ -221,6 +275,26 @@ class Graph {
   Frontier Reduce(const Frontier& frontier) const;
 
  private:
+  // --- Run-level walk helpers (see DiffUncached) ----------------------------
+  // Per-agent seq watermarks, one set per diff side, epoch-stamped so a new
+  // walk invalidates them in O(1) instead of clearing (the vectors persist
+  // across calls; steady-state walks allocate nothing).
+  void WmBegin() const;
+  uint64_t WmGet(int side, AgentId agent) const;
+  void WmRaise(int side, AgentId agent, uint64_t seq_end) const;
+  // Raises the watermarks named by `sides` (1 = a, 2 = b) over every linear
+  // agent's span inside the entry-chain range [lo, hi]. `hint` (optional)
+  // carries an agent-column index across calls — walk activity clusters in
+  // a narrow LV window, so hinted lookups skip the binary search.
+  void WmRaiseRange(uint8_t sides, Lv lo, Lv hi, size_t* hint = nullptr) const;
+  // One past the highest LV in the entry-chain range [lo, hi] provably
+  // inside `side`'s closure (lo when nothing is provable). Within a chain
+  // every event dominates all lower chain events, so provable coverage is
+  // a prefix and the topmost provable point decides.
+  Lv CoverageEnd(int side, Lv lo, Lv hi, size_t* hint = nullptr) const;
+  // True when the entry-chain range [lo, hi] contains any event of `agent`.
+  bool RangeHasAgent(Lv lo, Lv hi, AgentId agent) const;
+
   RleVec<GraphEntry> entries_;
   RleVec<AgentSpan> agent_assignment_;
 
@@ -245,6 +319,36 @@ class Graph {
   mutable size_t diff_cache_spans_ = 0;  // Total spans across cached results.
   mutable uint64_t diff_cache_clock_ = 0;
   mutable DiffCacheStats diff_cache_stats_;
+  mutable DiffStats diff_stats_;
+
+  // Per-agent linearity flags (see agent_linear()); maintained by Add.
+  std::vector<uint8_t> agent_linear_;
+
+  // Watermark scratch for the run-level walks (see WmBegin).
+  mutable std::vector<uint64_t> wm_seq_[2];
+  mutable std::vector<uint64_t> wm_stamp_[2];
+  mutable uint64_t wm_epoch_ = 0;
+
+  // Column-lookup hints carried across walk steps AND across walks: the
+  // walker's retreat/advance diffs revisit the same recent LV window call
+  // after call, so even a cross-call stale hint usually lands within one
+  // neighbor. Purely advisory — a wrong hint only costs the binary-search
+  // fallback (see RleVec::FindIndexHinted).
+  mutable size_t agent_col_hint_ = static_cast<size_t>(-1);
+  mutable size_t entry_col_hint_ = static_cast<size_t>(-1);
+
+  // Queue scratch for DiffUncached (reused across calls): the heap orders
+  // pending run tops; the map holds each one's accumulated flags, so an
+  // event enters the heap once no matter how many branches reach it. The
+  // map is the insert-only epoch-cleared kind — sound because the walk
+  // never deposits onto a popped key (see ScratchMap).
+  mutable std::vector<Lv> diff_heap_;
+  mutable ScratchMap<uint8_t> diff_pending_;
+
+  // Same shape for Reduce's bitmask walk (kept separate so a Reduce can
+  // never clobber an in-progress diff's queue, and vice versa).
+  mutable std::vector<Lv> reduce_heap_;
+  mutable ScratchMap<uint64_t> reduce_pending_;
 };
 
 }  // namespace egwalker

@@ -78,20 +78,27 @@ class RleVec {
   }
 
   // Like FindIndex, but carries run state across calls: tries `*hint` and
-  // its successor before falling back to the binary search, and stores the
-  // found index back into *hint. Sequential (or mostly-sequential) scans
-  // over dense runs become O(1) per lookup; a stale hint only costs the
-  // fallback. Pass npos (the initial value) for a cold start.
+  // its two neighbors before falling back to the binary search, and stores
+  // the found index back into *hint. Sequential (or mostly-sequential)
+  // scans over dense runs — in either direction — become O(1) per lookup;
+  // a stale hint only costs the fallback. Pass npos (the initial value)
+  // for a cold start.
   size_t FindIndexHinted(uint64_t key, size_t* hint) const {
     size_t h = *hint;
-    if (h < items_.size() && key >= items_[h].rle_start()) {
-      if (key < items_[h].rle_end()) {
-        return h;
-      }
-      if (h + 1 < items_.size() && key >= items_[h + 1].rle_start() &&
-          key < items_[h + 1].rle_end()) {
-        *hint = h + 1;
-        return h + 1;
+    if (h < items_.size()) {
+      if (key >= items_[h].rle_start()) {
+        if (key < items_[h].rle_end()) {
+          return h;
+        }
+        if (h + 1 < items_.size() && key >= items_[h + 1].rle_start() &&
+            key < items_[h + 1].rle_end()) {
+          *hint = h + 1;
+          return h + 1;
+        }
+      } else if (h > 0 && key >= items_[h - 1].rle_start() &&
+                 key < items_[h - 1].rle_end()) {
+        *hint = h - 1;
+        return h - 1;
       }
     }
     size_t idx = FindIndex(key);

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace egwalker {
+
+// Open-addressed scratch map from a 64-bit key to a small POD value,
+// purpose-built for the graph's run-level walks (Diff / Reduce queues).
+// Those walks guarantee two properties the map exploits for speed:
+//
+//   - Clear() runs at the start of every walk and nothing survives it, so
+//     clearing is O(1): slots carry an epoch stamp and a stale slot counts
+//     as empty. No memset, no per-entry destruction.
+//   - Keys are never erased mid-walk. Each key is popped at most once and
+//     no deposit ever lands on a popped key (deposits land strictly below
+//     the current pop and pops descend), so within an epoch the table is
+//     insert-only — plain linear probing needs no tombstones and probe
+//     chains never develop holes.
+//
+// Power-of-two table, multiplicative hashing, linear probing, growth by
+// rehashing the live epoch's entries. Not a general-purpose map: there is
+// no erase and no iteration, by design.
+template <typename V>
+class ScratchMap {
+ public:
+  // O(1) reset; also reserves the initial table on first use.
+  void Clear() {
+    if (slots_.empty()) {
+      slots_.resize(kInitialSlots);
+      mask_ = kInitialSlots - 1;
+    }
+    ++epoch_;
+    live_ = 0;
+  }
+
+  // Finds `key`, or inserts it mapped to `value`. Returns the slot's value
+  // pointer and whether this call inserted it (mirrors the subset of
+  // unordered_map::try_emplace the walks use). The pointer is invalidated
+  // by the next TryEmplace (growth) or Clear.
+  std::pair<V*, bool> TryEmplace(uint64_t key, V value) {
+    if ((live_ + (live_ >> 1)) >= mask_) {  // Grow beyond ~2/3 load.
+      Grow();
+    }
+    size_t i = IndexFor(key);
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.epoch != epoch_) {
+        s.key = key;
+        s.value = value;
+        s.epoch = epoch_;
+        ++live_;
+        return {&s.value, true};
+      }
+      if (s.key == key) {
+        return {&s.value, false};
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  // Returns the value stored for `key`, which must be present.
+  V FindChecked(uint64_t key) const {
+    size_t i = IndexFor(key);
+    while (true) {
+      const Slot& s = slots_[i];
+      EGW_CHECK(s.epoch == epoch_);  // Absent key: the walk broke its contract.
+      if (s.key == key) {
+        return s.value;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    uint64_t epoch = 0;  // Live iff equal to the map's current epoch.
+    V value{};
+  };
+  // epoch_ starts at 1 so freshly zeroed slots are stale even before the
+  // first Clear().
+
+  static constexpr size_t kInitialSlots = 256;  // Must stay a power of two.
+
+  size_t IndexFor(uint64_t key) const {
+    return static_cast<size_t>((key * UINT64_C(0x9E3779B97F4A7C15)) >> 32) & mask_;
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? kInitialSlots : old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (s.epoch != epoch_) {
+        continue;
+      }
+      size_t i = IndexFor(s.key);
+      while (slots_[i].epoch == epoch_) {
+        i = (i + 1) & mask_;
+      }
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t live_ = 0;
+  uint64_t epoch_ = 1;
+};
+
+}  // namespace egwalker

@@ -126,6 +126,13 @@ bool CheckDiffCacheAndCursor(uint64_t seed, const Trace& t) {
                    static_cast<unsigned long long>(seed), round);
       return false;
     }
+    // Pin the run-level walk to the event-level oracle, byte for byte.
+    DiffResult oracle = g.DiffReference(a, b);
+    if (reference.only_a != oracle.only_a || reference.only_b != oracle.only_b) {
+      std::fprintf(stderr, "RUN-LEVEL DIFF MISMATCH seed=%llu round=%d\n",
+                   static_cast<unsigned long long>(seed), round);
+      return false;
+    }
     if (round % 15 == 14) {
       Frontier parents = g.Reduce(Frontier{rng.Below(g.size())});
       uint64_t len = 1 + rng.Below(3);
@@ -284,6 +291,32 @@ bool CheckSessionPatchSequences(uint64_t seed) {
       return false;
     }
     if (!CheckPatchDifferential(seed, on[i], rng)) {
+      return false;
+    }
+  }
+  // The converged graph carries real exchange traffic — causally delivered
+  // runs from linear agents, the shape where watermark pruning is actually
+  // live (the synthetic DAGs above disable it). Random frontier pairs
+  // through the run-level walk vs the event-level oracle, byte for byte.
+  const Graph& g = on[0].graph();
+  std::vector<Frontier> pool;
+  for (int i = 0; i < 5; ++i) {
+    Frontier f;
+    for (uint64_t j = 1 + rng.Below(3); j > 0; --j) {
+      FrontierInsert(f, rng.Below(g.size()));
+    }
+    pool.push_back(g.Reduce(f));
+  }
+  pool.push_back(Frontier{});
+  pool.push_back(g.version());
+  for (int round = 0; round < 30; ++round) {
+    const Frontier& a = pool[rng.Below(pool.size())];
+    const Frontier& b = pool[rng.Below(pool.size())];
+    DiffResult fast = g.DiffUncached(a, b);
+    DiffResult oracle = g.DiffReference(a, b);
+    if (fast.only_a != oracle.only_a || fast.only_b != oracle.only_b) {
+      std::fprintf(stderr, "EXCHANGE DIFF MISMATCH seed=%llu round=%d\n",
+                   static_cast<unsigned long long>(seed), round);
       return false;
     }
   }

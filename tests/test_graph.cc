@@ -506,5 +506,272 @@ TEST_P(GraphRandomTest, AgentRunsMatchIdentityMapping) {
   }
 }
 
+// --- Run-level walk vs the event-level reference -----------------------------
+
+// The production Diff/VersionContains/Reduce walk runs, not events; the old
+// event-level walk survives as DiffReference, the oracle these tests hold
+// it to. Byte-for-byte (exact span vectors, not just member sets): both
+// walks must coalesce identically or walker retreat/advance consumes
+// different spans.
+
+TEST_P(GraphRandomTest, RunLevelDiffMatchesReferenceByteForByte) {
+  uint64_t seed = GetParam();
+  Graph g = RandomGraph(seed, 30);
+  Prng rng(seed ^ 0xbeef);
+  AgentId extra = g.GetOrCreateAgent("x");
+  uint64_t extra_seq = 0;
+  for (int round = 0; round < 200; ++round) {
+    Frontier fa, fb;
+    for (uint64_t j = 1 + rng.Below(4); j > 0; --j) {
+      FrontierInsert(fa, rng.Below(g.size()));
+    }
+    for (uint64_t j = 1 + rng.Below(4); j > 0; --j) {
+      FrontierInsert(fb, rng.Below(g.size()));
+    }
+    fa = g.Reduce(fa);
+    fb = g.Reduce(fb);
+    if (rng.Chance(0.1)) {
+      fa.clear();  // Empty-frontier edge case.
+    }
+    if (rng.Chance(0.1)) {
+      fb = g.version();
+    }
+    DiffResult run_level = g.DiffUncached(fa, fb);
+    DiffResult reference = g.DiffReference(fa, fb);
+    ASSERT_EQ(run_level.only_a, reference.only_a)
+        << FrontierToString(fa) << " vs " << FrontierToString(fb);
+    ASSERT_EQ(run_level.only_b, reference.only_b)
+        << FrontierToString(fa) << " vs " << FrontierToString(fb);
+    if (round % 20 == 19) {
+      // Interleaved growth: watermark epochs and linearity flags must stay
+      // consistent across Adds, not just on a frozen graph.
+      Frontier parents = g.Reduce(Frontier{rng.Below(g.size())});
+      uint64_t len = 1 + rng.Below(4);
+      g.Add(extra, extra_seq, len, parents);
+      extra_seq += len;
+    }
+  }
+}
+
+// Replica-style generator: every new run's parents dominate the agent's own
+// previous tip (causal delivery), so all agents stay linear and the
+// watermark fast paths actually fire — RandomGraph's random antichains
+// break linearity, which silently disables the pruning under test.
+Graph ReplicaGraph(uint64_t seed, int rounds, size_t n_agents,
+                   std::vector<Frontier>* tips_out = nullptr) {
+  Graph g;
+  Prng rng(seed);
+  std::vector<AgentId> agents;
+  std::vector<Frontier> local(n_agents);
+  std::vector<uint64_t> next_seq(n_agents, 0);
+  for (size_t i = 0; i < n_agents; ++i) {
+    agents.push_back(g.GetOrCreateAgent("r" + std::to_string(i)));
+  }
+  for (int r = 0; r < rounds; ++r) {
+    size_t i = rng.Below(n_agents);
+    if (rng.Chance(0.4)) {
+      // Receive another replica's full state (frontier union models the
+      // closed causal delivery of a sync).
+      Frontier merged = local[i];
+      for (Lv v : local[rng.Below(n_agents)]) {
+        FrontierInsert(merged, v);
+      }
+      local[i] = g.Reduce(merged);
+    }
+    uint64_t len = 1 + rng.Below(4);
+    Lv first = g.Add(agents[i], next_seq[i], len, local[i]);
+    next_seq[i] += len;
+    local[i] = Frontier{first + len - 1};
+  }
+  if (tips_out != nullptr) {
+    *tips_out = local;
+  }
+  return g;
+}
+
+TEST_P(GraphRandomTest, ReplicaDiffMatchesReferenceUnderWatermarkPruning) {
+  uint64_t seed = GetParam();
+  std::vector<Frontier> tips;
+  Graph g = ReplicaGraph(seed, 80, 5, &tips);
+  for (size_t a = 0; a < g.agent_count(); ++a) {
+    ASSERT_TRUE(g.agent_linear(static_cast<AgentId>(a)));  // Pruning is live.
+  }
+  Prng rng(seed ^ 0x5eed);
+  // Replica tips and their unions are the frontiers real merges diff —
+  // mostly-shared, watermark-prunable shapes random draws rarely produce.
+  std::vector<Frontier> pool = tips;
+  for (int i = 0; i < 4; ++i) {
+    Frontier merged = tips[rng.Below(tips.size())];
+    for (Lv v : tips[rng.Below(tips.size())]) {
+      FrontierInsert(merged, v);
+    }
+    pool.push_back(g.Reduce(merged));
+  }
+  pool.push_back(Frontier{});
+  pool.push_back(g.version());
+  for (int round = 0; round < 150; ++round) {
+    const Frontier& fa = pool[rng.Below(pool.size())];
+    const Frontier& fb = pool[rng.Below(pool.size())];
+    DiffResult run_level = g.DiffUncached(fa, fb);
+    DiffResult reference = g.DiffReference(fa, fb);
+    ASSERT_EQ(run_level.only_a, reference.only_a)
+        << FrontierToString(fa) << " vs " << FrontierToString(fb);
+    ASSERT_EQ(run_level.only_b, reference.only_b)
+        << FrontierToString(fa) << " vs " << FrontierToString(fb);
+    std::set<Lv> ca = BruteClosure(g, fa);
+    std::set<Lv> cb = BruteClosure(g, fb);
+    Lv probe = rng.Below(g.size());
+    ASSERT_EQ(g.VersionContains(fa, probe), ca.count(probe) > 0);
+    ASSERT_EQ(g.VersionContains(fb, probe), cb.count(probe) > 0);
+  }
+}
+
+TEST(Graph, AgentLinearityClearsOnConcurrentSelfEvents) {
+  Graph g;
+  AgentId a = g.GetOrCreateAgent("a");
+  AgentId b = g.GetOrCreateAgent("b");
+  g.Add(a, 0, 2, {});  // [0, 2)
+  g.Add(b, 0, 2, {});  // [2, 4)
+  EXPECT_TRUE(g.agent_linear(a));
+  // a's next run hangs off b alone — concurrent with a's own first run, so
+  // "all seqs below the watermark are ancestors" no longer holds for a.
+  g.Add(a, 2, 2, {3});  // [4, 6)
+  EXPECT_FALSE(g.agent_linear(a));
+  EXPECT_TRUE(g.agent_linear(b));
+  // Queries stay exact with pruning disabled for a.
+  EXPECT_FALSE(g.VersionContains({5}, 0));
+  EXPECT_TRUE(g.VersionContains({5}, 3));
+  DiffResult d = g.DiffUncached({1}, {5});
+  DiffResult ref = g.DiffReference({1}, {5});
+  EXPECT_EQ(d.only_a, ref.only_a);
+  EXPECT_EQ(d.only_b, ref.only_b);
+}
+
+TEST(Graph, RunBoundaryEdgeCases) {
+  Graph g;
+  AgentId a = g.GetOrCreateAgent("a");
+  AgentId b = g.GetOrCreateAgent("b");
+  g.Add(a, 0, 8, {});    // One entry [0, 8).
+  g.Add(b, 0, 4, {3});   // Fork mid-run: [8, 12) hangs off event 3.
+  // Frontier member mid-run: containment must split the entry at the member.
+  EXPECT_TRUE(g.VersionContains({5}, 2));
+  EXPECT_FALSE(g.VersionContains({5}, 6));
+  EXPECT_TRUE(g.VersionContains({9}, 3));   // Through the mid-run parent.
+  EXPECT_FALSE(g.VersionContains({9}, 4));  // Just past the fork point.
+  // Single-agent dominance: members of one linear agent reduce to the tip.
+  EXPECT_TRUE(g.agent_linear(a));
+  EXPECT_EQ(g.Reduce({1, 5, 7}), (Frontier{7}));
+  EXPECT_EQ(g.Reduce({3, 8}), (Frontier{8}));  // Dominated via mid-run parent.
+  EXPECT_EQ(g.Reduce({4, 8}), (Frontier{4, 8}));  // Concurrent pair survives.
+  // Empty diff between identical mid-run frontiers terminates immediately.
+  DiffResult d = g.DiffUncached({5, 9}, {5, 9});
+  EXPECT_TRUE(d.only_a.empty());
+  EXPECT_TRUE(d.only_b.empty());
+  // A diff whose answer splits runs at the fork must coalesce exactly like
+  // the reference.
+  d = g.DiffUncached({11}, {6});
+  DiffResult ref = g.DiffReference({11}, {6});
+  EXPECT_EQ(d.only_a, ref.only_a);
+  EXPECT_EQ(d.only_b, ref.only_b);
+  EXPECT_EQ(SpansToSet(d.only_a), (std::set<Lv>{8, 9, 10, 11}));
+  EXPECT_EQ(SpansToSet(d.only_b), (std::set<Lv>{4, 5, 6}));
+}
+
+TEST_P(GraphRandomTest, ReduceMatchesBruteForce) {
+  Graph g = RandomGraph(GetParam(), 40);
+  Prng rng(GetParam() ^ 0x777);
+  for (int i = 0; i < 100; ++i) {
+    Frontier f;
+    for (uint64_t j = 1 + rng.Below(5); j > 0; --j) {
+      FrontierInsert(f, rng.Below(g.size()));
+    }
+    Frontier expected;
+    for (Lv v : f) {
+      bool dominated = false;
+      for (Lv u : f) {
+        if (u != v && BruteClosure(g, {u}).count(v) > 0) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) {
+        FrontierInsert(expected, v);
+      }
+    }
+    EXPECT_EQ(g.Reduce(f), expected) << FrontierToString(f);
+  }
+}
+
+TEST(Graph, ReduceWideMemberSetFallsBackToPairwise) {
+  // More than 64 members exceeds the bitmask walk's width and must take the
+  // pairwise fallback — same answer, different code path.
+  Graph g = RandomGraph(99, 60);
+  Prng rng(0x42);
+  Frontier f;
+  while (f.size() < 70) {
+    FrontierInsert(f, rng.Below(g.size()));
+  }
+  Frontier expected;
+  for (Lv v : f) {
+    bool dominated = false;
+    for (Lv u : f) {
+      if (u != v && BruteClosure(g, {u}).count(v) > 0) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      FrontierInsert(expected, v);
+    }
+  }
+  EXPECT_EQ(g.Reduce(f), expected);
+}
+
+TEST(GraphDiffStats, WideSharedFrontierSpansOnlyTheDivergentRun) {
+  // The BM_GraphDiffWide shape: W linear writers braid runs on top of the
+  // full previous-round frontier. Diffing the final frontier against the
+  // same frontier with one member a run behind is the walker's bread and
+  // butter — the answer is one run, and the walk must span only that run's
+  // events no matter how wide the frontier is.
+  constexpr uint64_t kWidth = 16;
+  constexpr uint64_t kRunLen = 3;
+  Graph g;
+  std::vector<AgentId> agents;
+  std::vector<uint64_t> seq(kWidth, 0);
+  for (uint64_t w = 0; w < kWidth; ++w) {
+    agents.push_back(g.GetOrCreateAgent("w" + std::to_string(w)));
+  }
+  Frontier prev_round;
+  std::vector<Lv> prev_tip(kWidth, 0);
+  for (int round = 0; round < 4; ++round) {
+    Frontier this_round;
+    for (uint64_t w = 0; w < kWidth; ++w) {
+      Lv first = g.Add(agents[w], seq[w], kRunLen, prev_round);
+      seq[w] += kRunLen;
+      if (round == 2) {
+        prev_tip[w] = first + kRunLen - 1;
+      }
+      FrontierInsert(this_round, first + kRunLen - 1);
+    }
+    prev_round = this_round;
+  }
+  Frontier a = prev_round;       // Full final frontier.
+  Frontier b = prev_round;
+  b.erase(b.begin());            // Drop writer 0's final tip...
+  FrontierInsert(b, prev_tip[0]);  // ...and rewind it one round.
+  const DiffStats before = g.diff_stats();
+  DiffResult d = g.DiffUncached(a, b);
+  const DiffStats& after = g.diff_stats();
+  EXPECT_EQ(after.calls, before.calls + 1);
+  // The answer: exactly writer 0's final run.
+  ASSERT_EQ(d.only_a.size(), 1u);
+  EXPECT_EQ(d.only_a[0].size(), kRunLen);
+  EXPECT_TRUE(d.only_b.empty());
+  // Work scales with the frontier's runs, not with the 4*W*kRunLen events
+  // of history: one-sided classification touched only the divergent run.
+  EXPECT_EQ(after.events_spanned - before.events_spanned, kRunLen);
+  EXPECT_LE(after.runs_visited - before.runs_visited, kWidth + 2);
+}
+
 }  // namespace
 }  // namespace egwalker

@@ -862,6 +862,10 @@ void RunAcceptanceSoak(bool merge_sessions, SoakOutcome* out,
   }
 
   // Convergence: every replica of every document is byte-identical.
+  uint64_t diff_calls = 0;
+  uint64_t diff_runs = 0;
+  uint64_t diff_events = 0;
+  uint64_t total_history = 0;
   for (int d = 0; d < kDocs; ++d) {
     const std::string& name = doc_names[static_cast<size_t>(d)];
     std::string server_text = h.registry.Open(name).Text();
@@ -875,8 +879,27 @@ void RunAcceptanceSoak(bool merge_sessions, SoakOutcome* out,
       out->client_replayed += replica.replayed_events();
       out->client_events += replica.end_lv();
       EXPECT_EQ(replica.merge_session_active(), merge_sessions) << name << " client " << c;
+      const DiffStats& ds = replica.graph().diff_stats();
+      diff_calls += ds.calls;
+      diff_runs += ds.runs_visited;
+      diff_events += ds.events_spanned;
+      total_history += replica.end_lv();
     }
   }
+  // Diff work scales with runs, not history: the soak's replicas run
+  // thousands of retreat/advance diffs each over ever-growing graphs, and
+  // the run-level walk must keep both the runs a query touches and the
+  // events it classifies one-sided small and *flat* — a per-call average
+  // within a constant budget, an order of magnitude below the mean history
+  // length (the event-level walk's floor). Measured steady state (seeded,
+  // deterministic): ~13 runs and ~18 events per call against a mean history
+  // of ~400 events; the bounds leave margin for workload drift without ever
+  // admitting O(history) behavior.
+  ASSERT_GT(diff_calls, 0u);
+  const uint64_t mean_history = total_history / (kDocs * kClientsPerDoc);
+  EXPECT_GT(mean_history, 100u);  // The histories are non-trivial...
+  EXPECT_LE(diff_runs / diff_calls, 24u);    // ...yet runs touched stay flat
+  EXPECT_LE(diff_events / diff_calls, 48u);  // and so do events classified.
 
   // Eviction equality: flush everything, then reload each document from its
   // incremental checkpoint chain alone. The reload must equal the
