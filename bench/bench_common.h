@@ -40,6 +40,9 @@ struct Options {
   std::vector<std::string> traces = {"S1", "S2", "S3", "C1", "C2", "A1", "A2"};
   double time_budget_s = 1.0;  // Per measurement.
   std::string json_path;       // Empty: no JSON output.
+  // bench_server only: force every scenario through N shard worker threads
+  // (0 = the legacy directly-attached broker; -1 = per-scenario default).
+  int shards = -1;
 };
 
 inline Options ParseArgs(int argc, char** argv) {
@@ -69,6 +72,8 @@ inline Options ParseArgs(int argc, char** argv) {
       }
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       opts.json_path = std::string(arg + 7);
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      opts.shards = std::atoi(arg + 9);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg);
       std::exit(2);

@@ -8,19 +8,42 @@
 // axis the fig8 benches (single trace, single document) cannot see:
 // registry pressure, fan-out amplification, and flush overhead.
 //
-//   ./build/bench_server [--quick] [--json=<path>]
+//   ./build/bench_server [--quick] [--json=<path>] [--shards=<n>]
 //
 // Rows (the "trace" column is the scenario name):
 //   soak <docs>x<clients>     ticks of edit/push churn through the broker
 //   flush ...                 FlushAll of every resident document
 //   reload ...                LoadChain of every document from its chain
 //
+// The legacy rows (no /sN suffix) time the full interactive simulation:
+// server AND all simulated client replicas share the wall clock, which is
+// the right end-to-end number but the wrong one for server scaling — in
+// this process the clients are the majority of the work, and in a real
+// deployment they are other machines.
+//
+// The /sN rows therefore measure *recorded-load replay*: the interactive
+// script runs once untimed against a plain broker with a recording tap,
+// capturing the exact inbound message stream (and its tick boundaries);
+// the timed phase then replays that stream into a fresh sharded deployment
+// (server/router.h: a Router fronting N worker threads) whose outbound
+// traffic lands in discard endpoints. The timed wall clock is then almost
+// purely server work — patch apply, fan-out encode, checkpointing — which
+// is exactly what sharding scales. s1 exposes the router/queue overhead;
+// s2/s4 the cross-core speedup (the s1/s4 ratio on 4x32w is gated at >= 2x
+// by tools/check_bench.py whenever the measuring machine reports >= 4
+// hardware threads; rows annotate shards and hw_threads so the gate can
+// tell). --shards=<n> forces every scenario through an n-shard replay
+// (0 = legacy interactive), which is how the TSan CI lane soaks the
+// threaded path on the quick topologies.
+//
 // Scenario scale is fixed (not --scale driven): server throughput depends
 // on topology, not trace length, and fixed shapes keep rows comparable
 // across machines for the bench-gate's median normalisation.
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -29,6 +52,7 @@
 #include "server/client.h"
 #include "server/netsim.h"
 #include "server/registry.h"
+#include "server/router.h"
 #include "util/prng.h"
 
 namespace egwalker {
@@ -47,8 +71,15 @@ struct Scenario {
   int writers = 0;
   double reader_sync_prob = 0.0;  // Per-reader per-tick kSyncRequest chance.
   // Optional row-name override; by default the name is derived as
-  // "<docs>x<clients>[/r<max_resident>][/w<writers>]".
+  // "<docs>x<clients>[/r<max_resident>][/w<writers>][/s<shards>]".
   const char* label = nullptr;
+  // 0 = legacy interactive measurement; N >= 1 = recorded-load replay
+  // through a router + N shard workers (see the file comment). Documents
+  // are assigned round-robin so the split is exactly even.
+  int shards = 0;
+  // Flash crowd: every client joins inside the recorded churn window (one
+  // bootstrap stampede) instead of during a warm-up.
+  bool flash = false;
 };
 
 struct SoakResult {
@@ -59,24 +90,63 @@ struct SoakResult {
   uint64_t reload_docs = 0;
 };
 
-// Runs one scripted churn scenario end to end; the three phase durations
-// are returned via the out parameters.
-SoakResult RunScenario(const Scenario& scenario, double* soak_ms, double* flush_ms,
-                       double* reload_ms) {
-  NetSimConfig net_config;
-  net_config.seed = 7;
-  net_config.min_latency = 1;
-  net_config.max_latency = 3;
-  MemStorage storage;
-  DocRegistry::Config registry_config;
-  registry_config.max_resident = scenario.max_resident;
-  DocRegistry registry(storage, registry_config);
-  Broker::Config broker_config;
-  broker_config.flush_every_events = 64;
-  Broker broker(registry, broker_config);
-  NetSim net(net_config);
-  broker.Attach(net);
+// --- Recorded load ----------------------------------------------------------
 
+struct RecordedMsg {
+  uint64_t tick = 0;  // net.now() at delivery.
+  int from = -1;
+  Message msg;
+};
+
+struct RecordedLoad {
+  std::vector<RecordedMsg> msgs;  // In delivery order (ticks ascending).
+  uint64_t ticks = 0;             // Last tick of the recording.
+  int endpoints = 0;              // Total endpoint count (server + clients).
+};
+
+// Endpoint wrapping a Broker: forwards everything, logging the inbound
+// stream. Only possible because the broker's handlers are sink-based — the
+// tap owns the endpoint id and hands the broker a NetSimSink for it.
+class RecordingTap final : public Endpoint {
+ public:
+  RecordingTap(Broker& broker, RecordedLoad& out) : broker_(broker), out_(out) {}
+
+  int Attach(NetSim& net) {
+    id_ = net.AddEndpoint(this);
+    return id_;
+  }
+
+  void OnMessage(NetSim& net, int from, int self, const Message& msg) override {
+    (void)self;
+    out_.msgs.push_back(RecordedMsg{net.now(), from, msg});
+    NetSimSink sink(net, id_);
+    broker_.Handle(sink, from, msg);
+  }
+
+  void OnTick(NetSim& net, int self) override {
+    (void)self;
+    NetSimSink sink(net, id_);
+    broker_.FlushBroadcasts(sink);
+  }
+
+ private:
+  Broker& broker_;
+  RecordedLoad& out_;
+  int id_ = -1;
+};
+
+// Swallows replayed outbound traffic (stands in for the recorded clients).
+class DiscardEndpoint final : public Endpoint {
+ public:
+  void OnMessage(NetSim&, int, int, const Message&) override {}
+};
+
+// --- The interactive client script ------------------------------------------
+
+// Runs the scripted churn against `server_endpoint` (either a broker or a
+// recording tap): join (before or inside the churn window, per `flash`),
+// then `ticks` rounds of edits / pushes / reader syncs.
+void RunScript(const Scenario& scenario, NetSim& net, int server_endpoint) {
   std::vector<std::string> names;
   for (int d = 0; d < scenario.docs; ++d) {
     names.push_back("doc-" + std::to_string(d));
@@ -89,17 +159,26 @@ SoakResult RunScenario(const Scenario& scenario, double* soak_ms, double* flush_
     }
   }
   for (auto& client : clients) {
-    client.Attach(net, broker.endpoint_id());
+    client.Attach(net, server_endpoint);
   }
-  for (int d = 0; d < scenario.docs; ++d) {
-    for (int c = 0; c < scenario.clients_per_doc; ++c) {
-      clients[static_cast<size_t>(d * scenario.clients_per_doc + c)].Join(net, names[static_cast<size_t>(d)]);
+  auto join_all = [&] {
+    for (int d = 0; d < scenario.docs; ++d) {
+      for (int c = 0; c < scenario.clients_per_doc; ++c) {
+        clients[static_cast<size_t>(d * scenario.clients_per_doc + c)].Join(net, names[static_cast<size_t>(d)]);
+      }
     }
+  };
+  if (!scenario.flash) {
+    join_all();
+    net.Run(64);
   }
-  net.Run(64);
 
   Prng rng(41);
-  auto t0 = std::chrono::steady_clock::now();
+  if (scenario.flash) {
+    // The flash crowd: every bootstrap sync request lands inside the churn
+    // window, in one tick — the join stampede is the workload.
+    join_all();
+  }
   for (int tick = 0; tick < scenario.ticks; ++tick) {
     for (int d = 0; d < scenario.docs; ++d) {
       for (int c = 0; c < scenario.clients_per_doc; ++c) {
@@ -129,46 +208,169 @@ SoakResult RunScenario(const Scenario& scenario, double* soak_ms, double* flush_
     net.Tick();
   }
   net.Run(1 << 12);
-  *soak_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
-                 .count();
+}
 
-  SoakResult result;
-  result.messages = net.stats().delivered;
+NetSimConfig BenchNetConfig() {
+  NetSimConfig net_config;
+  net_config.seed = 7;
+  net_config.min_latency = 1;
+  net_config.max_latency = 3;
+  return net_config;
+}
 
-  t0 = std::chrono::steady_clock::now();
-  registry.FlushAll();
-  *flush_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
-                  .count();
-  result.chain_bytes = storage.total_bytes();
-  result.flush_segments = registry.stats().flushes;
+// --- Measurement helpers -----------------------------------------------------
 
-  // Event totals read from the flushed chains (the last segment's end LV),
-  // not via registry.Open: re-opening under LRU pressure would evict-flush
-  // documents between the timed phases and distort both measurements.
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Reads events_applied from the flushed chains (the last segment's end LV),
+// not via registry.Open: re-opening under LRU pressure would evict-flush
+// documents between the timed phases and distort the measurements.
+// `storage_of` maps a doc name to the backend holding its chain.
+template <typename StorageOf>
+void MeasureChains(const Scenario& scenario, StorageOf&& storage_of, SoakResult* result,
+                   double* reload_ms) {
   for (int d = 0; d < scenario.docs; ++d) {
-    const std::vector<std::string>* chain = storage.Chain(names[static_cast<size_t>(d)]);
+    std::string name = "doc-" + std::to_string(d);
+    const std::vector<std::string>* chain = storage_of(name).Chain(name);
     if (chain == nullptr || chain->empty()) {
       continue;
     }
     if (auto info = PeekSegment(chain->back())) {
-      result.events_applied += info->base_lv + info->event_count;
+      result->events_applied += info->base_lv + info->event_count;
     }
   }
-
-  t0 = std::chrono::steady_clock::now();
+  auto t0 = std::chrono::steady_clock::now();
   for (int d = 0; d < scenario.docs; ++d) {
-    const std::vector<std::string>* chain = storage.Chain(names[static_cast<size_t>(d)]);
+    std::string name = "doc-" + std::to_string(d);
+    const std::vector<std::string>* chain = storage_of(name).Chain(name);
     if (chain == nullptr) {
       continue;
     }
     auto reloaded = Doc::LoadChain(*chain, "!server");
     if (reloaded.has_value()) {
-      ++result.reload_docs;
+      ++result->reload_docs;
     }
   }
-  *reload_ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  *reload_ms = MsSince(t0);
+}
+
+// Legacy interactive measurement: server and simulated clients share the
+// timed wall clock (the end-to-end number; comparable with old baselines).
+SoakResult RunInteractive(const Scenario& scenario, double* soak_ms, double* flush_ms,
+                          double* reload_ms) {
+  NetSim net(BenchNetConfig());
+  MemStorage storage;
+  DocRegistry::Config registry_config;
+  registry_config.max_resident = scenario.max_resident;
+  DocRegistry registry(storage, registry_config);
+  Broker::Config broker_config;
+  broker_config.flush_every_events = 64;
+  Broker broker(registry, broker_config);
+  broker.Attach(net);
+
+  auto t0 = std::chrono::steady_clock::now();
+  RunScript(scenario, net, broker.endpoint_id());
+  *soak_ms = MsSince(t0);
+
+  SoakResult result;
+  result.messages = net.stats().delivered;
+  t0 = std::chrono::steady_clock::now();
+  registry.FlushAll();
+  *flush_ms = MsSince(t0);
+  result.chain_bytes = storage.total_bytes();
+  result.flush_segments = registry.stats().flushes;
+  MeasureChains(
+      scenario, [&](const std::string&) -> MemStorage& { return storage; }, &result,
+      reload_ms);
   return result;
+}
+
+// Sharded measurement: record the inbound stream once (untimed), then
+// replay it into a router + N shard workers and time only that.
+SoakResult RunShardedReplay(const Scenario& scenario, double* soak_ms, double* flush_ms,
+                            double* reload_ms) {
+  // Recording pass: plain broker behind a tap, same script.
+  RecordedLoad load;
+  {
+    NetSim net(BenchNetConfig());
+    MemStorage storage;
+    DocRegistry::Config registry_config;
+    registry_config.max_resident = scenario.max_resident;
+    DocRegistry registry(storage, registry_config);
+    Broker::Config broker_config;
+    broker_config.flush_every_events = 64;
+    Broker broker(registry, broker_config);
+    RecordingTap tap(broker, load);
+    int tap_endpoint = tap.Attach(net);
+    RunScript(scenario, net, tap_endpoint);
+    load.ticks = net.now();
+    load.endpoints = 1 + scenario.docs * scenario.clients_per_doc;
+  }
+
+  // Replay pass. The router is endpoint 0 and the discards take the
+  // recorded client ids, so replayed outbound sends resolve.
+  NetSim net(BenchNetConfig());
+  RouterConfig router_config;
+  router_config.shards = scenario.shards;
+  router_config.shard.registry.max_resident = scenario.max_resident;
+  router_config.shard.broker.flush_every_events = 64;
+  Router router(router_config);
+  int self = router.Attach(net);
+  std::vector<DiscardEndpoint> discards(static_cast<size_t>(load.endpoints - 1));
+  for (auto& d : discards) {
+    net.AddEndpoint(&d);
+  }
+  // Round-robin placement: an exactly even split, so the scaling rows
+  // measure the architecture, not the luck of the hash.
+  for (int d = 0; d < scenario.docs; ++d) {
+    router.Assign("doc-" + std::to_string(d), d % scenario.shards);
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  size_t i = 0;
+  while (i < load.msgs.size()) {
+    net.Tick();  // Advances the clock, drains outbound into the discards.
+    while (i < load.msgs.size() && load.msgs[i].tick <= net.now()) {
+      router.OnMessage(net, load.msgs[i].from, self, load.msgs[i].msg);
+      ++i;
+    }
+  }
+  net.Run(64);  // Final barriers: flush the last broadcasts through.
+  *soak_ms = MsSince(t0);
+
+  SoakResult result;
+  result.messages = load.msgs.size() + net.stats().delivered;
+
+  // Quiesce the workers before the single-threaded flush/reload phases
+  // (shard registries are only reachable at quiesce, by design).
+  router.Stop();
+  t0 = std::chrono::steady_clock::now();
+  for (int s = 0; s < router.shard_count(); ++s) {
+    router.shard(s).registry().FlushAll();
+  }
+  *flush_ms = MsSince(t0);
+  for (int s = 0; s < router.shard_count(); ++s) {
+    result.chain_bytes += router.shard(s).storage().total_bytes();
+    result.flush_segments += router.shard(s).registry().stats().flushes;
+  }
+  MeasureChains(
+      scenario,
+      [&](const std::string& name) -> MemStorage& {
+        return router.shard(router.ShardOf(name)).storage();
+      },
+      &result, reload_ms);
+  return result;
+}
+
+SoakResult RunScenario(const Scenario& scenario, double* soak_ms, double* flush_ms,
+                       double* reload_ms) {
+  if (scenario.shards == 0) {
+    return RunInteractive(scenario, soak_ms, flush_ms, reload_ms);
+  }
+  return RunShardedReplay(scenario, soak_ms, flush_ms, reload_ms);
 }
 
 int Run(int argc, char** argv) {
@@ -195,12 +397,35 @@ int Run(int argc, char** argv) {
     // advance frontier diffs dominate this shape — it is the wide-frontier
     // row the run-level version algebra is gated on.
     scenarios.push_back({4, 32, 12, 0, 0, 0.0, "4x32w"});
+    // Cross-core scaling rows: recorded-load replay through 1/2/4 shard
+    // workers (see the file comment). s1 measures router+queue overhead;
+    // the 4x32w s1/s4 ratio is the gated scaling headline.
+    scenarios.push_back({8, 6, 40, 0, 0, 0.0, "8x6/s1", 1});
+    scenarios.push_back({8, 6, 40, 0, 0, 0.0, "8x6/s2", 2});
+    scenarios.push_back({8, 6, 40, 0, 0, 0.0, "8x6/s4", 4});
+    scenarios.push_back({4, 32, 12, 0, 0, 0.0, "4x32w/s1", 1});
+    scenarios.push_back({4, 32, 12, 0, 0, 0.0, "4x32w/s2", 2});
+    scenarios.push_back({4, 32, 12, 0, 0, 0.0, "4x32w/s4", 4});
+    // Flash crowd: 64 documents x 4 clients all joining in one tick inside
+    // the recorded window — the bootstrap stampede a launch (or a failover
+    // re-connect wave) produces. Embarrassingly parallel across docs, so
+    // it is the shape sharding should eat whole.
+    scenarios.push_back({64, 4, 10, 0, 0, 0.0, "64x4f/s1", 1, true});
+    scenarios.push_back({64, 4, 10, 0, 0, 0.0, "64x4f/s4", 4, true});
+  }
+  if (opts.shards >= 0) {
+    // --shards=N forces every scenario through the same deployment (the
+    // TSan lane soaks the quick topologies through the threaded path).
+    for (Scenario& scenario : scenarios) {
+      scenario.shards = opts.shards;
+    }
   }
 
+  const unsigned hw_threads = std::thread::hardware_concurrency();
   std::printf("%-12s %7s %8s %10s %10s %10s %12s\n", "scenario", "events", "msgs",
               "soak", "flush", "reload", "events/sec");
   for (const Scenario& scenario : scenarios) {
-    std::string name = scenario.label != nullptr
+    std::string name = scenario.label != nullptr && opts.shards < 0
                            ? scenario.label
                            : std::to_string(scenario.docs) + "x" +
                        std::to_string(scenario.clients_per_doc) +
@@ -208,7 +433,9 @@ int Run(int argc, char** argv) {
                             ? "/r" + std::to_string(scenario.max_resident)
                             : "") +
                        (scenario.writers != 0 ? "/w" + std::to_string(scenario.writers)
-                                              : "");
+                                              : "") +
+                       (scenario.shards != 0 ? "/s" + std::to_string(scenario.shards)
+                                             : "");
     double soak_ms = 0, flush_ms = 0, reload_ms = 0;
     SoakResult result = RunScenario(scenario, &soak_ms, &flush_ms, &reload_ms);
     double events_per_sec =
@@ -222,6 +449,8 @@ int Run(int argc, char** argv) {
     report.Annotate("events_applied", Json(static_cast<double>(result.events_applied)));
     report.Annotate("messages", Json(static_cast<double>(result.messages)));
     report.Annotate("events_per_sec", Json(events_per_sec));
+    report.Annotate("shards", Json(static_cast<double>(scenario.shards)));
+    report.Annotate("hw_threads", Json(static_cast<double>(hw_threads)));
     report.Add(name, "checkpoint flush", flush_ms);
     report.Annotate("chain_bytes", Json(static_cast<double>(result.chain_bytes)));
     report.Annotate("flush_segments", Json(static_cast<double>(result.flush_segments)));

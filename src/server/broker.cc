@@ -8,6 +8,22 @@
 
 namespace egwalker {
 
+void Broker::Stats::Merge(const Stats& other) {
+  sync_requests += other.sync_requests;
+  patches_in += other.patches_in;
+  patches_applied += other.patches_applied;
+  patches_rejected += other.patches_rejected;
+  broadcasts += other.broadcasts;
+  broadcast_rounds += other.broadcast_rounds;
+  patch_encodes += other.patch_encodes;
+  patch_encodes_shared += other.patch_encodes_shared;
+  patch_encodes_reused += other.patch_encodes_reused;
+  patch_events_scanned += other.patch_events_scanned;
+  patch_events_encoded += other.patch_events_encoded;
+  leaves += other.leaves;
+  expired += other.expired;
+}
+
 Broker::Broker(DocRegistry& registry, const Config& config)
     : registry_(registry), config_(config) {}
 
@@ -18,12 +34,17 @@ int Broker::Attach(NetSim& net) {
 
 void Broker::OnMessage(NetSim& net, int from, int self, const Message& msg) {
   EGW_CHECK(self == endpoint_id_);
+  NetSimSink sink(net, endpoint_id_);
+  Handle(sink, from, msg);
+}
+
+void Broker::Handle(MessageSink& sink, int from, const Message& msg) {
   switch (msg.type) {
     case MsgType::kSyncRequest:
-      HandleSyncRequest(net, from, msg);
+      HandleSyncRequest(sink, from, msg);
       break;
     case MsgType::kPatch:
-      HandlePatch(net, from, msg);
+      HandlePatch(sink, from, msg);
       break;
     case MsgType::kLeave:
       ++stats_.leaves;
@@ -34,17 +55,17 @@ void Broker::OnMessage(NetSim& net, int from, int self, const Message& msg) {
   // Sweep after handling: the message just processed counts as liveness,
   // so a client resurfacing exactly at its timeout is not reaped by its
   // own message.
-  SweepIdleSessions(net.now());
+  SweepIdleSessions(sink.now());
 }
 
-void Broker::HandleSyncRequest(NetSim& net, int from, const Message& msg) {
+void Broker::HandleSyncRequest(MessageSink& sink, int from, const Message& msg) {
   ++stats_.sync_requests;
   auto theirs = DecodeSummary(msg.summary);
   if (!theirs) {
     return;  // Malformed summaries are dropped like lost packets.
   }
   Session& session = sessions_[SessionKey{msg.doc, from}];
-  session.last_active = net.now();
+  session.last_active = sink.now();
   Doc& doc = registry_.Open(msg.doc);
   VersionSummary mine = SummarizeDoc(doc);
   std::string my_summary = EncodeSummary(mine);
@@ -55,7 +76,7 @@ void Broker::HandleSyncRequest(NetSim& net, int from, const Message& msg) {
   // Periodic sync requests are the protocol's heartbeat; serving them from
   // the watermarked cache keeps an idle document's repair traffic free.
   reply.patch = CachedPatch(doc, msg.doc, *theirs, ++patch_epoch_);
-  net.Send(endpoint_id_, from, std::move(reply));
+  sink.Send(from, std::move(reply));
 
   // The summary may also reveal events the server lacks (the client edited
   // while its patches were lost): pull them.
@@ -64,7 +85,7 @@ void Broker::HandleSyncRequest(NetSim& net, int from, const Message& msg) {
     pull.type = MsgType::kSyncRequest;
     pull.doc = msg.doc;
     pull.summary = std::move(my_summary);
-    net.Send(endpoint_id_, from, std::move(pull));
+    sink.Send(from, std::move(pull));
   }
   // Optimistic: the client will hold its own events plus the in-flight
   // reply, so the estimate is the pointwise max of the two summaries.
@@ -72,7 +93,7 @@ void Broker::HandleSyncRequest(NetSim& net, int from, const Message& msg) {
   SummaryMerge(session.known, *theirs);
 }
 
-void Broker::HandlePatch(NetSim& net, int from, const Message& msg) {
+void Broker::HandlePatch(MessageSink& sink, int from, const Message& msg) {
   ++stats_.patches_in;
   // A patch may arrive without a session (the client left and the patch
   // was still in flight, possibly reordered after its kLeave). The events
@@ -82,7 +103,7 @@ void Broker::HandlePatch(NetSim& net, int from, const Message& msg) {
   auto it = sessions_.find(SessionKey{msg.doc, from});
   Session* session = it != sessions_.end() ? &it->second : nullptr;
   if (session != nullptr) {
-    session->last_active = net.now();
+    session->last_active = sink.now();
   }
 
   Doc& doc = registry_.Open(msg.doc);
@@ -96,7 +117,7 @@ void Broker::HandlePatch(NetSim& net, int from, const Message& msg) {
     repair.type = MsgType::kSyncRequest;
     repair.doc = msg.doc;
     repair.summary = EncodeSummary(SummarizeDoc(doc));
-    net.Send(endpoint_id_, from, std::move(repair));
+    sink.Send(from, std::move(repair));
     return;
   }
   if (session != nullptr) {
@@ -116,6 +137,11 @@ void Broker::HandlePatch(NetSim& net, int from, const Message& msg) {
 
 void Broker::OnTick(NetSim& net, int self) {
   EGW_CHECK(self == endpoint_id_);
+  NetSimSink sink(net, endpoint_id_);
+  FlushBroadcasts(sink);
+}
+
+void Broker::FlushBroadcasts(MessageSink& sink) {
   if (pending_broadcasts_.empty()) {
     return;
   }
@@ -126,11 +152,11 @@ void Broker::OnTick(NetSim& net, int self) {
   for (const std::string& doc_name : pending) {
     Doc& doc = registry_.Open(doc_name);
     ++stats_.broadcast_rounds;
-    Broadcast(net, doc, doc_name);
+    Broadcast(sink, doc, doc_name);
   }
 }
 
-void Broker::Broadcast(NetSim& net, Doc& doc, const std::string& doc_name) {
+void Broker::Broadcast(MessageSink& sink, Doc& doc, const std::string& doc_name) {
   VersionSummary mine = SummarizeDoc(doc);
   std::string my_summary = EncodeSummary(mine);
   // One encoded patch per distinct subscriber summary, served through the
@@ -152,7 +178,7 @@ void Broker::Broadcast(NetSim& net, Doc& doc, const std::string& doc_name) {
     out.doc = doc_name;
     out.summary = my_summary;
     out.patch = patch;
-    net.Send(endpoint_id_, it->first.second, std::move(out));
+    sink.Send(it->first.second, std::move(out));
     // Optimistic union of what it had and what is in flight; repaired by
     // the client's next sync request if the broadcast is lost.
     SummaryMerge(session.known, mine);
@@ -220,6 +246,29 @@ const std::string& Broker::CachedPatch(Doc& doc, const std::string& doc_name,
     return encode_into(scratch);
   }
   return encode_into(entries[victim]);
+}
+
+Broker::DocHandoff Broker::ExtractDoc(const std::string& doc_name) {
+  DocHandoff out;
+  auto it = sessions_.lower_bound(SessionKey{doc_name, INT_MIN});
+  while (it != sessions_.end() && it->first.first == doc_name) {
+    out.sessions.emplace(it->first.second, std::move(it->second));
+    it = sessions_.erase(it);
+  }
+  out.broadcast_pending = pending_broadcasts_.erase(doc_name) > 0;
+  // Encodes are deterministic; the adopting broker re-derives them. Not
+  // carrying the cache keeps the handoff payload session-sized.
+  patch_cache_.erase(doc_name);
+  return out;
+}
+
+void Broker::AdoptDoc(const std::string& doc_name, DocHandoff handoff) {
+  for (auto& [endpoint, session] : handoff.sessions) {
+    sessions_[SessionKey{doc_name, endpoint}] = std::move(session);
+  }
+  if (handoff.broadcast_pending) {
+    pending_broadcasts_.insert(doc_name);
+  }
 }
 
 void Broker::SweepIdleSessions(uint64_t now) {

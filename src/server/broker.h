@@ -127,23 +127,18 @@ class Broker : public Endpoint {
     uint64_t patch_events_encoded = 0; // Events written into patches.
     uint64_t leaves = 0;
     uint64_t expired = 0;  // Sessions swept by the idle timeout.
+
+    // Folds another broker's counters in. Each shard's broker owns its
+    // stats outright — no cross-thread counters, by design — so a sharded
+    // deployment's aggregate view is built by merging per-shard copies
+    // after the workers have quiesced (Router::AggregateBrokerStats).
+    void Merge(const Stats& other);
   };
 
-  explicit Broker(DocRegistry& registry, const Config& config = {});
-
-  // Registers with the network; returns (and remembers) the endpoint id.
-  int Attach(NetSim& net);
-  int endpoint_id() const { return endpoint_id_; }
-
-  void OnMessage(NetSim& net, int from, int self, const Message& msg) override;
-  // Flushes the tick's batched broadcasts (see the file comment).
-  void OnTick(NetSim& net, int self) override;
-
-  DocRegistry& registry() { return registry_; }
-  const Stats& stats() const { return stats_; }
-  size_t session_count() const { return sessions_.size(); }
-
- private:
+  // Best estimate of one subscribed client's state. Public because shard
+  // handoff moves a document's live sessions between brokers (ExtractDoc /
+  // AdoptDoc): re-homing a document must not forget who subscribes to it or
+  // what they are believed to know — a handoff is invisible on the wire.
   struct Session {
     // Best estimate of the client's summary: authoritative on every
     // kSyncRequest, advanced optimistically on every broadcast.
@@ -153,6 +148,43 @@ class Broker : public Endpoint {
     uint64_t last_active = 0;
   };
 
+  // Everything a broker knows about one document's subscribers, packaged
+  // for shard handoff. The patch-encode cache deliberately stays behind
+  // (and is dropped): encodes are deterministic, so the adopting broker
+  // rebuilds byte-identical entries on demand.
+  struct DocHandoff {
+    std::map<int, Session> sessions;  // Keyed by client endpoint id.
+    bool broadcast_pending = false;   // Un-flushed fan-out owed to the doc.
+  };
+
+  explicit Broker(DocRegistry& registry, const Config& config = {});
+
+  // Registers with the network; returns (and remembers) the endpoint id.
+  int Attach(NetSim& net);
+  int endpoint_id() const { return endpoint_id_; }
+
+  // Transport-independent core: handle one inbound message / flush the
+  // tick's batched broadcasts, writing replies to `sink`. The NetSim
+  // Endpoint overrides below and the shard worker loop (server/shard.cc)
+  // are both thin wrappers over these two calls.
+  void Handle(MessageSink& sink, int from, const Message& msg);
+  void FlushBroadcasts(MessageSink& sink);
+
+  void OnMessage(NetSim& net, int from, int self, const Message& msg) override;
+  // Flushes the tick's batched broadcasts (see the file comment).
+  void OnTick(NetSim& net, int self) override;
+
+  // Removes and returns `doc_name`'s sessions and pending-broadcast flag;
+  // drops its patch-cache entries. The shard-handoff drain step.
+  DocHandoff ExtractDoc(const std::string& doc_name);
+  // Installs a DocHandoff extracted from another broker (adopt step).
+  void AdoptDoc(const std::string& doc_name, DocHandoff handoff);
+
+  DocRegistry& registry() { return registry_; }
+  const Stats& stats() const { return stats_; }
+  size_t session_count() const { return sessions_.size(); }
+
+ private:
   // (doc name, endpoint): doc-first so Broadcast range-scans one document's
   // subscribers instead of every session on the server.
   using SessionKey = std::pair<std::string, int>;
@@ -172,16 +204,16 @@ class Broker : public Endpoint {
   // invalid entry is simply re-encoded in place.
   static constexpr size_t kPatchCacheEntriesPerDoc = 16;
 
-  void HandleSyncRequest(NetSim& net, int from, const Message& msg);
-  void HandlePatch(NetSim& net, int from, const Message& msg);
-  // Erases sessions idle past the timeout; runs lazily from OnMessage.
+  void HandleSyncRequest(MessageSink& sink, int from, const Message& msg);
+  void HandlePatch(MessageSink& sink, int from, const Message& msg);
+  // Erases sessions idle past the timeout; runs lazily from Handle.
   void SweepIdleSessions(uint64_t now);
   // Sends each live subscriber of `doc_name` the delta it is missing,
   // encoding one patch per distinct subscriber summary and reusing
   // watermark-valid encodes from previous ticks. `doc` is the caller's
   // already-open registry reference (re-opening here would distort the
   // registry's hit-rate stats).
-  void Broadcast(NetSim& net, Doc& doc, const std::string& doc_name);
+  void Broadcast(MessageSink& sink, Doc& doc, const std::string& doc_name);
   void MaybeCheckpoint(const std::string& doc_name);
   // The patch for `summary` against `doc`, from the cache when the
   // watermark validates, freshly encoded (and cached) otherwise. `epoch`

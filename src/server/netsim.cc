@@ -37,9 +37,24 @@ int NetSim::AddEndpoint(Endpoint* endpoint) {
   return static_cast<int>(endpoints_.size() - 1);
 }
 
-void NetSim::Enqueue(int from, int to, Message msg) {
+Prng& NetSim::RouteRng(int from, int to) {
+  if (!config_.per_route_rng) {
+    return rng_;
+  }
+  uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+                 static_cast<uint32_t>(to);
+  auto it = route_rngs_.find(key);
+  if (it == route_rngs_.end()) {
+    // Golden-ratio mix so adjacent routes get well-separated streams.
+    it = route_rngs_.emplace(key, Prng(config_.seed ^ (key * 0x9e3779b97f4a7c15ULL)))
+             .first;
+  }
+  return it->second;
+}
+
+void NetSim::Enqueue(Prng& rng, int from, int to, Message msg) {
   Flight flight;
-  flight.deliver_at = now_ + rng_.Range(config_.min_latency, config_.max_latency);
+  flight.deliver_at = now_ + rng.Range(config_.min_latency, config_.max_latency);
   flight.seq = next_seq_++;
   flight.from = from;
   flight.to = to;
@@ -51,15 +66,16 @@ void NetSim::Send(int from, int to, Message msg) {
   EGW_CHECK(from >= 0 && static_cast<size_t>(from) < endpoints_.size());
   EGW_CHECK(to >= 0 && static_cast<size_t>(to) < endpoints_.size());
   ++stats_.sent;
-  if (rng_.Chance(config_.drop)) {
+  Prng& rng = RouteRng(from, to);
+  if (rng.Chance(config_.drop)) {
     ++stats_.dropped;
     return;
   }
-  if (rng_.Chance(config_.duplicate)) {
+  if (rng.Chance(config_.duplicate)) {
     ++stats_.duplicated;
-    Enqueue(from, to, msg);  // Copy; the original moves below.
+    Enqueue(rng, from, to, msg);  // Copy; the original moves below.
   }
-  Enqueue(from, to, std::move(msg));
+  Enqueue(rng, from, to, std::move(msg));
 }
 
 uint64_t NetSim::Tick() {

@@ -22,6 +22,7 @@
 #define EGWALKER_SERVER_NETSIM_H_
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "server/protocol.h"
@@ -54,6 +55,16 @@ struct NetSimConfig {
   uint64_t max_latency = 4;
   double drop = 0.0;       // P(message silently lost).
   double duplicate = 0.0;  // P(message delivered twice, independent delays).
+  // Draw each (from, to) route's latency/drop/duplicate decisions from a
+  // per-route PRNG stream (seeded from `seed` and the route pair) instead
+  // of one global stream. A message's fate then depends only on how many
+  // messages its route has carried before it — not on how sends across
+  // unrelated routes interleave — so two deployments that produce the same
+  // per-route send sequences see identical delivery schedules even when
+  // their global send orders differ. This is what makes the 1-shard vs
+  // N-shard differential soak byte-comparable: sharding reorders sends
+  // *across* documents (routes) but never within one.
+  bool per_route_rng = false;
 };
 
 class NetSim {
@@ -99,15 +110,34 @@ class NetSim {
     Message msg;
   };
 
-  void Enqueue(int from, int to, Message msg);
+  void Enqueue(Prng& rng, int from, int to, Message msg);
+  // The PRNG stream deciding `from -> to`'s fates: the global stream, or
+  // the route's own lazily-seeded stream in per_route_rng mode.
+  Prng& RouteRng(int from, int to);
 
   NetSimConfig config_;
   Prng rng_;
+  std::map<uint64_t, Prng> route_rngs_;  // per_route_rng only; keyed from<<32|to.
   std::vector<Endpoint*> endpoints_;
   std::vector<Flight> flights_;
   uint64_t now_ = 0;
   uint64_t next_seq_ = 0;
   Stats stats_;
+};
+
+// MessageSink over a NetSim endpoint: `Send(to, m)` becomes
+// `net.Send(self, to, m)`. The legacy single-threaded deployment — broker
+// attached straight to the simulator — goes through this adapter so the
+// broker's handlers only ever see the sink interface.
+class NetSimSink final : public MessageSink {
+ public:
+  NetSimSink(NetSim& net, int self) : net_(net), self_(self) {}
+  void Send(int to, Message msg) override { net_.Send(self_, to, std::move(msg)); }
+  uint64_t now() const override { return net_.now(); }
+
+ private:
+  NetSim& net_;
+  int self_;
 };
 
 }  // namespace egwalker

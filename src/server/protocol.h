@@ -48,6 +48,21 @@ struct Message {
   std::string patch;    // MakePatch() bytes (kPatch only; may be empty).
 };
 
+// Where a protocol handler's outbound messages go. The broker's handlers
+// write to a sink instead of a concrete transport so the same handler code
+// runs in two deployments: directly attached to a NetSim endpoint
+// (NetSimSink, netsim.h — the single-threaded legacy shape), or on a shard
+// worker thread that buffers sends locally and hands the batch back to the
+// router over a queue (server/shard.h — no transport object ever crosses a
+// thread boundary). `now()` is the transport's tick clock, used for session
+// liveness; a buffering sink reports the tick it was handed with the batch.
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  virtual void Send(int to, Message msg) = 0;
+  virtual uint64_t now() const = 0;
+};
+
 // True if `theirs` claims events `mine` lacks: the signal to pull with a
 // kSyncRequest of our own.
 inline bool SummaryAhead(const VersionSummary& theirs, const VersionSummary& mine) {

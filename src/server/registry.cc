@@ -24,6 +24,15 @@ void MemStorage::Replace(const std::string& doc, std::vector<std::string> chain)
   for (const std::string& segment : chain) {
     total_bytes_ += segment.size();
   }
+  if (chain.empty()) {
+    // Replacing with nothing means the document has no persisted state:
+    // erase the entry so Chain() reports "never flushed" rather than
+    // handing Open() a zero-segment chain to decode. Shard handoff relies
+    // on this when it lifts a drained document's chain out of one shard's
+    // storage to re-home it in another's.
+    chains_.erase(doc);
+    return;
+  }
   slot = std::move(chain);
 }
 

@@ -1,0 +1,156 @@
+// Bounded multi-producer queue for cross-thread message passing.
+//
+// The sharded server (server/shard.h) moves every cross-thread byte through
+// these queues: the router thread posts protocol messages into each shard's
+// inbox, the shard worker posts its per-tick outbound batch (and handoff
+// payloads) back. Two properties matter more than raw throughput:
+//
+//   bounded + blocking  Push() on a full queue *blocks* (backpressure): a
+//                       shard that falls behind slows its producers down
+//                       instead of growing an unbounded buffer. TryPush is
+//                       the non-blocking probe for callers that can shed.
+//   FIFO per producer   a single producer's items pop in push order (the
+//                       router is effectively a single producer during
+//                       NetSim delivery, so a shard sees its messages in
+//                       exactly the deterministic delivery order).
+//
+// Deliberately mutex+condvar, not lock-free: traffic is batched per network
+// tick (tens of messages per barrier, not millions per second), so queue
+// overhead is nowhere near the profile, and a mutex-based ring is easy to
+// prove correct — which is the point of the ThreadSanitizer CI lane locking
+// this subsystem in. The ring buffer is preallocated at construction; Push
+// and Pop move elements in and out, never allocate.
+//
+// Close() wakes every blocked producer and consumer: Push returns false,
+// Pop drains the remaining items and then returns nullopt. This is the
+// shutdown path (Shard::Stop closes both directions and joins).
+
+#ifndef EGWALKER_UTIL_MPSC_H_
+#define EGWALKER_UTIL_MPSC_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace egwalker {
+
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  // Enqueues, blocking while the queue is full (backpressure). Returns false
+  // — without enqueueing — once the queue is closed.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (size_ == ring_.size() && !closed_) {
+      ++blocked_pushes_;
+    }
+    while (size_ == ring_.size() && !closed_) {
+      not_full_.wait(lock);
+    }
+    if (closed_) {
+      return false;
+    }
+    ring_[(head_ + size_) % ring_.size()] = std::move(value);
+    ++size_;
+    // Single consumer: at most one waiter on the other side.
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking Push; false when full or closed.
+  bool TryPush(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_ || size_ == ring_.size()) {
+      return false;
+    }
+    ring_[(head_ + size_) % ring_.size()] = std::move(value);
+    ++size_;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Dequeues, blocking while the queue is empty. After Close(), drains the
+  // remaining items in order, then returns nullopt.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (size_ == 0 && !closed_) {
+      not_empty_.wait(lock);
+    }
+    if (size_ == 0) {
+      return std::nullopt;  // Closed and drained.
+    }
+    return std::optional<T>(PopLocked());
+  }
+
+  // Non-blocking Pop; nullopt when empty (closed or not).
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (size_ == 0) {
+      return std::nullopt;
+    }
+    return std::optional<T>(PopLocked());
+  }
+
+  // Wakes all blocked producers and the consumer; Push fails from now on,
+  // Pop drains what is queued and then reports exhaustion. Idempotent.
+  void Close() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return size_;
+  }
+
+  size_t capacity() const { return ring_.size(); }
+
+  // Times a Push found the queue full and had to wait (one count per wait,
+  // not per woken retry). Exposes the backpressure path to tests.
+  uint64_t blocked_pushes() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return blocked_pushes_;
+  }
+
+ private:
+  T PopLocked() {
+    T value = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --size_;
+    // Producers may all be parked on a full queue; one slot frees one.
+    not_full_.notify_one();
+    return value;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<T> ring_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  uint64_t blocked_pushes_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace egwalker
+
+#endif  // EGWALKER_UTIL_MPSC_H_
