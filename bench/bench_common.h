@@ -5,7 +5,14 @@
 //                 (1.0 = Table 1 sizes, roughly 0.6M-2.3M events per trace)
 //   --quick       shorthand for a very small scale (smoke testing)
 //   --trace=<n>   restrict to a comma-separated subset of the traces
-//                 (S1 S2 S3 C1 C2 A1 A2)
+//                 (S1 S2 S3 C1 C2 A1 A2) — OR, when the value ends in
+//                 ".json", write a Chrome trace_event file there instead
+//                 (obs/trace.h; open it in chrome://tracing or Perfetto).
+//                 Editing-trace names never contain a dot, so the two uses
+//                 cannot collide.
+//   --metrics=<p> write the aggregated metrics registry (obs/metrics.h) as
+//                 JSON to <p>: per-phase counters, convergence-latency
+//                 histograms, backpressure counts
 //   --json=<p>    additionally write the measurements as structured JSON to
 //                 <p>, so successive PRs can track the perf trajectory in
 //                 committed BENCH_*.json files
@@ -40,6 +47,8 @@ struct Options {
   std::vector<std::string> traces = {"S1", "S2", "S3", "C1", "C2", "A1", "A2"};
   double time_budget_s = 1.0;  // Per measurement.
   std::string json_path;       // Empty: no JSON output.
+  std::string trace_path;      // --trace=<p>.json: Chrome trace output.
+  std::string metrics_path;    // --metrics=<p>: metrics registry JSON.
   // bench_server only: force every scenario through N shard worker threads
   // (0 = the legacy directly-attached broker; -1 = per-scenario default).
   int shards = -1;
@@ -57,8 +66,12 @@ inline Options ParseArgs(int argc, char** argv) {
       opts.scale = 0.02;
       opts.time_budget_s = 0.2;
     } else if (std::strncmp(arg, "--trace=", 8) == 0) {
-      opts.traces.clear();
       std::string list(arg + 8);
+      if (list.size() > 5 && list.compare(list.size() - 5, 5, ".json") == 0) {
+        opts.trace_path = std::move(list);  // Output path, not a subset.
+        continue;
+      }
+      opts.traces.clear();
       size_t from = 0;
       while (from <= list.size()) {
         size_t comma = list.find(',', from);
@@ -72,6 +85,8 @@ inline Options ParseArgs(int argc, char** argv) {
       }
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       opts.json_path = std::string(arg + 7);
+    } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+      opts.metrics_path = std::string(arg + 10);
     } else if (std::strncmp(arg, "--shards=", 9) == 0) {
       opts.shards = std::atoi(arg + 9);
     } else {

@@ -41,6 +41,7 @@
 // across machines for the bench-gate's median normalisation.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -48,6 +49,9 @@
 
 #include "bench_common.h"
 #include "encoding/columnar.h"
+#include "obs/convergence.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/broker.h"
 #include "server/client.h"
 #include "server/netsim.h"
@@ -88,6 +92,7 @@ struct SoakResult {
   uint64_t flush_segments = 0;
   uint64_t chain_bytes = 0;
   uint64_t reload_docs = 0;
+  uint64_t blocked_pushes = 0;   // Router Posts stalled on a full inbox.
 };
 
 // --- Recorded load ----------------------------------------------------------
@@ -146,7 +151,17 @@ class DiscardEndpoint final : public Endpoint {
 // Runs the scripted churn against `server_endpoint` (either a broker or a
 // recording tap): join (before or inside the churn window, per `flash`),
 // then `ticks` rounds of edits / pushes / reader syncs.
-void RunScript(const Scenario& scenario, NetSim& net, int server_endpoint) {
+//
+// When `conv` is non-null, every PushEdits records a convergence probe and
+// every tick sweeps them: a pushed edit counts as converged once EVERY
+// subscriber replica of its document contains it (checked via the
+// non-mutating Graph::RawToLv — measuring never perturbs the replicas).
+// Latency is in simulated ticks, so with the fixed seeds the distribution
+// is deterministic and machine-independent (which is what lets
+// tools/check_bench.py gate the p99 directly). The server necessarily held
+// each edit before relaying it, so all-subscribers implies all-replicas.
+void RunScript(const Scenario& scenario, NetSim& net, int server_endpoint,
+               obs::ConvergenceTracker* conv = nullptr) {
   std::vector<std::string> names;
   for (int d = 0; d < scenario.docs; ++d) {
     names.push_back("doc-" + std::to_string(d));
@@ -172,6 +187,36 @@ void RunScript(const Scenario& scenario, NetSim& net, int server_endpoint) {
     join_all();
     net.Run(64);
   }
+
+  // Convergence bookkeeping: one doc per client in this script, so a flat
+  // per-client high-water mark of recorded sequence numbers suffices.
+  std::vector<uint64_t> last_recorded(clients.size(), 0);
+  auto record_push = [&](size_t client_index, const std::string& name) {
+    if (conv == nullptr) {
+      return;
+    }
+    const Doc& doc = clients[client_index].doc(name);
+    uint64_t seq_end = doc.next_seq();
+    if (seq_end > last_recorded[client_index]) {
+      last_recorded[client_index] = seq_end;
+      conv->Record(name, doc.agent_name(), seq_end, net.now());
+    }
+  };
+  auto converged = [&](obs::ConvergenceTracker::Pending& p) {
+    int d = std::atoi(p.doc.c_str() + 4);  // Names are "doc-<d>".
+    // Resume at the first replica that was missing the event last tick —
+    // containment is monotone, so the confirmed prefix stays confirmed.
+    for (int c = static_cast<int>(p.probe_cursor);
+         c < scenario.clients_per_doc; ++c) {
+      CollabClient& peer =
+          clients[static_cast<size_t>(d * scenario.clients_per_doc + c)];
+      if (peer.doc(p.doc).graph().RawToLv(p.agent, p.seq_end - 1) == kInvalidLv) {
+        p.probe_cursor = static_cast<uint32_t>(c);
+        return false;
+      }
+    }
+    return true;
+  };
 
   Prng rng(41);
   if (scenario.flash) {
@@ -202,12 +247,26 @@ void RunScript(const Scenario& scenario, NetSim& net, int server_endpoint) {
         }
         if (rng.Chance(0.5)) {
           client.PushEdits(net, name);
+          record_push(static_cast<size_t>(d * scenario.clients_per_doc + c), name);
         }
       }
     }
     net.Tick();
+    if (conv != nullptr) {
+      conv->Advance(net.now(), converged);
+    }
   }
-  net.Run(1 << 12);
+  // Drain tick by tick (exactly net.Run(1 << 12)'s tick-then-check loop)
+  // so the convergence sweep sees every tick's deliveries as they land.
+  for (int guard = 0; guard < (1 << 12); ++guard) {
+    net.Tick();
+    if (conv != nullptr) {
+      conv->Advance(net.now(), converged);
+    }
+    if (net.in_flight() == 0) {
+      break;
+    }
+  }
 }
 
 NetSimConfig BenchNetConfig() {
@@ -260,7 +319,8 @@ void MeasureChains(const Scenario& scenario, StorageOf&& storage_of, SoakResult*
 // Legacy interactive measurement: server and simulated clients share the
 // timed wall clock (the end-to-end number; comparable with old baselines).
 SoakResult RunInteractive(const Scenario& scenario, double* soak_ms, double* flush_ms,
-                          double* reload_ms) {
+                          double* reload_ms, obs::MetricsRegistry* reg,
+                          obs::ConvergenceTracker* conv) {
   NetSim net(BenchNetConfig());
   MemStorage storage;
   DocRegistry::Config registry_config;
@@ -272,11 +332,19 @@ SoakResult RunInteractive(const Scenario& scenario, double* soak_ms, double* flu
   broker.Attach(net);
 
   auto t0 = std::chrono::steady_clock::now();
-  RunScript(scenario, net, broker.endpoint_id());
+  {
+    EGW_TRACE_SPAN("bench.interactive");
+    RunScript(scenario, net, broker.endpoint_id(), conv);
+  }
   *soak_ms = MsSince(t0);
 
   SoakResult result;
   result.messages = net.stats().delivered;
+  if (reg != nullptr) {
+    obs::ExportStats(*reg, "broker", broker.stats());
+    obs::ExportStats(*reg, "registry", registry.stats());
+    obs::ExportStats(*reg, "net", net.stats());
+  }
   t0 = std::chrono::steady_clock::now();
   registry.FlushAll();
   *flush_ms = MsSince(t0);
@@ -291,8 +359,13 @@ SoakResult RunInteractive(const Scenario& scenario, double* soak_ms, double* flu
 // Sharded measurement: record the inbound stream once (untimed), then
 // replay it into a router + N shard workers and time only that.
 SoakResult RunShardedReplay(const Scenario& scenario, double* soak_ms, double* flush_ms,
-                            double* reload_ms) {
-  // Recording pass: plain broker behind a tap, same script.
+                            double* reload_ms, obs::MetricsRegistry* reg,
+                            obs::ConvergenceTracker* conv) {
+  // Recording pass: plain broker behind a tap, same script. Convergence is
+  // measured here — it is a protocol/topology property (client-visible
+  // latency in ticks), identical by construction to what the interactive
+  // simulation of the same scenario observes, and measuring it in the
+  // untimed pass keeps the timed replay pure server work.
   RecordedLoad load;
   {
     NetSim net(BenchNetConfig());
@@ -305,7 +378,7 @@ SoakResult RunShardedReplay(const Scenario& scenario, double* soak_ms, double* f
     Broker broker(registry, broker_config);
     RecordingTap tap(broker, load);
     int tap_endpoint = tap.Attach(net);
-    RunScript(scenario, net, tap_endpoint);
+    RunScript(scenario, net, tap_endpoint, conv);
     load.ticks = net.now();
     load.endpoints = 1 + scenario.docs * scenario.clients_per_doc;
   }
@@ -330,23 +403,32 @@ SoakResult RunShardedReplay(const Scenario& scenario, double* soak_ms, double* f
   }
 
   auto t0 = std::chrono::steady_clock::now();
-  size_t i = 0;
-  while (i < load.msgs.size()) {
-    net.Tick();  // Advances the clock, drains outbound into the discards.
-    while (i < load.msgs.size() && load.msgs[i].tick <= net.now()) {
-      router.OnMessage(net, load.msgs[i].from, self, load.msgs[i].msg);
-      ++i;
+  {
+    EGW_TRACE_SPAN("bench.replay");
+    size_t i = 0;
+    while (i < load.msgs.size()) {
+      net.Tick();  // Advances the clock, drains outbound into the discards.
+      EGW_TRACE_SPAN("router.route");  // This tick's recorded batch.
+      while (i < load.msgs.size() && load.msgs[i].tick <= net.now()) {
+        router.OnMessage(net, load.msgs[i].from, self, load.msgs[i].msg);
+        ++i;
+      }
     }
+    net.Run(64);  // Final barriers: flush the last broadcasts through.
   }
-  net.Run(64);  // Final barriers: flush the last broadcasts through.
   *soak_ms = MsSince(t0);
 
   SoakResult result;
   result.messages = load.msgs.size() + net.stats().delivered;
+  result.blocked_pushes = router.TotalBlockedPushes();
 
   // Quiesce the workers before the single-threaded flush/reload phases
   // (shard registries are only reachable at quiesce, by design).
   router.Stop();
+  if (reg != nullptr) {
+    router.ExportMetrics(*reg);
+    obs::ExportStats(*reg, "net", net.stats());
+  }
   t0 = std::chrono::steady_clock::now();
   for (int s = 0; s < router.shard_count(); ++s) {
     router.shard(s).registry().FlushAll();
@@ -366,11 +448,12 @@ SoakResult RunShardedReplay(const Scenario& scenario, double* soak_ms, double* f
 }
 
 SoakResult RunScenario(const Scenario& scenario, double* soak_ms, double* flush_ms,
-                       double* reload_ms) {
+                       double* reload_ms, obs::MetricsRegistry* reg,
+                       obs::ConvergenceTracker* conv) {
   if (scenario.shards == 0) {
-    return RunInteractive(scenario, soak_ms, flush_ms, reload_ms);
+    return RunInteractive(scenario, soak_ms, flush_ms, reload_ms, reg, conv);
   }
-  return RunShardedReplay(scenario, soak_ms, flush_ms, reload_ms);
+  return RunShardedReplay(scenario, soak_ms, flush_ms, reload_ms, reg, conv);
 }
 
 int Run(int argc, char** argv) {
@@ -421,9 +504,21 @@ int Run(int argc, char** argv) {
     }
   }
 
+  // Trace session: span buffers must be live before any worker thread
+  // starts (obs/trace.h's quiescence contract), so start before the rows.
+  if (!opts.trace_path.empty()) {
+    obs::TraceStart();
+    obs::TraceSetThreadName("bench-main");
+    if (!obs::TraceEnabled()) {
+      std::fprintf(stderr, "--trace=%s ignored: built with EGW_TRACE=OFF\n",
+                   opts.trace_path.c_str());
+    }
+  }
+  JsonObject metrics_rows;  // Row name -> that row's metrics registry.
+
   const unsigned hw_threads = std::thread::hardware_concurrency();
-  std::printf("%-12s %7s %8s %10s %10s %10s %12s\n", "scenario", "events", "msgs",
-              "soak", "flush", "reload", "events/sec");
+  std::printf("%-12s %7s %8s %10s %10s %10s %12s %9s\n", "scenario", "events", "msgs",
+              "soak", "flush", "reload", "events/sec", "conv(t)");
   for (const Scenario& scenario : scenarios) {
     std::string name = scenario.label != nullptr && opts.shards < 0
                            ? scenario.label
@@ -437,25 +532,69 @@ int Run(int argc, char** argv) {
                        (scenario.shards != 0 ? "/s" + std::to_string(scenario.shards)
                                              : "");
     double soak_ms = 0, flush_ms = 0, reload_ms = 0;
-    SoakResult result = RunScenario(scenario, &soak_ms, &flush_ms, &reload_ms);
+    obs::MetricsRegistry reg;
+    obs::ConvergenceTracker conv;
+    SoakResult result;
+    {
+      EGW_TRACE_SPAN(obs::TraceInternName("row." + name));
+      result = RunScenario(scenario, &soak_ms, &flush_ms, &reload_ms, &reg, &conv);
+    }
+    const obs::Histogram& latency = conv.latency();
+    reg.Histo("convergence.latency_ticks")->Merge(latency);
+    *reg.Counter("convergence.pending") += conv.pending();
     double events_per_sec =
         soak_ms > 0 ? static_cast<double>(result.events_applied) / (soak_ms / 1000.0) : 0;
-    std::printf("%-12s %7llu %8llu %10s %10s %10s %12.0f\n", name.c_str(),
+    std::printf("%-12s %7llu %8llu %10s %10s %10s %12.0f %4llu/%llu\n", name.c_str(),
                 static_cast<unsigned long long>(result.events_applied),
                 static_cast<unsigned long long>(result.messages),
                 bench::FmtMs(soak_ms).c_str(), bench::FmtMs(flush_ms).c_str(),
-                bench::FmtMs(reload_ms).c_str(), events_per_sec);
+                bench::FmtMs(reload_ms).c_str(), events_per_sec,
+                static_cast<unsigned long long>(latency.Percentile(0.50)),
+                static_cast<unsigned long long>(latency.Percentile(0.99)));
     report.Add(name, "server soak", soak_ms);
     report.Annotate("events_applied", Json(static_cast<double>(result.events_applied)));
     report.Annotate("messages", Json(static_cast<double>(result.messages)));
     report.Annotate("events_per_sec", Json(events_per_sec));
     report.Annotate("shards", Json(static_cast<double>(scenario.shards)));
     report.Annotate("hw_threads", Json(static_cast<double>(hw_threads)));
+    report.Annotate("blocked_pushes", Json(static_cast<double>(result.blocked_pushes)));
+    // Convergence latency is in deterministic simulated ticks (fixed
+    // seeds), so the gate can compare these across machines directly.
+    report.Annotate("convergence_count", Json(static_cast<double>(latency.count())));
+    report.Annotate("convergence_pending", Json(static_cast<double>(conv.pending())));
+    report.Annotate("convergence_p50", Json(static_cast<double>(latency.Percentile(0.50))));
+    report.Annotate("convergence_p95", Json(static_cast<double>(latency.Percentile(0.95))));
+    report.Annotate("convergence_p99", Json(static_cast<double>(latency.Percentile(0.99))));
     report.Add(name, "checkpoint flush", flush_ms);
     report.Annotate("chain_bytes", Json(static_cast<double>(result.chain_bytes)));
     report.Annotate("flush_segments", Json(static_cast<double>(result.flush_segments)));
     report.Add(name, "chain reload", reload_ms);
     report.Annotate("docs_reloaded", Json(static_cast<double>(result.reload_docs)));
+    if (!opts.metrics_path.empty()) {
+      metrics_rows.emplace_back(name, reg.ToJson());
+    }
+  }
+
+  if (!opts.metrics_path.empty()) {
+    JsonObject doc;
+    doc.emplace_back("bench", Json("server"));
+    doc.emplace_back("rows", Json(std::move(metrics_rows)));
+    std::string text = Json(std::move(doc)).Dump(2);
+    text += '\n';
+    if (FILE* f = std::fopen(opts.metrics_path.c_str(), "w")) {
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::printf("metrics: %s\n", opts.metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", opts.metrics_path.c_str());
+    }
+  }
+  if (!opts.trace_path.empty()) {
+    obs::TraceStop();
+    if (obs::TraceWriteChrome(opts.trace_path)) {
+      std::printf("trace:   %s  (open in chrome://tracing or ui.perfetto.dev)\n",
+                  opts.trace_path.c_str());
+    }
   }
   return 0;
 }

@@ -8,24 +8,63 @@
 // and every replica is checked for byte-identical convergence.
 //
 // Run: ./build/collab_server [docs] [clients_per_doc] [ticks]
+//                            [--trace=<path>] [--metrics=<path>]
+//
+// Observability walkthrough:
+//
+//   ./build/collab_server 6 4 80 --trace=collab.json --metrics=metrics.json
+//
+// collab.json is Chrome trace_event JSON: open https://ui.perfetto.dev (or
+// chrome://tracing) and drop the file in. The timeline shows every tick's
+// phases — net.tick delivery, broker.apply_patch / broker.sync_request per
+// message, broker.encode_patch under them when the patch cache misses,
+// walker.merge for each replica-side merge, registry.load / registry.flush
+// when the LRU evicts and reloads. `python3 tools/summarize_trace.py
+// collab.json` prints the same data as a per-phase self-time table.
+// metrics.json is the metrics registry (obs/metrics.h): broker/registry/
+// net counters plus the client-observed convergence-latency histogram in
+// simulated ticks.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "obs/convergence.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/broker.h"
 #include "server/client.h"
 #include "server/netsim.h"
 #include "server/registry.h"
+#include "util/json.h"
 #include "util/prng.h"
 
 using namespace egwalker;
 
 int main(int argc, char** argv) {
-  int docs = argc > 1 ? std::atoi(argv[1]) : 6;
-  int clients_per_doc = argc > 2 ? std::atoi(argv[2]) : 4;
-  int ticks = argc > 3 ? std::atoi(argv[3]) : 80;
+  int docs = 6, clients_per_doc = 4, ticks = 80;
+  std::string trace_path, metrics_path;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      metrics_path = argv[i] + 10;
+    } else {
+      int value = std::atoi(argv[i]);
+      if (positional == 0) docs = value;
+      if (positional == 1) clients_per_doc = value;
+      if (positional == 2) ticks = value;
+      ++positional;
+    }
+  }
+
+  if (!trace_path.empty()) {
+    obs::TraceStart();
+    obs::TraceSetThreadName("collab-server");
+  }
 
   NetSimConfig net_config;
   net_config.seed = 2025;
@@ -64,6 +103,33 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Convergence probes: each PushEdits records the author's latest event;
+  // an edit converges once every subscriber replica of its doc contains it
+  // (non-mutating Graph::RawToLv check). Latency is in simulated ticks.
+  obs::ConvergenceTracker conv;
+  std::vector<uint64_t> last_recorded(clients.size(), 0);
+  auto record_push = [&](size_t client_index, const std::string& name) {
+    const Doc& doc = clients[client_index].doc(name);
+    uint64_t seq_end = doc.next_seq();
+    if (seq_end > last_recorded[client_index]) {
+      last_recorded[client_index] = seq_end;
+      conv.Record(name, doc.agent_name(), seq_end, net.now());
+    }
+  };
+  auto converged_probe = [&](obs::ConvergenceTracker::Pending& p) {
+    int d = std::atoi(p.doc.c_str() + 4);  // Names are "doc-<d>".
+    // probe_cursor resumes at the first unconfirmed replica (containment is
+    // monotone), keeping the sweep O(new confirmations) per tick.
+    for (int c = static_cast<int>(p.probe_cursor); c < clients_per_doc; ++c) {
+      CollabClient& peer = clients[static_cast<size_t>(d * clients_per_doc + c)];
+      if (peer.doc(p.doc).graph().RawToLv(p.agent, p.seq_end - 1) == kInvalidLv) {
+        p.probe_cursor = static_cast<uint32_t>(c);
+        return false;
+      }
+    }
+    return true;
+  };
+
   Prng rng(5);
   for (int tick = 0; tick < ticks; ++tick) {
     for (int d = 0; d < docs; ++d) {
@@ -81,6 +147,7 @@ int main(int argc, char** argv) {
         }
         if (rng.Chance(0.3)) {
           client.PushEdits(net, name);
+          record_push(static_cast<size_t>(d * clients_per_doc + c), name);
         }
         if (rng.Chance(0.1)) {
           client.RequestSync(net, name);
@@ -88,6 +155,7 @@ int main(int argc, char** argv) {
       }
     }
     net.Tick();
+    conv.Advance(net.now(), converged_probe);
   }
 
   // Drain: lossless network, sync sweeps until quiet.
@@ -104,6 +172,7 @@ int main(int argc, char** argv) {
       }
     }
     net.Run(1 << 12);
+    conv.Advance(net.now(), converged_probe);
   }
 
   const NetSim::Stats& ns = net.stats();
@@ -148,5 +217,36 @@ int main(int argc, char** argv) {
   std::printf("converged: %s (%llu chars across %d documents)\n",
               converged ? "yes" : "NO — BUG",
               static_cast<unsigned long long>(total_chars), docs);
+  std::printf("convergence latency (ticks): p50=%llu p95=%llu p99=%llu over %llu edits"
+              " (%zu never converged)\n",
+              static_cast<unsigned long long>(conv.latency().Percentile(0.50)),
+              static_cast<unsigned long long>(conv.latency().Percentile(0.95)),
+              static_cast<unsigned long long>(conv.latency().Percentile(0.99)),
+              static_cast<unsigned long long>(conv.latency().count()), conv.pending());
+
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry reg;
+    obs::ExportStats(reg, "broker", broker.stats());
+    obs::ExportStats(reg, "registry", registry.stats());
+    obs::ExportStats(reg, "net", net.stats());
+    reg.Histo("convergence.latency_ticks")->Merge(conv.latency());
+    *reg.Counter("convergence.pending") += conv.pending();
+    std::string text = reg.ToJson().Dump(2);
+    text += '\n';
+    if (FILE* f = std::fopen(metrics_path.c_str(), "w")) {
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::printf("metrics: %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+    }
+  }
+  if (!trace_path.empty()) {
+    obs::TraceStop();
+    if (obs::TraceWriteChrome(trace_path)) {
+      std::printf("trace:   %s  (open in chrome://tracing or ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    }
+  }
   return converged ? 0 : 1;
 }

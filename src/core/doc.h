@@ -76,6 +76,12 @@ class Doc {
   const Frontier& version() const { return trace_.graph.version(); }
   const Graph& graph() const { return trace_.graph; }
   const OpLog& ops() const { return trace_.ops; }
+  // This replica's agent identity (interned at construction).
+  const std::string& agent_name() const { return trace_.graph.AgentName(agent_); }
+  // The sequence number the next local edit would take — equivalently, how
+  // many events this replica has authored. Convergence probes use it: the
+  // latest authored event is (agent_name(), next_seq() - 1).
+  uint64_t next_seq() const { return trace_.graph.NextSeqFor(agent_); }
 
   // Reconstructs the document text at an arbitrary historical version by
   // replaying Events(version) (time travel / history browsing).

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "crdt/yata.h"
+#include "obs/trace.h"
 #include "util/assert.h"
 #include "util/varint.h"
 
@@ -21,6 +22,7 @@ void Walker::ReplayRange(Rope& doc, const Frontier& from, const Frontier& to,
 
 void Walker::MergeRange(Rope& doc, const Frontier& from, uint64_t base_len, const Frontier& to,
                         Lv apply_from, const Options& opts, ReplaySinks sinks) {
+  EGW_TRACE_SPAN("walker.merge");
   doc_ = &doc;
   opts_ = opts;
   sinks_ = sinks;
@@ -60,6 +62,7 @@ void Walker::MergeRange(Rope& doc, const Frontier& from, uint64_t base_len, cons
 }
 
 void Walker::ContinueMerge(Rope& doc, Lv apply_from, ReplaySinks sinks) {
+  EGW_TRACE_SPAN("walker.continue");
   EGW_CHECK(session_open_);
   // The CRDT-op sink needs a from-scratch replay (see MergeRange).
   EGW_CHECK(sinks.crdt_ops == nullptr);

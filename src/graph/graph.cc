@@ -29,7 +29,7 @@ std::vector<LvSpan> NormalizeDescending(std::vector<LvSpan> spans) {
 }  // namespace
 
 AgentId Graph::GetOrCreateAgent(std::string_view name) {
-  auto it = agent_ids_.find(std::string(name));
+  auto it = agent_ids_.find(name);
   if (it != agent_ids_.end()) {
     return it->second;
   }
@@ -91,7 +91,7 @@ RawVersion Graph::LvToRaw(Lv v) const {
 }
 
 Lv Graph::RawToLv(std::string_view agent, uint64_t seq) const {
-  auto it = agent_ids_.find(std::string(agent));
+  auto it = agent_ids_.find(agent);
   if (it == agent_ids_.end()) {
     return kInvalidLv;
   }
@@ -105,7 +105,7 @@ Lv Graph::RawToLv(std::string_view agent, uint64_t seq) const {
 }
 
 uint64_t Graph::KnownRunLen(std::string_view agent, uint64_t seq) const {
-  auto it = agent_ids_.find(std::string(agent));
+  auto it = agent_ids_.find(agent);
   if (it == agent_ids_.end()) {
     return 0;
   }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "graph/frontier.h"
+#include "obs/stats.h"
 #include "util/rle.h"
 #include "util/scratch_map.h"
 
@@ -98,21 +99,41 @@ struct DiffResult {
 };
 
 // Counters for the frontier-keyed diff cache (see Graph::Diff).
+// Reset/Merge follow the obs/stats.h contract.
 struct DiffCacheStats {
   uint64_t hits = 0;           // Diff() answered from the cache.
   uint64_t misses = 0;         // Diff() fell through to a graph walk.
   uint64_t invalidations = 0;  // Cache clears triggered by Add().
+
+  template <typename Fn>
+  static void VisitFields(Fn&& fn) {
+    fn("hits", &DiffCacheStats::hits);
+    fn("misses", &DiffCacheStats::misses);
+    fn("invalidations", &DiffCacheStats::invalidations);
+  }
+  void Merge(const DiffCacheStats& other) { obs::MergeStats(*this, other); }
+  void Reset() { obs::ResetStats(*this); }
 };
 
 // Counters for the diff walk itself (every DiffUncached walk, including
 // cache misses): how much of the graph the version algebra actually
 // touches. The server soak asserts that diff work scales with the runs a
 // query touches, not with history length — these counters make that a CI
-// invariant instead of a profiler anecdote.
+// invariant instead of a profiler anecdote. Reset/Merge follow the
+// obs/stats.h contract.
 struct DiffStats {
   uint64_t calls = 0;           // Graph walks performed.
   uint64_t runs_visited = 0;    // Queue pops that consumed part of an entry.
   uint64_t events_spanned = 0;  // Total LVs covered by consumed ranges.
+
+  template <typename Fn>
+  static void VisitFields(Fn&& fn) {
+    fn("calls", &DiffStats::calls);
+    fn("runs_visited", &DiffStats::runs_visited);
+    fn("events_spanned", &DiffStats::events_spanned);
+  }
+  void Merge(const DiffStats& other) { obs::MergeStats(*this, other); }
+  void Reset() { obs::ResetStats(*this); }
 };
 
 class Graph {
@@ -302,7 +323,17 @@ class Graph {
   std::vector<RleVec<AgentSeqRun>> agent_seq_to_lv_;
 
   std::vector<std::string> agent_names_;
-  std::unordered_map<std::string, AgentId> agent_ids_;
+  // Heterogeneous lookup: RawToLv and friends sit on per-probe hot paths
+  // (convergence sweeps call them every tick), so find() must take a
+  // string_view without materialising a std::string.
+  struct AgentNameHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, AgentId, AgentNameHash, std::equal_to<>>
+      agent_ids_;
 
   Frontier version_;
   Lv next_lv_ = 0;

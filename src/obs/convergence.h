@@ -1,0 +1,90 @@
+// Convergence-latency tracking: how many simulated ticks pass between a
+// client pushing an edit and EVERY subscribed replica containing it.
+//
+// The tracker is deliberately decoupled from the replicas: the bench (or
+// example) records a pending entry when it pushes edits, then after each
+// NetSim tick calls Advance() with a predicate that answers "does every
+// replica that should see (agent, seq_end-1) contain it yet?". The
+// predicate is expected to use Graph::RawToLv — a non-mutating lookup — so
+// measuring convergence never perturbs the replicas being measured.
+//
+// Latencies land in an obs::Histogram in TICKS, not wall time: with the
+// fixed bench seeds the distribution is fully deterministic, which is what
+// lets tools/check_bench.py gate the p99 across machines.
+//
+// Single-owner, no locks: the bench driver thread owns the tracker; the
+// sharded server never sees it.
+
+#ifndef EGWALKER_OBS_CONVERGENCE_H_
+#define EGWALKER_OBS_CONVERGENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace egwalker::obs {
+
+class ConvergenceTracker {
+ public:
+  struct Pending {
+    std::string doc;
+    std::string agent;
+    uint64_t seq_end;      // Converged once (agent, seq_end - 1) is everywhere.
+    uint64_t origin_tick;  // NetSim::now() when the edit was pushed.
+    // Scratch for the predicate: replica containment is monotone (a replica
+    // never un-learns an event), so a predicate that probes replicas in a
+    // fixed order can park the index of the first unconfirmed one here and
+    // resume there next tick instead of re-proving the confirmed prefix.
+    // Keeps the per-tick sweep O(new confirmations), not O(replicas).
+    uint32_t probe_cursor = 0;
+  };
+
+  // Call when a client pushes edits: `seq_end` is the author's next unused
+  // sequence number after the push.
+  void Record(std::string doc, std::string agent, uint64_t seq_end,
+              uint64_t origin_tick) {
+    pending_.push_back(
+        Pending{std::move(doc), std::move(agent), seq_end, origin_tick});
+  }
+
+  // Sweeps the pending list; `converged(p)` must return true once every
+  // replica subscribed to p.doc contains (p.agent, p.seq_end - 1). The
+  // entry is passed mutable so the predicate can use p.probe_cursor. Each
+  // entry that converged records `now - origin_tick` into the histogram
+  // and is swap-removed.
+  template <typename Fn>
+  void Advance(uint64_t now, Fn&& converged) {
+    for (size_t i = 0; i < pending_.size();) {
+      if (converged(pending_[i])) {
+        latency_.Record(now - pending_[i].origin_tick);
+        pending_[i] = std::move(pending_.back());
+        pending_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Distribution of converged edits' latencies (ticks).
+  const Histogram& latency() const { return latency_; }
+
+  // Edits still in flight — report this next to the histogram so a stalled
+  // topology cannot masquerade as a fast one by never converging.
+  size_t pending() const { return pending_.size(); }
+
+  void Reset() {
+    pending_.clear();
+    latency_.Reset();
+  }
+
+ private:
+  std::vector<Pending> pending_;
+  Histogram latency_;
+};
+
+}  // namespace egwalker::obs
+
+#endif  // EGWALKER_OBS_CONVERGENCE_H_

@@ -1,0 +1,64 @@
+#include "obs/metrics.h"
+
+namespace egwalker::obs {
+
+Json Histogram::ToJson() const {
+  return Json(JsonObject{{"count", Json(count_)},
+                         {"sum", Json(sum_)},
+                         {"min", Json(min())},
+                         {"max", Json(max_)},
+                         {"p50", Json(Percentile(0.50))},
+                         {"p95", Json(Percentile(0.95))},
+                         {"p99", Json(Percentile(0.99))}});
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, slot] : other.slots_) {
+    switch (slot.kind) {
+      case Kind::kCounter:
+        *Counter(name) += other.counters_[slot.index];
+        break;
+      case Kind::kGauge:
+        *Gauge(name) += other.gauges_[slot.index];
+        break;
+      case Kind::kHisto:
+        Histo(name)->Merge(other.histos_[slot.index]);
+        break;
+    }
+  }
+}
+
+void MetricsRegistry::Reset() {
+  for (uint64_t& c : counters_) {
+    c = 0;
+  }
+  for (double& g : gauges_) {
+    g = 0.0;
+  }
+  for (Histogram& h : histos_) {
+    h.Reset();
+  }
+}
+
+Json MetricsRegistry::ToJson() const {
+  JsonObject out;
+  out.reserve(slots_.size());
+  // slots_ is a std::map: iteration (and therefore the export) is sorted
+  // by name — deterministic across runs and shard counts.
+  for (const auto& [name, slot] : slots_) {
+    switch (slot.kind) {
+      case Kind::kCounter:
+        out.emplace_back(name, Json(counters_[slot.index]));
+        break;
+      case Kind::kGauge:
+        out.emplace_back(name, Json(gauges_[slot.index]));
+        break;
+      case Kind::kHisto:
+        out.emplace_back(name, histos_[slot.index].ToJson());
+        break;
+    }
+  }
+  return Json(std::move(out));
+}
+
+}  // namespace egwalker::obs

@@ -1,0 +1,245 @@
+// Metrics registry: thread-owned counters, gauges, and log2-bucket
+// histograms, registered by name, merged only at quiesce.
+//
+// Threading model (the same one server/shard.h documents for its stats):
+// a MetricsRegistry is SINGLE-OWNER. Each shard worker (or bench phase, or
+// test thread) owns its own instance outright and bumps plain non-atomic
+// slots through stable handles — zero locks, zero atomics, zero shared
+// cachelines on the hot path. Cross-thread visibility happens exactly once,
+// at quiesce: after the owning thread is joined (the join is the
+// happens-before edge), the per-thread instances are Merge()d into one
+// aggregate view and exported as JSON. There are no cross-thread counters
+// anywhere, which is what the TSan lane's metrics hammer test asserts.
+//
+// Instruments:
+//   Counter(name)  -> uint64_t*   monotonic event count; Merge adds.
+//   Gauge(name)    -> double*     last-written level (resident docs, queue
+//                                 depth); Merge adds — a sharded gauge
+//                                 aggregates as the sum of per-shard levels.
+//   Histo(name)    -> Histogram*  value distribution; Merge adds buckets.
+//
+// Handles are get-or-create and stable for the registry's lifetime (slab
+// storage, no reallocation), so hot paths resolve a name once and keep the
+// pointer. Re-requesting a name returns the same slot; requesting an
+// existing name as a DIFFERENT kind is a programming error (EGW_CHECK) —
+// names are the merge key, so a kind mismatch would silently mis-merge.
+//
+// The histogram is log2-bucketed with 4 linear sub-buckets per octave
+// (values below 16 are exact): relative error is bounded at ~25% across
+// the full uint64 range while the whole state stays a fixed 2 KiB array —
+// cheap enough to Record() on hot paths and to Merge by blind addition.
+// Percentile(p) reports the upper bound of the bucket holding the p-th
+// sample (clamped to the observed max), which is the honest direction to
+// round tail latencies.
+//
+// Stats-struct migration: the legacy structs (Broker::Stats,
+// DocRegistry::Stats, DiffStats, ...) stay the thread-owned hot-path
+// storage — their fields are plain uint64_t bumps, already zero-overhead —
+// and enter the registry at export time via ExportStats(), which walks the
+// struct's VisitFields list (obs/stats.h) and adds each field into a
+// "<prefix>.<field>" counter. The structs' public accessors are therefore
+// thin views over the same numbers the registry exports.
+
+#ifndef EGWALKER_OBS_METRICS_H_
+#define EGWALKER_OBS_METRICS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "obs/stats.h"
+#include "util/assert.h"
+#include "util/json.h"
+
+namespace egwalker::obs {
+
+// Fixed-size log2 histogram with 4 linear sub-buckets per octave.
+class Histogram {
+ public:
+  // Values 0..15 get exact buckets; larger values land in bucket
+  // 16 + (octave-4)*4 + sub, where octave = floor(log2 v) and sub is the
+  // next two bits below the leading one. 16 + 60*4 buckets cover uint64.
+  static constexpr size_t kExact = 16;
+  static constexpr size_t kSubBuckets = 4;
+  static constexpr size_t kBuckets = kExact + (64 - 4) * kSubBuckets;
+
+  static size_t BucketOf(uint64_t v) {
+    if (v < kExact) {
+      return static_cast<size_t>(v);
+    }
+    int octave = 63 - __builtin_clzll(v);  // >= 4 here.
+    uint64_t sub = (v >> (octave - 2)) & (kSubBuckets - 1);
+    return kExact + static_cast<size_t>(octave - 4) * kSubBuckets +
+           static_cast<size_t>(sub);
+  }
+
+  // Largest value mapping to `bucket` (inclusive upper edge).
+  static uint64_t BucketUpper(size_t bucket) {
+    if (bucket < kExact) {
+      return bucket;
+    }
+    size_t rel = bucket - kExact;
+    int octave = static_cast<int>(rel / kSubBuckets) + 4;
+    uint64_t sub = rel % kSubBuckets;
+    // Sub-bucket width is 2^(octave-2); the bucket spans
+    // [2^octave + sub*width, 2^octave + (sub+1)*width). The top bucket's
+    // exclusive edge wraps to 0 (8 << 61), and the unsigned -1 turns that
+    // into UINT64_MAX — the correct inclusive edge.
+    return ((uint64_t(kSubBuckets) + sub + 1) << (octave - 2)) - 1;
+  }
+
+  void Record(uint64_t v) {
+    ++buckets_[BucketOf(v)];
+    ++count_;
+    sum_ += v;
+    if (v < min_ || count_ == 1) {
+      min_ = v;
+    }
+    if (v > max_) {
+      max_ = v;
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  uint64_t bucket(size_t i) const { return buckets_[i]; }
+
+  // Upper bound of the bucket holding the p-th (0 < p <= 1) sample,
+  // clamped to the observed max; 0 when empty.
+  uint64_t Percentile(double p) const {
+    if (count_ == 0) {
+      return 0;
+    }
+    // Nearest-rank: the smallest sample with at least p*count samples at or
+    // below it. Rounding the rank UP keeps tail percentiles honest — p99 of
+    // two samples is the larger one, not the smaller.
+    uint64_t rank =
+        static_cast<uint64_t>(std::ceil(p * static_cast<double>(count_)));
+    if (rank == 0) {
+      rank = 1;
+    }
+    if (rank > count_) {
+      rank = count_;
+    }
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen >= rank) {
+        uint64_t upper = BucketUpper(i);
+        return upper > max_ ? max_ : upper;
+      }
+    }
+    return max_;
+  }
+
+  void Merge(const Histogram& other) {
+    for (size_t i = 0; i < kBuckets; ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    if (other.count_ != 0) {
+      if (count_ == 0 || other.min_ < min_) {
+        min_ = other.min_;
+      }
+      if (other.max_ > max_) {
+        max_ = other.max_;
+      }
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  void Reset() { *this = Histogram{}; }
+
+  // {"count":..,"sum":..,"min":..,"max":..,"p50":..,"p95":..,"p99":..}
+  Json ToJson() const;
+
+ private:
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Get-or-create by name. The returned pointer is stable for the
+  // registry's lifetime. Requesting an existing name as a different kind
+  // EGW_CHECKs (see the file comment).
+  uint64_t* Counter(const std::string& name) {
+    return &counters_[SlotOf(name, Kind::kCounter, counters_.size())];
+  }
+  double* Gauge(const std::string& name) {
+    return &gauges_[SlotOf(name, Kind::kGauge, gauges_.size())];
+  }
+  Histogram* Histo(const std::string& name) {
+    return &histos_[SlotOf(name, Kind::kHisto, histos_.size())];
+  }
+
+  size_t size() const { return slots_.size(); }
+
+  // Field-wise sum of `other`'s instruments into this registry, creating
+  // any this one lacks. Quiesce-only when `other` is owned by a thread:
+  // the caller must hold the join happens-before edge (obs/stats.h).
+  void Merge(const MetricsRegistry& other);
+
+  // Zeroes every instrument, keeping the registrations (handles stay
+  // valid). The quiesce handover: Merge into the aggregate, Reset the
+  // per-thread instance, hand it back to a fresh epoch.
+  void Reset();
+
+  // One flat JSON object, keys sorted (deterministic): counters and gauges
+  // as numbers, histograms as summary objects (see Histogram::ToJson).
+  Json ToJson() const;
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kHisto };
+  struct Slot {
+    Kind kind;
+    size_t index;
+  };
+
+  size_t SlotOf(const std::string& name, Kind kind, size_t next_index) {
+    auto [it, inserted] = slots_.try_emplace(name, Slot{kind, next_index});
+    if (inserted) {
+      switch (kind) {
+        case Kind::kCounter: counters_.emplace_back(0); break;
+        case Kind::kGauge: gauges_.emplace_back(0.0); break;
+        case Kind::kHisto: histos_.emplace_back(); break;
+      }
+    } else {
+      // Names are the merge key; a kind mismatch would silently mis-merge.
+      EGW_CHECK(it->second.kind == kind);
+    }
+    return it->second.index;
+  }
+
+  std::map<std::string, Slot> slots_;
+  // Deques: stable addresses for handed-out instrument pointers.
+  std::deque<uint64_t> counters_;
+  std::deque<double> gauges_;
+  std::deque<Histogram> histos_;
+};
+
+// Adds every field of a VisitFields-bearing stats struct (obs/stats.h)
+// into `reg` as the counter "<prefix>.<field>". The bridge between the
+// legacy thread-owned structs and the registry's named/merged/exported
+// view — call at quiesce or snapshot time, never on the hot path.
+template <typename S>
+void ExportStats(MetricsRegistry& reg, const std::string& prefix, const S& stats) {
+  S::VisitFields([&](const char* name, auto member) {
+    *reg.Counter(prefix + "." + name) += stats.*member;
+  });
+}
+
+}  // namespace egwalker::obs
+
+#endif  // EGWALKER_OBS_METRICS_H_

@@ -1,0 +1,181 @@
+#include "obs/trace.h"
+
+#ifndef EGW_TRACE_DISABLED
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "util/json.h"
+
+namespace egwalker::obs {
+
+namespace {
+
+struct Span {
+  const char* name;
+  uint64_t ts_ns;
+  uint64_t dur_ns;
+};
+
+// Per-thread: the most recent kRingCapacity spans. reserve() + wrap-assign
+// (never resize) so untouched ring pages are never committed.
+constexpr size_t kRingCapacity = size_t{1} << 19;
+
+struct ThreadBuf {
+  std::vector<Span> ring;
+  uint64_t emitted = 0;  // Total spans; ring holds the last min(emitted, cap).
+  std::string thread_name;
+  int tid = 0;
+};
+
+struct Collector {
+  std::mutex mu;  // Guards bufs/interned; never taken on the emit path.
+  std::vector<std::unique_ptr<ThreadBuf>> bufs;
+  std::set<std::string> interned;
+  std::atomic<bool> enabled{false};
+  std::chrono::steady_clock::time_point epoch;
+};
+
+Collector& C() {
+  static Collector* collector = new Collector();  // Leaky: tls pointers outlive main.
+  return *collector;
+}
+
+thread_local ThreadBuf* tls_buf = nullptr;
+
+ThreadBuf& LocalBuf() {
+  if (tls_buf == nullptr) {
+    auto buf = std::make_unique<ThreadBuf>();
+    buf->ring.reserve(kRingCapacity);
+    Collector& c = C();
+    std::lock_guard<std::mutex> lock(c.mu);
+    buf->tid = static_cast<int>(c.bufs.size());
+    tls_buf = buf.get();
+    c.bufs.push_back(std::move(buf));
+  }
+  return *tls_buf;
+}
+
+}  // namespace
+
+bool TraceEnabled() { return C().enabled.load(std::memory_order_relaxed); }
+
+void TraceStart() {
+  Collector& c = C();
+  std::lock_guard<std::mutex> lock(c.mu);
+  for (auto& buf : c.bufs) {
+    buf->ring.clear();
+    buf->emitted = 0;
+  }
+  c.epoch = std::chrono::steady_clock::now();
+  c.enabled.store(true, std::memory_order_release);
+}
+
+void TraceStop() { C().enabled.store(false, std::memory_order_release); }
+
+uint64_t TraceNowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - C().epoch)
+                                   .count());
+}
+
+void TraceEmit(const char* name, uint64_t ts_ns, uint64_t dur_ns) {
+  if (!TraceEnabled()) {
+    return;  // Session ended while the span was open.
+  }
+  ThreadBuf& buf = LocalBuf();
+  Span span{name, ts_ns, dur_ns};
+  if (buf.ring.size() < kRingCapacity) {
+    buf.ring.push_back(span);
+  } else {
+    buf.ring[buf.emitted % kRingCapacity] = span;  // Overwrite the oldest.
+  }
+  ++buf.emitted;
+}
+
+void TraceSetThreadName(const std::string& name) {
+  if (!TraceEnabled()) {
+    return;
+  }
+  LocalBuf().thread_name = name;
+}
+
+const char* TraceInternName(const std::string& name) {
+  Collector& c = C();
+  std::lock_guard<std::mutex> lock(c.mu);
+  return c.interned.insert(name).first->c_str();
+}
+
+std::string TraceChromeJson() {
+  Collector& c = C();
+  std::lock_guard<std::mutex> lock(c.mu);
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"traceEvents\": [";
+  char num[64];
+  bool first = true;
+  uint64_t dropped = 0;
+  for (const auto& buf : c.bufs) {
+    if (!buf->thread_name.empty()) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += "\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": ";
+      std::snprintf(num, sizeof(num), "%d", buf->tid);
+      out += num;
+      out += ", \"args\": {\"name\": " + JsonEscape(buf->thread_name) + "}}";
+    }
+    if (buf->emitted > buf->ring.size()) {
+      dropped += buf->emitted - buf->ring.size();
+    }
+    // Oldest-first even after the ring wrapped.
+    size_t n = buf->ring.size();
+    size_t start = buf->emitted > n ? buf->emitted % kRingCapacity : 0;
+    for (size_t i = 0; i < n; ++i) {
+      const Span& span = buf->ring[(start + i) % n];
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += "\n{\"name\": ";
+      out += JsonEscape(span.name);
+      out += ", \"cat\": \"egw\", \"ph\": \"X\", \"ts\": ";
+      std::snprintf(num, sizeof(num), "%.3f", static_cast<double>(span.ts_ns) / 1000.0);
+      out += num;
+      out += ", \"dur\": ";
+      std::snprintf(num, sizeof(num), "%.3f", static_cast<double>(span.dur_ns) / 1000.0);
+      out += num;
+      out += ", \"pid\": 0, \"tid\": ";
+      std::snprintf(num, sizeof(num), "%d", buf->tid);
+      out += num;
+      out += "}";
+    }
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {\"dropped_events\": ";
+  std::snprintf(num, sizeof(num), "%llu", static_cast<unsigned long long>(dropped));
+  out += num;
+  out += "}}\n";
+  return out;
+}
+
+bool TraceWriteChrome(const std::string& path) {
+  std::string text = TraceChromeJson();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::perror(path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace egwalker::obs
+
+#endif  // EGW_TRACE_DISABLED

@@ -1,0 +1,125 @@
+// Tick-phase tracing: scoped spans into per-thread ring buffers, flushed
+// as Chrome trace_event JSON.
+//
+//   EGW_TRACE_SPAN("shard.apply_patch");   // RAII: start..scope-exit
+//
+// opens a span on the calling thread. Spans cost one relaxed atomic load
+// when tracing is idle and two steady_clock reads plus a ring-buffer store
+// when a session is live — cheap enough to leave in the per-message server
+// paths permanently. A whole bench_server run (router barrier, per-shard
+// apply/encode/flush, rebalance drain/adopt, walker merges) then opens in
+// chrome://tracing or https://ui.perfetto.dev as one timeline per thread.
+//
+// Threading model (same ownership discipline as server/shard.h): each
+// thread writes ONLY its own lazily-registered ring buffer through a
+// thread_local pointer — no locks, no shared mutable state on the emit
+// path. The global collector's buffer list is mutex-guarded, but the mutex
+// is taken only on first emit per thread (registration) and at flush.
+// TraceStart/TraceStop/TraceWriteChrome must run while no instrumented
+// worker thread is live (start before Shard::Start, flush after
+// Shard::Stop's join) — the join is the happens-before edge that makes the
+// unsynchronized buffer reads sound, exactly like the stats contract.
+//
+// Ring semantics: each thread keeps the most recent kRingCapacity spans;
+// older ones are overwritten (the per-thread drop count is reported in the
+// JSON's otherData so truncation is never silent). Span names must be
+// string literals (static storage): the buffer stores the pointer. For
+// the rare dynamic label (bench row names) TraceInternName leaks one copy
+// per distinct string into a global intern table.
+//
+// Compile-time kill switch: configuring with -DEGW_TRACE=OFF defines
+// EGW_TRACE_DISABLED, which turns EGW_TRACE_SPAN into nothing and the API
+// below into inline no-ops — zero code, zero branches in release servers
+// that do not want the instrumentation. (The CI clang lane builds this
+// configuration to keep it compiling.)
+
+#ifndef EGWALKER_OBS_TRACE_H_
+#define EGWALKER_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace egwalker::obs {
+
+#ifndef EGW_TRACE_DISABLED
+
+// True while a trace session is live (TraceStart..TraceStop).
+bool TraceEnabled();
+
+// Begins a session: clears every registered ring buffer and re-anchors the
+// epoch. Call while instrumented threads are quiescent.
+void TraceStart();
+
+// Ends the session; spans emitted after this are dropped. The buffers keep
+// their contents for TraceChromeJson/TraceWriteChrome.
+void TraceStop();
+
+// Serializes every buffered span as a Chrome trace_event JSON document
+// ({"traceEvents": [...], ...}). Call after the producer threads joined.
+std::string TraceChromeJson();
+
+// TraceChromeJson to a file; false (with a perror) if the file cannot be
+// written.
+bool TraceWriteChrome(const std::string& path);
+
+// Names the calling thread's timeline ("shard-2", "router"); emitted as a
+// thread_name metadata event.
+void TraceSetThreadName(const std::string& name);
+
+// Interns `name` (leaking one copy per distinct string) so dynamic labels
+// can be used where a span wants static storage.
+const char* TraceInternName(const std::string& name);
+
+// Nanoseconds since the session epoch (0 when idle). Internal to TraceSpan
+// but exposed for tests.
+uint64_t TraceNowNs();
+
+// Appends one complete span to the calling thread's ring. Prefer
+// EGW_TRACE_SPAN; this is the escape hatch for non-scope-shaped phases.
+void TraceEmit(const char* name, uint64_t ts_ns, uint64_t dur_ns);
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TraceEnabled()) {
+      name_ = name;
+      start_ = TraceNowNs();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      TraceEmit(name_, start_, TraceNowNs() - start_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_ = 0;
+};
+
+#define EGW_TRACE_CONCAT_(a, b) a##b
+#define EGW_TRACE_CONCAT(a, b) EGW_TRACE_CONCAT_(a, b)
+#define EGW_TRACE_SPAN(name) \
+  ::egwalker::obs::TraceSpan EGW_TRACE_CONCAT(egw_trace_span_, __LINE__)(name)
+
+#else  // EGW_TRACE_DISABLED
+
+inline bool TraceEnabled() { return false; }
+inline void TraceStart() {}
+inline void TraceStop() {}
+inline std::string TraceChromeJson() { return "{\"traceEvents\": []}\n"; }
+inline bool TraceWriteChrome(const std::string&) { return false; }
+inline void TraceSetThreadName(const std::string&) {}
+inline const char* TraceInternName(const std::string&) { return ""; }
+inline uint64_t TraceNowNs() { return 0; }
+inline void TraceEmit(const char*, uint64_t, uint64_t) {}
+
+#define EGW_TRACE_SPAN(name) ((void)0)
+
+#endif  // EGW_TRACE_DISABLED
+
+}  // namespace egwalker::obs
+
+#endif  // EGWALKER_OBS_TRACE_H_

@@ -4,25 +4,10 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/assert.h"
 
 namespace egwalker {
-
-void Broker::Stats::Merge(const Stats& other) {
-  sync_requests += other.sync_requests;
-  patches_in += other.patches_in;
-  patches_applied += other.patches_applied;
-  patches_rejected += other.patches_rejected;
-  broadcasts += other.broadcasts;
-  broadcast_rounds += other.broadcast_rounds;
-  patch_encodes += other.patch_encodes;
-  patch_encodes_shared += other.patch_encodes_shared;
-  patch_encodes_reused += other.patch_encodes_reused;
-  patch_events_scanned += other.patch_events_scanned;
-  patch_events_encoded += other.patch_events_encoded;
-  leaves += other.leaves;
-  expired += other.expired;
-}
 
 Broker::Broker(DocRegistry& registry, const Config& config)
     : registry_(registry), config_(config) {}
@@ -59,6 +44,7 @@ void Broker::Handle(MessageSink& sink, int from, const Message& msg) {
 }
 
 void Broker::HandleSyncRequest(MessageSink& sink, int from, const Message& msg) {
+  EGW_TRACE_SPAN("broker.sync_request");
   ++stats_.sync_requests;
   auto theirs = DecodeSummary(msg.summary);
   if (!theirs) {
@@ -94,6 +80,7 @@ void Broker::HandleSyncRequest(MessageSink& sink, int from, const Message& msg) 
 }
 
 void Broker::HandlePatch(MessageSink& sink, int from, const Message& msg) {
+  EGW_TRACE_SPAN("broker.apply_patch");
   ++stats_.patches_in;
   // A patch may arrive without a session (the client left and the patch
   // was still in flight, possibly reordered after its kLeave). The events
@@ -143,8 +130,9 @@ void Broker::OnTick(NetSim& net, int self) {
 
 void Broker::FlushBroadcasts(MessageSink& sink) {
   if (pending_broadcasts_.empty()) {
-    return;
+    return;  // Span only when there is work: idle ticks stay off the trace.
   }
+  EGW_TRACE_SPAN("broker.flush");
   // Swap out first: Broadcast sends nothing that could re-mark a document
   // within this flush, but keep the loop reentrancy-proof anyway.
   std::set<std::string> pending;
@@ -191,6 +179,7 @@ const std::string& Broker::CachedPatch(Doc& doc, const std::string& doc_name,
   const Lv end = doc.end_lv();
   std::vector<CachedEncode>& entries = patch_cache_[doc_name];
   auto encode_into = [&](CachedEncode& entry) -> const std::string& {
+    EGW_TRACE_SPAN("broker.encode_patch");
     MakePatchStats patch_stats;
     entry.patch = MakePatch(doc, summary, &patch_stats);
     entry.summary = summary;

@@ -90,6 +90,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/stats.h"
 #include "server/netsim.h"
 #include "server/protocol.h"
 #include "server/registry.h"
@@ -128,11 +129,30 @@ class Broker : public Endpoint {
     uint64_t leaves = 0;
     uint64_t expired = 0;  // Sessions swept by the idle timeout.
 
-    // Folds another broker's counters in. Each shard's broker owns its
-    // stats outright — no cross-thread counters, by design — so a sharded
-    // deployment's aggregate view is built by merging per-shard copies
-    // after the workers have quiesced (Router::AggregateBrokerStats).
-    void Merge(const Stats& other);
+    template <typename Fn>
+    static void VisitFields(Fn&& fn) {
+      fn("sync_requests", &Stats::sync_requests);
+      fn("patches_in", &Stats::patches_in);
+      fn("patches_applied", &Stats::patches_applied);
+      fn("patches_rejected", &Stats::patches_rejected);
+      fn("broadcasts", &Stats::broadcasts);
+      fn("broadcast_rounds", &Stats::broadcast_rounds);
+      fn("patch_encodes", &Stats::patch_encodes);
+      fn("patch_encodes_shared", &Stats::patch_encodes_shared);
+      fn("patch_encodes_reused", &Stats::patch_encodes_reused);
+      fn("patch_events_scanned", &Stats::patch_events_scanned);
+      fn("patch_events_encoded", &Stats::patch_events_encoded);
+      fn("leaves", &Stats::leaves);
+      fn("expired", &Stats::expired);
+    }
+
+    // Folds another broker's counters in (obs/stats.h contract). Each
+    // shard's broker owns its stats outright — no cross-thread counters,
+    // by design — so a sharded deployment's aggregate view is built by
+    // merging per-shard copies after the workers have quiesced
+    // (Router::AggregateBrokerStats).
+    void Merge(const Stats& other) { obs::MergeStats(*this, other); }
+    void Reset() { obs::ResetStats(*this); }
   };
 
   // Best estimate of one subscribed client's state. Public because shard

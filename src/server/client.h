@@ -31,6 +31,7 @@
 #include <string_view>
 
 #include "core/doc.h"
+#include "obs/stats.h"
 #include "server/netsim.h"
 #include "server/protocol.h"
 
@@ -42,6 +43,16 @@ class CollabClient : public Endpoint {
     uint64_t patches_applied = 0;
     uint64_t patches_rejected = 0;  // Premature; repaired via sync request.
     uint64_t events_received = 0;
+
+    template <typename Fn>
+    static void VisitFields(Fn&& fn) {
+      fn("patches_applied", &Stats::patches_applied);
+      fn("patches_rejected", &Stats::patches_rejected);
+      fn("events_received", &Stats::events_received);
+    }
+    // obs/stats.h contract: field-wise sum / back to value-initialized.
+    void Merge(const Stats& other) { obs::MergeStats(*this, other); }
+    void Reset() { obs::ResetStats(*this); }
   };
 
   explicit CollabClient(std::string agent_name);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/assert.h"
 
 namespace egwalker {
@@ -79,6 +80,7 @@ void NetSim::Send(int from, int to, Message msg) {
 }
 
 uint64_t NetSim::Tick() {
+  EGW_TRACE_SPAN("net.tick");
   ++now_;
   // Snapshot the due messages, then deliver: handlers may Send(), and the
   // one-tick minimum latency guarantees those new flights are not yet due.

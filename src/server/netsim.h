@@ -25,6 +25,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/stats.h"
 #include "server/protocol.h"
 #include "util/prng.h"
 
@@ -74,6 +75,17 @@ class NetSim {
     uint64_t delivered = 0;
     uint64_t dropped = 0;
     uint64_t duplicated = 0;
+
+    template <typename Fn>
+    static void VisitFields(Fn&& fn) {
+      fn("sent", &Stats::sent);
+      fn("delivered", &Stats::delivered);
+      fn("dropped", &Stats::dropped);
+      fn("duplicated", &Stats::duplicated);
+    }
+    // obs/stats.h contract: field-wise sum / back to value-initialized.
+    void Merge(const Stats& other) { obs::MergeStats(*this, other); }
+    void Reset() { obs::ResetStats(*this); }
   };
 
   explicit NetSim(const NetSimConfig& config = {});

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/assert.h"
 
 namespace egwalker {
@@ -53,6 +54,7 @@ Doc& DocRegistry::Open(const std::string& name) {
   Doc doc(config_.agent);
   Lv checkpoint_lv = 0;
   if (const std::vector<std::string>* chain = storage_.Chain(name)) {
+    EGW_TRACE_SPAN("registry.load");
     std::string error;
     auto loaded = Doc::LoadChain(*chain, config_.agent, &error);
     // Chains are written by this registry; a decode failure is corruption.
@@ -112,7 +114,9 @@ bool DocRegistry::FlushEntry(const std::string& name, Entry& entry, bool retirin
   const bool compact = config_.compact_above_segments != 0 &&
                        chain_len + 1 >= config_.compact_above_segments;
   auto write = [&](const SaveOptions& incremental_opts) {
+    EGW_TRACE_SPAN("registry.flush");
     if (compact) {
+      EGW_TRACE_SPAN("registry.compact");
       // The consolidated segment replaces the whole chain, so it keeps the
       // configured cached-doc behaviour and carries the session iff this
       // flush is retiring.

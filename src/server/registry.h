@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "core/doc.h"
+#include "obs/stats.h"
 
 namespace egwalker {
 
@@ -125,6 +126,23 @@ class DocRegistry {
     uint64_t replayed_retired = 0;  // Doc::replayed_events() accumulated
                                     // from evicted docs (see
                                     // TotalReplayedEvents).
+
+    template <typename Fn>
+    static void VisitFields(Fn&& fn) {
+      fn("opens", &Stats::opens);
+      fn("hits", &Stats::hits);
+      fn("loads", &Stats::loads);
+      fn("creates", &Stats::creates);
+      fn("flushes", &Stats::flushes);
+      fn("compactions", &Stats::compactions);
+      fn("evictions", &Stats::evictions);
+      fn("replayed_on_load", &Stats::replayed_on_load);
+      fn("session_resumes", &Stats::session_resumes);
+      fn("replayed_retired", &Stats::replayed_retired);
+    }
+    // obs/stats.h contract: field-wise sum / back to value-initialized.
+    void Merge(const Stats& other) { obs::MergeStats(*this, other); }
+    void Reset() { obs::ResetStats(*this); }
   };
 
   explicit DocRegistry(SegmentStorage& storage, const Config& config = {});

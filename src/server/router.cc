@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/assert.h"
 
 namespace egwalker {
@@ -10,7 +11,9 @@ Router::Router(const Config& config) : config_(config) {
   EGW_CHECK(config_.shards >= 1);
   shards_.reserve(static_cast<size_t>(config_.shards));
   for (int i = 0; i < config_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(config_.shard));
+    ShardConfig shard_config = config_.shard;
+    shard_config.name = "shard-" + std::to_string(i);
+    shards_.push_back(std::make_unique<Shard>(shard_config));
   }
 }
 
@@ -65,6 +68,7 @@ void Router::OnMessage(NetSim& net, int from, int self, const Message& msg) {
 }
 
 void Router::OnTick(NetSim& net, int self) {
+  EGW_TRACE_SPAN("router.barrier");
   EGW_CHECK(self == endpoint_id_);
   in_tick_ = true;
   // Fan the barrier out first so every shard drains its inbox and flushes
@@ -88,6 +92,7 @@ void Router::OnTick(NetSim& net, int self) {
 }
 
 void Router::Rebalance(const std::string& doc, int to) {
+  EGW_TRACE_SPAN("router.rebalance");
   EGW_CHECK(!in_tick_);  // Queues are only provably quiet between ticks.
   EGW_CHECK(to >= 0 && to < shard_count());
   int from = ShardOf(doc);
@@ -144,6 +149,28 @@ size_t Router::TotalSessions() {
     out += shard->broker().session_count();
   }
   return out;
+}
+
+uint64_t Router::TotalBlockedPushes() const {
+  uint64_t out = 0;
+  for (const auto& shard : shards_) {
+    out += shard->inbox_blocked_pushes();
+  }
+  return out;
+}
+
+void Router::ExportMetrics(obs::MetricsRegistry& reg) {
+  for (int i = 0; i < shard_count(); ++i) {
+    Shard& s = shard(i);  // EGW_CHECKs quiesce.
+    obs::ExportStats(reg, "broker", s.broker().stats());
+    obs::ExportStats(reg, "registry", s.registry().stats());
+    *reg.Counter("shard." + std::to_string(i) + ".inbox_blocked_pushes") +=
+        s.inbox_blocked_pushes();
+  }
+  *reg.Counter("router.rebalances") += rebalances_;
+  *reg.Counter("server.blocked_pushes") += TotalBlockedPushes();
+  *reg.Counter("server.sessions") += TotalSessions();
+  *reg.Counter("server.replayed_events") += TotalReplayedEvents();
 }
 
 }  // namespace egwalker

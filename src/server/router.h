@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "server/netsim.h"
 #include "server/shard.h"
 
@@ -85,6 +86,14 @@ class Router : public Endpoint {
   // asserts parity of this between 1-shard and N-shard universes.
   uint64_t TotalReplayedEvents();
   size_t TotalSessions();
+  // Summed Post()s that blocked on a full shard inbox (backpressure).
+  // Safe from any thread (the counters live behind the queue mutexes).
+  uint64_t TotalBlockedPushes() const;
+  // Quiesce-only: adds the whole deployment's view into `reg` — the
+  // aggregate broker/registry stats as "broker.*"/"registry.*" counters,
+  // per-shard "shard.<i>.inbox_blocked_pushes", and the router's own
+  // totals ("router.rebalances", "server.sessions", ...).
+  void ExportMetrics(obs::MetricsRegistry& reg);
 
   // Stable FNV-1a 64 over the name; exposed so tests can pin golden values
   // (the hash is part of the deployment contract — changing it reshuffles

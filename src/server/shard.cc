@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/assert.h"
 
 namespace egwalker {
@@ -86,14 +87,18 @@ Broker& Shard::broker() {
 }
 
 void Shard::Run() {
+  obs::TraceSetThreadName(config_.name);
   BufferSink sink;
   while (auto req = inbox_.Pop()) {
     switch (req->kind) {
-      case ShardRequest::Kind::kClient:
+      case ShardRequest::Kind::kClient: {
+        EGW_TRACE_SPAN("shard.client");
         sink.set_now(req->now);
         broker_.Handle(sink, req->from, req->msg);
         break;
+      }
       case ShardRequest::Kind::kTick: {
+        EGW_TRACE_SPAN("shard.tick_flush");
         sink.set_now(req->now);
         broker_.FlushBroadcasts(sink);
         ShardReply reply;
@@ -102,6 +107,7 @@ void Shard::Run() {
         break;
       }
       case ShardRequest::Kind::kDrain: {
+        EGW_TRACE_SPAN("shard.drain");
         ShardReply reply;
         // Retiring flush: the segment carries the live walker session, so
         // the adopting shard's first Open resumes instead of replaying.
@@ -117,13 +123,15 @@ void Shard::Run() {
         replies_.Push(std::move(reply));
         break;
       }
-      case ShardRequest::Kind::kAdopt:
+      case ShardRequest::Kind::kAdopt: {
+        EGW_TRACE_SPAN("shard.adopt");
         if (!req->chain.empty()) {
           storage_.Replace(req->doc, std::move(req->chain));
         }
         broker_.AdoptDoc(req->doc, std::move(req->handoff));
         replies_.Push(ShardReply{});  // Bare ack.
         break;
+      }
     }
   }
 }

@@ -99,6 +99,9 @@ struct ShardConfig {
   // shard before backpressure blocks the event loop. Small values force the
   // backpressure path (the TSan stress test does this on purpose).
   size_t queue_capacity = 256;
+  // Worker-thread label for the trace timeline (obs/trace.h). The router
+  // stamps "shard-<i>" here; standalone shards keep the default.
+  std::string name = "shard";
 };
 
 // One unit of work posted to a shard's inbox.

@@ -73,6 +73,10 @@ SERVER_PHASES = ("server soak",)
 # queue overhead under the ordinary regression threshold.
 SERVER_SCALING = ("4x32w",)
 
+# Convergence-latency rows below this many converged edits are too small a
+# sample for a stable p99.
+CONVERGENCE_MIN_COUNT = 20
+
 
 def load_fig8_rows(path, section=None):
     """Returns {(trace, algorithm): mean_ms} from a bench --json file, or from
@@ -178,6 +182,41 @@ def check_server_scaling(full_rows, min_speedup):
     return failures
 
 
+def check_convergence(baseline_full, measured_full, max_regress):
+    """Gates the convergence-latency p99 annotations on the soak rows.
+
+    Convergence latency is measured in deterministic simulated NetSim ticks
+    (fixed seeds), so unlike wall clock it is directly comparable across
+    machines: the same code produces the same tick counts everywhere. A p99
+    regression here means the protocol or broadcast topology got slower at
+    propagating edits, not that the runner machine was busy — hence a plain
+    per-row ratio against the committed baseline, no median normalisation."""
+    failures = 0
+    checked = 0
+    for key in sorted(set(baseline_full) & set(measured_full)):
+        base_row, meas_row = baseline_full[key], measured_full[key]
+        if "convergence_p99" not in base_row or "convergence_p99" not in meas_row:
+            continue
+        count = min(int(base_row.get("convergence_count", 0)),
+                    int(meas_row.get("convergence_count", 0)))
+        if count < CONVERGENCE_MIN_COUNT:
+            continue
+        checked += 1
+        base = float(base_row["convergence_p99"])
+        meas = float(meas_row["convergence_p99"])
+        limit = base * (1.0 + max_regress)
+        flag = "ok" if meas <= limit or base <= 0 else "FAIL"
+        if flag == "FAIL":
+            failures += 1
+        label = " | ".join(key)
+        print(f"[convergence] {flag:4} {label:<50} p99 base {base:>6.0f} ticks"
+              f"  meas {meas:>6.0f} ticks  (limit {limit:.0f})")
+    if checked == 0:
+        print("[convergence] no rows with convergence_p99 annotations in both "
+              "baseline and measurement - skipping gate")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -206,6 +245,10 @@ def main():
     ap.add_argument("--server-scaling-min", type=float, default=2.0,
                     help="minimum s1/s4 replay speedup for the SERVER_SCALING "
                          "scenarios (checked only on >= 4-thread machines)")
+    ap.add_argument("--convergence-threshold", type=float, default=0.50,
+                    help="maximum tolerated convergence-latency p99 regression "
+                         "in simulated ticks (0.50 = 50%%; machine-independent, "
+                         "so no median normalisation)")
     ap.add_argument("--min-ms", type=float, default=DEFAULT_MIN_MS,
                     help="ignore fig8 rows faster than this (noise floor)")
     args = ap.parse_args()
@@ -241,6 +284,10 @@ def main():
         failures += check_group("server", baseline, measured, args.server_threshold,
                                 args.min_ms)
         failures += check_server_scaling(full, args.server_scaling_min)
+        baseline_full = load_full_rows(args.server_baseline,
+                                       section=args.server_section)
+        failures += check_convergence(baseline_full, full,
+                                      args.convergence_threshold)
 
     if failures:
         print(f"\nbench gate: {failures} row(s) regressed beyond "

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Per-phase breakdown of a Chrome trace_event file written by obs/trace.h.
+
+Usage:
+  python3 tools/summarize_trace.py out.json [--min-coverage=0.9]
+
+Prints, per span name: count, total time, and SELF time (total minus the
+time spent in spans nested inside it on the same thread) — self time is what
+actually attributes wall clock to a phase, since e.g. every shard.client
+span contains the broker.apply_patch span that contains walker merges.
+
+Coverage: when the trace contains bench.replay spans (bench_server's timed
+recorded-load replay), the script reports how much of that wall clock is
+accounted for by nested phase spans (1 - self/dur). --min-coverage=<f>
+turns that into an exit code, which is how CI asserts the instrumentation
+stays honest: if someone adds a costly phase without a span, coverage drops
+and the gate trips.
+
+Exit codes: 0 ok, 1 coverage below --min-coverage, 2 bad input.
+"""
+
+import json
+import sys
+
+
+def load_events(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print(f"error: {path} has no traceEvents array", file=sys.stderr)
+        sys.exit(2)
+    dropped = 0
+    other = doc.get("otherData")
+    if isinstance(other, dict):
+        dropped = int(other.get("dropped_events", 0))
+    return events, dropped
+
+
+def self_times(events):
+    """Returns {name: [count, total_us, self_us]} and the thread-name map.
+
+    Self time is computed per thread with an interval-nesting sweep: spans
+    sorted by (start, -dur); a stack tracks the enclosing spans, and each
+    span's duration is subtracted from its immediate parent's self time.
+    """
+    by_tid = {}
+    thread_names = {}
+    for e in events:
+        if e.get("ph") == "M":
+            if e.get("name") == "thread_name":
+                thread_names[e.get("tid")] = e.get("args", {}).get("name", "?")
+            continue
+        if e.get("ph") != "X":
+            continue
+        by_tid.setdefault(e.get("tid"), []).append(e)
+
+    stats = {}  # name -> [count, total_us, self_us]
+    for spans in by_tid.values():
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []  # (end_ts, name) of enclosing spans
+        for e in spans:
+            ts, dur, name = e["ts"], e["dur"], e["name"]
+            while stack and stack[-1][0] <= ts:
+                stack.pop()
+            row = stats.setdefault(name, [0, 0.0, 0.0])
+            row[0] += 1
+            row[1] += dur
+            row[2] += dur
+            if stack:
+                parent = stats[stack[-1][1]]
+                parent[2] -= dur
+            stack.append((ts + dur, name))
+    return stats, thread_names
+
+
+def fmt_ms(us):
+    return f"{us / 1000.0:10.2f}"
+
+
+def main(argv):
+    path = None
+    min_coverage = None
+    for arg in argv[1:]:
+        if arg.startswith("--min-coverage="):
+            min_coverage = float(arg.split("=", 1)[1])
+        elif path is None:
+            path = arg
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
+    if path is None:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    events, dropped = load_events(path)
+    stats, thread_names = self_times(events)
+    if not stats:
+        print(f"{path}: no complete (ph=X) spans")
+        return 0
+
+    wall_us = sum(row[2] for row in stats.values())  # Self times sum to wall.
+    print(f"{path}: {sum(r[0] for r in stats.values())} spans on "
+          f"{max(1, len(thread_names))} named threads"
+          + (f"  [WARNING: {dropped} spans dropped by ring wrap]" if dropped else ""))
+    print(f"{'phase':<24} {'count':>8} {'total ms':>10} {'self ms':>10} {'self %':>7}")
+    for name, (count, total, self_us) in sorted(stats.items(), key=lambda kv: -kv[1][2]):
+        pct = 100.0 * self_us / wall_us if wall_us > 0 else 0.0
+        print(f"{name:<24} {count:>8} {fmt_ms(total)} {fmt_ms(self_us)} {pct:>6.1f}%")
+
+    status = 0
+    replay = stats.get("bench.replay")
+    if replay is not None and replay[1] > 0:
+        count, total, self_us = replay
+        coverage = 1.0 - self_us / total
+        print(f"\nbench.replay coverage: {100.0 * coverage:.1f}% of "
+              f"{total / 1000.0:.2f} ms timed replay is inside phase spans")
+        if min_coverage is not None and coverage < min_coverage:
+            print(f"FAIL: coverage {coverage:.3f} < required {min_coverage:.3f}",
+                  file=sys.stderr)
+            status = 1
+    elif min_coverage is not None:
+        print("note: no bench.replay spans; coverage gate skipped "
+              "(trace is not from a sharded bench_server run)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
