@@ -26,8 +26,13 @@ constexpr PaperFig11 kPaper[] = {
 int Run(int argc, char** argv) {
   Options opts = ParseArgs(argc, argv);
   PrintHeader("Figure 11: full-history file sizes (uncompressed)", opts);
-  std::printf("%-4s | %12s %12s %12s %12s | %s\n", "", "lower bound", "event graph",
-              "+cached doc", "automerge~", "paper eg/cached/am (KiB @1.0)");
+  JsonReport report("fig11_filesize", opts);
+  auto add_row = [&](const char* trace, const char* algorithm, uint64_t bytes) {
+    report.Add(trace, algorithm, 0.0);
+    report.Annotate("bytes", Json(static_cast<double>(bytes)));
+  };
+  std::printf("%-4s | %12s %12s %12s %12s %12s %12s | %s\n", "", "lower bound", "event graph",
+              "+cached doc", "automerge~", "v2 raw", "v2 lzhuf", "paper eg/cached/am (KiB @1.0)");
   for (const PaperFig11& paper : kPaper) {
     bool selected = false;
     for (const std::string& t : opts.traces) {
@@ -43,12 +48,29 @@ int Run(int argc, char** argv) {
     cached.cache_final_doc = true;
     uint64_t with_doc = EncodeTrace(bt.trace, cached, bt.final_text).size();
     uint64_t automerge = AutomergeLikeSize(bt.trace.graph, bt.trace.ops);
-    std::printf("%-4s | %12s %12s %12s %12s | %.0f / %.0f / %.0f\n", paper.name,
+    // The at-rest store configuration (what DocRegistry checkpoints write):
+    // v2 container with a cached final doc, measured raw and with
+    // per-column compression — the pair the size gate holds to >= 2x.
+    SaveOptions v2_raw_opts = cached;
+    v2_raw_opts.format_version = 2;
+    v2_raw_opts.compress_columns = false;
+    uint64_t v2_raw = EncodeTrace(bt.trace, v2_raw_opts, bt.final_text).size();
+    SaveOptions v2_z_opts = v2_raw_opts;
+    v2_z_opts.compress_columns = true;
+    uint64_t v2_z = EncodeTrace(bt.trace, v2_z_opts, bt.final_text).size();
+    std::printf("%-4s | %12s %12s %12s %12s %12s %12s | %.0f / %.0f / %.0f\n", paper.name,
                 FmtBytes(static_cast<double>(lower_bound)).c_str(),
                 FmtBytes(static_cast<double>(plain)).c_str(),
                 FmtBytes(static_cast<double>(with_doc)).c_str(),
-                FmtBytes(static_cast<double>(automerge)).c_str(), paper.eg_kib,
+                FmtBytes(static_cast<double>(automerge)).c_str(),
+                FmtBytes(static_cast<double>(v2_raw)).c_str(),
+                FmtBytes(static_cast<double>(v2_z)).c_str(), paper.eg_kib,
                 paper.eg_cached_kib, paper.automerge_kib);
+    add_row(paper.name, "event graph", plain);
+    add_row(paper.name, "event graph + cached doc", with_doc);
+    add_row(paper.name, "automerge-like", automerge);
+    add_row(paper.name, "v2 raw", v2_raw);
+    add_row(paper.name, "v2 compressed", v2_z);
   }
   return 0;
 }

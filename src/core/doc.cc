@@ -83,6 +83,7 @@ void Doc::Delete(uint64_t pos, uint64_t count) {
 }
 
 std::string Doc::TextAt(const Frontier& version) const {
+  EnsureOpsFor(0);  // Replays from scratch: every op is read.
   Walker walker(trace_.graph, trace_.ops);
   Rope tmp;
   walker.ReplayRange(tmp, Frontier{}, version);
@@ -118,6 +119,7 @@ uint64_t Doc::MergeFrom(const Doc& other) {
   // Express the other replica's whole history as remote chunks; the apply
   // path skips everything already known. (Real deployments exchange deltas
   // via src/sync instead of whole histories.)
+  other.EnsureOpsFor(0);  // The chunk scan reads the other's whole op log.
   const Graph& og = other.trace_.graph;
   const OpLog& oops = other.trace_.ops;
   std::vector<RemoteChunk> chunks;
@@ -292,6 +294,13 @@ std::optional<uint64_t> Doc::ApplyRemoteChunks(const std::vector<RemoteChunk>& c
   bool continue_session = merge_sessions_ && session != nullptr && session->has_session() &&
                           (session->session_base().empty() ||
                            (base != kInvalidLv && base >= session->session_base()[0]));
+  // A lazy chain load may have left a cold ops prefix; materialise the part
+  // the upcoming replay can read. Every event at or below a critical `base`
+  // is an ancestor of every new chunk's parent frontier, so the walker never
+  // retreats/advances (or applies) it — ops reads stay strictly above base
+  // on both the continued-session and fresh-rebuild paths. No base means no
+  // bound: hydrate everything.
+  EnsureOpsFor(base != kInvalidLv ? base + 1 : 0);
   if (continue_session) {
     Lv resume_from = session->session_seen_end();
     session->ContinueMerge(rope_, first_new, sinks);
@@ -351,6 +360,7 @@ std::optional<uint64_t> Doc::ApplyRemoteChunks(const std::vector<RemoteChunk>& c
 }
 
 std::string Doc::Save(const SaveOptions& options) const {
+  EnsureOpsFor(0);  // The full format always encodes every op.
   std::vector<LvSpan> surviving;
   const std::vector<LvSpan>* surviving_ptr = nullptr;
   if (!options.include_deleted_content) {
@@ -391,6 +401,10 @@ std::optional<Doc> Doc::Load(std::string_view bytes, std::string_view agent_name
 }
 
 std::string Doc::SaveSegment(Lv base_lv, const SaveOptions& options) const {
+  // Encodes ops for [base_lv, end): a checkpoint at the cold boundary (the
+  // registry's steady-state flush) stays hydration-free; compaction from 0
+  // re-materialises the whole log first.
+  EnsureOpsFor(base_lv);
   std::string final_doc;
   if (options.cache_final_doc) {
     final_doc = rope_.ToString();
@@ -417,25 +431,82 @@ std::string Doc::SaveSegment(Lv base_lv, const SaveOptions& options) const {
 }
 
 std::optional<Doc> Doc::LoadChain(const std::vector<std::string>& segments,
-                                  std::string_view agent_name, std::string* error) {
+                                  std::string_view agent_name, std::string* error,
+                                  const ChainLoadOptions& chain_options) {
   auto fail = [&](const char* msg) -> std::optional<Doc> {
     if (error != nullptr && error->empty()) {
       *error = msg;
     }
     return std::nullopt;
   };
+  auto fail_at = [&](size_t index, const char* msg) -> std::optional<Doc> {
+    if (error != nullptr) {
+      std::string detail = msg != nullptr
+                               ? std::string(msg)
+                               : (error->empty() ? std::string("segment decode failed") : *error);
+      *error = "segment " + std::to_string(index) + "/" + std::to_string(segments.size()) +
+               ": " + detail;
+    }
+    return std::nullopt;
+  };
   if (segments.empty()) {
     return fail("empty checkpoint chain");
   }
+
+  // Header pre-pass: every segment must peek clean before anything is
+  // decoded (a corrupt middle segment fails the whole load up front; no
+  // partial prefix ever escapes), and the lazy-skip prefix is decided.
+  // Skipping a segment's ops/content is sound only when the chain's end
+  // state never reads them — it ends on an *effective* cached document
+  // (an event-carrying segment without its own cached doc invalidates
+  // earlier ones, mirroring DecodeSegmentInto's rule) — and only over a
+  // contiguous prefix of v2 segments: a v1 segment has no directory to
+  // skip over, so it and everything after it decode eagerly.
+  bool effective_cached = false;
+  size_t v2_prefix = 0;
+  bool v2_prefix_open = true;
+  Lv cold_end = 0;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    auto info = PeekSegment(segments[i]);
+    if (!info) {
+      return fail_at(i, "corrupt segment header");
+    }
+    if (info->has_cached_doc) {
+      effective_cached = true;
+    } else if (info->event_count > 0) {
+      effective_cached = false;
+    }
+    if (v2_prefix_open && info->format_version >= 2) {
+      v2_prefix = i + 1;
+      cold_end = info->base_lv + info->event_count;
+    } else {
+      v2_prefix_open = false;
+    }
+  }
+  const size_t skip_count =
+      (chain_options.lazy_ops && effective_cached) ? v2_prefix : 0;
+
   Doc doc;
+  if (skip_count > 0) {
+    doc.trace_.ops.SetColdPrefix(cold_end);
+  }
   std::optional<std::string> cached;
   SegmentAnchor anchor;
-  for (const std::string& segment : segments) {
+  for (size_t i = 0; i < segments.size(); ++i) {
     // Only the final segment's cached document and session anchor reflect
     // the full chain (DecodeSegmentInto resets both per segment; an earlier
     // segment's anchor may have been invalidated by later events).
-    if (!DecodeSegmentInto(doc.trace_, segment, &cached, error, &anchor)) {
-      return std::nullopt;
+    SegmentDecodeOptions decode_options;
+    decode_options.skip_ops = i < skip_count;
+    SegmentOpsPayload payload;
+    if (!DecodeSegmentInto(doc.trace_, segments[i], &cached, error, &anchor, decode_options,
+                           decode_options.skip_ops ? &payload : nullptr)) {
+      return fail_at(i, nullptr);
+    }
+    if (payload.skipped) {
+      doc.lazy_segments_skipped_ += 1;
+      doc.lazy_bytes_skipped_ += payload.stored_bytes();
+      doc.cold_ops_.push_back(std::move(payload));
     }
   }
   doc.agent_ = doc.trace_.graph.GetOrCreateAgent(agent_name);
@@ -444,6 +515,9 @@ std::optional<Doc> Doc::LoadChain(const std::vector<std::string>& segments,
     // format's cached-final-doc fast path.
     doc.rope_ = Rope(*cached);
   } else {
+    // The pre-pass only skips when the chain ends on a cached document, so
+    // a replay here always has a fully materialised op log.
+    EGW_CHECK(skip_count == 0);
     Walker walker(doc.trace_.graph, doc.trace_.ops);
     walker.ReplayAll(doc.rope_);
     doc.replayed_events_ += doc.trace_.graph.size();
@@ -470,6 +544,53 @@ std::optional<Doc> Doc::LoadChain(const std::vector<std::string>& segments,
       anchor.lv != kInvalidLv || !anchor.session_state.empty();
   doc.pending_session_state_ = std::move(anchor.session_state);
   return doc;
+}
+
+void Doc::EnsureOpsFor(Lv lowest) const {
+  if (cold_ops_.empty() || lowest >= trace_.ops.cold_end()) {
+    return;
+  }
+  // Hydration mutates only caches (the op log's materialisation state and
+  // the retained payloads), never the logical document — hence callable
+  // from const accessors.
+  const_cast<Doc*>(this)->HydrateOps(lowest);
+}
+
+void Doc::HydrateOps(Lv lowest) {
+  // Decode only the suffix of cold payloads that covers [lowest, cold_end)
+  // — segments entirely below `lowest` stay cold, so a merge that reaches a
+  // little way back pays for a little decoding, not the whole history. The
+  // warm runs pushed since the chain load are re-appended on top.
+  // Move-assignment keeps the OpLog object's address stable, so a live
+  // session walker's `const OpLog&` stays valid (its run-cursor hints are
+  // stale-tolerant by design).
+  size_t first = 0;
+  while (first < cold_ops_.size() && cold_ops_[first].end_lv <= lowest) {
+    ++first;
+  }
+  EGW_CHECK(first < cold_ops_.size());  // lowest < cold_end by the caller.
+  OpLog log;
+  if (cold_ops_[first].base_lv > 0) {
+    log.SetColdPrefix(cold_ops_[first].base_lv);
+  }
+  std::string err;
+  for (size_t i = first; i < cold_ops_.size(); ++i) {
+    // The payload bytes were checksum-verified at load time, so a decode
+    // failure here means memory corruption, not bad input.
+    EGW_CHECK(DecodeSegmentOps(log, trace_.graph, cold_ops_[i], &err));
+    hydrated_bytes_ += cold_ops_[i].stored_bytes();
+    ++hydrated_segments_;
+  }
+  for (const OpRun& run : trace_.ops.runs()) {
+    if (run.kind == OpKind::kInsert) {
+      log.PushInsert(run.span.start, run.pos, run.text);
+    } else {
+      log.PushDelete(run.span.start, run.span.size(), run.pos, run.fwd);
+    }
+  }
+  trace_.ops = std::move(log);
+  cold_ops_.resize(first);
+  ++hydrations_;
 }
 
 bool Doc::TryResumeSession() {

@@ -56,6 +56,18 @@ struct RemoteChunk {
   std::string text;
 };
 
+// Knobs for Doc::LoadChain (defined out-of-class so the declaration's
+// `= {}` default parses).
+struct ChainLoadOptions {
+  // Lazily decode the ops/content columns of fully-covered v2 segments
+  // when the chain ends on a cached document: the reload then parses only
+  // graph columns (plus the final text), and the skipped payloads are
+  // hydrated on demand by the first operation that actually walks back
+  // into the old window (Doc::EnsureOpsFor). Checksums of skipped columns
+  // are still verified at load. Off = decode everything eagerly.
+  bool lazy_ops = true;
+};
+
 class Doc {
  public:
   // `agent_name` must be unique among collaborating replicas.
@@ -170,15 +182,43 @@ class Doc {
   // the cached document), so eviction/reload no longer costs the next merge
   // anything: replayed_events() stays O(appended), exactly as if the
   // document had never left memory.
+  // A corrupt or discontiguous segment anywhere in the chain fails the
+  // WHOLE load (no partial prefix is ever returned), with *error naming
+  // the offending segment index.
   static std::optional<Doc> LoadChain(const std::vector<std::string>& segments,
                                       std::string_view agent_name,
-                                      std::string* error = nullptr);
+                                      std::string* error = nullptr,
+                                      const ChainLoadOptions& chain_options = {});
 
   // Diagnostic counter: how many events this Doc has replayed through the
   // walker (full rebuilds, incremental merges, uncached loads). Incremental
   // checkpointing exists to keep this at zero on reload; the server soak
   // test asserts on it.
   uint64_t replayed_events() const { return replayed_events_; }
+
+  // --- Lazy ops (chain loads) ---------------------------------------------
+
+  // Guarantees trace().ops holds materialised runs for every LV >= lowest.
+  // A no-op unless this Doc was lazily chain-loaded and `lowest` reaches
+  // into the cold prefix; then the retained segment payloads are decoded
+  // and the op log rebuilt in place (logically const: hydration changes
+  // no observable document state). Every ops consumer inside Doc calls
+  // this; external readers of ops() below the cold end must too (the sync
+  // layer's MakePatch does).
+  void EnsureOpsFor(Lv lowest) const;
+
+  // Diagnostics for the registry's lazy-decode stats: how many segment
+  // ops/content columns this load skipped and their stored bytes; how many
+  // hydration passes ran afterwards and how much of the skipped data they
+  // actually decoded. Hydration is suffix-only, so hydrated_bytes() <
+  // lazy_bytes_skipped() whenever a merge reached only part-way back — the
+  // "reload decodes only the touched suffix" property the churn tests
+  // assert.
+  uint64_t lazy_segments_skipped() const { return lazy_segments_skipped_; }
+  uint64_t lazy_bytes_skipped() const { return lazy_bytes_skipped_; }
+  uint64_t ops_hydrations() const { return hydrations_; }
+  uint64_t hydrated_segments() const { return hydrated_segments_; }
+  uint64_t hydrated_bytes() const { return hydrated_bytes_; }
 
   // --- Merge sessions -----------------------------------------------------
 
@@ -219,6 +259,13 @@ class Doc {
   Doc() = default;
   void NoteLocalEvent(Lv tip);
   void DropSession();
+  // Decodes the suffix of retained cold payloads covering [lowest,
+  // cold_end) and re-materialises trace_.ops (a shortened cold prefix,
+  // the decoded suffix, then the already-warm runs re-appended). The
+  // OpLog is move-assigned in place, so outstanding `const OpLog&`
+  // references (the session walker's) stay valid; RLE cursors merely go
+  // stale, which hinted lookups tolerate.
+  void HydrateOps(Lv lowest);
   // The most recent cached critical version dominating every newly merged
   // chunk, or kInvalidLv for "replay everything". Prunes invalidated
   // candidates.
@@ -266,6 +313,16 @@ class Doc {
   ChangeListener change_listener_ = nullptr;
   void* change_ctx_ = nullptr;
   uint64_t replayed_events_ = 0;
+  // Lazily-skipped segment payloads (oldest first, contiguous from LV 0),
+  // kept until HydrateOps consumes them. Mutable with hydrations_ because
+  // hydration is a logically-const cache fill (same idiom as the walker's
+  // internal caches).
+  mutable std::vector<SegmentOpsPayload> cold_ops_;
+  mutable uint64_t hydrations_ = 0;
+  mutable uint64_t hydrated_segments_ = 0;
+  mutable uint64_t hydrated_bytes_ = 0;
+  uint64_t lazy_segments_skipped_ = 0;
+  uint64_t lazy_bytes_skipped_ = 0;
 };
 
 }  // namespace egwalker

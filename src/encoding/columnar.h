@@ -20,6 +20,31 @@
 // All varints are LEB128 (util/varint.h); positions within a run are
 // implicit from the run encoding. The format round-trips Trace exactly
 // (except omitted deleted content, which decodes as U+FFFD placeholders).
+//
+// Two container versions exist (docs/EGWS.md is the full spec):
+//
+//   v1 (legacy): columns are concatenated length-prefixed blobs; only the
+//      content column may be LZ4-compressed (SaveOptions::compress_content).
+//      Kept byte-for-byte stable — decoders accept it forever, and encoders
+//      still emit it when SaveOptions::format_version == 1 (the default for
+//      the full file format, so Figure 8/11/12 baselines are unchanged).
+//   v2 (indexed): after the header, a column DIRECTORY records, per column,
+//      {column id, codec id (raw | LZ4 | LZ+Huffman), raw size, stored size,
+//      byte offset, FNV-1a checksum of the stored bytes}, and payloads
+//      follow. Segment headers additionally carry per-agent seq extents,
+//      the ops column splits its header/delta streams and delta-codes
+//      positions per agent, and the agents column delta-codes seqs against
+//      each agent's column-local continuation. The directory is what
+//      enables per-column compression, cheap PeekSegment range answers,
+//      and LAZY column decode: DecodeSegmentInto can skip decompressing +
+//      parsing the ops/content columns of a segment (returning the stored
+//      bytes for later hydration) while still decoding the graph columns
+//      and verifying every checksum — see SegmentDecodeOptions below.
+//
+// Decoding is fail-closed at every layer: truncated, bit-flipped, or
+// length-inflated input makes DecodeTrace/PeekSegment return std::nullopt
+// and DecodeSegmentInto return false; sizes are capped before allocation,
+// so corrupt bytes cannot OOM, crash, or silently misdecode.
 
 #ifndef EGWALKER_ENCODING_COLUMNAR_H_
 #define EGWALKER_ENCODING_COLUMNAR_H_
@@ -37,8 +62,9 @@ struct SaveOptions {
   // Store the content of characters that no longer appear in the final
   // document. Disabling this mirrors Yjs's storage model (Figure 12).
   bool include_deleted_content = true;
-  // LZ4-compress the content column (the paper disables this for the
-  // like-for-like size comparison in Figures 11/12, so benches do too).
+  // Format v1 only: LZ4-compress the content column (the paper disables
+  // this for the like-for-like size comparison in Figures 11/12, so benches
+  // do too). v2 compresses per column via compress_columns instead.
   bool compress_content = false;
   // Append the final document text so loads need no replay.
   bool cache_final_doc = false;
@@ -55,6 +81,17 @@ struct SaveOptions {
   // carrying it would pay O(session) bytes for nothing; DocRegistry sets
   // it on eviction (retiring) flushes alone.
   bool checkpoint_session_state = false;
+  // Container version to WRITE; decoders accept both. 1 = legacy layout,
+  // byte-identical to pre-directory encoders. 2 = indexed layout (column
+  // directory + checksums + agent extents), required for per-column
+  // compression and lazy decode. The full-format default stays 1 so
+  // existing size/load baselines are unaffected; DocRegistry's checkpoint
+  // options opt segments into 2.
+  int format_version = 1;
+  // Format v2 only: LZ4-compress each column whose compressed form is
+  // meaningfully smaller (tiny columns stay raw — see the codec heuristic
+  // in columnar.cc). Ignored by v1, which only honours compress_content.
+  bool compress_columns = true;
 };
 
 // Ids (LV spans) of inserted characters that survive in the final document.
@@ -147,7 +184,27 @@ std::string EncodeSegment(const Trace& trace, Lv base_lv, const SaveOptions& opt
                           std::string_view final_doc = {},
                           const SegmentAnchor& anchor = {});
 
-// Chain position of a segment, readable without parsing the columns.
+// Per-agent seq extent recorded in v2 segment headers: within any LV
+// window an agent's events are seq-contiguous (LV order is arrival order),
+// so one (first_seq, count) pair per agent answers "does this segment
+// touch agent A's seqs [a, b)?" without decoding the agents column.
+struct SegmentAgentExtent {
+  std::string agent;
+  uint64_t first_seq = 0;
+  uint64_t count = 0;
+};
+
+// One column-directory entry of a v2 container (metadata only; payload
+// bytes stay in the segment). Exposed by PeekSegment so callers can size
+// lazy-decode savings without touching payloads.
+struct SegmentColumn {
+  uint8_t id = 0;           // kCol* in columnar.cc / docs/EGWS.md.
+  uint8_t codec = 0;        // 0 = raw, 1 = LZ4, 2 = LZ+Huffman.
+  uint64_t raw_size = 0;    // Decompressed byte length.
+  uint64_t stored_size = 0; // Byte length inside the container.
+};
+
+// Chain position of a segment, readable without parsing column payloads.
 struct SegmentInfo {
   Lv base_lv = 0;           // First event covered.
   uint64_t event_count = 0; // Events in this segment.
@@ -156,8 +213,58 @@ struct SegmentInfo {
   SegmentAnchor anchor;     // anchor.lv == kInvalidLv when absent; the
                             // session_state bytes are NOT materialised by
                             // Peek (header metadata only).
+  int format_version = 1;
+  // v2 only (empty for v1 segments): the header's agent extents and the
+  // column directory.
+  std::vector<SegmentAgentExtent> agents;
+  std::vector<SegmentColumn> columns;
 };
 std::optional<SegmentInfo> PeekSegment(std::string_view bytes);
+
+// --- Lazy column decode (v2 segments) ---------------------------------------
+//
+// A chain reload that ends on a cached document + resumable session never
+// reads the ops/content of already-covered segments: the graph columns are
+// enough to answer version queries and extend the history, and the ops are
+// only needed if some later operation walks back into the old window
+// (a fresh merge below the chain end, MakePatch for a stale reader, a full
+// Save/compaction). DecodeSegmentInto can therefore SKIP decoding those
+// two columns and instead hand back their stored (possibly compressed)
+// bytes for on-demand hydration. Checksums of skipped columns are still
+// verified at load, so corruption is detected up front, fail-closed — a
+// post-load hydration failure is a program bug, not an input error.
+
+// The retained ops/content payloads of one lazily-decoded segment.
+struct SegmentOpsPayload {
+  bool skipped = false;  // False when the segment was decoded eagerly.
+  Lv base_lv = 0;
+  Lv end_lv = 0;
+  uint8_t ops_codec = 0;
+  uint64_t ops_raw = 0;
+  std::string ops_stored;
+  uint8_t content_codec = 0;
+  uint64_t content_raw = 0;
+  std::string content_stored;
+  uint64_t stored_bytes() const { return ops_stored.size() + content_stored.size(); }
+};
+
+struct SegmentDecodeOptions {
+  // Skip parsing the ops + content columns, returning their stored bytes
+  // via the `skipped` out-param of DecodeSegmentInto instead of pushing
+  // onto trace.ops. Only v2 segments can honour this (v1 has no directory
+  // to skip over); a v1 segment decodes eagerly and leaves
+  // skipped->skipped == false, which the caller must handle (Doc::LoadChain
+  // only skips a contiguous all-v2 chain prefix for exactly this reason).
+  bool skip_ops = false;
+};
+
+// Hydrates one lazily-skipped payload: decompresses (if needed) and parses
+// the ops/content columns, appending onto `ops`, whose size() must equal
+// payload.base_lv. Returns false (and sets *error) on malformed payload —
+// unreachable for payloads that passed load-time checksums unless the
+// process memory was corrupted.
+bool DecodeSegmentOps(OpLog& ops, const Graph& graph, const SegmentOpsPayload& payload,
+                      std::string* error = nullptr);
 
 // Appends a segment's events onto `trace`, whose graph must currently end
 // exactly at the segment's base_lv (chains decode strictly in order). When
@@ -174,7 +281,9 @@ std::optional<SegmentInfo> PeekSegment(std::string_view bytes);
 // discarded.
 bool DecodeSegmentInto(Trace& trace, std::string_view bytes,
                        std::optional<std::string>* cached_doc, std::string* error = nullptr,
-                       SegmentAnchor* anchor = nullptr);
+                       SegmentAnchor* anchor = nullptr,
+                       const SegmentDecodeOptions& decode_options = {},
+                       SegmentOpsPayload* skipped = nullptr);
 
 }  // namespace egwalker
 

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <vector>
 
 namespace egwalker::lz4 {
 namespace {
@@ -62,57 +63,124 @@ size_t MaxCompressedSize(size_t src_size) {
   return src_size + src_size / 255 + 16;
 }
 
-std::string Compress(std::string_view src) {
-  std::string out;
-  out.reserve(src.size() / 2 + 64);
+std::vector<LzStep> Parse(std::string_view src) {
+  std::vector<LzStep> steps;
   const uint8_t* base = reinterpret_cast<const uint8_t*>(src.data());
   const size_t n = src.size();
 
   if (n < kMfLimit + 1) {
-    // Too short for any match: one literal-only sequence.
-    EmitSequence(out, base, n, 0, 0);
-    return out;
+    // Too short for any match: one literal-only step.
+    steps.push_back(LzStep{n, 0, 0});
+    return steps;
   }
 
-  // Hash table maps 4-byte-prefix hashes to source positions.
-  std::string table_storage(sizeof(uint32_t) << kHashLog, '\0');
-  uint32_t* table = reinterpret_cast<uint32_t*>(table_storage.data());
+  // Hash-chain matcher (the HC strategy): head[] maps a 4-byte-prefix hash
+  // to its most recent position, chain[] threads every position with the
+  // same hash in strictly decreasing order, and the search walks a bounded
+  // number of candidates picking the longest match. Compression is a
+  // write-path-only cost here (segments compress once, decode many), so
+  // ratio is worth more than matcher speed — and the output stays standard
+  // block format, so Decompress is untouched.
+  constexpr uint32_t kNoPos = 0xFFFFFFFFu;
+  constexpr size_t kMaxProbes = 128;
+  std::vector<uint32_t> head(size_t{1} << kHashLog, kNoPos);
+  std::vector<uint32_t> chain(n, kNoPos);
   const size_t match_limit = n - kMfLimit;
+
+  size_t inserted = 0;  // Positions [0, inserted) are in the chains.
+  auto insert_upto = [&](size_t end) {
+    size_t limit = end < match_limit + 1 ? end : match_limit + 1;
+    for (; inserted < limit; ++inserted) {
+      uint32_t h = Hash4(Load32(base + inserted));
+      chain[inserted] = head[h];
+      head[h] = static_cast<uint32_t>(inserted);
+    }
+  };
+  // Longest match for `pos` among chained candidates; 0 if none reaches
+  // kMinMatch. Candidates are visited newest-first, so the position-ordered
+  // chain lets the window check terminate the walk early.
+  auto find_best = [&](size_t pos, size_t* best_offset) -> size_t {
+    const size_t max_len = n - kLastLiterals - pos;
+    if (max_len < kMinMatch) {
+      return 0;
+    }
+    size_t best = 0;
+    size_t probes = kMaxProbes;
+    for (uint32_t cand = head[Hash4(Load32(base + pos))];
+         cand != kNoPos && probes-- > 0; cand = chain[cand]) {
+      const size_t c = cand;
+      if (pos - c > kMaxOffset) {
+        break;
+      }
+      // A longer-than-best match must agree at index `best`; skipping the
+      // full scan otherwise is the classic cheap rejection.
+      if (best != 0 && base[c + best] != base[pos + best]) {
+        continue;
+      }
+      size_t len = 0;
+      while (len < max_len && base[c + len] == base[pos + len]) {
+        ++len;
+      }
+      if (len >= kMinMatch && len > best) {
+        best = len;
+        *best_offset = pos - c;
+        if (best >= max_len) {
+          break;
+        }
+      }
+    }
+    return best;
+  };
 
   size_t anchor = 0;  // Start of pending literals.
   size_t pos = 0;
   while (pos <= match_limit) {
-    uint32_t h = Hash4(Load32(base + pos));
-    size_t candidate = table[h];
-    table[h] = static_cast<uint32_t>(pos);
-    bool match = candidate < pos && pos - candidate <= kMaxOffset &&
-                 Load32(base + candidate) == Load32(base + pos);
-    if (!match) {
+    insert_upto(pos);
+    size_t offset = 0;
+    size_t len = find_best(pos, &offset);
+    if (len == 0) {
       ++pos;
       continue;
     }
-    // Extend the match forward as far as allowed.
-    size_t len = kMinMatch;
-    const size_t max_len = n - kLastLiterals - pos;
-    while (len < max_len && base[candidate + len] == base[pos + len]) {
-      ++len;
+    // Lazy evaluation: if starting one byte later yields a strictly longer
+    // match, demote this byte to a literal and advance.
+    while (pos + 1 <= match_limit) {
+      insert_upto(pos + 1);
+      size_t next_offset = 0;
+      size_t next_len = find_best(pos + 1, &next_offset);
+      if (next_len <= len) {
+        break;
+      }
+      ++pos;
+      len = next_len;
+      offset = next_offset;
     }
     // Extend backwards over pending literals.
+    size_t candidate = pos - offset;
     while (pos > anchor && candidate > 0 && base[pos - 1] == base[candidate - 1]) {
       --pos;
       --candidate;
       ++len;
     }
-    EmitSequence(out, base + anchor, pos - anchor, len, pos - candidate);
+    steps.push_back(LzStep{pos - anchor, len, offset});
     pos += len;
     anchor = pos;
-    if (pos <= match_limit) {
-      // Prime the table with an intermediate position for better locality.
-      table[Hash4(Load32(base + pos - 2))] = static_cast<uint32_t>(pos - 2);
-    }
+    insert_upto(pos);  // Chain the positions the match covered.
   }
-  // Final literal-only sequence.
-  EmitSequence(out, base + anchor, n - anchor, 0, 0);
+  // Final literal-only step.
+  steps.push_back(LzStep{n - anchor, 0, 0});
+  return steps;
+}
+
+std::string Compress(std::string_view src) {
+  std::string out;
+  out.reserve(src.size() / 2 + 64);
+  const uint8_t* base = reinterpret_cast<const uint8_t*>(src.data());
+  size_t pos = 0;
+  for (const LzStep& step : Parse(src)) {
+    EmitSequence(out, base + pos, step.literals, step.match_len, step.offset);
+    pos += step.literals + step.match_len;
+  }
   return out;
 }
 

@@ -2,11 +2,14 @@
 //
 // Section 3.8 of the paper LZ4-compresses the inserted-content column of the
 // event-graph file format. This module provides a compatible block
-// compressor (greedy, hash-chain-free: a single-entry hash table per 4-byte
-// prefix, like the reference LZ4 fast path) and a bounds-checked
-// decompressor. The compressed framing (where sizes live) is up to the
-// caller; the columnar encoder stores the decompressed size as a varint next
-// to the block.
+// compressor (hash-chain matcher with lazy evaluation, the HC strategy) and
+// a bounds-checked decompressor. The compressed framing (where sizes live)
+// is up to the caller; the columnar encoder stores the decompressed size as
+// a varint next to the block.
+//
+// The match search is exposed separately as Parse(): the lzhuf codec
+// (lzhuf/lzhuf.h) entropy-codes the same LZ step stream instead of emitting
+// block format, so both codecs share one matcher.
 
 #ifndef EGWALKER_LZ4_LZ4_H_
 #define EGWALKER_LZ4_LZ4_H_
@@ -15,8 +18,23 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace egwalker::lz4 {
+
+// One step of an LZ parse: copy `literals` source bytes verbatim, then copy
+// `match_len` bytes starting `offset` bytes back in the output. The final
+// step of a parse has match_len == 0 (trailing literals only); every other
+// step has match_len >= 4 and 1 <= offset <= 65535.
+struct LzStep {
+  size_t literals = 0;
+  size_t match_len = 0;
+  size_t offset = 0;
+};
+
+// Greedy-lazy hash-chain parse of `src` (64KiB window, min match 4). The
+// steps exactly cover src; the last step is literal-only.
+std::vector<LzStep> Parse(std::string_view src);
 
 // Worst-case compressed size for `src_size` input bytes.
 size_t MaxCompressedSize(size_t src_size);

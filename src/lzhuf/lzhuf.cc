@@ -1,0 +1,478 @@
+#include "lzhuf/lzhuf.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "lz4/lz4.h"
+
+namespace egwalker::lzhuf {
+namespace {
+
+// --- Alphabets ---------------------------------------------------------------
+//
+// Lit/len: 0..255 literal bytes, 256 end-of-block, 257+i a match length in
+// bucket i (value = base + LSB-first extra bits). Distances use their own
+// bucketed alphabet. The buckets are deflate's, shifted to min match 4 and
+// extended to the 64KiB window of lz4::Parse.
+
+constexpr int kEob = 256;
+constexpr int kNumLenCodes = 29;
+constexpr int kLitLenSymbols = 257 + kNumLenCodes;
+constexpr uint16_t kLenBase[kNumLenCodes] = {4,  5,  6,  7,   8,   9,   10,  11,  12, 14,
+                                             16, 18, 20, 24,  28,  32,  36,  44,  52, 60,
+                                             68, 84, 100, 116, 132, 164, 196, 228, 259};
+constexpr uint8_t kLenExtra[kNumLenCodes] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2,
+                                             2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+constexpr size_t kMaxMatch = 259;  // Longer parse matches are split.
+
+constexpr int kNumDistCodes = 32;
+constexpr uint32_t kDistBase[kNumDistCodes] = {
+    1,    2,    3,    4,    5,    7,    9,     13,    17,    25,   33,
+    49,   65,   97,   129,  193,  257,  385,   513,   769,   1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577, 32769, 49153};
+constexpr uint8_t kDistExtra[kNumDistCodes] = {0, 0, 0, 0, 1,  1,  2,  2,  3,  3,  4,
+                                               4, 5, 5, 6, 6,  7,  7,  8,  8,  9,  9,
+                                               10, 10, 11, 11, 12, 12, 13, 13, 14, 14};
+
+constexpr int kMaxCodeLen = 15;
+
+int LenToCode(size_t len) {
+  int code = 0;
+  for (int i = 0; i < kNumLenCodes; ++i) {
+    if (kLenBase[i] <= len) {
+      code = i;
+    }
+  }
+  return code;
+}
+
+int DistToCode(size_t dist) {
+  int code = 0;
+  for (int i = 0; i < kNumDistCodes; ++i) {
+    if (kDistBase[i] <= dist) {
+      code = i;
+    }
+  }
+  return code;
+}
+
+// --- Bit I/O -----------------------------------------------------------------
+//
+// LSB-first packing within bytes. Huffman codes are emitted MSB-first (the
+// canonical-code convention, so the decoder can grow codes bit by bit);
+// extra-bits fields are plain LSB-first integers.
+
+class BitWriter {
+ public:
+  void PutBit(uint32_t bit) {
+    acc_ |= (bit & 1u) << nbits_;
+    if (++nbits_ == 8) {
+      out_.push_back(static_cast<char>(acc_));
+      acc_ = 0;
+      nbits_ = 0;
+    }
+  }
+  void PutBitsLsb(uint64_t value, int count) {
+    for (int i = 0; i < count; ++i) {
+      PutBit(static_cast<uint32_t>(value >> i));
+    }
+  }
+  void PutCode(uint32_t code, int len) {
+    for (int i = len - 1; i >= 0; --i) {
+      PutBit(code >> i);
+    }
+  }
+  std::string Finish() {
+    if (nbits_ > 0) {
+      out_.push_back(static_cast<char>(acc_));
+      acc_ = 0;
+      nbits_ = 0;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  std::string out_;
+  uint32_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::string_view src) : src_(src) {}
+  // Returns -1 past the end of input.
+  int GetBit() {
+    size_t byte = pos_ >> 3;
+    if (byte >= src_.size()) {
+      return -1;
+    }
+    int bit = (static_cast<unsigned char>(src_[byte]) >> (pos_ & 7)) & 1;
+    ++pos_;
+    return bit;
+  }
+  bool GetBitsLsb(int count, uint64_t* value) {
+    *value = 0;
+    for (int i = 0; i < count; ++i) {
+      int bit = GetBit();
+      if (bit < 0) {
+        return false;
+      }
+      *value |= static_cast<uint64_t>(bit) << i;
+    }
+    return true;
+  }
+  // Bits of input not yet consumed (padding tolerance check).
+  size_t RemainingBits() const { return src_.size() * 8 - pos_; }
+
+ private:
+  std::string_view src_;
+  size_t pos_ = 0;
+};
+
+// --- Canonical Huffman -------------------------------------------------------
+
+// Code lengths (<= kMaxCodeLen, 0 = unused) for `freq`. A lone used symbol
+// gets length 1; all-zero frequencies produce all-zero lengths.
+std::vector<uint8_t> BuildLengths(std::vector<uint64_t> freq) {
+  const size_t n = freq.size();
+  std::vector<uint8_t> lengths(n, 0);
+  for (;;) {
+    // (weight, node id); ids >= n are internal nodes.
+    using Entry = std::pair<uint64_t, uint32_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    std::vector<std::pair<uint32_t, uint32_t>> children;  // Internal nodes.
+    for (size_t i = 0; i < n; ++i) {
+      if (freq[i] > 0) {
+        heap.emplace(freq[i], static_cast<uint32_t>(i));
+      }
+    }
+    if (heap.empty()) {
+      return lengths;
+    }
+    if (heap.size() == 1) {
+      lengths[heap.top().second] = 1;
+      return lengths;
+    }
+    while (heap.size() > 1) {
+      Entry a = heap.top();
+      heap.pop();
+      Entry b = heap.top();
+      heap.pop();
+      uint32_t id = static_cast<uint32_t>(n + children.size());
+      children.emplace_back(a.second, b.second);
+      heap.emplace(a.first + b.first, id);
+    }
+    // Depths by walking the internal nodes top-down (the root is the last
+    // internal node created).
+    std::vector<uint8_t> depth(n + children.size(), 0);
+    uint8_t max_depth = 0;
+    for (size_t i = children.size(); i-- > 0;) {
+      uint8_t d = static_cast<uint8_t>(depth[n + i] + 1);
+      depth[children[i].first] = d;
+      depth[children[i].second] = d;
+      max_depth = std::max(max_depth, d);
+    }
+    if (max_depth <= kMaxCodeLen) {
+      for (size_t i = 0; i < n; ++i) {
+        lengths[i] = freq[i] > 0 ? depth[i] : 0;
+      }
+      return lengths;
+    }
+    // Depth overflow (possible under extreme skew): flatten the frequency
+    // distribution and rebuild. Converges quickly; the all-equal fixpoint
+    // yields ceil(log2(used)) <= 9 bits for our alphabets.
+    for (size_t i = 0; i < n; ++i) {
+      if (freq[i] > 0) {
+        freq[i] = freq[i] / 2 + 1;
+      }
+    }
+  }
+}
+
+// Canonical code values for `lengths` (shorter codes first, ties by symbol).
+std::vector<uint32_t> AssignCodes(const std::vector<uint8_t>& lengths) {
+  uint32_t bl_count[kMaxCodeLen + 1] = {0};
+  for (uint8_t len : lengths) {
+    ++bl_count[len];
+  }
+  bl_count[0] = 0;
+  uint32_t next_code[kMaxCodeLen + 1] = {0};
+  uint32_t code = 0;
+  for (int len = 1; len <= kMaxCodeLen; ++len) {
+    code = (code + bl_count[len - 1]) << 1;
+    next_code[len] = code;
+  }
+  std::vector<uint32_t> codes(lengths.size(), 0);
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    if (lengths[i] != 0) {
+      codes[i] = next_code[lengths[i]]++;
+    }
+  }
+  return codes;
+}
+
+// Decoding tables for one canonical code: per-length first code and symbol
+// index, plus symbols ordered by (length, symbol).
+struct Decoder {
+  uint32_t first_code[kMaxCodeLen + 1] = {0};
+  uint32_t first_index[kMaxCodeLen + 1] = {0};
+  uint32_t count[kMaxCodeLen + 1] = {0};
+  std::vector<uint16_t> symbols;
+  bool usable = false;  // At least one symbol.
+};
+
+// Builds `dec`; false if the lengths are not a valid canonical code (Kraft
+// sum off — except the lone-symbol special case, mirroring BuildLengths).
+bool BuildDecoder(const std::vector<uint8_t>& lengths, Decoder* dec) {
+  uint32_t bl_count[kMaxCodeLen + 1] = {0};
+  uint32_t used = 0;
+  for (uint8_t len : lengths) {
+    if (len > kMaxCodeLen) {
+      return false;
+    }
+    if (len > 0) {
+      ++bl_count[len];
+      ++used;
+    }
+  }
+  if (used == 0) {
+    return true;  // Valid but unusable: any decode attempt fails.
+  }
+  if (used == 1) {
+    if (bl_count[1] != 1) {
+      return false;
+    }
+  } else {
+    uint64_t kraft = 0;
+    for (int len = 1; len <= kMaxCodeLen; ++len) {
+      kraft += static_cast<uint64_t>(bl_count[len]) << (kMaxCodeLen - len);
+    }
+    if (kraft != 1ull << kMaxCodeLen) {
+      return false;  // Incomplete or oversubscribed code.
+    }
+  }
+  uint32_t code = 0;
+  uint32_t index = 0;
+  for (int len = 1; len <= kMaxCodeLen; ++len) {
+    code = (code + bl_count[len - 1]) << 1;
+    dec->first_code[len] = code;
+    dec->first_index[len] = index;
+    dec->count[len] = bl_count[len];
+    index += bl_count[len];
+  }
+  dec->symbols.resize(used);
+  std::vector<uint32_t> next(kMaxCodeLen + 1);
+  for (int len = 1; len <= kMaxCodeLen; ++len) {
+    next[len] = dec->first_index[len];
+  }
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    if (lengths[i] > 0) {
+      dec->symbols[next[lengths[i]]++] = static_cast<uint16_t>(i);
+    }
+  }
+  dec->usable = true;
+  return true;
+}
+
+// Reads one symbol by growing the code a bit at a time; -1 on any failure.
+int DecodeSymbol(BitReader& reader, const Decoder& dec) {
+  if (!dec.usable) {
+    return -1;
+  }
+  uint32_t code = 0;
+  for (int len = 1; len <= kMaxCodeLen; ++len) {
+    int bit = reader.GetBit();
+    if (bit < 0) {
+      return -1;
+    }
+    code = (code << 1) | static_cast<uint32_t>(bit);
+    if (dec.count[len] != 0 && code - dec.first_code[len] < dec.count[len]) {
+      return dec.symbols[dec.first_index[len] + (code - dec.first_code[len])];
+    }
+  }
+  return -1;
+}
+
+// --- Code-length tables on the wire ------------------------------------------
+//
+// (4-bit length, 8-bit run) pairs until the alphabet is covered; a run byte
+// of 0 means 256. Cheap, and degenerate tables stay small.
+
+void WriteLengthTable(BitWriter& writer, const std::vector<uint8_t>& lengths) {
+  size_t i = 0;
+  while (i < lengths.size()) {
+    size_t run = 1;
+    while (i + run < lengths.size() && lengths[i + run] == lengths[i]) {
+      ++run;
+    }
+    size_t left = run;
+    while (left > 0) {
+      size_t chunk = std::min<size_t>(left, 256);
+      writer.PutBitsLsb(lengths[i], 4);
+      writer.PutBitsLsb(chunk == 256 ? 0 : chunk, 8);
+      left -= chunk;
+    }
+    i += run;
+  }
+}
+
+bool ReadLengthTable(BitReader& reader, size_t alphabet, std::vector<uint8_t>* lengths) {
+  lengths->assign(alphabet, 0);
+  size_t covered = 0;
+  while (covered < alphabet) {
+    uint64_t len = 0;
+    uint64_t run = 0;
+    if (!reader.GetBitsLsb(4, &len) || !reader.GetBitsLsb(8, &run)) {
+      return false;
+    }
+    if (run == 0) {
+      run = 256;
+    }
+    if (covered + run > alphabet) {
+      return false;
+    }
+    for (uint64_t j = 0; j < run; ++j) {
+      (*lengths)[covered++] = static_cast<uint8_t>(len);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Compress(std::string_view src) {
+  std::vector<lz4::LzStep> steps = lz4::Parse(src);
+
+  // Pass 1: symbol frequencies. Long matches are split into <= kMaxMatch
+  // chunks (every chunk >= 4, see the emit loop).
+  std::vector<uint64_t> lit_freq(kLitLenSymbols, 0);
+  std::vector<uint64_t> dist_freq(kNumDistCodes, 0);
+  lit_freq[kEob] = 1;
+  {
+    size_t pos = 0;
+    for (const lz4::LzStep& step : steps) {
+      for (size_t i = 0; i < step.literals; ++i) {
+        ++lit_freq[static_cast<unsigned char>(src[pos + i])];
+      }
+      pos += step.literals;
+      size_t remaining = step.match_len;
+      while (remaining > 0) {
+        size_t chunk = remaining;
+        if (chunk > kMaxMatch) {
+          chunk = remaining - kMaxMatch >= 4 ? kMaxMatch : kMaxMatch - 4;
+        }
+        ++lit_freq[257 + static_cast<size_t>(LenToCode(chunk))];
+        ++dist_freq[static_cast<size_t>(DistToCode(step.offset))];
+        remaining -= chunk;
+      }
+      pos += step.match_len;
+    }
+  }
+
+  std::vector<uint8_t> lit_lengths = BuildLengths(lit_freq);
+  std::vector<uint8_t> dist_lengths = BuildLengths(dist_freq);
+  std::vector<uint32_t> lit_codes = AssignCodes(lit_lengths);
+  std::vector<uint32_t> dist_codes = AssignCodes(dist_lengths);
+
+  BitWriter writer;
+  WriteLengthTable(writer, lit_lengths);
+  WriteLengthTable(writer, dist_lengths);
+
+  // Pass 2: emit.
+  size_t pos = 0;
+  for (const lz4::LzStep& step : steps) {
+    for (size_t i = 0; i < step.literals; ++i) {
+      unsigned char c = static_cast<unsigned char>(src[pos + i]);
+      writer.PutCode(lit_codes[c], lit_lengths[c]);
+    }
+    pos += step.literals;
+    size_t remaining = step.match_len;
+    while (remaining > 0) {
+      size_t chunk = remaining;
+      if (chunk > kMaxMatch) {
+        chunk = remaining - kMaxMatch >= 4 ? kMaxMatch : kMaxMatch - 4;
+      }
+      int lc = LenToCode(chunk);
+      size_t sym = 257 + static_cast<size_t>(lc);
+      writer.PutCode(lit_codes[sym], lit_lengths[sym]);
+      writer.PutBitsLsb(chunk - kLenBase[lc], kLenExtra[lc]);
+      int dc = DistToCode(step.offset);
+      writer.PutCode(dist_codes[static_cast<size_t>(dc)],
+                     dist_lengths[static_cast<size_t>(dc)]);
+      writer.PutBitsLsb(step.offset - kDistBase[dc], kDistExtra[dc]);
+      remaining -= chunk;
+    }
+    pos += step.match_len;
+  }
+  writer.PutCode(lit_codes[kEob], lit_lengths[kEob]);
+  return writer.Finish();
+}
+
+std::optional<std::string> Decompress(std::string_view src, size_t decompressed_size) {
+  BitReader reader(src);
+  std::vector<uint8_t> lit_lengths;
+  std::vector<uint8_t> dist_lengths;
+  if (!ReadLengthTable(reader, kLitLenSymbols, &lit_lengths) ||
+      !ReadLengthTable(reader, kNumDistCodes, &dist_lengths)) {
+    return std::nullopt;
+  }
+  Decoder lit_dec;
+  Decoder dist_dec;
+  if (!BuildDecoder(lit_lengths, &lit_dec) || !BuildDecoder(dist_lengths, &dist_dec)) {
+    return std::nullopt;
+  }
+
+  std::string out;
+  out.reserve(decompressed_size);
+  for (;;) {
+    int sym = DecodeSymbol(reader, lit_dec);
+    if (sym < 0 || sym >= kLitLenSymbols) {
+      return std::nullopt;
+    }
+    if (sym == kEob) {
+      break;
+    }
+    if (sym < 256) {
+      if (out.size() >= decompressed_size) {
+        return std::nullopt;
+      }
+      out.push_back(static_cast<char>(sym));
+      continue;
+    }
+    int lc = sym - 257;
+    uint64_t len_extra = 0;
+    if (!reader.GetBitsLsb(kLenExtra[lc], &len_extra)) {
+      return std::nullopt;
+    }
+    size_t len = kLenBase[lc] + len_extra;
+    int dsym = DecodeSymbol(reader, dist_dec);
+    if (dsym < 0 || dsym >= kNumDistCodes) {
+      return std::nullopt;
+    }
+    uint64_t dist_extra = 0;
+    if (!reader.GetBitsLsb(kDistExtra[dsym], &dist_extra)) {
+      return std::nullopt;
+    }
+    size_t dist = kDistBase[dsym] + dist_extra;
+    if (dist == 0 || dist > out.size() || out.size() + len > decompressed_size) {
+      return std::nullopt;
+    }
+    size_t from = out.size() - dist;
+    for (size_t i = 0; i < len; ++i) {  // Overlap-safe byte copy.
+      out.push_back(out[from + i]);
+    }
+  }
+  if (out.size() != decompressed_size) {
+    return std::nullopt;
+  }
+  // The stream must end inside the final byte: trailing garbage is not
+  // tolerated (a fail-closed tripwire against length-inflated input).
+  if (reader.RemainingBits() >= 8) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace egwalker::lzhuf

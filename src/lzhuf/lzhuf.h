@@ -1,0 +1,45 @@
+// LZ + canonical-Huffman codec (deflate-like, from scratch).
+//
+// The LZ4 block format spends whole bytes on tokens, literals, and offsets,
+// which caps its ratio near 1.5x on prose-like column payloads. This codec
+// entropy-codes the same LZ step stream (lz4::Parse — one shared matcher)
+// the way wlnzip-style compressors do: a combined literal/match-length
+// alphabet and a bucketed distance alphabet, each under a dynamic canonical
+// Huffman code, packed into a bitstream. It roughly doubles the at-rest
+// savings of LZ4 on the EGWS columns while keeping the decoder strictly
+// bounds-checked.
+//
+// Stream layout (bit-packed, LSB-first within bytes):
+//   lit/len code lengths   RLE of 4-bit lengths (see lzhuf.cc)
+//   distance code lengths  same scheme
+//   symbols                Huffman codes emitted MSB-first; length and
+//                          distance codes carry LSB-first extra bits
+//   end-of-block           symbol 256 terminates the stream
+//
+// Framing (where the decompressed size lives) is the caller's problem, like
+// lz4.h. Decompress returns std::nullopt on any malformed input: bad code
+// length tables, over-long reads, out-of-window distances, output size
+// mismatch — it never crashes and never returns partial output.
+
+#ifndef EGWALKER_LZHUF_LZHUF_H_
+#define EGWALKER_LZHUF_LZHUF_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace egwalker::lzhuf {
+
+// Compresses `src`. Output is never catastrophically larger than the input
+// (worst case is the two code-length tables plus ~1 bit per byte overhead),
+// but callers should keep the raw form when this does not actually shrink.
+std::string Compress(std::string_view src);
+
+// Decompresses a Compress() stream. `decompressed_size` must be the exact
+// original size. Returns std::nullopt on malformed input.
+std::optional<std::string> Decompress(std::string_view src, size_t decompressed_size);
+
+}  // namespace egwalker::lzhuf
+
+#endif  // EGWALKER_LZHUF_LZHUF_H_

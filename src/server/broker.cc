@@ -52,7 +52,14 @@ void Broker::HandleSyncRequest(MessageSink& sink, int from, const Message& msg) 
   }
   Session& session = sessions_[SessionKey{msg.doc, from}];
   session.last_active = sink.now();
-  Doc& doc = registry_.Open(msg.doc);
+  // A corrupt checkpoint chain must not take the whole broker down: the
+  // request is dropped (like a lost packet) and the failure is visible in
+  // the registry's chain_load_failures stat.
+  Doc* doc_ptr = registry_.TryOpen(msg.doc);
+  if (doc_ptr == nullptr) {
+    return;
+  }
+  Doc& doc = *doc_ptr;
   VersionSummary mine = SummarizeDoc(doc);
   std::string my_summary = EncodeSummary(mine);
   Message reply;
@@ -93,7 +100,13 @@ void Broker::HandlePatch(MessageSink& sink, int from, const Message& msg) {
     session->last_active = sink.now();
   }
 
-  Doc& doc = registry_.Open(msg.doc);
+  // Same fail-soft contract as HandleSyncRequest: an unloadable chain drops
+  // the patch rather than aborting the server.
+  Doc* doc_ptr = registry_.TryOpen(msg.doc);
+  if (doc_ptr == nullptr) {
+    return;
+  }
+  Doc& doc = *doc_ptr;
   std::string error;
   auto merged = ApplyPatch(doc, msg.patch, &error);
   if (!merged.has_value()) {
@@ -138,9 +151,14 @@ void Broker::FlushBroadcasts(MessageSink& sink) {
   std::set<std::string> pending;
   pending.swap(pending_broadcasts_);
   for (const std::string& doc_name : pending) {
-    Doc& doc = registry_.Open(doc_name);
+    // A doc marked for broadcast is normally resident, but an eviction may
+    // have intervened; if its chain then fails to load, skip the round.
+    Doc* doc = registry_.TryOpen(doc_name);
+    if (doc == nullptr) {
+      continue;
+    }
     ++stats_.broadcast_rounds;
-    Broadcast(sink, doc, doc_name);
+    Broadcast(sink, *doc, doc_name);
   }
 }
 

@@ -43,26 +43,40 @@ DocRegistry::DocRegistry(SegmentStorage& storage, const Config& config)
 }
 
 Doc& DocRegistry::Open(const std::string& name) {
+  Doc* doc = TryOpen(name);
+  // Chains are written by this registry; a decode failure is corruption,
+  // and this caller opted out of handling it.
+  EGW_CHECK(doc != nullptr);
+  return *doc;
+}
+
+Doc* DocRegistry::TryOpen(const std::string& name, std::string* error) {
   ++stats_.opens;
   auto it = entries_.find(name);
   if (it != entries_.end()) {
     ++stats_.hits;
     Touch(it->second);
-    return it->second.doc;
+    return &it->second.doc;
   }
 
   Doc doc(config_.agent);
   Lv checkpoint_lv = 0;
   if (const std::vector<std::string>* chain = storage_.Chain(name)) {
     EGW_TRACE_SPAN("registry.load");
-    std::string error;
-    auto loaded = Doc::LoadChain(*chain, config_.agent, &error);
-    // Chains are written by this registry; a decode failure is corruption.
-    EGW_CHECK(loaded.has_value());
+    auto loaded = Doc::LoadChain(*chain, config_.agent, error);
+    if (!loaded.has_value()) {
+      // Fail the whole open: no partial document, no resident entry. The
+      // chain stays in storage untouched so an operator can inspect or
+      // restore it; retrying Open without a repair fails again.
+      ++stats_.chain_load_failures;
+      return nullptr;
+    }
     doc = std::move(*loaded);
     checkpoint_lv = doc.end_lv();
     ++stats_.loads;
     stats_.replayed_on_load += doc.replayed_events();
+    stats_.lazy_segments_skipped += doc.lazy_segments_skipped();
+    stats_.lazy_bytes_skipped += doc.lazy_bytes_skipped();
   } else {
     ++stats_.creates;
   }
@@ -78,13 +92,29 @@ Doc& DocRegistry::Open(const std::string& name) {
   }
   Touch(entry);
   EvictOverCapacity(name);
-  return entry.doc;
+  return &entry.doc;
 }
 
 uint64_t DocRegistry::TotalReplayedEvents() const {
   uint64_t total = stats_.replayed_retired;
   for (const auto& [name, entry] : entries_) {
     total += entry.doc.replayed_events();
+  }
+  return total;
+}
+
+uint64_t DocRegistry::TotalOpsHydrations() const {
+  uint64_t total = stats_.hydrations_retired;
+  for (const auto& [name, entry] : entries_) {
+    total += entry.doc.ops_hydrations();
+  }
+  return total;
+}
+
+uint64_t DocRegistry::TotalHydratedBytes() const {
+  uint64_t total = stats_.hydrated_bytes_retired;
+  for (const auto& [name, entry] : entries_) {
+    total += entry.doc.hydrated_bytes();
   }
   return total;
 }
@@ -186,6 +216,8 @@ bool DocRegistry::Evict(const std::string& name) {
   }
   FlushEntry(name, it->second, /*retiring=*/true);
   stats_.replayed_retired += it->second.doc.replayed_events();
+  stats_.hydrations_retired += it->second.doc.ops_hydrations();
+  stats_.hydrated_bytes_retired += it->second.doc.hydrated_bytes();
   entries_.erase(it);
   ++stats_.evictions;
   return true;
@@ -210,6 +242,8 @@ void DocRegistry::EvictOverCapacity(const std::string& keep) {
     }
     FlushEntry(victim->first, victim->second, /*retiring=*/true);
     stats_.replayed_retired += victim->second.doc.replayed_events();
+    stats_.hydrations_retired += victim->second.doc.ops_hydrations();
+    stats_.hydrated_bytes_retired += victim->second.doc.hydrated_bytes();
     entries_.erase(victim);
     ++stats_.evictions;
   }

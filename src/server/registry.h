@@ -96,10 +96,14 @@ struct DocRegistryConfig {
   std::string agent = "!server";
   // Options for flushed segments. cache_final_doc stays on so chain
   // reloads are replay-free; include_deleted_content must stay true
-  // (segments cannot compose survival bitmaps).
+  // (segments cannot compose survival bitmaps). The indexed v2 layout with
+  // per-column compression is the default: reloads lazily skip old
+  // segments' ops/content columns and the at-rest chain shrinks.
   SaveOptions checkpoint{.include_deleted_content = true,
                          .compress_content = false,
-                         .cache_final_doc = true};
+                         .cache_final_doc = true,
+                         .format_version = 2,
+                         .compress_columns = true};
   // Compact a chain back to one consolidated segment once a flush leaves it
   // this long (0 = never). Bounds reload cost for eviction-churned
   // documents; the consolidated segment is a full save in segment clothing.
@@ -126,6 +130,17 @@ class DocRegistry {
     uint64_t replayed_retired = 0;  // Doc::replayed_events() accumulated
                                     // from evicted docs (see
                                     // TotalReplayedEvents).
+    uint64_t chain_load_failures = 0;  // TryOpen() chains that failed to
+                                       // decode (corrupt storage); no doc
+                                       // was produced.
+    uint64_t lazy_segments_skipped = 0;  // Segment ops/content columns left
+                                         // cold across all chain loads.
+    uint64_t lazy_bytes_skipped = 0;     // Their stored (compressed) bytes.
+    uint64_t hydrations_retired = 0;     // Doc::ops_hydrations() accumulated
+                                         // from evicted docs (see
+                                         // TotalOpsHydrations).
+    uint64_t hydrated_bytes_retired = 0;  // Doc::hydrated_bytes() likewise
+                                          // (see TotalHydratedBytes).
 
     template <typename Fn>
     static void VisitFields(Fn&& fn) {
@@ -139,6 +154,11 @@ class DocRegistry {
       fn("replayed_on_load", &Stats::replayed_on_load);
       fn("session_resumes", &Stats::session_resumes);
       fn("replayed_retired", &Stats::replayed_retired);
+      fn("chain_load_failures", &Stats::chain_load_failures);
+      fn("lazy_segments_skipped", &Stats::lazy_segments_skipped);
+      fn("lazy_bytes_skipped", &Stats::lazy_bytes_skipped);
+      fn("hydrations_retired", &Stats::hydrations_retired);
+      fn("hydrated_bytes_retired", &Stats::hydrated_bytes_retired);
     }
     // obs/stats.h contract: field-wise sum / back to value-initialized.
     void Merge(const Stats& other) { obs::MergeStats(*this, other); }
@@ -149,8 +169,17 @@ class DocRegistry {
 
   // The resident document, loading from its checkpoint chain or creating it
   // fresh. May evict the least-recently-used other document. The reference
-  // is valid until that document is itself evicted.
+  // is valid until that document is itself evicted. A corrupt chain aborts
+  // (chains are written by this registry; use TryOpen to survive storage
+  // corruption).
   Doc& Open(const std::string& name);
+
+  // Open(), except a chain that fails to decode returns nullptr instead of
+  // aborting: the corrupt document is counted (stats().chain_load_failures),
+  // *error carries the decoder's diagnostic (which segment, what failed),
+  // no resident entry is created, and the stored chain is left untouched
+  // for offline repair. Every other path behaves exactly like Open().
+  Doc* TryOpen(const std::string& name, std::string* error = nullptr);
 
   bool resident(const std::string& name) const { return entries_.count(name) > 0; }
   size_t resident_count() const { return entries_.size(); }
@@ -178,6 +207,14 @@ class DocRegistry {
   // soak tests compare this across anchored and anchor-free universes to
   // prove sessions really survive eviction.
   uint64_t TotalReplayedEvents() const;
+
+  // Total cold-prefix hydration passes / decoded stored bytes across every
+  // document this registry has ever held (same retired + resident shape as
+  // TotalReplayedEvents). The churn tests assert TotalHydratedBytes() stays
+  // strictly below stats().lazy_bytes_skipped: reload-then-merge decodes
+  // only the touched suffix, never the whole skipped history.
+  uint64_t TotalOpsHydrations() const;
+  uint64_t TotalHydratedBytes() const;
 
  private:
   struct Entry {

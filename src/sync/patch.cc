@@ -232,6 +232,12 @@ std::string MakePatch(const Doc& doc, const VersionSummary& they_have,
   // format requires.
   std::sort(missing.begin(), missing.end(),
             [](const LvSpan& a, const LvSpan& b) { return a.start < b.start; });
+  // A lazily chain-loaded doc keeps old segment ops cold; a patch reaching
+  // back into that window (a receiver far behind the checkpoint chain)
+  // materialises them here. Steady-state receivers stay above the cold end,
+  // so this is normally a no-op. The `ops` reference above survives
+  // hydration (the OpLog is rebuilt in place).
+  doc.EnsureOpsFor(missing.front().start);
 
   // Phase 3 — cut chunks from the missing spans only. The scanner state
   // stays cheap because spans ascend; nothing outside them is visited.
@@ -288,6 +294,7 @@ std::string MakePatch(const Doc& doc, const VersionSummary& they_have,
 
 std::string MakePatchReference(const Doc& doc, const VersionSummary& they_have,
                                MakePatchStats* stats) {
+  doc.EnsureOpsFor(0);  // The reference builder scans the whole history.
   const Graph& g = doc.graph();
   const OpLog& ops = doc.ops();
 

@@ -15,12 +15,14 @@
 #ifndef EGWALKER_TRACE_TRACE_H_
 #define EGWALKER_TRACE_TRACE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/assert.h"
 #include "util/rle.h"
 
 namespace egwalker {
@@ -97,7 +99,21 @@ class OpLog {
   // `pos`; !fwd: event i deletes at pos - i (backspace).
   void PushDelete(Lv start, uint64_t count, uint64_t pos, bool fwd);
 
-  uint64_t size() const { return runs_.CoveredEnd(); }
+  uint64_t size() const { return std::max(runs_.CoveredEnd(), cold_end_); }
+
+  // Declares [0, cold_end) a *cold prefix*: those events exist (size()
+  // counts them; pushes continue past them) but their ops are not
+  // materialised. Lazy chain loads (Doc::LoadChain) use this to skip
+  // decoding the ops columns of fully-covered segments; the owning Doc
+  // retains the encoded bytes and re-materialises the log on first access
+  // (Doc::EnsureOpsFor). OpAt/SliceAt below cold_end EGW_CHECK-fail until
+  // then — consumers must go through the Doc. Only callable on an empty
+  // log (it describes a prefix, not a hole).
+  void SetColdPrefix(Lv cold_end) {
+    EGW_CHECK(runs_.empty() && inserted_ == 0 && deleted_ == 0);
+    cold_end_ = cold_end;
+  }
+  Lv cold_end() const { return cold_end_; }
 
   // The op of a single event. O(run length) for insert runs (content scan);
   // prefer SliceAt for bulk iteration.
@@ -126,6 +142,10 @@ class OpLog {
   RleVec<OpRun> runs_;
   uint64_t inserted_ = 0;
   uint64_t deleted_ = 0;
+  // End of the unmaterialised cold prefix (see SetColdPrefix); 0 when the
+  // log is fully materialised. inserted_/deleted_ count only materialised
+  // runs while a cold prefix exists.
+  Lv cold_end_ = 0;
 };
 
 // A run-carrying scanner over the three RLE columns (graph entries, agent

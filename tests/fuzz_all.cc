@@ -27,8 +27,10 @@
 #include <string>
 #include <vector>
 
+#include "core/doc.h"
 #include "core/simple_walker.h"
 #include "core/walker.h"
+#include "encoding/columnar.h"
 #include "crdt/naive_crdt.h"
 #include "crdt/ref_crdt.h"
 #include "ot/ot.h"
@@ -40,6 +42,7 @@ namespace {
 
 bool CheckDiffCacheAndCursor(uint64_t seed, const Trace& t);
 bool CheckSessionPatchSequences(uint64_t seed);
+bool CheckSegmentCorruption(uint64_t seed);
 
 bool CheckSeed(uint64_t seed) {
   testing::RandomTraceOptions opts;
@@ -95,7 +98,81 @@ bool CheckSeed(uint64_t seed) {
   if (!CheckDiffCacheAndCursor(seed, t)) {
     return false;
   }
-  return CheckSessionPatchSequences(seed);
+  return CheckSessionPatchSequences(seed) && CheckSegmentCorruption(seed);
+}
+
+// Fail-closed decoder: a genuine multi-segment chain (mixed v1/v2 layouts,
+// codec and cached-doc choices per segment, real concurrent merges) must
+// load byte-identically when pristine, and arbitrary corruption —
+// truncation, bit flips, overwrites, length inflation — must never crash
+// PeekSegment, DecodeSegmentInto, or Doc::LoadChain. A mutated chain that
+// still decodes (flips in v1 content bytes are not checksummed) only has to
+// produce a well-formed document.
+bool CheckSegmentCorruption(uint64_t seed) {
+  Prng rng(seed ^ 0xc0441);
+  Doc a("fuzz-a");
+  Doc b("fuzz-b");
+  std::vector<std::string> chain;
+  Lv checkpoint = 0;
+  const int rounds = 6 + static_cast<int>(rng.Below(6));
+  for (int round = 0; round < rounds; ++round) {
+    for (Doc* d : {&a, &b}) {
+      uint64_t len = d->size();
+      if (len > 6 && rng.Chance(0.3)) {
+        d->Delete(rng.Below(len - 2), 1 + rng.Below(2));
+      } else {
+        std::string burst(1 + rng.Below(5), static_cast<char>('a' + rng.Below(26)));
+        d->Insert(rng.Below(len + 1), burst);
+      }
+    }
+    if (rng.Chance(0.5)) {
+      a.MergeFrom(b);
+      b.MergeFrom(a);
+    }
+    if (rng.Chance(0.5) || round + 1 == rounds) {
+      SaveOptions opts;
+      opts.include_deleted_content = true;
+      opts.format_version = rng.Chance(0.3) ? 1 : 2;
+      opts.compress_columns = rng.Chance(0.7);
+      opts.cache_final_doc = round + 1 == rounds || rng.Chance(0.5);
+      chain.push_back(a.SaveSegment(checkpoint, opts));
+      checkpoint = a.end_lv();
+    }
+  }
+  const std::string expected = a.Text();
+  auto pristine = Doc::LoadChain(chain, "fuzz-a");
+  if (!pristine.has_value() || pristine->Text() != expected) {
+    std::fprintf(stderr, "SEGMENT CHAIN RELOAD MISMATCH seed=%llu\n",
+                 static_cast<unsigned long long>(seed));
+    return false;
+  }
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<std::string> mutated = chain;
+    std::string& seg = mutated[rng.Below(mutated.size())];
+    switch (rng.Below(4)) {
+      case 0:
+        seg.resize(rng.Below(seg.size()));
+        break;
+      case 1:
+        seg[rng.Below(seg.size())] ^= static_cast<char>(1u << rng.Below(8));
+        break;
+      case 2:
+        seg[rng.Below(seg.size())] = static_cast<char>(0xFF);
+        break;
+      default:
+        seg.insert(rng.Below(seg.size() + 1), 1 + rng.Below(3), '\xAB');
+        break;
+    }
+    (void)PeekSegment(seg);
+    Trace scratch;
+    std::optional<std::string> cached;
+    std::string error;
+    (void)DecodeSegmentInto(scratch, seg, &cached, &error);
+    if (auto loaded = Doc::LoadChain(mutated, "fuzz-a", &error); loaded.has_value()) {
+      (void)loaded->Text();
+    }
+  }
+  return true;
 }
 
 // Frontier pairs through the diff cache vs the reference walk (with

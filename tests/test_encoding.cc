@@ -178,6 +178,219 @@ TEST(Columnar, ReadCachedDocSkipsEverythingElse) {
   }
 }
 
+// --- Indexed (v2) container ------------------------------------------------
+
+TEST(ColumnarV2, FullFormatDifferentialAgainstV1) {
+  // The v2 container must decode to exactly the document the frozen v1
+  // layout holds, for every option mix — the format-version differential
+  // the compat contract rests on.
+  for (uint64_t seed = 81; seed <= 86; ++seed) {
+    testing::RandomTraceOptions ropts;
+    ropts.seed = seed;
+    ropts.actions = 60;
+    Trace t = testing::MakeRandomTrace(ropts);
+    std::string final_doc = Replay(t);
+    for (bool compress : {false, true}) {
+      for (bool cache : {false, true}) {
+        SaveOptions v1;
+        v1.cache_final_doc = cache;
+        SaveOptions v2 = v1;
+        v2.format_version = 2;
+        v2.compress_columns = compress;
+        std::string v1_bytes = EncodeTrace(t, v1, cache ? final_doc : std::string_view{});
+        std::string v2_bytes = EncodeTrace(t, v2, cache ? final_doc : std::string_view{});
+        auto d1 = DecodeTrace(v1_bytes);
+        auto d2 = DecodeTrace(v2_bytes);
+        ASSERT_TRUE(d1.has_value()) << seed;
+        ASSERT_TRUE(d2.has_value()) << seed << " compress=" << compress;
+        ExpectTracesEquivalent(d1->trace, d2->trace);
+        EXPECT_EQ(d1->cached_doc, d2->cached_doc) << seed;
+        EXPECT_EQ(Replay(d2->trace), final_doc) << seed;
+        if (cache) {
+          auto text = ReadCachedDoc(v2_bytes);
+          ASSERT_TRUE(text.has_value()) << seed;
+          EXPECT_EQ(*text, final_doc) << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(ColumnarV2, CompressedColumnsShrinkFiles) {
+  Trace t = GenerateNamedTrace("S2", 0.01);
+  SaveOptions raw;
+  raw.format_version = 2;
+  raw.compress_columns = false;
+  SaveOptions lz4 = raw;
+  lz4.compress_columns = true;
+  std::string raw_bytes = EncodeTrace(t, raw);
+  std::string lz4_bytes = EncodeTrace(t, lz4);
+  EXPECT_LT(lz4_bytes.size(), raw_bytes.size());
+  auto decoded = DecodeTrace(lz4_bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ExpectTracesEquivalent(t, decoded->trace);
+}
+
+TEST(ColumnarV2, RoundTripEdgeCases) {
+  SaveOptions v2;
+  v2.format_version = 2;
+
+  // Empty trace: every column is empty.
+  {
+    Trace t;
+    auto decoded = DecodeTrace(EncodeTrace(t, v2));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->trace.graph.size(), 0u);
+  }
+  // Single-event trace.
+  {
+    Trace t;
+    AgentId a = t.graph.GetOrCreateAgent("solo");
+    t.AppendInsert(a, {}, 0, "x");
+    auto decoded = DecodeTrace(EncodeTrace(t, v2));
+    ASSERT_TRUE(decoded.has_value());
+    ExpectTracesEquivalent(t, decoded->trace);
+  }
+  // Delete-only suffix segment: its content column is empty while ops are
+  // not (empty columns must round-trip inside the directory).
+  {
+    Trace t;
+    AgentId a = t.graph.GetOrCreateAgent("d");
+    t.AppendInsert(a, {}, 0, "abcdef");
+    Lv base = t.graph.size();
+    t.AppendDelete(a, t.graph.version(), 1, 3);
+    // Re-encode only the delete suffix on top of a decoded prefix.
+    Trace prefix;
+    std::optional<std::string> cached;
+    std::string error;
+    {
+      Trace full;
+      AgentId pa = full.graph.GetOrCreateAgent("d");
+      full.AppendInsert(pa, {}, 0, "abcdef");
+      std::string head = EncodeSegment(full, 0, v2);
+      ASSERT_TRUE(DecodeSegmentInto(prefix, head, &cached, &error)) << error;
+    }
+    std::string tail = EncodeSegment(t, base, v2);
+    ASSERT_TRUE(DecodeSegmentInto(prefix, tail, &cached, &error)) << error;
+    ExpectTracesEquivalent(t, prefix);
+  }
+}
+
+TEST(SegmentV2, PeekReportsDirectoryAndExtents) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("alice");
+  AgentId b = t.graph.GetOrCreateAgent("bob");
+  t.AppendInsert(a, {}, 0, "hello ");
+  t.AppendInsert(b, t.graph.version(), 6, "world");
+  SaveOptions v2;
+  v2.format_version = 2;
+  v2.cache_final_doc = true;
+  std::string seg = EncodeSegment(t, 0, v2, "hello world");
+  auto info = PeekSegment(seg);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->format_version, 2);
+  EXPECT_EQ(info->base_lv, 0u);
+  EXPECT_EQ(info->event_count, 11u);
+  EXPECT_TRUE(info->has_cached_doc);
+  ASSERT_EQ(info->agents.size(), 2u);
+  EXPECT_EQ(info->agents[0].agent, "alice");
+  EXPECT_EQ(info->agents[0].first_seq, 0u);
+  EXPECT_EQ(info->agents[0].count, 6u);
+  EXPECT_EQ(info->agents[1].agent, "bob");
+  EXPECT_EQ(info->agents[1].count, 5u);
+  EXPECT_FALSE(info->columns.empty());
+  uint64_t stored = 0;
+  for (const SegmentColumn& col : info->columns) {
+    EXPECT_LE(col.codec, 2u);  // raw, LZ4, or LZ+Huffman.
+    stored += col.stored_size;
+  }
+  EXPECT_LE(stored, seg.size());
+
+  // v1 segments report an empty directory.
+  auto v1_info = PeekSegment(EncodeSegment(t, 0, SaveOptions{}));
+  ASSERT_TRUE(v1_info.has_value());
+  EXPECT_EQ(v1_info->format_version, 1);
+  EXPECT_TRUE(v1_info->columns.empty());
+}
+
+TEST(SegmentV2, ChecksumCatchesEveryPayloadByteFlip) {
+  Trace t = GenerateNamedTrace("S1", 0.004);
+  SaveOptions v2;
+  v2.format_version = 2;
+  v2.cache_final_doc = true;
+  std::string final_doc = Replay(t);
+  std::string seg = EncodeSegment(t, 0, v2, final_doc);
+  auto info = PeekSegment(seg);
+  ASSERT_TRUE(info.has_value());
+  uint64_t payload = 0;
+  for (const SegmentColumn& col : info->columns) {
+    payload += col.stored_size;
+  }
+  ASSERT_GT(payload, 0u);
+  ASSERT_LE(payload, seg.size());
+  // Payloads sit at the very end of a v2 segment; flipping ANY payload bit
+  // must be caught by the column checksums, fail-closed.
+  const size_t payload_start = seg.size() - payload;
+  const size_t step = payload > 512 ? payload / 256 : 1;
+  for (size_t i = payload_start; i < seg.size(); i += step) {
+    std::string corrupt = seg;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x40);
+    Trace scratch;
+    std::optional<std::string> cached;
+    std::string error;
+    EXPECT_FALSE(DecodeSegmentInto(scratch, corrupt, &cached, &error)) << i;
+    EXPECT_FALSE(error.empty()) << i;
+  }
+}
+
+TEST(SegmentV2, RejectsTruncationAndBitFlipsWithoutCrashing) {
+  Trace t = GenerateNamedTrace("S1", 0.003);
+  SaveOptions v2;
+  v2.format_version = 2;
+  v2.cache_final_doc = true;
+  std::string seg = EncodeSegment(t, 0, v2, Replay(t));
+
+  // Truncations never crash and always fail (v2 validates directory offsets
+  // and exact payload extents).
+  for (size_t len = 0; len < seg.size(); len += 3) {
+    std::string_view cut(seg.data(), len);
+    EXPECT_FALSE(PeekSegment(cut).has_value()) << len;
+    Trace scratch;
+    std::optional<std::string> cached;
+    EXPECT_FALSE(DecodeSegmentInto(scratch, cut, &cached)) << len;
+  }
+  // Bit flips anywhere must never crash or misdecode into a different
+  // document: either the decode fails, or (flips in redundant varint
+  // padding etc.) it yields the identical trace.
+  std::string expected = Replay(t);
+  for (size_t i = 0; i < seg.size(); i += 2) {
+    std::string corrupt = seg;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x10);
+    (void)PeekSegment(corrupt);
+    Trace scratch;
+    std::optional<std::string> cached;
+    if (DecodeSegmentInto(scratch, corrupt, &cached)) {
+      EXPECT_EQ(Replay(scratch), expected) << i;
+    }
+  }
+}
+
+TEST(SegmentV2, TrailingGarbageIsRejected) {
+  Trace t;
+  AgentId a = t.graph.GetOrCreateAgent("alice");
+  t.AppendInsert(a, {}, 0, "payload");
+  SaveOptions v2;
+  v2.format_version = 2;
+  std::string seg = EncodeSegment(t, 0, v2);
+  seg.push_back('\0');
+  EXPECT_FALSE(PeekSegment(seg).has_value());
+  Trace scratch;
+  std::optional<std::string> cached;
+  std::string error;
+  EXPECT_FALSE(DecodeSegmentInto(scratch, seg, &cached, &error));
+  EXPECT_FALSE(error.empty());
+}
+
 TEST(SizeModels, OrderingMatchesPaperFigures) {
   // Figure 11: the Automerge-like full-history file is larger than our
   // event-graph encoding. Figure 12: the Yjs-like final-state file is

@@ -326,6 +326,11 @@ TEST(Registry, EvictionChurnWithSessionsIsByteIdenticalToResident) {
   // The churned universe did no extra walker work: sessions survived, so
   // replay stayed O(appended) — identical to the resident universe.
   EXPECT_EQ(churned.TotalReplayedEvents(), calm.TotalReplayedEvents());
+  // Lazy chain loads actually skipped cold columns, and the merges after
+  // each reload hydrated strictly less than was skipped: a reload decodes
+  // only the touched suffix, never the whole persisted history.
+  EXPECT_GT(churned.stats().lazy_segments_skipped, 0u);
+  EXPECT_LT(churned.TotalHydratedBytes(), churned.stats().lazy_bytes_skipped);
 }
 
 TEST(Registry, EvictedDocResumesSessionOnReload) {
@@ -351,6 +356,112 @@ TEST(Registry, EvictedDocResumesSessionOnReload) {
   back.MergeFrom(peer);
   EXPECT_EQ(back.replayed_events(), 1u);
   EXPECT_EQ(back.Text(), peer.Text());
+}
+
+TEST(Registry, TryOpenSurvivesCorruptChainAndRecoversAfterRepair) {
+  // A corrupt middle segment must fail the whole open — fail-closed, with a
+  // diagnostic naming the segment — while leaving the stored chain in place
+  // for offline repair. TryOpen is the non-aborting variant brokers use.
+  MemStorage storage;
+  DocRegistry registry(storage, DocRegistry::Config{});
+  {
+    Doc& doc = registry.Open("doc");
+    doc.Insert(0, "first segment text. ");
+    registry.Flush("doc");
+    doc.Insert(doc.size(), "second segment text. ");
+    registry.Flush("doc");
+    doc.Insert(doc.size(), "third segment text.");
+    registry.Evict("doc");
+  }
+  ASSERT_NE(storage.Chain("doc"), nullptr);
+  std::vector<std::string> pristine = *storage.Chain("doc");
+  ASSERT_GE(pristine.size(), 3u);
+  std::string expected = registry.Open("doc").Text();
+  registry.Evict("doc");
+
+  // Flip a byte in the middle segment's column payloads (a v2 segment ends
+  // with the checksummed payload block, so the flip cannot go unnoticed —
+  // not even in a lazily skipped column).
+  std::vector<std::string> corrupt = pristine;
+  corrupt[1][corrupt[1].size() - 3] ^= 0x20;
+  storage.Replace("doc", corrupt);
+
+  std::string error;
+  EXPECT_EQ(registry.TryOpen("doc", &error), nullptr);
+  EXPECT_EQ(registry.stats().chain_load_failures, 1u);
+  EXPECT_NE(error.find("segment 1/" + std::to_string(pristine.size())),
+            std::string::npos)
+      << error;
+  EXPECT_FALSE(registry.resident("doc"));
+  // The chain was not clobbered or partially rewritten.
+  ASSERT_NE(storage.Chain("doc"), nullptr);
+  EXPECT_EQ(storage.Chain("doc")->size(), pristine.size());
+
+  // After repair the same registry opens the document normally.
+  storage.Replace("doc", pristine);
+  Doc* repaired = registry.TryOpen("doc", &error);
+  ASSERT_NE(repaired, nullptr);
+  EXPECT_EQ(repaired->Text(), expected);
+  EXPECT_EQ(registry.stats().chain_load_failures, 1u);
+}
+
+TEST(Registry, MixedV1V2ChainLoadsAndCompactsToV2) {
+  // A chain whose prefix was written by an old server in the frozen v1
+  // layout must load seamlessly under the current registry, take v2
+  // segments on new flushes, and compact down to a single v2 segment.
+  MemStorage storage;
+  Doc writer("!server");
+  writer.Insert(0, "legacy prefix. ");
+  SaveOptions v1;
+  v1.cache_final_doc = true;  // format_version stays 1.
+  storage.Append("doc", writer.SaveSegment(0, v1));
+  Lv checkpoint = writer.end_lv();
+  writer.Insert(writer.size(), "still legacy. ");
+  storage.Append("doc", writer.SaveSegment(checkpoint, v1));
+
+  DocRegistry::Config config;
+  config.compact_above_segments = 4;
+  DocRegistry registry(storage, config);
+  Doc& doc = registry.Open("doc");
+  EXPECT_EQ(doc.Text(), writer.Text());
+  // v1 segments carry no column directory: nothing can be lazily skipped.
+  EXPECT_EQ(registry.stats().lazy_segments_skipped, 0u);
+
+  doc.Insert(doc.size(), "modern suffix. ");
+  registry.Flush("doc");
+  {
+    const std::vector<std::string>* chain = storage.Chain("doc");
+    ASSERT_NE(chain, nullptr);
+    ASSERT_EQ(chain->size(), 3u);
+    auto head = PeekSegment((*chain)[0]);
+    auto tail = PeekSegment((*chain)[2]);
+    ASSERT_TRUE(head.has_value() && tail.has_value());
+    EXPECT_EQ(head->format_version, 1u);
+    EXPECT_EQ(tail->format_version, 2u);
+  }
+  std::string expected = doc.Text();
+
+  // Reload across the raw mixed chain (no registry, no compaction) is
+  // byte-identical.
+  {
+    auto reloaded = Doc::LoadChain(*storage.Chain("doc"), "!server");
+    ASSERT_TRUE(reloaded.has_value());
+    EXPECT_EQ(reloaded->Text(), expected);
+  }
+
+  // The eviction flush crosses the compaction threshold: the mixed chain is
+  // rewritten as one consolidated v2 segment, which still loads clean.
+  registry.Evict("doc");
+  {
+    const std::vector<std::string>* chain = storage.Chain("doc");
+    ASSERT_NE(chain, nullptr);
+    ASSERT_EQ(chain->size(), 1u);
+    auto only = PeekSegment((*chain)[0]);
+    ASSERT_TRUE(only.has_value());
+    EXPECT_EQ(only->format_version, 2u);
+    EXPECT_EQ(registry.stats().compactions, 1u);
+  }
+  EXPECT_EQ(registry.Open("doc").Text(), expected);
 }
 
 TEST(Segment, IncrementalSegmentsAreSmallerThanFullSaves) {
@@ -922,6 +1033,13 @@ void RunAcceptanceSoak(bool merge_sessions, SoakOutcome* out,
   }
   EXPECT_TRUE(saw_multi_segment_chain);
   EXPECT_EQ(h.registry.stats().replayed_on_load, 0u);
+  // Eviction churn produced lazy chain reloads: cold columns were skipped
+  // on every load, and — with anchored sessions bounding replay reach-back —
+  // post-reload merges hydrated strictly less than was skipped.
+  EXPECT_GT(h.registry.stats().lazy_segments_skipped, 0u);
+  if (checkpoint_anchor) {
+    EXPECT_LT(h.registry.TotalHydratedBytes(), h.registry.stats().lazy_bytes_skipped);
+  }
   // Adversarial delivery exercised the causal-rejection path somewhere.
   uint64_t rejections = h.broker.stats().patches_rejected;
   for (const auto& client : clients) {

@@ -182,6 +182,54 @@ def check_server_scaling(full_rows, min_speedup):
     return failures
 
 
+def check_sizes(name, baseline_full, measured_full, threshold):
+    """Gates the at-rest file-size rows (fig11/fig12 filesize benches).
+
+    Encoded sizes are deterministic for a given trace scale — no machine
+    factor, no noise floor — so each row is compared directly against the
+    committed baseline (measured at the same --scale): a file that grew by
+    more than --size-threshold fails. Shrinking is always fine."""
+    failures = 0
+    pairs = []
+    for key in sorted(set(baseline_full) & set(measured_full)):
+        base_row, meas_row = baseline_full[key], measured_full[key]
+        if "bytes" not in base_row or "bytes" not in meas_row:
+            continue
+        pairs.append((key, float(base_row["bytes"]), float(meas_row["bytes"])))
+    if not pairs:
+        print(f"[{name}] no size rows in both baseline and measurement - skipping gate")
+        return 0
+    for key, base, meas in pairs:
+        limit = base * (1.0 + threshold)
+        flag = "ok" if meas <= limit or base <= 0 else "FAIL"
+        if flag == "FAIL":
+            failures += 1
+        label = " | ".join(key)
+        print(f"[{name}] {flag:4} {label:<45} base {base:>12.0f} B"
+              f"  meas {meas:>12.0f} B  (limit {limit:.0f})")
+    return failures
+
+
+def check_size_ratio(name, measured_full, min_ratio):
+    """Gates the aggregate v2 raw/compressed ratio of one filesize bench.
+
+    The compressed store must stay at least --size-min-ratio times smaller
+    than the uncompressed v2 encoding, summed across the measured traces."""
+    raw = sum(float(row["bytes"]) for (_, alg), row in measured_full.items()
+              if alg == "v2 raw" and "bytes" in row)
+    comp = sum(float(row["bytes"]) for (_, alg), row in measured_full.items()
+               if alg == "v2 compressed" and "bytes" in row)
+    if raw <= 0 or comp <= 0:
+        print(f"[{name}] no v2 raw/compressed rows - skipping compression-ratio gate")
+        return 0
+    ratio = raw / comp
+    flag = "ok" if ratio >= min_ratio else "FAIL"
+    print(f"[{name}] {flag:4} aggregate v2 compression ratio: "
+          f"{raw:.0f} B raw / {comp:.0f} B compressed = {ratio:.3f}x "
+          f"(min {min_ratio:.1f}x)")
+    return 0 if ratio >= min_ratio else 1
+
+
 def check_convergence(baseline_full, measured_full, max_regress):
     """Gates the convergence-latency p99 annotations on the soak rows.
 
@@ -251,6 +299,20 @@ def main():
                          "so no median normalisation)")
     ap.add_argument("--min-ms", type=float, default=DEFAULT_MIN_MS,
                     help="ignore fig8 rows faster than this (noise floor)")
+    ap.add_argument("--sizes-baseline", action="append", default=[],
+                    help="committed filesize baseline (BENCH_fig11.json / "
+                         "BENCH_fig12.json); repeatable, paired with --sizes "
+                         "by position")
+    ap.add_argument("--sizes", action="append", default=[],
+                    help="fresh bench_fig11_filesize / bench_fig12_filesize "
+                         "--json output, paired with --sizes-baseline")
+    ap.add_argument("--size-threshold", type=float, default=0.10,
+                    help="maximum tolerated per-row at-rest size growth "
+                         "(0.10 = 10%%; sizes are deterministic per scale, "
+                         "so rows are compared directly, no normalisation)")
+    ap.add_argument("--size-min-ratio", type=float, default=2.0,
+                    help="minimum aggregate v2 raw/compressed size ratio "
+                         "per filesize bench")
     args = ap.parse_args()
 
     failures = 0
@@ -288,6 +350,16 @@ def main():
                                        section=args.server_section)
         failures += check_convergence(baseline_full, full,
                                       args.convergence_threshold)
+
+    if len(args.sizes_baseline) != len(args.sizes):
+        ap.error("--sizes-baseline and --sizes must be paired")
+    for base_path, meas_path in zip(args.sizes_baseline, args.sizes):
+        baseline_full = load_full_rows(base_path)
+        measured_full = load_full_rows(meas_path)
+        name = "sizes:" + base_path
+        failures += check_sizes(name, baseline_full, measured_full,
+                                args.size_threshold)
+        failures += check_size_ratio(name, measured_full, args.size_min_ratio)
 
     if failures:
         print(f"\nbench gate: {failures} row(s) regressed beyond "
