@@ -168,6 +168,87 @@ int Run(int argc, char** argv) {
     report.Add(paper.name, "naive CRDT (merge=load)", naive_ms);
     std::printf("-----+\n");
   }
+
+  // --- Hostile presets (docs/TRACES.md): opt-in via --trace=<name> ---------
+  //
+  // Fixed-shape adversarial traces (scale is ignored; see generate.h). Each
+  // eg-walker row is annotated with the YataStats scan counters, which are
+  // deterministic per preset: tools/check_bench.py gates per-insert scan
+  // work growing sub-linearly between the two committed storm widths.
+  for (const std::string& name : HostileTraceNames()) {
+    bool selected = false;
+    for (const std::string& t : opts.traces) {
+      selected = selected || t == name;
+    }
+    if (!selected) {
+      continue;
+    }
+    BenchTrace bt = MakeBenchTrace(name, opts.scale);
+    const Trace& trace = bt.trace;
+    uint64_t insert_events = 0;
+    for (Lv v = 0; v < trace.graph.size();) {
+      OpSlice slice = trace.ops.SliceAt(v, trace.graph.size());
+      if (slice.kind == OpKind::kInsert) {
+        insert_events += slice.count;
+      }
+      v += slice.count;
+    }
+
+    // Scan counters from exactly one replay (TimeMs iterates a
+    // machine-dependent number of times; the gate needs determinism).
+    YataStats stats;
+    {
+      Walker counted(trace.graph, trace.ops);
+      Rope doc;
+      counted.ReplayAll(doc);
+      stats = counted.yata_stats();
+    }
+    double eg_ms;
+    {
+      Walker walker(trace.graph, trace.ops);
+      eg_ms = TimeMs(
+          [&] {
+            Rope doc;
+            walker.ReplayAll(doc);
+          },
+          opts.time_budget_s);
+    }
+    std::printf("%-12s | %-18s %12s | inserts %llu\n", name.c_str(), "eg-walker (merge)",
+                FmtMs(eg_ms).c_str(), static_cast<unsigned long long>(insert_events));
+    report.Add(name, "eg-walker (merge)", eg_ms);
+    report.Annotate("insert_events", Json(insert_events));
+    report.Annotate("scan_steps", Json(stats.scan_steps));
+    report.Annotate("or_scan_steps", Json(stats.or_scan_steps));
+    report.Annotate("cmp_steps", Json(stats.cmp_steps));
+    report.Annotate("fast_inserts", Json(stats.fast_inserts));
+    report.Annotate("group_establishes", Json(stats.group_establishes));
+
+    // The naive-complexity witness: the reference CRDT integrates the same
+    // stream with the unassisted linear scan.
+    std::vector<CrdtOp> crdt_ops;
+    {
+      Walker walker(trace.graph, trace.ops);
+      Rope doc;
+      Walker::Options wopts;
+      wopts.enable_clearing = false;
+      ReplaySinks sinks;
+      sinks.crdt_ops = &crdt_ops;
+      walker.ReplayAll(doc, wopts, sinks);
+    }
+    double ref_ms = TimeMs(
+        [&] {
+          RefCrdt crdt(trace.graph);
+          Rope doc;
+          for (const CrdtOp& op : crdt_ops) {
+            crdt.Apply(op, doc);
+          }
+        },
+        opts.time_budget_s);
+    std::printf("%-12s | %-18s %12s |\n", name.c_str(), "ref CRDT (merge=load)",
+                FmtMs(ref_ms).c_str());
+    report.Add(name, "ref CRDT (merge=load)", ref_ms);
+    std::printf("-----+\n");
+  }
   return 0;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/state_tree.h"
+#include "core/walker.h"
 #include "graph/graph.h"
 #include "lz4/lz4.h"
 #include "rope/rope.h"
@@ -226,6 +227,56 @@ void BM_GraphDiffWide(benchmark::State& state) {
                       : 0.0);
 }
 BENCHMARK(BM_GraphDiffWide)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_WalkerStormMerge(benchmark::State& state) {
+  // The YATA sibling-group wall: `width` clients insert at one position
+  // concurrently, then merge. steps_per_insert is the walker's integration
+  // work (naive scan + right-origin scan + fast-path comparisons) per
+  // inserted run — sub-quadratic integration keeps it near log(width)
+  // instead of width/2.
+  const uint32_t width = static_cast<uint32_t>(state.range(0));
+  StormConfig cfg;
+  cfg.width = width;
+  cfg.rounds = 1;
+  Trace t = GenerateStorm(cfg, "storm-micro");
+  YataStats stats;
+  for (auto _ : state) {
+    Walker w(t.graph, t.ops);
+    Rope doc;
+    w.ReplayAll(doc);
+    stats = w.yata_stats();
+    benchmark::DoNotOptimize(doc.char_size());
+  }
+  state.counters["steps_per_insert"] = benchmark::Counter(
+      static_cast<double>(stats.scan_steps + stats.or_scan_steps + stats.cmp_steps) /
+      static_cast<double>(width));
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_WalkerStormMerge)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_CompareRawManyAgents(benchmark::State& state) {
+  // The tie-break under an agent swarm: random CompareRaw probes across
+  // `width` single-event agents. The agent-order rank cache turns the
+  // per-probe string compare into an integer compare.
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  Graph g;
+  std::vector<Lv> heads;
+  Frontier parents;
+  for (uint64_t i = 0; i < n; ++i) {
+    AgentId a = g.GetOrCreateAgent("agent-" + std::to_string(i));
+    Lv lv = g.Add(a, 0, 1, parents);
+    parents = Frontier{lv};
+    heads.push_back(lv);
+  }
+  Prng rng(8);
+  for (auto _ : state) {
+    Lv x = heads[rng.Below(heads.size())];
+    Lv y = heads[rng.Below(heads.size())];
+    benchmark::DoNotOptimize(g.CompareRaw(x, y));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CompareRawManyAgents)->Arg(1000)->Arg(100000);
 
 void BM_GraphDiffCached(benchmark::State& state) {
   // The cache-hit path on a recurring frontier pair (fan-out readers

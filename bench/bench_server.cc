@@ -84,6 +84,11 @@ struct Scenario {
   // Flash crowd: every client joins inside the recorded churn window (one
   // bootstrap stampede) instead of during a warm-up.
   bool flash = false;
+  // Insert storm: every writer inserts at position 0 every tick (no
+  // deletes), so one YATA sibling group grows by the writer count per tick
+  // — the adversarial-concurrency shape the group-cache fast path is gated
+  // on (docs/TRACES.md "storm").
+  bool same_pos = false;
 };
 
 struct SoakResult {
@@ -239,7 +244,10 @@ void RunScript(const Scenario& scenario, NetSim& net, int server_endpoint,
           continue;
         }
         Doc& doc = client.doc(name);
-        if (doc.size() > 16 && rng.Chance(0.25)) {
+        if (scenario.same_pos) {
+          std::string burst(1 + rng.Below(4), static_cast<char>('a' + (c % 26)));
+          client.Insert(name, 0, burst);
+        } else if (doc.size() > 16 && rng.Chance(0.25)) {
           client.Delete(name, rng.Below(doc.size() - 2), 1 + rng.Below(2));
         } else {
           std::string burst(1 + rng.Below(4), static_cast<char>('a' + (c % 26)));
@@ -465,6 +473,10 @@ int Run(int argc, char** argv) {
   if (quick) {
     scenarios.push_back({2, 3, 12, 0});
     scenarios.push_back({4, 3, 8, 2});
+    // Quick insert-storm soak: rides the sanitizer/TSan --quick lanes (and
+    // their forced --shards runs) so the group-cache fast path is soaked
+    // under ASan/UBSan and through the sharded deployment under TSan.
+    scenarios.push_back({1, 8, 10, 0, 0, 0.0, "1x8st", 0, false, true});
   } else {
     scenarios.push_back({4, 4, 60, 0});    // Fan-out heavy, all resident.
     scenarios.push_back({8, 6, 40, 0});    // The soak-test topology.
@@ -495,6 +507,10 @@ int Run(int argc, char** argv) {
     // it is the shape sharding should eat whole.
     scenarios.push_back({64, 4, 10, 0, 0, 0.0, "64x4f/s1", 1, true});
     scenarios.push_back({64, 4, 10, 0, 0, 0.0, "64x4f/s4", 4, true});
+    // Insert storm: 32 writers hammering position 0 of one document — the
+    // sibling group grows by 32 every tick and every merge integrates into
+    // it. The naive scan made this row quadratic in elapsed ticks.
+    scenarios.push_back({1, 32, 24, 0, 0, 0.0, "1x32st", 0, false, true});
   }
   if (opts.shards >= 0) {
     // --shards=N forces every scenario through the same deployment (the
@@ -529,6 +545,7 @@ int Run(int argc, char** argv) {
                             : "") +
                        (scenario.writers != 0 ? "/w" + std::to_string(scenario.writers)
                                               : "") +
+                       (scenario.same_pos ? "st" : "") +
                        (scenario.shards != 0 ? "/s" + std::to_string(scenario.shards)
                                              : "");
     double soak_ms = 0, flush_ms = 0, reload_ms = 0;

@@ -40,6 +40,7 @@ void Walker::MergeRange(Rope& doc, const Frontier& from, uint64_t base_len, cons
   prepare_version_ = from;
   logical_len_ = base_len;
   tree_.Reset(base_len);
+  group_cache_.Invalidate();
   delete_targets_.clear();
   target_cursor_ = 0;
   peak_spans_ = 0;
@@ -84,6 +85,7 @@ void Walker::ContinueMerge(Rope& doc, Lv apply_from, ReplaySinks sinks) {
 void Walker::EndSession() {
   session_open_ = false;
   tree_.Reset(0);
+  group_cache_.Invalidate();
   delete_targets_.clear();
   target_cursor_ = 0;
 }
@@ -311,6 +313,7 @@ bool Walker::RestoreSession(std::string_view bytes, uint64_t doc_len) {
   // leaves (prep=Ins, visible); MarkDeleted needs exactly that state and
   // AdjustPrep closes the remaining prepare-count gap.
   tree_.Reset(0);
+  group_cache_.Invalidate();
   for (size_t i = spans.size(); i-- > 0;) {
     const SpanRec& s = spans[i];
     tree_.InsertSpan(tree_.Begin(), s.id, s.len, s.origin_left, s.origin_right);
@@ -344,6 +347,7 @@ void Walker::NotePeak() { peak_spans_ = std::max(peak_spans_, tree_.span_count()
 void Walker::ClearState() {
   NotePeak();
   tree_.Reset(logical_len_);
+  group_cache_.Invalidate();
   delete_targets_.clear();
   target_cursor_ = 0;
   if (prepare_version_.size() == 1) {
@@ -466,6 +470,7 @@ const Walker::TargetRun& Walker::FindDeleteTargets(Lv ev) const {
 }
 
 void Walker::AdjustPrepRange(Lv id_start, uint64_t count, int delta) {
+  group_cache_.OnAdjustPrep(id_start, count, delta);
   Lv id = id_start;
   uint64_t left = count;
   while (left > 0) {
@@ -573,26 +578,122 @@ void Walker::FastApplyRange(Lv begin, Lv end) {
   }
 }
 
-StateTree::Cursor Walker::Integrate(StateTree::Cursor cursor, Lv new_id, Lv origin_left,
-                                    Lv origin_right) const {
-  return YataIntegrate(tree_, graph_, cursor, new_id, origin_left, origin_right);
+namespace {
+
+// Cursor immediately after the character at `c` (possibly the end cursor).
+StateTree::Cursor AfterChar(const StateTree& tree, StateTree::Cursor c) {
+  if (tree.SpanRemaining(c) > 1) {
+    return StateTree::Cursor{c.leaf, c.idx, c.offset + 1};
+  }
+  return tree.NextPiece(c);
 }
+
+}  // namespace
 
 void Walker::ApplyInsertSlice(Lv id_start, const OpSlice& slice) {
   Lv origin_left = kOriginStart;
   StateTree::Cursor cursor = tree_.FindPrepInsert(slice.pos_start, &origin_left);
 
-  // Right origin: the next record that exists in the prepare version.
+  // Sibling-group fast path (see crdt/yata.h): when this insert anchors on
+  // the cached group and the region is prep-clean, the right-origin scan
+  // over the region would cross only prep-0 members — the right origin is
+  // the cached boundary, provided it is still prepare-visible — and the
+  // naive YATA scan over the region reduces to a binary search for the
+  // slot among the cached, already-ordered siblings.
+  if (group_cache_.valid() && origin_left == group_cache_.origin_left() &&
+      group_cache_.prep_clean() && !group_cache_.siblings().empty()) {
+    bool boundary_visible = group_cache_.boundary_is_end();
+    if (!boundary_visible) {
+      StateTree::Cursor bcur = tree_.FindById(group_cache_.origin_right());
+      boundary_visible = tree_.PieceAt(bcur).prep >= 1;
+    }
+    if (boundary_visible) {
+      const Lv origin_right = group_cache_.origin_right();
+      const size_t slot = group_cache_.FindSlot(graph_, id_start, yata_stats_);
+      const std::vector<YataGroupCache::Sibling>& sibs = group_cache_.siblings();
+      StateTree::Cursor dest;
+      if (slot < sibs.size()) {
+        dest = tree_.FindById(sibs[slot].id);
+      } else if (!group_cache_.boundary_is_end()) {
+        dest = tree_.FindById(origin_right);
+      } else {
+        // Greatest member of a group that runs to the tree end: insert
+        // after the last member's final character.
+        const YataGroupCache::Sibling& last = sibs.back();
+        dest = AfterChar(tree_, tree_.FindById(last.id + last.len - 1));
+      }
+      ++yata_stats_.fast_inserts;
+      CommitInsert(dest, id_start, slice, origin_left, origin_right);
+      group_cache_.InsertSibling(slot, id_start, slice.count);
+      return;
+    }
+    // The cached boundary retreated out of the prepare version, so the
+    // group key changed: fall through and re-establish from a fresh scan.
+  }
+  SlowInsertSlice(id_start, slice, cursor, origin_left);
+}
+
+void Walker::SlowInsertSlice(Lv id_start, const OpSlice& slice, StateTree::Cursor cursor,
+                             Lv origin_left) {
+  // Right origin: the next record that exists in the prepare version. The
+  // pieces this scan crosses are exactly the candidate sibling region, so
+  // the same walk classifies it for the group cache: the region is *pure*
+  // when every piece is a member run head (anchored on origin_left) or an
+  // id-chained continuation of the previous piece, and every member's
+  // right origin is the anchor the scan ends on.
   Lv origin_right = kOriginEnd;
+  bool boundary_is_end = true;
+  bool pure = true;
+  region_scratch_.clear();
+  region_or_scratch_.clear();
   for (StateTree::Cursor scan = cursor; !tree_.AtEnd(scan); scan = tree_.NextPiece(scan)) {
     StateTree::Piece piece = tree_.PieceAt(scan);
     if (piece.prep >= 1) {
       origin_right = piece.first_id;
+      boundary_is_end = false;
+      break;
+    }
+    ++yata_stats_.or_scan_steps;
+    if (!pure) {
+      continue;  // Region already disqualified; keep walking to the anchor.
+    }
+    if (piece.eff_origin_left == origin_left) {
+      region_scratch_.push_back(YataGroupCache::Sibling{piece.first_id, piece.len});
+      region_or_scratch_.push_back(piece.origin_right);
+    } else if (!region_scratch_.empty() &&
+               piece.first_id == region_scratch_.back().id + region_scratch_.back().len &&
+               piece.eff_origin_left == piece.first_id - 1 &&
+               piece.origin_right == region_or_scratch_.back()) {
+      region_scratch_.back().len += piece.len;
+    } else {
+      pure = false;
+    }
+  }
+  for (Lv member_or : region_or_scratch_) {
+    if (member_or != origin_right) {
+      pure = false;
       break;
     }
   }
 
-  StateTree::Cursor dest = Integrate(cursor, id_start, origin_left, origin_right);
+  StateTree::Cursor dest =
+      YataIntegrate(tree_, graph_, cursor, id_start, origin_left, origin_right, &yata_stats_);
+  CommitInsert(dest, id_start, slice, origin_left, origin_right);
+  if (pure) {
+    // Members of one (origin_left, origin_right) group sit in the tree in
+    // ascending (agent, seq) order — the YATA total-order property — so the
+    // scanned tree order doubles as the cache's sorted order.
+    group_cache_.Establish(origin_left, origin_right, boundary_is_end, region_scratch_);
+    ++yata_stats_.group_establishes;
+    const size_t slot = group_cache_.FindSlot(graph_, id_start, yata_stats_);
+    group_cache_.InsertSibling(slot, id_start, slice.count);
+  } else {
+    group_cache_.Invalidate();
+  }
+}
+
+void Walker::CommitInsert(StateTree::Cursor dest, Lv id_start, const OpSlice& slice,
+                          Lv origin_left, Lv origin_right) {
   uint64_t eff_pos = tree_.EffPrefix(dest);
   tree_.InsertSpan(dest, id_start, slice.count, origin_left, origin_right);
   logical_len_ += slice.count;
@@ -620,6 +721,9 @@ void Walker::ApplyInsertSlice(Lv id_start, const OpSlice& slice) {
 }
 
 void Walker::ApplyDeleteSlice(Lv ev_start, const OpSlice& slice) {
+  // Deletes flip effect visibility inside or around the cached region in
+  // ways the cache does not model; drop it.
+  group_cache_.Invalidate();
   Lv ev = ev_start;
   uint64_t left = slice.count;
   uint64_t pos = slice.pos_start;

@@ -64,6 +64,7 @@
 
 #include "core/state_tree.h"
 #include "core/walker_types.h"
+#include "crdt/yata.h"
 #include "graph/graph.h"
 #include "graph/topo_sort.h"
 #include "rope/rope.h"
@@ -165,6 +166,11 @@ class Walker {
   size_t peak_span_count() const { return peak_spans_; }
   const StateTree& tree() const { return tree_; }
 
+  // Integration scan-work counters (cumulative across replays; see
+  // YataStats). The hostile bench rows annotate these to pin sub-quadratic
+  // sibling-group integration in CI.
+  const YataStats& yata_stats() const { return yata_stats_; }
+
  private:
   // Victim records for processed delete events: events [ev_start, ev_end)
   // deleted the ids starting at `target`, ascending (fwd) or descending.
@@ -190,14 +196,28 @@ class Walker {
   void FastApplyRange(Lv begin, Lv end);
   void ApplyInsertSlice(Lv id_start, const OpSlice& slice);
   void ApplyDeleteSlice(Lv ev_start, const OpSlice& slice);
-  StateTree::Cursor Integrate(StateTree::Cursor cursor, Lv new_id, Lv origin_left,
-                              Lv origin_right) const;
+  // The slow insert path: right-origin scan + naive YATA scan, tracking
+  // region purity so a sibling group can be cached for the next insert.
+  void SlowInsertSlice(Lv id_start, const OpSlice& slice, StateTree::Cursor cursor,
+                       Lv origin_left);
+  // Common tail of both insert paths: splice the run in and feed the sinks.
+  void CommitInsert(StateTree::Cursor dest, Lv id_start, const OpSlice& slice,
+                    Lv origin_left, Lv origin_right);
   void ClearState();
   void NotePeak();
 
   const Graph& graph_;
   const OpLog& ops_;
   StateTree tree_;
+  // Sibling-group fast path (see crdt/yata.h): a pure cache over the last
+  // integrated (origin_left, origin_right) group. Invalidated by deletes,
+  // resets, restores, and any insert that did not match the cached group;
+  // re-established by the next pure slow scan.
+  YataGroupCache group_cache_;
+  YataStats yata_stats_;
+  // Scratch for SlowInsertSlice's region tracking (reused across calls).
+  std::vector<YataGroupCache::Sibling> region_scratch_;
+  std::vector<Lv> region_or_scratch_;  // Each head's origin_right.
   std::vector<TargetRun> delete_targets_;
   mutable size_t target_cursor_ = 0;  // Last-hit index into delete_targets_.
   Frontier prepare_version_;

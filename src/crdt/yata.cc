@@ -1,50 +1,127 @@
 #include "crdt/yata.h"
 
-#include <vector>
+#include <algorithm>
+
+#include "util/assert.h"
 
 namespace egwalker {
-namespace {
 
-// A tiny set of id ranges with linear-scan membership. Integration scans
-// only cover the items between two origins — the concurrency window — so
-// these stay very small in practice.
-class RangeSet {
- public:
-  void Add(Lv start, uint64_t len) { ranges_.push_back({start, start + len}); }
-  bool Contains(Lv id) const {
-    for (const auto& r : ranges_) {
-      if (id >= r.start && id < r.end) {
-        return true;
-      }
-    }
-    return false;
+// --- IntervalSet -------------------------------------------------------------
+
+void IntervalSet::Add(Lv start, uint64_t len) {
+  const Lv end = start + len;
+  // First range with r.end >= start: the leftmost range that could touch or
+  // overlap the new one.
+  auto it = std::lower_bound(ranges_.begin(), ranges_.end(), start,
+                             [](const Range& r, Lv v) { return r.end < v; });
+  if (it == ranges_.end() || end < it->start) {
+    ranges_.insert(it, Range{start, end});
+    return;
   }
-  void Clear() { ranges_.clear(); }
+  // Merge with every range the new one touches.
+  it->start = std::min(it->start, start);
+  it->end = std::max(it->end, end);
+  auto last = it + 1;
+  while (last != ranges_.end() && last->start <= it->end) {
+    it->end = std::max(it->end, last->end);
+    ++last;
+  }
+  ranges_.erase(it + 1, last);
+}
 
- private:
-  struct Range {
-    Lv start;
-    Lv end;
-  };
-  std::vector<Range> ranges_;
-};
+bool IntervalSet::Contains(Lv id) const {
+  auto it = std::upper_bound(ranges_.begin(), ranges_.end(), id,
+                             [](Lv v, const Range& r) { return v < r.end; });
+  return it != ranges_.end() && id >= it->start;
+}
 
-}  // namespace
+uint64_t IntervalSet::OverlapLen(Lv start, uint64_t len) const {
+  const Lv end = start + len;
+  auto it = std::upper_bound(ranges_.begin(), ranges_.end(), start,
+                             [](Lv v, const Range& r) { return v < r.end; });
+  uint64_t total = 0;
+  for (; it != ranges_.end() && it->start < end; ++it) {
+    total += std::min(end, it->end) - std::max(start, it->start);
+  }
+  return total;
+}
+
+// --- YataGroupCache ----------------------------------------------------------
+
+void YataGroupCache::Establish(Lv origin_left, Lv origin_right, bool boundary_is_end,
+                               const std::vector<Sibling>& siblings) {
+  valid_ = true;
+  origin_left_ = origin_left;
+  origin_right_ = origin_right;
+  boundary_is_end_ = boundary_is_end;
+  siblings_ = siblings;
+  id_ranges_.Clear();
+  for (const Sibling& s : siblings_) {
+    id_ranges_.Add(s.id, s.len);
+  }
+  // Establishment requires a prep-clean region: had any region character
+  // been prepare-visible, the right-origin scan would have stopped on it
+  // and the group key would name it instead.
+  prep_sum_ = 0;
+}
+
+size_t YataGroupCache::FindSlot(const Graph& graph, Lv new_id, YataStats& stats) const {
+  size_t lo = 0;
+  size_t hi = siblings_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    ++stats.cmp_steps;
+    if (graph.CompareRaw(siblings_[mid].id, new_id) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void YataGroupCache::InsertSibling(size_t slot, Lv id, uint64_t len) {
+  EGW_DCHECK(valid_ && slot <= siblings_.size());
+  siblings_.insert(siblings_.begin() + static_cast<ptrdiff_t>(slot), Sibling{id, len});
+  id_ranges_.Add(id, len);
+  // Fresh records enter at prep == 1; the next event's retreat (or the
+  // cache owner's bookkeeping) brings the sum back down.
+  prep_sum_ += static_cast<int64_t>(len);
+}
+
+void YataGroupCache::OnAdjustPrep(Lv id_start, uint64_t count, int delta) {
+  if (!valid_) {
+    return;
+  }
+  uint64_t overlap = id_ranges_.OverlapLen(id_start, count);
+  if (overlap != 0) {
+    prep_sum_ += static_cast<int64_t>(overlap) * delta;
+    EGW_DCHECK(prep_sum_ >= 0);
+  }
+}
+
+// --- The naive integration scan ----------------------------------------------
 
 StateTree::Cursor YataIntegrate(const StateTree& tree, const Graph& graph,
                                 StateTree::Cursor cursor, Lv new_id, Lv origin_left,
-                                Lv origin_right) {
+                                Lv origin_right, YataStats* stats) {
   if (tree.AtEnd(cursor)) {
     return cursor;
   }
-  RangeSet visited;
-  RangeSet conflicting;
+  if (stats != nullptr) {
+    ++stats->integrations;
+  }
+  IntervalSet visited;
+  IntervalSet conflicting;
   StateTree::Cursor dest = cursor;
   StateTree::Cursor scan = cursor;
   while (!tree.AtEnd(scan)) {
     StateTree::Piece piece = tree.PieceAt(scan);
     if (piece.first_id == origin_right) {
       break;  // Reached the right anchor.
+    }
+    if (stats != nullptr) {
+      ++stats->scan_steps;
     }
     visited.Add(piece.first_id, piece.len);
     conflicting.Add(piece.first_id, piece.len);

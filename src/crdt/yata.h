@@ -13,21 +13,166 @@
 //
 // The scan works run-at-a-time: a candidate run behaves atomically (its
 // chained items follow their head), so runs are never split by integration.
+//
+// Complexity under adversarial concurrency
+// ----------------------------------------
+// The naive scan is linear in the sibling group it crosses, and an N-client
+// same-position insert storm makes every group N wide — O(N^2) scan steps
+// across the storm (the wall named in ROADMAP's scenario-generator item).
+// Two structures below cut that down:
+//
+//  * IntervalSet replaces the old linear-probe range set inside one scan:
+//    membership is a binary search (O(log k)) and adjacent ranges coalesce
+//    on insert, so a scan over k pieces costs O(k log k), not O(k^2).
+//  * YataGroupCache (used by the optimised walker only) remembers the last
+//    sibling group — the ordered siblings of one (origin_left, origin_right)
+//    key and the prepare-state of the region they occupy — so consecutive
+//    same-group integrations binary-search their slot in O(log k) instead
+//    of re-walking the group. An N-insert storm drops from O(N^2) scan
+//    steps to O(N log N) comparisons, asserted by YataStats counters on
+//    the gated storm bench rows.
+//
+// The reference CRDT and SimpleWalker keep calling the naive scan: they are
+// the differential oracles, and byte-identical ordering on every hostile
+// preset is the correctness bar for the fast path.
 
 #ifndef EGWALKER_CRDT_YATA_H_
 #define EGWALKER_CRDT_YATA_H_
 
+#include <vector>
+
 #include "core/state_tree.h"
 #include "graph/graph.h"
+#include "obs/stats.h"
 
 namespace egwalker {
 
+// Counters for integration scan work (obs/stats.h contract). The hostile
+// bench rows annotate these so "integration is sub-quadratic in group
+// width" is a CI-checked invariant, not a wall-clock anecdote: per-insert
+// (scan_steps + or_scan_steps + cmp_steps) must grow sub-linearly with the
+// storm width (tools/check_bench.py gates the ratio between the two
+// committed storm widths).
+struct YataStats {
+  uint64_t integrations = 0;   // Naive YataIntegrate scans run.
+  uint64_t scan_steps = 0;     // Pieces examined by naive scans.
+  uint64_t or_scan_steps = 0;  // Pieces examined by right-origin scans.
+  uint64_t fast_inserts = 0;   // Inserts served by the group cache.
+  uint64_t cmp_steps = 0;      // Comparisons spent in fast-path searches.
+  uint64_t group_establishes = 0;  // Pure regions turned into a cache.
+
+  template <typename Fn>
+  static void VisitFields(Fn&& fn) {
+    fn("integrations", &YataStats::integrations);
+    fn("scan_steps", &YataStats::scan_steps);
+    fn("or_scan_steps", &YataStats::or_scan_steps);
+    fn("fast_inserts", &YataStats::fast_inserts);
+    fn("cmp_steps", &YataStats::cmp_steps);
+    fn("group_establishes", &YataStats::group_establishes);
+  }
+  void Merge(const YataStats& other) { obs::MergeStats(*this, other); }
+  void Reset() { obs::ResetStats(*this); }
+};
+
+// A sorted, coalescing set of id ranges: Add keeps the ranges ordered and
+// merges neighbours, Contains is a binary search, OverlapLen sums the
+// intersection with a query range. Integration scans only cover the items
+// between two origins, but under an insert storm that window holds the
+// whole sibling group — membership must not be a linear probe.
+class IntervalSet {
+ public:
+  void Add(Lv start, uint64_t len);
+  bool Contains(Lv id) const;
+  // Total number of ids in the intersection with [start, start + len).
+  uint64_t OverlapLen(Lv start, uint64_t len) const;
+  void Clear() { ranges_.clear(); }
+  bool empty() const { return ranges_.empty(); }
+  size_t range_count() const { return ranges_.size(); }
+
+ private:
+  struct Range {
+    Lv start;
+    Lv end;
+  };
+  std::vector<Range> ranges_;  // Sorted by start, disjoint, coalesced.
+};
+
+// The sibling-group fast path (optimised walker only; see the file
+// comment). Caches ONE group at a time:
+//
+//   key        (origin_left, origin_right) of the group
+//   siblings   the group members in tree order — which, for members with
+//              identical origins, is exactly ascending (agent, seq) order
+//              (the YATA total-order property)
+//   region     the id ranges the members occupy. Invariant while valid: the
+//              tree interval from "just after origin_left" to the boundary
+//              (origin_right, or the tree end) contains exactly the cached
+//              members, and prep_sum() is the exact sum of their characters'
+//              prepare states.
+//
+// The owner must call OnAdjustPrep for every retreat/advance and Invalidate
+// on any mutation it cannot account for (deletes, resets, restores, and any
+// insert that did not go through the cache). A miss re-establishes from the
+// next pure slow scan, so the cache is droppable at any time.
+class YataGroupCache {
+ public:
+  struct Sibling {
+    Lv id = 0;          // Head id of the member's run.
+    uint64_t len = 0;   // Run length (in ids; contiguous from `id`).
+  };
+
+  bool valid() const { return valid_; }
+  void Invalidate() {
+    valid_ = false;
+    siblings_.clear();
+    id_ranges_.Clear();
+    prep_sum_ = 0;
+  }
+
+  Lv origin_left() const { return origin_left_; }
+  Lv origin_right() const { return origin_right_; }
+  // True when the region runs to the end of the tree (origin_right is
+  // kOriginEnd and nothing follows the group).
+  bool boundary_is_end() const { return boundary_is_end_; }
+  // True when every character in the region has prep == 0 — the
+  // precondition for skipping the right-origin scan over the region.
+  bool prep_clean() const { return prep_sum_ == 0; }
+
+  const std::vector<Sibling>& siblings() const { return siblings_; }
+
+  // Installs a freshly scanned pure region (every character at prep 0).
+  void Establish(Lv origin_left, Lv origin_right, bool boundary_is_end,
+                 const std::vector<Sibling>& siblings);
+
+  // Index of the first cached sibling ordered after `new_id` (== size()
+  // when `new_id` orders after all of them). O(log k) comparisons.
+  size_t FindSlot(const Graph& graph, Lv new_id, YataStats& stats) const;
+
+  // Records the new member (freshly inserted at slot `slot`, prep == 1).
+  void InsertSibling(size_t slot, Lv id, uint64_t len);
+
+  // Retreat/advance bookkeeping: prep of ids [id_start, id_start + count)
+  // changed by `delta` each.
+  void OnAdjustPrep(Lv id_start, uint64_t count, int delta);
+
+ private:
+  bool valid_ = false;
+  Lv origin_left_ = kOriginStart;
+  Lv origin_right_ = kOriginEnd;
+  bool boundary_is_end_ = false;
+  std::vector<Sibling> siblings_;  // Tree order == (agent, seq) order.
+  IntervalSet id_ranges_;          // The same runs, keyed by id.
+  int64_t prep_sum_ = 0;           // Exact sum of region chars' prep.
+};
+
 // Returns the cursor at which a new item (or run) with the given id and
 // origins must be inserted, given `cursor` pointing immediately after the
-// item `origin_left` (or at the scan start for kOriginStart).
+// item `origin_left` (or at the scan start for kOriginStart). The naive
+// scan: linear in the pieces crossed, shared by the walker's slow path and
+// the reference oracles. `stats`, when non-null, receives scan-step counts.
 StateTree::Cursor YataIntegrate(const StateTree& tree, const Graph& graph,
                                 StateTree::Cursor cursor, Lv new_id, Lv origin_left,
-                                Lv origin_right);
+                                Lv origin_right, YataStats* stats = nullptr);
 
 }  // namespace egwalker
 

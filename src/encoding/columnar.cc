@@ -47,7 +47,8 @@ constexpr uint8_t kMaxColId = kColSurvival;
 constexpr uint8_t kCodecRaw = 0;
 constexpr uint8_t kCodecLz4 = 1;
 constexpr uint8_t kCodecLzHuf = 2;
-constexpr uint8_t kMaxCodec = kCodecLzHuf;
+constexpr uint8_t kCodecLzHufStatic = 3;  // Table-less fixed code (tiny columns).
+constexpr uint8_t kMaxCodec = kCodecLzHufStatic;
 
 // Fail-closed allocation cap: no column may claim more than this many
 // bytes raw or stored, so a corrupt length cannot make the decoder
@@ -57,9 +58,16 @@ constexpr uint64_t kMaxColumnLen = 1ull << 28;  // 256 MiB
 // capped values cannot overflow uint64, so range checks stay sound.
 constexpr uint64_t kMaxCount = 1ull << 62;
 
-// Columns smaller than this stay raw: LZ4's token overhead beats any
-// saving, and the decompress round-trip costs more than the memcpy.
+// Columns smaller than this skip the table-carrying codecs: LZ4's token
+// overhead beats any saving, and dynamic Huffman pays ~30-80 bytes of
+// code-length tables before the first symbol.
 constexpr size_t kCompressMinLen = 64;
+// Columns in [kStaticMinLen, kStaticTryMax) additionally try the table-less
+// static-code lzhuf variant. Below kCompressMinLen it is the only candidate
+// (it has no fixed cost to amortise); above, it competes with the dynamic
+// code until the payload is big enough that dynamic tables always pay off.
+constexpr size_t kStaticMinLen = 16;
+constexpr size_t kStaticTryMax = 512;
 
 // FNV-1a over the stored bytes of each v2 column. Cheap enough to verify
 // on every load — which is what lets lazy decode skip *parsing* a column
@@ -97,16 +105,27 @@ void AppendColumnBlock(std::string& out, const std::vector<ColumnSpec>& cols, bo
   std::vector<uint8_t> codec(cols.size(), kCodecRaw);
   for (size_t i = 0; i < cols.size(); ++i) {
     const std::string& raw = *cols[i].data;
-    if (compress && raw.size() >= kCompressMinLen) {
-      // Entropy coding (lzhuf) usually wins; plain LZ4 occasionally does on
-      // small or match-dense columns. Segments compress once and decode
-      // many times, so trying both is the right trade.
-      std::string packed = lzhuf::Compress(raw);
-      uint8_t packed_codec = kCodecLzHuf;
-      std::string lz4_packed = lz4::Compress(raw);
-      if (lz4_packed.size() < packed.size()) {
-        packed = std::move(lz4_packed);
-        packed_codec = kCodecLz4;
+    if (compress && raw.size() >= kStaticMinLen) {
+      // Segments compress once and decode many times, so trying every
+      // plausible codec is the right trade. Tiny columns only get the
+      // table-less static code; mid-size columns race it against the
+      // dynamic code and LZ4 (either of which occasionally wins).
+      std::string packed;
+      uint8_t packed_codec = kCodecLzHufStatic;
+      if (raw.size() < kStaticTryMax) {
+        packed = lzhuf::CompressStatic(raw);
+      }
+      if (raw.size() >= kCompressMinLen) {
+        std::string dyn = lzhuf::Compress(raw);
+        if (packed.empty() || dyn.size() < packed.size()) {
+          packed = std::move(dyn);
+          packed_codec = kCodecLzHuf;
+        }
+        std::string lz4_packed = lz4::Compress(raw);
+        if (lz4_packed.size() < packed.size()) {
+          packed = std::move(lz4_packed);
+          packed_codec = kCodecLz4;
+        }
       }
       // Keep the compressed form only when it saves at least 1/8th.
       if (packed.size() <= raw.size() - raw.size() / 8) {
@@ -220,6 +239,8 @@ std::optional<std::string> DecompressColumn(uint8_t codec, std::string_view stor
       return lz4::Decompress(stored, raw_size);
     case kCodecLzHuf:
       return lzhuf::Decompress(stored, raw_size);
+    case kCodecLzHufStatic:
+      return lzhuf::DecompressStatic(stored, raw_size);
     default:
       return std::nullopt;  // Directory validation already rejects these.
   }

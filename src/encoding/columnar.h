@@ -29,7 +29,8 @@
 //      still emit it when SaveOptions::format_version == 1 (the default for
 //      the full file format, so Figure 8/11/12 baselines are unchanged).
 //   v2 (indexed): after the header, a column DIRECTORY records, per column,
-//      {column id, codec id (raw | LZ4 | LZ+Huffman), raw size, stored size,
+//      {column id, codec id (raw | LZ4 | LZ+Huffman | static LZ+Huffman),
+//      raw size, stored size,
 //      byte offset, FNV-1a checksum of the stored bytes}, and payloads
 //      follow. Segment headers additionally carry per-agent seq extents,
 //      the ops column splits its header/delta streams and delta-codes
@@ -199,7 +200,7 @@ struct SegmentAgentExtent {
 // lazy-decode savings without touching payloads.
 struct SegmentColumn {
   uint8_t id = 0;           // kCol* in columnar.cc / docs/EGWS.md.
-  uint8_t codec = 0;        // 0 = raw, 1 = LZ4, 2 = LZ+Huffman.
+  uint8_t codec = 0;        // 0 = raw, 1 = LZ4, 2 = LZ+Huffman, 3 = static LZ+Huffman.
   uint64_t raw_size = 0;    // Decompressed byte length.
   uint64_t stored_size = 0; // Byte length inside the container.
 };

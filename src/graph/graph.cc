@@ -1,5 +1,6 @@
 #include "graph/graph.h"
 
+#include <algorithm>
 #include <cstddef>
 #include <queue>
 #include <unordered_set>
@@ -125,11 +126,44 @@ uint64_t Graph::NextSeqFor(AgentId agent) const {
   return agent_seq_to_lv_[agent].back().seq_end;
 }
 
+int Graph::CompareAgents(AgentId x, AgentId y) const {
+  if (x < ranked_count_ && y < ranked_count_) {
+    // Ranks are unique (distinct agents have distinct names), so this is
+    // exact, not a pre-filter.
+    return agent_rank_[x] < agent_rank_[y] ? -1 : 1;
+  }
+  // At least one agent was interned after the last rebuild. Rebuild once
+  // the misses amortise the sort; until then string-compare (always exact).
+  if (++rank_misses_ > ranked_count_ / 8 + 32) {
+    RebuildAgentRanks();
+    if (x < ranked_count_ && y < ranked_count_) {
+      return agent_rank_[x] < agent_rank_[y] ? -1 : 1;
+    }
+  }
+  int c = agent_names_[x].compare(agent_names_[y]);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+void Graph::RebuildAgentRanks() const {
+  std::vector<uint32_t> order(agent_names_.size());
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](uint32_t x, uint32_t y) { return agent_names_[x] < agent_names_[y]; });
+  agent_rank_.resize(order.size());
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    agent_rank_[order[i]] = i;
+  }
+  ranked_count_ = order.size();
+  rank_misses_ = 0;
+}
+
 int Graph::CompareRaw(Lv a, Lv b) const {
   const AgentSpan& sa = agent_assignment_.FindChecked(a);
   const AgentSpan& sb = agent_assignment_.FindChecked(b);
   if (sa.agent != sb.agent) {
-    int c = agent_names_[sa.agent].compare(agent_names_[sb.agent]);
+    int c = CompareAgents(sa.agent, sb.agent);
     if (c != 0) {
       return c < 0 ? -1 : 1;
     }

@@ -296,6 +296,11 @@ class Graph {
   Frontier Reduce(const Frontier& frontier) const;
 
  private:
+  // Lexicographic agent comparison backing CompareRaw's tie-break, via the
+  // rank cache when both agents are ranked (see agent_rank_ below).
+  int CompareAgents(AgentId a, AgentId b) const;
+  void RebuildAgentRanks() const;
+
   // --- Run-level walk helpers (see DiffUncached) ----------------------------
   // Per-agent seq watermarks, one set per diff side, epoch-stamped so a new
   // walk invalidates them in O(1) instead of clearing (the vectors persist
@@ -323,6 +328,16 @@ class Graph {
   std::vector<RleVec<AgentSeqRun>> agent_seq_to_lv_;
 
   std::vector<std::string> agent_names_;
+  // Agent-order cache for CompareRaw: agent_rank_[a] is a's index in the
+  // lexicographic order of agent names, valid for a < ranked_count_. Interns
+  // never rename agents, so ranks assigned in one rebuild stay mutually
+  // consistent forever; agents interned since the last rebuild fall back to
+  // string compares, and a miss counter triggers a batched re-sort so swarm
+  // histories (thousands-to-millions of agents) pay O(log A) amortised per
+  // new agent instead of a per-comparison string walk.
+  mutable std::vector<uint32_t> agent_rank_;
+  mutable size_t ranked_count_ = 0;
+  mutable uint64_t rank_misses_ = 0;
   // Heterogeneous lookup: RawToLv and friends sit on per-probe hot paths
   // (convergence sweeps call them every tick), so find() must take a
   // string_view without materialising a std::string.

@@ -340,47 +340,13 @@ bool ReadLengthTable(BitReader& reader, size_t alphabet, std::vector<uint8_t>* l
   return true;
 }
 
-}  // namespace
-
-std::string Compress(std::string_view src) {
-  std::vector<lz4::LzStep> steps = lz4::Parse(src);
-
-  // Pass 1: symbol frequencies. Long matches are split into <= kMaxMatch
-  // chunks (every chunk >= 4, see the emit loop).
-  std::vector<uint64_t> lit_freq(kLitLenSymbols, 0);
-  std::vector<uint64_t> dist_freq(kNumDistCodes, 0);
-  lit_freq[kEob] = 1;
-  {
-    size_t pos = 0;
-    for (const lz4::LzStep& step : steps) {
-      for (size_t i = 0; i < step.literals; ++i) {
-        ++lit_freq[static_cast<unsigned char>(src[pos + i])];
-      }
-      pos += step.literals;
-      size_t remaining = step.match_len;
-      while (remaining > 0) {
-        size_t chunk = remaining;
-        if (chunk > kMaxMatch) {
-          chunk = remaining - kMaxMatch >= 4 ? kMaxMatch : kMaxMatch - 4;
-        }
-        ++lit_freq[257 + static_cast<size_t>(LenToCode(chunk))];
-        ++dist_freq[static_cast<size_t>(DistToCode(step.offset))];
-        remaining -= chunk;
-      }
-      pos += step.match_len;
-    }
-  }
-
-  std::vector<uint8_t> lit_lengths = BuildLengths(lit_freq);
-  std::vector<uint8_t> dist_lengths = BuildLengths(dist_freq);
-  std::vector<uint32_t> lit_codes = AssignCodes(lit_lengths);
-  std::vector<uint32_t> dist_codes = AssignCodes(dist_lengths);
-
-  BitWriter writer;
-  WriteLengthTable(writer, lit_lengths);
-  WriteLengthTable(writer, dist_lengths);
-
-  // Pass 2: emit.
+// Emits the symbol stream (pass 2 of Compress): literals, split matches,
+// terminating EOB. Shared between the dynamic- and static-code variants —
+// only the code tables differ.
+void EmitStream(BitWriter& writer, std::string_view src, const std::vector<lz4::LzStep>& steps,
+                const std::vector<uint8_t>& lit_lengths, const std::vector<uint32_t>& lit_codes,
+                const std::vector<uint8_t>& dist_lengths,
+                const std::vector<uint32_t>& dist_codes) {
   size_t pos = 0;
   for (const lz4::LzStep& step : steps) {
     for (size_t i = 0; i < step.literals; ++i) {
@@ -407,23 +373,12 @@ std::string Compress(std::string_view src) {
     pos += step.match_len;
   }
   writer.PutCode(lit_codes[kEob], lit_lengths[kEob]);
-  return writer.Finish();
 }
 
-std::optional<std::string> Decompress(std::string_view src, size_t decompressed_size) {
-  BitReader reader(src);
-  std::vector<uint8_t> lit_lengths;
-  std::vector<uint8_t> dist_lengths;
-  if (!ReadLengthTable(reader, kLitLenSymbols, &lit_lengths) ||
-      !ReadLengthTable(reader, kNumDistCodes, &dist_lengths)) {
-    return std::nullopt;
-  }
-  Decoder lit_dec;
-  Decoder dist_dec;
-  if (!BuildDecoder(lit_lengths, &lit_dec) || !BuildDecoder(dist_lengths, &dist_dec)) {
-    return std::nullopt;
-  }
-
+// Decodes a symbol stream under the given decoders (everything after the
+// code-length tables). Fail-closed exactly like Decompress.
+std::optional<std::string> DecodeStream(BitReader& reader, const Decoder& lit_dec,
+                                        const Decoder& dist_dec, size_t decompressed_size) {
   std::string out;
   out.reserve(decompressed_size);
   for (;;) {
@@ -473,6 +428,107 @@ std::optional<std::string> Decompress(std::string_view src, size_t decompressed_
     return std::nullopt;
   }
   return out;
+}
+
+// The fixed code for the table-less variant. Both length vectors are
+// Kraft-exact so BuildDecoder accepts them unchanged:
+//   lit/len: 226 symbols at 8 bits + 60 at 9 bits  (226/256 + 60/512 = 1)
+//   dist:    all 32 symbols at 5 bits              (32/32 = 1)
+// EOB and the match-length codes share the short class with the low
+// literals — tiny column payloads are mostly ASCII plus matches, so the
+// 9-bit class lands on the bytes they rarely contain.
+void StaticLengths(std::vector<uint8_t>* lit_lengths, std::vector<uint8_t>* dist_lengths) {
+  lit_lengths->assign(kLitLenSymbols, 8);
+  for (size_t sym = 196; sym < 256; ++sym) {
+    (*lit_lengths)[sym] = 9;
+  }
+  dist_lengths->assign(kNumDistCodes, 5);
+}
+
+}  // namespace
+
+std::string Compress(std::string_view src) {
+  std::vector<lz4::LzStep> steps = lz4::Parse(src);
+
+  // Pass 1: symbol frequencies. Long matches are split into <= kMaxMatch
+  // chunks (every chunk >= 4, see the emit loop).
+  std::vector<uint64_t> lit_freq(kLitLenSymbols, 0);
+  std::vector<uint64_t> dist_freq(kNumDistCodes, 0);
+  lit_freq[kEob] = 1;
+  {
+    size_t pos = 0;
+    for (const lz4::LzStep& step : steps) {
+      for (size_t i = 0; i < step.literals; ++i) {
+        ++lit_freq[static_cast<unsigned char>(src[pos + i])];
+      }
+      pos += step.literals;
+      size_t remaining = step.match_len;
+      while (remaining > 0) {
+        size_t chunk = remaining;
+        if (chunk > kMaxMatch) {
+          chunk = remaining - kMaxMatch >= 4 ? kMaxMatch : kMaxMatch - 4;
+        }
+        ++lit_freq[257 + static_cast<size_t>(LenToCode(chunk))];
+        ++dist_freq[static_cast<size_t>(DistToCode(step.offset))];
+        remaining -= chunk;
+      }
+      pos += step.match_len;
+    }
+  }
+
+  std::vector<uint8_t> lit_lengths = BuildLengths(lit_freq);
+  std::vector<uint8_t> dist_lengths = BuildLengths(dist_freq);
+  std::vector<uint32_t> lit_codes = AssignCodes(lit_lengths);
+  std::vector<uint32_t> dist_codes = AssignCodes(dist_lengths);
+
+  BitWriter writer;
+  WriteLengthTable(writer, lit_lengths);
+  WriteLengthTable(writer, dist_lengths);
+  EmitStream(writer, src, steps, lit_lengths, lit_codes, dist_lengths, dist_codes);
+  return writer.Finish();
+}
+
+std::optional<std::string> Decompress(std::string_view src, size_t decompressed_size) {
+  BitReader reader(src);
+  std::vector<uint8_t> lit_lengths;
+  std::vector<uint8_t> dist_lengths;
+  if (!ReadLengthTable(reader, kLitLenSymbols, &lit_lengths) ||
+      !ReadLengthTable(reader, kNumDistCodes, &dist_lengths)) {
+    return std::nullopt;
+  }
+  Decoder lit_dec;
+  Decoder dist_dec;
+  if (!BuildDecoder(lit_lengths, &lit_dec) || !BuildDecoder(dist_lengths, &dist_dec)) {
+    return std::nullopt;
+  }
+  return DecodeStream(reader, lit_dec, dist_dec, decompressed_size);
+}
+
+std::string CompressStatic(std::string_view src) {
+  std::vector<lz4::LzStep> steps = lz4::Parse(src);
+  std::vector<uint8_t> lit_lengths;
+  std::vector<uint8_t> dist_lengths;
+  StaticLengths(&lit_lengths, &dist_lengths);
+  std::vector<uint32_t> lit_codes = AssignCodes(lit_lengths);
+  std::vector<uint32_t> dist_codes = AssignCodes(dist_lengths);
+  BitWriter writer;
+  EmitStream(writer, src, steps, lit_lengths, lit_codes, dist_lengths, dist_codes);
+  return writer.Finish();
+}
+
+std::optional<std::string> DecompressStatic(std::string_view src, size_t decompressed_size) {
+  std::vector<uint8_t> lit_lengths;
+  std::vector<uint8_t> dist_lengths;
+  StaticLengths(&lit_lengths, &dist_lengths);
+  Decoder lit_dec;
+  Decoder dist_dec;
+  // The static lengths are Kraft-exact by construction; BuildDecoder
+  // cannot fail on them.
+  if (!BuildDecoder(lit_lengths, &lit_dec) || !BuildDecoder(dist_lengths, &dist_dec)) {
+    return std::nullopt;
+  }
+  BitReader reader(src);
+  return DecodeStream(reader, lit_dec, dist_dec, decompressed_size);
 }
 
 }  // namespace egwalker::lzhuf

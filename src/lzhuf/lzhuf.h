@@ -40,6 +40,15 @@ std::string Compress(std::string_view src);
 // original size. Returns std::nullopt on malformed input.
 std::optional<std::string> Decompress(std::string_view src, size_t decompressed_size);
 
+// Static-code variant: same LZ step stream and bit-level format as
+// Compress(), but under a fixed canonical code both sides compute locally,
+// so the stream carries no code-length tables at all. On tiny payloads
+// (tens of bytes) the dynamic tables cost more than entropy coding saves;
+// this is the fallback for that regime. The two formats are NOT
+// interchangeable — a stream must be decoded by the variant that wrote it.
+std::string CompressStatic(std::string_view src);
+std::optional<std::string> DecompressStatic(std::string_view src, size_t decompressed_size);
+
 }  // namespace egwalker::lzhuf
 
 #endif  // EGWALKER_LZHUF_LZHUF_H_

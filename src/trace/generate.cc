@@ -538,6 +538,168 @@ Trace GenerateAsync(const AsyncConfig& config, std::string name) {
 }
 
 // ---------------------------------------------------------------------------
+// Hostile presets (docs/TRACES.md)
+// ---------------------------------------------------------------------------
+
+Trace GenerateStorm(const StormConfig& config, std::string name) {
+  Trace trace;
+  trace.name = std::move(name);
+  Prng rng(config.seed);
+
+  const AgentId base = trace.graph.GetOrCreateAgent("base");
+  std::string prose = GenerateProse(rng, std::max<uint64_t>(config.base_chars, 2));
+  Lv lv = trace.AppendInsert(base, {}, 0, prose);
+  uint64_t doc_len = prose.size();
+
+  const uint32_t width = std::max<uint32_t>(config.width, 2);
+  Prng shuffle_rng(config.shuffle_seed);
+  for (uint32_t round = 0; round < std::max<uint32_t>(config.rounds, 1); ++round) {
+    const Frontier fork = trace.graph.version();
+    const uint64_t pos = doc_len / 2;
+    // Arrival order is a permutation drawn from shuffle_seed; everything a
+    // client contributes (name, text) depends only on (seed, round, i), so
+    // any permutation must converge to the same document.
+    std::vector<uint32_t> arrival(width);
+    for (uint32_t i = 0; i < width; ++i) {
+      arrival[i] = i;
+    }
+    for (uint32_t i = width; i > 1; --i) {
+      std::swap(arrival[i - 1], arrival[shuffle_rng.Below(i)]);
+    }
+    std::vector<Lv> tips;
+    tips.reserve(width);
+    for (uint32_t k = 0; k < width; ++k) {
+      const uint32_t i = arrival[k];
+      // Decimal agent names on purpose: lexicographic order ("st-0-10" <
+      // "st-0-2") scrambles the (agent, seq) tie-break relative to arrival.
+      const AgentId a = trace.graph.GetOrCreateAgent("st-" + std::to_string(round) + "-" +
+                                                     std::to_string(i));
+      Prng crng(config.seed + 0x9E3779B97F4A7C15ull * (i + 1) + round);
+      std::string text = GenerateProse(crng, std::max<uint32_t>(config.run_len, 1));
+      lv = trace.AppendInsert(a, fork, pos, text);
+      tips.push_back(lv + text.size() - 1);
+    }
+    doc_len += static_cast<uint64_t>(width) * std::max<uint32_t>(config.run_len, 1);
+    // The merge: one observer sees every storm tip at once.
+    std::sort(tips.begin(), tips.end());
+    Frontier merged;
+    for (Lv t : tips) {
+      FrontierInsert(merged, t);
+    }
+    trace.AppendInsert(base, trace.graph.Reduce(merged), 0, ".");
+    doc_len += 1;
+  }
+  return trace;
+}
+
+Trace GenerateSwarm(const SwarmConfig& config, std::string name) {
+  Trace trace;
+  trace.name = std::move(name);
+  Prng rng(config.seed);
+
+  const AgentId base = trace.graph.GetOrCreateAgent("sw-base");
+  std::string prose = GenerateProse(rng, 64);
+  trace.AppendInsert(base, {}, 0, prose);
+  uint64_t doc_len = prose.size();
+
+  const uint64_t pairs = std::max<uint64_t>(config.agents, 2) / 2;
+  for (uint64_t p = 0; p < pairs; ++p) {
+    const Frontier fork = trace.graph.version();
+    const uint64_t pos = rng.Below(doc_len + 1);
+    std::string ta = GenerateProse(rng, 1 + rng.Below(3));
+    std::string tb = GenerateProse(rng, 1 + rng.Below(3));
+    const AgentId a = trace.graph.GetOrCreateAgent("sw-" + std::to_string(2 * p));
+    const AgentId b = trace.graph.GetOrCreateAgent("sw-" + std::to_string(2 * p + 1));
+    trace.AppendInsert(a, fork, pos, ta);
+    trace.AppendInsert(b, fork, pos, tb);
+    doc_len += ta.size() + tb.size();
+    if (rng.Chance(0.2)) {
+      // Occasional sequential growth by the long-lived agent; this also
+      // joins the pair's tips so the frontier stays narrow.
+      std::string grow = GenerateProse(rng, 1 + rng.Below(8));
+      trace.AppendInsert(base, trace.graph.version(), doc_len, grow);
+      doc_len += grow.size();
+    }
+  }
+  return trace;
+}
+
+Trace GenerateSparseLate(const SparseLateConfig& config, std::string name) {
+  Trace trace;
+  trace.name = std::move(name);
+  Prng rng(config.seed);
+
+  // The early years: one author, one character per event, append-only — so
+  // the document at any early version `a` is exactly the first a + 1
+  // characters, which keeps the late edits' positions valid by construction.
+  const AgentId ancient = trace.graph.GetOrCreateAgent("ancient");
+  const uint64_t early = std::max<uint64_t>(config.early_events, 16);
+  uint64_t written = 0;
+  while (written < early) {
+    uint64_t chunk = std::min<uint64_t>(early - written, 512);
+    std::string text = GenerateProse(rng, chunk);
+    trace.AppendInsert(ancient, trace.graph.version(), written, text);
+    written += chunk;
+  }
+
+  // The returns: each late agent edits against a random ancient anchor, so
+  // every merge step retreats across most of the history.
+  for (uint32_t i = 0; i < config.late_edits; ++i) {
+    const Lv anchor = rng.Below(early);
+    const uint64_t pos = rng.Below(anchor + 2);  // Doc at `anchor` has anchor+1 chars.
+    const AgentId a = trace.graph.GetOrCreateAgent("late-" + std::to_string(i));
+    std::string text = GenerateProse(rng, 1 + rng.Below(8));
+    trace.AppendInsert(a, Frontier{anchor}, pos, text);
+  }
+  trace.AppendInsert(ancient, trace.graph.version(), 0, ".");
+  return trace;
+}
+
+Trace GenerateMassReturn(const MassReturnConfig& config, std::string name) {
+  Trace trace;
+  trace.name = std::move(name);
+  Prng rng(config.seed);
+
+  const uint32_t replicas = std::max<uint32_t>(config.replicas, 2);
+  const uint64_t seg = std::max<uint64_t>(config.segment_chars, 16);
+  const AgentId base = trace.graph.GetOrCreateAgent("base");
+  std::string prose = GenerateProse(rng, replicas * seg);
+  trace.AppendInsert(base, {}, 0, prose);
+  const Frontier fork = trace.graph.version();
+
+  // Each replica edits only its own segment, whose start offset is i * seg
+  // in its own view (the regions before it are never edited there), so the
+  // offline positions stay valid without any cross-replica coordination.
+  for (uint32_t i = 0; i < replicas; ++i) {
+    Prng rrng(config.seed + 0x9E3779B97F4A7C15ull * (i + 1));
+    const AgentId a = trace.graph.GetOrCreateAgent("rep-" + std::to_string(i));
+    Frontier tip = fork;
+    const uint64_t region_start = static_cast<uint64_t>(i) * seg;
+    uint64_t region_len = seg;
+    for (uint64_t e = 0; e < std::max<uint64_t>(config.events_per_replica, 1);) {
+      if (region_len > 8 && rrng.Chance(0.3)) {
+        const uint64_t count = 1 + rrng.Below(2);
+        const uint64_t pos = region_start + rrng.Below(region_len - count);
+        Lv lv = trace.AppendDelete(a, tip, pos, count, /*fwd=*/true);
+        tip = Frontier{lv + count - 1};
+        region_len -= count;
+        e += count;
+      } else {
+        std::string text = GenerateProse(rrng, 1 + rrng.Below(4));
+        const uint64_t pos = region_start + rrng.Below(region_len + 1);
+        Lv lv = trace.AppendInsert(a, tip, pos, text);
+        tip = Frontier{lv + text.size() - 1};
+        region_len += text.size();
+        e += text.size();
+      }
+    }
+  }
+  // Everyone comes back online at once: one merge observing every replica.
+  trace.AppendInsert(base, trace.graph.version(), 0, ".");
+  return trace;
+}
+
+// ---------------------------------------------------------------------------
 // Trace repetition (Table 1's "Repeats" column)
 // ---------------------------------------------------------------------------
 
@@ -597,6 +759,10 @@ Trace RepeatTrace(const Trace& trace, uint32_t times, uint64_t final_len) {
 
 std::vector<std::string> TraceNames() { return {"S1", "S2", "S3", "C1", "C2", "A1", "A2"}; }
 
+std::vector<std::string> HostileTraceNames() {
+  return {"storm", "storm-1k", "swarm", "sparse-late", "mass-return"};
+}
+
 Trace GenerateNamedTrace(std::string_view name, double scale) {
   auto events = [scale](double thousands) {
     return static_cast<uint64_t>(std::llround(thousands * 1000.0 * scale));
@@ -640,6 +806,26 @@ Trace GenerateNamedTrace(std::string_view name, double scale) {
     cfg.authors = 299;
     cfg.seed = 0xA2;
     return GenerateAsync(cfg, "A2");
+  }
+  // Hostile presets ignore `scale` (fixed shapes; see generate.h).
+  if (name == "storm") {
+    return GenerateStorm({/*width=*/4096, /*run_len=*/4, /*base_chars=*/512, /*rounds=*/2},
+                         "storm");
+  }
+  if (name == "storm-1k") {
+    StormConfig cfg;
+    cfg.width = 1024;
+    cfg.rounds = 2;
+    return GenerateStorm(cfg, "storm-1k");
+  }
+  if (name == "swarm") {
+    return GenerateSwarm({}, "swarm");
+  }
+  if (name == "sparse-late") {
+    return GenerateSparseLate({}, "sparse-late");
+  }
+  if (name == "mass-return") {
+    return GenerateMassReturn({}, "mass-return");
   }
   EGW_CHECK(false && "unknown trace name");
   return Trace{};

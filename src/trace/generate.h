@@ -65,12 +65,74 @@ struct AsyncConfig {
   uint64_t seed = 3;
 };
 
+// --- Hostile presets ---------------------------------------------------------
+//
+// Adversarial shapes the Table 1 traces never produce, each targeting one
+// known complexity wall (docs/TRACES.md catalogues them). Unlike the paper
+// presets these have FIXED shapes: the walls they probe are parameterised
+// by structure (group width, agent count, history depth), not event volume,
+// and the gated bench rows compare deterministic scan-step counters across
+// preset variants — which only works if the shapes never move with --scale.
+
+// Same-position insert storm: `width` clients all insert `run_len` chars at
+// the same position concurrently, `rounds` times. Every insert lands in one
+// `width`-wide YATA sibling group — the O(N^2) integration wall. The final
+// document depends only on `seed`, never on `shuffle_seed` (which permutes
+// arrival order): pairs of shuffles double as a delivery-order
+// permutation-invariance oracle.
+struct StormConfig {
+  uint32_t width = 4096;      // Concurrent same-position inserters per round.
+  uint32_t run_len = 4;       // Characters per concurrent insert.
+  uint64_t base_chars = 512;  // Seed prose typed before the storm.
+  uint32_t rounds = 1;
+  uint64_t seed = 0x5701;
+  uint64_t shuffle_seed = 0;  // Arrival permutation; must not change the doc.
+};
+
+// Agent swarm: `agents` distinct single-use agents arriving as concurrent
+// same-position pairs. Stresses agent interning, the CompareRaw order cache,
+// and every per-agent table; sibling groups stay narrow (width 2).
+struct SwarmConfig {
+  uint64_t agents = 20000;
+  uint64_t seed = 0x57A2;
+};
+
+// Sparse-late: a years-long linear history (`early_events` single-character
+// appends by one author), then `late_edits` agents each edit concurrently
+// against an ancient anchor version. Stresses retreat/advance magnitude —
+// each late edit forces a version walk across most of the history.
+struct SparseLateConfig {
+  uint64_t early_events = 200000;
+  uint32_t late_edits = 64;
+  uint64_t seed = 0x5913;
+};
+
+// Mass return: `replicas` clients fork from one base document, each edits
+// only its own `segment_chars`-wide region offline for `events_per_replica`
+// events, then everyone merges at once. Stresses wide-frontier merges with
+// no critical versions inside the window.
+struct MassReturnConfig {
+  uint32_t replicas = 64;
+  uint64_t events_per_replica = 256;
+  uint64_t segment_chars = 128;
+  uint64_t seed = 0x3E7;
+};
+
 Trace GenerateSequential(const SequentialConfig& config, std::string name);
 Trace GenerateConcurrent(const ConcurrentConfig& config, std::string name);
 Trace GenerateAsync(const AsyncConfig& config, std::string name);
+Trace GenerateStorm(const StormConfig& config, std::string name);
+Trace GenerateSwarm(const SwarmConfig& config, std::string name);
+Trace GenerateSparseLate(const SparseLateConfig& config, std::string name);
+Trace GenerateMassReturn(const MassReturnConfig& config, std::string name);
 
 // Names of the seven Table 1 presets: S1 S2 S3 C1 C2 A1 A2.
 std::vector<std::string> TraceNames();
+
+// Names of the hostile presets: storm storm-1k swarm sparse-late
+// mass-return. GenerateNamedTrace accepts these too (scale is ignored for
+// them; see above).
+std::vector<std::string> HostileTraceNames();
 
 // Generates a named preset. `scale` multiplies the event count (1.0 = the
 // paper's normalised size, roughly 500k-1M inserted characters).

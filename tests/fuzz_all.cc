@@ -16,7 +16,11 @@
 //   - the agent-indexed O(delta) MakePatch vs the whole-history
 //     MakePatchReference oracle over perturbed summaries (absent agents,
 //     inflated seqs, watermarks splitting RLE runs mid-chunk), requiring
-//     byte-identical patches and scanned == encoded work counters.
+//     byte-identical patches and scanned == encoded work counters;
+//   - one hostile generator preset (storm/swarm/sparse-late/mass-return,
+//     docs/TRACES.md) at seed-randomised size, replayed under every sort
+//     order with and without clearing against the oracle — the sibling-group
+//     fast path must never change a byte.
 //
 // Usage: fuzz_all [count] [start_seed]
 //   ./build/tests/fuzz_all 100000       # long background hunt
@@ -36,6 +40,7 @@
 #include "ot/ot.h"
 #include "sync/patch.h"
 #include "testing/random_trace.h"
+#include "trace/generate.h"
 
 namespace egwalker {
 namespace {
@@ -43,6 +48,7 @@ namespace {
 bool CheckDiffCacheAndCursor(uint64_t seed, const Trace& t);
 bool CheckSessionPatchSequences(uint64_t seed);
 bool CheckSegmentCorruption(uint64_t seed);
+bool CheckHostilePreset(uint64_t seed);
 
 bool CheckSeed(uint64_t seed) {
   testing::RandomTraceOptions opts;
@@ -98,7 +104,88 @@ bool CheckSeed(uint64_t seed) {
   if (!CheckDiffCacheAndCursor(seed, t)) {
     return false;
   }
-  return CheckSessionPatchSequences(seed) && CheckSegmentCorruption(seed);
+  return CheckSessionPatchSequences(seed) && CheckSegmentCorruption(seed) &&
+         CheckHostilePreset(seed);
+}
+
+// Hostile generator presets (docs/TRACES.md) at seed-randomised sizes: the
+// sibling-group fast path in the walker must stay byte-identical to the
+// pseudocode oracle and the reference CRDT under every shape the
+// storm/swarm/sparse-late/mass-return generators can produce — wide
+// same-origin groups, thousands of one-shot agents, ancient anchors, and
+// wide frontier merges all bend its invariants differently.
+bool CheckHostilePreset(uint64_t seed) {
+  Trace t;
+  switch (seed % 4) {
+    case 0: {
+      StormConfig cfg;
+      cfg.width = 16 + static_cast<uint32_t>(seed % 97);
+      cfg.run_len = 1 + static_cast<uint32_t>(seed % 5);
+      cfg.base_chars = 32;
+      cfg.rounds = 1 + static_cast<uint32_t>(seed % 2);
+      cfg.seed = seed * 0x9E37 + 1;
+      cfg.shuffle_seed = seed ^ 0x570;
+      t = GenerateStorm(cfg, "fuzz-storm");
+      break;
+    }
+    case 1: {
+      SwarmConfig cfg;
+      cfg.agents = 2 * (8 + seed % 150);
+      cfg.seed = seed * 31 + 7;
+      t = GenerateSwarm(cfg, "fuzz-swarm");
+      break;
+    }
+    case 2: {
+      SparseLateConfig cfg;
+      cfg.early_events = 500 + seed % 1500;
+      cfg.late_edits = 4 + static_cast<uint32_t>(seed % 12);
+      cfg.seed = seed * 131 + 3;
+      t = GenerateSparseLate(cfg, "fuzz-sparse-late");
+      break;
+    }
+    default: {
+      MassReturnConfig cfg;
+      cfg.replicas = 2 + static_cast<uint32_t>(seed % 8);
+      cfg.events_per_replica = 16 + seed % 48;
+      cfg.segment_chars = 8 + seed % 32;
+      cfg.seed = seed * 17 + 11;
+      t = GenerateMassReturn(cfg, "fuzz-mass-return");
+      break;
+    }
+  }
+  SimpleWalker oracle(t.graph, t.ops);
+  const std::string expected = oracle.ReplayAll();
+  std::vector<CrdtOp> crdt_ops;
+  for (SortMode mode : {SortMode::kHeuristic, SortMode::kLvOrder, SortMode::kAdversarial}) {
+    for (bool clearing : {true, false}) {
+      Walker walker(t.graph, t.ops);
+      Rope doc;
+      Walker::Options wopts;
+      wopts.sort_mode = mode;
+      wopts.enable_clearing = clearing;
+      ReplaySinks sinks;
+      if (mode == SortMode::kLvOrder && !clearing) {
+        sinks.crdt_ops = &crdt_ops;
+      }
+      walker.ReplayAll(doc, wopts, sinks);
+      if (doc.ToString() != expected) {
+        std::fprintf(stderr, "HOSTILE WALKER MISMATCH seed=%llu mode=%d clearing=%d\n",
+                     static_cast<unsigned long long>(seed), static_cast<int>(mode), clearing);
+        return false;
+      }
+    }
+  }
+  RefCrdt ref(t.graph);
+  Rope ref_doc;
+  for (const CrdtOp& op : crdt_ops) {
+    ref.Apply(op, ref_doc);
+  }
+  if (ref_doc.ToString() != expected) {
+    std::fprintf(stderr, "HOSTILE CRDT MISMATCH seed=%llu\n",
+                 static_cast<unsigned long long>(seed));
+    return false;
+  }
+  return true;
 }
 
 // Fail-closed decoder: a genuine multi-segment chain (mixed v1/v2 layouts,

@@ -301,7 +301,7 @@ TEST(SegmentV2, PeekReportsDirectoryAndExtents) {
   EXPECT_FALSE(info->columns.empty());
   uint64_t stored = 0;
   for (const SegmentColumn& col : info->columns) {
-    EXPECT_LE(col.codec, 2u);  // raw, LZ4, or LZ+Huffman.
+    EXPECT_LE(col.codec, 3u);  // raw, LZ4, LZ+Huffman, or static LZ+Huffman.
     stored += col.stored_size;
   }
   EXPECT_LE(stored, seg.size());

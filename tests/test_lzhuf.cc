@@ -1,0 +1,141 @@
+// Tests for the LZ + canonical-Huffman codec, dynamic and static variants:
+// round trips, the tiny-column regime the static code exists for, and
+// fail-closed decoding of corrupt input.
+
+#include "lzhuf/lzhuf.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/generate.h"
+#include "util/prng.h"
+
+namespace egwalker {
+namespace {
+
+// Both variants must round-trip every input; they only differ in where the
+// code tables live.
+void ExpectRoundTrips(const std::string& input) {
+  std::string dyn = lzhuf::Compress(input);
+  auto dyn_out = lzhuf::Decompress(dyn, input.size());
+  ASSERT_TRUE(dyn_out.has_value());
+  EXPECT_EQ(*dyn_out, input);
+
+  std::string stat = lzhuf::CompressStatic(input);
+  auto stat_out = lzhuf::DecompressStatic(stat, input.size());
+  ASSERT_TRUE(stat_out.has_value());
+  EXPECT_EQ(*stat_out, input);
+}
+
+TEST(Lzhuf, EmptyInput) { ExpectRoundTrips(""); }
+
+TEST(Lzhuf, TinyInputs) {
+  ExpectRoundTrips("a");
+  ExpectRoundTrips("ab");
+  ExpectRoundTrips("hello");
+  ExpectRoundTrips("aaaaaaaaaaaa");
+  ExpectRoundTrips(std::string(1, '\0'));
+  ExpectRoundTrips(std::string(3, '\xff'));
+}
+
+TEST(Lzhuf, AllByteValues) {
+  std::string input;
+  for (int i = 0; i < 256; ++i) {
+    input.push_back(static_cast<char>(i));
+  }
+  ExpectRoundTrips(input);
+  ExpectRoundTrips(input + input + input);
+}
+
+TEST(Lzhuf, StaticBeatsDynamicOnTinyPayloads) {
+  // The static code's entire reason to exist: on payloads of a few dozen
+  // bytes the dynamic variant spends more on its code-length tables than
+  // entropy coding saves.
+  Prng rng(7);
+  for (size_t len : {16u, 24u, 32u, 48u, 63u}) {
+    std::string input;
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>('a' + rng.Below(26)));
+    }
+    std::string dyn = lzhuf::Compress(input);
+    std::string stat = lzhuf::CompressStatic(input);
+    EXPECT_LT(stat.size(), dyn.size()) << "len " << len;
+    // ASCII-only input: every literal is in the 8-bit class, so static
+    // never exceeds input size + EOB + rounding.
+    EXPECT_LE(stat.size(), input.size() + 3) << "len " << len;
+  }
+}
+
+TEST(Lzhuf, ProseCompressesUnderBothCodes) {
+  Prng rng(5);
+  std::string prose = GenerateProse(rng, 100000);
+  std::string dyn = lzhuf::Compress(prose);
+  std::string stat = lzhuf::CompressStatic(prose);
+  EXPECT_LT(dyn.size(), prose.size());
+  EXPECT_LT(stat.size(), prose.size());
+  // At this size the trained tables must beat the flat code.
+  EXPECT_LT(dyn.size(), stat.size());
+  ExpectRoundTrips(prose);
+}
+
+TEST(Lzhuf, OverlappingMatches) {
+  for (size_t period = 1; period <= 7; ++period) {
+    std::string input;
+    for (size_t i = 0; i < 5000; ++i) {
+      input.push_back(static_cast<char>('a' + (i % period)));
+    }
+    ExpectRoundTrips(input);
+  }
+}
+
+TEST(Lzhuf, DecompressRejectsWrongSize) {
+  std::string input = "some reasonably compressible text text text text";
+  std::string dyn = lzhuf::Compress(input);
+  EXPECT_FALSE(lzhuf::Decompress(dyn, input.size() + 1).has_value());
+  EXPECT_FALSE(lzhuf::Decompress(dyn, input.size() - 1).has_value());
+  std::string stat = lzhuf::CompressStatic(input);
+  EXPECT_FALSE(lzhuf::DecompressStatic(stat, input.size() + 1).has_value());
+  EXPECT_FALSE(lzhuf::DecompressStatic(stat, input.size() - 1).has_value());
+}
+
+TEST(Lzhuf, DecompressRejectsTruncatedInput) {
+  std::string input(1000, 'r');
+  input += "tail";
+  std::string dyn = lzhuf::Compress(input);
+  for (size_t len = 0; len < dyn.size(); len += 3) {
+    EXPECT_FALSE(lzhuf::Decompress(dyn.substr(0, len), input.size()).has_value()) << len;
+  }
+  std::string stat = lzhuf::CompressStatic(input);
+  for (size_t len = 0; len < stat.size(); len += 3) {
+    EXPECT_FALSE(lzhuf::DecompressStatic(stat.substr(0, len), input.size()).has_value()) << len;
+  }
+}
+
+TEST(Lzhuf, FuzzRoundTripsRandomStructuredInputs) {
+  Prng rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string input;
+    size_t target = rng.Below(4000);
+    while (input.size() < target) {
+      if (rng.Chance(0.5) && !input.empty()) {
+        size_t from = rng.Below(input.size());
+        size_t n = 1 + rng.Below(std::min<size_t>(input.size() - from, 60));
+        input += input.substr(from, n);
+      } else {
+        for (uint64_t n = 1 + rng.Below(20); n > 0; --n) {
+          input.push_back(static_cast<char>(rng.Next() & 0xff));
+        }
+      }
+    }
+    std::string dyn = lzhuf::Compress(input);
+    auto dyn_out = lzhuf::Decompress(dyn, input.size());
+    ASSERT_TRUE(dyn_out.has_value()) << iter;
+    ASSERT_EQ(*dyn_out, input) << iter;
+    std::string stat = lzhuf::CompressStatic(input);
+    auto stat_out = lzhuf::DecompressStatic(stat, input.size());
+    ASSERT_TRUE(stat_out.has_value()) << iter;
+    ASSERT_EQ(*stat_out, input) << iter;
+  }
+}
+
+}  // namespace
+}  // namespace egwalker

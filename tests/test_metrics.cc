@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "crdt/yata.h"
 #include "graph/graph.h"
 #include "obs/convergence.h"
 #include "obs/metrics.h"
@@ -313,6 +314,7 @@ TEST(StatsContract, DiffStats) { CheckStatsContract<DiffStats>(); }
 TEST(StatsContract, DiffCacheStats) { CheckStatsContract<DiffCacheStats>(); }
 TEST(StatsContract, NetSimStats) { CheckStatsContract<NetSim::Stats>(); }
 TEST(StatsContract, CollabClientStats) { CheckStatsContract<CollabClient::Stats>(); }
+TEST(StatsContract, YataStats) { CheckStatsContract<YataStats>(); }
 
 // --- ConvergenceTracker ----------------------------------------------------
 

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include "core/simple_walker.h"
+#include "crdt/ref_crdt.h"
 #include "testing/random_trace.h"
+#include "trace/generate.h"
 
 namespace egwalker {
 namespace {
@@ -493,6 +495,112 @@ TEST(Walker, PeakSpanCountSmallOnSequentialLargeOnConcurrent) {
   Rope d2;
   wc.ReplayAll(d2, {});
   EXPECT_GT(wc.peak_span_count(), 1u);
+}
+
+// --- Hostile presets (docs/TRACES.md) ---------------------------------------
+//
+// The sibling-group fast path and the naive oracles must order every
+// adversarial shape byte-identically: the optimised Walker against the
+// pseudocode SimpleWalker and against the reference CRDT fed the ID-based
+// op stream.
+
+std::string RefCrdtReplay(const Trace& t) {
+  std::vector<CrdtOp> crdt_ops;
+  ReplaySinks sinks;
+  sinks.crdt_ops = &crdt_ops;
+  Walker::Options opts;
+  opts.enable_clearing = false;  // The CRDT stream needs every origin.
+  WalkerReplay(t, opts, sinks);
+  RefCrdt crdt(t.graph);
+  Rope doc;
+  for (const CrdtOp& op : crdt_ops) {
+    crdt.Apply(op, doc);
+  }
+  return doc.ToString();
+}
+
+TEST(WalkerHostile, StormDifferentialAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    StormConfig cfg;
+    cfg.width = 257;
+    cfg.rounds = 2;
+    cfg.base_chars = 64;
+    cfg.seed = seed;
+    cfg.shuffle_seed = seed * 7;
+    Trace t = GenerateStorm(cfg, "storm-t");
+
+    SimpleWalker oracle(t.graph, t.ops);
+    std::string expected = oracle.ReplayAll();
+
+    Walker w(t.graph, t.ops);
+    Rope doc;
+    w.ReplayAll(doc);
+    EXPECT_EQ(doc.ToString(), expected) << "seed=" << seed;
+    // The storm must actually exercise the group cache, and the scan work
+    // must stay far below the naive O(width^2) wall.
+    EXPECT_GT(w.yata_stats().fast_inserts, uint64_t{cfg.width} * cfg.rounds / 2)
+        << "seed=" << seed;
+    EXPECT_LT(w.yata_stats().scan_steps + w.yata_stats().or_scan_steps,
+              uint64_t{16} * cfg.width * cfg.rounds)
+        << "seed=" << seed;
+
+    Walker::Options noclear;
+    noclear.enable_clearing = false;
+    EXPECT_EQ(WalkerReplay(t, noclear), expected) << "seed=" << seed;
+    EXPECT_EQ(RefCrdtReplay(t), expected) << "seed=" << seed;
+  }
+}
+
+TEST(WalkerHostile, SwarmDifferentialAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SwarmConfig cfg;
+    cfg.agents = 1200;
+    cfg.seed = seed;
+    Trace t = GenerateSwarm(cfg, "swarm-t");
+
+    SimpleWalker oracle(t.graph, t.ops);
+    std::string expected = oracle.ReplayAll();
+    EXPECT_EQ(WalkerReplay(t, {}), expected) << "seed=" << seed;
+    EXPECT_EQ(RefCrdtReplay(t), expected) << "seed=" << seed;
+  }
+}
+
+TEST(WalkerHostile, StormDeliveryOrderIsPermutationInvariant) {
+  // Everything a storm client contributes depends only on (seed, round, i);
+  // shuffle_seed permutes arrival order. YATA guarantees the converged
+  // document is the same for every permutation.
+  StormConfig cfg;
+  cfg.width = 193;
+  cfg.rounds = 2;
+  cfg.base_chars = 64;
+  cfg.seed = 42;
+  cfg.shuffle_seed = 0;
+  Trace first = GenerateStorm(cfg, "storm-p");
+  SimpleWalker oracle(first.graph, first.ops);
+  std::string expected = oracle.ReplayAll();
+  EXPECT_EQ(WalkerReplay(first, {}), expected);
+  for (uint64_t shuffle = 1; shuffle <= 6; ++shuffle) {
+    cfg.shuffle_seed = shuffle;
+    Trace t = GenerateStorm(cfg, "storm-p");
+    EXPECT_EQ(WalkerReplay(t, {}), expected) << "shuffle=" << shuffle;
+  }
+}
+
+TEST(WalkerHostile, SparseLateAndMassReturnMatchOracle) {
+  SparseLateConfig sparse;
+  sparse.early_events = 20000;  // Scaled down for test time; same shape.
+  Trace ts = GenerateSparseLate(sparse, "sparse-late-t");
+  SimpleWalker so(ts.graph, ts.ops);
+  EXPECT_EQ(WalkerReplay(ts, {}), so.ReplayAll());
+
+  MassReturnConfig mass;
+  mass.replicas = 16;
+  mass.events_per_replica = 96;
+  Trace tm = GenerateMassReturn(mass, "mass-return-t");
+  SimpleWalker mo(tm.graph, tm.ops);
+  std::string expected = mo.ReplayAll();
+  EXPECT_EQ(WalkerReplay(tm, {}), expected);
+  EXPECT_EQ(RefCrdtReplay(tm), expected);
 }
 
 }  // namespace

@@ -120,14 +120,33 @@ def load_micro_rows(path):
     return rows
 
 
+def row_label(key):
+    return " | ".join(key) if isinstance(key, tuple) else key
+
+
 def check_group(name, baseline, measured, threshold, min_ms=None):
-    """Returns the number of failing rows in one comparable group."""
+    """Returns the number of failing rows in one comparable group.
+
+    Every skipped row is printed with its reason: a silently dropped row
+    reads as "covered" when it is not."""
     pairs = []
-    for key in sorted(set(baseline) & set(measured)):
+    for key in sorted(set(baseline) | set(measured)):
+        if key not in baseline:
+            print(f"[{name}] skip {row_label(key)}: not in baseline "
+                  f"(new row; re-measure the committed baseline to gate it)")
+            continue
+        if key not in measured:
+            print(f"[{name}] skip {row_label(key)}: in baseline but not "
+                  f"measured this run")
+            continue
         base, meas = baseline[key], measured[key]
         if base <= 0:
+            print(f"[{name}] skip {row_label(key)}: non-positive baseline "
+                  f"({base})")
             continue
         if min_ms is not None and (base < min_ms or meas < min_ms):
+            print(f"[{name}] skip {row_label(key)}: below the {min_ms} ms "
+                  f"noise floor (base {base:.3f} / meas {meas:.3f} ms)")
             continue
         pairs.append((key, base, meas, meas / base))
     if len(pairs) < 3:
@@ -146,10 +165,52 @@ def check_group(name, baseline, measured, threshold, min_ms=None):
         flag = "FAIL" if norm > limit else "ok"
         if norm > limit:
             failures += 1
-        label = " | ".join(key) if isinstance(key, tuple) else key
-        print(f"  {flag:4} {label:<55} base {base:>12.4f}  meas {meas:>12.4f}"
+        print(f"  {flag:4} {row_label(key):<55} base {base:>12.4f}  meas {meas:>12.4f}"
               f"  norm x{norm:.3f}")
     return failures
+
+
+# The two committed storm widths: per-insert scan work is compared between
+# them (narrow, wide) = (1024, 4096) — 4x the sibling-group width.
+STORM_SUBLINEAR = ("storm-1k", "storm")
+
+
+def check_storm_sublinearity(measured_full, max_ratio):
+    """Gates sub-quadratic sibling-group integration (the YATA storm wall).
+
+    The storm presets have fixed, deterministic shapes and the walker's
+    YataStats counters annotated on their eg-walker rows are exact event
+    counts, not wall clock — so this is a direct same-run comparison, no
+    baseline or median normalisation. Per-insert integration work is
+    (scan_steps + or_scan_steps + cmp_steps) / insert_events; quadrupling
+    the group width must grow it by at most --storm-sublinear-max (linear
+    growth would be ~4x, the naive quadratic scan ~4x on top of an already
+    width-proportional base, logarithmic ~1.2x)."""
+    narrow = measured_full.get((STORM_SUBLINEAR[0], "eg-walker (merge)"))
+    wide = measured_full.get((STORM_SUBLINEAR[1], "eg-walker (merge)"))
+    if narrow is None or wide is None:
+        print("[storm] skip sub-linearity gate: storm-1k/storm eg-walker rows "
+              "not both measured this run")
+        return 0
+
+    def steps_per_insert(row):
+        steps = (float(row.get("scan_steps", 0)) + float(row.get("or_scan_steps", 0)) +
+                 float(row.get("cmp_steps", 0)))
+        inserts = float(row.get("insert_events", 0))
+        return steps / inserts if inserts > 0 else None
+
+    spi_narrow = steps_per_insert(narrow)
+    spi_wide = steps_per_insert(wide)
+    if spi_narrow is None or spi_wide is None or spi_narrow <= 0:
+        print("[storm] skip sub-linearity gate: rows lack scan-counter "
+              "annotations")
+        return 0
+    ratio = spi_wide / spi_narrow
+    flag = "ok" if ratio <= max_ratio else "FAIL"
+    print(f"[storm] {flag:4} per-insert scan work: storm-1k {spi_narrow:.2f} -> "
+          f"storm {spi_wide:.2f} steps/insert = x{ratio:.2f} for 4x group width "
+          f"(max x{max_ratio:.1f})")
+    return 0 if ratio <= max_ratio else 1
 
 
 def check_server_scaling(full_rows, min_speedup):
@@ -299,6 +360,11 @@ def main():
                          "so no median normalisation)")
     ap.add_argument("--min-ms", type=float, default=DEFAULT_MIN_MS,
                     help="ignore fig8 rows faster than this (noise floor)")
+    ap.add_argument("--storm-sublinear-max", type=float, default=2.5,
+                    help="maximum tolerated growth of per-insert integration "
+                         "scan work between the storm-1k and storm rows (4x "
+                         "group width; linear growth would be ~4x, the fast "
+                         "path's logarithmic growth ~1.2x)")
     ap.add_argument("--sizes-baseline", action="append", default=[],
                     help="committed filesize baseline (BENCH_fig11.json / "
                          "BENCH_fig12.json); repeatable, paired with --sizes "
@@ -320,10 +386,13 @@ def main():
         baseline = load_fig8_rows(args.fig8_baseline, section=args.fig8_section)
         baseline = {k: v for k, v in baseline.items() if k[1] in FIG8_ALGORITHMS}
         measured = {}
+        measured_full = {}
         for path in args.fig8:
             measured.update(load_fig8_rows(path))
+            measured_full.update(load_full_rows(path))
         measured = {k: v for k, v in measured.items() if k[1] in FIG8_ALGORITHMS}
         failures += check_group("fig8", baseline, measured, args.threshold, args.min_ms)
+        failures += check_storm_sublinearity(measured_full, args.storm_sublinear_max)
     if args.micro_baseline and args.micro:
         baseline = load_micro_rows(args.micro_baseline)
         measured = {}
@@ -341,6 +410,10 @@ def main():
             full.update(load_full_rows(path))
         # Multi-shard rows are machine-core-count dependent: keep them out of
         # the cross-machine time gate, gate their speedup directly instead.
+        for k, row in sorted(full.items()):
+            if k[1] in SERVER_PHASES and row.get("shards", 0) >= 2:
+                print(f"[server] skip {row_label(k)}: {row['shards']}-shard row "
+                      f"is core-count dependent (covered by the scaling gate)")
         measured = {k: row["mean_ms"] for k, row in full.items()
                     if k[1] in SERVER_PHASES and row.get("shards", 0) < 2}
         failures += check_group("server", baseline, measured, args.server_threshold,
